@@ -1,0 +1,147 @@
+// A1 — ablations of the design choices DESIGN.md calls out:
+//   (a) data journaling on/off: what crash-atomicity costs on writes;
+//   (b) the syscall filter (seccomp analogue): per-execution overhead;
+//   (c) membrane size: consent-evaluation cost vs number of purposes;
+//   (d) DED placement (paper §3(3)): host vs PIM vs PIS crossover.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "kernel/placement.hpp"
+
+using namespace rgpdos;
+
+namespace {
+
+void JournalAblation() {
+  std::printf("--- (a) data journaling: put cost with/without WAL ---\n");
+  std::printf("%-12s %14s %16s\n", "journaling", "us/write",
+              "device bytes/write");
+  for (bool journal : {true, false}) {
+    SystemClock clock;
+    blockdev::MemBlockDevice device(4096, 8192);
+    inodefs::InodeStore::Options options;
+    options.inode_count = 1024;
+    options.journal_blocks = 512;
+    options.journal_enabled = journal;
+    auto store = inodefs::InodeStore::Format(&device, options, &clock);
+    if (!store.ok()) std::abort();
+    const std::size_t n = 500;
+    std::vector<inodefs::InodeId> files;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto id = (*store)->AllocInode(inodefs::InodeKind::kFile);
+      if (!id.ok()) std::abort();
+      files.push_back(*id);
+    }
+    const Bytes payload(1024, 0x3C);
+    const std::uint64_t bytes_before = device.stats().bytes_written;
+    Stopwatch watch;
+    for (inodefs::InodeId id : files) {
+      if (!(*store)->WriteAt(id, 0, payload).ok()) std::abort();
+    }
+    const double us = bench::NsToUs(watch.ElapsedNanos()) / double(n);
+    const double bytes_per_write =
+        double(device.stats().bytes_written - bytes_before) / double(n);
+    std::printf("%-12s %14.2f %16.0f\n", journal ? "on" : "off", us,
+                bytes_per_write);
+  }
+  std::printf(
+      "shape: the WAL more than triples device traffic per write (each "
+      "block image is logged before landing) — the price of the crash "
+      "atomicity the recovery tests depend on.\n\n");
+}
+
+void SyscallFilterAblation() {
+  std::printf("--- (b) syscall filter: per-call gate cost ---\n");
+  constexpr int kCalls = 2'000'000;
+  {
+    sentinel::SyscallContext ctx(sentinel::SyscallFilter::AllowAll(), 0);
+    Stopwatch watch;
+    for (int i = 0; i < kCalls; ++i) (void)ctx.GetTime();
+    std::printf("%-22s %10.2f ns/call\n", "allow-all profile",
+                double(watch.ElapsedNanos()) / kCalls);
+  }
+  {
+    sentinel::SyscallContext ctx(
+        sentinel::SyscallFilter::PdProcessingProfile(), 0);
+    Stopwatch watch;
+    for (int i = 0; i < kCalls; ++i) (void)ctx.GetTime();
+    std::printf("%-22s %10.2f ns/call (allowed path)\n",
+                "pd profile", double(watch.ElapsedNanos()) / kCalls);
+  }
+  {
+    sentinel::SyscallContext ctx(
+        sentinel::SyscallFilter::PdProcessingProfile(), 0);
+    Stopwatch watch;
+    for (int i = 0; i < kCalls; ++i) (void)ctx.Alloc(16);
+    std::printf("%-22s %10.2f ns/call (rule further down the list)\n",
+                "pd profile, alloc", double(watch.ElapsedNanos()) / kCalls);
+  }
+  std::printf(
+      "shape: the BPF-style rule walk costs nanoseconds per syscall — "
+      "negligible against the DED's block IO.\n\n");
+}
+
+void MembraneSizeAblation() {
+  std::printf("--- (c) consent evaluation vs membrane size ---\n");
+  std::printf("%-10s %14s\n", "purposes", "ns/evaluate");
+  for (std::size_t purposes : {1u, 8u, 64u, 512u}) {
+    membrane::Membrane m;
+    m.subject_id = 1;
+    m.type_name = "user";
+    for (std::size_t i = 0; i < purposes; ++i) {
+      m.consents["purpose_" + std::to_string(i)] =
+          membrane::Consent::All();
+    }
+    constexpr int kEvals = 200'000;
+    Stopwatch watch;
+    for (int i = 0; i < kEvals; ++i) {
+      auto consent = m.Evaluate("purpose_0", 100);
+      if (!consent.ok()) std::abort();
+    }
+    std::printf("%-10zu %14.1f\n", purposes,
+                double(watch.ElapsedNanos()) / kEvals);
+  }
+  std::printf(
+      "shape: map lookup keeps evaluation logarithmic in the number of "
+      "consented purposes.\n\n");
+}
+
+void PlacementSweep() {
+  std::printf("--- (d) DED placement (paper §3(3)): host vs PIM vs PIS ---\n");
+  std::printf("%-12s %12s %12s %12s %10s\n", "ops/byte", "host (ms)",
+              "pim (ms)", "pis (ms)", "chosen");
+  kernel::PlacementPlanner planner;
+  const std::uint64_t bytes = 64ull << 20;  // 64 MiB of PD
+  for (double ops_per_byte : {0.01, 0.03, 0.06, 0.12, 0.5, 2.0}) {
+    kernel::DedWorkload workload;
+    workload.bytes_in = bytes;
+    workload.bytes_out = 4096;
+    workload.compute_ops =
+        static_cast<std::uint64_t>(double(bytes) * ops_per_byte);
+    const double host =
+        planner.EstimateNs(kernel::DedPlacement::kHost, workload) / 1e6;
+    const double pim =
+        planner.EstimateNs(kernel::DedPlacement::kPim, workload) / 1e6;
+    const double pis =
+        planner.EstimateNs(kernel::DedPlacement::kPis, workload) / 1e6;
+    std::printf("%-12.2f %12.1f %12.1f %12.1f %10s\n", ops_per_byte, host,
+                pim, pis,
+                std::string(kernel::PlacementName(planner.Choose(workload)))
+                    .c_str());
+  }
+  std::printf(
+      "shape: scan-like processings (low ops/byte) belong in storage, "
+      "filter-like ones in memory, compute-heavy ones on the host — the "
+      "crossovers the paper's PIM/PIS remark anticipates.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A1: design-choice ablations ===\n\n");
+  JournalAblation();
+  SyscallFilterAblation();
+  MembraneSizeAblation();
+  PlacementSweep();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// G9 — the anonymization built-in: k-anonymity's privacy/utility trade.
+// Sweep k over a skewed population and report how many records survive
+// into the released (non-personal) dataset, plus release latency.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/anonymize.hpp"
+
+using namespace rgpdos;
+
+int main() {
+  std::printf("=== G9: k-anonymous release — privacy vs utility ===\n");
+  std::printf("%-8s %-6s %12s %14s %14s %12s\n", "records", "k",
+              "groups out", "released rec", "suppressed", "ms/release");
+
+  for (std::size_t n : {500u, 2000u}) {
+    bench::RgpdWorld world = bench::MakeRgpdWorld(n);
+    core::AnonymizationSpec spec;
+    // Release birth decades only; names/passwords are dropped outright.
+    spec.rules["year_of_birthdate"] = core::FieldRule::Bucket(10);
+
+    for (std::size_t k : {2u, 5u, 20u, 100u}) {
+      spec.k = k;
+      Stopwatch watch;
+      auto result = world.os->anonymizer().Release(
+          "user", spec, &world.os->npd_fs(),
+          "/anon_k" + std::to_string(k) + "_" + std::to_string(n) + ".csv");
+      if (!result.ok()) {
+        std::fprintf(stderr, "release failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const double ms = double(watch.ElapsedNanos()) / 1e6;
+      const std::size_t released =
+          result->source_records - result->suppressed_records;
+      std::printf("%-8zu %-6zu %12zu %14zu %14zu %12.1f\n", n, k,
+                  result->released_groups, released,
+                  result->suppressed_records, ms);
+    }
+  }
+  std::printf(
+      "\nexpected shape: utility (released records) falls monotonically "
+      "as k rises; the decade buckets hold ~7 groups, so small k release "
+      "almost everything and large k suppresses the thin decades first.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// G7 — crypto substrate throughput: the cost floor under the erasure
+// design (SHA-256, ChaCha20, HMAC, RSA, full envelopes).
+#include <benchmark/benchmark.h>
+
+#include "crypto/envelope.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+using namespace rgpdos;
+using namespace rgpdos::crypto;
+
+namespace {
+
+Bytes MakeBuffer(std::size_t size) {
+  Bytes buffer(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    buffer[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  return buffer;
+}
+
+const RsaKeyPair& SharedKeyPair() {
+  static const RsaKeyPair keypair = [] {
+    SecureRandom rng(123);
+    return *RsaGenerate(1024, rng);
+  }();
+  return keypair;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes buffer = MakeBuffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256Hash(buffer));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = MakeBuffer(32);
+  const Bytes buffer = MakeBuffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, buffer));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(4096);
+
+void BM_ChaCha20(benchmark::State& state) {
+  ChaChaKey key{};
+  ChaChaNonce nonce{};
+  const Bytes buffer = MakeBuffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChaCha20Xor(key, nonce, 1, buffer));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(4096)->Arg(65536);
+
+void BM_RsaEncrypt(benchmark::State& state) {
+  SecureRandom rng(7);
+  const Bytes message = MakeBuffer(44);  // key-wrap sized
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RsaEncrypt(SharedKeyPair().public_key, message, rng));
+  }
+}
+BENCHMARK(BM_RsaEncrypt)->Iterations(200);
+
+void BM_RsaDecrypt(benchmark::State& state) {
+  SecureRandom rng(7);
+  const Bytes message = MakeBuffer(44);
+  const Bytes ciphertext =
+      *RsaEncrypt(SharedKeyPair().public_key, message, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RsaDecrypt(SharedKeyPair().private_key, ciphertext));
+  }
+}
+BENCHMARK(BM_RsaDecrypt)->Iterations(50);
+
+void BM_EnvelopeSeal(benchmark::State& state) {
+  SecureRandom rng(7);
+  const Bytes pd = MakeBuffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Seal(SharedKeyPair().public_key, pd, rng));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EnvelopeSeal)->Arg(256)->Arg(4096)->Iterations(200);
+
+void BM_EnvelopeOpen(benchmark::State& state) {
+  SecureRandom rng(7);
+  const Bytes pd = MakeBuffer(4096);
+  const Envelope envelope = *Seal(SharedKeyPair().public_key, pd, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Open(SharedKeyPair().private_key, envelope));
+  }
+}
+BENCHMARK(BM_EnvelopeOpen)->Iterations(50);
+
+void BM_RsaKeygen1024(benchmark::State& state) {
+  SecureRandom rng(99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RsaGenerate(1024, rng));
+  }
+}
+BENCHMARK(BM_RsaKeygen1024)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

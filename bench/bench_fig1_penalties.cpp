@@ -1,0 +1,38 @@
+// F1 — reproduce paper Fig. 1 from the bundled public-fine dataset:
+// (left) total penalty amount per year; (right) top-5 most sanctioned
+// business sectors.
+#include <cstdio>
+
+#include "penalties/penalties.hpp"
+
+int main() {
+  using namespace rgpdos::penalties;
+  std::printf("=== Fig 1 (left): GDPR penalties per year ===\n");
+  std::printf("%-6s %14s %s\n", "year", "total (MEUR)", "bar");
+  const auto totals = TotalsByYear();
+  double max_total = 0;
+  for (const auto& [year, total] : totals) {
+    max_total = std::max(max_total, total);
+  }
+  for (const auto& [year, total] : totals) {
+    const int bar = static_cast<int>(50.0 * total / max_total);
+    std::printf("%-6d %14.1f %.*s\n", year, total / 1e6, bar,
+                "##################################################");
+  }
+
+  std::printf("\n=== Fig 1 (right): top-5 sanctioned sectors ===\n");
+  std::printf("%-14s %14s %8s\n", "sector", "total (MEUR)", "fines");
+  const auto by_count = TopSectorsByCount(100);
+  for (const auto& [sector, amount] : TopSectorsByAmount(5)) {
+    std::size_t count = 0;
+    for (const auto& [s, c] : by_count) {
+      if (s == sector) count = c;
+    }
+    std::printf("%-14s %14.1f %8zu\n", sector.c_str(), amount / 1e6, count);
+  }
+  std::printf(
+      "\nnote: dataset approximates datalegaldrive.com's public sanction "
+      "map, 2018-2022 (%zu fines).\n",
+      Dataset().size());
+  return 0;
+}

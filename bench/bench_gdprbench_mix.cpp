@@ -1,0 +1,188 @@
+// G8 — GDPRbench-style role mixes (paper ref [17]): controller, customer
+// and regulator operation mixes driven against rgpdOS and the baseline,
+// reporting achieved ops/s per role.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace rgpdos;
+
+namespace {
+
+constexpr std::size_t kSubjects = 400;
+constexpr std::size_t kOpsPerRole = 300;
+
+db::Row FreshUserRow(Rng& rng, std::uint64_t subject) {
+  return db::Row{db::Value("name_" + std::to_string(subject) + "_" +
+                           rng.NextName(6)),
+                 db::Value(std::string("pw")),
+                 db::Value(rng.NextInRange(1940, 2010))};
+}
+
+double RunRgpd(const workload::OpMix& mix) {
+  bench::RgpdWorld world = bench::MakeRgpdWorld(kSubjects);
+  auto& os = *world.os;
+  const dsl::TypeDecl decl = bench::BenchUserDecl();
+  Rng rng(1234);
+  Zipf zipf(kSubjects, 0.9, 99);
+
+  Stopwatch watch;
+  std::size_t executed = 0;
+  for (std::size_t i = 0; i < kOpsPerRole; ++i) {
+    const std::uint64_t subject = 1 + zipf.Next();
+    const workload::GdprOp op = mix.Sample(rng);
+    bool ok = true;
+    switch (op) {
+      case workload::GdprOp::kCreateRecord: {
+        membrane::Membrane m = decl.DefaultMembrane(subject, os.clock().Now());
+        ok = os.dbfs()
+                 .Put(sentinel::Domain::kDed, subject, "user",
+                      FreshUserRow(rng, subject), std::move(m))
+                 .ok();
+        break;
+      }
+      case workload::GdprOp::kReadRecord: {
+        auto ids = os.dbfs().RecordsOfSubject(sentinel::Domain::kDed, subject);
+        ok = ids.ok() && (ids->empty() ||
+                          os.dbfs()
+                              .Get(sentinel::Domain::kDed, ids->front())
+                              .ok());
+        break;
+      }
+      case workload::GdprOp::kUpdateRecord: {
+        auto ids = os.dbfs().RecordsOfSubject(sentinel::Domain::kDed, subject);
+        if (ids.ok() && !ids->empty()) {
+          auto record = os.dbfs().Get(sentinel::Domain::kDed, ids->front());
+          if (record.ok() && !record->erased) {
+            ok = os.builtins()
+                     .Update(core::PdRef{ids->front(), "user"},
+                             FreshUserRow(rng, subject))
+                     .ok();
+          }
+        }
+        break;
+      }
+      case workload::GdprOp::kDeleteRecord: {
+        auto ids = os.dbfs().RecordsOfSubject(sentinel::Domain::kDed, subject);
+        if (ids.ok() && !ids->empty()) {
+          ok = os.builtins()
+                   .HardDelete(core::PdRef{ids->back(), "user"})
+                   .ok();
+        }
+        break;
+      }
+      case workload::GdprOp::kRightOfAccess:
+        ok = os.RightOfAccess(subject).ok();
+        break;
+      case workload::GdprOp::kRightToErasure:
+        ok = os.RightToBeForgotten(subject).ok();
+        break;
+      case workload::GdprOp::kRightToPortability:
+        ok = os.RightToPortability(subject).ok();
+        break;
+      case workload::GdprOp::kConsentWithdrawal: {
+        auto ids = os.dbfs().RecordsOfSubject(sentinel::Domain::kDed, subject);
+        if (ids.ok() && !ids->empty()) {
+          auto record = os.dbfs().Get(sentinel::Domain::kDed, ids->front());
+          if (record.ok() && !record->erased) {
+            ok = os.builtins()
+                     .RevokeConsent(core::PdRef{ids->front(), "user"},
+                                    "analytics")
+                     .ok();
+          }
+        }
+        break;
+      }
+      case workload::GdprOp::kAuditSubject:
+        ok = !os.processing_log().ForSubject(subject).empty() ||
+             os.processing_log().VerifyChain();
+        break;
+      case workload::GdprOp::kAuditPurpose: {
+        auto ids = os.dbfs().RecordsOfType(sentinel::Domain::kDed, "user");
+        ok = ids.ok();
+        break;
+      }
+    }
+    if (ok) ++executed;
+  }
+  const double seconds = double(watch.ElapsedNanos()) / 1e9;
+  return double(executed) / seconds;
+}
+
+double RunBaseline(const workload::OpMix& mix) {
+  bench::BaselineWorld world = bench::MakeBaselineWorld(kSubjects);
+  auto& engine = *world.engine;
+  Rng rng(1234);
+  Zipf zipf(kSubjects, 0.9, 99);
+
+  Stopwatch watch;
+  std::size_t executed = 0;
+  for (std::size_t i = 0; i < kOpsPerRole; ++i) {
+    const std::uint64_t subject = 1 + zipf.Next();
+    const workload::GdprOp op = mix.Sample(rng);
+    bool ok = true;
+    switch (op) {
+      case workload::GdprOp::kCreateRecord:
+        ok = engine.Insert("user", subject, FreshUserRow(rng, subject)).ok();
+        break;
+      case workload::GdprOp::kReadRecord:
+        // Controller reads know their row key (application bookkeeping);
+        // only the GDPR rights lack an index in the baseline.
+        ok = engine.Get("user", world.rows[subject - 1]).ok() ||
+             true;  // row may be deleted by an earlier erasure op
+        break;
+      case workload::GdprOp::kRightOfAccess:
+      case workload::GdprOp::kRightToPortability:
+      case workload::GdprOp::kAuditSubject:
+        ok = engine.GetDataBySubject(subject).ok();
+        break;
+      case workload::GdprOp::kUpdateRecord: {
+        auto existing = engine.Get("user", world.rows[subject - 1]);
+        if (existing.ok()) {
+          ok = engine
+                   .Update("user", world.rows[subject - 1],
+                           FreshUserRow(rng, subject))
+                   .ok();
+        }
+        break;
+      }
+      case workload::GdprOp::kDeleteRecord:
+      case workload::GdprOp::kRightToErasure:
+        ok = engine.DeleteSubject(subject, /*compact=*/false).ok();
+        break;
+      case workload::GdprOp::kConsentWithdrawal:
+        ok = engine.UpdateConsent(subject, "analytics", "none").ok();
+        break;
+      case workload::GdprOp::kAuditPurpose:
+        ok = engine.AuditPurpose("analytics").ok();
+        break;
+    }
+    if (ok) ++executed;
+  }
+  const double seconds = double(watch.ElapsedNanos()) / 1e9;
+  return double(executed) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== G8: GDPRbench-style role mixes (%zu subjects, %zu "
+              "ops/role) ===\n",
+              kSubjects, kOpsPerRole);
+  std::printf("%-12s %16s %16s %10s\n", "role", "baseline ops/s",
+              "rgpdOS ops/s", "ratio");
+  for (const workload::OpMix& mix :
+       {workload::OpMix::Controller(), workload::OpMix::Customer(),
+        workload::OpMix::Regulator()}) {
+    const double baseline_ops = RunBaseline(mix);
+    const double rgpd_ops = RunRgpd(mix);
+    std::printf("%-12s %16.0f %16.0f %9.2fx\n", mix.name().c_str(),
+                baseline_ops, rgpd_ops, rgpd_ops / baseline_ops);
+  }
+  std::printf(
+      "\nexpected shape: controller CRUD favours the thin baseline; "
+      "customer and regulator roles favour rgpdOS, whose subject tree "
+      "and processing log serve rights and audits without full scans — "
+      "GDPRbench's central observation.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// G6 — purpose-kernel partitioning: does splitting the machine into
+// sub-kernels bound interference between PD and NPD work?
+//
+// A steady PD job stream shares the machine with an NPD burst. In the
+// SHARED configuration both streams feed one kernel (one queue); in the
+// PARTITIONED configuration each stream has its own kernel with a fixed
+// CPU share. We measure PD throughput during the burst, and the latency
+// of a dynamic repartition.
+#include <cstdio>
+
+#include "common/clock.hpp"
+#include "kernel/machine.hpp"
+
+using namespace rgpdos;
+using namespace rgpdos::kernel;
+
+namespace {
+
+constexpr std::uint64_t kTickBudget = 100;
+constexpr std::uint64_t kTicks = 200;
+constexpr std::uint64_t kPdJobCost = 5;
+constexpr std::uint64_t kNpdBurstJobs = 5000;
+
+}  // namespace
+
+int main() {
+  std::printf("=== G6: purpose-kernel partitioning under an NPD burst ===\n");
+
+  // Interference metric: per-job completion latency of the PD stream
+  // (ticks from submission to completion), before/during the NPD burst.
+  struct LatencyStats {
+    double mean = 0;
+    std::uint64_t max = 0;
+    std::uint64_t done = 0;
+  };
+  const auto run = [&](bool partitioned) -> LatencyStats {
+    Machine machine;
+    JobQueueKernel* pd_kernel;
+    JobQueueKernel* npd_kernel;
+    if (partitioned) {
+      pd_kernel = static_cast<JobQueueKernel*>(machine.AddKernel(
+          std::make_unique<JobQueueKernel>("rgpd", KernelKind::kRgpd), 1));
+      npd_kernel = static_cast<JobQueueKernel*>(machine.AddKernel(
+          std::make_unique<JobQueueKernel>("general",
+                                           KernelKind::kGeneralPurpose),
+          1));
+    } else {
+      pd_kernel = npd_kernel = static_cast<JobQueueKernel*>(
+          machine.AddKernel(std::make_unique<JobQueueKernel>(
+                                "shared", KernelKind::kGeneralPurpose),
+                            1));
+    }
+    std::uint64_t now = 0;
+    std::vector<std::uint64_t> latencies;
+    for (std::uint64_t tick = 0; tick < kTicks; ++tick) {
+      now = tick;
+      for (int i = 0; i < 4; ++i) {
+        const std::uint64_t submitted = tick;
+        (void)pd_kernel->Submit({kPdJobCost, [&, submitted] {
+          latencies.push_back(now - submitted);
+        }});
+      }
+      if (tick == 50) {
+        for (std::uint64_t j = 0; j < kNpdBurstJobs; ++j) {
+          (void)npd_kernel->Submit({1, nullptr});
+        }
+      }
+      machine.Tick(kTickBudget);
+    }
+    LatencyStats stats;
+    stats.done = latencies.size();
+    for (std::uint64_t latency : latencies) {
+      stats.mean += double(latency);
+      stats.max = std::max(stats.max, latency);
+    }
+    if (!latencies.empty()) stats.mean /= double(latencies.size());
+    return stats;
+  };
+
+  const LatencyStats shared = run(/*partitioned=*/false);
+  const LatencyStats part = run(/*partitioned=*/true);
+  std::printf("%-22s %14s %18s %18s\n", "configuration", "PD jobs done",
+              "mean latency(ticks)", "max latency(ticks)");
+  std::printf("%-22s %14llu %18.2f %18llu\n", "shared kernel",
+              static_cast<unsigned long long>(shared.done), shared.mean,
+              static_cast<unsigned long long>(shared.max));
+  std::printf("%-22s %14llu %18.2f %18llu\n", "partitioned (50/50)",
+              static_cast<unsigned long long>(part.done), part.mean,
+              static_cast<unsigned long long>(part.max));
+
+  // ---- dynamic repartitioning: drain a PD backlog faster -------------------
+  {
+    Machine machine;
+    auto* rgpd = static_cast<JobQueueKernel*>(machine.AddKernel(
+        std::make_unique<JobQueueKernel>("rgpd", KernelKind::kRgpd), 1));
+    auto* npd = static_cast<JobQueueKernel*>(machine.AddKernel(
+        std::make_unique<JobQueueKernel>("general",
+                                         KernelKind::kGeneralPurpose),
+        1));
+    for (int i = 0; i < 2000; ++i) {
+      (void)rgpd->Submit({1, nullptr});
+      (void)npd->Submit({1, nullptr});
+    }
+    std::uint64_t ticks_at_equal = 0;
+    while (rgpd->Backlog() > 1000) {
+      machine.Tick(kTickBudget);
+      ++ticks_at_equal;
+    }
+    (void)machine.Repartition("rgpd", 9);  // GDPR deadline pressure: 90%
+    std::uint64_t ticks_after_boost = 0;
+    while (rgpd->Backlog() > 0) {
+      machine.Tick(kTickBudget);
+      ++ticks_after_boost;
+    }
+    std::printf(
+        "\ndynamic repartition: first half of the PD backlog at 50%% share "
+        "took %llu ticks; second half at 90%% share took %llu ticks\n",
+        static_cast<unsigned long long>(ticks_at_equal),
+        static_cast<unsigned long long>(ticks_after_boost));
+  }
+
+  std::printf(
+      "\nexpected shape: in the shared kernel the NPD burst starves the "
+      "PD stream (head-of-line blocking); the partitioned purpose-kernel "
+      "keeps PD throughput at its guaranteed share, and repartitioning "
+      "shifts capacity on demand.\n");
+  return 0;
+}

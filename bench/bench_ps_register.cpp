@@ -1,0 +1,89 @@
+// G5 — ps_register cost: purpose parsing + matching against the schema
+// tree, with and without mismatch alerts, as the store fills up.
+// google-benchmark micro-measurements.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+using namespace rgpdos;
+
+namespace {
+
+struct RegisterFixture {
+  RegisterFixture() : world(bench::MakeRgpdWorld(4)) {}
+  bench::RgpdWorld world;
+};
+
+core::ProcessingFn NoopFn() {
+  return [](core::ProcessingInput&) -> Result<core::ProcessingOutput> {
+    return core::ProcessingOutput{};
+  };
+}
+
+void BM_PsRegisterClean(benchmark::State& state) {
+  RegisterFixture fixture;
+  core::ImplManifest manifest;
+  manifest.claimed_purpose = "analytics";
+  manifest.fields_read = {"year_of_birthdate"};
+  for (auto _ : state) {
+    auto id = fixture.world.os->RegisterProcessingSource(
+        "purpose analytics { input: user.v_ano; }", NoopFn(), manifest);
+    if (!id.ok()) state.SkipWithError("register failed");
+  }
+  state.SetLabel("parse + match + store");
+}
+BENCHMARK(BM_PsRegisterClean)->Iterations(2000);
+
+void BM_PsRegisterWithAlert(benchmark::State& state) {
+  RegisterFixture fixture;
+  core::ImplManifest manifest;
+  manifest.claimed_purpose = "analytics";
+  manifest.fields_read = {"year_of_birthdate", "pwd"};  // out of view
+  for (auto _ : state) {
+    auto id = fixture.world.os->RegisterProcessingSource(
+        "purpose analytics { input: user.v_ano; }", NoopFn(), manifest);
+    if (!id.ok()) state.SkipWithError("register failed");
+  }
+  state.SetLabel("mismatch -> sysadmin alert raised");
+}
+BENCHMARK(BM_PsRegisterWithAlert)->Iterations(2000);
+
+void BM_PsInvokeDispatch(benchmark::State& state) {
+  // Cost of the PS dispatch + empty pipeline (0 candidate records of a
+  // second type): isolates entry-point overhead from data volume.
+  RegisterFixture fixture;
+  core::ImplManifest manifest;
+  manifest.claimed_purpose = "agecheck";
+  auto id = fixture.world.os->RegisterProcessingSource(
+      "purpose agecheck { input: age; }", NoopFn(), manifest);
+  if (!id.ok()) std::abort();
+  for (auto _ : state) {
+    auto result = fixture.world.os->ps().Invoke(
+        sentinel::Domain::kApplication, *id, {});
+    if (!result.ok()) state.SkipWithError("invoke failed");
+  }
+  state.SetLabel("sentinel x2 + DED instantiation, 0 records");
+}
+BENCHMARK(BM_PsInvokeDispatch)->Iterations(2000);
+
+void BM_PurposeParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto purpose = dsl::ParsePurpose(
+        "purpose analytics { input: user.v_ano; output: age; "
+        "description: \"aggregate ages\"; }");
+    benchmark::DoNotOptimize(purpose);
+  }
+}
+BENCHMARK(BM_PurposeParse);
+
+void BM_TypeDeclParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto program = dsl::Parse(bench::kBenchTypes);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_TypeDeclParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// G1 — right of access (GDPRbench "customer" getDataByUser): latency of
+// producing one subject's structured export as the population grows.
+// rgpdOS resolves the subject tree directly; the baseline scans every
+// table.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace rgpdos;
+
+int main() {
+  std::printf("=== G1: right of access latency vs population ===\n");
+  std::printf("%-10s %-10s %16s %16s %16s %10s\n", "subjects", "rec/subj",
+              "baseline (us)", "baseline-idx (us)", "rgpdOS (us)",
+              "speedup");
+
+  for (std::size_t subjects : {100u, 500u, 2000u}) {
+    const std::size_t per_subject = 2;
+    bench::BaselineWorld baseline_world =
+        bench::MakeBaselineWorld(subjects, per_subject);
+    bench::BaselineWorld indexed_world = bench::MakeBaselineWorld(
+        subjects, per_subject, /*subject_index=*/true);
+    bench::RgpdWorld rgpd_world = bench::MakeRgpdWorld(subjects, per_subject);
+
+    // Query 32 random subjects on each system.
+    Rng rng(7);
+    std::vector<std::uint64_t> targets;
+    for (int i = 0; i < 32; ++i) targets.push_back(1 + rng.NextBelow(subjects));
+
+    Stopwatch watch;
+    for (std::uint64_t subject : targets) {
+      auto records = baseline_world.engine->GetDataBySubject(subject);
+      if (!records.ok() || records->size() != per_subject) std::abort();
+    }
+    const double baseline_us =
+        bench::NsToUs(watch.ElapsedNanos()) / double(targets.size());
+
+    watch.Restart();
+    for (std::uint64_t subject : targets) {
+      auto records = indexed_world.engine->GetDataBySubject(subject);
+      if (!records.ok() || records->size() != per_subject) std::abort();
+    }
+    const double indexed_us =
+        bench::NsToUs(watch.ElapsedNanos()) / double(targets.size());
+
+    watch.Restart();
+    for (std::uint64_t subject : targets) {
+      auto report = rgpd_world.os->RightOfAccess(subject);
+      if (!report.ok()) std::abort();
+    }
+    const double rgpd_us =
+        bench::NsToUs(watch.ElapsedNanos()) / double(targets.size());
+
+    std::printf("%-10zu %-10zu %16.1f %16.1f %16.1f %9.1fx\n", subjects,
+                per_subject, baseline_us, indexed_us, rgpd_us,
+                baseline_us / rgpd_us);
+  }
+  std::printf(
+      "\nexpected shape: the baseline's cost grows linearly with the total "
+      "population (full scan per request); rgpdOS stays near-flat "
+      "(subject-tree lookup), so the gap widens with scale — the "
+      "GDPRbench asymmetry. The indexed-baseline ablation closes the "
+      "performance gap but (see G2/F2) not the compliance gap.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// G2 — right to be forgotten: latency and completeness of erasure as the
+// record payload grows. Baseline tombstone+compact is O(table); rgpdOS
+// crypto-erase is O(record) + journal scrub, and actually destroys the
+// bytes (completeness column = leaked plaintext blocks afterwards).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace rgpdos;
+
+namespace {
+
+// A dedicated type carrying a sizable payload.
+std::string BlobTypeSource() {
+  return R"(
+type blob {
+  fields { owner: string, payload: bytes };
+  consent { keep: all };
+  origin: subject;
+  sensitivity: high;
+}
+)";
+}
+
+Bytes MarkedPayload(std::size_t size, std::uint64_t subject) {
+  Bytes payload = ToBytes(workload::SubjectMarker(subject));
+  payload.resize(size, 0x55);
+  return payload;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== G2: right-to-be-forgotten latency & completeness ===\n");
+  std::printf("%-12s %-24s %14s %18s\n", "record size", "system",
+              "us/erasure", "leaked blocks");
+
+  for (std::size_t payload_size : {256u, 4096u, 32768u}) {
+    const std::size_t subjects = 64;
+    // ---- baseline --------------------------------------------------------
+    {
+      bench::BaselineWorld world = bench::MakeBaselineWorld(4);
+      auto decl = dsl::ParseType(BlobTypeSource());
+      if (!decl.ok() || !world.engine->CreateType(*decl).ok()) std::abort();
+      for (std::uint64_t s = 1; s <= subjects; ++s) {
+        auto id = world.engine->Insert(
+            "blob", s,
+            db::Row{db::Value("owner" + std::to_string(s)),
+                    db::Value(MarkedPayload(payload_size, s))});
+        if (!id.ok()) std::abort();
+      }
+      Stopwatch watch;
+      for (std::uint64_t s = 1; s <= subjects; ++s) {
+        if (!world.engine->DeleteSubject(s, /*compact=*/true).ok()) {
+          std::abort();
+        }
+      }
+      const double us =
+          bench::NsToUs(watch.ElapsedNanos()) / double(subjects);
+      std::uint64_t leaked = 0;
+      for (std::uint64_t s = 1; s <= subjects; ++s) {
+        leaked += blockdev::CountBlocksContaining(
+            *world.device, ToBytes(workload::SubjectMarker(s)));
+      }
+      std::printf("%-12zu %-24s %14.1f %18llu\n", payload_size,
+                  "baseline (compact)", us,
+                  static_cast<unsigned long long>(leaked));
+    }
+    // ---- rgpdOS crypto-erase ----------------------------------------------
+    {
+      core::BootConfig config;
+      config.dbfs_blocks = subjects * (payload_size / 4096 + 4) + 4096;
+      config.inode_count = subjects * 4 + 256;
+      auto booted = core::RgpdOs::Boot(config);
+      if (!booted.ok()) std::abort();
+      auto& os = **booted;
+      if (!os.DeclareTypes(BlobTypeSource()).ok()) std::abort();
+      auto type = os.dbfs().GetType(sentinel::Domain::kDed, "blob");
+      for (std::uint64_t s = 1; s <= subjects; ++s) {
+        membrane::Membrane m = (*type)->DefaultMembrane(s, os.clock().Now());
+        auto id = os.dbfs().Put(
+            sentinel::Domain::kDed, s, "blob",
+            db::Row{db::Value("owner" + std::to_string(s)),
+                    db::Value(MarkedPayload(payload_size, s))},
+            std::move(m));
+        if (!id.ok()) std::abort();
+      }
+      Stopwatch watch;
+      for (std::uint64_t s = 1; s <= subjects; ++s) {
+        if (!os.RightToBeForgotten(s).ok()) std::abort();
+      }
+      const double us =
+          bench::NsToUs(watch.ElapsedNanos()) / double(subjects);
+      std::uint64_t leaked = 0;
+      for (std::uint64_t s = 1; s <= subjects; ++s) {
+        leaked += blockdev::CountBlocksContaining(
+            os.dbfs_device(), ToBytes(workload::SubjectMarker(s)));
+      }
+      std::printf("%-12zu %-24s %14.1f %18llu\n", payload_size,
+                  "rgpdOS (crypto-erase)", us,
+                  static_cast<unsigned long long>(leaked));
+    }
+  }
+  std::printf(
+      "\nexpected shape: rgpdOS pays a fixed RSA-envelope + scrub cost "
+      "per record, while the baseline pays a table scan + compaction "
+      "rewrite per subject - which dominates at these table sizes. "
+      "Whatever the latency, only rgpdOS reaches zero leaked blocks; the "
+      "baseline's 'delete' leaves plaintext at every size.\n");
+  return 0;
+}

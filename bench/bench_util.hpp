@@ -1,0 +1,197 @@
+// Shared setup for the benchmark harness: boots populated rgpdOS and
+// baseline worlds with the same synthetic subject population, so every
+// bench compares like against like.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/baseline_engine.hpp"
+#include "core/rgpdos.hpp"
+#include "dsl/parser.hpp"
+#include "workload/workload.hpp"
+
+namespace rgpdos::bench {
+
+// The canonical bench type: Listing-1-shaped, with an `analytics`
+// purpose consented through the anonymising view and a `full` purpose
+// with an `all` consent.
+inline constexpr std::string_view kBenchTypes = R"(
+type user {
+  fields { name: string, pwd: string, year_of_birthdate: int };
+  view v_ano { year_of_birthdate };
+  consent { analytics: v_ano, full: all };
+  origin: subject;
+  sensitivity: high;
+}
+type age {
+  fields { value: int };
+  consent { full: all };
+  origin: subject;
+  sensitivity: low;
+}
+)";
+
+inline dsl::TypeDecl BenchUserDecl() {
+  auto program = dsl::Parse(kBenchTypes);
+  return program->types.front();
+}
+
+struct RgpdWorld {
+  std::unique_ptr<core::RgpdOs> os;
+  /// user records, in put order (subject i owns records
+  /// [i*per_subject, (i+1)*per_subject)).
+  std::vector<dbfs::RecordId> records;
+  std::size_t subjects = 0;
+  std::size_t per_subject = 0;
+};
+
+/// Boot an rgpdOS world holding `subjects * per_subject` marked user
+/// records. `consent_fraction` of subjects keep the default `analytics`
+/// consent; the rest have it revoked.
+inline RgpdWorld MakeRgpdWorld(std::size_t subjects,
+                               std::size_t per_subject = 1,
+                               double consent_fraction = 1.0) {
+  RgpdWorld world;
+  world.subjects = subjects;
+  world.per_subject = per_subject;
+
+  core::BootConfig config;
+  // Sized with headroom for one derived record per source record (the
+  // analytics purpose stores an `age` row per user).
+  const std::uint64_t needed_blocks =
+      subjects * per_subject * 14 + subjects * 2 + 2048;
+  config.dbfs_blocks = needed_blocks;
+  config.inode_count =
+      static_cast<std::uint32_t>(subjects * per_subject * 6 + subjects + 256);
+  config.journal_blocks = 512;
+  auto booted = core::RgpdOs::Boot(config);
+  if (!booted.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n",
+                 booted.status().ToString().c_str());
+    std::abort();
+  }
+  world.os = std::move(booted).value();
+  if (auto d = world.os->DeclareTypes(kBenchTypes); !d.ok()) std::abort();
+
+  const dsl::TypeDecl decl = BenchUserDecl();
+  Rng rng(42);
+  const auto population =
+      workload::GenerateMarkedPopulation(decl, subjects, rng);
+  for (const auto& person : population) {
+    const bool consents =
+        double(person.subject_id - 1) < consent_fraction * double(subjects);
+    for (std::size_t r = 0; r < per_subject; ++r) {
+      membrane::Membrane m =
+          decl.DefaultMembrane(person.subject_id, world.os->clock().Now());
+      if (!consents) m.RevokeConsent("analytics");
+      auto id = world.os->dbfs().Put(sentinel::Domain::kDed,
+                                     person.subject_id, "user", person.row,
+                                     std::move(m));
+      if (!id.ok()) {
+        std::fprintf(stderr, "put failed: %s\n",
+                     id.status().ToString().c_str());
+        std::abort();
+      }
+      world.records.push_back(*id);
+    }
+  }
+  return world;
+}
+
+/// Register the `analytics` processing (derives an `age` row per record).
+inline core::ProcessingId RegisterAnalytics(core::RgpdOs& os,
+                                            bool derive_output = true) {
+  core::ImplManifest manifest;
+  manifest.claimed_purpose = "analytics";
+  manifest.fields_read = {"year_of_birthdate"};
+  manifest.output_type = derive_output ? "age" : "";
+  const std::string source =
+      derive_output
+          ? "purpose analytics { input: user.v_ano; output: age; }"
+          : "purpose analytics { input: user.v_ano; }";
+  auto id = os.RegisterProcessingSource(
+      source,
+      [derive_output](core::ProcessingInput& input)
+          -> Result<core::ProcessingOutput> {
+        core::ProcessingOutput output;
+        if (!input.Has("year_of_birthdate")) return output;
+        RGPD_ASSIGN_OR_RETURN(db::Value year,
+                              input.Field("year_of_birthdate"));
+        if (derive_output) {
+          output.derived_row = db::Row{db::Value(2026 - *year.AsInt())};
+        }
+        return output;
+      },
+      manifest);
+  if (!id.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 id.status().ToString().c_str());
+    std::abort();
+  }
+  return *id;
+}
+
+struct BaselineWorld {
+  std::unique_ptr<SystemClock> clock;
+  std::unique_ptr<blockdev::MemBlockDevice> device;
+  std::unique_ptr<inodefs::InodeStore> store;
+  std::unique_ptr<inodefs::FileSystem> fs;
+  std::unique_ptr<baseline::BaselineEngine> engine;
+  std::vector<db::RowId> rows;
+  std::size_t subjects = 0;
+  std::size_t per_subject = 0;
+};
+
+/// The Fig-2 comparator world with the SAME population. `subject_index`
+/// selects the ablation variant (indexed rights, same leaks).
+inline BaselineWorld MakeBaselineWorld(std::size_t subjects,
+                                       std::size_t per_subject = 1,
+                                       bool subject_index = false) {
+  BaselineWorld world;
+  world.subjects = subjects;
+  world.per_subject = per_subject;
+  world.clock = std::make_unique<SystemClock>();
+  world.device = std::make_unique<blockdev::MemBlockDevice>(
+      4096, subjects * per_subject * 8 + 4096);
+  inodefs::InodeStore::Options options;
+  options.inode_count =
+      static_cast<std::uint32_t>(subjects * per_subject + 512);
+  options.journal_blocks = 512;
+  auto store =
+      inodefs::InodeStore::Format(world.device.get(), options,
+                                  world.clock.get());
+  if (!store.ok()) std::abort();
+  world.store = std::move(store).value();
+  auto fs = inodefs::FileSystem::Create(world.store.get());
+  if (!fs.ok()) std::abort();
+  world.fs = std::make_unique<inodefs::FileSystem>(std::move(fs).value());
+  auto engine = baseline::BaselineEngine::Create(
+      world.fs.get(), "/db", world.clock.get(), subject_index);
+  if (!engine.ok()) std::abort();
+  world.engine = std::make_unique<baseline::BaselineEngine>(
+      std::move(engine).value());
+
+  auto program = dsl::Parse(kBenchTypes);
+  for (const dsl::TypeDecl& decl : program->types) {
+    if (auto s = world.engine->CreateType(decl); !s.ok()) std::abort();
+  }
+  const dsl::TypeDecl decl = BenchUserDecl();
+  Rng rng(42);
+  const auto population =
+      workload::GenerateMarkedPopulation(decl, subjects, rng);
+  for (const auto& person : population) {
+    for (std::size_t r = 0; r < per_subject; ++r) {
+      auto id = world.engine->Insert("user", person.subject_id, person.row);
+      if (!id.ok()) std::abort();
+      world.rows.push_back(*id);
+    }
+  }
+  return world;
+}
+
+/// Microseconds-per-op pretty printer.
+inline double NsToUs(std::int64_t ns) { return double(ns) / 1000.0; }
+
+}  // namespace rgpdos::bench

@@ -1,0 +1,161 @@
+// Medical-records scenario — the CNIL case from the paper's introduction:
+// "in 2020 the CNIL in France penalized two doctors (9K EUR) for hosting
+// medical images on a server which was freely accessible on the
+// Internet."
+//
+// Under rgpdOS the same mistake is structurally impossible: medical
+// images live in DBFS behind the sentinel, so a probe from the outside
+// domain (the freely-accessible-server scenario) is denied and audited,
+// while legitimate care-team processing still works. High-sensitivity
+// typing, short TTLs and crypto-erasure round out the scenario.
+#include <cstdio>
+
+#include "core/rgpdos.hpp"
+
+using namespace rgpdos;
+
+namespace {
+
+constexpr std::string_view kTypes = R"(
+type medical_image {
+  fields {
+    patient_name: string,
+    modality: string,
+    body_part: string,
+    image_data: bytes
+  };
+  // Radiology review needs the pixels but not the identity.
+  view v_radiology { modality, body_part, image_data };
+  consent {
+    diagnosis: all,
+    radiology_review: v_radiology,
+    marketing: none
+  };
+  origin: subject;
+  age: 10Y;
+  sensitivity: high;
+}
+type report {
+  fields { summary: string };
+  consent { diagnosis: all };
+  origin: subject;
+  sensitivity: high;
+}
+)";
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  auto booted = core::RgpdOs::Boot(core::BootConfig{});
+  if (!booted.ok()) return Fail(booted.status());
+  auto& os = **booted;
+  std::printf("== medical records under rgpdOS ==\n");
+
+  if (auto declared = os.DeclareTypes(kTypes); !declared.ok()) {
+    return Fail(declared.status());
+  }
+
+  // Admit two patients; their scans enter DBFS wrapped in membranes.
+  auto type = os.dbfs().GetType(sentinel::Domain::kDed, "medical_image");
+  if (!type.ok()) return Fail(type.status());
+  Bytes scan_pixels(4096);
+  for (std::size_t i = 0; i < scan_pixels.size(); ++i) {
+    scan_pixels[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  const struct {
+    std::uint64_t subject;
+    const char* name;
+    const char* modality;
+    const char* body_part;
+  } scans[] = {{101, "Chiraz Benamor", "MRI", "knee"},
+               {102, "Jean Dupont", "XRAY", "chest"}};
+  for (const auto& s : scans) {
+    membrane::Membrane m =
+        (*type)->DefaultMembrane(s.subject, os.clock().Now());
+    auto id = os.dbfs().Put(
+        sentinel::Domain::kDed, s.subject, "medical_image",
+        db::Row{db::Value(std::string(s.name)),
+                db::Value(std::string(s.modality)),
+                db::Value(std::string(s.body_part)),
+                db::Value(scan_pixels)},
+        std::move(m));
+    if (!id.ok()) return Fail(id.status());
+    std::printf("admitted %s (%s %s) as record %llu, sensitivity=high\n",
+                s.name, s.modality, s.body_part,
+                static_cast<unsigned long long>(*id));
+  }
+
+  // THE CNIL SCENARIO: an internet-facing probe tries to read the images
+  // directly. The sentinel blocks it and the attempt is audited.
+  std::printf("\n-- internet probe against the image store --\n");
+  auto probe = os.dbfs().Get(sentinel::Domain::kOutside, 1);
+  std::printf("outside read attempt: %s\n",
+              probe.status().ToString().c_str());
+  auto probe_scan =
+      os.dbfs().RecordsOfType(sentinel::Domain::kOutside, "medical_image");
+  std::printf("outside enumeration attempt: %s\n",
+              probe_scan.status().ToString().c_str());
+  const auto denials = os.audit().Query([](const sentinel::AuditEntry& e) {
+    return !e.allowed && e.request.subject == sentinel::Domain::kOutside;
+  });
+  std::printf("audit trail recorded %zu denied outside accesses\n",
+              denials.size());
+
+  // Legitimate use: the radiology-review purpose sees pixels, never the
+  // patient's name (data minimisation via the v_radiology view).
+  std::printf("\n-- radiology review (de-identified view) --\n");
+  core::ImplManifest manifest;
+  manifest.claimed_purpose = "radiology_review";
+  manifest.fields_read = {"modality", "body_part", "image_data"};
+  manifest.output_type = "report";
+  auto processing = os.RegisterProcessingSource(
+      R"(purpose radiology_review {
+           input: medical_image.v_radiology;
+           output: report;
+           description: "second reading of imaging studies";
+         })",
+      [](core::ProcessingInput& input) -> Result<core::ProcessingOutput> {
+        core::ProcessingOutput output;
+        if (input.Has("patient_name")) {
+          return Internal("de-identification failed");
+        }
+        RGPD_ASSIGN_OR_RETURN(db::Value modality, input.Field("modality"));
+        RGPD_ASSIGN_OR_RETURN(db::Value body_part, input.Field("body_part"));
+        RGPD_ASSIGN_OR_RETURN(db::Value pixels, input.Field("image_data"));
+        const std::size_t n = (*pixels.AsBytes()).size();
+        output.derived_row = db::Row{db::Value(
+            *modality.AsString() + " " + *body_part.AsString() + ": " +
+            std::to_string(n) + " bytes reviewed, no anomaly")};
+        return output;
+      },
+      manifest);
+  if (!processing.ok()) return Fail(processing.status());
+  auto review = os.ps().Invoke(sentinel::Domain::kApplication, *processing,
+                               core::InvokeOptions{});
+  if (!review.ok()) return Fail(review.status());
+  std::printf("reviewed %llu studies without seeing any patient name; "
+              "%zu reports derived\n",
+              static_cast<unsigned long long>(review->records_processed),
+              review->derived.size());
+
+  // Patient 101 invokes the right to be forgotten. The image is sealed to
+  // the supervisory authority (legal retention) and the plaintext is
+  // destroyed everywhere, including the filesystem journal.
+  std::printf("\n-- right to be forgotten for patient 101 --\n");
+  auto erased = os.RightToBeForgotten(101);
+  if (!erased.ok()) return Fail(erased.status());
+  const Bytes needle = ToBytes("Chiraz Benamor");
+  const std::uint64_t leaked =
+      blockdev::CountBlocksContaining(os.dbfs_device(), needle);
+  std::printf("erased %zu records; plaintext blocks remaining on device: "
+              "%llu\n",
+              *erased, static_cast<unsigned long long>(leaked));
+
+  std::printf("\nmedical-records scenario complete.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Right to be forgotten, side by side (paper §1 + §4).
+//
+// The same delete request runs against:
+//   (a) the Fig-2 baseline — a userspace DB engine on a journaling file
+//       filesystem: the engine says "deleted", yet the raw device still
+//       holds the plaintext (freed blocks + journal history);
+//   (b) rgpdOS — crypto-erasure under the supervisory authority's key:
+//       zero plaintext bytes remain anywhere, the operator cannot read
+//       the record, but the authority can still recover it for a legal
+//       investigation.
+#include <cstdio>
+
+#include "baseline/baseline_engine.hpp"
+#include "core/rgpdos.hpp"
+#include "dsl/parser.hpp"
+
+using namespace rgpdos;
+
+namespace {
+
+constexpr std::string_view kUserType = R"(
+type user {
+  fields { name: string, email: string, year_of_birthdate: int };
+  consent { service: all };
+  origin: subject;
+  sensitivity: medium;
+}
+)";
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+constexpr const char* kSecretName = "FORGETME_Henriette_Durand";
+
+}  // namespace
+
+int main() {
+  std::printf("== right to be forgotten: baseline vs rgpdOS ==\n");
+  const Bytes needle = ToBytes(kSecretName);
+  auto decl = dsl::ParseType(kUserType);
+  if (!decl.ok()) return Fail(decl.status());
+
+  // ---------------- (a) the Fig-2 baseline --------------------------------
+  {
+    SystemClock clock;
+    blockdev::MemBlockDevice device(4096, 4096);
+    inodefs::InodeStore::Options options;
+    options.inode_count = 256;
+    options.journal_blocks = 256;
+    auto store = inodefs::InodeStore::Format(&device, options, &clock);
+    if (!store.ok()) return Fail(store.status());
+    auto fs = inodefs::FileSystem::Create(store->get());
+    if (!fs.ok()) return Fail(fs.status());
+    auto engine = baseline::BaselineEngine::Create(&*fs, "/db", &clock);
+    if (!engine.ok()) return Fail(engine.status());
+    if (Status s = engine->CreateType(*decl); !s.ok()) return Fail(s);
+
+    auto id = engine->Insert(
+        "user", 7,
+        db::Row{db::Value(std::string(kSecretName)),
+                db::Value(std::string("henriette@example.eu")),
+                db::Value(std::int64_t{1962})});
+    if (!id.ok()) return Fail(id.status());
+
+    auto deleted = engine->DeleteSubject(7, /*compact=*/true);
+    if (!deleted.ok()) return Fail(deleted.status());
+    const bool engine_gone = engine->GetDataBySubject(7)->empty();
+    const std::uint64_t leaked_blocks =
+        blockdev::CountBlocksContaining(device, needle);
+    std::printf(
+        "\n[baseline] engine reports deleted: %s\n"
+        "[baseline] raw device blocks still holding the plaintext: %llu\n"
+        "[baseline] => the DB engine cannot honour the right to be "
+        "forgotten on its own (paper Fig 2)\n",
+        engine_gone ? "yes" : "no",
+        static_cast<unsigned long long>(leaked_blocks));
+  }
+
+  // ---------------- (b) rgpdOS --------------------------------------------
+  {
+    auto booted = core::RgpdOs::Boot(core::BootConfig{});
+    if (!booted.ok()) return Fail(booted.status());
+    auto& os = **booted;
+    if (auto d = os.DeclareTypes(kUserType); !d.ok()) return Fail(d.status());
+    auto type = os.dbfs().GetType(sentinel::Domain::kDed, "user");
+    if (!type.ok()) return Fail(type.status());
+    membrane::Membrane m = (*type)->DefaultMembrane(7, os.clock().Now());
+    auto id = os.dbfs().Put(
+        sentinel::Domain::kDed, 7, "user",
+        db::Row{db::Value(std::string(kSecretName)),
+                db::Value(std::string("henriette@example.eu")),
+                db::Value(std::int64_t{1962})},
+        std::move(m));
+    if (!id.ok()) return Fail(id.status());
+
+    auto erased = os.RightToBeForgotten(7);
+    if (!erased.ok()) return Fail(erased.status());
+    const std::uint64_t leaked_blocks =
+        blockdev::CountBlocksContaining(os.dbfs_device(), needle);
+    std::printf(
+        "\n[rgpdOS] records crypto-erased: %zu\n"
+        "[rgpdOS] raw device blocks still holding the plaintext: %llu\n",
+        *erased, static_cast<unsigned long long>(leaked_blocks));
+
+    // Operator-side read: nothing.
+    auto gone = os.dbfs().Get(sentinel::Domain::kDed, *id);
+    if (!gone.ok()) return Fail(gone.status());
+    std::printf("[rgpdOS] operator read: erased=%s, row fields=%zu\n",
+                gone->erased ? "true" : "false", gone->row.size());
+
+    // Authority-side recovery (legal investigation).
+    auto envelope = os.dbfs().GetEnvelope(sentinel::Domain::kDed, *id);
+    if (!envelope.ok()) return Fail(envelope.status());
+    auto recovered = os.authority().Recover(*envelope);
+    if (!recovered.ok()) return Fail(recovered.status());
+    auto row = (*type)->ToSchema().DecodeRow(*recovered);
+    if (!row.ok()) return Fail(row.status());
+    std::printf(
+        "[rgpdOS] supervisory authority recovers with its private key: "
+        "name=%s\n",
+        (*row)[0].AsString()->c_str());
+  }
+
+  std::printf("\nright-to-be-forgotten comparison complete.\n");
+  return 0;
+}

@@ -1,0 +1,310 @@
+#include "baseline/baseline_engine.hpp"
+
+#include <set>
+
+namespace rgpdos::baseline {
+
+namespace {
+// Bookkeeping columns appended after the user fields.
+constexpr std::size_t kBookkeepingColumns = 4;  // _subject, _consents,
+                                                // _created_at, _ttl
+}  // namespace
+
+Result<BaselineEngine> BaselineEngine::Create(inodefs::FileSystem* fs,
+                                              std::string dir,
+                                              const Clock* clock,
+                                              bool subject_index) {
+  RGPD_ASSIGN_OR_RETURN(db::Catalog catalog,
+                        db::Catalog::Create(fs, std::move(dir)));
+  return BaselineEngine(std::move(catalog), clock, subject_index);
+}
+
+std::string BaselineEngine::EncodeConsents(const dsl::TypeDecl& decl) {
+  // "purpose1=all;purpose2=none;purpose3=view:v_ano;"
+  std::string out;
+  for (const auto& [purpose, spec] : decl.default_consents) {
+    out += purpose;
+    out += '=';
+    switch (spec.kind) {
+      case membrane::ConsentKind::kAll: out += "all"; break;
+      case membrane::ConsentKind::kNone: out += "none"; break;
+      case membrane::ConsentKind::kView: out += "view:" + spec.view; break;
+    }
+    out += ';';
+  }
+  return out;
+}
+
+bool BaselineEngine::ConsentAllows(std::string_view consents,
+                                   std::string_view purpose) {
+  // Parse the consent string on every check — the engine has no richer
+  // representation available in its tables.
+  std::size_t pos = 0;
+  while (pos < consents.size()) {
+    const std::size_t eq = consents.find('=', pos);
+    if (eq == std::string_view::npos) break;
+    const std::size_t semi = consents.find(';', eq);
+    const std::string_view key = consents.substr(pos, eq - pos);
+    const std::string_view value = consents.substr(
+        eq + 1, (semi == std::string_view::npos ? consents.size() : semi) -
+                    eq - 1);
+    if (key == purpose) return value != "none";
+    if (semi == std::string_view::npos) break;
+    pos = semi + 1;
+  }
+  return false;  // unlisted purposes are denied
+}
+
+Status BaselineEngine::CreateType(const dsl::TypeDecl& decl) {
+  RGPD_RETURN_IF_ERROR(decl.Validate());
+  if (types_.count(decl.name) != 0) {
+    return AlreadyExists("type exists: " + decl.name);
+  }
+  std::vector<db::FieldDef> fields = decl.fields;
+  fields.push_back({"_subject", db::ValueType::kInt, false});
+  fields.push_back({"_consents", db::ValueType::kString, false});
+  fields.push_back({"_created_at", db::ValueType::kInt, false});
+  fields.push_back({"_ttl", db::ValueType::kInt, false});
+  RGPD_RETURN_IF_ERROR(
+      catalog_.CreateTable(db::Schema(decl.name, std::move(fields)))
+          .status());
+  TypeInfo info;
+  info.decl = decl;
+  info.user_field_count = decl.fields.size();
+  types_.emplace(decl.name, std::move(info));
+  return Status::Ok();
+}
+
+Result<db::RowId> BaselineEngine::Insert(std::string_view type,
+                                         SubjectId subject,
+                                         const db::Row& fields) {
+  const auto it = types_.find(type);
+  if (it == types_.end()) return NotFound("no type: " + std::string(type));
+  RGPD_ASSIGN_OR_RETURN(db::Table * table, catalog_.GetTable(type));
+  db::Row row = fields;
+  row.emplace_back(static_cast<std::int64_t>(subject));
+  row.emplace_back(EncodeConsents(it->second.decl));
+  row.emplace_back(static_cast<std::int64_t>(clock_->Now()));
+  row.emplace_back(static_cast<std::int64_t>(it->second.decl.ttl));
+  RGPD_ASSIGN_OR_RETURN(db::RowId id, table->Insert(row));
+  if (subject_index_enabled_) {
+    subject_index_.emplace(subject,
+                           std::make_pair(std::string(type), id));
+  }
+  return id;
+}
+
+Result<std::vector<BaselineRecord>> BaselineEngine::SelectConsented(
+    std::string_view type, std::string_view purpose) const {
+  const auto it = types_.find(type);
+  if (it == types_.end()) return NotFound("no type: " + std::string(type));
+  auto& catalog = const_cast<db::Catalog&>(catalog_);
+  RGPD_ASSIGN_OR_RETURN(db::Table * table, catalog.GetTable(type));
+  const std::size_t user_fields = it->second.user_field_count;
+  const TimeMicros now = clock_->Now();
+  std::vector<BaselineRecord> out;
+  RGPD_RETURN_IF_ERROR(table->Scan([&](db::RowId id, const db::Row& row) {
+    const std::string consents = *row[user_fields + 1].AsString();
+    const std::int64_t created = *row[user_fields + 2].AsInt();
+    const std::int64_t ttl = *row[user_fields + 3].AsInt();
+    if (ttl != 0 && now >= created + ttl) return true;  // expired
+    if (!ConsentAllows(consents, purpose)) return true;
+    BaselineRecord record;
+    record.row_id = id;
+    record.subject = static_cast<SubjectId>(*row[user_fields].AsInt());
+    record.fields.assign(row.begin(),
+                         row.begin() + static_cast<std::ptrdiff_t>(
+                                           user_fields));
+    out.push_back(std::move(record));
+    return true;
+  }));
+  return out;
+}
+
+Result<BaselineRecord> BaselineEngine::Get(std::string_view type,
+                                           db::RowId id) const {
+  const auto it = types_.find(type);
+  if (it == types_.end()) return NotFound("no type: " + std::string(type));
+  auto& catalog = const_cast<db::Catalog&>(catalog_);
+  RGPD_ASSIGN_OR_RETURN(db::Table * table, catalog.GetTable(type));
+  RGPD_ASSIGN_OR_RETURN(db::Row row, table->Get(id));
+  const std::size_t user_fields = it->second.user_field_count;
+  BaselineRecord record;
+  record.row_id = id;
+  record.subject = static_cast<SubjectId>(*row[user_fields].AsInt());
+  record.fields.assign(
+      row.begin(), row.begin() + static_cast<std::ptrdiff_t>(user_fields));
+  return record;
+}
+
+Status BaselineEngine::Update(std::string_view type, db::RowId id,
+                              const db::Row& fields) {
+  const auto it = types_.find(type);
+  if (it == types_.end()) return NotFound("no type: " + std::string(type));
+  RGPD_ASSIGN_OR_RETURN(db::Table * table, catalog_.GetTable(type));
+  RGPD_ASSIGN_OR_RETURN(db::Row row, table->Get(id));
+  const std::size_t user_fields = it->second.user_field_count;
+  if (fields.size() != user_fields) {
+    return InvalidArgument("field arity mismatch");
+  }
+  for (std::size_t i = 0; i < user_fields; ++i) row[i] = fields[i];
+  return table->Update(id, row);
+}
+
+Result<std::vector<BaselineRecord>> BaselineEngine::GetDataBySubject(
+    SubjectId subject) const {
+  auto& catalog = const_cast<db::Catalog&>(catalog_);
+  std::vector<BaselineRecord> out;
+  if (subject_index_enabled_) {
+    // Ablation variant: indexed lookup instead of the full scan.
+    const auto [begin, end] = subject_index_.equal_range(subject);
+    for (auto entry = begin; entry != end; ++entry) {
+      const auto& [type, row_id] = entry->second;
+      RGPD_ASSIGN_OR_RETURN(BaselineRecord record, Get(type, row_id));
+      out.push_back(std::move(record));
+    }
+    return out;
+  }
+  // No subject index: the right of access is a scan of every table —
+  // the GDPRbench-documented pain point.
+  for (const auto& [name, info] : types_) {
+    RGPD_ASSIGN_OR_RETURN(db::Table * table, catalog.GetTable(name));
+    const std::size_t user_fields = info.user_field_count;
+    RGPD_RETURN_IF_ERROR(table->Scan([&](db::RowId id, const db::Row& row) {
+      if (static_cast<SubjectId>(*row[user_fields].AsInt()) != subject) {
+        return true;
+      }
+      BaselineRecord record;
+      record.row_id = id;
+      record.subject = subject;
+      record.fields.assign(row.begin(),
+                           row.begin() + static_cast<std::ptrdiff_t>(
+                                             user_fields));
+      out.push_back(std::move(record));
+      return true;
+    }));
+  }
+  return out;
+}
+
+Result<std::size_t> BaselineEngine::DeleteSubject(SubjectId subject,
+                                                  bool compact) {
+  std::size_t deleted = 0;
+  if (subject_index_enabled_) {
+    const auto [begin, end] = subject_index_.equal_range(subject);
+    std::set<std::string> touched;
+    for (auto entry = begin; entry != end; ++entry) {
+      const auto& [type, row_id] = entry->second;
+      RGPD_ASSIGN_OR_RETURN(db::Table * table, catalog_.GetTable(type));
+      RGPD_RETURN_IF_ERROR(table->Delete(row_id));
+      touched.insert(type);
+      ++deleted;
+    }
+    subject_index_.erase(subject);
+    if (compact) {
+      for (const std::string& type : touched) {
+        RGPD_ASSIGN_OR_RETURN(db::Table * table, catalog_.GetTable(type));
+        RGPD_RETURN_IF_ERROR(table->Compact());
+      }
+    }
+    return deleted;
+  }
+  for (const auto& [name, info] : types_) {
+    RGPD_ASSIGN_OR_RETURN(db::Table * table, catalog_.GetTable(name));
+    const std::size_t user_fields = info.user_field_count;
+    std::vector<db::RowId> victims;
+    RGPD_RETURN_IF_ERROR(table->Scan([&](db::RowId id, const db::Row& row) {
+      if (static_cast<SubjectId>(*row[user_fields].AsInt()) == subject) {
+        victims.push_back(id);
+      }
+      return true;
+    }));
+    for (db::RowId id : victims) {
+      RGPD_RETURN_IF_ERROR(table->Delete(id));
+      ++deleted;
+    }
+    if (compact && !victims.empty()) {
+      RGPD_RETURN_IF_ERROR(table->Compact());
+    }
+  }
+  return deleted;
+}
+
+Result<std::size_t> BaselineEngine::UpdateConsent(SubjectId subject,
+                                                  std::string_view purpose,
+                                                  std::string_view new_scope) {
+  std::size_t updated = 0;
+  for (const auto& [name, info] : types_) {
+    RGPD_ASSIGN_OR_RETURN(db::Table * table, catalog_.GetTable(name));
+    const std::size_t user_fields = info.user_field_count;
+    std::vector<std::pair<db::RowId, db::Row>> changes;
+    RGPD_RETURN_IF_ERROR(table->Scan([&](db::RowId id, const db::Row& row) {
+      if (static_cast<SubjectId>(*row[user_fields].AsInt()) != subject) {
+        return true;
+      }
+      db::Row updated_row = row;
+      // Rewrite (or append) the purpose's entry in the consent string.
+      std::string consents = *row[user_fields + 1].AsString();
+      std::string rebuilt;
+      bool found = false;
+      std::size_t pos = 0;
+      while (pos < consents.size()) {
+        const std::size_t semi = consents.find(';', pos);
+        const std::string_view entry = std::string_view(consents).substr(
+            pos, (semi == std::string::npos ? consents.size() : semi) - pos);
+        if (!entry.empty()) {
+          const std::size_t eq = entry.find('=');
+          if (eq != std::string_view::npos &&
+              entry.substr(0, eq) == purpose) {
+            rebuilt += std::string(purpose) + "=" + std::string(new_scope) +
+                       ";";
+            found = true;
+          } else {
+            rebuilt += std::string(entry) + ";";
+          }
+        }
+        if (semi == std::string::npos) break;
+        pos = semi + 1;
+      }
+      if (!found) {
+        rebuilt +=
+            std::string(purpose) + "=" + std::string(new_scope) + ";";
+      }
+      updated_row[user_fields + 1] = db::Value(std::move(rebuilt));
+      changes.emplace_back(id, std::move(updated_row));
+      return true;
+    }));
+    for (auto& [id, row] : changes) {
+      RGPD_RETURN_IF_ERROR(table->Update(id, row));
+      ++updated;
+    }
+  }
+  return updated;
+}
+
+Result<std::map<std::string, std::size_t>> BaselineEngine::AuditPurpose(
+    std::string_view purpose) const {
+  auto& catalog = const_cast<db::Catalog&>(catalog_);
+  std::map<std::string, std::size_t> out;
+  for (const auto& [name, info] : types_) {
+    RGPD_ASSIGN_OR_RETURN(db::Table * table, catalog.GetTable(name));
+    const std::size_t user_fields = info.user_field_count;
+    std::size_t count = 0;
+    RGPD_RETURN_IF_ERROR(table->Scan([&](db::RowId, const db::Row& row) {
+      if (ConsentAllows(*row[user_fields + 1].AsString(), purpose)) {
+        ++count;
+      }
+      return true;
+    }));
+    out[name] = count;
+  }
+  return out;
+}
+
+std::vector<std::string> BaselineEngine::TypeNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, info] : types_) names.push_back(name);
+  return names;
+}
+
+}  // namespace rgpdos::baseline

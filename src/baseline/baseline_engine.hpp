@@ -1,0 +1,113 @@
+// The Fig-2 baseline: "GDPR at the DB engine level in userspace".
+//
+// Models the prior-work approach (Shastri et al. / Schwarzkopf et al.,
+// paper refs [17], [16]): a userspace database engine bolts GDPR
+// bookkeeping (subject ids, consent strings, timestamps, TTLs) onto
+// ordinary tables stored in ordinary files of a journaling filesystem,
+// "thus relying on a general purpose OS".
+//
+// Two properties make it the paper's foil, and both are measurable here:
+//   * Deleting at the DB level appends a tombstone and (at best)
+//     compacts the table file — it never scrubs freed blocks nor the
+//     FS journal, so "deleted" PD remains recoverable below the engine
+//     (bench_fig2_journal_leak).
+//   * Per-subject operations (the GDPR rights) have no kernel support:
+//     rights are full scans over every table (bench_rights_*).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/clock.hpp"
+#include "db/catalog.hpp"
+#include "dsl/ast.hpp"
+
+namespace rgpdos::baseline {
+
+using SubjectId = std::uint64_t;
+
+/// One row as the baseline sees it: user fields + GDPR bookkeeping.
+struct BaselineRecord {
+  db::RowId row_id = 0;
+  SubjectId subject = 0;
+  db::Row fields;  ///< user fields only (bookkeeping stripped)
+};
+
+class BaselineEngine {
+ public:
+  /// Create the engine over a directory of the (journaling) file FS.
+  /// `subject_index` enables the ablation variant: an in-memory
+  /// subject -> rows index that removes the full-scan penalty on GDPR
+  /// rights. It narrows the performance gap against rgpdOS but changes
+  /// nothing about the compliance gap (deleted bytes still survive
+  /// below the engine) — that is the point of the ablation.
+  static Result<BaselineEngine> Create(inodefs::FileSystem* fs,
+                                       std::string dir, const Clock* clock,
+                                       bool subject_index = false);
+
+  /// Declare a table from the same TypeDecl rgpdOS uses, with appended
+  /// bookkeeping columns (_subject, _consents, _created_at, _ttl).
+  Status CreateType(const dsl::TypeDecl& decl);
+
+  /// Insert a record with the type's default consents.
+  Result<db::RowId> Insert(std::string_view type, SubjectId subject,
+                           const db::Row& fields);
+
+  /// Rows of `type` whose consent string authorises `purpose` and whose
+  /// TTL has not elapsed — the engine-level analogue of ded_filter, run
+  /// in userspace over a full scan.
+  Result<std::vector<BaselineRecord>> SelectConsented(
+      std::string_view type, std::string_view purpose) const;
+
+  /// Point read by row id.
+  Result<BaselineRecord> Get(std::string_view type, db::RowId id) const;
+  Status Update(std::string_view type, db::RowId id, const db::Row& fields);
+
+  // ---- GDPR rights, DB-engine style (full scans) ----------------------------
+
+  /// Right of access: every record of `subject` across all tables.
+  Result<std::vector<BaselineRecord>> GetDataBySubject(
+      SubjectId subject) const;
+  /// Right to be forgotten: tombstone every record of the subject.
+  /// With `compact`, table files are rewritten afterwards — still
+  /// without scrubbing the old blocks or the journal.
+  Result<std::size_t> DeleteSubject(SubjectId subject, bool compact);
+  /// Consent withdrawal: rewrite the consent column of every record of
+  /// the subject.
+  Result<std::size_t> UpdateConsent(SubjectId subject,
+                                    std::string_view purpose,
+                                    std::string_view new_scope);
+  /// Regulator audit: count records per purpose authorisation.
+  Result<std::map<std::string, std::size_t>> AuditPurpose(
+      std::string_view purpose) const;
+
+  [[nodiscard]] std::vector<std::string> TypeNames() const;
+
+ private:
+  struct TypeInfo {
+    dsl::TypeDecl decl;
+    std::size_t user_field_count = 0;
+  };
+
+  BaselineEngine(db::Catalog catalog, const Clock* clock,
+                 bool subject_index)
+      : catalog_(std::move(catalog)),
+        clock_(clock),
+        subject_index_enabled_(subject_index) {}
+
+  static std::string EncodeConsents(const dsl::TypeDecl& decl);
+  static bool ConsentAllows(std::string_view consents,
+                            std::string_view purpose);
+
+  db::Catalog catalog_;
+  const Clock* clock_;  // borrowed
+  std::map<std::string, TypeInfo, std::less<>> types_;
+
+  bool subject_index_enabled_ = false;
+  /// subject -> (table, row id); maintained on insert/delete when the
+  /// ablation index is enabled.
+  std::multimap<SubjectId, std::pair<std::string, db::RowId>>
+      subject_index_;
+};
+
+}  // namespace rgpdos::baseline

@@ -1,0 +1,66 @@
+#include "blockdev/block_device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rgpdos::blockdev {
+
+MemBlockDevice::MemBlockDevice(std::uint32_t block_size,
+                               std::uint64_t block_count)
+    : block_size_(block_size),
+      block_count_(block_count),
+      storage_(std::size_t(block_size) * block_count, 0) {}
+
+Status MemBlockDevice::ReadBlock(BlockIndex index, Bytes& out) {
+  if (index >= block_count_) {
+    return OutOfRange("read past end of device");
+  }
+  out.resize(block_size_);
+  std::memcpy(out.data(), storage_.data() + index * block_size_, block_size_);
+  ++stats_.reads;
+  stats_.bytes_read += block_size_;
+  return Status::Ok();
+}
+
+Status MemBlockDevice::WriteBlock(BlockIndex index, ByteSpan data) {
+  if (index >= block_count_) {
+    return OutOfRange("write past end of device");
+  }
+  if (data.size() != block_size_) {
+    return InvalidArgument("block write must be exactly block_size bytes");
+  }
+  std::memcpy(storage_.data() + index * block_size_, data.data(),
+              block_size_);
+  ++stats_.writes;
+  stats_.bytes_written += block_size_;
+  return Status::Ok();
+}
+
+Status MemBlockDevice::Flush() {
+  ++stats_.flushes;
+  return Status::Ok();
+}
+
+std::uint64_t CountBlocksContaining(BlockDevice& device, ByteSpan needle) {
+  if (needle.empty()) return 0;
+  std::uint64_t hits = 0;
+  Bytes window;  // previous-block tail + current block, to catch straddles
+  Bytes block;
+  const std::size_t overlap = needle.size() > 1 ? needle.size() - 1 : 0;
+  Bytes tail;
+  for (BlockIndex i = 0; i < device.block_count(); ++i) {
+    if (!device.ReadBlock(i, block).ok()) break;
+    window = tail;
+    window.insert(window.end(), block.begin(), block.end());
+    if (ContainsSubsequence(window, needle)) ++hits;
+    if (overlap > 0 && block.size() >= overlap) {
+      tail.assign(block.end() - static_cast<std::ptrdiff_t>(overlap),
+                  block.end());
+    } else {
+      tail = block;
+    }
+  }
+  return hits;
+}
+
+}  // namespace rgpdos::blockdev

@@ -1,0 +1,88 @@
+// Block device abstraction — the hardware boundary of the simulation.
+//
+// Everything rgpdOS persists (DBFS inode trees, the NPD filesystem, the
+// journal) ultimately lands in numbered fixed-size blocks of a BlockDevice.
+// Because the device is simulated we can do what a real testbed cannot:
+// scan *every* byte that ever hit the medium and ask "does any plaintext
+// personal data survive here?" — the core measurement of the Fig-2
+// journal-leak experiment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace rgpdos::blockdev {
+
+using BlockIndex = std::uint64_t;
+
+/// Cumulative traffic counters, maintained by every implementation.
+struct DeviceStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t flushes = 0;
+};
+
+/// Abstract fixed-block-size device.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  [[nodiscard]] virtual std::uint32_t block_size() const = 0;
+  [[nodiscard]] virtual std::uint64_t block_count() const = 0;
+
+  /// Read one block into `out` (resized to block_size).
+  virtual Status ReadBlock(BlockIndex index, Bytes& out) = 0;
+  /// Write one block; `data` must be exactly block_size bytes.
+  virtual Status WriteBlock(BlockIndex index, ByteSpan data) = 0;
+  /// Durability barrier (accounted; a no-op for in-memory devices).
+  virtual Status Flush() = 0;
+
+  [[nodiscard]] virtual const DeviceStats& stats() const = 0;
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return std::uint64_t(block_size()) * block_count();
+  }
+};
+
+/// RAM-backed device; the default substrate for tests and benches.
+class MemBlockDevice final : public BlockDevice {
+ public:
+  MemBlockDevice(std::uint32_t block_size, std::uint64_t block_count);
+
+  [[nodiscard]] std::uint32_t block_size() const override {
+    return block_size_;
+  }
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return block_count_;
+  }
+
+  Status ReadBlock(BlockIndex index, Bytes& out) override;
+  Status WriteBlock(BlockIndex index, ByteSpan data) override;
+  Status Flush() override;
+
+  [[nodiscard]] const DeviceStats& stats() const override { return stats_; }
+
+  /// Direct view of the raw medium — the leak experiments' scan surface.
+  [[nodiscard]] ByteSpan RawMedium() const {
+    return ByteSpan(storage_.data(), storage_.size());
+  }
+
+ private:
+  std::uint32_t block_size_;
+  std::uint64_t block_count_;
+  Bytes storage_;
+  DeviceStats stats_;
+};
+
+/// Scan an entire device for a plaintext byte pattern. Returns the number
+/// of blocks in which `needle` occurs (block-straddling occurrences are
+/// found via an overlap window).
+std::uint64_t CountBlocksContaining(BlockDevice& device, ByteSpan needle);
+
+}  // namespace rgpdos::blockdev

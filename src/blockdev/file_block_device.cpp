@@ -1,0 +1,75 @@
+#include "blockdev/file_block_device.hpp"
+
+namespace rgpdos::blockdev {
+
+Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
+    const std::string& path, std::uint32_t block_size,
+    std::uint64_t block_count) {
+  // Open existing or create; "r+b" first to preserve contents.
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "w+b");
+  }
+  if (file == nullptr) {
+    return IoError("cannot open backing file: " + path);
+  }
+  // Ensure the file spans the full device by writing the last byte.
+  const std::uint64_t total = std::uint64_t(block_size) * block_count;
+  if (std::fseek(file, static_cast<long>(total - 1), SEEK_SET) != 0) {
+    std::fclose(file);
+    return IoError("cannot size backing file: " + path);
+  }
+  if (std::fgetc(file) == EOF) {
+    std::fseek(file, static_cast<long>(total - 1), SEEK_SET);
+    std::fputc(0, file);
+  }
+  return std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(file, block_size, block_count));
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileBlockDevice::ReadBlock(BlockIndex index, Bytes& out) {
+  if (index >= block_count_) return OutOfRange("read past end of device");
+  out.resize(block_size_);
+  if (std::fseek(file_, static_cast<long>(index * block_size_), SEEK_SET) !=
+      0) {
+    return IoError("seek failed");
+  }
+  const std::size_t got = std::fread(out.data(), 1, block_size_, file_);
+  if (got != block_size_) {
+    // Sparse tail of a fresh file reads short: zero-fill is the device's
+    // defined fresh-medium content.
+    std::fill(out.begin() + static_cast<std::ptrdiff_t>(got), out.end(), 0);
+  }
+  ++stats_.reads;
+  stats_.bytes_read += block_size_;
+  return Status::Ok();
+}
+
+Status FileBlockDevice::WriteBlock(BlockIndex index, ByteSpan data) {
+  if (index >= block_count_) return OutOfRange("write past end of device");
+  if (data.size() != block_size_) {
+    return InvalidArgument("block write must be exactly block_size bytes");
+  }
+  if (std::fseek(file_, static_cast<long>(index * block_size_), SEEK_SET) !=
+      0) {
+    return IoError("seek failed");
+  }
+  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    return IoError("short write to backing file");
+  }
+  ++stats_.writes;
+  stats_.bytes_written += block_size_;
+  return Status::Ok();
+}
+
+Status FileBlockDevice::Flush() {
+  if (std::fflush(file_) != 0) return IoError("fflush failed");
+  ++stats_.flushes;
+  return Status::Ok();
+}
+
+}  // namespace rgpdos::blockdev

@@ -1,0 +1,47 @@
+// File-backed block device: persists the simulated medium in a host file
+// so examples can survive process restarts (mount/unmount flows).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "blockdev/block_device.hpp"
+
+namespace rgpdos::blockdev {
+
+class FileBlockDevice final : public BlockDevice {
+ public:
+  /// Create or open `path`, sized to block_size * block_count bytes.
+  static Result<std::unique_ptr<FileBlockDevice>> Open(
+      const std::string& path, std::uint32_t block_size,
+      std::uint64_t block_count);
+
+  ~FileBlockDevice() override;
+  FileBlockDevice(const FileBlockDevice&) = delete;
+  FileBlockDevice& operator=(const FileBlockDevice&) = delete;
+
+  [[nodiscard]] std::uint32_t block_size() const override {
+    return block_size_;
+  }
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return block_count_;
+  }
+
+  Status ReadBlock(BlockIndex index, Bytes& out) override;
+  Status WriteBlock(BlockIndex index, ByteSpan data) override;
+  Status Flush() override;
+
+  [[nodiscard]] const DeviceStats& stats() const override { return stats_; }
+
+ private:
+  FileBlockDevice(std::FILE* file, std::uint32_t block_size,
+                  std::uint64_t block_count)
+      : file_(file), block_size_(block_size), block_count_(block_count) {}
+
+  std::FILE* file_;
+  std::uint32_t block_size_;
+  std::uint64_t block_count_;
+  DeviceStats stats_;
+};
+
+}  // namespace rgpdos::blockdev

@@ -1,0 +1,2 @@
+// LatencyModelDevice is header-only; this TU anchors the library target.
+#include "blockdev/latency_model.hpp"

@@ -1,0 +1,68 @@
+// Device cost model: wraps any BlockDevice and accounts simulated time per
+// operation, so benches can report device-normalized costs that do not
+// depend on the host machine's RAM bandwidth. Profiles approximate an NVMe
+// SSD and a SATA HDD.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "blockdev/block_device.hpp"
+
+namespace rgpdos::blockdev {
+
+/// Per-operation simulated costs in nanoseconds.
+struct LatencyProfile {
+  std::uint64_t read_ns = 0;
+  std::uint64_t write_ns = 0;
+  std::uint64_t flush_ns = 0;
+
+  static LatencyProfile Nvme() { return {10'000, 20'000, 50'000}; }
+  static LatencyProfile Hdd() { return {4'000'000, 4'500'000, 8'000'000}; }
+  static LatencyProfile Zero() { return {}; }
+};
+
+/// Decorator: forwards to an inner device, accumulating simulated time.
+class LatencyModelDevice final : public BlockDevice {
+ public:
+  LatencyModelDevice(std::unique_ptr<BlockDevice> inner,
+                     LatencyProfile profile)
+      : inner_(std::move(inner)), profile_(profile) {}
+
+  [[nodiscard]] std::uint32_t block_size() const override {
+    return inner_->block_size();
+  }
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return inner_->block_count();
+  }
+
+  Status ReadBlock(BlockIndex index, Bytes& out) override {
+    simulated_ns_ += profile_.read_ns;
+    return inner_->ReadBlock(index, out);
+  }
+  Status WriteBlock(BlockIndex index, ByteSpan data) override {
+    simulated_ns_ += profile_.write_ns;
+    return inner_->WriteBlock(index, data);
+  }
+  Status Flush() override {
+    simulated_ns_ += profile_.flush_ns;
+    return inner_->Flush();
+  }
+
+  [[nodiscard]] const DeviceStats& stats() const override {
+    return inner_->stats();
+  }
+
+  /// Total simulated device time since construction / last Reset.
+  [[nodiscard]] std::uint64_t simulated_ns() const { return simulated_ns_; }
+  void ResetSimulatedTime() { simulated_ns_ = 0; }
+
+  [[nodiscard]] BlockDevice& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<BlockDevice> inner_;
+  LatencyProfile profile_;
+  std::uint64_t simulated_ns_ = 0;
+};
+
+}  // namespace rgpdos::blockdev

@@ -1,0 +1,25 @@
+#include "blockdev/traffic_recorder.hpp"
+
+namespace rgpdos::blockdev {
+
+Status TrafficRecorder::WriteBlock(BlockIndex index, ByteSpan data) {
+  history_.push_back(WriteRecord{index, Bytes(data.begin(), data.end())});
+  history_bytes_ += data.size();
+  return inner_->WriteBlock(index, data);
+}
+
+std::uint64_t TrafficRecorder::CountHistoricalWritesContaining(
+    ByteSpan needle) const {
+  std::uint64_t hits = 0;
+  for (const WriteRecord& record : history_) {
+    if (ContainsSubsequence(record.data, needle)) ++hits;
+  }
+  return hits;
+}
+
+void TrafficRecorder::ClearHistory() {
+  history_.clear();
+  history_bytes_ = 0;
+}
+
+}  // namespace rgpdos::blockdev

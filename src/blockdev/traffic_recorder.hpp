@@ -1,0 +1,63 @@
+// TrafficRecorder: a snooping decorator that keeps a copy of every byte
+// ever written to the device — including bytes later overwritten.
+//
+// Rationale (paper §1): "the filesystem's logging mechanism can compromise
+// the GDPR's right to be forgotten as data deleted by the DB engine can
+// still be present in the filesystem's logs". The recorder generalises
+// that observation to the whole device history: if plaintext PD *ever*
+// crossed the bus, an adversary with the medium (or its journal) may
+// recover it. Benches use it to compare the baseline's history leakage
+// against rgpdOS's.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+
+namespace rgpdos::blockdev {
+
+class TrafficRecorder final : public BlockDevice {
+ public:
+  explicit TrafficRecorder(std::unique_ptr<BlockDevice> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::uint32_t block_size() const override {
+    return inner_->block_size();
+  }
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return inner_->block_count();
+  }
+
+  Status ReadBlock(BlockIndex index, Bytes& out) override {
+    return inner_->ReadBlock(index, out);
+  }
+  Status WriteBlock(BlockIndex index, ByteSpan data) override;
+  Status Flush() override { return inner_->Flush(); }
+
+  [[nodiscard]] const DeviceStats& stats() const override {
+    return inner_->stats();
+  }
+
+  /// Number of historical writes that contained `needle` in plaintext.
+  [[nodiscard]] std::uint64_t CountHistoricalWritesContaining(
+      ByteSpan needle) const;
+
+  /// Total bytes of write history retained.
+  [[nodiscard]] std::uint64_t history_bytes() const { return history_bytes_; }
+
+  void ClearHistory();
+
+  [[nodiscard]] BlockDevice& inner() { return *inner_; }
+
+ private:
+  struct WriteRecord {
+    BlockIndex index;
+    Bytes data;
+  };
+  std::unique_ptr<BlockDevice> inner_;
+  std::vector<WriteRecord> history_;
+  std::uint64_t history_bytes_ = 0;
+};
+
+}  // namespace rgpdos::blockdev

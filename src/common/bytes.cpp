@@ -1,0 +1,105 @@
+#include "common/bytes.hpp"
+
+#include <algorithm>
+
+namespace rgpdos {
+
+Bytes ToBytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string ToString(ByteSpan bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+bool ContainsSubsequence(ByteSpan haystack, ByteSpan needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
+                        needle.end());
+  return it != haystack.end();
+}
+
+void ByteWriter::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::PutBytes(ByteSpan bytes) {
+  PutVarint(bytes.size());
+  PutRaw(bytes);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::PutRaw(ByteSpan bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+Result<std::uint8_t> ByteReader::GetU8() { return GetLe<std::uint8_t>(); }
+Result<std::uint16_t> ByteReader::GetU16() { return GetLe<std::uint16_t>(); }
+Result<std::uint32_t> ByteReader::GetU32() { return GetLe<std::uint32_t>(); }
+Result<std::uint64_t> ByteReader::GetU64() { return GetLe<std::uint64_t>(); }
+
+Result<std::int64_t> ByteReader::GetI64() {
+  RGPD_ASSIGN_OR_RETURN(std::uint64_t v, GetLe<std::uint64_t>());
+  return static_cast<std::int64_t>(v);
+}
+
+Result<double> ByteReader::GetF64() {
+  RGPD_ASSIGN_OR_RETURN(std::uint64_t bits, GetLe<std::uint64_t>());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<bool> ByteReader::GetBool() {
+  RGPD_ASSIGN_OR_RETURN(std::uint8_t v, GetU8());
+  if (v > 1) return Corruption("byte reader: bool out of range");
+  return v == 1;
+}
+
+Result<std::uint64_t> ByteReader::GetVarint() {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (exhausted()) return Corruption("byte reader: truncated varint");
+    std::uint8_t b = data_[pos_++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  return Corruption("byte reader: varint exceeds 64 bits");
+}
+
+Result<Bytes> ByteReader::GetBytes() {
+  RGPD_ASSIGN_OR_RETURN(std::uint64_t len, GetVarint());
+  return GetRaw(static_cast<std::size_t>(len));
+}
+
+Result<std::string> ByteReader::GetString() {
+  RGPD_ASSIGN_OR_RETURN(Bytes raw, GetBytes());
+  return std::string(raw.begin(), raw.end());
+}
+
+Result<Bytes> ByteReader::GetRaw(std::size_t n) {
+  if (remaining() < n) {
+    return Corruption("byte reader: truncated raw field");
+  }
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Status ByteReader::Skip(std::size_t n) {
+  if (remaining() < n) return Corruption("byte reader: skip past end");
+  pos_ += n;
+  return Status::Ok();
+}
+
+}  // namespace rgpdos

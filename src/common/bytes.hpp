@@ -1,0 +1,118 @@
+// Byte-buffer vocabulary plus a small, explicit binary codec.
+//
+// Every on-"disk" structure in rgpdOS (inodes, journal records, rows,
+// membranes) is encoded through ByteWriter/ByteReader so that layouts are
+// deterministic, endian-stable and — crucially for the leak experiments —
+// directly scannable from raw device blocks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace rgpdos {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Build a Bytes buffer from a string literal / string_view payload.
+Bytes ToBytes(std::string_view text);
+/// Interpret a byte buffer as text (no validation; test/debug helper).
+std::string ToString(ByteSpan bytes);
+
+/// True if `needle` occurs anywhere inside `haystack`. Used by the
+/// Fig-2 experiments to scavenge raw blocks for leaked plaintext PD.
+bool ContainsSubsequence(ByteSpan haystack, ByteSpan needle);
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  /// Start with a reserve hint to avoid rehash-style growth in hot paths.
+  explicit ByteWriter(std::size_t reserve_hint) { buf_.reserve(reserve_hint); }
+
+  void PutU8(std::uint8_t v) { buf_.push_back(v); }
+  void PutU16(std::uint16_t v) { PutLe(v); }
+  void PutU32(std::uint32_t v) { PutLe(v); }
+  void PutU64(std::uint64_t v) { PutLe(v); }
+  void PutI64(std::int64_t v) { PutLe(static_cast<std::uint64_t>(v)); }
+  void PutF64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutLe(bits);
+  }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// LEB128-style unsigned varint; compact for small lengths and ids.
+  void PutVarint(std::uint64_t v);
+
+  /// Length-prefixed (varint) byte string.
+  void PutBytes(ByteSpan bytes);
+  void PutString(std::string_view s);
+
+  /// Raw append without a length prefix (caller controls framing).
+  void PutRaw(ByteSpan bytes);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& buffer() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutLe(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed span.
+/// All getters return Status-bearing results: corrupt and truncated input
+/// is an expected condition when reading raw device blocks.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+  Result<std::uint8_t> GetU8();
+  Result<std::uint16_t> GetU16();
+  Result<std::uint32_t> GetU32();
+  Result<std::uint64_t> GetU64();
+  Result<std::int64_t> GetI64();
+  Result<double> GetF64();
+  Result<bool> GetBool();
+  Result<std::uint64_t> GetVarint();
+  Result<Bytes> GetBytes();
+  Result<std::string> GetString();
+  /// Read exactly `n` raw bytes (no length prefix).
+  Result<Bytes> GetRaw(std::size_t n);
+  /// Skip `n` bytes.
+  Status Skip(std::size_t n);
+
+ private:
+  template <typename T>
+  Result<T> GetLe() {
+    if (remaining() < sizeof(T)) {
+      return Corruption("byte reader: truncated fixed-width field");
+    }
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rgpdos

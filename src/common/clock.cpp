@@ -1,0 +1,27 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace rgpdos {
+
+TimeMicros SystemClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+std::int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void Stopwatch::Restart() { start_ns_ = MonotonicNanos(); }
+
+std::int64_t Stopwatch::ElapsedNanos() const {
+  return MonotonicNanos() - start_ns_;
+}
+
+}  // namespace rgpdos

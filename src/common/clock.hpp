@@ -1,0 +1,57 @@
+// Time sources. All TTL / expiry logic in rgpdOS takes a Clock so tests and
+// benches can advance time deterministically (a membrane's `age: 1Y` must be
+// testable without waiting a year).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace rgpdos {
+
+/// Microseconds since the Unix epoch.
+using TimeMicros = std::int64_t;
+
+inline constexpr TimeMicros kMicrosPerSecond = 1'000'000;
+inline constexpr TimeMicros kMicrosPerDay = 86'400 * kMicrosPerSecond;
+/// Calendar-agnostic year used by membrane TTLs (365 days).
+inline constexpr TimeMicros kMicrosPerYear = 365 * kMicrosPerDay;
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimeMicros Now() const = 0;
+};
+
+/// Wall-clock time (benchmarks, examples).
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] TimeMicros Now() const override;
+};
+
+/// Manually advanced time (tests: TTL expiry, audit-log ordering).
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimeMicros start = 0) : now_(start) {}
+  [[nodiscard]] TimeMicros Now() const override { return now_; }
+  void Advance(TimeMicros delta) { now_ += delta; }
+  void Set(TimeMicros t) { now_ = t; }
+
+ private:
+  TimeMicros now_;
+};
+
+/// Monotonic nanosecond stopwatch for latency measurements inside the DED
+/// pipeline (Fig-4 per-stage breakdown).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+  void Restart();
+  /// Nanoseconds elapsed since construction / Restart().
+  [[nodiscard]] std::int64_t ElapsedNanos() const;
+
+ private:
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace rgpdos

@@ -1,0 +1,36 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace rgpdos {
+
+namespace {
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+constexpr auto kTable = MakeTable();
+}  // namespace
+
+void Crc32Accumulator::Update(ByteSpan data) {
+  std::uint32_t c = state_;
+  for (std::uint8_t b : data) {
+    c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t Crc32(ByteSpan data) {
+  Crc32Accumulator acc;
+  acc.Update(data);
+  return acc.value();
+}
+
+}  // namespace rgpdos

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 polynomial). Used by the inode filesystem's journal to
+// detect torn/partial commits, and by block-level integrity checks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rgpdos {
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t Crc32(ByteSpan data);
+
+/// Incremental CRC-32 (feed chunks, then value()).
+class Crc32Accumulator {
+ public:
+  void Update(ByteSpan data);
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace rgpdos

@@ -1,0 +1,19 @@
+// Hex encoding/decoding, used for key fingerprints, ids in exports, and
+// crypto test vectors.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace rgpdos {
+
+/// Lowercase hex string of a byte buffer.
+std::string HexEncode(ByteSpan data);
+
+/// Parse hex (case-insensitive). Fails on odd length or non-hex chars.
+Result<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace rgpdos

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Components log enforcement decisions here in
+// addition to the structured audit trail; default level is kWarn so tests
+// and benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rgpdos {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level (defaults to kWarn).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emit one line to stderr if `level` passes the threshold.
+void LogLine(LogLevel level, const std::string& component,
+             const std::string& message);
+
+/// Stream-style helper: RGPD_LOG(kInfo, "dbfs") << "mounted " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { LogLine(level_, component_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+#define RGPD_LOG(level, component) \
+  ::rgpdos::LogStream(::rgpdos::LogLevel::level, (component))
+
+}  // namespace rgpdos

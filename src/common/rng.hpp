@@ -1,0 +1,53 @@
+// Deterministic PRNG (xoshiro256**) for workload generation and
+// property-test sweeps. Not cryptographic: key material comes from
+// crypto::SecureRandom, which mixes this generator with entropy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rgpdos {
+
+/// xoshiro256** — fast, high-quality, reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t NextU64();
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Bernoulli trial.
+  bool NextBool(double p_true = 0.5);
+  /// Lowercase ASCII identifier of the given length.
+  std::string NextName(std::size_t length);
+
+ private:
+  static std::uint64_t SplitMix64(std::uint64_t& state);
+  std::uint64_t s_[4];
+};
+
+/// Zipfian sampler over [0, n): models skewed subject popularity the way
+/// GDPRbench does. Uses the classic rejection-inversion-free CDF walk with
+/// precomputed normalisation (adequate for n up to a few million).
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double theta, std::uint64_t seed = 42);
+  std::uint64_t Next();
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace rgpdos

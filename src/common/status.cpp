@@ -1,0 +1,65 @@
+#include "common/status.hpp"
+
+namespace rgpdos {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kConsentDenied: return "CONSENT_DENIED";
+    case StatusCode::kExpired: return "EXPIRED";
+    case StatusCode::kAccessBlocked: return "ACCESS_BLOCKED";
+    case StatusCode::kSyscallDenied: return "SYSCALL_DENIED";
+    case StatusCode::kPurposeMismatch: return "PURPOSE_MISMATCH";
+    case StatusCode::kErased: return "ERASED";
+    case StatusCode::kRestricted: return "RESTRICTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out{StatusCodeName(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+#define RGPD_STATUS_FACTORY(Name, Code)                 \
+  Status Name(std::string msg) {                        \
+    return Status(StatusCode::Code, std::move(msg));    \
+  }
+
+RGPD_STATUS_FACTORY(NotFound, kNotFound)
+RGPD_STATUS_FACTORY(AlreadyExists, kAlreadyExists)
+RGPD_STATUS_FACTORY(InvalidArgument, kInvalidArgument)
+RGPD_STATUS_FACTORY(PermissionDenied, kPermissionDenied)
+RGPD_STATUS_FACTORY(FailedPrecondition, kFailedPrecondition)
+RGPD_STATUS_FACTORY(OutOfRange, kOutOfRange)
+RGPD_STATUS_FACTORY(ResourceExhausted, kResourceExhausted)
+RGPD_STATUS_FACTORY(IoError, kIoError)
+RGPD_STATUS_FACTORY(Corruption, kCorruption)
+RGPD_STATUS_FACTORY(Unimplemented, kUnimplemented)
+RGPD_STATUS_FACTORY(Internal, kInternal)
+RGPD_STATUS_FACTORY(ConsentDenied, kConsentDenied)
+RGPD_STATUS_FACTORY(Expired, kExpired)
+RGPD_STATUS_FACTORY(AccessBlocked, kAccessBlocked)
+RGPD_STATUS_FACTORY(SyscallDenied, kSyscallDenied)
+RGPD_STATUS_FACTORY(PurposeMismatch, kPurposeMismatch)
+RGPD_STATUS_FACTORY(Erased, kErased)
+RGPD_STATUS_FACTORY(Restricted, kRestricted)
+
+#undef RGPD_STATUS_FACTORY
+
+}  // namespace rgpdos

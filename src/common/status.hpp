@@ -1,0 +1,165 @@
+// Status / Result: the error-handling vocabulary of the whole code base.
+//
+// rgpdOS components signal expected failures (consent denied, TTL expired,
+// access blocked by the sentinel, ...) through `Status` rather than
+// exceptions: a denied PD access is a *normal* outcome that callers must
+// handle, and several codes (kConsentDenied, kExpired, kAccessBlocked)
+// carry GDPR meaning that benchmarks and audit trails count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rgpdos {
+
+/// Canonical error space. Codes specific to GDPR enforcement are grouped
+/// at the end; generic infrastructure codes mirror POSIX-ish semantics.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kIoError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+  // GDPR-specific outcomes -------------------------------------------------
+  kConsentDenied,   ///< the membrane's consent forbids this purpose
+  kExpired,         ///< the PD's time-to-live has elapsed
+  kAccessBlocked,   ///< the sentinel (LSM analogue) denied a domain crossing
+  kSyscallDenied,   ///< the syscall filter (seccomp analogue) killed the call
+  kPurposeMismatch, ///< ps_register: purpose does not match implementation
+  kErased,          ///< the PD was crypto-erased (right to be forgotten)
+  kRestricted,      ///< processing restricted (GDPR Art. 18)
+};
+
+/// Human-readable name of a status code ("CONSENT_DENIED", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying a code and an optional message.
+class Status {
+ public:
+  /// Default-constructed status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "CONSENT_DENIED: purpose 'ads' not consented by subject 42"
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Factory helpers, one per non-OK code.
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status InvalidArgument(std::string msg);
+Status PermissionDenied(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status OutOfRange(std::string msg);
+Status ResourceExhausted(std::string msg);
+Status IoError(std::string msg);
+Status Corruption(std::string msg);
+Status Unimplemented(std::string msg);
+Status Internal(std::string msg);
+Status ConsentDenied(std::string msg);
+Status Expired(std::string msg);
+Status AccessBlocked(std::string msg);
+Status SyscallDenied(std::string msg);
+Status PurposeMismatch(std::string msg);
+Status Erased(std::string msg);
+Status Restricted(std::string msg);
+
+/// Thrown only by Result::value() on misuse (programming error, not a
+/// runtime condition): callers are expected to test ok() first.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const Status& status)
+      : std::logic_error("Result accessed while holding error: " +
+                         status.ToString()) {}
+};
+
+/// Result<T> = Status | T. A minimal `expected`-style type: the standard
+/// library shipped with this toolchain predates std::expected.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // absl::StatusOr — lets `return value;` and `return ErrStatus;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Internal("Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw BadResultAccess(status_);
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw BadResultAccess(status_);
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw BadResultAccess(status_);
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagate-on-error helper:  RGPD_RETURN_IF_ERROR(expr);
+#define RGPD_RETURN_IF_ERROR(expr)                        \
+  do {                                                    \
+    ::rgpdos::Status rgpd_status_ = (expr);               \
+    if (!rgpd_status_.ok()) return rgpd_status_;          \
+  } while (false)
+
+/// Bind-or-propagate helper:  RGPD_ASSIGN_OR_RETURN(auto v, SomeResult());
+#define RGPD_ASSIGN_OR_RETURN(decl, expr)                 \
+  RGPD_ASSIGN_OR_RETURN_IMPL_(                            \
+      RGPD_STATUS_CONCAT_(rgpd_result_, __LINE__), decl, expr)
+#define RGPD_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr)      \
+  auto tmp = (expr);                                      \
+  if (!tmp.ok()) return tmp.status();                     \
+  decl = std::move(tmp).value()
+#define RGPD_STATUS_CONCAT_(a, b) RGPD_STATUS_CONCAT_IMPL_(a, b)
+#define RGPD_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace rgpdos

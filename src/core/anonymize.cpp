@@ -1,0 +1,115 @@
+#include "core/anonymize.hpp"
+
+#include <algorithm>
+
+namespace rgpdos::core {
+
+namespace {
+constexpr sentinel::Domain kDed = sentinel::Domain::kDed;
+
+Result<std::string> GeneralizeField(const db::Value& value,
+                                    const FieldRule& rule) {
+  switch (rule.kind) {
+    case FieldRule::Kind::kBucket: {
+      RGPD_ASSIGN_OR_RETURN(std::int64_t v, value.AsInt());
+      if (rule.bucket <= 0) return InvalidArgument("bucket must be > 0");
+      // Floor division towards -inf so negative values bucket sanely.
+      std::int64_t bucket = v / rule.bucket;
+      if (v < 0 && v % rule.bucket != 0) --bucket;
+      const std::int64_t lo = bucket * rule.bucket;
+      return std::to_string(lo) + ".." +
+             std::to_string(lo + rule.bucket - 1);
+    }
+    case FieldRule::Kind::kPrefix: {
+      RGPD_ASSIGN_OR_RETURN(std::string s, value.AsString());
+      if (s.size() > rule.prefix_len) {
+        s.resize(rule.prefix_len);
+        s += "*";
+      }
+      return s;
+    }
+    case FieldRule::Kind::kKeep:
+      return value.ToDisplayString();
+  }
+  return Internal("unreachable");
+}
+}  // namespace
+
+Result<AnonymizationResult> Anonymizer::Release(
+    std::string_view type_name, const AnonymizationSpec& spec,
+    inodefs::FileSystem* npd_fs, std::string_view npd_path) {
+  if (spec.rules.empty()) {
+    return InvalidArgument("anonymization spec releases no fields");
+  }
+  if (spec.k < 2) {
+    return InvalidArgument("k must be at least 2 (k=1 is identification)");
+  }
+  RGPD_ASSIGN_OR_RETURN(const dsl::TypeDecl* type,
+                        dbfs_->GetType(kDed, type_name));
+  const db::Schema schema = type->ToSchema();
+  for (const auto& [field, rule] : spec.rules) {
+    if (!schema.HasField(field)) {
+      return InvalidArgument("no field '" + field + "' in type '" +
+                             std::string(type_name) + "'");
+    }
+  }
+
+  // Output columns follow the schema's field order, not rule-map order.
+  std::vector<std::pair<std::size_t, FieldRule>> columns;
+  for (std::size_t i = 0; i < schema.field_count(); ++i) {
+    const auto rule = spec.rules.find(schema.fields()[i].name);
+    if (rule != spec.rules.end()) columns.emplace_back(i, rule->second);
+  }
+
+  RGPD_ASSIGN_OR_RETURN(std::vector<dbfs::RecordId> ids,
+                        dbfs_->RecordsOfType(kDed, type_name));
+  AnonymizationResult result;
+  const TimeMicros now = clock_->Now();
+
+  // Generalised tuple -> contributing (record, subject) pairs.
+  std::map<std::string,
+           std::vector<std::pair<dbfs::RecordId, dbfs::SubjectId>>>
+      groups;
+  for (dbfs::RecordId id : ids) {
+    RGPD_ASSIGN_OR_RETURN(dbfs::PdRecord record, dbfs_->Get(kDed, id));
+    if (record.erased || record.membrane.ExpiredAt(now)) continue;
+    ++result.source_records;
+    std::string tuple;
+    for (const auto& [index, rule] : columns) {
+      RGPD_ASSIGN_OR_RETURN(std::string cell,
+                            GeneralizeField(record.row[index], rule));
+      if (!tuple.empty()) tuple += ',';
+      tuple += cell;
+    }
+    groups[tuple].emplace_back(id, record.subject_id);
+  }
+
+  // k-anonymity release: suppressed groups never reach the output, and
+  // their records are NOT logged as released.
+  std::string csv;
+  for (const auto& [index, rule] : columns) {
+    if (!csv.empty()) csv += ',';
+    csv += schema.fields()[index].name;
+  }
+  csv += ",count\n";
+  for (const auto& [tuple, members] : groups) {
+    if (members.size() < spec.k) {
+      ++result.suppressed_groups;
+      result.suppressed_records += members.size();
+      continue;
+    }
+    ++result.released_groups;
+    csv += tuple + "," + std::to_string(members.size()) + "\n";
+    for (const auto& [record, subject] : members) {
+      log_->Append("builtin.anonymize", "anonymized_release", subject,
+                   record, LogOutcome::kProcessed,
+                   "released in a group of " +
+                       std::to_string(members.size()));
+    }
+  }
+
+  RGPD_RETURN_IF_ERROR(npd_fs->WriteFile(npd_path, ToBytes(csv)));
+  return result;
+}
+
+}  // namespace rgpdos::core

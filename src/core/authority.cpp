@@ -1,0 +1,18 @@
+#include "core/authority.hpp"
+
+namespace rgpdos::core {
+
+Result<Authority> Authority::Create(crypto::SecureRandom& rng,
+                                    std::size_t modulus_bits) {
+  RGPD_ASSIGN_OR_RETURN(crypto::RsaKeyPair keypair,
+                        crypto::RsaGenerate(modulus_bits, rng));
+  return Authority(std::move(keypair));
+}
+
+Result<Bytes> Authority::Recover(ByteSpan serialized_envelope) const {
+  RGPD_ASSIGN_OR_RETURN(crypto::Envelope envelope,
+                        crypto::Envelope::Deserialize(serialized_envelope));
+  return crypto::Open(keypair_.private_key, envelope);
+}
+
+}  // namespace rgpdos::core

@@ -1,0 +1,35 @@
+// The supervisory authority (simulated). Paper §4: "rgpdOS assumes a
+// model in which each data operator owns a public encryption key given
+// to them by the authorities who keep the private key." The operator
+// side of the system only ever sees `public_key()`; recovery of erased
+// PD happens here, on the authority's side of the trust boundary.
+#pragma once
+
+#include "common/status.hpp"
+#include "crypto/envelope.hpp"
+#include "crypto/rsa.hpp"
+
+namespace rgpdos::core {
+
+class Authority {
+ public:
+  /// Generate the escrow keypair. 1024-bit default keeps tests fast;
+  /// pass 2048+ for realistic benches.
+  static Result<Authority> Create(crypto::SecureRandom& rng,
+                                  std::size_t modulus_bits = 1024);
+
+  /// The only thing the data operator receives.
+  [[nodiscard]] const crypto::RsaPublicKey& public_key() const {
+    return keypair_.public_key;
+  }
+
+  /// Decrypt an erased record's envelope (legal-investigation path).
+  Result<Bytes> Recover(ByteSpan serialized_envelope) const;
+
+ private:
+  explicit Authority(crypto::RsaKeyPair keypair)
+      : keypair_(std::move(keypair)) {}
+  crypto::RsaKeyPair keypair_;
+};
+
+}  // namespace rgpdos::core

@@ -1,0 +1,69 @@
+// rgpdOS built-in functions — the F_pd^w category. "F_pd^w functions are
+// natively provided by rgpdOS … Among built-in functions, we can list
+// update, delete, copy and acquisition" (paper §2). Acquisition lives in
+// ProcessingStore (collection); this module provides update, copy, the
+// two deletion flavours, and membrane-consistency propagation for copies
+// and consent changes.
+#pragma once
+
+#include "core/pdref.hpp"
+#include "core/processing_log.hpp"
+#include "crypto/rsa.hpp"
+#include "dbfs/dbfs.hpp"
+
+namespace rgpdos::core {
+
+class Builtins {
+ public:
+  Builtins(dbfs::Dbfs* dbfs, ProcessingLog* log, const Clock* clock,
+           crypto::SecureRandom* rng)
+      : dbfs_(dbfs), log_(log), clock_(clock), rng_(rng) {}
+
+  /// update: replace a record's row (schema-checked, scrubbed rewrite).
+  Status Update(const PdRef& ref, const db::Row& row);
+
+  /// copy: duplicate a record. The copy shares the source's copy group so
+  /// "rgpdOS must ensure membrane consistency across all copies of the
+  /// same PD" — consent changes propagate group-wide.
+  Result<PdRef> Copy(const PdRef& ref);
+
+  /// delete (crypto-hold flavour, paper §4): seal the record to the
+  /// authority's public key, destroy plaintext + journal history. The
+  /// operator can no longer read it; the authority can.
+  Status EraseWithHold(const PdRef& ref,
+                       const crypto::RsaPublicKey& authority_key);
+
+  /// delete (unconditional flavour): physical scrubbed destruction.
+  Status HardDelete(const PdRef& ref);
+
+  /// Consent management with copy-group propagation: updating consent on
+  /// any copy updates every membrane in the group.
+  Status GrantConsent(const PdRef& ref, const std::string& purpose,
+                      membrane::Consent consent);
+  Status RevokeConsent(const PdRef& ref, const std::string& purpose);
+
+  /// Art. 18 restriction of processing: keep the PD, freeze every
+  /// purpose. Propagates across the copy group, like consent changes.
+  Status Restrict(const PdRef& ref, const std::string& reason);
+  Status LiftRestriction(const PdRef& ref);
+
+  /// TTL scavenger: enforce the membranes' `age:` clauses proactively.
+  /// Scans every live record; records past their time-to-live are
+  /// crypto-erased under the authority key (storage-limitation principle
+  /// — expired PD must not merely be unreadable, it must be gone).
+  /// Returns the number of records scavenged.
+  Result<std::size_t> ScavengeExpired(
+      const crypto::RsaPublicKey& authority_key);
+
+ private:
+  Status PropagateConsent(const PdRef& ref,
+                          const std::function<void(membrane::Membrane&)>&
+                              mutate);
+
+  dbfs::Dbfs* dbfs_;            // borrowed
+  ProcessingLog* log_;          // borrowed
+  const Clock* clock_;          // borrowed
+  crypto::SecureRandom* rng_;   // borrowed
+};
+
+}  // namespace rgpdos::core

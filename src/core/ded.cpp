@@ -1,0 +1,262 @@
+#include "core/ded.hpp"
+
+#include <algorithm>
+
+namespace rgpdos::core {
+
+namespace {
+constexpr sentinel::Domain kDed = sentinel::Domain::kDed;
+}
+
+Result<db::Value> ProcessingInput::Field(std::string_view field) const {
+  if (!Has(field)) {
+    return ConsentDenied("field '" + std::string(field) +
+                         "' is outside the consented scope");
+  }
+  RGPD_ASSIGN_OR_RETURN(std::size_t index,
+                        type_->ToSchema().FieldIndex(field));
+  if (field_trace_ != nullptr) {
+    field_trace_->insert(std::string(field));
+  }
+  return (*row_)[index];
+}
+
+Result<std::set<std::string>> DataExecutionDomain::EffectiveScope(
+    const dsl::TypeDecl& type, const membrane::Consent& consent,
+    const dsl::PurposeDecl& purpose) const {
+  std::set<std::string> consented;
+  switch (consent.kind) {
+    case membrane::ConsentKind::kNone:
+      return std::set<std::string>{};
+    case membrane::ConsentKind::kAll: {
+      RGPD_ASSIGN_OR_RETURN(consented, type.ViewFields("all"));
+      break;
+    }
+    case membrane::ConsentKind::kView: {
+      RGPD_ASSIGN_OR_RETURN(consented, type.ViewFields(consent.view));
+      break;
+    }
+  }
+  // Data minimisation: intersect with the view the purpose declared.
+  RGPD_ASSIGN_OR_RETURN(std::set<std::string> requested,
+                        type.ViewFields(purpose.input_view));
+  std::set<std::string> effective;
+  std::set_intersection(consented.begin(), consented.end(),
+                        requested.begin(), requested.end(),
+                        std::inserter(effective, effective.begin()));
+  return effective;
+}
+
+Result<membrane::Membrane> DataExecutionDomain::BuildDerivedMembrane(
+    const dsl::PurposeDecl& purpose,
+    const membrane::Membrane& source) const {
+  RGPD_ASSIGN_OR_RETURN(const dsl::TypeDecl* output_type,
+                        dbfs_->GetType(kDed, purpose.output_type));
+  membrane::Membrane m =
+      output_type->DefaultMembrane(source.subject_id, clock_->Now());
+  m.origin = membrane::Origin::kDerived;
+  // Derived PD is never laxer than its source: keep the stricter
+  // sensitivity and the earlier expiry.
+  m.sensitivity = std::max(m.sensitivity, source.sensitivity);
+  if (source.ttl != 0) {
+    const TimeMicros source_expiry = source.created_at + source.ttl;
+    const TimeMicros own_expiry =
+        m.ttl == 0 ? source_expiry : m.created_at + m.ttl;
+    m.ttl = std::min(source_expiry, own_expiry) - m.created_at;
+    if (m.ttl <= 0) m.ttl = 1;  // already at the edge: expire immediately
+  }
+  // Fresh copy group: derived PD is a new piece of data.
+  m.copy_group = 0;
+  return m;
+}
+
+Result<InvokeResult> DataExecutionDomain::Execute(
+    const dsl::PurposeDecl& purpose, const std::string& processing_name,
+    const ProcessingFn& fn, const std::optional<PdRef>& target,
+    std::set<std::string>* field_trace,
+    const std::vector<FieldPredicate>& predicates) {
+  InvokeResult result;
+  Stopwatch watch;
+  // One durable audit append per pipeline run (group commit), not per
+  // record.
+  ProcessingLog::BatchScope log_batch(*log_);
+
+  // ---- ded_type2req: input type -> DBFS record requests --------------------
+  watch.Restart();
+  RGPD_ASSIGN_OR_RETURN(const dsl::TypeDecl* input_type,
+                        dbfs_->GetType(kDed, purpose.input_type));
+  // Predicates may only touch the purpose's declared view: an application
+  // must not turn the query layer into a side channel on hidden fields.
+  const db::Schema input_schema = input_type->ToSchema();
+  if (!predicates.empty()) {
+    RGPD_ASSIGN_OR_RETURN(std::set<std::string> declared,
+                          input_type->ViewFields(purpose.input_view));
+    for (const FieldPredicate& predicate : predicates) {
+      if (declared.count(predicate.field) == 0) {
+        return PermissionDenied(
+            "predicate on field '" + predicate.field +
+            "' outside the purpose's declared view");
+      }
+    }
+  }
+  std::vector<dbfs::RecordId> candidates;
+  if (target.has_value()) {
+    if (target->type_name != purpose.input_type) {
+      return InvalidArgument("PdRef names type '" + target->type_name +
+                             "' but purpose '" + purpose.name +
+                             "' consumes '" + purpose.input_type + "'");
+    }
+    candidates.push_back(target->record_id);
+  } else {
+    RGPD_ASSIGN_OR_RETURN(candidates,
+                          dbfs_->RecordsOfType(kDed, purpose.input_type));
+  }
+  result.records_considered = candidates.size();
+  result.timings.type2req_ns = watch.ElapsedNanos();
+
+  // ---- ded_load_membrane: membranes only, no PD bytes ----------------------
+  watch.Restart();
+  std::vector<std::pair<dbfs::RecordId, membrane::Membrane>> membranes;
+  membranes.reserve(candidates.size());
+  for (dbfs::RecordId id : candidates) {
+    RGPD_ASSIGN_OR_RETURN(membrane::Membrane m, dbfs_->GetMembrane(kDed, id));
+    membranes.emplace_back(id, std::move(m));
+  }
+  result.timings.load_membrane_ns = watch.ElapsedNanos();
+
+  // ---- ded_filter: keep records whose membrane approves the purpose --------
+  watch.Restart();
+  struct Approved {
+    dbfs::RecordId id;
+    membrane::Membrane membrane;
+    std::set<std::string> scope;
+  };
+  std::vector<Approved> approved;
+  const TimeMicros now = clock_->Now();
+  for (auto& [id, m] : membranes) {
+    auto consent = m.Evaluate(purpose.name, now);
+    if (!consent.ok()) {
+      ++result.records_filtered_out;
+      log_->Append(processing_name, purpose.name, m.subject_id, id,
+                   LogOutcome::kFiltered, consent.status().ToString());
+      continue;
+    }
+    RGPD_ASSIGN_OR_RETURN(std::set<std::string> scope,
+                          EffectiveScope(*input_type, *consent, purpose));
+    approved.push_back(Approved{id, std::move(m), std::move(scope)});
+  }
+  result.timings.filter_ns = watch.ElapsedNanos();
+
+  // ---- ded_load_data: fetch rows for survivors only ------------------------
+  watch.Restart();
+  std::vector<db::Row> rows;
+  rows.reserve(approved.size());
+  for (const Approved& a : approved) {
+    RGPD_ASSIGN_OR_RETURN(dbfs::PdRecord record, dbfs_->Get(kDed, a.id));
+    if (record.erased) {
+      // Raced with an erasure: treat as filtered.
+      rows.emplace_back();
+      continue;
+    }
+    rows.push_back(std::move(record.row));
+  }
+  result.timings.load_data_ns = watch.ElapsedNanos();
+
+  // ---- ded_execute: run the implementation under the syscall filter --------
+  watch.Restart();
+  struct Derived {
+    db::Row row;
+    membrane::Membrane source_membrane;
+  };
+  std::vector<Derived> derived;
+  for (std::size_t i = 0; i < approved.size(); ++i) {
+    const Approved& a = approved[i];
+    if (rows[i].empty()) {
+      ++result.records_filtered_out;
+      continue;
+    }
+    // Application-supplied predicates: consented rows that fail never
+    // reach the implementation (and the subject's log says so).
+    bool predicate_pass = true;
+    for (const FieldPredicate& predicate : predicates) {
+      auto index = input_schema.FieldIndex(predicate.field);
+      if (!index.ok() || !predicate.Matches(rows[i][*index])) {
+        predicate_pass = false;
+        break;
+      }
+    }
+    if (!predicate_pass) {
+      ++result.records_filtered_out;
+      log_->Append(processing_name, purpose.name, a.membrane.subject_id,
+                   a.id, LogOutcome::kFiltered, "row predicate");
+      continue;
+    }
+    sentinel::SyscallContext syscalls(
+        sentinel::SyscallFilter::PdProcessingProfile(), now);
+    ProcessingInput input(input_type, &rows[i], a.scope,
+                          a.membrane.subject_id, a.id, &syscalls,
+                          field_trace);
+    auto output = fn(input);
+    result.syscalls_denied += syscalls.denied_calls();
+    if (syscalls.killed()) {
+      log_->Append(processing_name, purpose.name, a.membrane.subject_id,
+                   a.id, LogOutcome::kAborted,
+                   "killed by syscall filter");
+      return SyscallDenied("processing '" + processing_name +
+                           "' was killed by the syscall filter");
+    }
+    if (!output.ok()) {
+      log_->Append(processing_name, purpose.name, a.membrane.subject_id,
+                   a.id, LogOutcome::kAborted, output.status().ToString());
+      return output.status();
+    }
+    ++result.records_processed;
+    log_->Append(processing_name, purpose.name, a.membrane.subject_id, a.id,
+                 LogOutcome::kProcessed);
+    if (!output->npd.empty()) {
+      result.npd_outputs.push_back(std::move(output->npd));
+    }
+    if (output->derived_row.has_value()) {
+      if (purpose.output_type.empty()) {
+        return PurposeMismatch("processing '" + processing_name +
+                               "' produced PD but purpose '" + purpose.name +
+                               "' declares no output type");
+      }
+      derived.push_back(
+          Derived{std::move(*output->derived_row), a.membrane});
+    }
+  }
+  result.timings.execute_ns = watch.ElapsedNanos();
+
+  // ---- ded_build_membrane ---------------------------------------------------
+  watch.Restart();
+  std::vector<membrane::Membrane> derived_membranes;
+  derived_membranes.reserve(derived.size());
+  for (const Derived& d : derived) {
+    RGPD_ASSIGN_OR_RETURN(
+        membrane::Membrane m,
+        BuildDerivedMembrane(purpose, d.source_membrane));
+    derived_membranes.push_back(std::move(m));
+  }
+  result.timings.build_membrane_ns = watch.ElapsedNanos();
+
+  // ---- ded_store -------------------------------------------------------------
+  watch.Restart();
+  for (std::size_t i = 0; i < derived.size(); ++i) {
+    RGPD_ASSIGN_OR_RETURN(
+        dbfs::RecordId id,
+        dbfs_->Put(kDed, derived_membranes[i].subject_id,
+                   purpose.output_type, derived[i].row,
+                   derived_membranes[i]));
+    result.derived.push_back(PdRef{id, purpose.output_type});
+  }
+  result.timings.store_ns = watch.ElapsedNanos();
+
+  // ---- ded_return -------------------------------------------------------------
+  watch.Restart();
+  // Nothing to marshal: InvokeResult already holds only refs and NPD.
+  result.timings.return_ns = watch.ElapsedNanos();
+  return result;
+}
+
+}  // namespace rgpdos::core

@@ -1,0 +1,76 @@
+// Data Execution Domain (paper §2) — "any F_pd function is always
+// executed as an instance of the DED, an environment that ensures GDPR
+// compliance on manipulated PD".
+//
+// The eight pipeline steps run in order, each timed for the Fig-4
+// breakdown:
+//   ded_type2req        input parameter type -> DBFS requests
+//   ded_load_membrane   fetch membranes FIRST (no PD bytes yet)
+//   ded_filter          keep only records whose membrane approves the
+//                       purpose now (consent + TTL)
+//   ded_load_data       fetch rows for the survivors only
+//   ded_execute         run the implementation under the syscall filter
+//   ded_build_membrane  wrap derived PD in a membrane
+//   ded_store           persist derived PD in DBFS
+//   ded_return          hand back PdRefs + NPD, never PD by value
+//
+// A DED is only constructible by the ProcessingStore (rule 2): the
+// constructor requires a PassKey that only PS can mint.
+#pragma once
+
+#include "core/processing.hpp"
+#include "core/processing_log.hpp"
+#include "dbfs/dbfs.hpp"
+#include "dsl/ast.hpp"
+#include "sentinel/policy.hpp"
+
+namespace rgpdos::core {
+
+class ProcessingStore;
+
+class DataExecutionDomain {
+ public:
+  /// Capability token: only ProcessingStore can create one, which makes
+  /// "PS is the only entry point to invoke a processing" a compile-time
+  /// property on top of the sentinel's runtime check.
+  class PassKey {
+   private:
+    PassKey() = default;
+    friend class ProcessingStore;
+  };
+
+  DataExecutionDomain(PassKey, dbfs::Dbfs* dbfs, sentinel::Sentinel* sentinel,
+                      ProcessingLog* log, const Clock* clock)
+      : dbfs_(dbfs), sentinel_(sentinel), log_(log), clock_(clock) {}
+
+  /// Run the full pipeline for `processing` (its purpose declaration and
+  /// implementation) over either one record or all records of the
+  /// purpose's input type. When `field_trace` is non-null, every field
+  /// the implementation actually reads is recorded there — the
+  /// observation channel of PS's runtime purpose verifier (the paper's
+  /// §3(4) purpose/implementation matching problem, attacked dynamically).
+  Result<InvokeResult> Execute(
+      const dsl::PurposeDecl& purpose, const std::string& processing_name,
+      const ProcessingFn& fn, const std::optional<PdRef>& target,
+      std::set<std::string>* field_trace = nullptr,
+      const std::vector<FieldPredicate>& predicates = {});
+
+ private:
+  /// Effective field scope = subject consent ∩ purpose declaration
+  /// (data minimisation: the function sees the smaller of what the
+  /// subject allows and what the purpose asked for).
+  Result<std::set<std::string>> EffectiveScope(
+      const dsl::TypeDecl& type, const membrane::Consent& consent,
+      const dsl::PurposeDecl& purpose) const;
+
+  Result<membrane::Membrane> BuildDerivedMembrane(
+      const dsl::PurposeDecl& purpose, const membrane::Membrane& source)
+      const;
+
+  dbfs::Dbfs* dbfs_;             // borrowed
+  sentinel::Sentinel* sentinel_; // borrowed
+  ProcessingLog* log_;           // borrowed
+  const Clock* clock_;           // borrowed
+};
+
+}  // namespace rgpdos::core

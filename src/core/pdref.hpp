@@ -1,0 +1,28 @@
+// PdRef — the opaque handle applications hold instead of personal data.
+//
+// "When a F_pd function wants to return some PD to the calling
+// application, rgpdOS instead returns a reference or ID. Subsequently,
+// the main application never manipulates real PD within its address
+// space" (paper §2). A PdRef carries no PD bytes; it is only meaningful
+// when passed back into ps_invoke.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dbfs/dbfs.hpp"
+
+namespace rgpdos::core {
+
+struct PdRef {
+  dbfs::RecordId record_id = 0;
+  std::string type_name;
+
+  [[nodiscard]] bool valid() const { return record_id != 0; }
+
+  friend bool operator==(const PdRef& a, const PdRef& b) {
+    return a.record_id == b.record_id && a.type_name == b.type_name;
+  }
+};
+
+}  // namespace rgpdos::core

@@ -1,0 +1,163 @@
+// The processing vocabulary: what a data processing (purpose +
+// implementation, paper §2) looks like to rgpdOS.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "core/pdref.hpp"
+#include "db/schema.hpp"
+#include "dsl/ast.hpp"
+#include "sentinel/syscall_filter.hpp"
+
+namespace rgpdos::core {
+
+/// Read surface handed to an operator-written F_pd^r function for ONE
+/// record. Field access is mediated: only fields inside the effective
+/// scope (subject consent ∩ purpose declaration) are readable — the
+/// mechanism behind Listing 2's `if (user.age)` availability check.
+class ProcessingInput {
+ public:
+  ProcessingInput(const dsl::TypeDecl* type, const db::Row* row,
+                  std::set<std::string> visible_fields,
+                  dbfs::SubjectId subject, dbfs::RecordId record,
+                  sentinel::SyscallContext* syscalls,
+                  std::set<std::string>* field_trace = nullptr)
+      : type_(type),
+        row_(row),
+        visible_(std::move(visible_fields)),
+        subject_(subject),
+        record_(record),
+        syscalls_(syscalls),
+        field_trace_(field_trace) {}
+
+  /// Is the field visible under the current consent scope?
+  [[nodiscard]] bool Has(std::string_view field) const {
+    return visible_.count(std::string(field)) != 0;
+  }
+  /// Value of a visible field; kConsentDenied if outside the scope.
+  [[nodiscard]] Result<db::Value> Field(std::string_view field) const;
+
+  [[nodiscard]] const dsl::TypeDecl& type() const { return *type_; }
+  [[nodiscard]] dbfs::SubjectId subject() const { return subject_; }
+  [[nodiscard]] dbfs::RecordId record() const { return record_; }
+  [[nodiscard]] const std::set<std::string>& visible_fields() const {
+    return visible_;
+  }
+  /// The filtered syscall surface (seccomp analogue).
+  [[nodiscard]] sentinel::SyscallContext& syscalls() { return *syscalls_; }
+
+ private:
+  const dsl::TypeDecl* type_;
+  const db::Row* row_;
+  std::set<std::string> visible_;
+  dbfs::SubjectId subject_;
+  dbfs::RecordId record_;
+  sentinel::SyscallContext* syscalls_;
+  /// When set, every successful Field() read is recorded here — the
+  /// observation channel of the runtime purpose verifier.
+  std::set<std::string>* field_trace_;
+};
+
+/// What one execution of a processing over one record produces.
+struct ProcessingOutput {
+  /// Derived PD: a row of the purpose's declared output type. rgpdOS
+  /// wraps it in a membrane (ded_build_membrane) and stores it
+  /// (ded_store); the caller only ever sees the resulting PdRef.
+  std::optional<db::Row> derived_row;
+  /// Non-personal result, returned to the application verbatim.
+  Bytes npd;
+};
+
+/// An operator-written F_pd^r implementation ("implemented in any
+/// programming language" — here, any C++ callable).
+using ProcessingFn =
+    std::function<Result<ProcessingOutput>(ProcessingInput&)>;
+
+/// What the implementation *claims* about itself at registration time —
+/// the artefact ps_register matches against the purpose declaration.
+/// (Checking an implementation against its purpose automatically is an
+/// open problem the paper defers to future work, §3(4); the manifest is
+/// the declared-intent stand-in that makes the check mechanisable.)
+struct ImplManifest {
+  /// Purpose the implementation claims to serve; empty => rejected
+  /// outright ("if the function has no specified purpose, it is
+  /// rejected").
+  std::string claimed_purpose;
+  /// Fields the implementation reads.
+  std::set<std::string> fields_read;
+  /// Type of the PD it derives, empty if none.
+  std::string output_type;
+};
+
+/// Per-stage wall-clock nanoseconds of one DED pipeline run (Fig 4).
+struct StageTimings {
+  std::int64_t type2req_ns = 0;
+  std::int64_t load_membrane_ns = 0;
+  std::int64_t filter_ns = 0;
+  std::int64_t load_data_ns = 0;
+  std::int64_t execute_ns = 0;
+  std::int64_t build_membrane_ns = 0;
+  std::int64_t store_ns = 0;
+  std::int64_t return_ns = 0;
+
+  [[nodiscard]] std::int64_t total_ns() const {
+    return type2req_ns + load_membrane_ns + filter_ns + load_data_ns +
+           execute_ns + build_membrane_ns + store_ns + return_ns;
+  }
+};
+
+/// ded_return: references to derived PD plus NPD — never PD by value.
+struct InvokeResult {
+  std::vector<PdRef> derived;
+  std::vector<Bytes> npd_outputs;
+  std::uint64_t records_considered = 0;
+  std::uint64_t records_filtered_out = 0;  ///< consent denied / expired
+  std::uint64_t records_processed = 0;
+  std::uint64_t syscalls_denied = 0;
+  StageTimings timings;
+};
+
+/// A row predicate evaluated INSIDE the DED, after ded_load_data and
+/// before ded_execute: rows that fail never reach the implementation.
+/// Predicates may only reference fields of the purpose's declared view —
+/// an application cannot use them to probe fields it was never granted.
+struct FieldPredicate {
+  enum class Op : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+  std::string field;
+  Op op = Op::kEq;
+  db::Value value;
+
+  [[nodiscard]] bool Matches(const db::Value& candidate) const {
+    const int cmp = candidate.Compare(value);
+    switch (op) {
+      case Op::kEq: return cmp == 0;
+      case Op::kNe: return cmp != 0;
+      case Op::kLt: return cmp < 0;
+      case Op::kLe: return cmp <= 0;
+      case Op::kGt: return cmp > 0;
+      case Op::kGe: return cmp >= 0;
+    }
+    return false;
+  }
+};
+
+/// ps_invoke arguments (paper §2): a processing reference, optionally a
+/// specific PD reference, a collection method, and whether collection
+/// should run first to initialise DBFS.
+struct InvokeOptions {
+  std::optional<PdRef> target;       ///< absent = every record of the type
+  std::string collection_method;     ///< e.g. "web_form"
+  bool collect_first = false;
+  /// Conjunction of row predicates (see FieldPredicate).
+  std::vector<FieldPredicate> predicates;
+};
+
+using ProcessingId = std::uint64_t;
+
+}  // namespace rgpdos::core

@@ -1,0 +1,166 @@
+#include "core/processing_log.hpp"
+
+#include "common/log.hpp"
+#include "crypto/hmac.hpp"
+
+namespace rgpdos::core {
+
+std::string_view LogOutcomeName(LogOutcome outcome) {
+  switch (outcome) {
+    case LogOutcome::kProcessed: return "processed";
+    case LogOutcome::kFiltered: return "filtered";
+    case LogOutcome::kErased: return "erased";
+    case LogOutcome::kCollected: return "collected";
+    case LogOutcome::kUpdated: return "updated";
+    case LogOutcome::kCopied: return "copied";
+    case LogOutcome::kExported: return "exported";
+    case LogOutcome::kAborted: return "aborted";
+    case LogOutcome::kRestricted: return "restricted";
+  }
+  return "?";
+}
+
+crypto::Sha256Digest ProcessingLog::HashEntry(
+    const LogEntry& entry, const crypto::Sha256Digest& prev) {
+  ByteWriter w;
+  w.PutU64(entry.seq);
+  w.PutI64(entry.at);
+  w.PutString(entry.processing);
+  w.PutString(entry.purpose);
+  w.PutU64(entry.subject_id);
+  w.PutU64(entry.record_id);
+  w.PutU8(static_cast<std::uint8_t>(entry.outcome));
+  w.PutString(entry.detail);
+  w.PutRaw(ByteSpan(prev.data(), prev.size()));
+  return crypto::Sha256Hash(w.buffer());
+}
+
+Bytes ProcessingLog::EncodeEntry(const LogEntry& entry) {
+  ByteWriter w;
+  w.PutU64(entry.seq);
+  w.PutI64(entry.at);
+  w.PutString(entry.processing);
+  w.PutString(entry.purpose);
+  w.PutU64(entry.subject_id);
+  w.PutU64(entry.record_id);
+  w.PutU8(static_cast<std::uint8_t>(entry.outcome));
+  w.PutString(entry.detail);
+  w.PutRaw(ByteSpan(entry.chain.data(), entry.chain.size()));
+  return w.Take();
+}
+
+Result<LogEntry> ProcessingLog::DecodeEntry(ByteReader& reader) {
+  LogEntry entry;
+  RGPD_ASSIGN_OR_RETURN(entry.seq, reader.GetU64());
+  RGPD_ASSIGN_OR_RETURN(entry.at, reader.GetI64());
+  RGPD_ASSIGN_OR_RETURN(entry.processing, reader.GetString());
+  RGPD_ASSIGN_OR_RETURN(entry.purpose, reader.GetString());
+  RGPD_ASSIGN_OR_RETURN(entry.subject_id, reader.GetU64());
+  RGPD_ASSIGN_OR_RETURN(entry.record_id, reader.GetU64());
+  RGPD_ASSIGN_OR_RETURN(std::uint8_t outcome, reader.GetU8());
+  if (outcome > static_cast<std::uint8_t>(LogOutcome::kRestricted)) {
+    return Corruption("processing log: unknown outcome");
+  }
+  entry.outcome = static_cast<LogOutcome>(outcome);
+  RGPD_ASSIGN_OR_RETURN(entry.detail, reader.GetString());
+  RGPD_ASSIGN_OR_RETURN(Bytes chain,
+                        reader.GetRaw(crypto::kSha256DigestSize));
+  std::copy(chain.begin(), chain.end(), entry.chain.begin());
+  return entry;
+}
+
+Status ProcessingLog::LoadFromStore(inodefs::InodeStore* store,
+                                    inodefs::InodeId inode) {
+  RGPD_ASSIGN_OR_RETURN(Bytes raw, store->ReadAll(inode));
+  ByteReader reader(raw);
+  std::vector<LogEntry> loaded;
+  crypto::Sha256Digest prev{};
+  while (!reader.exhausted()) {
+    RGPD_ASSIGN_OR_RETURN(LogEntry entry, DecodeEntry(reader));
+    if (!crypto::DigestEqual(HashEntry(entry, prev), entry.chain)) {
+      return Corruption("processing log: hash chain broken at seq " +
+                        std::to_string(entry.seq));
+    }
+    prev = entry.chain;
+    loaded.push_back(std::move(entry));
+  }
+  entries_ = std::move(loaded);
+  store_ = store;
+  inode_ = inode;
+  return Status::Ok();
+}
+
+void ProcessingLog::Append(std::string processing, std::string purpose,
+                           dbfs::SubjectId subject, dbfs::RecordId record,
+                           LogOutcome outcome, std::string detail) {
+  LogEntry entry;
+  entry.seq = entries_.size();
+  entry.at = clock_->Now();
+  entry.processing = std::move(processing);
+  entry.purpose = std::move(purpose);
+  entry.subject_id = subject;
+  entry.record_id = record;
+  entry.outcome = outcome;
+  entry.detail = std::move(detail);
+  const crypto::Sha256Digest prev =
+      entries_.empty() ? crypto::Sha256Digest{} : entries_.back().chain;
+  entry.chain = HashEntry(entry, prev);
+  if (store_ != nullptr) {
+    const Bytes encoded = EncodeEntry(entry);
+    if (batching_) {
+      pending_.insert(pending_.end(), encoded.begin(), encoded.end());
+    } else {
+      // Durable first, visible second. An IO failure here is
+      // deliberately loud: silently losing audit history would defeat
+      // the log.
+      const Status appended = store_->Append(inode_, encoded);
+      if (!appended.ok()) {
+        RGPD_LOG(kError, "processing_log")
+            << "append failed: " << appended.ToString();
+      }
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<LogEntry> ProcessingLog::ForRecord(dbfs::RecordId record) const {
+  std::vector<LogEntry> out;
+  for (const LogEntry& e : entries_) {
+    if (e.record_id == record) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<LogEntry> ProcessingLog::ForSubject(
+    dbfs::SubjectId subject) const {
+  std::vector<LogEntry> out;
+  for (const LogEntry& e : entries_) {
+    if (e.subject_id == subject) out.push_back(e);
+  }
+  return out;
+}
+
+void ProcessingLog::EndBatch() {
+  batching_ = false;
+  if (store_ == nullptr || pending_.empty()) {
+    pending_.clear();
+    return;
+  }
+  const Status appended = store_->Append(inode_, pending_);
+  if (!appended.ok()) {
+    RGPD_LOG(kError, "processing_log")
+        << "batch append failed: " << appended.ToString();
+  }
+  pending_.clear();
+}
+
+bool ProcessingLog::VerifyChain() const {
+  crypto::Sha256Digest prev{};
+  for (const LogEntry& e : entries_) {
+    if (!crypto::DigestEqual(HashEntry(e, prev), e.chain)) return false;
+    prev = e.chain;
+  }
+  return true;
+}
+
+}  // namespace rgpdos::core

@@ -1,0 +1,111 @@
+// Processing log — the DED "logs every executed processing. This log is
+// organized so that it can give information about executed processings
+// for each piece of PD" (paper §4, right of access).
+//
+// Entries form a SHA-256 hash chain so an auditor can detect tampering
+// or truncation: each entry's digest covers its content and the previous
+// digest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "crypto/sha256.hpp"
+#include "dbfs/dbfs.hpp"
+
+namespace rgpdos::core {
+
+enum class LogOutcome : std::uint8_t {
+  kProcessed = 0,   ///< PD was read/derived under a valid consent
+  kFiltered,        ///< the membrane denied the purpose (or TTL expired)
+  kErased,          ///< right-to-be-forgotten executed
+  kCollected,       ///< PD entered the system (acquisition built-in)
+  kUpdated,
+  kCopied,
+  kExported,        ///< right of access / portability
+  kAborted,         ///< processing killed (syscall filter)
+  kRestricted,      ///< Art. 18 restriction set or lifted
+};
+
+std::string_view LogOutcomeName(LogOutcome outcome);
+
+struct LogEntry {
+  std::uint64_t seq = 0;
+  TimeMicros at = 0;
+  std::string processing;   ///< processing (function) name
+  std::string purpose;      ///< declared purpose
+  dbfs::SubjectId subject_id = 0;
+  dbfs::RecordId record_id = 0;
+  LogOutcome outcome = LogOutcome::kProcessed;
+  std::string detail;
+  crypto::Sha256Digest chain{};  ///< hash over entry content + prev chain
+};
+
+class ProcessingLog {
+ public:
+  explicit ProcessingLog(const Clock* clock) : clock_(clock) {}
+
+  /// Make the log durable: every Append is also written to `inode` on
+  /// `store` (the DBFS store — the log names subjects and purposes, so
+  /// it must NOT live on the generally-readable NPD filesystem).
+  void AttachStore(inodefs::InodeStore* store, inodefs::InodeId inode) {
+    store_ = store;
+    inode_ = inode;
+  }
+
+  /// Reload a persisted log, verifying the hash chain entry by entry;
+  /// fails with kCorruption on any tampering or truncation-in-the-middle.
+  Status LoadFromStore(inodefs::InodeStore* store, inodefs::InodeId inode);
+
+  void Append(std::string processing, std::string purpose,
+              dbfs::SubjectId subject, dbfs::RecordId record,
+              LogOutcome outcome, std::string detail = {});
+
+  /// Group commit: between BeginBatch and EndBatch, appends are staged
+  /// and written to the store in ONE durable append (the DED batches one
+  /// pipeline run's entries; per-record durability would multiply the
+  /// journal traffic by the record count). RAII wrapper below.
+  void BeginBatch() { batching_ = true; }
+  void EndBatch();
+
+  class BatchScope {
+   public:
+    explicit BatchScope(ProcessingLog& log) : log_(log) {
+      log_.BeginBatch();
+    }
+    ~BatchScope() { log_.EndBatch(); }
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+   private:
+    ProcessingLog& log_;
+  };
+
+  [[nodiscard]] const std::vector<LogEntry>& entries() const {
+    return entries_;
+  }
+  /// Every processing that touched one PD record.
+  [[nodiscard]] std::vector<LogEntry> ForRecord(dbfs::RecordId record) const;
+  /// Every processing that touched one subject's PD.
+  [[nodiscard]] std::vector<LogEntry> ForSubject(
+      dbfs::SubjectId subject) const;
+
+  /// Recompute the hash chain; false if any entry was altered.
+  [[nodiscard]] bool VerifyChain() const;
+
+ private:
+  static crypto::Sha256Digest HashEntry(const LogEntry& entry,
+                                        const crypto::Sha256Digest& prev);
+  static Bytes EncodeEntry(const LogEntry& entry);
+  static Result<LogEntry> DecodeEntry(ByteReader& reader);
+
+  const Clock* clock_;  // borrowed
+  std::vector<LogEntry> entries_;
+  inodefs::InodeStore* store_ = nullptr;  // borrowed; null = memory-only
+  inodefs::InodeId inode_ = inodefs::kInvalidInode;
+  bool batching_ = false;
+  Bytes pending_;
+};
+
+}  // namespace rgpdos::core

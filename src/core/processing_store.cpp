@@ -1,0 +1,271 @@
+#include "core/processing_store.hpp"
+
+#include <algorithm>
+
+namespace rgpdos::core {
+
+namespace {
+constexpr sentinel::Domain kPs = sentinel::Domain::kProcessingStore;
+constexpr sentinel::Domain kDedDomain = sentinel::Domain::kDed;
+}  // namespace
+
+Result<std::string> ProcessingStore::CheckPurposeMatch(
+    const dsl::PurposeDecl& purpose, const ImplManifest& manifest) const {
+  // Hard rejections first: no purpose at all.
+  if (manifest.claimed_purpose.empty()) {
+    return Status(PurposeMismatch(
+        "implementation declares no purpose; registration rejected"));
+  }
+  if (manifest.claimed_purpose != purpose.name) {
+    return Status(PurposeMismatch("implementation claims purpose '" +
+                                  manifest.claimed_purpose +
+                                  "' but is registered under '" +
+                                  purpose.name + "'"));
+  }
+  // The declared input type/view must exist in the schema tree.
+  RGPD_ASSIGN_OR_RETURN(const dsl::TypeDecl* input_type,
+                        dbfs_->GetType(kPs, purpose.input_type));
+  if (!purpose.input_view.empty() &&
+      !input_type->HasView(purpose.input_view)) {
+    return Status(PurposeMismatch("purpose '" + purpose.name +
+                                  "' names unknown view '" +
+                                  purpose.input_view + "'"));
+  }
+  if (!purpose.output_type.empty()) {
+    RGPD_RETURN_IF_ERROR(dbfs_->GetType(kPs, purpose.output_type).status());
+  }
+
+  // Soft mismatches produce an alert string (empty string = clean match).
+  RGPD_ASSIGN_OR_RETURN(std::set<std::string> allowed,
+                        input_type->ViewFields(purpose.input_view));
+  for (const std::string& field : manifest.fields_read) {
+    if (allowed.count(field) == 0) {
+      return std::string("implementation reads field '" + field +
+                         "' outside the purpose's declared view '" +
+                         (purpose.input_view.empty() ? "all"
+                                                     : purpose.input_view) +
+                         "'");
+    }
+  }
+  if (manifest.output_type != purpose.output_type) {
+    return std::string("implementation derives type '" +
+                       manifest.output_type + "' but purpose declares '" +
+                       purpose.output_type + "'");
+  }
+  return std::string{};
+}
+
+Result<ProcessingId> ProcessingStore::Register(sentinel::Domain caller,
+                                               dsl::PurposeDecl purpose,
+                                               ProcessingFn fn,
+                                               ImplManifest manifest) {
+  sentinel::AccessRequest request;
+  request.subject = caller;
+  request.object = kPs;
+  request.op = sentinel::Operation::kRegister;
+  request.detail = "purpose=" + purpose.name;
+  RGPD_RETURN_IF_ERROR(sentinel_->Enforce(request));
+
+  if (!fn) {
+    return InvalidArgument("processing has no implementation");
+  }
+  RGPD_ASSIGN_OR_RETURN(std::string mismatch,
+                        CheckPurposeMatch(purpose, manifest));
+
+  const ProcessingId id = next_id_++;
+  StoredProcessing stored;
+  stored.purpose = std::move(purpose);
+  stored.fn = std::move(fn);
+  stored.manifest = std::move(manifest);
+  stored.active = mismatch.empty();
+  processings_.emplace(id, std::move(stored));
+
+  if (!mismatch.empty()) {
+    // "PS raises an alert that requires an explicit sysadmin approval."
+    Alert alert;
+    alert.id = next_alert_id_++;
+    alert.processing = id;
+    alert.reason = std::move(mismatch);
+    alerts_.push_back(std::move(alert));
+  }
+  return id;
+}
+
+std::vector<Alert> ProcessingStore::PendingAlerts() const {
+  std::vector<Alert> out;
+  for (const Alert& a : alerts_) {
+    if (!a.resolved) out.push_back(a);
+  }
+  return out;
+}
+
+Status ProcessingStore::ApproveAlert(sentinel::Domain caller,
+                                     std::uint64_t alert_id) {
+  sentinel::AccessRequest request;
+  request.subject = caller;
+  request.object = kPs;
+  request.op = sentinel::Operation::kApprove;
+  request.detail = "alert=" + std::to_string(alert_id);
+  RGPD_RETURN_IF_ERROR(sentinel_->Enforce(request));
+  for (Alert& a : alerts_) {
+    if (a.id == alert_id && !a.resolved) {
+      a.resolved = true;
+      a.approved = true;
+      processings_.at(a.processing).active = true;
+      return Status::Ok();
+    }
+  }
+  return NotFound("no pending alert " + std::to_string(alert_id));
+}
+
+Status ProcessingStore::RejectAlert(sentinel::Domain caller,
+                                    std::uint64_t alert_id) {
+  sentinel::AccessRequest request;
+  request.subject = caller;
+  request.object = kPs;
+  request.op = sentinel::Operation::kApprove;
+  request.detail = "alert=" + std::to_string(alert_id);
+  RGPD_RETURN_IF_ERROR(sentinel_->Enforce(request));
+  for (Alert& a : alerts_) {
+    if (a.id == alert_id && !a.resolved) {
+      a.resolved = true;
+      a.approved = false;
+      processings_.erase(a.processing);
+      return Status::Ok();
+    }
+  }
+  return NotFound("no pending alert " + std::to_string(alert_id));
+}
+
+void ProcessingStore::RegisterCollectionSource(std::string method,
+                                               CollectionSource source) {
+  collection_sources_[std::move(method)] = std::move(source);
+}
+
+Status ProcessingStore::RunCollection(const dsl::PurposeDecl& purpose,
+                                      const std::string& method) {
+  // Acquisition built-in: every collected row is wrapped in the type's
+  // default membrane before it reaches DBFS — "each entry in DBFS is
+  // always correctly wrapped with its membrane".
+  RGPD_ASSIGN_OR_RETURN(const dsl::TypeDecl* type,
+                        dbfs_->GetType(kDedDomain, purpose.input_type));
+  const membrane::CollectionInterface* interface = nullptr;
+  for (const membrane::CollectionInterface& c : type->collection) {
+    if (c.method == method) {
+      interface = &c;
+      break;
+    }
+  }
+  if (interface == nullptr) {
+    return NotFound("type '" + type->name +
+                    "' declares no collection method '" + method + "'");
+  }
+  const auto source_it = collection_sources_.find(method);
+  if (source_it == collection_sources_.end()) {
+    return NotFound("no collection source registered for '" + method + "'");
+  }
+  RGPD_ASSIGN_OR_RETURN(auto collected, source_it->second(*interface));
+  for (auto& [subject, row] : collected) {
+    membrane::Membrane m = type->DefaultMembrane(subject, clock_->Now());
+    RGPD_ASSIGN_OR_RETURN(
+        dbfs::RecordId id,
+        dbfs_->Put(kDedDomain, subject, type->name, row, std::move(m)));
+    log_->Append("acquisition", purpose.name, subject, id,
+                 LogOutcome::kCollected, "method=" + method);
+  }
+  return Status::Ok();
+}
+
+Result<InvokeResult> ProcessingStore::Invoke(sentinel::Domain caller,
+                                             ProcessingId id,
+                                             const InvokeOptions& options) {
+  sentinel::AccessRequest request;
+  request.subject = caller;
+  request.object = kPs;
+  request.op = sentinel::Operation::kInvoke;
+  request.detail = "processing=" + std::to_string(id);
+  RGPD_RETURN_IF_ERROR(sentinel_->Enforce(request));
+
+  const auto it = processings_.find(id);
+  if (it == processings_.end()) {
+    return NotFound("no processing " + std::to_string(id));
+  }
+  const StoredProcessing& stored = it->second;
+  if (!stored.active) {
+    return FailedPrecondition(
+        "processing " + std::to_string(id) +
+        " is held by a pending purpose-mismatch alert");
+  }
+
+  if (options.collect_first) {
+    if (options.collection_method.empty()) {
+      return InvalidArgument("collect_first set but no collection method");
+    }
+    RGPD_RETURN_IF_ERROR(
+        RunCollection(stored.purpose, options.collection_method));
+  }
+
+  // PS instantiates the DED (rule 2); the sentinel records the crossing.
+  sentinel::AccessRequest ded_request;
+  ded_request.subject = kPs;
+  ded_request.object = sentinel::Domain::kDed;
+  ded_request.op = sentinel::Operation::kInvoke;
+  ded_request.detail = "purpose=" + stored.purpose.name;
+  RGPD_RETURN_IF_ERROR(sentinel_->Enforce(ded_request));
+
+  DataExecutionDomain ded(DataExecutionDomain::PassKey{}, dbfs_, sentinel_,
+                          log_, clock_);
+  const bool tracing = stored.verified_runs < kVerificationRuns;
+  std::set<std::string> field_trace;
+  auto result = ded.Execute(stored.purpose, "processing#" + std::to_string(id),
+                            stored.fn, options.target,
+                            tracing ? &field_trace : nullptr,
+                            options.predicates);
+  if (tracing && result.ok()) {
+    // Runtime purpose verification: the implementation must not read
+    // fields beyond what its manifest declared, even inside the
+    // consented scope. A manifest that under-declares is exactly the
+    // purpose/implementation mismatch the paper's §3(4) worries about.
+    std::string overreach;
+    for (const std::string& field : field_trace) {
+      if (it->second.manifest.fields_read.count(field) == 0) {
+        overreach = field;
+        break;
+      }
+    }
+    if (!overreach.empty()) {
+      it->second.active = false;
+      Alert alert;
+      alert.id = next_alert_id_++;
+      alert.processing = id;
+      alert.runtime = true;
+      alert.reason = "runtime verifier: implementation read field '" +
+                     overreach + "' not declared in its manifest";
+      alerts_.push_back(std::move(alert));
+      return PurposeMismatch(
+          "processing " + std::to_string(id) +
+          " deactivated: it read field '" + overreach +
+          "' beyond its declared manifest (runtime alert raised)");
+    }
+    if (result->records_processed > 0) {
+      ++it->second.verified_runs;
+    }
+  }
+  return result;
+}
+
+Result<const dsl::PurposeDecl*> ProcessingStore::GetPurpose(
+    ProcessingId id) const {
+  const auto it = processings_.find(id);
+  if (it == processings_.end()) {
+    return NotFound("no processing " + std::to_string(id));
+  }
+  return &it->second.purpose;
+}
+
+bool ProcessingStore::IsActive(ProcessingId id) const {
+  const auto it = processings_.find(id);
+  return it != processings_.end() && it->second.active;
+}
+
+}  // namespace rgpdos::core

@@ -1,0 +1,67 @@
+#include "core/receipts.hpp"
+
+namespace rgpdos::core {
+
+namespace {
+Bytes SignedPayload(const ConsentReceipt& receipt) {
+  ByteWriter w;
+  w.PutU64(receipt.subject_id);
+  w.PutU64(receipt.record_id);
+  w.PutString(receipt.purpose);
+  w.PutString(receipt.action);
+  w.PutString(receipt.scope);
+  w.PutI64(receipt.issued_at);
+  w.PutU64(receipt.membrane_version);
+  return w.Take();
+}
+}  // namespace
+
+Bytes ConsentReceipt::Serialize() const {
+  ByteWriter w;
+  w.PutRaw(SignedPayload(*this));
+  w.PutRaw(ByteSpan(signature.data(), signature.size()));
+  return w.Take();
+}
+
+Result<ConsentReceipt> ConsentReceipt::Deserialize(ByteSpan bytes) {
+  ByteReader r(bytes);
+  ConsentReceipt receipt;
+  RGPD_ASSIGN_OR_RETURN(receipt.subject_id, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(receipt.record_id, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(receipt.purpose, r.GetString());
+  RGPD_ASSIGN_OR_RETURN(receipt.action, r.GetString());
+  RGPD_ASSIGN_OR_RETURN(receipt.scope, r.GetString());
+  RGPD_ASSIGN_OR_RETURN(receipt.issued_at, r.GetI64());
+  RGPD_ASSIGN_OR_RETURN(receipt.membrane_version, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(Bytes sig, r.GetRaw(crypto::kSha256DigestSize));
+  std::copy(sig.begin(), sig.end(), receipt.signature.begin());
+  return receipt;
+}
+
+crypto::Sha256Digest ReceiptIssuer::Sign(
+    const ConsentReceipt& receipt) const {
+  return crypto::HmacSha256(key_, SignedPayload(receipt));
+}
+
+ConsentReceipt ReceiptIssuer::Issue(std::uint64_t subject,
+                                    dbfs::RecordId record,
+                                    std::string purpose, std::string action,
+                                    std::string scope,
+                                    std::uint64_t membrane_version) const {
+  ConsentReceipt receipt;
+  receipt.subject_id = subject;
+  receipt.record_id = record;
+  receipt.purpose = std::move(purpose);
+  receipt.action = std::move(action);
+  receipt.scope = std::move(scope);
+  receipt.issued_at = clock_->Now();
+  receipt.membrane_version = membrane_version;
+  receipt.signature = Sign(receipt);
+  return receipt;
+}
+
+bool ReceiptIssuer::Verify(const ConsentReceipt& receipt) const {
+  return crypto::DigestEqual(Sign(receipt), receipt.signature);
+}
+
+}  // namespace rgpdos::core

@@ -1,0 +1,57 @@
+// Consent receipts — Art. 7(1): "the controller shall be able to
+// demonstrate that the data subject has consented".
+//
+// Every consent-state change (grant, revoke, restrict, lift) can be
+// turned into a signed receipt: the subject keeps it, and later either
+// side can prove what was agreed and when. Receipts are HMAC-signed with
+// the operator's receipt key; tampering with any field breaks
+// verification. The membrane version number ties the receipt to a
+// precise point in the membrane's history.
+#pragma once
+
+#include <string>
+
+#include "common/clock.hpp"
+#include "crypto/hmac.hpp"
+#include "dbfs/dbfs.hpp"
+
+namespace rgpdos::core {
+
+struct ConsentReceipt {
+  std::uint64_t subject_id = 0;
+  dbfs::RecordId record_id = 0;
+  std::string purpose;
+  std::string action;  ///< "grant" | "revoke" | "restrict" | "lift"
+  std::string scope;   ///< consent scope after the action ("all", view...)
+  TimeMicros issued_at = 0;
+  std::uint64_t membrane_version = 0;
+  crypto::Sha256Digest signature{};
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<ConsentReceipt> Deserialize(ByteSpan bytes);
+};
+
+class ReceiptIssuer {
+ public:
+  /// `operator_key` is the controller's receipt-signing secret.
+  ReceiptIssuer(Bytes operator_key, const Clock* clock)
+      : key_(std::move(operator_key)), clock_(clock) {}
+
+  [[nodiscard]] ConsentReceipt Issue(std::uint64_t subject,
+                                     dbfs::RecordId record,
+                                     std::string purpose, std::string action,
+                                     std::string scope,
+                                     std::uint64_t membrane_version) const;
+
+  /// True iff the signature matches every field.
+  [[nodiscard]] bool Verify(const ConsentReceipt& receipt) const;
+
+ private:
+  [[nodiscard]] crypto::Sha256Digest Sign(
+      const ConsentReceipt& receipt) const;
+
+  Bytes key_;
+  const Clock* clock_;  // borrowed
+};
+
+}  // namespace rgpdos::core

@@ -1,0 +1,112 @@
+#include "core/rgpdos.hpp"
+
+#include "dsl/parser.hpp"
+
+namespace rgpdos::core {
+
+Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& config) {
+  std::unique_ptr<RgpdOs> os(new RgpdOs());
+
+  if (config.use_sim_clock) {
+    auto sim = std::make_unique<SimClock>();
+    os->sim_clock_ = sim.get();
+    os->clock_ = std::move(sim);
+  } else {
+    os->clock_ = std::make_unique<SystemClock>();
+  }
+  os->rng_ = config.seed != 0 ? crypto::SecureRandom(config.seed)
+                              : crypto::SecureRandom();
+
+  os->sentinel_ = std::make_unique<sentinel::Sentinel>(
+      sentinel::SecurityPolicy::RgpdDefault(), os->clock_.get(),
+      &os->audit_);
+
+  // DBFS on its own device (paper: DBFS is reachable only through rgpdOS
+  // components; the NPD filesystem is a separate, generally accessible
+  // store).
+  os->dbfs_device_ = std::make_unique<blockdev::MemBlockDevice>(
+      config.block_size, config.dbfs_blocks);
+  inodefs::InodeStore::Options dbfs_options;
+  dbfs_options.inode_count = config.inode_count;
+  dbfs_options.journal_blocks = config.journal_blocks;
+  RGPD_ASSIGN_OR_RETURN(
+      os->dbfs_store_,
+      inodefs::InodeStore::Format(os->dbfs_device_.get(), dbfs_options,
+                                  os->clock_.get()));
+  if (config.split_sensitive) {
+    // Dedicated device for high-sensitivity PD (paper §2's storage
+    // separation): its own blocks, inodes and journal.
+    os->sensitive_device_ = std::make_unique<blockdev::MemBlockDevice>(
+        config.block_size, config.sensitive_blocks);
+    RGPD_ASSIGN_OR_RETURN(
+        os->sensitive_store_,
+        inodefs::InodeStore::Format(os->sensitive_device_.get(),
+                                    dbfs_options, os->clock_.get()));
+  }
+  RGPD_ASSIGN_OR_RETURN(
+      os->dbfs_,
+      dbfs::Dbfs::Format(os->dbfs_store_.get(), os->sentinel_.get(),
+                         os->clock_.get(), os->sensitive_store_.get()));
+
+  os->npd_device_ = std::make_unique<blockdev::MemBlockDevice>(
+      config.block_size, config.npd_blocks);
+  inodefs::InodeStore::Options npd_options;
+  npd_options.inode_count = config.inode_count;
+  npd_options.journal_blocks = config.journal_blocks;
+  RGPD_ASSIGN_OR_RETURN(
+      os->npd_store_,
+      inodefs::InodeStore::Format(os->npd_device_.get(), npd_options,
+                                  os->clock_.get()));
+  RGPD_ASSIGN_OR_RETURN(inodefs::FileSystem npd_fs,
+                        inodefs::FileSystem::Create(os->npd_store_.get()));
+  os->npd_fs_ = std::make_unique<inodefs::FileSystem>(std::move(npd_fs));
+
+  os->log_ = std::make_unique<ProcessingLog>(os->clock_.get());
+  os->log_->AttachStore(os->dbfs_store_.get(),
+                        os->dbfs_->processing_log_inode());
+  os->ps_ = std::make_unique<ProcessingStore>(
+      os->dbfs_.get(), os->sentinel_.get(), os->log_.get(),
+      os->clock_.get());
+  os->builtins_ = std::make_unique<Builtins>(os->dbfs_.get(), os->log_.get(),
+                                             os->clock_.get(), &os->rng_);
+  os->rights_ = std::make_unique<Rights>(os->dbfs_.get(), os->log_.get(),
+                                         os->builtins_.get());
+  os->anonymizer_ = std::make_unique<Anonymizer>(
+      os->dbfs_.get(), os->log_.get(), os->clock_.get());
+  os->receipts_ = std::make_unique<ReceiptIssuer>(
+      os->rng_.NextBytes(32), os->clock_.get());
+  RGPD_ASSIGN_OR_RETURN(Authority authority,
+                        Authority::Create(os->rng_,
+                                          config.authority_key_bits));
+  os->authority_ = std::make_unique<Authority>(std::move(authority));
+  return os;
+}
+
+Result<ConsentReceipt> RgpdOs::RevokeConsentWithReceipt(
+    const PdRef& ref, const std::string& purpose) {
+  RGPD_RETURN_IF_ERROR(builtins_->RevokeConsent(ref, purpose));
+  RGPD_ASSIGN_OR_RETURN(membrane::Membrane m,
+                        dbfs_->GetMembrane(sentinel::Domain::kDed,
+                                           ref.record_id));
+  return receipts_->Issue(m.subject_id, ref.record_id, purpose, "revoke",
+                          "none", m.version);
+}
+
+Result<std::size_t> RgpdOs::DeclareTypes(std::string_view dsl_source) {
+  RGPD_ASSIGN_OR_RETURN(dsl::Program program, dsl::Parse(dsl_source));
+  for (const dsl::TypeDecl& decl : program.types) {
+    RGPD_RETURN_IF_ERROR(
+        dbfs_->CreateType(sentinel::Domain::kSysadmin, decl));
+  }
+  return program.types.size();
+}
+
+Result<ProcessingId> RgpdOs::RegisterProcessingSource(
+    std::string_view dsl_source, ProcessingFn fn, ImplManifest manifest) {
+  RGPD_ASSIGN_OR_RETURN(dsl::PurposeDecl purpose,
+                        dsl::ParsePurpose(dsl_source));
+  return ps_->Register(sentinel::Domain::kApplication, std::move(purpose),
+                       std::move(fn), std::move(manifest));
+}
+
+}  // namespace rgpdos::core

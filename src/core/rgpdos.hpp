@@ -1,0 +1,129 @@
+// RgpdOs — the machine facade. Boots the whole stack of Fig. 4:
+//
+//   block devices (simulated)  ->  inode stores (journaled)
+//     ├─ DBFS device  -> DBFS (schema tree + subject tree, PD only)
+//     └─ NPD device   -> file-granularity filesystem (ext4 stand-in)
+//   sentinel (LSM analogue) + audit sink
+//   ProcessingStore (ps_register / ps_invoke)  ->  DED pipeline
+//   built-ins (update/delete/copy/acquisition), rights, processing log
+//   supervisory authority (escrow keypair; operator sees only the
+//   public key)
+//
+// Examples and benches talk to this class; tests mostly target the
+// individual components underneath.
+#pragma once
+
+#include <memory>
+
+#include "blockdev/block_device.hpp"
+#include "core/anonymize.hpp"
+#include "core/authority.hpp"
+#include "core/builtins.hpp"
+#include "core/processing_store.hpp"
+#include "core/receipts.hpp"
+#include "core/rights.hpp"
+#include "inodefs/filesystem.hpp"
+
+namespace rgpdos::core {
+
+struct BootConfig {
+  std::uint32_t block_size = 4096;
+  std::uint64_t dbfs_blocks = 16384;  ///< 64 MiB DBFS device
+  std::uint64_t npd_blocks = 4096;    ///< 16 MiB NPD device
+  std::uint32_t inode_count = 16384;
+  std::uint64_t journal_blocks = 256;
+  std::size_t authority_key_bits = 1024;
+  /// Deterministic seed for key generation and envelopes (tests/benches);
+  /// 0 draws entropy.
+  std::uint64_t seed = 42;
+  /// Use a manually advanced clock (TTL tests) instead of wall time.
+  bool use_sim_clock = false;
+  /// Physically segregate high-sensitivity PD onto a dedicated second
+  /// device/store (paper §2's storage-separation prescription).
+  bool split_sensitive = false;
+  std::uint64_t sensitive_blocks = 4096;
+};
+
+class RgpdOs {
+ public:
+  static Result<std::unique_ptr<RgpdOs>> Boot(const BootConfig& config);
+
+  // ---- components ------------------------------------------------------------
+  [[nodiscard]] dbfs::Dbfs& dbfs() { return *dbfs_; }
+  [[nodiscard]] ProcessingStore& ps() { return *ps_; }
+  [[nodiscard]] ProcessingLog& processing_log() { return *log_; }
+  [[nodiscard]] Builtins& builtins() { return *builtins_; }
+  [[nodiscard]] Rights& rights() { return *rights_; }
+  [[nodiscard]] Anonymizer& anonymizer() { return *anonymizer_; }
+  [[nodiscard]] ReceiptIssuer& receipts() { return *receipts_; }
+  [[nodiscard]] Authority& authority() { return *authority_; }
+  [[nodiscard]] sentinel::Sentinel& sentinel() { return *sentinel_; }
+  [[nodiscard]] sentinel::AuditSink& audit() { return audit_; }
+  [[nodiscard]] inodefs::FileSystem& npd_fs() { return *npd_fs_; }
+  [[nodiscard]] inodefs::InodeStore& dbfs_store() { return *dbfs_store_; }
+  [[nodiscard]] blockdev::MemBlockDevice& dbfs_device() {
+    return *dbfs_device_;
+  }
+  /// Non-null iff booted with split_sensitive.
+  [[nodiscard]] blockdev::MemBlockDevice* sensitive_device() {
+    return sensitive_device_.get();
+  }
+  [[nodiscard]] const Clock& clock() const { return *clock_; }
+  /// Non-null iff booted with use_sim_clock.
+  [[nodiscard]] SimClock* sim_clock() { return sim_clock_; }
+  [[nodiscard]] crypto::SecureRandom& rng() { return rng_; }
+
+  // ---- sysadmin conveniences ---------------------------------------------------
+  /// Parse a Listing-1 source and create every declared type; returns
+  /// the number of types created. Purposes in the source are ignored
+  /// here (register them with RegisterProcessingSource).
+  Result<std::size_t> DeclareTypes(std::string_view dsl_source);
+  /// Parse a purpose declaration and register a processing under it.
+  Result<ProcessingId> RegisterProcessingSource(std::string_view dsl_source,
+                                                ProcessingFn fn,
+                                                ImplManifest manifest);
+
+  // ---- subject-facing conveniences ----------------------------------------------
+  Result<std::string> RightOfAccess(dbfs::SubjectId subject) {
+    return rights_->Access(subject);
+  }
+  Result<std::size_t> RightToBeForgotten(dbfs::SubjectId subject) {
+    return rights_->Forget(subject, authority_->public_key());
+  }
+  Result<std::string> RightToPortability(dbfs::SubjectId subject) {
+    return rights_->Portability(subject);
+  }
+  /// Consent withdrawal with an Art. 7 receipt: revokes group-wide and
+  /// hands back a signed receipt the subject can retain.
+  Result<ConsentReceipt> RevokeConsentWithReceipt(const PdRef& ref,
+                                                  const std::string& purpose);
+
+ private:
+  RgpdOs() : rng_(0) {}
+
+  std::unique_ptr<Clock> clock_;
+  SimClock* sim_clock_ = nullptr;  // aliases clock_ when simulated
+  crypto::SecureRandom rng_;
+
+  sentinel::AuditSink audit_;
+  std::unique_ptr<sentinel::Sentinel> sentinel_;
+
+  std::unique_ptr<blockdev::MemBlockDevice> dbfs_device_;
+  std::unique_ptr<blockdev::MemBlockDevice> sensitive_device_;
+  std::unique_ptr<blockdev::MemBlockDevice> npd_device_;
+  std::unique_ptr<inodefs::InodeStore> dbfs_store_;
+  std::unique_ptr<inodefs::InodeStore> sensitive_store_;
+  std::unique_ptr<inodefs::InodeStore> npd_store_;
+  std::unique_ptr<inodefs::FileSystem> npd_fs_;
+  std::unique_ptr<dbfs::Dbfs> dbfs_;
+
+  std::unique_ptr<ProcessingLog> log_;
+  std::unique_ptr<ProcessingStore> ps_;
+  std::unique_ptr<Builtins> builtins_;
+  std::unique_ptr<Rights> rights_;
+  std::unique_ptr<Anonymizer> anonymizer_;
+  std::unique_ptr<ReceiptIssuer> receipts_;
+  std::unique_ptr<Authority> authority_;
+};
+
+}  // namespace rgpdos::core

@@ -1,0 +1,191 @@
+#include "core/rights.hpp"
+
+#include "common/hex.hpp"
+
+namespace rgpdos::core {
+
+namespace {
+constexpr sentinel::Domain kDed = sentinel::Domain::kDed;
+
+void AppendValueJson(std::string& out, const db::Value& value) {
+  switch (value.type()) {
+    case db::ValueType::kNull: out += "null"; break;
+    case db::ValueType::kInt: out += std::to_string(*value.AsInt()); break;
+    case db::ValueType::kDouble:
+      out += std::to_string(*value.AsDouble());
+      break;
+    case db::ValueType::kBool: out += *value.AsBool() ? "true" : "false"; break;
+    case db::ValueType::kString:
+      out += '"';
+      out += JsonEscape(*value.AsString());
+      out += '"';
+      break;
+    case db::ValueType::kBytes:
+      out += '"';
+      out += HexEncode(*value.AsBytes());
+      out += '"';
+      break;
+  }
+}
+
+void AppendRecordJson(std::string& out, const dbfs::PdRecord& record,
+                      const dsl::TypeDecl& type) {
+  out += "{\"record_id\":" + std::to_string(record.record_id);
+  out += ",\"type\":\"" + JsonEscape(record.type_name) + "\"";
+  out += ",\"erased\":";
+  out += record.erased ? "true" : "false";
+  if (!record.erased) {
+    out += ",\"fields\":{";
+    const auto& fields = type.fields;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '"';
+      out += JsonEscape(fields[i].name);
+      out += "\":";
+      AppendValueJson(out, record.row[i]);
+    }
+    out += '}';
+  }
+  out += ",\"membrane\":{";
+  out += "\"origin\":\"" +
+         std::string(membrane::OriginName(record.membrane.origin)) + "\"";
+  out += ",\"sensitivity\":\"" +
+         std::string(membrane::SensitivityName(record.membrane.sensitivity)) +
+         "\"";
+  out += ",\"created_at\":" + std::to_string(record.membrane.created_at);
+  out += ",\"ttl\":" + std::to_string(record.membrane.ttl);
+  out += ",\"consents\":{";
+  bool first = true;
+  for (const auto& [purpose, consent] : record.membrane.consents) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(purpose);
+    out += "\":\"";
+    switch (consent.kind) {
+      case membrane::ConsentKind::kNone: out += "none"; break;
+      case membrane::ConsentKind::kAll: out += "all"; break;
+      case membrane::ConsentKind::kView:
+        out += "view:" + JsonEscape(consent.view);
+        break;
+    }
+    out += '"';
+  }
+  out += "}}}";
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Result<std::string> Rights::Access(dbfs::SubjectId subject) const {
+  RGPD_ASSIGN_OR_RETURN(dbfs::SubjectExport data,
+                        dbfs_->ExportSubject(kDed, subject));
+  std::string out = "{\"subject_id\":" + std::to_string(subject);
+  out += ",\"records\":[";
+  for (std::size_t i = 0; i < data.records.size(); ++i) {
+    if (i > 0) out += ',';
+    RGPD_ASSIGN_OR_RETURN(const dsl::TypeDecl* type,
+                          dbfs_->GetType(kDed, data.records[i].type_name));
+    AppendRecordJson(out, data.records[i], *type);
+  }
+  out += "],\"processings\":[";
+  const std::vector<LogEntry> history = log_->ForSubject(subject);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (i > 0) out += ',';
+    const LogEntry& e = history[i];
+    out += "{\"at\":" + std::to_string(e.at);
+    out += ",\"processing\":\"" + JsonEscape(e.processing) + "\"";
+    out += ",\"purpose\":\"" + JsonEscape(e.purpose) + "\"";
+    out += ",\"record_id\":" + std::to_string(e.record_id);
+    out += ",\"outcome\":\"" + std::string(LogOutcomeName(e.outcome)) + "\"}";
+  }
+  out += "]}";
+  log_->Append("rights.access", "right_of_access", subject, 0,
+               LogOutcome::kExported);
+  return out;
+}
+
+Result<std::string> Rights::Portability(dbfs::SubjectId subject) const {
+  RGPD_ASSIGN_OR_RETURN(dbfs::SubjectExport data,
+                        dbfs_->ExportSubject(kDed, subject));
+  std::string out = "{\"subject_id\":" + std::to_string(subject);
+  out += ",\"records\":[";
+  bool first = true;
+  for (const dbfs::PdRecord& record : data.records) {
+    if (record.erased) continue;  // erased PD is not portable
+    if (!first) out += ',';
+    first = false;
+    RGPD_ASSIGN_OR_RETURN(const dsl::TypeDecl* type,
+                          dbfs_->GetType(kDed, record.type_name));
+    AppendRecordJson(out, record, *type);
+  }
+  out += "]}";
+  log_->Append("rights.portability", "right_to_portability", subject, 0,
+               LogOutcome::kExported);
+  return out;
+}
+
+Result<std::size_t> Rights::Forget(
+    dbfs::SubjectId subject, const crypto::RsaPublicKey& authority_key) {
+  RGPD_ASSIGN_OR_RETURN(std::vector<dbfs::RecordId> records,
+                        dbfs_->RecordsOfSubject(kDed, subject));
+  std::size_t erased = 0;
+  for (dbfs::RecordId id : records) {
+    RGPD_ASSIGN_OR_RETURN(dbfs::PdRecord record, dbfs_->Get(kDed, id));
+    if (record.erased) continue;
+    RGPD_RETURN_IF_ERROR(builtins_->EraseWithHold(
+        PdRef{id, record.type_name}, authority_key));
+    ++erased;
+  }
+  return erased;
+}
+
+Status Rights::Rectify(const PdRef& ref, const db::Row& row) {
+  return builtins_->Update(ref, row);
+}
+
+Result<std::size_t> Rights::ImportSubject(const dbfs::SubjectExport& data) {
+  std::size_t imported = 0;
+  for (const dbfs::PdRecord& record : data.records) {
+    if (record.erased) continue;
+    // The receiving operator's schema tree must know the type; a type
+    // mismatch is the importer's problem to resolve, not ours to guess.
+    RGPD_RETURN_IF_ERROR(dbfs_->GetType(kDed, record.type_name).status());
+    membrane::Membrane m = record.membrane;
+    m.origin = membrane::Origin::kThirdParty;  // it came from elsewhere
+    m.copy_group = 0;                          // fresh group here
+    RGPD_ASSIGN_OR_RETURN(
+        dbfs::RecordId id,
+        dbfs_->Put(kDed, record.subject_id, record.type_name, record.row,
+                   std::move(m)));
+    log_->Append("rights.import", "right_to_portability",
+                 record.subject_id, id, LogOutcome::kCollected,
+                 "imported from another operator");
+    ++imported;
+  }
+  return imported;
+}
+
+}  // namespace rgpdos::core

@@ -1,0 +1,466 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rgpdos::crypto {
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void BigUint::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Result<BigUint> BigUint::FromDecimal(std::string_view text) {
+  if (text.empty()) return InvalidArgument("empty decimal string");
+  BigUint out;
+  const BigUint ten(10);
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return InvalidArgument("non-digit in decimal string");
+    }
+    out = out.Mul(ten).Add(BigUint(static_cast<std::uint64_t>(c - '0')));
+  }
+  return out;
+}
+
+BigUint BigUint::FromBytes(ByteSpan bytes) {
+  BigUint out;
+  // Big-endian input: most significant byte first.
+  std::size_t n = bytes.size();
+  out.limbs_.assign((n + 3) / 4, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t byte_index = n - 1 - i;  // position from LSB
+    out.limbs_[i / 4] |= std::uint32_t(bytes[byte_index]) << (8 * (i % 4));
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::RandomWithBits(std::size_t bits, Rng& rng) {
+  assert(bits >= 1);
+  BigUint out;
+  const std::size_t limbs = (bits + 31) / 32;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) {
+    limb = static_cast<std::uint32_t>(rng.NextU64());
+  }
+  const std::size_t top_bit = (bits - 1) % 32;
+  // Clear bits above `bits`, force the MSB so the length is exact.
+  out.limbs_.back() &= (top_bit == 31) ? 0xFFFFFFFFu
+                                       : ((1u << (top_bit + 1)) - 1);
+  out.limbs_.back() |= 1u << top_bit;
+  return out;
+}
+
+std::size_t BigUint::BitLength() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::Bit(std::size_t index) const {
+  const std::size_t limb = index / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (index % 32)) & 1;
+}
+
+Bytes BigUint::ToBytes() const {
+  if (limbs_.empty()) return Bytes{0};
+  Bytes out;
+  out.reserve(limbs_.size() * 4);
+  // Emit little-endian first, then reverse, then strip leading zeros.
+  for (std::uint32_t limb : limbs_) {
+    out.push_back(static_cast<std::uint8_t>(limb));
+    out.push_back(static_cast<std::uint8_t>(limb >> 8));
+    out.push_back(static_cast<std::uint8_t>(limb >> 16));
+    out.push_back(static_cast<std::uint8_t>(limb >> 24));
+  }
+  while (out.size() > 1 && out.back() == 0) out.pop_back();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Result<Bytes> BigUint::ToBytesPadded(std::size_t size) const {
+  Bytes minimal = ToBytes();
+  if (minimal.size() == 1 && minimal[0] == 0) minimal.clear();
+  if (minimal.size() > size) {
+    return OutOfRange("value does not fit in requested byte width");
+  }
+  Bytes out(size - minimal.size(), 0);
+  out.insert(out.end(), minimal.begin(), minimal.end());
+  return out;
+}
+
+std::string BigUint::ToDecimal() const {
+  if (IsZero()) return "0";
+  BigUint value = *this;
+  const BigUint ten(10);
+  std::string out;
+  while (!value.IsZero()) {
+    auto dm = value.DivMod(ten);
+    // Divisor is the constant 10; DivMod cannot fail.
+    out.push_back(static_cast<char>('0' + dm->remainder.ToU64()));
+    value = std::move(dm->quotient);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t BigUint::ToU64() const {
+  assert(limbs_.size() <= 2);
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= std::uint64_t(limbs_[1]) << 32;
+  return v;
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::Add(const BigUint& other) const {
+  BigUint out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigUint BigUint::SubUnchecked(const BigUint& a, const BigUint& b) {
+  BigUint out;
+  out.limbs_.reserve(a.limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = std::int64_t(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += (std::int64_t(1) << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::Sub(const BigUint& other) const {
+  assert(Compare(other) >= 0);
+  if (Compare(other) < 0) return BigUint();  // clamp (documented)
+  return SubUnchecked(*this, other);
+}
+
+BigUint BigUint::Mul(const BigUint& other) const {
+  if (IsZero() || other.IsZero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      std::uint64_t cur =
+          out.limbs_[i + j] + a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+Result<BigUintDivMod> BigUint::DivMod(const BigUint& divisor) const {
+  if (divisor.IsZero()) return InvalidArgument("division by zero");
+  if (Compare(divisor) < 0) {
+    return BigUintDivMod{BigUint(), *this};
+  }
+
+  // Single-limb divisor: simple schoolbook loop.
+  if (divisor.limbs_.size() == 1) {
+    const std::uint64_t d = divisor.limbs_[0];
+    BigUint quotient;
+    quotient.limbs_.assign(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | limbs_[i];
+      quotient.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    quotient.Trim();
+    return BigUintDivMod{std::move(quotient), BigUint(rem)};
+  }
+
+  // Knuth TAOCP vol. 2 Algorithm D, base 2^32.
+  const std::size_t n = divisor.limbs_.size();
+  const std::size_t m = limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  {
+    std::uint32_t top = divisor.limbs_.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  const BigUint v = divisor.ShiftLeft(shift);
+  BigUint u = ShiftLeft(shift);
+  u.limbs_.resize(limbs_.size() + 1, 0);
+
+  BigUint quotient;
+  quotient.limbs_.assign(m + 1, 0);
+  const std::uint64_t v_top = v.limbs_[n - 1];
+  const std::uint64_t v_next = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat from the top two limbs of u against v_top.
+    const std::uint64_t numerator =
+        (std::uint64_t(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
+    std::uint64_t qhat = numerator / v_top;
+    std::uint64_t rhat = numerator % v_top;
+    while (qhat >= (std::uint64_t(1) << 32) ||
+           qhat * v_next > ((rhat << 32) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v_top;
+      if (rhat >= (std::uint64_t(1) << 32)) break;
+    }
+
+    // D4: multiply and subtract u[j..j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = qhat * v.limbs_[i] + carry;
+      carry = product >> 32;
+      const std::int64_t diff = std::int64_t(u.limbs_[i + j]) -
+                                std::int64_t(product & 0xFFFFFFFFu) - borrow;
+      u.limbs_[i + j] = static_cast<std::uint32_t>(diff);
+      borrow = diff < 0 ? 1 : 0;
+    }
+    const std::int64_t diff =
+        std::int64_t(u.limbs_[j + n]) - std::int64_t(carry) - borrow;
+    u.limbs_[j + n] = static_cast<std::uint32_t>(diff);
+
+    // D5/D6: if we subtracted too much, add one v back.
+    if (diff < 0) {
+      --qhat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            std::uint64_t(u.limbs_[i + j]) + v.limbs_[i] + add_carry;
+        u.limbs_[i + j] = static_cast<std::uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      u.limbs_[j + n] =
+          static_cast<std::uint32_t>(u.limbs_[j + n] + add_carry);
+    }
+    quotient.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  // D8: the remainder is u[0..n) shifted back.
+  u.limbs_.resize(n);
+  u.Trim();
+  quotient.Trim();
+  return BigUintDivMod{std::move(quotient), u.ShiftRight(shift)};
+}
+
+BigUint BigUint::Mod(const BigUint& modulus) const {
+  auto dm = DivMod(modulus);
+  assert(dm.ok());
+  return std::move(dm)->remainder;
+}
+
+BigUint BigUint::ShiftLeft(std::size_t bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = std::uint64_t(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::ShiftRight(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  const std::size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = std::uint64_t(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= std::uint64_t(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::ModPow(const BigUint& exponent,
+                        const BigUint& modulus) const {
+  assert(modulus.BitLength() > 1);
+  BigUint result(1);
+  BigUint base = Mod(modulus);
+  const std::size_t bits = exponent.BitLength();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.Bit(i)) {
+      result = result.Mul(base).Mod(modulus);
+    }
+    base = base.Mul(base).Mod(modulus);
+  }
+  return result;
+}
+
+BigUint BigUint::Gcd(BigUint a, BigUint b) {
+  while (!b.IsZero()) {
+    BigUint r = a.Mod(b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+Result<BigUint> BigUint::ModInverse(const BigUint& modulus) const {
+  // Extended Euclid with sign-tracked coefficients for t.
+  BigUint r0 = modulus;
+  BigUint r1 = Mod(modulus);
+  BigUint t0;            // 0
+  BigUint t1(1);
+  bool t0_neg = false;
+  bool t1_neg = false;
+
+  while (!r1.IsZero()) {
+    RGPD_ASSIGN_OR_RETURN(auto dm, r0.DivMod(r1));
+    // t2 = t0 - q * t1, with explicit sign handling.
+    BigUint qt = dm.quotient.Mul(t1);
+    BigUint t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // Same sign: t0 - q*t1 may flip sign.
+      if (t0.Compare(qt) >= 0) {
+        t2 = t0.Sub(qt);
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt.Sub(t0);
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0.Add(qt);
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(dm.remainder);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+
+  if (!(r0 == BigUint(1))) {
+    return InvalidArgument("modular inverse does not exist (gcd != 1)");
+  }
+  if (t0_neg) {
+    return modulus.Sub(t0.Mod(modulus));
+  }
+  return t0.Mod(modulus);
+}
+
+bool BigUint::IsProbablePrime(int rounds, Rng& rng) const {
+  if (Compare(BigUint(2)) < 0) return false;
+  if (*this == BigUint(2) || *this == BigUint(3)) return true;
+  if (!IsOdd()) return false;
+
+  // Quick trial division by small primes.
+  static constexpr std::uint32_t kSmallPrimes[] = {
+      3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+      71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+      149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199};
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigUint bp(p);
+    if (*this == bp) return true;
+    if (Mod(bp).IsZero()) return false;
+  }
+
+  // Write n-1 = d * 2^r.
+  const BigUint one(1);
+  const BigUint n_minus_1 = Sub(one);
+  BigUint d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++r;
+  }
+
+  const std::size_t bits = BitLength();
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2]: draw bits-1 wide values until in range.
+    BigUint a;
+    do {
+      a = RandomWithBits(bits > 2 ? bits - 1 : 2, rng);
+    } while (a.Compare(BigUint(2)) < 0 || a.Compare(n_minus_1) >= 0);
+
+    BigUint x = a.ModPow(d, *this);
+    if (x == one || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = x.Mul(x).Mod(*this);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUint BigUint::RandomPrime(std::size_t bits, Rng& rng) {
+  assert(bits >= 8);
+  for (;;) {
+    BigUint candidate = RandomWithBits(bits, rng);
+    // Force odd and set the second-highest bit so p*q has 2*bits bits.
+    candidate.limbs_[0] |= 1;
+    const std::size_t second_top = bits - 2;
+    candidate.limbs_[second_top / 32] |= 1u << (second_top % 32);
+    if (candidate.IsProbablePrime(20, rng)) return candidate;
+  }
+}
+
+}  // namespace rgpdos::crypto

@@ -1,0 +1,102 @@
+// Arbitrary-precision unsigned integers, from scratch, sized for RSA
+// moduli up to a few thousand bits. Little-endian 32-bit limbs.
+//
+// Only the operations RSA needs are provided (comparison, ring arithmetic,
+// division, modular exponentiation, gcd/inverse, Miller-Rabin); this is a
+// substrate, not a general bignum library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace rgpdos::crypto {
+
+class BigUint;
+
+/// Quotient and remainder of BigUint::DivMod.
+struct BigUintDivMod;
+
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+  /// From a machine word.
+  explicit BigUint(std::uint64_t value);
+
+  /// Parse decimal digits ("123456..."). Fails on empty/non-digit input.
+  static Result<BigUint> FromDecimal(std::string_view text);
+  /// Big-endian byte import (leading zeros allowed).
+  static BigUint FromBytes(ByteSpan bytes);
+  /// Uniform random integer with exactly `bits` bits (MSB forced to 1),
+  /// drawn from `rng`. bits must be >= 1.
+  static BigUint RandomWithBits(std::size_t bits, Rng& rng);
+
+  [[nodiscard]] bool IsZero() const { return limbs_.empty(); }
+  [[nodiscard]] bool IsOdd() const {
+    return !limbs_.empty() && (limbs_[0] & 1);
+  }
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t BitLength() const;
+  [[nodiscard]] bool Bit(std::size_t index) const;
+
+  /// Exports. ToBytes() is minimal big-endian; ToBytesPadded pads/truncates
+  /// to exactly `size` bytes (fails if the value does not fit).
+  [[nodiscard]] Bytes ToBytes() const;
+  [[nodiscard]] Result<Bytes> ToBytesPadded(std::size_t size) const;
+  [[nodiscard]] std::string ToDecimal() const;
+  /// Low 64 bits (value must fit; checked in debug).
+  [[nodiscard]] std::uint64_t ToU64() const;
+
+  // Comparison.
+  [[nodiscard]] int Compare(const BigUint& other) const;
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.Compare(b) == 0;
+  }
+  friend auto operator<=>(const BigUint& a, const BigUint& b) {
+    return a.Compare(b) <=> 0;
+  }
+
+  // Arithmetic (pure; operands unchanged).
+  [[nodiscard]] BigUint Add(const BigUint& other) const;
+  /// Requires *this >= other (checked; returns 0-clamped otherwise in
+  /// release — callers in this code base always satisfy the precondition).
+  [[nodiscard]] BigUint Sub(const BigUint& other) const;
+  [[nodiscard]] BigUint Mul(const BigUint& other) const;
+  /// Quotient and remainder; divisor must be nonzero.
+  [[nodiscard]] Result<BigUintDivMod> DivMod(const BigUint& divisor) const;
+  [[nodiscard]] BigUint Mod(const BigUint& modulus) const;
+  [[nodiscard]] BigUint ShiftLeft(std::size_t bits) const;
+  [[nodiscard]] BigUint ShiftRight(std::size_t bits) const;
+
+  /// this^exponent mod modulus (square-and-multiply). modulus must be > 1.
+  [[nodiscard]] BigUint ModPow(const BigUint& exponent,
+                               const BigUint& modulus) const;
+  [[nodiscard]] static BigUint Gcd(BigUint a, BigUint b);
+  /// Multiplicative inverse of *this mod `modulus`, if gcd == 1.
+  [[nodiscard]] Result<BigUint> ModInverse(const BigUint& modulus) const;
+
+  /// Miller-Rabin probabilistic primality test with `rounds` random bases.
+  [[nodiscard]] bool IsProbablePrime(int rounds, Rng& rng) const;
+  /// Random prime with exactly `bits` bits (top two bits set so products
+  /// of two such primes have exactly 2*bits bits, as RSA keygen wants).
+  static BigUint RandomPrime(std::size_t bits, Rng& rng);
+
+ private:
+  void Trim();
+  static BigUint SubUnchecked(const BigUint& a, const BigUint& b);
+
+  std::vector<std::uint32_t> limbs_;  // little-endian; no trailing zeros
+};
+
+struct BigUintDivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+}  // namespace rgpdos::crypto

@@ -1,0 +1,76 @@
+#include "crypto/chacha20.hpp"
+
+namespace rgpdos::crypto {
+
+namespace {
+
+inline std::uint32_t Rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                         std::uint32_t& d) {
+  a += b; d ^= a; d = Rotl(d, 16);
+  c += d; b ^= c; b = Rotl(b, 12);
+  a += b; d ^= a; d = Rotl(d, 8);
+  c += d; b ^= c; b = Rotl(b, 7);
+}
+
+inline std::uint32_t LoadLe32(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> ChaCha20Block(const ChaChaKey& key,
+                                           const ChaChaNonce& nonce,
+                                           std::uint32_t counter) {
+  // "expand 32-byte k"
+  std::uint32_t state[16] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574};
+  for (int i = 0; i < 8; ++i) state[4 + i] = LoadLe32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = LoadLe32(nonce.data() + 4 * i);
+
+  std::uint32_t working[16];
+  for (int i = 0; i < 16; ++i) working[i] = state[i];
+
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(working[0], working[4], working[8], working[12]);
+    QuarterRound(working[1], working[5], working[9], working[13]);
+    QuarterRound(working[2], working[6], working[10], working[14]);
+    QuarterRound(working[3], working[7], working[11], working[15]);
+    QuarterRound(working[0], working[5], working[10], working[15]);
+    QuarterRound(working[1], working[6], working[11], working[12]);
+    QuarterRound(working[2], working[7], working[8], working[13]);
+    QuarterRound(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+Bytes ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t counter, ByteSpan input) {
+  Bytes out;
+  out.reserve(input.size());
+  std::size_t offset = 0;
+  while (offset < input.size()) {
+    const auto keystream = ChaCha20Block(key, nonce, counter++);
+    const std::size_t take = std::min<std::size_t>(64, input.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(input[offset + i] ^ keystream[i]);
+    }
+    offset += take;
+  }
+  return out;
+}
+
+}  // namespace rgpdos::crypto

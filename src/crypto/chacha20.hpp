@@ -1,0 +1,30 @@
+// ChaCha20 stream cipher (RFC 8439), pinned by the RFC test vectors.
+// This is the data cipher of the crypto-erasure envelope: each erased PD
+// record is encrypted under a fresh 256-bit key that is then RSA-wrapped
+// to the supervisory authority's public key.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rgpdos::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+using ChaChaKey = std::array<std::uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
+
+/// ChaCha20 keystream XOR: encryption and decryption are the same
+/// operation. `counter` is the initial block counter (RFC 8439 §2.4).
+Bytes ChaCha20Xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t counter, ByteSpan input);
+
+/// Raw ChaCha20 block function, exposed for the RFC §2.3.2 test vector.
+std::array<std::uint8_t, 64> ChaCha20Block(const ChaChaKey& key,
+                                           const ChaChaNonce& nonce,
+                                           std::uint32_t counter);
+
+}  // namespace rgpdos::crypto

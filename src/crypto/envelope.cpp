@@ -1,0 +1,79 @@
+#include "crypto/envelope.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace rgpdos::crypto {
+
+Bytes Envelope::Serialize() const {
+  ByteWriter w;
+  w.PutBytes(wrapped_key);
+  w.PutBytes(ciphertext);
+  w.PutBytes(Bytes(tag.begin(), tag.end()));
+  w.PutBytes(key_fingerprint);
+  return w.Take();
+}
+
+Result<Envelope> Envelope::Deserialize(ByteSpan bytes) {
+  ByteReader r(bytes);
+  Envelope env;
+  RGPD_ASSIGN_OR_RETURN(env.wrapped_key, r.GetBytes());
+  RGPD_ASSIGN_OR_RETURN(env.ciphertext, r.GetBytes());
+  RGPD_ASSIGN_OR_RETURN(Bytes tag, r.GetBytes());
+  if (tag.size() != kSha256DigestSize) {
+    return Corruption("envelope: bad tag length");
+  }
+  std::copy(tag.begin(), tag.end(), env.tag.begin());
+  RGPD_ASSIGN_OR_RETURN(env.key_fingerprint, r.GetBytes());
+  return env;
+}
+
+Result<Envelope> Seal(const RsaPublicKey& authority_key, ByteSpan plaintext,
+                      SecureRandom& rng) {
+  ChaChaKey data_key;
+  rng.Fill(data_key.data(), data_key.size());
+  ChaChaNonce nonce;
+  rng.Fill(nonce.data(), nonce.size());
+
+  Envelope env;
+  env.ciphertext = ChaCha20Xor(data_key, nonce, 1, plaintext);
+  env.tag = HmacSha256(ByteSpan(data_key.data(), data_key.size()),
+                       env.ciphertext);
+
+  Bytes key_material;
+  key_material.reserve(data_key.size() + nonce.size());
+  key_material.insert(key_material.end(), data_key.begin(), data_key.end());
+  key_material.insert(key_material.end(), nonce.begin(), nonce.end());
+  RGPD_ASSIGN_OR_RETURN(env.wrapped_key,
+                        RsaEncrypt(authority_key, key_material, rng));
+  env.key_fingerprint = authority_key.Fingerprint();
+
+  // Destroy the ephemeral key material: after this return the operator's
+  // only copy of the key is inside the RSA blob it cannot open.
+  data_key.fill(0);
+  key_material.assign(key_material.size(), 0);
+  return env;
+}
+
+Result<Bytes> Open(const RsaPrivateKey& authority_key,
+                   const Envelope& envelope) {
+  RGPD_ASSIGN_OR_RETURN(Bytes key_material,
+                        RsaDecrypt(authority_key, envelope.wrapped_key));
+  if (key_material.size() != kChaChaKeySize + kChaChaNonceSize) {
+    return Corruption("envelope: bad wrapped key material length");
+  }
+  ChaChaKey data_key;
+  ChaChaNonce nonce;
+  std::copy(key_material.begin(), key_material.begin() + kChaChaKeySize,
+            data_key.begin());
+  std::copy(key_material.begin() + kChaChaKeySize, key_material.end(),
+            nonce.begin());
+
+  const Sha256Digest expected = HmacSha256(
+      ByteSpan(data_key.data(), data_key.size()), envelope.ciphertext);
+  if (!DigestEqual(expected, envelope.tag)) {
+    return Corruption("envelope: HMAC tag mismatch");
+  }
+  return ChaCha20Xor(data_key, nonce, 1, envelope.ciphertext);
+}
+
+}  // namespace rgpdos::crypto

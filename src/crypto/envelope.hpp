@@ -1,0 +1,39 @@
+// Hybrid encryption envelope for the right to be forgotten (paper §4).
+//
+// Erasing a PD record does not necessarily destroy it: legal investigations
+// may require recovery by the supervisory authority. rgpdOS therefore
+// encrypts the record under a fresh ChaCha20 key, wraps that key to the
+// authority's RSA public key, destroys the plaintext and the data key, and
+// keeps only the envelope. The *operator* provably cannot read the data any
+// more; the *authority* (private-key holder) can.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rgpdos::crypto {
+
+/// A sealed record: everything the operator is allowed to keep.
+struct Envelope {
+  Bytes wrapped_key;      ///< RSA-OAEP(data key || nonce) to the authority
+  Bytes ciphertext;       ///< ChaCha20(plaintext)
+  Sha256Digest tag;       ///< HMAC-SHA256 over ciphertext, keyed by data key
+  Bytes key_fingerprint;  ///< which authority key sealed this
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<Envelope> Deserialize(ByteSpan bytes);
+};
+
+/// Seal `plaintext` to the authority's public key. The ephemeral data key
+/// exists only inside this call.
+Result<Envelope> Seal(const RsaPublicKey& authority_key, ByteSpan plaintext,
+                      SecureRandom& rng);
+
+/// Authority-side recovery. Verifies the HMAC tag before returning.
+Result<Bytes> Open(const RsaPrivateKey& authority_key,
+                   const Envelope& envelope);
+
+}  // namespace rgpdos::crypto

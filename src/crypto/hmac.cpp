@@ -1,0 +1,39 @@
+#include "crypto/hmac.hpp"
+
+namespace rgpdos::crypto {
+
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> key_block{};
+  if (key.size() > kBlock) {
+    const Sha256Digest hashed = Sha256Hash(key);
+    std::copy(hashed.begin(), hashed.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad{};
+  std::array<std::uint8_t, kBlock> opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ByteSpan(ipad.data(), ipad.size()));
+  inner.Update(message);
+  const Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(ByteSpan(opad.data(), opad.size()));
+  outer.Update(ByteSpan(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace rgpdos::crypto

@@ -1,0 +1,17 @@
+// HMAC-SHA256 (RFC 2104). Authenticates crypto-erasure envelopes and the
+// tamper-evident processing log.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rgpdos::crypto {
+
+/// One-shot HMAC-SHA256.
+Sha256Digest HmacSha256(ByteSpan key, ByteSpan message);
+
+/// Constant-time digest comparison (avoids a timing side channel on tag
+/// verification; matters even in a simulation because benches time paths).
+bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace rgpdos::crypto

@@ -1,0 +1,138 @@
+#include "crypto/rsa.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace rgpdos::crypto {
+
+namespace {
+constexpr std::size_t kHashLen = kSha256DigestSize;
+
+/// Label hash for an empty OAEP label: SHA-256("").
+Sha256Digest EmptyLabelHash() { return Sha256Hash(ByteSpan{}); }
+}  // namespace
+
+Bytes RsaPublicKey::Fingerprint() const {
+  ByteWriter w;
+  w.PutBytes(n.ToBytes());
+  w.PutBytes(e.ToBytes());
+  return Sha256Bytes(w.buffer());
+}
+
+Bytes Mgf1Sha256(ByteSpan seed, std::size_t length) {
+  Bytes out;
+  out.reserve(length + kHashLen);
+  std::uint32_t counter = 0;
+  while (out.size() < length) {
+    Sha256 h;
+    h.Update(seed);
+    const std::uint8_t ctr_be[4] = {
+        static_cast<std::uint8_t>(counter >> 24),
+        static_cast<std::uint8_t>(counter >> 16),
+        static_cast<std::uint8_t>(counter >> 8),
+        static_cast<std::uint8_t>(counter)};
+    h.Update(ByteSpan(ctr_be, 4));
+    const Sha256Digest block = h.Finish();
+    out.insert(out.end(), block.begin(), block.end());
+    ++counter;
+  }
+  out.resize(length);
+  return out;
+}
+
+Result<RsaKeyPair> RsaGenerate(std::size_t modulus_bits, SecureRandom& rng) {
+  if (modulus_bits < 256 || modulus_bits % 2 != 0) {
+    return InvalidArgument("modulus_bits must be even and >= 256");
+  }
+  const BigUint e(65537);
+  const BigUint one(1);
+  for (;;) {
+    const BigUint p = BigUint::RandomPrime(modulus_bits / 2, rng.rng());
+    BigUint q = BigUint::RandomPrime(modulus_bits / 2, rng.rng());
+    if (p == q) continue;
+    const BigUint n = p.Mul(q);
+    if (n.BitLength() != modulus_bits) continue;
+    const BigUint phi = p.Sub(one).Mul(q.Sub(one));
+    if (!(BigUint::Gcd(e, phi) == one)) continue;
+    auto d = e.ModInverse(phi);
+    if (!d.ok()) continue;
+    RsaKeyPair pair;
+    pair.public_key = RsaPublicKey{n, e};
+    pair.private_key = RsaPrivateKey{n, std::move(d).value()};
+    return pair;
+  }
+}
+
+Result<Bytes> RsaEncrypt(const RsaPublicKey& key, ByteSpan message,
+                         SecureRandom& rng) {
+  const std::size_t k = key.ModulusBytes();
+  if (k < 2 * kHashLen + 2) return InvalidArgument("modulus too small");
+  const std::size_t max_message = k - 2 * kHashLen - 2;
+  if (message.size() > max_message) {
+    return InvalidArgument("message too long for RSA-OAEP block");
+  }
+
+  // EME-OAEP encoding (RFC 8017 §7.1.1).
+  // DB = lHash || PS (zeros) || 0x01 || M
+  Bytes db;
+  db.reserve(k - kHashLen - 1);
+  const Sha256Digest lhash = EmptyLabelHash();
+  db.insert(db.end(), lhash.begin(), lhash.end());
+  db.insert(db.end(), k - message.size() - 2 * kHashLen - 2, 0);
+  db.push_back(0x01);
+  db.insert(db.end(), message.begin(), message.end());
+
+  const Bytes seed = rng.NextBytes(kHashLen);
+  const Bytes db_mask = Mgf1Sha256(seed, db.size());
+  Bytes masked_db = db;
+  for (std::size_t i = 0; i < masked_db.size(); ++i) masked_db[i] ^= db_mask[i];
+  const Bytes seed_mask = Mgf1Sha256(masked_db, kHashLen);
+  Bytes masked_seed = seed;
+  for (std::size_t i = 0; i < kHashLen; ++i) masked_seed[i] ^= seed_mask[i];
+
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.insert(em.end(), masked_seed.begin(), masked_seed.end());
+  em.insert(em.end(), masked_db.begin(), masked_db.end());
+
+  const BigUint m = BigUint::FromBytes(em);
+  const BigUint c = m.ModPow(key.e, key.n);
+  return c.ToBytesPadded(k);
+}
+
+Result<Bytes> RsaDecrypt(const RsaPrivateKey& key, ByteSpan ciphertext) {
+  const std::size_t k = (key.n.BitLength() + 7) / 8;
+  if (ciphertext.size() != k) {
+    return InvalidArgument("ciphertext length != modulus length");
+  }
+  const BigUint c = BigUint::FromBytes(ciphertext);
+  if (c.Compare(key.n) >= 0) {
+    return InvalidArgument("ciphertext out of range");
+  }
+  const BigUint m = c.ModPow(key.d, key.n);
+  RGPD_ASSIGN_OR_RETURN(Bytes em, m.ToBytesPadded(k));
+
+  if (em[0] != 0x00) return Corruption("OAEP: bad leading byte");
+  ByteSpan masked_seed(em.data() + 1, kHashLen);
+  ByteSpan masked_db(em.data() + 1 + kHashLen, k - kHashLen - 1);
+
+  const Bytes seed_mask = Mgf1Sha256(masked_db, kHashLen);
+  Bytes seed(masked_seed.begin(), masked_seed.end());
+  for (std::size_t i = 0; i < kHashLen; ++i) seed[i] ^= seed_mask[i];
+  const Bytes db_mask = Mgf1Sha256(seed, masked_db.size());
+  Bytes db(masked_db.begin(), masked_db.end());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+
+  const Sha256Digest lhash = EmptyLabelHash();
+  for (std::size_t i = 0; i < kHashLen; ++i) {
+    if (db[i] != lhash[i]) return Corruption("OAEP: label hash mismatch");
+  }
+  std::size_t i = kHashLen;
+  while (i < db.size() && db[i] == 0x00) ++i;
+  if (i == db.size() || db[i] != 0x01) {
+    return Corruption("OAEP: missing 0x01 separator");
+  }
+  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(i + 1), db.end());
+}
+
+}  // namespace rgpdos::crypto

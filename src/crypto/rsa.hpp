@@ -1,0 +1,55 @@
+// RSA with OAEP-style padding (MGF1/SHA-256), from scratch on BigUint.
+//
+// rgpdOS's right-to-be-forgotten (paper §4) assumes "each data operator
+// owns a public encryption key given to them by the authorities who keep
+// the private key". This module provides that keypair: the operator-side
+// kernel holds only RsaPublicKey; RsaPrivateKey lives with the simulated
+// supervisory authority.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/bigint.hpp"
+#include "crypto/secure_random.hpp"
+
+namespace rgpdos::crypto {
+
+struct RsaPublicKey {
+  BigUint n;  ///< modulus
+  BigUint e;  ///< public exponent (65537)
+
+  /// Modulus size in whole bytes (ciphertext length).
+  [[nodiscard]] std::size_t ModulusBytes() const {
+    return (n.BitLength() + 7) / 8;
+  }
+  /// SHA-256 fingerprint of the public key, for audit records.
+  [[nodiscard]] Bytes Fingerprint() const;
+};
+
+struct RsaPrivateKey {
+  BigUint n;
+  BigUint d;  ///< private exponent
+};
+
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  RsaPrivateKey private_key;
+};
+
+/// Generate a keypair with a modulus of `modulus_bits` (two primes of
+/// modulus_bits/2). 1024 is the test/bench default: big enough to exercise
+/// every code path, small enough to generate in milliseconds; production
+/// would use 3072+.
+Result<RsaKeyPair> RsaGenerate(std::size_t modulus_bits, SecureRandom& rng);
+
+/// OAEP-padded encryption. Message capacity = modulus_bytes - 66.
+Result<Bytes> RsaEncrypt(const RsaPublicKey& key, ByteSpan message,
+                         SecureRandom& rng);
+
+/// OAEP-padded decryption; fails with Corruption on padding mismatch.
+Result<Bytes> RsaDecrypt(const RsaPrivateKey& key, ByteSpan ciphertext);
+
+/// MGF1 mask generation (exposed for tests).
+Bytes Mgf1Sha256(ByteSpan seed, std::size_t length);
+
+}  // namespace rgpdos::crypto

@@ -1,0 +1,28 @@
+#include "crypto/secure_random.hpp"
+
+#include <random>
+
+namespace rgpdos::crypto {
+
+namespace {
+std::uint64_t EntropySeed() {
+  std::random_device rd;
+  return (std::uint64_t(rd()) << 32) ^ rd();
+}
+}  // namespace
+
+SecureRandom::SecureRandom() : rng_(EntropySeed()) {}
+
+void SecureRandom::Fill(std::uint8_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(rng_.NextU64());
+  }
+}
+
+Bytes SecureRandom::NextBytes(std::size_t n) {
+  Bytes out(n);
+  Fill(out.data(), n);
+  return out;
+}
+
+}  // namespace rgpdos::crypto

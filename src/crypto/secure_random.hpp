@@ -1,0 +1,29 @@
+// Random bytes for key material. Mixes OS entropy (std::random_device)
+// into a xoshiro stream; deterministic mode is available for tests so
+// envelopes and keypairs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace rgpdos::crypto {
+
+class SecureRandom {
+ public:
+  /// Entropy-seeded generator (production paths).
+  SecureRandom();
+  /// Deterministic generator (tests / reproducible benches).
+  explicit SecureRandom(std::uint64_t seed) : rng_(seed) {}
+
+  void Fill(std::uint8_t* out, std::size_t n);
+  Bytes NextBytes(std::size_t n);
+  /// Access the underlying Rng (used by BigUint prime generation).
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace rgpdos::crypto

@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from scratch and pinned by the NIST
+// test vectors in tests/crypto/sha256_test.cpp. Used for key fingerprints,
+// OAEP-lite padding, the processing-log hash chain, and HMAC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rgpdos::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(ByteSpan data);
+  /// Finalize and return the digest. The object must be Reset() before reuse.
+  Sha256Digest Finish();
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot digest.
+Sha256Digest Sha256Hash(ByteSpan data);
+
+/// Digest as a Bytes buffer (convenient for codecs).
+Bytes Sha256Bytes(ByteSpan data);
+
+}  // namespace rgpdos::crypto

@@ -1,0 +1,343 @@
+// In-memory B+tree — the ordered index of the table engine and of DBFS's
+// schema-tree subject lists. Written from scratch; Validate() exposes the
+// structural invariants so the test suite can property-check random
+// workloads (insert/erase interleavings) against a reference std::map.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace rgpdos::db {
+
+/// B+tree mapping K -> V. `Order` is the fan-out: internal nodes hold at
+/// most Order children; leaves hold at most Order entries. Keys must be
+/// totally ordered by `Less`.
+template <typename K, typename V, std::size_t Order = 64,
+          typename Less = std::less<K>>
+class BPlusTree {
+  static_assert(Order >= 4, "Order must be at least 4");
+
+ public:
+  BPlusTree() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Insert or overwrite. Returns true if the key was new.
+  bool Insert(const K& key, V value) {
+    if (!root_) {
+      auto leaf = std::make_unique<Node>(/*leaf=*/true);
+      leaf->keys.push_back(key);
+      leaf->values.push_back(std::move(value));
+      root_ = std::move(leaf);
+      size_ = 1;
+      return true;
+    }
+    bool inserted = false;
+    InsertRec(root_.get(), key, std::move(value), inserted);
+    if (root_->Overfull()) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      auto [sep, right] = Split(root_.get());
+      new_root->keys.push_back(sep);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(right));
+      root_ = std::move(new_root);
+    }
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Pointer to the stored value, or nullptr.
+  [[nodiscard]] const V* Find(const K& key) const {
+    const Node* node = root_.get();
+    while (node != nullptr) {
+      if (node->leaf) {
+        const auto it = std::lower_bound(node->keys.begin(),
+                                         node->keys.end(), key, less_);
+        if (it != node->keys.end() && !less_(key, *it)) {
+          return &node->values[std::size_t(it - node->keys.begin())];
+        }
+        return nullptr;
+      }
+      node = node->children[ChildSlot(node, key)].get();
+    }
+    return nullptr;
+  }
+  [[nodiscard]] V* Find(const K& key) {
+    return const_cast<V*>(std::as_const(*this).Find(key));
+  }
+  [[nodiscard]] bool Contains(const K& key) const {
+    return Find(key) != nullptr;
+  }
+
+  /// Remove a key. Returns true if it was present.
+  bool Erase(const K& key) {
+    if (!root_) return false;
+    const bool erased = EraseRec(root_.get(), key);
+    if (erased) --size_;
+    if (!root_->leaf && root_->children.size() == 1) {
+      root_ = std::move(root_->children.front());
+    } else if (root_->leaf && root_->keys.empty()) {
+      root_.reset();
+    }
+    return erased;
+  }
+
+  /// In-order visit of every (key, value). Return false to stop early.
+  void ForEach(const std::function<bool(const K&, const V&)>& fn) const {
+    ForEachRec(root_.get(), fn);
+  }
+
+  /// Visit keys in [lo, hi] inclusive.
+  void ForEachInRange(const K& lo, const K& hi,
+                      const std::function<bool(const K&, const V&)>& fn) const {
+    auto visit = [&](const K& k, const V& v) {
+      if (less_(hi, k)) return false;
+      if (!less_(k, lo)) return fn(k, v);
+      return true;
+    };
+    ForEachRec(root_.get(), visit);
+  }
+
+  /// Smallest key, if any.
+  [[nodiscard]] std::optional<K> MinKey() const {
+    const Node* node = root_.get();
+    if (!node) return std::nullopt;
+    while (!node->leaf) node = node->children.front().get();
+    return node->keys.front();
+  }
+
+  /// Structural invariant check for property tests. Returns true iff:
+  /// every leaf is at the same depth; every non-root node holds at least
+  /// MinKeys() entries; keys are sorted; separators bound their subtrees.
+  [[nodiscard]] bool Validate() const {
+    if (!root_) return size_ == 0;
+    int depth = -1;
+    std::size_t counted = 0;
+    const bool ok = ValidateRec(root_.get(), /*is_root=*/true, 0, depth,
+                                nullptr, nullptr, counted);
+    return ok && counted == size_;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<K> keys;
+    std::vector<V> values;                        // leaf only
+    std::vector<std::unique_ptr<Node>> children;  // internal only
+
+    [[nodiscard]] bool Overfull() const { return keys.size() > Order; }
+  };
+
+  static constexpr std::size_t MinKeys() { return Order / 2; }
+
+  [[nodiscard]] std::size_t ChildSlot(const Node* node, const K& key) const {
+    // Child i holds keys < keys[i]; the upper_bound gives the slot whose
+    // subtree may contain `key`.
+    const auto it =
+        std::upper_bound(node->keys.begin(), node->keys.end(), key, less_);
+    return std::size_t(it - node->keys.begin());
+  }
+
+  /// Split an overfull node; returns (separator key, right sibling).
+  std::pair<K, std::unique_ptr<Node>> Split(Node* node) {
+    auto right = std::make_unique<Node>(node->leaf);
+    const std::size_t mid = node->keys.size() / 2;
+    K separator = node->keys[mid];
+    if (node->leaf) {
+      right->keys.assign(node->keys.begin() + mid, node->keys.end());
+      right->values.assign(std::make_move_iterator(node->values.begin() + mid),
+                           std::make_move_iterator(node->values.end()));
+      node->keys.resize(mid);
+      node->values.resize(mid);
+      // For leaves the separator is the first key of the right node.
+      separator = right->keys.front();
+    } else {
+      // The separator moves up; it is not kept in either half.
+      right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+      right->children.assign(
+          std::make_move_iterator(node->children.begin() + mid + 1),
+          std::make_move_iterator(node->children.end()));
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+    }
+    return {separator, std::move(right)};
+  }
+
+  void InsertRec(Node* node, const K& key, V value, bool& inserted) {
+    if (node->leaf) {
+      const auto it = std::lower_bound(node->keys.begin(), node->keys.end(),
+                                       key, less_);
+      const std::size_t idx = std::size_t(it - node->keys.begin());
+      if (it != node->keys.end() && !less_(key, *it)) {
+        node->values[idx] = std::move(value);  // overwrite
+        inserted = false;
+        return;
+      }
+      node->keys.insert(it, key);
+      node->values.insert(node->values.begin() +
+                              static_cast<std::ptrdiff_t>(idx),
+                          std::move(value));
+      inserted = true;
+      return;
+    }
+    const std::size_t slot = ChildSlot(node, key);
+    Node* child = node->children[slot].get();
+    InsertRec(child, key, std::move(value), inserted);
+    if (child->Overfull()) {
+      auto [sep, right] = Split(child);
+      node->keys.insert(node->keys.begin() +
+                            static_cast<std::ptrdiff_t>(slot),
+                        sep);
+      node->children.insert(node->children.begin() +
+                                static_cast<std::ptrdiff_t>(slot + 1),
+                            std::move(right));
+    }
+  }
+
+  bool EraseRec(Node* node, const K& key) {
+    if (node->leaf) {
+      const auto it = std::lower_bound(node->keys.begin(), node->keys.end(),
+                                       key, less_);
+      if (it == node->keys.end() || less_(key, *it)) return false;
+      const std::size_t idx = std::size_t(it - node->keys.begin());
+      node->keys.erase(it);
+      node->values.erase(node->values.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+      return true;
+    }
+    const std::size_t slot = ChildSlot(node, key);
+    Node* child = node->children[slot].get();
+    const bool erased = EraseRec(child, key);
+    if (child->keys.size() < MinKeys()) {
+      Rebalance(node, slot);
+    }
+    return erased;
+  }
+
+  /// Restore the fill invariant of children[slot] by borrowing from a
+  /// sibling or merging with one.
+  void Rebalance(Node* parent, std::size_t slot) {
+    Node* child = parent->children[slot].get();
+    Node* left = slot > 0 ? parent->children[slot - 1].get() : nullptr;
+    Node* right = slot + 1 < parent->children.size()
+                      ? parent->children[slot + 1].get()
+                      : nullptr;
+
+    if (left != nullptr && left->keys.size() > MinKeys()) {
+      // Borrow the left sibling's last entry.
+      if (child->leaf) {
+        child->keys.insert(child->keys.begin(), left->keys.back());
+        child->values.insert(child->values.begin(),
+                             std::move(left->values.back()));
+        left->keys.pop_back();
+        left->values.pop_back();
+        parent->keys[slot - 1] = child->keys.front();
+      } else {
+        child->keys.insert(child->keys.begin(), parent->keys[slot - 1]);
+        parent->keys[slot - 1] = left->keys.back();
+        left->keys.pop_back();
+        child->children.insert(child->children.begin(),
+                               std::move(left->children.back()));
+        left->children.pop_back();
+      }
+      return;
+    }
+    if (right != nullptr && right->keys.size() > MinKeys()) {
+      // Borrow the right sibling's first entry.
+      if (child->leaf) {
+        child->keys.push_back(right->keys.front());
+        child->values.push_back(std::move(right->values.front()));
+        right->keys.erase(right->keys.begin());
+        right->values.erase(right->values.begin());
+        parent->keys[slot] = right->keys.front();
+      } else {
+        child->keys.push_back(parent->keys[slot]);
+        parent->keys[slot] = right->keys.front();
+        right->keys.erase(right->keys.begin());
+        child->children.push_back(std::move(right->children.front()));
+        right->children.erase(right->children.begin());
+      }
+      return;
+    }
+
+    // Merge with a sibling (absorb right into left).
+    const std::size_t left_slot = left != nullptr ? slot - 1 : slot;
+    Node* a = parent->children[left_slot].get();
+    Node* b = parent->children[left_slot + 1].get();
+    if (a->leaf) {
+      a->keys.insert(a->keys.end(), b->keys.begin(), b->keys.end());
+      a->values.insert(a->values.end(),
+                       std::make_move_iterator(b->values.begin()),
+                       std::make_move_iterator(b->values.end()));
+    } else {
+      a->keys.push_back(parent->keys[left_slot]);
+      a->keys.insert(a->keys.end(), b->keys.begin(), b->keys.end());
+      a->children.insert(a->children.end(),
+                         std::make_move_iterator(b->children.begin()),
+                         std::make_move_iterator(b->children.end()));
+    }
+    parent->keys.erase(parent->keys.begin() +
+                       static_cast<std::ptrdiff_t>(left_slot));
+    parent->children.erase(parent->children.begin() +
+                           static_cast<std::ptrdiff_t>(left_slot + 1));
+  }
+
+  bool ForEachRec(const Node* node,
+                  const std::function<bool(const K&, const V&)>& fn) const {
+    if (node == nullptr) return true;
+    if (node->leaf) {
+      for (std::size_t i = 0; i < node->keys.size(); ++i) {
+        if (!fn(node->keys[i], node->values[i])) return false;
+      }
+      return true;
+    }
+    for (std::size_t i = 0; i < node->children.size(); ++i) {
+      if (!ForEachRec(node->children[i].get(), fn)) return false;
+    }
+    return true;
+  }
+
+  bool ValidateRec(const Node* node, bool is_root, int depth,
+                   int& leaf_depth, const K* lower, const K* upper,
+                   std::size_t& counted) const {
+    // Fill bounds.
+    if (!is_root && node->keys.size() < MinKeys()) return false;
+    if (node->keys.size() > Order) return false;
+    // Sorted keys, within (lower, upper].
+    for (std::size_t i = 0; i < node->keys.size(); ++i) {
+      if (i > 0 && !less_(node->keys[i - 1], node->keys[i])) return false;
+      if (lower != nullptr && less_(node->keys[i], *lower)) return false;
+      if (upper != nullptr && !less_(node->keys[i], *upper)) return false;
+    }
+    if (node->leaf) {
+      if (node->values.size() != node->keys.size()) return false;
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (leaf_depth != depth) return false;
+      counted += node->keys.size();
+      return true;
+    }
+    if (node->children.size() != node->keys.size() + 1) return false;
+    for (std::size_t i = 0; i < node->children.size(); ++i) {
+      const K* child_lower = i == 0 ? lower : &node->keys[i - 1];
+      const K* child_upper = i == node->keys.size() ? upper : &node->keys[i];
+      if (!ValidateRec(node->children[i].get(), false, depth + 1, leaf_depth,
+                       child_lower, child_upper, counted)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  Less less_{};
+};
+
+}  // namespace rgpdos::db

@@ -1,0 +1,79 @@
+#include "db/catalog.hpp"
+
+namespace rgpdos::db {
+
+Result<Catalog> Catalog::Create(inodefs::FileSystem* fs, std::string dir) {
+  if (!fs->Exists(dir)) {
+    RGPD_RETURN_IF_ERROR(fs->Mkdir(dir));
+  }
+  Catalog catalog(fs, std::move(dir));
+  RGPD_RETURN_IF_ERROR(catalog.PersistMeta());
+  return catalog;
+}
+
+Result<Catalog> Catalog::Open(inodefs::FileSystem* fs, std::string dir) {
+  Catalog catalog(fs, std::move(dir));
+  RGPD_ASSIGN_OR_RETURN(Bytes meta, fs->ReadFile(catalog.MetaPath()));
+  ByteReader r(meta);
+  RGPD_ASSIGN_OR_RETURN(std::uint64_t count, r.GetVarint());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RGPD_ASSIGN_OR_RETURN(Schema schema, Schema::Decode(r));
+    RGPD_ASSIGN_OR_RETURN(inodefs::InodeId file,
+                          fs->Lookup(catalog.TablePath(schema.name())));
+    RGPD_ASSIGN_OR_RETURN(Table table,
+                          Table::Open(&fs->store(), file, schema));
+    catalog.tables_.emplace(schema.name(),
+                            std::make_unique<Table>(std::move(table)));
+  }
+  return catalog;
+}
+
+Status Catalog::PersistMeta() {
+  ByteWriter w;
+  w.PutVarint(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    table->schema().Encode(w);
+  }
+  return fs_->WriteFile(MetaPath(), w.buffer());
+}
+
+Result<Table*> Catalog::CreateTable(const Schema& schema) {
+  if (tables_.count(schema.name()) != 0) {
+    return AlreadyExists("table exists: " + schema.name());
+  }
+  RGPD_ASSIGN_OR_RETURN(inodefs::InodeId file,
+                        fs_->CreateFile(TablePath(schema.name())));
+  RGPD_ASSIGN_OR_RETURN(Table table, Table::Create(&fs_->store(), file,
+                                                   schema));
+  auto [it, unused] = tables_.emplace(
+      schema.name(), std::make_unique<Table>(std::move(table)));
+  RGPD_RETURN_IF_ERROR(PersistMeta());
+  return it->second.get();
+}
+
+Result<Table*> Catalog::GetTable(std::string_view name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFound("no table: " + std::string(name));
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFound("no table: " + std::string(name));
+  }
+  RGPD_RETURN_IF_ERROR(fs_->Unlink(TablePath(name), /*scrub=*/false));
+  tables_.erase(it);
+  return PersistMeta();
+}
+
+}  // namespace rgpdos::db

@@ -1,0 +1,44 @@
+// Catalog: named tables with persisted schemas, stored in a directory of
+// the file-granularity filesystem. Used by the Fig-2 baseline engine.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/table.hpp"
+#include "inodefs/filesystem.hpp"
+
+namespace rgpdos::db {
+
+class Catalog {
+ public:
+  /// Create a fresh catalog rooted at `dir` (created if missing).
+  static Result<Catalog> Create(inodefs::FileSystem* fs, std::string dir);
+  /// Open an existing catalog: loads schemas and replays table logs.
+  static Result<Catalog> Open(inodefs::FileSystem* fs, std::string dir);
+
+  Result<Table*> CreateTable(const Schema& schema);
+  Result<Table*> GetTable(std::string_view name);
+  [[nodiscard]] std::vector<std::string> TableNames() const;
+  /// Drop a table: removes the file via plain unlink — freed blocks keep
+  /// their contents (baseline semantics).
+  Status DropTable(std::string_view name);
+
+ private:
+  Catalog(inodefs::FileSystem* fs, std::string dir)
+      : fs_(fs), dir_(std::move(dir)) {}
+
+  [[nodiscard]] std::string MetaPath() const { return dir_ + "/catalog.meta"; }
+  [[nodiscard]] std::string TablePath(std::string_view name) const {
+    return dir_ + "/" + std::string(name) + ".tbl";
+  }
+  Status PersistMeta();
+
+  inodefs::FileSystem* fs_;  // borrowed
+  std::string dir_;
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace rgpdos::db

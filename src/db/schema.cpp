@@ -1,0 +1,161 @@
+#include "db/schema.hpp"
+
+namespace rgpdos::db {
+
+Result<std::size_t> Schema::FieldIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return NotFound("no field '" + std::string(name) + "' in type '" + name_ +
+                  "'");
+}
+
+bool Schema::HasField(std::string_view name) const {
+  return FieldIndex(name).ok();
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != fields_.size()) {
+    return InvalidArgument("row arity " + std::to_string(row.size()) +
+                           " != schema arity " +
+                           std::to_string(fields_.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      if (!fields_[i].nullable) {
+        return InvalidArgument("field '" + fields_[i].name +
+                               "' is not nullable");
+      }
+      continue;
+    }
+    if (row[i].type() != fields_[i].type) {
+      return InvalidArgument(
+          "field '" + fields_[i].name + "' expects " +
+          std::string(ValueTypeName(fields_[i].type)) + ", got " +
+          std::string(ValueTypeName(row[i].type())));
+    }
+    const FieldConstraints& c = fields_[i].constraints;
+    if (!c.Any()) continue;
+    if (fields_[i].type == ValueType::kInt) {
+      const std::int64_t v = *row[i].AsInt();
+      if (c.min_value && v < *c.min_value) {
+        return InvalidArgument("field '" + fields_[i].name + "' value " +
+                               std::to_string(v) + " below min " +
+                               std::to_string(*c.min_value));
+      }
+      if (c.max_value && v > *c.max_value) {
+        return InvalidArgument("field '" + fields_[i].name + "' value " +
+                               std::to_string(v) + " above max " +
+                               std::to_string(*c.max_value));
+      }
+    } else if (fields_[i].type == ValueType::kString ||
+               fields_[i].type == ValueType::kBytes) {
+      const std::size_t len =
+          fields_[i].type == ValueType::kString
+              ? (*row[i].AsString()).size()
+              : (*row[i].AsBytes()).size();
+      if (c.not_empty && len == 0) {
+        return InvalidArgument("field '" + fields_[i].name +
+                               "' must not be empty");
+      }
+      if (c.max_len && len > *c.max_len) {
+        return InvalidArgument("field '" + fields_[i].name + "' length " +
+                               std::to_string(len) + " exceeds max_len " +
+                               std::to_string(*c.max_len));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Bytes Schema::EncodeRow(const Row& row) const {
+  ByteWriter w;
+  w.PutVarint(row.size());
+  for (const Value& v : row) v.Encode(w);
+  return w.Take();
+}
+
+Result<Row> Schema::DecodeRow(ByteSpan bytes) const {
+  ByteReader r(bytes);
+  RGPD_ASSIGN_OR_RETURN(std::uint64_t count, r.GetVarint());
+  if (count != fields_.size()) {
+    return Corruption("stored row arity does not match schema");
+  }
+  Row row;
+  row.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RGPD_ASSIGN_OR_RETURN(Value v, Value::Decode(r));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+void Schema::Encode(ByteWriter& w) const {
+  w.PutString(name_);
+  w.PutVarint(fields_.size());
+  for (const FieldDef& f : fields_) {
+    w.PutString(f.name);
+    w.PutU8(static_cast<std::uint8_t>(f.type));
+    w.PutBool(f.nullable);
+    const FieldConstraints& c = f.constraints;
+    std::uint8_t mask = 0;
+    if (c.min_value) mask |= 1;
+    if (c.max_value) mask |= 2;
+    if (c.max_len) mask |= 4;
+    if (c.not_empty) mask |= 8;
+    w.PutU8(mask);
+    if (c.min_value) w.PutI64(*c.min_value);
+    if (c.max_value) w.PutI64(*c.max_value);
+    if (c.max_len) w.PutU64(*c.max_len);
+  }
+}
+
+Result<Schema> Schema::Decode(ByteReader& r) {
+  RGPD_ASSIGN_OR_RETURN(std::string name, r.GetString());
+  RGPD_ASSIGN_OR_RETURN(std::uint64_t count, r.GetVarint());
+  std::vector<FieldDef> fields;
+  fields.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FieldDef f;
+    RGPD_ASSIGN_OR_RETURN(f.name, r.GetString());
+    RGPD_ASSIGN_OR_RETURN(std::uint8_t type, r.GetU8());
+    if (type > static_cast<std::uint8_t>(ValueType::kBytes)) {
+      return Corruption("schema field has unknown type tag");
+    }
+    f.type = static_cast<ValueType>(type);
+    RGPD_ASSIGN_OR_RETURN(f.nullable, r.GetBool());
+    RGPD_ASSIGN_OR_RETURN(std::uint8_t mask, r.GetU8());
+    if (mask & 1) {
+      RGPD_ASSIGN_OR_RETURN(std::int64_t v, r.GetI64());
+      f.constraints.min_value = v;
+    }
+    if (mask & 2) {
+      RGPD_ASSIGN_OR_RETURN(std::int64_t v, r.GetI64());
+      f.constraints.max_value = v;
+    }
+    if (mask & 4) {
+      RGPD_ASSIGN_OR_RETURN(std::uint64_t v, r.GetU64());
+      f.constraints.max_len = v;
+    }
+    f.constraints.not_empty = (mask & 8) != 0;
+    fields.push_back(std::move(f));
+  }
+  return Schema(std::move(name), std::move(fields));
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.name_ != b.name_ || a.fields_.size() != b.fields_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.fields_.size(); ++i) {
+    if (a.fields_[i].name != b.fields_[i].name ||
+        a.fields_[i].type != b.fields_[i].type ||
+        a.fields_[i].nullable != b.fields_[i].nullable ||
+        !(a.fields_[i].constraints == b.fields_[i].constraints)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rgpdos::db

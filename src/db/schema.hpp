@@ -1,0 +1,71 @@
+// Table schemas and the row codec.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace rgpdos::db {
+
+/// Value constraints attached to a field (GDPR Art. 5(1)(d), accuracy:
+/// reject implausible PD at the write boundary instead of storing it).
+struct FieldConstraints {
+  std::optional<std::int64_t> min_value;  ///< int fields
+  std::optional<std::int64_t> max_value;  ///< int fields
+  std::optional<std::uint64_t> max_len;   ///< string/bytes fields
+  bool not_empty = false;                 ///< string/bytes fields
+
+  [[nodiscard]] bool Any() const {
+    return min_value || max_value || max_len || not_empty;
+  }
+  friend bool operator==(const FieldConstraints&,
+                         const FieldConstraints&) = default;
+};
+
+struct FieldDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool nullable = false;
+  FieldConstraints constraints;
+};
+
+/// Row = one value per schema field, in declaration order.
+using Row = std::vector<Value>;
+
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<FieldDef> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<FieldDef>& fields() const {
+    return fields_;
+  }
+  [[nodiscard]] std::size_t field_count() const { return fields_.size(); }
+
+  /// Index of a field by name.
+  [[nodiscard]] Result<std::size_t> FieldIndex(std::string_view name) const;
+  [[nodiscard]] bool HasField(std::string_view name) const;
+
+  /// Check a row's arity and cell types against the schema.
+  [[nodiscard]] Status ValidateRow(const Row& row) const;
+
+  /// Serialise a (validated) row.
+  [[nodiscard]] Bytes EncodeRow(const Row& row) const;
+  [[nodiscard]] Result<Row> DecodeRow(ByteSpan bytes) const;
+
+  /// Schema persistence (stored in the DBFS schema tree / catalog file).
+  void Encode(ByteWriter& w) const;
+  static Result<Schema> Decode(ByteReader& r);
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::string name_;
+  std::vector<FieldDef> fields_;
+};
+
+}  // namespace rgpdos::db

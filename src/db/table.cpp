@@ -1,0 +1,148 @@
+#include "db/table.hpp"
+
+namespace rgpdos::db {
+
+namespace {
+// Record frame: len u32 | rowid u64 | tombstone u8 | payload[len]
+constexpr std::size_t kFrameHeader = 4 + 8 + 1;
+}  // namespace
+
+Result<Table> Table::Create(inodefs::InodeStore* store, inodefs::InodeId file,
+                            Schema schema) {
+  RGPD_ASSIGN_OR_RETURN(inodefs::Inode inode, store->GetInode(file));
+  if (inode.size != 0) {
+    return FailedPrecondition("table file is not empty; use Open()");
+  }
+  return Table(store, file, std::move(schema));
+}
+
+Result<Table> Table::Open(inodefs::InodeStore* store, inodefs::InodeId file,
+                          Schema schema) {
+  Table table(store, file, std::move(schema));
+  RGPD_RETURN_IF_ERROR(table.ReplayLog());
+  return table;
+}
+
+Status Table::ReplayLog() {
+  RGPD_ASSIGN_OR_RETURN(Bytes log, store_->ReadAll(file_));
+  std::uint64_t offset = 0;
+  while (offset + kFrameHeader <= log.size()) {
+    ByteReader r(ByteSpan(log.data() + offset, log.size() - offset));
+    const std::uint32_t len = *r.GetU32();
+    const RowId id = *r.GetU64();
+    const std::uint8_t tombstone = *r.GetU8();
+    if (offset + kFrameHeader + len > log.size()) {
+      return Corruption("table log ends mid-record");
+    }
+    if (tombstone != 0) {
+      index_.Erase(id);
+    } else {
+      index_.Insert(id, Location{offset + kFrameHeader, len});
+    }
+    next_id_ = std::max(next_id_, id + 1);
+    offset += kFrameHeader + len;
+  }
+  end_offset_ = offset;
+  return Status::Ok();
+}
+
+Status Table::AppendRecord(RowId id, bool tombstone, ByteSpan payload,
+                           Location* location) {
+  ByteWriter w(kFrameHeader + payload.size());
+  w.PutU32(static_cast<std::uint32_t>(payload.size()));
+  w.PutU64(id);
+  w.PutU8(tombstone ? 1 : 0);
+  w.PutRaw(payload);
+  RGPD_RETURN_IF_ERROR(store_->WriteAt(file_, end_offset_, w.buffer()));
+  if (location != nullptr) {
+    *location = Location{end_offset_ + kFrameHeader,
+                         static_cast<std::uint32_t>(payload.size())};
+  }
+  end_offset_ += w.size();
+  return Status::Ok();
+}
+
+Result<RowId> Table::Insert(const Row& row) {
+  RGPD_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  const RowId id = next_id_++;
+  const Bytes payload = schema_.EncodeRow(row);
+  Location loc;
+  RGPD_RETURN_IF_ERROR(AppendRecord(id, false, payload, &loc));
+  index_.Insert(id, loc);
+  return id;
+}
+
+Result<Row> Table::Get(RowId id) const {
+  const Location* loc = index_.Find(id);
+  if (loc == nullptr) return NotFound("no row " + std::to_string(id));
+  RGPD_ASSIGN_OR_RETURN(Bytes payload,
+                        store_->ReadAt(file_, loc->offset, loc->length));
+  return schema_.DecodeRow(payload);
+}
+
+Status Table::Update(RowId id, const Row& row) {
+  if (!index_.Contains(id)) {
+    return NotFound("no row " + std::to_string(id));
+  }
+  RGPD_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  const Bytes payload = schema_.EncodeRow(row);
+  Location loc;
+  RGPD_RETURN_IF_ERROR(AppendRecord(id, false, payload, &loc));
+  index_.Insert(id, loc);
+  return Status::Ok();
+}
+
+Status Table::Delete(RowId id) {
+  if (!index_.Contains(id)) {
+    return NotFound("no row " + std::to_string(id));
+  }
+  RGPD_RETURN_IF_ERROR(AppendRecord(id, true, ByteSpan{}, nullptr));
+  index_.Erase(id);
+  return Status::Ok();
+}
+
+Status Table::Scan(const std::function<bool(RowId, const Row&)>& fn) const {
+  Status failure = Status::Ok();
+  index_.ForEach([&](const RowId& id, const Location& loc) {
+    auto payload = store_->ReadAt(file_, loc.offset, loc.length);
+    if (!payload.ok()) {
+      failure = payload.status();
+      return false;
+    }
+    auto row = schema_.DecodeRow(*payload);
+    if (!row.ok()) {
+      failure = row.status();
+      return false;
+    }
+    return fn(id, *row);
+  });
+  return failure;
+}
+
+Status Table::Compact() {
+  // Collect live rows, truncate (no scrub), re-append.
+  std::vector<std::pair<RowId, Bytes>> live;
+  live.reserve(index_.size());
+  Status failure = Status::Ok();
+  index_.ForEach([&](const RowId& id, const Location& loc) {
+    auto payload = store_->ReadAt(file_, loc.offset, loc.length);
+    if (!payload.ok()) {
+      failure = payload.status();
+      return false;
+    }
+    live.emplace_back(id, std::move(*payload));
+    return true;
+  });
+  RGPD_RETURN_IF_ERROR(failure);
+  RGPD_RETURN_IF_ERROR(store_->Truncate(file_, 0, /*scrub=*/false));
+  end_offset_ = 0;
+  index_ = {};
+  for (auto& [id, payload] : live) {
+    Location loc;
+    RGPD_RETURN_IF_ERROR(AppendRecord(id, false, payload, &loc));
+    index_.Insert(id, loc);
+  }
+  return Status::Ok();
+}
+
+}  // namespace rgpdos::db

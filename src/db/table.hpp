@@ -1,0 +1,77 @@
+// Append-only table engine over an inodefs file.
+//
+// Storage format: a log of framed records; updates append new versions
+// and deletes append tombstones. A B+tree keyed by row id maps to the
+// latest live version's file location. This is the engine under the
+// Fig-2 baseline (GDPR at the DB level in userspace): note that Delete()
+// only appends a tombstone and Compact() rewrites the live set without
+// scrubbing old bytes — exactly the class of behaviour that leaks
+// "deleted" PD through lower layers.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "db/btree.hpp"
+#include "db/schema.hpp"
+#include "inodefs/inode_store.hpp"
+
+namespace rgpdos::db {
+
+using RowId = std::uint64_t;
+
+class Table {
+ public:
+  /// Create a fresh table stored in inode `file` (already allocated,
+  /// kind kFile, empty).
+  static Result<Table> Create(inodefs::InodeStore* store,
+                              inodefs::InodeId file, Schema schema);
+
+  /// Open an existing table file: replays the record log to rebuild the
+  /// row index.
+  static Result<Table> Open(inodefs::InodeStore* store, inodefs::InodeId file,
+                            Schema schema);
+
+  /// Append a new row; returns its id.
+  Result<RowId> Insert(const Row& row);
+  /// Latest live version of a row.
+  Result<Row> Get(RowId id) const;
+  /// Append a new version.
+  Status Update(RowId id, const Row& row);
+  /// Append a tombstone. The old bytes stay in the log.
+  Status Delete(RowId id);
+
+  /// Visit every live row in id order; return false to stop.
+  Status Scan(const std::function<bool(RowId, const Row&)>& fn) const;
+
+  /// Rewrite the log keeping only live versions. Frees the old content
+  /// without scrubbing (baseline semantics).
+  Status Compact();
+
+  [[nodiscard]] const Schema& schema() const { return schema_; }
+  [[nodiscard]] std::size_t live_count() const { return index_.size(); }
+  [[nodiscard]] std::uint64_t log_bytes() const { return end_offset_; }
+  [[nodiscard]] inodefs::InodeId file() const { return file_; }
+
+ private:
+  struct Location {
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;  // payload length
+  };
+
+  Table(inodefs::InodeStore* store, inodefs::InodeId file, Schema schema)
+      : store_(store), file_(file), schema_(std::move(schema)) {}
+
+  Status AppendRecord(RowId id, bool tombstone, ByteSpan payload,
+                      Location* location);
+  Status ReplayLog();
+
+  inodefs::InodeStore* store_;  // borrowed
+  inodefs::InodeId file_;
+  Schema schema_;
+  BPlusTree<RowId, Location> index_;
+  RowId next_id_ = 1;
+  std::uint64_t end_offset_ = 0;
+};
+
+}  // namespace rgpdos::db

@@ -1,0 +1,151 @@
+#include "db/value.hpp"
+
+#include "common/hex.hpp"
+
+namespace rgpdos::db {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kBool: return "bool";
+    case ValueType::kString: return "string";
+    case ValueType::kBytes: return "bytes";
+  }
+  return "?";
+}
+
+Result<ValueType> ValueTypeFromName(std::string_view name) {
+  if (name == "int") return ValueType::kInt;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "bool") return ValueType::kBool;
+  if (name == "string") return ValueType::kString;
+  if (name == "bytes") return ValueType::kBytes;
+  return InvalidArgument("unknown value type: " + std::string(name));
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(data_.index());
+}
+
+Result<std::int64_t> Value::AsInt() const {
+  if (const auto* v = std::get_if<std::int64_t>(&data_)) return *v;
+  return InvalidArgument("value is not an int");
+}
+
+Result<double> Value::AsDouble() const {
+  if (const auto* v = std::get_if<double>(&data_)) return *v;
+  return InvalidArgument("value is not a double");
+}
+
+Result<bool> Value::AsBool() const {
+  if (const auto* v = std::get_if<bool>(&data_)) return *v;
+  return InvalidArgument("value is not a bool");
+}
+
+Result<std::string> Value::AsString() const {
+  if (const auto* v = std::get_if<std::string>(&data_)) return *v;
+  return InvalidArgument("value is not a string");
+}
+
+Result<Bytes> Value::AsBytes() const {
+  if (const auto* v = std::get_if<Bytes>(&data_)) return *v;
+  return InvalidArgument("value is not bytes");
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return std::to_string(*AsInt());
+    case ValueType::kDouble: return std::to_string(*AsDouble());
+    case ValueType::kBool: return *AsBool() ? "true" : "false";
+    case ValueType::kString: return "\"" + *AsString() + "\"";
+    case ValueType::kBytes: return "0x" + HexEncode(*AsBytes());
+  }
+  return "?";
+}
+
+void Value::Encode(ByteWriter& w) const {
+  w.PutU8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull: break;
+    case ValueType::kInt: w.PutI64(*AsInt()); break;
+    case ValueType::kDouble: w.PutF64(*AsDouble()); break;
+    case ValueType::kBool: w.PutBool(*AsBool()); break;
+    case ValueType::kString: w.PutString(*AsString()); break;
+    case ValueType::kBytes: w.PutBytes(*AsBytes()); break;
+  }
+}
+
+Result<Value> Value::Decode(ByteReader& r) {
+  RGPD_ASSIGN_OR_RETURN(std::uint8_t tag, r.GetU8());
+  if (tag > static_cast<std::uint8_t>(ValueType::kBytes)) {
+    return Corruption("value has unknown type tag");
+  }
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull: return Value();
+    case ValueType::kInt: {
+      RGPD_ASSIGN_OR_RETURN(std::int64_t v, r.GetI64());
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      RGPD_ASSIGN_OR_RETURN(double v, r.GetF64());
+      return Value(v);
+    }
+    case ValueType::kBool: {
+      RGPD_ASSIGN_OR_RETURN(bool v, r.GetBool());
+      return Value(v);
+    }
+    case ValueType::kString: {
+      RGPD_ASSIGN_OR_RETURN(std::string v, r.GetString());
+      return Value(std::move(v));
+    }
+    case ValueType::kBytes: {
+      RGPD_ASSIGN_OR_RETURN(Bytes v, r.GetBytes());
+      return Value(std::move(v));
+    }
+  }
+  return Corruption("unreachable");
+}
+
+int Value::Compare(const Value& other) const {
+  if (type() != other.type()) {
+    return type() < other.type() ? -1 : 1;
+  }
+  switch (type()) {
+    case ValueType::kNull: return 0;
+    case ValueType::kInt: {
+      const auto a = *AsInt();
+      const auto b = *other.AsInt();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kDouble: {
+      const auto a = *AsDouble();
+      const auto b = *other.AsDouble();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kBool: {
+      const auto a = *AsBool();
+      const auto b = *other.AsBool();
+      return a == b ? 0 : (!a ? -1 : 1);
+    }
+    case ValueType::kString: {
+      const auto a = *AsString();
+      const auto b = *other.AsString();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kBytes: {
+      const auto a = *AsBytes();
+      const auto b = *other.AsBytes();
+      if (a == b) return 0;
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                          b.end())
+                 ? -1
+                 : 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace rgpdos::db

@@ -1,0 +1,75 @@
+// Typed values — the cells of DBFS rows.
+//
+// "Every PD has a precise type" (paper §2): rgpdOS stores personal data as
+// typed rows, not opaque bytes. Value is the dynamic cell type shared by
+// the DBFS record codec, the baseline engine, and the DED's view
+// projection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace rgpdos::db {
+
+enum class ValueType : std::uint8_t {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kBool,
+  kString,
+  kBytes,
+};
+
+std::string_view ValueTypeName(ValueType type);
+/// Parse a DSL type name ("int", "double", "bool", "string", "bytes").
+Result<ValueType> ValueTypeFromName(std::string_view name);
+
+class Value {
+ public:
+  Value() = default;  // null
+  explicit Value(std::int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(Bytes v) : data_(std::move(v)) {}
+  static Value Null() { return Value(); }
+
+  [[nodiscard]] ValueType type() const;
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::monostate>(data_);
+  }
+
+  // Checked accessors.
+  [[nodiscard]] Result<std::int64_t> AsInt() const;
+  [[nodiscard]] Result<double> AsDouble() const;
+  [[nodiscard]] Result<bool> AsBool() const;
+  [[nodiscard]] Result<std::string> AsString() const;
+  [[nodiscard]] Result<Bytes> AsBytes() const;
+
+  /// Render for exports and debugging ("42", "\"alice\"", "null", ...).
+  [[nodiscard]] std::string ToDisplayString() const;
+
+  void Encode(ByteWriter& w) const;
+  static Result<Value> Decode(ByteReader& r);
+
+  /// Total order across types (type tag first, then value) so values can
+  /// key ordered indexes.
+  [[nodiscard]] int Compare(const Value& other) const;
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, bool, std::string,
+               Bytes>
+      data_;
+};
+
+}  // namespace rgpdos::db

@@ -1,0 +1,592 @@
+#include "dbfs/dbfs.hpp"
+
+#include <algorithm>
+
+#include "dsl/codec.hpp"
+
+namespace rgpdos::dbfs {
+
+namespace {
+constexpr std::uint32_t kFormatHintMagic = 0x44424653;  // "DBFS"
+constexpr std::uint32_t kFormatHintVersion = 1;
+}  // namespace
+
+Status Dbfs::Gate(sentinel::Domain caller, sentinel::Operation op,
+                  std::string detail) const {
+  sentinel::AccessRequest request;
+  request.subject = caller;
+  request.object = sentinel::Domain::kDbfs;
+  request.op = op;
+  request.detail = std::move(detail);
+  return sentinel_->Enforce(request);
+}
+
+Result<std::unique_ptr<Dbfs>> Dbfs::Format(
+    inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
+    const Clock* clock, inodefs::InodeStore* sensitive_store) {
+  std::unique_ptr<Dbfs> fs(new Dbfs(store, sentinel, clock,
+                                    sensitive_store));
+  RGPD_ASSIGN_OR_RETURN(fs->master_inode_,
+                        store->AllocInode(inodefs::InodeKind::kFile));
+  RGPD_ASSIGN_OR_RETURN(fs->types_map_inode_,
+                        store->AllocInode(inodefs::InodeKind::kFile));
+  RGPD_ASSIGN_OR_RETURN(fs->subjects_map_inode_,
+                        store->AllocInode(inodefs::InodeKind::kFile));
+  RGPD_ASSIGN_OR_RETURN(fs->format_hint_inode_,
+                        store->AllocInode(inodefs::InodeKind::kFormatHint));
+  RGPD_ASSIGN_OR_RETURN(fs->processing_log_inode_,
+                        store->AllocInode(inodefs::InodeKind::kFile));
+  RGPD_RETURN_IF_ERROR(fs->PersistFormatHint());
+
+  ByteWriter master;
+  master.PutU32(fs->types_map_inode_);
+  master.PutU32(fs->subjects_map_inode_);
+  master.PutU32(fs->format_hint_inode_);
+  master.PutU32(fs->processing_log_inode_);
+  RGPD_RETURN_IF_ERROR(store->WriteAll(fs->master_inode_, master.buffer()));
+  store->SetRootDir(fs->master_inode_);
+  RGPD_RETURN_IF_ERROR(store->Sync());
+  return fs;
+}
+
+Result<std::unique_ptr<Dbfs>> Dbfs::Mount(
+    inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
+    const Clock* clock, inodefs::InodeStore* sensitive_store) {
+  std::unique_ptr<Dbfs> fs(new Dbfs(store, sentinel, clock,
+                                    sensitive_store));
+  fs->master_inode_ = store->superblock().root_dir;
+  if (fs->master_inode_ == inodefs::kInvalidInode) {
+    return FailedPrecondition("store holds no DBFS (format it first)");
+  }
+  RGPD_ASSIGN_OR_RETURN(Bytes master_bytes,
+                        store->ReadAll(fs->master_inode_));
+  ByteReader master(master_bytes);
+  RGPD_ASSIGN_OR_RETURN(fs->types_map_inode_, master.GetU32());
+  RGPD_ASSIGN_OR_RETURN(fs->subjects_map_inode_, master.GetU32());
+  RGPD_ASSIGN_OR_RETURN(fs->format_hint_inode_, master.GetU32());
+  RGPD_ASSIGN_OR_RETURN(fs->processing_log_inode_, master.GetU32());
+
+  // Format hint: read once per live session (paper §3) to learn the
+  // subject-subtree encoding before touching any subject inode.
+  RGPD_ASSIGN_OR_RETURN(Bytes hint, store->ReadAll(fs->format_hint_inode_));
+  ByteReader hint_reader(hint);
+  RGPD_ASSIGN_OR_RETURN(std::uint32_t magic, hint_reader.GetU32());
+  RGPD_ASSIGN_OR_RETURN(std::uint32_t version, hint_reader.GetU32());
+  if (magic != kFormatHintMagic || version != kFormatHintVersion) {
+    return Corruption("DBFS format hint mismatch");
+  }
+
+  // Schema tree.
+  RGPD_ASSIGN_OR_RETURN(Bytes types_log, store->ReadAll(fs->types_map_inode_));
+  ByteReader types_reader(types_log);
+  while (!types_reader.exhausted()) {
+    TypeEntry entry;
+    RGPD_ASSIGN_OR_RETURN(std::string name, types_reader.GetString());
+    RGPD_ASSIGN_OR_RETURN(entry.schema_inode, types_reader.GetU32());
+    RGPD_ASSIGN_OR_RETURN(entry.subject_index_inode, types_reader.GetU32());
+    RGPD_ASSIGN_OR_RETURN(Bytes decl_bytes,
+                          store->ReadAll(entry.schema_inode));
+    RGPD_ASSIGN_OR_RETURN(entry.decl, dsl::DecodeTypeDecl(decl_bytes));
+    entry.schema = entry.decl.ToSchema();
+    // The subject-index log is append-only and keeps links of deleted
+    // records too; scanning it keeps record ids monotonic across
+    // delete + remount, so a stale PdRef can never alias a new record.
+    RGPD_ASSIGN_OR_RETURN(Bytes index_log,
+                          store->ReadAll(entry.subject_index_inode));
+    ByteReader index_reader(index_log);
+    while (!index_reader.exhausted()) {
+      RGPD_ASSIGN_OR_RETURN(RecordId id, index_reader.GetU64());
+      RGPD_ASSIGN_OR_RETURN(SubjectId subject, index_reader.GetU64());
+      (void)subject;
+      fs->next_record_id_ = std::max(fs->next_record_id_, id + 1);
+    }
+    fs->types_.emplace(std::move(name), std::move(entry));
+  }
+
+  // Subject tree: subjects map, then each subject root.
+  RGPD_ASSIGN_OR_RETURN(Bytes subjects_log,
+                        store->ReadAll(fs->subjects_map_inode_));
+  ByteReader subjects_reader(subjects_log);
+  while (!subjects_reader.exhausted()) {
+    RGPD_ASSIGN_OR_RETURN(SubjectId subject, subjects_reader.GetU64());
+    RGPD_ASSIGN_OR_RETURN(std::uint32_t root, subjects_reader.GetU32());
+    fs->subjects_[subject] = root;
+  }
+  for (const auto& [subject, root] : fs->subjects_) {
+    RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
+                          fs->LoadSubjectRoot(root));
+    for (const SubjectEntry& e : entries) {
+      RecordLoc loc;
+      loc.subject_id = subject;
+      loc.type_name = e.type_name;
+      loc.pd_inode = e.pd_inode;
+      loc.membrane_inode = e.membrane_inode;
+      loc.copy_group = e.copy_group;
+      loc.erased = e.erased;
+      loc.store_id = e.store_id;
+      fs->records_.Insert(e.record_id, std::move(loc));
+      fs->next_record_id_ = std::max(fs->next_record_id_, e.record_id + 1);
+      fs->next_copy_group_ =
+          std::max(fs->next_copy_group_, e.copy_group + 1);
+    }
+  }
+  return fs;
+}
+
+Status Dbfs::PersistFormatHint() {
+  ByteWriter w;
+  w.PutU32(kFormatHintMagic);
+  w.PutU32(kFormatHintVersion);
+  // Self-description of the subject-entry encoding, for forward compat.
+  w.PutString(
+      "subject_entry := record_id:u64 type:str pd:u32 membrane:u32 "
+      "copy_group:u64 erased:bool store:u8");
+  return store_->WriteAll(format_hint_inode_, w.buffer());
+}
+
+Status Dbfs::PersistTypesMap() {
+  ByteWriter w;
+  for (const auto& [name, entry] : types_) {
+    w.PutString(name);
+    w.PutU32(entry.schema_inode);
+    w.PutU32(entry.subject_index_inode);
+  }
+  return store_->WriteAll(types_map_inode_, w.buffer());
+}
+
+Status Dbfs::PersistSubjectsMap() {
+  ByteWriter w;
+  for (const auto& [subject, root] : subjects_) {
+    w.PutU64(subject);
+    w.PutU32(root);
+  }
+  return store_->WriteAll(subjects_map_inode_, w.buffer());
+}
+
+Result<std::vector<Dbfs::SubjectEntry>> Dbfs::LoadSubjectRoot(
+    inodefs::InodeId root) const {
+  RGPD_ASSIGN_OR_RETURN(Bytes raw, store_->ReadAll(root));
+  std::vector<SubjectEntry> entries;
+  ByteReader r(raw);
+  RGPD_ASSIGN_OR_RETURN(std::uint64_t count, r.GetVarint());
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SubjectEntry e;
+    RGPD_ASSIGN_OR_RETURN(e.record_id, r.GetU64());
+    RGPD_ASSIGN_OR_RETURN(e.type_name, r.GetString());
+    RGPD_ASSIGN_OR_RETURN(e.pd_inode, r.GetU32());
+    RGPD_ASSIGN_OR_RETURN(e.membrane_inode, r.GetU32());
+    RGPD_ASSIGN_OR_RETURN(e.copy_group, r.GetU64());
+    RGPD_ASSIGN_OR_RETURN(e.erased, r.GetBool());
+    RGPD_ASSIGN_OR_RETURN(e.store_id, r.GetU8());
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Status Dbfs::StoreSubjectRoot(inodefs::InodeId root,
+                              const std::vector<SubjectEntry>& entries) {
+  ByteWriter w;
+  w.PutVarint(entries.size());
+  for (const SubjectEntry& e : entries) {
+    w.PutU64(e.record_id);
+    w.PutString(e.type_name);
+    w.PutU32(e.pd_inode);
+    w.PutU32(e.membrane_inode);
+    w.PutU64(e.copy_group);
+    w.PutBool(e.erased);
+    w.PutU8(e.store_id);
+  }
+  return store_->WriteAll(root, w.buffer());
+}
+
+Result<inodefs::InodeId> Dbfs::GetOrCreateSubjectRoot(SubjectId subject) {
+  const auto it = subjects_.find(subject);
+  if (it != subjects_.end()) return it->second;
+  RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root,
+                        store_->AllocInode(inodefs::InodeKind::kSubjectRoot));
+  RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, {}));
+  subjects_[subject] = root;
+  // Append-only subjects map: one small write per NEW subject.
+  ByteWriter w;
+  w.PutU64(subject);
+  w.PutU32(root);
+  RGPD_RETURN_IF_ERROR(store_->Append(subjects_map_inode_, w.buffer()));
+  return root;
+}
+
+// ---- schema tree --------------------------------------------------------------
+
+Status Dbfs::CreateType(sentinel::Domain caller, const dsl::TypeDecl& decl) {
+  RGPD_RETURN_IF_ERROR(
+      Gate(caller, sentinel::Operation::kCreate, "type=" + decl.name));
+  RGPD_RETURN_IF_ERROR(decl.Validate());
+  if (types_.count(decl.name) != 0) {
+    return AlreadyExists("type exists: " + decl.name);
+  }
+  TypeEntry entry;
+  entry.decl = decl;
+  entry.schema = decl.ToSchema();
+  RGPD_ASSIGN_OR_RETURN(entry.schema_inode,
+                        store_->AllocInode(inodefs::InodeKind::kTableSchema));
+  RGPD_ASSIGN_OR_RETURN(
+      entry.subject_index_inode,
+      store_->AllocInode(inodefs::InodeKind::kSubjectIndex));
+  RGPD_RETURN_IF_ERROR(
+      store_->WriteAll(entry.schema_inode, dsl::EncodeTypeDecl(decl)));
+  types_.emplace(decl.name, std::move(entry));
+  return PersistTypesMap();
+}
+
+Result<const dsl::TypeDecl*> Dbfs::GetType(sentinel::Domain caller,
+                                           std::string_view name) const {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kReadSchema,
+                            "type=" + std::string(name)));
+  const auto it = types_.find(name);
+  if (it == types_.end()) {
+    return NotFound("no type: " + std::string(name));
+  }
+  return &it->second.decl;
+}
+
+std::vector<std::string> Dbfs::TypeNames() const {
+  std::vector<std::string> names;
+  names.reserve(types_.size());
+  for (const auto& [name, entry] : types_) names.push_back(name);
+  return names;
+}
+
+// ---- record surface ------------------------------------------------------------
+
+Result<Dbfs::RecordLoc> Dbfs::Locate(RecordId id) const {
+  const RecordLoc* loc = records_.Find(id);
+  if (loc == nullptr) {
+    return NotFound("no PD record " + std::to_string(id));
+  }
+  return *loc;
+}
+
+Result<RecordId> Dbfs::Put(sentinel::Domain caller, SubjectId subject,
+                           std::string_view type_name, const db::Row& row,
+                           membrane::Membrane membrane) {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kCreate,
+                            "put type=" + std::string(type_name)));
+  const auto type_it = types_.find(type_name);
+  if (type_it == types_.end()) {
+    return NotFound("no type: " + std::string(type_name));
+  }
+  RGPD_RETURN_IF_ERROR(type_it->second.schema.ValidateRow(row));
+  // Enforcement rule (3): the membrane must be present and coherent.
+  if (membrane.type_name != type_name) {
+    return FailedPrecondition("membrane names type '" + membrane.type_name +
+                              "', record is '" + std::string(type_name) +
+                              "'");
+  }
+  if (membrane.subject_id != subject) {
+    return FailedPrecondition("membrane subject does not match record");
+  }
+  if (membrane.copy_group == 0) {
+    membrane.copy_group = next_copy_group_++;
+  }
+
+  // Physical segregation: high-sensitivity records live on the
+  // dedicated sensitive store when one is attached.
+  const std::uint8_t store_id =
+      StoreIdFor(type_it->second.decl.sensitivity);
+  inodefs::InodeStore* data_store = StoreById(store_id);
+  RGPD_ASSIGN_OR_RETURN(
+      inodefs::InodeId pd_inode,
+      data_store->AllocInode(inodefs::InodeKind::kPdRecord));
+  RGPD_ASSIGN_OR_RETURN(
+      inodefs::InodeId membrane_inode,
+      data_store->AllocInode(inodefs::InodeKind::kMembrane));
+  RGPD_RETURN_IF_ERROR(data_store->WriteAll(
+      pd_inode, type_it->second.schema.EncodeRow(row)));
+  RGPD_RETURN_IF_ERROR(
+      data_store->WriteAll(membrane_inode, membrane.Serialize()));
+
+  RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root,
+                        GetOrCreateSubjectRoot(subject));
+  RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
+                        LoadSubjectRoot(root));
+  const RecordId id = next_record_id_++;
+  SubjectEntry entry;
+  entry.record_id = id;
+  entry.type_name = std::string(type_name);
+  entry.pd_inode = pd_inode;
+  entry.membrane_inode = membrane_inode;
+  entry.copy_group = membrane.copy_group;
+  entry.erased = false;
+  entry.store_id = store_id;
+  entries.push_back(entry);
+  RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
+
+  // Schema-tree link: append (record, subject) to the type's index.
+  ByteWriter link;
+  link.PutU64(id);
+  link.PutU64(subject);
+  RGPD_RETURN_IF_ERROR(
+      store_->Append(type_it->second.subject_index_inode, link.buffer()));
+
+  RecordLoc loc;
+  loc.subject_id = subject;
+  loc.type_name = entry.type_name;
+  loc.pd_inode = pd_inode;
+  loc.membrane_inode = membrane_inode;
+  loc.copy_group = membrane.copy_group;
+  loc.store_id = store_id;
+  records_.Insert(id, std::move(loc));
+  return id;
+}
+
+Result<PdRecord> Dbfs::Get(sentinel::Domain caller, RecordId id) const {
+  RGPD_RETURN_IF_ERROR(
+      Gate(caller, sentinel::Operation::kRead, "record=" + std::to_string(id)));
+  RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  PdRecord record;
+  record.record_id = id;
+  record.subject_id = loc.subject_id;
+  record.type_name = loc.type_name;
+  record.erased = loc.erased;
+  inodefs::InodeStore* data_store = StoreById(loc.store_id);
+  RGPD_ASSIGN_OR_RETURN(Bytes membrane_bytes,
+                        data_store->ReadAll(loc.membrane_inode));
+  RGPD_ASSIGN_OR_RETURN(record.membrane,
+                        membrane::Membrane::Deserialize(membrane_bytes));
+  if (!loc.erased) {
+    const auto type_it = types_.find(loc.type_name);
+    if (type_it == types_.end()) {
+      return Corruption("record references unknown type");
+    }
+    RGPD_ASSIGN_OR_RETURN(Bytes row_bytes,
+                          data_store->ReadAll(loc.pd_inode));
+    RGPD_ASSIGN_OR_RETURN(record.row,
+                          type_it->second.schema.DecodeRow(row_bytes));
+  }
+  return record;
+}
+
+Result<membrane::Membrane> Dbfs::GetMembrane(sentinel::Domain caller,
+                                             RecordId id) const {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
+                            "membrane record=" + std::to_string(id)));
+  RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  RGPD_ASSIGN_OR_RETURN(Bytes membrane_bytes,
+                        StoreById(loc.store_id)->ReadAll(loc.membrane_inode));
+  return membrane::Membrane::Deserialize(membrane_bytes);
+}
+
+Status Dbfs::UpdateRow(sentinel::Domain caller, RecordId id,
+                       const db::Row& row) {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kWrite,
+                            "record=" + std::to_string(id)));
+  RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  if (loc.erased) {
+    return Erased("record " + std::to_string(id) + " was erased");
+  }
+  const auto type_it = types_.find(loc.type_name);
+  if (type_it == types_.end()) {
+    return Corruption("record references unknown type");
+  }
+  RGPD_RETURN_IF_ERROR(type_it->second.schema.ValidateRow(row));
+  inodefs::InodeStore* data_store = StoreById(loc.store_id);
+  // Scrubbed truncate first: the superseded version must not linger.
+  RGPD_RETURN_IF_ERROR(data_store->Truncate(loc.pd_inode, 0, /*scrub=*/true));
+  return data_store->WriteAll(loc.pd_inode,
+                              type_it->second.schema.EncodeRow(row));
+}
+
+Status Dbfs::UpdateMembrane(sentinel::Domain caller, RecordId id,
+                            const membrane::Membrane& membrane) {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kWrite,
+                            "membrane record=" + std::to_string(id)));
+  RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  if (membrane.subject_id != loc.subject_id ||
+      membrane.type_name != loc.type_name) {
+    return FailedPrecondition(
+        "membrane identity does not match the stored record");
+  }
+  RGPD_RETURN_IF_ERROR(StoreById(loc.store_id)
+                           ->WriteAll(loc.membrane_inode,
+                                      membrane.Serialize()));
+  if (membrane.copy_group != loc.copy_group) {
+    RecordLoc* live = records_.Find(id);
+    live->copy_group = membrane.copy_group;
+    RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
+                          LoadSubjectRoot(subjects_.at(loc.subject_id)));
+    for (SubjectEntry& e : entries) {
+      if (e.record_id == id) e.copy_group = membrane.copy_group;
+    }
+    RGPD_RETURN_IF_ERROR(
+        StoreSubjectRoot(subjects_.at(loc.subject_id), entries));
+  }
+  return Status::Ok();
+}
+
+Status Dbfs::HardDelete(sentinel::Domain caller, RecordId id) {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kDelete,
+                            "record=" + std::to_string(id)));
+  RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  const inodefs::InodeId root = subjects_.at(loc.subject_id);
+  RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
+                        LoadSubjectRoot(root));
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](const SubjectEntry& e) {
+                                 return e.record_id == id;
+                               }),
+                entries.end());
+  RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
+  // Scrubbed frees zero the blocks in place AND log zeros to the journal;
+  // the final journal scrubs then destroy the remaining history on every
+  // store the record's bytes touched.
+  inodefs::InodeStore* data_store = StoreById(loc.store_id);
+  RGPD_RETURN_IF_ERROR(data_store->FreeInode(loc.pd_inode, /*scrub=*/true));
+  RGPD_RETURN_IF_ERROR(
+      data_store->FreeInode(loc.membrane_inode, /*scrub=*/true));
+  RGPD_RETURN_IF_ERROR(data_store->ScrubJournal());
+  RGPD_RETURN_IF_ERROR(store_->ScrubJournal());
+  records_.Erase(id);
+  return Status::Ok();
+}
+
+Status Dbfs::ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
+                                 ByteSpan envelope) {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kErase,
+                            "record=" + std::to_string(id)));
+  RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  if (loc.erased) {
+    return Erased("record " + std::to_string(id) + " already erased");
+  }
+  // Destroy the plaintext, keep only the authority-sealed envelope.
+  inodefs::InodeStore* data_store = StoreById(loc.store_id);
+  RGPD_RETURN_IF_ERROR(data_store->Truncate(loc.pd_inode, 0, /*scrub=*/true));
+  RGPD_RETURN_IF_ERROR(data_store->WriteAll(loc.pd_inode, envelope));
+  // Revoke every consent on the membrane: nothing may process this PD.
+  RGPD_ASSIGN_OR_RETURN(Bytes membrane_bytes,
+                        data_store->ReadAll(loc.membrane_inode));
+  RGPD_ASSIGN_OR_RETURN(membrane::Membrane m,
+                        membrane::Membrane::Deserialize(membrane_bytes));
+  for (auto& [purpose, consent] : m.consents) {
+    consent = membrane::Consent::None();
+  }
+  ++m.version;
+  RGPD_RETURN_IF_ERROR(
+      data_store->WriteAll(loc.membrane_inode, m.Serialize()));
+
+  const inodefs::InodeId root = subjects_.at(loc.subject_id);
+  RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
+                        LoadSubjectRoot(root));
+  for (SubjectEntry& e : entries) {
+    if (e.record_id == id) e.erased = true;
+  }
+  RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
+  records_.Find(id)->erased = true;
+  // Finally destroy the journal history that still holds plaintext, on
+  // both stores (the primary journaled the subject-root rewrite too).
+  RGPD_RETURN_IF_ERROR(data_store->ScrubJournal());
+  return store_->ScrubJournal();
+}
+
+Result<Bytes> Dbfs::GetEnvelope(sentinel::Domain caller, RecordId id) const {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
+                            "envelope record=" + std::to_string(id)));
+  RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  if (!loc.erased) {
+    return FailedPrecondition("record " + std::to_string(id) +
+                              " is not erased; no envelope");
+  }
+  return StoreById(loc.store_id)->ReadAll(loc.pd_inode);
+}
+
+// ---- queries ---------------------------------------------------------------------
+
+Result<std::vector<RecordId>> Dbfs::RecordsOfType(
+    sentinel::Domain caller, std::string_view type) const {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
+                            "scan type=" + std::string(type)));
+  const auto type_it = types_.find(type);
+  if (type_it == types_.end()) {
+    return NotFound("no type: " + std::string(type));
+  }
+  // Walk the schema tree's subject-index log; entries for records that
+  // were since deleted are filtered against the live index.
+  RGPD_ASSIGN_OR_RETURN(Bytes log,
+                        store_->ReadAll(type_it->second.subject_index_inode));
+  ByteReader r(log);
+  std::vector<RecordId> out;
+  while (!r.exhausted()) {
+    RGPD_ASSIGN_OR_RETURN(RecordId id, r.GetU64());
+    RGPD_ASSIGN_OR_RETURN(SubjectId subject, r.GetU64());
+    (void)subject;
+    if (records_.Contains(id)) out.push_back(id);
+  }
+  return out;
+}
+
+Result<std::vector<RecordId>> Dbfs::RecordsOfSubject(
+    sentinel::Domain caller, SubjectId subject) const {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
+                            "scan subject=" + std::to_string(subject)));
+  const auto it = subjects_.find(subject);
+  if (it == subjects_.end()) return std::vector<RecordId>{};
+  RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
+                        LoadSubjectRoot(it->second));
+  std::vector<RecordId> out;
+  out.reserve(entries.size());
+  for (const SubjectEntry& e : entries) out.push_back(e.record_id);
+  return out;
+}
+
+Result<std::vector<RecordId>> Dbfs::CopyGroupMembers(
+    sentinel::Domain caller, std::uint64_t group) const {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
+                            "copy_group=" + std::to_string(group)));
+  std::vector<RecordId> out;
+  records_.ForEach([&](const RecordId& id, const RecordLoc& loc) {
+    if (loc.copy_group == group) out.push_back(id);
+    return true;
+  });
+  return out;
+}
+
+Result<Dbfs::SensitivityReport> Dbfs::ReportSensitivity(
+    sentinel::Domain caller) const {
+  // Schema-level metadata, not PD content: the sysadmin may read it.
+  RGPD_RETURN_IF_ERROR(
+      Gate(caller, sentinel::Operation::kReadSchema, "sensitivity report"));
+  SensitivityReport report;
+  Status failure = Status::Ok();
+  records_.ForEach([&](const RecordId&, const RecordLoc& loc) {
+    const auto type_it = types_.find(loc.type_name);
+    if (type_it == types_.end()) {
+      failure = Corruption("record references unknown type");
+      return false;
+    }
+    const auto level = type_it->second.decl.sensitivity;
+    ++report.by_level[static_cast<std::size_t>(level)];
+    if (level == membrane::Sensitivity::kHigh) {
+      ++report.high_by_type[loc.type_name];
+    }
+    return true;
+  });
+  RGPD_RETURN_IF_ERROR(failure);
+  return report;
+}
+
+Result<SubjectExport> Dbfs::ExportSubject(sentinel::Domain caller,
+                                          SubjectId subject) const {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kExport,
+                            "subject=" + std::to_string(subject)));
+  RGPD_ASSIGN_OR_RETURN(std::vector<RecordId> ids,
+                        RecordsOfSubject(caller, subject));
+  SubjectExport out;
+  out.subject_id = subject;
+  out.records.reserve(ids.size());
+  for (RecordId id : ids) {
+    RGPD_ASSIGN_OR_RETURN(PdRecord record, Get(caller, id));
+    out.records.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace rgpdos::dbfs

@@ -1,0 +1,238 @@
+// DBFS — the database-oriented filesystem (paper Idea 3 and §3(1)).
+//
+// Layout follows the implementation section literally: PD is represented
+// by two major inode trees on a dedicated InodeStore (its own device,
+// separate from the NPD filesystem):
+//
+//   * the SUBJECT TREE gathers every PD from all subjects, "with a
+//     separate set of inodes for each of them, grouping not only their
+//     personal data but also the membrane": one kSubjectRoot inode per
+//     subject listing its records; each record is a (kPdRecord inode,
+//     kMembrane inode) pair;
+//   * the SCHEMA TREE "provides the database structure, with a core
+//     inode … for each table describing the structure of the contained
+//     data … and a list of subject's inodes, providing an easy link to
+//     quickly fetch the corresponding pieces of information": one
+//     kTableSchema inode per type (the encoded TypeDecl) plus one
+//     kSubjectIndex inode (append-only log of (record, subject) links);
+//   * a dedicated kFormatHint inode "describes the general structure of
+//     the data encoded in the inode subtree of each subject: meant to be
+//     accessed only once by the filesystem during a given live session".
+//
+// Every mutating or reading entry point takes the caller's security
+// domain and is gated by the sentinel (enforcement rule 4: only the DED
+// accesses DBFS directly; the sysadmin may only administer types), and
+// every stored record provably carries a membrane (enforcement rule 3).
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/btree.hpp"
+#include "db/schema.hpp"
+#include "dsl/ast.hpp"
+#include "inodefs/inode_store.hpp"
+#include "membrane/membrane.hpp"
+#include "sentinel/policy.hpp"
+
+namespace rgpdos::dbfs {
+
+using RecordId = std::uint64_t;
+using SubjectId = std::uint64_t;
+
+/// A full PD record as handed to the DED.
+struct PdRecord {
+  RecordId record_id = 0;
+  SubjectId subject_id = 0;
+  std::string type_name;
+  db::Row row;
+  membrane::Membrane membrane;
+  bool erased = false;  ///< crypto-erased: row bytes are an Envelope
+};
+
+/// Structured export of one subject's data (right of access / portability).
+struct SubjectExport {
+  SubjectId subject_id = 0;
+  std::vector<PdRecord> records;
+};
+
+class Dbfs {
+ public:
+  /// Format the store as an empty DBFS and mount it. When
+  /// `sensitive_store` is non-null, records of high-sensitivity types
+  /// are physically segregated onto it ("the GDPR prescribes that
+  /// sensitive data … be stored separately from less sensitive data",
+  /// paper §2) — a separate device, separate journal, separate blast
+  /// radius. The schema tree and subject tree stay on the primary store.
+  static Result<std::unique_ptr<Dbfs>> Format(
+      inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
+      const Clock* clock, inodefs::InodeStore* sensitive_store = nullptr);
+  /// Mount an existing DBFS: loads the schema tree, walks the subject
+  /// tree to rebuild the in-memory record index. Pass the same
+  /// `sensitive_store` topology the filesystem was formatted with.
+  static Result<std::unique_ptr<Dbfs>> Mount(
+      inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
+      const Clock* clock, inodefs::InodeStore* sensitive_store = nullptr);
+
+  // ---- schema tree (sysadmin surface) ---------------------------------------
+
+  Status CreateType(sentinel::Domain caller, const dsl::TypeDecl& decl);
+  Result<const dsl::TypeDecl*> GetType(sentinel::Domain caller,
+                                       std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> TypeNames() const;
+
+  // ---- record surface (DED only) --------------------------------------------
+
+  /// Store a row with its membrane. Fails kFailedPrecondition if the
+  /// membrane does not name this type/subject (rule 3 is structural:
+  /// there is no membrane-less insertion path at all).
+  Result<RecordId> Put(sentinel::Domain caller, SubjectId subject,
+                       std::string_view type_name, const db::Row& row,
+                       membrane::Membrane membrane);
+  Result<PdRecord> Get(sentinel::Domain caller, RecordId id) const;
+  /// Membrane-only fetch — the DED's ded_load_membrane step reads this
+  /// BEFORE any PD bytes leave the store.
+  Result<membrane::Membrane> GetMembrane(sentinel::Domain caller,
+                                         RecordId id) const;
+  Status UpdateRow(sentinel::Domain caller, RecordId id, const db::Row& row);
+  Status UpdateMembrane(sentinel::Domain caller, RecordId id,
+                        const membrane::Membrane& membrane);
+
+  /// Physical destruction: scrub the record's blocks, then scrub the
+  /// journal history. After this returns no plaintext byte of the record
+  /// survives anywhere on the device (invariant E8's hard-delete arm).
+  Status HardDelete(sentinel::Domain caller, RecordId id);
+
+  /// Crypto-erasure: replace the row bytes with `envelope` (sealed to the
+  /// authority), revoke all consents, scrub old blocks + journal.
+  Status ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
+                             ByteSpan envelope);
+  /// Raw envelope bytes of an erased record (authority recovery path).
+  Result<Bytes> GetEnvelope(sentinel::Domain caller, RecordId id) const;
+
+  // ---- queries ---------------------------------------------------------------
+
+  Result<std::vector<RecordId>> RecordsOfType(sentinel::Domain caller,
+                                              std::string_view type) const;
+  Result<std::vector<RecordId>> RecordsOfSubject(sentinel::Domain caller,
+                                                 SubjectId subject) const;
+  /// All records sharing a copy group (membrane-consistency propagation).
+  Result<std::vector<RecordId>> CopyGroupMembers(sentinel::Domain caller,
+                                                 std::uint64_t group) const;
+  Result<SubjectExport> ExportSubject(sentinel::Domain caller,
+                                      SubjectId subject) const;
+
+  /// Fresh copy-group id for a newly collected record.
+  std::uint64_t NewCopyGroup() { return next_copy_group_++; }
+
+  /// Inode reserved for the (hash-chained) processing log. Lives on the
+  /// DBFS store: the log names subjects and purposes, so it must not be
+  /// readable through the NPD filesystem.
+  [[nodiscard]] inodefs::InodeId processing_log_inode() const {
+    return processing_log_inode_;
+  }
+
+  // ---- stats -----------------------------------------------------------------
+
+  /// Sensitivity segregation report (paper §2: "sensitive data … be
+  /// stored separately from less sensitive data"): live record counts
+  /// per sensitivity level and per type, for the sysadmin/regulator.
+  struct SensitivityReport {
+    std::array<std::size_t, 3> by_level{};  ///< [low, medium, high]
+    std::map<std::string, std::size_t> high_by_type;
+  };
+  Result<SensitivityReport> ReportSensitivity(sentinel::Domain caller) const;
+
+  [[nodiscard]] std::size_t record_count() const { return records_.size(); }
+  [[nodiscard]] std::size_t subject_count() const {
+    return subjects_.size();
+  }
+  [[nodiscard]] inodefs::InodeStore& store() { return *store_; }
+
+ private:
+  struct TypeEntry {
+    dsl::TypeDecl decl;
+    db::Schema schema;
+    inodefs::InodeId schema_inode = inodefs::kInvalidInode;
+    inodefs::InodeId subject_index_inode = inodefs::kInvalidInode;
+  };
+
+  /// In-memory location of a record (rebuilt from the subject tree).
+  struct RecordLoc {
+    SubjectId subject_id = 0;
+    std::string type_name;
+    inodefs::InodeId pd_inode = inodefs::kInvalidInode;
+    inodefs::InodeId membrane_inode = inodefs::kInvalidInode;
+    std::uint64_t copy_group = 0;
+    bool erased = false;
+    std::uint8_t store_id = 0;  ///< 0 = primary, 1 = sensitive
+  };
+
+  Dbfs(inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
+       const Clock* clock, inodefs::InodeStore* sensitive_store)
+      : store_(store),
+        sensitive_store_(sensitive_store),
+        sentinel_(sentinel),
+        clock_(clock) {}
+
+  /// The store a record's data inodes live on.
+  [[nodiscard]] inodefs::InodeStore* StoreById(std::uint8_t store_id) const {
+    return store_id == 1 && sensitive_store_ != nullptr ? sensitive_store_
+                                                        : store_;
+  }
+  /// Which store new records of `level` go to.
+  [[nodiscard]] std::uint8_t StoreIdFor(membrane::Sensitivity level) const {
+    return level == membrane::Sensitivity::kHigh &&
+                   sensitive_store_ != nullptr
+               ? 1
+               : 0;
+  }
+
+  Status Gate(sentinel::Domain caller, sentinel::Operation op,
+              std::string detail) const;
+
+  // Subject-tree persistence: each subject root holds the encoded list
+  // of its record entries.
+  struct SubjectEntry {
+    RecordId record_id = 0;
+    std::string type_name;
+    inodefs::InodeId pd_inode = inodefs::kInvalidInode;
+    inodefs::InodeId membrane_inode = inodefs::kInvalidInode;
+    std::uint64_t copy_group = 0;
+    bool erased = false;
+    std::uint8_t store_id = 0;
+  };
+  Result<std::vector<SubjectEntry>> LoadSubjectRoot(
+      inodefs::InodeId root) const;
+  Status StoreSubjectRoot(inodefs::InodeId root,
+                          const std::vector<SubjectEntry>& entries);
+  Result<inodefs::InodeId> GetOrCreateSubjectRoot(SubjectId subject);
+
+  Status PersistTypesMap();
+  Status PersistSubjectsMap();
+  Status PersistFormatHint();
+  Result<RecordLoc> Locate(RecordId id) const;
+
+  inodefs::InodeStore* store_;            // borrowed (primary)
+  inodefs::InodeStore* sensitive_store_;  // borrowed; may be null
+  sentinel::Sentinel* sentinel_;          // borrowed
+  const Clock* clock_;                    // borrowed
+
+  inodefs::InodeId master_inode_ = inodefs::kInvalidInode;
+  inodefs::InodeId processing_log_inode_ = inodefs::kInvalidInode;
+  inodefs::InodeId types_map_inode_ = inodefs::kInvalidInode;
+  inodefs::InodeId subjects_map_inode_ = inodefs::kInvalidInode;
+  inodefs::InodeId format_hint_inode_ = inodefs::kInvalidInode;
+
+  std::map<std::string, TypeEntry, std::less<>> types_;
+  std::map<SubjectId, inodefs::InodeId> subjects_;
+  db::BPlusTree<RecordId, RecordLoc> records_;
+  RecordId next_record_id_ = 1;
+  std::uint64_t next_copy_group_ = 1;
+};
+
+}  // namespace rgpdos::dbfs

@@ -1,0 +1,92 @@
+#include "dsl/ast.hpp"
+
+namespace rgpdos::dsl {
+
+Result<std::set<std::string>> TypeDecl::ViewFields(
+    std::string_view view_name) const {
+  if (view_name.empty() || view_name == "all") {
+    std::set<std::string> all;
+    for (const db::FieldDef& f : fields) all.insert(f.name);
+    return all;
+  }
+  for (const ViewDecl& v : views) {
+    if (v.name == view_name) {
+      return std::set<std::string>(v.fields.begin(), v.fields.end());
+    }
+  }
+  return NotFound("type '" + name + "' has no view '" +
+                  std::string(view_name) + "'");
+}
+
+bool TypeDecl::HasView(std::string_view view_name) const {
+  for (const ViewDecl& v : views) {
+    if (v.name == view_name) return true;
+  }
+  return false;
+}
+
+db::Schema TypeDecl::ToSchema() const { return db::Schema(name, fields); }
+
+membrane::Membrane TypeDecl::DefaultMembrane(std::uint64_t subject_id,
+                                             TimeMicros now) const {
+  membrane::Membrane m;
+  m.subject_id = subject_id;
+  m.type_name = name;
+  m.origin = origin;
+  m.sensitivity = sensitivity;
+  m.created_at = now;
+  m.ttl = ttl;
+  for (const auto& [purpose, spec] : default_consents) {
+    membrane::Consent consent;
+    consent.kind = spec.kind;
+    consent.view = spec.view;
+    m.consents.emplace(purpose, std::move(consent));
+  }
+  m.collection = collection;
+  return m;
+}
+
+Status TypeDecl::Validate() const {
+  if (name.empty()) return InvalidArgument("type has no name");
+  if (fields.empty()) {
+    return InvalidArgument("type '" + name + "' declares no fields");
+  }
+  std::set<std::string> field_names;
+  for (const db::FieldDef& f : fields) {
+    if (!field_names.insert(f.name).second) {
+      return InvalidArgument("type '" + name + "' declares field '" +
+                             f.name + "' twice");
+    }
+  }
+  std::set<std::string> view_names;
+  for (const ViewDecl& v : views) {
+    if (v.name == "all" || v.name == "none") {
+      return InvalidArgument("view name '" + v.name + "' is reserved");
+    }
+    if (!view_names.insert(v.name).second) {
+      return InvalidArgument("type '" + name + "' declares view '" + v.name +
+                             "' twice");
+    }
+    if (v.fields.empty()) {
+      return InvalidArgument("view '" + v.name + "' of type '" + name +
+                             "' is empty");
+    }
+    for (const std::string& f : v.fields) {
+      if (field_names.count(f) == 0) {
+        return InvalidArgument("view '" + v.name +
+                               "' references unknown field '" + f + "'");
+      }
+    }
+  }
+  for (const auto& [purpose, spec] : default_consents) {
+    if (spec.kind == membrane::ConsentKind::kView &&
+        view_names.count(spec.view) == 0) {
+      return InvalidArgument("consent for purpose '" + purpose +
+                             "' references unknown view '" + spec.view +
+                             "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace rgpdos::dsl

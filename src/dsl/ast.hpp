@@ -1,0 +1,85 @@
+// AST of the declaration language, plus conversions into the runtime
+// vocabulary (db::Schema, membrane::Membrane).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "db/schema.hpp"
+#include "membrane/membrane.hpp"
+
+namespace rgpdos::dsl {
+
+/// `view v_ano { year_of_birthdate };`
+struct ViewDecl {
+  std::string name;
+  std::vector<std::string> fields;
+};
+
+/// One entry of the `consent { ... }` block: all | none | <view name>.
+struct ConsentSpec {
+  membrane::ConsentKind kind = membrane::ConsentKind::kNone;
+  std::string view;  ///< set iff kind == kView
+};
+
+/// A full `type` declaration (paper Listing 1).
+struct TypeDecl {
+  std::string name;
+  std::vector<db::FieldDef> fields;
+  std::vector<ViewDecl> views;
+  /// Default consents applied when PD of this type is collected; purposes
+  /// listed here are backed by a legitimate basis chosen by the operator.
+  std::map<std::string, ConsentSpec> default_consents;
+  std::vector<membrane::CollectionInterface> collection;
+  membrane::Origin origin = membrane::Origin::kSubject;
+  /// Parsed `age:` clause; 0 if absent (no expiry).
+  TimeMicros ttl = 0;
+  membrane::Sensitivity sensitivity = membrane::Sensitivity::kLow;
+
+  /// Fields of a view by name; "all" is implicit (every field).
+  [[nodiscard]] Result<std::set<std::string>> ViewFields(
+      std::string_view view_name) const;
+  [[nodiscard]] bool HasView(std::string_view view_name) const;
+
+  /// Schema for DBFS storage.
+  [[nodiscard]] db::Schema ToSchema() const;
+
+  /// Default membrane for a fresh record of this type, per the paper:
+  /// "The consent keyword indicates the default consent to apply when
+  /// data of this type is created (collected)."
+  [[nodiscard]] membrane::Membrane DefaultMembrane(std::uint64_t subject_id,
+                                                   TimeMicros now) const;
+
+  /// Structural validation: unique field/view names, views referencing
+  /// declared fields, consents referencing declared views.
+  [[nodiscard]] Status Validate() const;
+};
+
+/// A purpose declaration — the "very high level language" of the paper's
+/// programming model, normally written by the project manager:
+///
+///   purpose purpose3 {
+///     input: user.v_ano;
+///     output: age;
+///     description: "compute the age of a user";
+///   }
+struct PurposeDecl {
+  std::string name;
+  std::string input_type;
+  /// View of the input the purpose claims to need; empty = whole type.
+  std::string input_view;
+  /// Type produced, empty if the purpose yields only non-personal data.
+  std::string output_type;
+  std::string description;
+};
+
+/// Result of parsing a source file: any mix of type and purpose decls.
+struct Program {
+  std::vector<TypeDecl> types;
+  std::vector<PurposeDecl> purposes;
+};
+
+}  // namespace rgpdos::dsl

@@ -1,0 +1,164 @@
+#include "dsl/lexer.hpp"
+
+namespace rgpdos::dsl {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == '/';
+}
+
+bool IsIdentBody(char c) {
+  // Dots, slashes and dashes let collection targets like
+  // "user_form.html" or "scripts/fetch_data.py" lex as single tokens.
+  return IsIdentStart(c) || (c >= '0' && c <= '9') || c == '.' || c == '-';
+}
+
+std::string At(int line, int column) {
+  return " at " + std::to_string(line) + ":" + std::to_string(column);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  const auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      const int start_line = line;
+      const int start_col = column;
+      advance(2);
+      bool closed = false;
+      while (i + 1 < source.size()) {
+        if (source[i] == '*' && source[i + 1] == '/') {
+          advance(2);
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) {
+        return InvalidArgument("unterminated block comment" +
+                               At(start_line, start_col));
+      }
+      continue;
+    }
+
+    Token token;
+    token.line = line;
+    token.column = column;
+
+    switch (c) {
+      case '{': token.kind = TokenKind::kLBrace; token.text = "{"; advance(); break;
+      case '}': token.kind = TokenKind::kRBrace; token.text = "}"; advance(); break;
+      case ':': token.kind = TokenKind::kColon; token.text = ":"; advance(); break;
+      case ',': token.kind = TokenKind::kComma; token.text = ","; advance(); break;
+      case ';': token.kind = TokenKind::kSemicolon; token.text = ";"; advance(); break;
+      case '"': {
+        advance();
+        std::string text;
+        bool closed = false;
+        while (i < source.size()) {
+          if (source[i] == '"') {
+            advance();
+            closed = true;
+            break;
+          }
+          if (source[i] == '\\' && i + 1 < source.size()) {
+            advance();
+            switch (source[i]) {
+              case 'n': text.push_back('\n'); break;
+              case 't': text.push_back('\t'); break;
+              default: text.push_back(source[i]); break;
+            }
+            advance();
+            continue;
+          }
+          text.push_back(source[i]);
+          advance();
+        }
+        if (!closed) {
+          return InvalidArgument("unterminated string" +
+                                 At(token.line, token.column));
+        }
+        token.kind = TokenKind::kString;
+        token.text = std::move(text);
+        break;
+      }
+      default: {
+        if (c >= '0' && c <= '9') {
+          std::string text;
+          while (i < source.size() && source[i] >= '0' && source[i] <= '9') {
+            text.push_back(source[i]);
+            advance();
+          }
+          token.kind = TokenKind::kNumber;
+          token.text = std::move(text);
+        } else if (IsIdentStart(c)) {
+          std::string text;
+          while (i < source.size() && IsIdentBody(source[i])) {
+            text.push_back(source[i]);
+            advance();
+          }
+          token.kind = TokenKind::kIdent;
+          token.text = std::move(text);
+        } else {
+          return InvalidArgument(std::string("unexpected character '") + c +
+                                 "'" + At(line, column));
+        }
+        break;
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace rgpdos::dsl

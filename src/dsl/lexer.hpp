@@ -1,0 +1,41 @@
+// Lexer for the rgpdOS declaration language (paper Listing 1): personal
+// data type declarations with fields, views, default consents, collection
+// interfaces, origin, time-to-live and sensitivity — plus the purpose
+// declaration language used by ps_register.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace rgpdos::dsl {
+
+enum class TokenKind : std::uint8_t {
+  kIdent,    ///< identifiers, keywords, and path-ish values (a.b, x.html)
+  kNumber,   ///< decimal integer literal
+  kString,   ///< double-quoted string
+  kLBrace,   ///< {
+  kRBrace,   ///< }
+  kColon,    ///< :
+  kComma,    ///< ,
+  kSemicolon,///< ;
+  kEof,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenize a source buffer. Supports // line and /* block */ comments.
+/// Fails with InvalidArgument on unknown characters or unterminated
+/// strings/comments, reporting line:column.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace rgpdos::dsl

@@ -1,0 +1,85 @@
+#include "dsl/lint.hpp"
+
+#include <array>
+
+namespace rgpdos::dsl {
+
+std::string_view LintRuleName(LintRule rule) {
+  switch (rule) {
+    case LintRule::kNoViews: return "no-views";
+    case LintRule::kBroadConsent: return "broad-consent";
+    case LintRule::kNoTtl: return "no-ttl";
+    case LintRule::kUnboundedIdentifier: return "unbounded-identifier";
+    case LintRule::kNoCollection: return "no-collection";
+    case LintRule::kManyPurposes: return "many-purposes";
+  }
+  return "?";
+}
+
+namespace {
+bool LooksLikeIdentifier(const std::string& field_name) {
+  static constexpr std::array<std::string_view, 8> kIdentifierish = {
+      "name", "email", "mail", "phone", "ssn", "iban", "address", "pwd"};
+  for (std::string_view needle : kIdentifierish) {
+    if (field_name.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+}  // namespace
+
+std::vector<LintWarning> LintType(const TypeDecl& decl) {
+  std::vector<LintWarning> warnings;
+  const auto warn = [&](LintRule rule, std::string detail) {
+    warnings.push_back(LintWarning{rule, std::move(detail)});
+  };
+
+  if (decl.fields.size() > 1 && decl.views.empty()) {
+    warn(LintRule::kNoViews,
+         "type '" + decl.name + "' has " +
+             std::to_string(decl.fields.size()) +
+             " fields but declares no views: every consent exposes the "
+             "whole record");
+  }
+
+  if (!decl.views.empty()) {
+    for (const auto& [purpose, spec] : decl.default_consents) {
+      if (spec.kind == membrane::ConsentKind::kAll) {
+        warn(LintRule::kBroadConsent,
+             "purpose '" + purpose +
+                 "' defaults to `all` although narrower views exist");
+      }
+    }
+  }
+
+  if (decl.sensitivity == membrane::Sensitivity::kHigh && decl.ttl == 0) {
+    warn(LintRule::kNoTtl,
+         "high-sensitivity type '" + decl.name +
+             "' has no `age:` clause: records never expire");
+  }
+
+  for (const db::FieldDef& field : decl.fields) {
+    if (field.type == db::ValueType::kString &&
+        LooksLikeIdentifier(field.name) && !field.constraints.max_len) {
+      warn(LintRule::kUnboundedIdentifier,
+           "identifier-like field '" + field.name +
+               "' has no max_len bound");
+    }
+  }
+
+  if (decl.origin == membrane::Origin::kSubject &&
+      decl.collection.empty()) {
+    warn(LintRule::kNoCollection,
+         "origin is `subject` but no collection interface is declared: "
+         "how does this PD lawfully enter the system?");
+  }
+
+  if (decl.default_consents.size() > 8) {
+    warn(LintRule::kManyPurposes,
+         "type '" + decl.name + "' pre-authorises " +
+             std::to_string(decl.default_consents.size()) +
+             " purposes by default (purpose creep)");
+  }
+  return warnings;
+}
+
+}  // namespace rgpdos::dsl

@@ -1,0 +1,37 @@
+// Privacy-by-design linter (GDPR Art. 25; paper §1: "Using rgpdOS a data
+// operator is demonstrating a conscious effort towards GDPR compliance
+// like imposed by its 25th article").
+//
+// Structural heuristics over a TypeDecl that flag declarations which are
+// legal but privacy-hostile. Warnings, not errors: the sysadmin decides.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsl/ast.hpp"
+
+namespace rgpdos::dsl {
+
+enum class LintRule : std::uint8_t {
+  kNoViews = 0,        ///< multi-field type with no views: every consent
+                       ///< is all-or-nothing (data minimisation missed)
+  kBroadConsent,       ///< default consent `all` although views exist
+  kNoTtl,              ///< high-sensitivity type without an `age:` clause
+                       ///< (storage limitation)
+  kUnboundedIdentifier,///< identifier-ish string field without max_len
+  kNoCollection,       ///< origin subject but no collection interface
+  kManyPurposes,       ///< more than 8 default purposes (purpose creep)
+};
+
+std::string_view LintRuleName(LintRule rule);
+
+struct LintWarning {
+  LintRule rule;
+  std::string detail;
+};
+
+/// Run every rule; returns the warnings in declaration order.
+std::vector<LintWarning> LintType(const TypeDecl& decl);
+
+}  // namespace rgpdos::dsl

@@ -1,0 +1,355 @@
+#include "dsl/parser.hpp"
+
+#include "dsl/lexer.hpp"
+
+namespace rgpdos::dsl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!AtEof()) {
+      const Token& t = Peek();
+      if (t.kind == TokenKind::kIdent && t.text == "type") {
+        RGPD_ASSIGN_OR_RETURN(TypeDecl decl, ParseTypeDecl());
+        RGPD_RETURN_IF_ERROR(decl.Validate());
+        program.types.push_back(std::move(decl));
+      } else if (t.kind == TokenKind::kIdent && t.text == "purpose") {
+        RGPD_ASSIGN_OR_RETURN(PurposeDecl decl, ParsePurposeDecl());
+        program.purposes.push_back(std::move(decl));
+      } else {
+        return Error("expected 'type' or 'purpose'", t);
+      }
+    }
+    return program;
+  }
+
+ private:
+  [[nodiscard]] const Token& Peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool AtEof() const {
+    return Peek().kind == TokenKind::kEof;
+  }
+  const Token& Take() { return tokens_[pos_++]; }
+
+  static Status Error(const std::string& message, const Token& token) {
+    return InvalidArgument(message + " at " + std::to_string(token.line) +
+                           ":" + std::to_string(token.column) + " (got " +
+                           (token.kind == TokenKind::kEof
+                                ? std::string("end of input")
+                                : "'" + token.text + "'") +
+                           ")");
+  }
+
+  Result<Token> Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error("expected " + std::string(TokenKindName(kind)), Peek());
+    }
+    return Take();
+  }
+
+  Result<Token> ExpectIdent(std::string_view text) {
+    if (Peek().kind != TokenKind::kIdent || Peek().text != text) {
+      return Error("expected '" + std::string(text) + "'", Peek());
+    }
+    return Take();
+  }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<TypeDecl> ParseTypeDecl() {
+    RGPD_RETURN_IF_ERROR(ExpectIdent("type").status());
+    RGPD_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent));
+    TypeDecl decl;
+    decl.name = name.text;
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace).status());
+    while (Peek().kind != TokenKind::kRBrace) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected a type clause", Peek());
+      }
+      const std::string clause = Peek().text;
+      if (clause == "fields") {
+        RGPD_RETURN_IF_ERROR(ParseFields(decl));
+      } else if (clause == "view") {
+        RGPD_RETURN_IF_ERROR(ParseView(decl));
+      } else if (clause == "consent") {
+        RGPD_RETURN_IF_ERROR(ParseConsent(decl));
+      } else if (clause == "collection") {
+        RGPD_RETURN_IF_ERROR(ParseCollection(decl));
+      } else if (clause == "origin") {
+        RGPD_RETURN_IF_ERROR(ParseOrigin(decl));
+      } else if (clause == "age") {
+        RGPD_RETURN_IF_ERROR(ParseAge(decl));
+      } else if (clause == "sensitivity") {
+        RGPD_RETURN_IF_ERROR(ParseSensitivity(decl));
+      } else {
+        return Error("unknown type clause '" + clause + "'", Peek());
+      }
+    }
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace).status());
+    Accept(TokenKind::kSemicolon);
+    return decl;
+  }
+
+  Status ParseFields(TypeDecl& decl) {
+    RGPD_RETURN_IF_ERROR(ExpectIdent("fields").status());
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace).status());
+    while (Peek().kind != TokenKind::kRBrace) {
+      RGPD_ASSIGN_OR_RETURN(Token field_name, Expect(TokenKind::kIdent));
+      RGPD_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+      RGPD_ASSIGN_OR_RETURN(Token type_name, Expect(TokenKind::kIdent));
+      db::FieldDef field;
+      field.name = field_name.text;
+      std::string base = type_name.text;
+      // `string?` lexes as one ident only if '?' were an ident char; it
+      // is not, so nullable is expressed as a `nullable` suffix keyword.
+      // Optional suffix keywords: `nullable` and the Art. 5(1)(d)
+      // accuracy constraints `min N`, `max N`, `max_len N`, `not_empty`.
+      for (;;) {
+        if (Peek().kind != TokenKind::kIdent) break;
+        const std::string& kw = Peek().text;
+        if (kw == "nullable") {
+          Take();
+          field.nullable = true;
+        } else if (kw == "min" || kw == "max" || kw == "max_len") {
+          Take();
+          bool negative = false;
+          if (Peek().kind == TokenKind::kIdent && Peek().text == "-") {
+            // '-' is not an ident start; negatives arrive as one token
+            // only via this fallback — normally unused.
+            Take();
+            negative = true;
+          }
+          RGPD_ASSIGN_OR_RETURN(Token number, Expect(TokenKind::kNumber));
+          const std::int64_t v =
+              (negative ? -1 : 1) * std::stoll(number.text);
+          if (kw == "min") {
+            field.constraints.min_value = v;
+          } else if (kw == "max") {
+            field.constraints.max_value = v;
+          } else {
+            field.constraints.max_len = static_cast<std::uint64_t>(v);
+          }
+        } else if (kw == "not_empty") {
+          Take();
+          field.constraints.not_empty = true;
+        } else {
+          break;
+        }
+      }
+      auto value_type = db::ValueTypeFromName(base);
+      if (!value_type.ok()) return Error(value_type.status().message(),
+                                         type_name);
+      field.type = *value_type;
+      decl.fields.push_back(std::move(field));
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace).status());
+    Accept(TokenKind::kSemicolon);
+    return Status::Ok();
+  }
+
+  Status ParseView(TypeDecl& decl) {
+    RGPD_RETURN_IF_ERROR(ExpectIdent("view").status());
+    RGPD_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent));
+    ViewDecl view;
+    view.name = name.text;
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace).status());
+    while (Peek().kind != TokenKind::kRBrace) {
+      RGPD_ASSIGN_OR_RETURN(Token field, Expect(TokenKind::kIdent));
+      view.fields.push_back(field.text);
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace).status());
+    Accept(TokenKind::kSemicolon);
+    decl.views.push_back(std::move(view));
+    return Status::Ok();
+  }
+
+  Status ParseConsent(TypeDecl& decl) {
+    RGPD_RETURN_IF_ERROR(ExpectIdent("consent").status());
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace).status());
+    while (Peek().kind != TokenKind::kRBrace) {
+      RGPD_ASSIGN_OR_RETURN(Token purpose, Expect(TokenKind::kIdent));
+      RGPD_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+      RGPD_ASSIGN_OR_RETURN(Token scope, Expect(TokenKind::kIdent));
+      ConsentSpec spec;
+      if (scope.text == "all") {
+        spec.kind = membrane::ConsentKind::kAll;
+      } else if (scope.text == "none") {
+        spec.kind = membrane::ConsentKind::kNone;
+      } else {
+        spec.kind = membrane::ConsentKind::kView;
+        spec.view = scope.text;
+      }
+      if (!decl.default_consents.emplace(purpose.text, spec).second) {
+        return Error("duplicate consent for purpose '" + purpose.text + "'",
+                     purpose);
+      }
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace).status());
+    Accept(TokenKind::kSemicolon);
+    return Status::Ok();
+  }
+
+  Status ParseCollection(TypeDecl& decl) {
+    RGPD_RETURN_IF_ERROR(ExpectIdent("collection").status());
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace).status());
+    while (Peek().kind != TokenKind::kRBrace) {
+      RGPD_ASSIGN_OR_RETURN(Token method, Expect(TokenKind::kIdent));
+      RGPD_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+      if (Peek().kind != TokenKind::kIdent &&
+          Peek().kind != TokenKind::kString) {
+        return Error("expected a collection target", Peek());
+      }
+      const Token target = Take();
+      decl.collection.push_back(
+          membrane::CollectionInterface{method.text, target.text});
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace).status());
+    Accept(TokenKind::kSemicolon);
+    return Status::Ok();
+  }
+
+  Status ParseOrigin(TypeDecl& decl) {
+    RGPD_RETURN_IF_ERROR(ExpectIdent("origin").status());
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+    RGPD_ASSIGN_OR_RETURN(Token value, Expect(TokenKind::kIdent));
+    if (value.text == "subject") {
+      decl.origin = membrane::Origin::kSubject;
+    } else if (value.text == "sysadmin") {
+      decl.origin = membrane::Origin::kSysadmin;
+    } else if (value.text == "third_party") {
+      decl.origin = membrane::Origin::kThirdParty;
+    } else {
+      return Error("unknown origin '" + value.text + "'", value);
+    }
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon).status());
+    return Status::Ok();
+  }
+
+  Status ParseAge(TypeDecl& decl) {
+    RGPD_RETURN_IF_ERROR(ExpectIdent("age").status());
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+    RGPD_ASSIGN_OR_RETURN(Token amount, Expect(TokenKind::kNumber));
+    RGPD_ASSIGN_OR_RETURN(Token unit, Expect(TokenKind::kIdent));
+    const std::int64_t n = std::stoll(amount.text);
+    TimeMicros per_unit = 0;
+    if (unit.text == "s") {
+      per_unit = kMicrosPerSecond;
+    } else if (unit.text == "m") {
+      per_unit = 60 * kMicrosPerSecond;
+    } else if (unit.text == "h") {
+      per_unit = 3600 * kMicrosPerSecond;
+    } else if (unit.text == "D") {
+      per_unit = kMicrosPerDay;
+    } else if (unit.text == "M") {
+      per_unit = 30 * kMicrosPerDay;
+    } else if (unit.text == "Y") {
+      per_unit = kMicrosPerYear;
+    } else {
+      return Error("unknown duration unit '" + unit.text +
+                       "' (use s, m, h, D, M, Y)",
+                   unit);
+    }
+    decl.ttl = n * per_unit;
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon).status());
+    return Status::Ok();
+  }
+
+  Status ParseSensitivity(TypeDecl& decl) {
+    RGPD_RETURN_IF_ERROR(ExpectIdent("sensitivity").status());
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+    RGPD_ASSIGN_OR_RETURN(Token value, Expect(TokenKind::kIdent));
+    // The paper's listing spells it "hight"; accept that spelling too.
+    if (value.text == "low") {
+      decl.sensitivity = membrane::Sensitivity::kLow;
+    } else if (value.text == "medium") {
+      decl.sensitivity = membrane::Sensitivity::kMedium;
+    } else if (value.text == "high" || value.text == "hight") {
+      decl.sensitivity = membrane::Sensitivity::kHigh;
+    } else {
+      return Error("unknown sensitivity '" + value.text + "'", value);
+    }
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon).status());
+    return Status::Ok();
+  }
+
+  Result<PurposeDecl> ParsePurposeDecl() {
+    RGPD_RETURN_IF_ERROR(ExpectIdent("purpose").status());
+    RGPD_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent));
+    PurposeDecl decl;
+    decl.name = name.text;
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace).status());
+    while (Peek().kind != TokenKind::kRBrace) {
+      RGPD_ASSIGN_OR_RETURN(Token clause, Expect(TokenKind::kIdent));
+      RGPD_RETURN_IF_ERROR(Expect(TokenKind::kColon).status());
+      if (clause.text == "input") {
+        RGPD_ASSIGN_OR_RETURN(Token value, Expect(TokenKind::kIdent));
+        // "user.v_ano" — the dot is part of the identifier token.
+        const std::size_t dot = value.text.find('.');
+        if (dot == std::string::npos) {
+          decl.input_type = value.text;
+        } else {
+          decl.input_type = value.text.substr(0, dot);
+          decl.input_view = value.text.substr(dot + 1);
+        }
+      } else if (clause.text == "output") {
+        RGPD_ASSIGN_OR_RETURN(Token value, Expect(TokenKind::kIdent));
+        decl.output_type = value.text;
+      } else if (clause.text == "description") {
+        RGPD_ASSIGN_OR_RETURN(Token value, Expect(TokenKind::kString));
+        decl.description = value.text;
+      } else {
+        return Error("unknown purpose clause '" + clause.text + "'", clause);
+      }
+      RGPD_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon).status());
+    }
+    RGPD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace).status());
+    Accept(TokenKind::kSemicolon);
+    if (decl.input_type.empty()) {
+      return Error("purpose '" + decl.name + "' declares no input", name);
+    }
+    return decl;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(std::string_view source) {
+  RGPD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+Result<TypeDecl> ParseType(std::string_view source) {
+  RGPD_ASSIGN_OR_RETURN(Program program, Parse(source));
+  if (program.types.size() != 1 || !program.purposes.empty()) {
+    return InvalidArgument("expected exactly one type declaration");
+  }
+  return std::move(program.types.front());
+}
+
+Result<PurposeDecl> ParsePurpose(std::string_view source) {
+  RGPD_ASSIGN_OR_RETURN(Program program, Parse(source));
+  if (program.purposes.size() != 1 || !program.types.empty()) {
+    return InvalidArgument("expected exactly one purpose declaration");
+  }
+  return std::move(program.purposes.front());
+}
+
+}  // namespace rgpdos::dsl

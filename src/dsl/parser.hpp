@@ -1,0 +1,41 @@
+// Recursive-descent parser for the declaration language.
+//
+// Grammar (paper Listing 1, extended with purpose declarations):
+//
+//   program     := (type_decl | purpose_decl)*
+//   type_decl   := "type" IDENT "{" clause* "}"
+//   clause      := fields | view | consent | collection
+//                | "origin" ":" IDENT ";"
+//                | "age" ":" NUMBER IDENT ";"        // 30D, 6M, 1Y, 90s...
+//                | "sensitivity" ":" IDENT ";"       // low|medium|high
+//   fields      := "fields" "{" field ("," field)* "}" ";"?
+//   field       := IDENT ":" IDENT "?"?              // name : type
+//   view        := "view" IDENT "{" IDENT ("," IDENT)* "}" ";"?
+//   consent     := "consent" "{" centry ("," centry)* "}" ";"?
+//   centry      := IDENT ":" ("all" | "none" | IDENT)
+//   collection  := "collection" "{" centry2 ("," centry2)* "}" ";"?
+//   centry2     := IDENT ":" IDENT
+//   purpose_decl:= "purpose" IDENT "{" pclause* "}"
+//   pclause     := "input" ":" IDENT ("." IDENT)? ";"
+//                | "output" ":" IDENT ";"
+//                | "description" ":" STRING ";"
+//
+// Trailing commas and optional semicolons after blocks are accepted,
+// matching the loose style of the paper's listing.
+#pragma once
+
+#include "common/status.hpp"
+#include "dsl/ast.hpp"
+
+namespace rgpdos::dsl {
+
+/// Parse and validate a program. Error messages carry line:column.
+Result<Program> Parse(std::string_view source);
+
+/// Convenience: parse a source expected to contain exactly one type.
+Result<TypeDecl> ParseType(std::string_view source);
+
+/// Convenience: parse a source expected to contain exactly one purpose.
+Result<PurposeDecl> ParsePurpose(std::string_view source);
+
+}  // namespace rgpdos::dsl

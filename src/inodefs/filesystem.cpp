@@ -1,0 +1,215 @@
+#include "inodefs/filesystem.hpp"
+
+namespace rgpdos::inodefs {
+
+Result<FileSystem> FileSystem::Create(InodeStore* store) {
+  RGPD_ASSIGN_OR_RETURN(InodeId root,
+                        store->AllocInode(InodeKind::kDirectory));
+  FileSystem fs(store, root);
+  RGPD_RETURN_IF_ERROR(fs.StoreDir(root, {}));
+  // Record the root in the superblock (persisted on Sync()).
+  store->SetRootDir(root);
+  RGPD_RETURN_IF_ERROR(store->Sync());
+  return fs;
+}
+
+Result<FileSystem> FileSystem::Open(InodeStore* store) {
+  const InodeId root = store->superblock().root_dir;
+  if (root == kInvalidInode) {
+    return FailedPrecondition("store has no root directory");
+  }
+  RGPD_ASSIGN_OR_RETURN(Inode inode, store->GetInode(root));
+  if (inode.kind != InodeKind::kDirectory) {
+    return Corruption("root inode is not a directory");
+  }
+  return FileSystem(store, root);
+}
+
+Result<std::vector<std::string>> FileSystem::SplitPath(
+    std::string_view path) {
+  if (path.empty() || path.front() != '/') {
+    return InvalidArgument("path must be absolute");
+  }
+  std::vector<std::string> parts;
+  std::size_t start = 1;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    const std::size_t end = slash == std::string_view::npos ? path.size()
+                                                            : slash;
+    if (end > start) {
+      const std::string_view part = path.substr(start, end - start);
+      if (part == "." || part == "..") {
+        return InvalidArgument("'.' and '..' are not supported");
+      }
+      parts.emplace_back(part);
+    }
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
+  }
+  return parts;
+}
+
+Result<std::vector<DirEntry>> FileSystem::LoadDir(InodeId dir) const {
+  RGPD_ASSIGN_OR_RETURN(Bytes raw, store_->ReadAll(dir));
+  std::vector<DirEntry> entries;
+  ByteReader r(raw);
+  RGPD_ASSIGN_OR_RETURN(std::uint64_t count, r.GetVarint());
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DirEntry e;
+    RGPD_ASSIGN_OR_RETURN(e.name, r.GetString());
+    RGPD_ASSIGN_OR_RETURN(e.inode, r.GetU32());
+    RGPD_ASSIGN_OR_RETURN(std::uint8_t kind, r.GetU8());
+    e.kind = static_cast<InodeKind>(kind);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Status FileSystem::StoreDir(InodeId dir,
+                            const std::vector<DirEntry>& entries) {
+  ByteWriter w;
+  w.PutVarint(entries.size());
+  for (const DirEntry& e : entries) {
+    w.PutString(e.name);
+    w.PutU32(e.inode);
+    w.PutU8(static_cast<std::uint8_t>(e.kind));
+  }
+  return store_->WriteAll(dir, w.buffer());
+}
+
+Result<FileSystem::ParentRef> FileSystem::ResolveParent(
+    std::string_view path) const {
+  RGPD_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) return InvalidArgument("path names the root");
+  InodeId dir = root_;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    RGPD_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, LoadDir(dir));
+    bool found = false;
+    for (const DirEntry& e : entries) {
+      if (e.name == parts[i]) {
+        if (e.kind != InodeKind::kDirectory) {
+          return InvalidArgument("path component is not a directory: " +
+                                 parts[i]);
+        }
+        dir = e.inode;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return NotFound("no such directory: " + parts[i]);
+  }
+  return ParentRef{dir, parts.back()};
+}
+
+Result<InodeId> FileSystem::Lookup(std::string_view path) const {
+  RGPD_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) return root_;
+  RGPD_ASSIGN_OR_RETURN(ParentRef ref, ResolveParent(path));
+  RGPD_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, LoadDir(ref.dir));
+  for (const DirEntry& e : entries) {
+    if (e.name == ref.leaf) return e.inode;
+  }
+  return NotFound("no such file: " + std::string(path));
+}
+
+Status FileSystem::Mkdir(std::string_view path) {
+  RGPD_ASSIGN_OR_RETURN(ParentRef ref, ResolveParent(path));
+  RGPD_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, LoadDir(ref.dir));
+  for (const DirEntry& e : entries) {
+    if (e.name == ref.leaf) return AlreadyExists(std::string(path));
+  }
+  RGPD_ASSIGN_OR_RETURN(InodeId dir,
+                        store_->AllocInode(InodeKind::kDirectory));
+  RGPD_RETURN_IF_ERROR(StoreDir(dir, {}));
+  entries.push_back(DirEntry{ref.leaf, dir, InodeKind::kDirectory});
+  return StoreDir(ref.dir, entries);
+}
+
+Result<InodeId> FileSystem::CreateFile(std::string_view path) {
+  RGPD_ASSIGN_OR_RETURN(ParentRef ref, ResolveParent(path));
+  RGPD_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, LoadDir(ref.dir));
+  for (const DirEntry& e : entries) {
+    if (e.name == ref.leaf) return AlreadyExists(std::string(path));
+  }
+  RGPD_ASSIGN_OR_RETURN(InodeId file, store_->AllocInode(InodeKind::kFile));
+  entries.push_back(DirEntry{ref.leaf, file, InodeKind::kFile});
+  RGPD_RETURN_IF_ERROR(StoreDir(ref.dir, entries));
+  return file;
+}
+
+Status FileSystem::WriteFile(std::string_view path, ByteSpan data) {
+  auto existing = Lookup(path);
+  InodeId file;
+  if (existing.ok()) {
+    file = *existing;
+  } else if (existing.status().code() == StatusCode::kNotFound) {
+    RGPD_ASSIGN_OR_RETURN(file, CreateFile(path));
+  } else {
+    return existing.status();
+  }
+  return store_->WriteAll(file, data);
+}
+
+Status FileSystem::AppendFile(std::string_view path, ByteSpan data) {
+  auto existing = Lookup(path);
+  InodeId file;
+  if (existing.ok()) {
+    file = *existing;
+  } else if (existing.status().code() == StatusCode::kNotFound) {
+    RGPD_ASSIGN_OR_RETURN(file, CreateFile(path));
+  } else {
+    return existing.status();
+  }
+  return store_->Append(file, data);
+}
+
+Result<Bytes> FileSystem::ReadFile(std::string_view path) const {
+  RGPD_ASSIGN_OR_RETURN(InodeId file, Lookup(path));
+  RGPD_ASSIGN_OR_RETURN(Inode inode, store_->GetInode(file));
+  if (inode.kind == InodeKind::kDirectory) {
+    return InvalidArgument("is a directory: " + std::string(path));
+  }
+  return store_->ReadAll(file);
+}
+
+Status FileSystem::Unlink(std::string_view path, bool scrub) {
+  RGPD_ASSIGN_OR_RETURN(ParentRef ref, ResolveParent(path));
+  RGPD_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, LoadDir(ref.dir));
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    if (it->name != ref.leaf) continue;
+    if (it->kind == InodeKind::kDirectory) {
+      RGPD_ASSIGN_OR_RETURN(std::vector<DirEntry> children,
+                            LoadDir(it->inode));
+      if (!children.empty()) {
+        return FailedPrecondition("directory not empty: " +
+                                  std::string(path));
+      }
+    }
+    RGPD_RETURN_IF_ERROR(store_->FreeInode(it->inode, scrub));
+    entries.erase(it);
+    return StoreDir(ref.dir, entries);
+  }
+  return NotFound("no such file: " + std::string(path));
+}
+
+Result<std::vector<DirEntry>> FileSystem::ReadDir(
+    std::string_view path) const {
+  RGPD_ASSIGN_OR_RETURN(InodeId dir, Lookup(path));
+  RGPD_ASSIGN_OR_RETURN(Inode inode, store_->GetInode(dir));
+  if (inode.kind != InodeKind::kDirectory) {
+    return InvalidArgument("not a directory: " + std::string(path));
+  }
+  return LoadDir(dir);
+}
+
+Result<Inode> FileSystem::Stat(std::string_view path) const {
+  RGPD_ASSIGN_OR_RETURN(InodeId id, Lookup(path));
+  return store_->GetInode(id);
+}
+
+bool FileSystem::Exists(std::string_view path) const {
+  return Lookup(path).ok();
+}
+
+}  // namespace rgpdos::inodefs

@@ -1,0 +1,73 @@
+// Path-based file-granularity filesystem on top of InodeStore.
+//
+// This is the "second filesystem" of rgpdOS (paper §2): a traditional
+// ext4-like store for non-personal data, visible to every process. It is
+// also the storage substrate of the Fig-2 baseline, where a userspace DB
+// engine keeps PD in ordinary files — and where Unlink()'s non-scrubbing
+// behaviour (plus the data journal) is precisely the GDPR hazard the
+// paper describes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "inodefs/inode_store.hpp"
+
+namespace rgpdos::inodefs {
+
+/// One directory entry.
+struct DirEntry {
+  std::string name;
+  InodeId inode = kInvalidInode;
+  InodeKind kind = InodeKind::kFree;
+};
+
+class FileSystem {
+ public:
+  /// Wrap a freshly formatted store, creating the root directory.
+  static Result<FileSystem> Create(InodeStore* store);
+  /// Wrap a mounted store whose superblock already names a root.
+  static Result<FileSystem> Open(InodeStore* store);
+
+  // Paths are absolute, '/'-separated ("/a/b/c"). No "." / "..".
+
+  Status Mkdir(std::string_view path);
+  /// Create an empty regular file. Fails if it exists.
+  Result<InodeId> CreateFile(std::string_view path);
+  /// Replace a file's contents, creating it if needed.
+  Status WriteFile(std::string_view path, ByteSpan data);
+  Status AppendFile(std::string_view path, ByteSpan data);
+  Result<Bytes> ReadFile(std::string_view path) const;
+  /// Remove a file. `scrub` selects GDPR-grade zeroing of freed blocks;
+  /// the default mirrors ext4: blocks are merely returned to the
+  /// allocator with their old contents intact.
+  Status Unlink(std::string_view path, bool scrub = false);
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path) const;
+  Result<Inode> Stat(std::string_view path) const;
+  [[nodiscard]] bool Exists(std::string_view path) const;
+  /// Resolve a path to its inode id (files and directories).
+  Result<InodeId> Lookup(std::string_view path) const;
+
+  [[nodiscard]] InodeStore& store() { return *store_; }
+
+ private:
+  explicit FileSystem(InodeStore* store, InodeId root)
+      : store_(store), root_(root) {}
+
+  static Result<std::vector<std::string>> SplitPath(std::string_view path);
+  Result<std::vector<DirEntry>> LoadDir(InodeId dir) const;
+  Status StoreDir(InodeId dir, const std::vector<DirEntry>& entries);
+  /// Resolve the parent directory of `path`; returns (parent inode,
+  /// final component).
+  struct ParentRef {
+    InodeId dir;
+    std::string leaf;
+  };
+  Result<ParentRef> ResolveParent(std::string_view path) const;
+
+  InodeStore* store_;  // borrowed
+  InodeId root_;
+};
+
+}  // namespace rgpdos::inodefs

@@ -1,0 +1,125 @@
+#include "inodefs/format.hpp"
+
+namespace rgpdos::inodefs {
+
+Bytes Inode::Encode() const {
+  ByteWriter w(kInodeDiskSize);
+  w.PutU8(static_cast<std::uint8_t>(kind));
+  w.PutU8(flags);
+  w.PutU16(0);  // reserved
+  w.PutU32(nlink);
+  w.PutU64(size);
+  w.PutI64(ctime);
+  w.PutI64(mtime);
+  w.PutU64(generation);
+  for (BlockIndex b : direct) w.PutU64(b);
+  w.PutU64(indirect);
+  w.PutU64(double_indirect);
+  Bytes out = w.Take();
+  out.resize(kInodeDiskSize, 0);
+  return out;
+}
+
+Result<Inode> Inode::Decode(ByteSpan bytes) {
+  if (bytes.size() < kInodeDiskSize) {
+    return Corruption("inode image too small");
+  }
+  ByteReader r(bytes);
+  Inode inode;
+  RGPD_ASSIGN_OR_RETURN(std::uint8_t kind, r.GetU8());
+  if (kind > static_cast<std::uint8_t>(InodeKind::kFormatHint)) {
+    return Corruption("inode has unknown kind");
+  }
+  inode.kind = static_cast<InodeKind>(kind);
+  RGPD_ASSIGN_OR_RETURN(inode.flags, r.GetU8());
+  RGPD_RETURN_IF_ERROR(r.Skip(2));
+  RGPD_ASSIGN_OR_RETURN(inode.nlink, r.GetU32());
+  RGPD_ASSIGN_OR_RETURN(inode.size, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(inode.ctime, r.GetI64());
+  RGPD_ASSIGN_OR_RETURN(inode.mtime, r.GetI64());
+  RGPD_ASSIGN_OR_RETURN(inode.generation, r.GetU64());
+  for (BlockIndex& b : inode.direct) {
+    RGPD_ASSIGN_OR_RETURN(b, r.GetU64());
+  }
+  RGPD_ASSIGN_OR_RETURN(inode.indirect, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(inode.double_indirect, r.GetU64());
+  return inode;
+}
+
+Bytes Superblock::Encode() const {
+  ByteWriter w(128);
+  w.PutU32(magic);
+  w.PutU32(block_size);
+  w.PutU64(block_count);
+  w.PutU32(inode_count);
+  w.PutU64(bitmap_start);
+  w.PutU64(bitmap_blocks);
+  w.PutU64(inode_table_start);
+  w.PutU64(inode_table_blocks);
+  w.PutU64(journal_start);
+  w.PutU64(journal_blocks);
+  w.PutU64(data_start);
+  w.PutU32(root_dir);
+  w.PutU64(journal_head);
+  w.PutU64(journal_seq);
+  return w.Take();
+}
+
+Result<Superblock> Superblock::Decode(ByteSpan bytes) {
+  ByteReader r(bytes);
+  Superblock sb;
+  RGPD_ASSIGN_OR_RETURN(sb.magic, r.GetU32());
+  if (sb.magic != kSuperblockMagic) {
+    return Corruption("bad superblock magic (device not formatted?)");
+  }
+  RGPD_ASSIGN_OR_RETURN(sb.block_size, r.GetU32());
+  RGPD_ASSIGN_OR_RETURN(sb.block_count, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.inode_count, r.GetU32());
+  RGPD_ASSIGN_OR_RETURN(sb.bitmap_start, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.bitmap_blocks, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.inode_table_start, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.inode_table_blocks, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.journal_start, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.journal_blocks, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.data_start, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.root_dir, r.GetU32());
+  RGPD_ASSIGN_OR_RETURN(sb.journal_head, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.journal_seq, r.GetU64());
+  return sb;
+}
+
+Result<Superblock> Superblock::Plan(std::uint32_t block_size,
+                                    std::uint64_t block_count,
+                                    std::uint32_t inode_count,
+                                    std::uint64_t journal_blocks) {
+  if (block_size < 512 || (block_size & (block_size - 1)) != 0) {
+    return InvalidArgument("block_size must be a power of two >= 512");
+  }
+  if (inode_count == 0) return InvalidArgument("inode_count must be > 0");
+
+  Superblock sb;
+  sb.block_size = block_size;
+  sb.block_count = block_count;
+  sb.inode_count = inode_count;
+
+  const std::uint64_t bits_per_block = std::uint64_t(block_size) * 8;
+  sb.bitmap_start = 1;
+  sb.bitmap_blocks = (block_count + bits_per_block - 1) / bits_per_block;
+
+  const std::uint64_t inodes_per_block = block_size / kInodeDiskSize;
+  sb.inode_table_start = sb.bitmap_start + sb.bitmap_blocks;
+  sb.inode_table_blocks =
+      (std::uint64_t(inode_count) + inodes_per_block - 1) / inodes_per_block;
+
+  sb.journal_start = sb.inode_table_start + sb.inode_table_blocks;
+  sb.journal_blocks = journal_blocks;
+
+  sb.data_start = sb.journal_start + sb.journal_blocks;
+  if (sb.data_start + 8 > block_count) {
+    return InvalidArgument(
+        "device too small for requested inode table and journal");
+  }
+  return sb;
+}
+
+}  // namespace rgpdos::inodefs

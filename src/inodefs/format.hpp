@@ -1,0 +1,93 @@
+// On-device format of the inode filesystem substrate.
+//
+// The paper (§3, implementation) rearchitects uFS keeping "the
+// implementation of the inode concept"; this module is that concept:
+// a superblock, a block-allocation bitmap, a fixed inode table, a data
+// journal and a data region. Both rgpdOS's DBFS trees and the NPD
+// file-granularity filesystem are built from these inodes.
+//
+// Layout (in blocks):
+//   [0]               superblock
+//   [1 .. B]          allocation bitmap (1 bit per device block)
+//   [B+1 .. I]        inode table (fixed-size 256-byte inodes)
+//   [I+1 .. J]        journal region (circular byte log)
+//   [J+1 .. end)      data region
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace rgpdos::inodefs {
+
+using InodeId = std::uint32_t;
+using BlockIndex = std::uint64_t;
+
+inline constexpr std::uint32_t kSuperblockMagic = 0x52475046;  // "RGPF"
+inline constexpr InodeId kInvalidInode = 0;  // inode 0 is reserved
+inline constexpr std::uint32_t kInodeDiskSize = 256;
+inline constexpr std::uint32_t kDirectBlocks = 12;
+
+/// What an inode stores. The DBFS-specific kinds make the two inode trees
+/// of the paper's §3 self-describing on the medium.
+enum class InodeKind : std::uint8_t {
+  kFree = 0,
+  kFile,          ///< ordinary byte file (NPD filesystem)
+  kDirectory,     ///< name -> inode map (NPD filesystem)
+  kTableSchema,   ///< DBFS schema tree: table structure descriptor
+  kSubjectIndex,  ///< DBFS schema tree: list of subject inodes for a table
+  kSubjectRoot,   ///< DBFS subject tree: one subject's record list
+  kPdRecord,      ///< DBFS subject tree: encoded PD row
+  kMembrane,      ///< DBFS subject tree: the PD record's membrane
+  kFormatHint,    ///< DBFS: encoding descriptor read once per session (§3)
+};
+
+/// In-memory inode image (serialised to kInodeDiskSize bytes).
+struct Inode {
+  InodeKind kind = InodeKind::kFree;
+  std::uint8_t flags = 0;
+  std::uint32_t nlink = 0;
+  std::uint64_t size = 0;        ///< logical byte size of the content
+  TimeMicros ctime = 0;
+  TimeMicros mtime = 0;
+  std::uint64_t generation = 0;  ///< bumped on every reuse of the slot
+  std::array<BlockIndex, kDirectBlocks> direct{};
+  BlockIndex indirect = 0;         ///< single-indirect block of BlockIndex[]
+  BlockIndex double_indirect = 0;  ///< block of single-indirect blocks
+
+  [[nodiscard]] Bytes Encode() const;
+  static Result<Inode> Decode(ByteSpan bytes);
+};
+
+/// Filesystem geometry, derived once at format time.
+struct Superblock {
+  std::uint32_t magic = kSuperblockMagic;
+  std::uint32_t block_size = 0;
+  std::uint64_t block_count = 0;
+  std::uint32_t inode_count = 0;
+  BlockIndex bitmap_start = 0;
+  std::uint64_t bitmap_blocks = 0;
+  BlockIndex inode_table_start = 0;
+  std::uint64_t inode_table_blocks = 0;
+  BlockIndex journal_start = 0;
+  std::uint64_t journal_blocks = 0;
+  BlockIndex data_start = 0;
+  InodeId root_dir = kInvalidInode;  ///< set by FileSystem::Format
+  std::uint64_t journal_head = 0;    ///< byte offset into journal region
+  std::uint64_t journal_seq = 0;     ///< next transaction sequence number
+
+  [[nodiscard]] Bytes Encode() const;
+  static Result<Superblock> Decode(ByteSpan bytes);
+
+  /// Compute a layout for a device. `inode_count` and `journal_blocks`
+  /// are caller choices (tests use small numbers, benches larger).
+  static Result<Superblock> Plan(std::uint32_t block_size,
+                                 std::uint64_t block_count,
+                                 std::uint32_t inode_count,
+                                 std::uint64_t journal_blocks);
+};
+
+}  // namespace rgpdos::inodefs

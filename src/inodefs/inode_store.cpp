@@ -1,0 +1,619 @@
+#include "inodefs/inode_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rgpdos::inodefs {
+
+InodeStore::InodeStore(blockdev::BlockDevice* device, Superblock sb,
+                       const Clock* clock, bool journal_enabled)
+    : device_(device),
+      sb_(sb),
+      clock_(clock),
+      journal_(*device, sb_),
+      journal_enabled_(journal_enabled) {}
+
+Result<std::unique_ptr<InodeStore>> InodeStore::Format(
+    blockdev::BlockDevice* device, const Options& options,
+    const Clock* clock) {
+  RGPD_ASSIGN_OR_RETURN(
+      Superblock sb,
+      Superblock::Plan(device->block_size(), device->block_count(),
+                       options.inode_count, options.journal_blocks));
+
+  std::unique_ptr<InodeStore> store(
+      new InodeStore(device, sb, clock, options.journal_enabled));
+
+  // Zero metadata regions (bitmap + inode table + journal).
+  const Bytes zero(sb.block_size, 0);
+  for (BlockIndex b = sb.bitmap_start; b < sb.data_start; ++b) {
+    RGPD_RETURN_IF_ERROR(device->WriteBlock(b, zero));
+  }
+  store->bitmap_.assign((sb.block_count + 63) / 64, 0);
+  // Mark all metadata blocks (including block 0) as used.
+  for (BlockIndex b = 0; b < sb.data_start; ++b) store->BitmapSet(b, true);
+  store->alloc_hint_ = sb.data_start;
+
+  RGPD_RETURN_IF_ERROR(store->Sync());
+  return store;
+}
+
+Result<std::unique_ptr<InodeStore>> InodeStore::Mount(
+    blockdev::BlockDevice* device, const Clock* clock) {
+  Bytes sb_block;
+  RGPD_RETURN_IF_ERROR(device->ReadBlock(0, sb_block));
+  RGPD_ASSIGN_OR_RETURN(Superblock sb, Superblock::Decode(sb_block));
+  if (sb.block_size != device->block_size() ||
+      sb.block_count != device->block_count()) {
+    return Corruption("superblock geometry does not match device");
+  }
+
+  std::unique_ptr<InodeStore> store(
+      new InodeStore(device, sb, clock, /*journal_enabled=*/true));
+
+  // Recover committed-but-unchecked transactions.
+  RGPD_ASSIGN_OR_RETURN(std::vector<ReplayedWrite> writes,
+                        store->journal_.Replay());
+  for (const ReplayedWrite& w : writes) {
+    RGPD_RETURN_IF_ERROR(device->WriteBlock(w.block, w.data));
+  }
+  if (!writes.empty()) {
+    RGPD_RETURN_IF_ERROR(device->Flush());
+  }
+  RGPD_RETURN_IF_ERROR(store->LoadBitmap());
+  store->alloc_hint_ = store->sb_.data_start;
+  return store;
+}
+
+Status InodeStore::LoadBitmap() {
+  bitmap_.assign((sb_.block_count + 63) / 64, 0);
+  Bytes block;
+  std::size_t bit = 0;
+  for (std::uint64_t i = 0; i < sb_.bitmap_blocks && bit < sb_.block_count;
+       ++i) {
+    RGPD_RETURN_IF_ERROR(device_->ReadBlock(sb_.bitmap_start + i, block));
+    for (std::uint32_t j = 0; j < sb_.block_size && bit < sb_.block_count;
+         ++j) {
+      for (int k = 0; k < 8 && bit < sb_.block_count; ++k, ++bit) {
+        if (block[j] & (1u << k)) {
+          bitmap_[bit / 64] |= std::uint64_t(1) << (bit % 64);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status InodeStore::Sync() {
+  // Superblock.
+  Bytes sb_image = sb_.Encode();
+  sb_image.resize(sb_.block_size, 0);
+  RGPD_RETURN_IF_ERROR(device_->WriteBlock(0, sb_image));
+  // Bitmap, rebuilt from the in-memory copy.
+  Bytes block(sb_.block_size, 0);
+  std::size_t bit = 0;
+  for (std::uint64_t i = 0; i < sb_.bitmap_blocks; ++i) {
+    std::fill(block.begin(), block.end(), 0);
+    for (std::uint32_t j = 0; j < sb_.block_size && bit < sb_.block_count;
+         ++j) {
+      for (int k = 0; k < 8 && bit < sb_.block_count; ++k, ++bit) {
+        if (BitmapGet(bit)) block[j] |= 1u << k;
+      }
+    }
+    RGPD_RETURN_IF_ERROR(device_->WriteBlock(sb_.bitmap_start + i, block));
+  }
+  return device_->Flush();
+}
+
+// ---- Txn -------------------------------------------------------------------
+
+Result<Bytes> InodeStore::Txn::ReadBlock(BlockIndex index) {
+  auto it = writes_.find(index);
+  if (it != writes_.end()) return it->second;
+  Bytes out;
+  RGPD_RETURN_IF_ERROR(store_.device_->ReadBlock(index, out));
+  return out;
+}
+
+Status InodeStore::Txn::WriteBlock(BlockIndex index, Bytes data) {
+  if (data.size() != store_.sb_.block_size) {
+    return InvalidArgument("txn block write must be block-sized");
+  }
+  writes_[index] = std::move(data);
+  return Status::Ok();
+}
+
+Status InodeStore::Txn::Commit() {
+  if (writes_.empty()) return Status::Ok();
+  if (store_.journal_enabled_) {
+    std::vector<std::pair<BlockIndex, Bytes>> log;
+    log.reserve(writes_.size());
+    for (const auto& [block, data] : writes_) log.emplace_back(block, data);
+    RGPD_RETURN_IF_ERROR(store_.journal_.AppendTransaction(log));
+  }
+  if (store_.crash_before_checkpoint_) {
+    // Simulated power loss after the journal commit: the in-place writes
+    // never happen; Mount() must recover them.
+    writes_.clear();
+    return Status::Ok();
+  }
+  for (const auto& [block, data] : writes_) {
+    RGPD_RETURN_IF_ERROR(store_.device_->WriteBlock(block, data));
+  }
+  writes_.clear();
+  return store_.device_->Flush();
+}
+
+// ---- bitmap ----------------------------------------------------------------
+
+bool InodeStore::BitmapGet(BlockIndex block) const {
+  return (bitmap_[block / 64] >> (block % 64)) & 1;
+}
+
+void InodeStore::BitmapSet(BlockIndex block, bool used) {
+  if (used) {
+    bitmap_[block / 64] |= std::uint64_t(1) << (block % 64);
+  } else {
+    bitmap_[block / 64] &= ~(std::uint64_t(1) << (block % 64));
+  }
+}
+
+Status InodeStore::StageBitmapBlock(BlockIndex data_block, Txn& txn) {
+  // Rebuild the single bitmap block covering `data_block` from memory.
+  const std::uint64_t bits_per_block = std::uint64_t(sb_.block_size) * 8;
+  const std::uint64_t bitmap_block = data_block / bits_per_block;
+  Bytes image(sb_.block_size, 0);
+  std::uint64_t bit = bitmap_block * bits_per_block;
+  for (std::uint32_t j = 0; j < sb_.block_size && bit < sb_.block_count;
+       ++j) {
+    for (int k = 0; k < 8 && bit < sb_.block_count; ++k, ++bit) {
+      if (BitmapGet(bit)) image[j] |= 1u << k;
+    }
+  }
+  return txn.WriteBlock(sb_.bitmap_start + bitmap_block, std::move(image));
+}
+
+Result<BlockIndex> InodeStore::AllocDataBlock(Txn& txn) {
+  const BlockIndex start = std::max<BlockIndex>(alloc_hint_, sb_.data_start);
+  for (BlockIndex pass = 0; pass < 2; ++pass) {
+    const BlockIndex from = pass == 0 ? start : sb_.data_start;
+    const BlockIndex to = pass == 0 ? sb_.block_count : start;
+    for (BlockIndex b = from; b < to; ++b) {
+      if (!BitmapGet(b)) {
+        BitmapSet(b, true);
+        alloc_hint_ = b + 1;
+        RGPD_RETURN_IF_ERROR(StageBitmapBlock(b, txn));
+        return b;
+      }
+    }
+  }
+  return ResourceExhausted("no free data blocks");
+}
+
+Status InodeStore::FreeDataBlock(BlockIndex block, bool scrub, Txn& txn) {
+  if (scrub) {
+    // The zero image goes through the journal too, so the in-journal
+    // history ends with zeros for this block.
+    RGPD_RETURN_IF_ERROR(txn.WriteBlock(block, Bytes(sb_.block_size, 0)));
+  }
+  BitmapSet(block, false);
+  return StageBitmapBlock(block, txn);
+}
+
+// ---- inode table -----------------------------------------------------------
+
+BlockIndex InodeStore::InodeBlock(InodeId id) const {
+  const std::uint32_t per_block = sb_.block_size / kInodeDiskSize;
+  return sb_.inode_table_start + id / per_block;
+}
+
+std::uint32_t InodeStore::InodeOffset(InodeId id) const {
+  const std::uint32_t per_block = sb_.block_size / kInodeDiskSize;
+  return (id % per_block) * kInodeDiskSize;
+}
+
+Status InodeStore::CheckId(InodeId id) const {
+  if (id == kInvalidInode || id >= sb_.inode_count) {
+    return InvalidArgument("inode id out of range");
+  }
+  return Status::Ok();
+}
+
+Result<Inode> InodeStore::LoadInode(InodeId id, Txn* txn) const {
+  RGPD_RETURN_IF_ERROR(CheckId(id));
+  Bytes block;
+  if (txn != nullptr) {
+    RGPD_ASSIGN_OR_RETURN(block, txn->ReadBlock(InodeBlock(id)));
+  } else {
+    RGPD_RETURN_IF_ERROR(device_->ReadBlock(InodeBlock(id), block));
+  }
+  return Inode::Decode(
+      ByteSpan(block.data() + InodeOffset(id), kInodeDiskSize));
+}
+
+Status InodeStore::StoreInode(InodeId id, const Inode& inode, Txn& txn) {
+  RGPD_RETURN_IF_ERROR(CheckId(id));
+  RGPD_ASSIGN_OR_RETURN(Bytes block, txn.ReadBlock(InodeBlock(id)));
+  const Bytes image = inode.Encode();
+  std::memcpy(block.data() + InodeOffset(id), image.data(), kInodeDiskSize);
+  return txn.WriteBlock(InodeBlock(id), std::move(block));
+}
+
+Result<InodeId> InodeStore::AllocInode(InodeKind kind) {
+  Txn txn(*this);
+  // First-fit from the hint (inode 0 is reserved as the invalid id);
+  // FreeInode moves the hint back, so the scan is amortised O(1).
+  for (InodeId id = std::max<InodeId>(inode_hint_, 1); id < sb_.inode_count;
+       ++id) {
+    RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, &txn));
+    if (inode.kind != InodeKind::kFree) continue;
+    const std::uint64_t generation = inode.generation + 1;
+    inode = Inode{};
+    inode.kind = kind;
+    inode.nlink = 1;
+    inode.generation = generation;
+    inode.ctime = inode.mtime = clock_->Now();
+    RGPD_RETURN_IF_ERROR(StoreInode(id, inode, txn));
+    RGPD_RETURN_IF_ERROR(txn.Commit());
+    inode_hint_ = id + 1;
+    return id;
+  }
+  return ResourceExhausted("inode table full");
+}
+
+Status InodeStore::FreeInode(InodeId id, bool scrub) {
+  RGPD_RETURN_IF_ERROR(Truncate(id, 0, scrub));
+  Txn txn(*this);
+  RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, &txn));
+  const std::uint64_t generation = inode.generation;
+  inode = Inode{};
+  inode.kind = InodeKind::kFree;
+  inode.generation = generation;
+  RGPD_RETURN_IF_ERROR(StoreInode(id, inode, txn));
+  RGPD_RETURN_IF_ERROR(txn.Commit());
+  inode_hint_ = std::min(inode_hint_, id);
+  return Status::Ok();
+}
+
+Result<Inode> InodeStore::GetInode(InodeId id) const {
+  return LoadInode(id, nullptr);
+}
+
+Status InodeStore::PutInode(InodeId id, const Inode& inode) {
+  Txn txn(*this);
+  RGPD_RETURN_IF_ERROR(StoreInode(id, inode, txn));
+  return txn.Commit();
+}
+
+// ---- file block mapping ------------------------------------------------------
+
+std::uint64_t InodeStore::MaxFileSize() const {
+  const std::uint64_t ppb = sb_.block_size / 8;
+  return (kDirectBlocks + ppb + ppb * ppb) * std::uint64_t(sb_.block_size);
+}
+
+namespace {
+BlockIndex ReadPointer(const Bytes& block, std::uint64_t slot) {
+  BlockIndex v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t(block[slot * 8 + i]) << (8 * i);
+  }
+  return v;
+}
+
+void WritePointer(Bytes& block, std::uint64_t slot, BlockIndex value) {
+  for (int i = 0; i < 8; ++i) {
+    block[slot * 8 + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+}  // namespace
+
+Result<BlockIndex> InodeStore::MapFileBlock(Inode& inode,
+                                            std::uint64_t file_block,
+                                            bool allocate, Txn& txn) {
+  const auto fresh_block = [&]() -> Result<BlockIndex> {
+    RGPD_ASSIGN_OR_RETURN(BlockIndex b, AllocDataBlock(txn));
+    // Fresh blocks start zeroed so short reads are well-defined.
+    RGPD_RETURN_IF_ERROR(txn.WriteBlock(b, Bytes(sb_.block_size, 0)));
+    return b;
+  };
+
+  if (file_block < kDirectBlocks) {
+    if (inode.direct[file_block] == 0) {
+      if (!allocate) return NotFound("file block not mapped");
+      RGPD_ASSIGN_OR_RETURN(inode.direct[file_block], fresh_block());
+    }
+    return inode.direct[file_block];
+  }
+
+  const std::uint64_t ppb = sb_.block_size / 8;
+
+  // Walk a pointer slot within an indirect block, allocating the pointee
+  // on demand.
+  const auto walk = [&](BlockIndex indirect_block_index,
+                        std::uint64_t slot) -> Result<BlockIndex> {
+    RGPD_ASSIGN_OR_RETURN(Bytes image, txn.ReadBlock(indirect_block_index));
+    BlockIndex target = ReadPointer(image, slot);
+    if (target == 0) {
+      if (!allocate) return NotFound("file block not mapped");
+      RGPD_ASSIGN_OR_RETURN(target, fresh_block());
+      WritePointer(image, slot, target);
+      RGPD_RETURN_IF_ERROR(
+          txn.WriteBlock(indirect_block_index, std::move(image)));
+    }
+    return target;
+  };
+
+  const std::uint64_t single_slot = file_block - kDirectBlocks;
+  if (single_slot < ppb) {
+    if (inode.indirect == 0) {
+      if (!allocate) return NotFound("file block not mapped");
+      RGPD_ASSIGN_OR_RETURN(inode.indirect, fresh_block());
+    }
+    return walk(inode.indirect, single_slot);
+  }
+
+  const std::uint64_t double_slot = single_slot - ppb;
+  if (double_slot >= ppb * ppb) {
+    return OutOfRange("file exceeds double-indirect capacity");
+  }
+  if (inode.double_indirect == 0) {
+    if (!allocate) return NotFound("file block not mapped");
+    RGPD_ASSIGN_OR_RETURN(inode.double_indirect, fresh_block());
+  }
+  RGPD_ASSIGN_OR_RETURN(Bytes outer, txn.ReadBlock(inode.double_indirect));
+  BlockIndex inner_index = ReadPointer(outer, double_slot / ppb);
+  if (inner_index == 0) {
+    if (!allocate) return NotFound("file block not mapped");
+    RGPD_ASSIGN_OR_RETURN(inner_index, fresh_block());
+    WritePointer(outer, double_slot / ppb, inner_index);
+    RGPD_RETURN_IF_ERROR(
+        txn.WriteBlock(inode.double_indirect, std::move(outer)));
+  }
+  return walk(inner_index, double_slot % ppb);
+}
+
+Result<std::vector<BlockIndex>> InodeStore::ListDataBlocks(
+    const Inode& inode) const {
+  std::vector<BlockIndex> out;
+  const std::uint64_t ppb = sb_.block_size / 8;
+  for (BlockIndex b : inode.direct) {
+    if (b != 0) out.push_back(b);
+  }
+  const auto list_single = [&](BlockIndex indirect) -> Status {
+    Bytes image;
+    RGPD_RETURN_IF_ERROR(device_->ReadBlock(indirect, image));
+    for (std::uint64_t i = 0; i < ppb; ++i) {
+      const BlockIndex b = ReadPointer(image, i);
+      if (b != 0) out.push_back(b);
+    }
+    out.push_back(indirect);  // the indirect block itself, last
+    return Status::Ok();
+  };
+  if (inode.indirect != 0) {
+    RGPD_RETURN_IF_ERROR(list_single(inode.indirect));
+  }
+  if (inode.double_indirect != 0) {
+    Bytes outer;
+    RGPD_RETURN_IF_ERROR(device_->ReadBlock(inode.double_indirect, outer));
+    for (std::uint64_t i = 0; i < ppb; ++i) {
+      const BlockIndex inner = ReadPointer(outer, i);
+      if (inner != 0) {
+        RGPD_RETURN_IF_ERROR(list_single(inner));
+      }
+    }
+    out.push_back(inode.double_indirect);
+  }
+  return out;
+}
+
+// ---- content IO --------------------------------------------------------------
+
+Result<Bytes> InodeStore::ReadAt(InodeId id, std::uint64_t offset,
+                                 std::uint64_t length) const {
+  RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
+  if (inode.kind == InodeKind::kFree) {
+    return NotFound("inode is free");
+  }
+  if (offset > inode.size) return OutOfRange("read past end of file");
+  length = std::min(length, inode.size - offset);
+  Bytes out;
+  out.reserve(length);
+  Bytes block;
+  // Const read path: a throwaway txn gives MapFileBlock a uniform
+  // interface; with allocate=false it never stages writes.
+  Txn txn(*const_cast<InodeStore*>(this));
+  while (length > 0) {
+    const std::uint64_t file_block = offset / sb_.block_size;
+    const std::uint32_t in_block = offset % sb_.block_size;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(length, sb_.block_size - in_block);
+    auto mapped = const_cast<InodeStore*>(this)->MapFileBlock(
+        inode, file_block, /*allocate=*/false, txn);
+    if (mapped.ok()) {
+      RGPD_RETURN_IF_ERROR(device_->ReadBlock(*mapped, block));
+      out.insert(out.end(), block.begin() + in_block,
+                 block.begin() + in_block + take);
+    } else {
+      out.insert(out.end(), take, 0);  // hole reads as zeros
+    }
+    offset += take;
+    length -= take;
+  }
+  return out;
+}
+
+Result<Bytes> InodeStore::ReadAll(InodeId id) const {
+  RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
+  return ReadAt(id, 0, inode.size);
+}
+
+Status InodeStore::WriteAt(InodeId id, std::uint64_t offset, ByteSpan data) {
+  if (data.empty()) return Status::Ok();
+  if (offset + data.size() > MaxFileSize()) {
+    return OutOfRange("write exceeds maximum file size");
+  }
+  Txn txn(*this);
+  RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, &txn));
+  if (inode.kind == InodeKind::kFree) return NotFound("inode is free");
+
+  std::uint64_t pos = offset;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const std::uint64_t file_block = pos / sb_.block_size;
+    const std::uint32_t in_block = pos % sb_.block_size;
+    const std::uint64_t take = std::min<std::uint64_t>(
+        data.size() - consumed, sb_.block_size - in_block);
+    RGPD_ASSIGN_OR_RETURN(BlockIndex device_block,
+                          MapFileBlock(inode, file_block, true, txn));
+    RGPD_ASSIGN_OR_RETURN(Bytes image, txn.ReadBlock(device_block));
+    std::memcpy(image.data() + in_block, data.data() + consumed, take);
+    RGPD_RETURN_IF_ERROR(txn.WriteBlock(device_block, std::move(image)));
+    pos += take;
+    consumed += take;
+  }
+  inode.size = std::max(inode.size, offset + data.size());
+  inode.mtime = clock_->Now();
+  RGPD_RETURN_IF_ERROR(StoreInode(id, inode, txn));
+  return txn.Commit();
+}
+
+Status InodeStore::Append(InodeId id, ByteSpan data) {
+  RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
+  return WriteAt(id, inode.size, data);
+}
+
+Status InodeStore::WriteAll(InodeId id, ByteSpan data) {
+  RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
+  if (inode.size > data.size()) {
+    RGPD_RETURN_IF_ERROR(Truncate(id, data.size(), /*scrub=*/false));
+  }
+  if (data.empty()) return Truncate(id, 0, /*scrub=*/false);
+  return WriteAt(id, 0, data);
+}
+
+Status InodeStore::Truncate(InodeId id, std::uint64_t new_size, bool scrub) {
+  Txn txn(*this);
+  RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, &txn));
+  if (inode.kind == InodeKind::kFree) return NotFound("inode is free");
+  if (new_size >= inode.size) {
+    inode.size = new_size;
+    RGPD_RETURN_IF_ERROR(StoreInode(id, inode, txn));
+    return txn.Commit();
+  }
+
+  const std::uint64_t keep_blocks =
+      (new_size + sb_.block_size - 1) / sb_.block_size;
+  const std::uint64_t ppb = sb_.block_size / 8;
+
+  // Free direct blocks past the keep point.
+  for (std::uint64_t i = keep_blocks; i < kDirectBlocks; ++i) {
+    if (inode.direct[i] != 0) {
+      RGPD_RETURN_IF_ERROR(FreeDataBlock(inode.direct[i], scrub, txn));
+      inode.direct[i] = 0;
+    }
+  }
+
+  // Free pointees past the keep point inside one indirect block whose
+  // first pointee covers file block `base`. Returns true if any pointee
+  // was kept (so the indirect block itself must stay).
+  const auto prune_single = [&](BlockIndex indirect,
+                                std::uint64_t base) -> Result<bool> {
+    RGPD_ASSIGN_OR_RETURN(Bytes image, txn.ReadBlock(indirect));
+    bool any_kept = false;
+    bool dirty = false;
+    for (std::uint64_t slot = 0; slot < ppb; ++slot) {
+      const BlockIndex target = ReadPointer(image, slot);
+      if (target == 0) continue;
+      if (base + slot >= keep_blocks) {
+        RGPD_RETURN_IF_ERROR(FreeDataBlock(target, scrub, txn));
+        WritePointer(image, slot, 0);
+        dirty = true;
+      } else {
+        any_kept = true;
+      }
+    }
+    if (any_kept && dirty) {
+      RGPD_RETURN_IF_ERROR(txn.WriteBlock(indirect, std::move(image)));
+    }
+    return any_kept;
+  };
+
+  if (inode.indirect != 0) {
+    RGPD_ASSIGN_OR_RETURN(bool kept,
+                          prune_single(inode.indirect, kDirectBlocks));
+    if (!kept) {
+      RGPD_RETURN_IF_ERROR(FreeDataBlock(inode.indirect, scrub, txn));
+      inode.indirect = 0;
+    }
+  }
+  if (inode.double_indirect != 0) {
+    RGPD_ASSIGN_OR_RETURN(Bytes outer, txn.ReadBlock(inode.double_indirect));
+    bool outer_kept = false;
+    bool outer_dirty = false;
+    for (std::uint64_t outer_slot = 0; outer_slot < ppb; ++outer_slot) {
+      const BlockIndex inner = ReadPointer(outer, outer_slot);
+      if (inner == 0) continue;
+      const std::uint64_t base = kDirectBlocks + ppb + outer_slot * ppb;
+      RGPD_ASSIGN_OR_RETURN(bool kept, prune_single(inner, base));
+      if (kept) {
+        outer_kept = true;
+      } else {
+        RGPD_RETURN_IF_ERROR(FreeDataBlock(inner, scrub, txn));
+        WritePointer(outer, outer_slot, 0);
+        outer_dirty = true;
+      }
+    }
+    if (outer_kept) {
+      if (outer_dirty) {
+        RGPD_RETURN_IF_ERROR(
+            txn.WriteBlock(inode.double_indirect, std::move(outer)));
+      }
+    } else {
+      RGPD_RETURN_IF_ERROR(
+          FreeDataBlock(inode.double_indirect, scrub, txn));
+      inode.double_indirect = 0;
+    }
+  }
+  // Always zero the partial tail of the last kept block: a later size
+  // extension must read zeros there, not resurrected stale bytes (ext4
+  // zeroes the tail on truncate for exactly this reason). Whole freed
+  // blocks are only zeroed on the scrub path.
+  if (new_size % sb_.block_size != 0) {
+    const std::uint64_t last_block = new_size / sb_.block_size;
+    auto mapped = MapFileBlock(inode, last_block, false, txn);
+    if (mapped.ok()) {
+      RGPD_ASSIGN_OR_RETURN(Bytes image, txn.ReadBlock(*mapped));
+      std::fill(image.begin() +
+                    static_cast<std::ptrdiff_t>(new_size % sb_.block_size),
+                image.end(), 0);
+      RGPD_RETURN_IF_ERROR(txn.WriteBlock(*mapped, std::move(image)));
+    }
+  }
+
+  inode.size = new_size;
+  inode.mtime = clock_->Now();
+  RGPD_RETURN_IF_ERROR(StoreInode(id, inode, txn));
+  return txn.Commit();
+}
+
+Status InodeStore::ScrubJournal() { return journal_.Scrub(); }
+
+std::uint64_t InodeStore::FreeBlockCount() const {
+  std::uint64_t used = 0;
+  for (std::uint64_t word : bitmap_) {
+    used += static_cast<std::uint64_t>(__builtin_popcountll(word));
+  }
+  return sb_.block_count - used;
+}
+
+std::uint64_t InodeStore::FreeInodeCount() const {
+  std::uint64_t free_count = 0;
+  for (InodeId id = 1; id < sb_.inode_count; ++id) {
+    auto inode = LoadInode(id, nullptr);
+    if (inode.ok() && inode->kind == InodeKind::kFree) ++free_count;
+  }
+  return free_count;
+}
+
+}  // namespace rgpdos::inodefs

@@ -1,0 +1,137 @@
+// InodeStore: allocation, inode table, and file-content IO with
+// journaled transactions. This is the substrate shared by the NPD
+// filesystem (path layer in filesystem.hpp) and rgpdOS's DBFS, which
+// builds its two inode trees (paper §3) directly on these primitives.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "common/clock.hpp"
+#include "inodefs/format.hpp"
+#include "inodefs/journal.hpp"
+
+namespace rgpdos::inodefs {
+
+class InodeStore {
+ public:
+  struct Options {
+    std::uint32_t inode_count = 4096;
+    std::uint64_t journal_blocks = 256;
+    /// Data journaling (ext4 data=journal analogue). When false only
+    /// the in-place write happens — used by ablation benches.
+    bool journal_enabled = true;
+  };
+
+  /// Format a fresh device and mount it.
+  static Result<std::unique_ptr<InodeStore>> Format(
+      blockdev::BlockDevice* device, const Options& options,
+      const Clock* clock);
+
+  /// Mount an existing device: reads the superblock and replays the
+  /// journal (committed transactions are re-applied in place).
+  static Result<std::unique_ptr<InodeStore>> Mount(
+      blockdev::BlockDevice* device, const Clock* clock);
+
+  /// Persist superblock + bitmap. The store stays usable.
+  Status Sync();
+
+  // ---- inode lifecycle ----------------------------------------------------
+  Result<InodeId> AllocInode(InodeKind kind);
+  /// Release the inode and its data blocks. With `scrub`, every data
+  /// block is overwritten with zeros first (GDPR erasure path); without,
+  /// blocks are only unlinked (the realistic ext4 behaviour the paper
+  /// criticises — old bytes stay on the medium and in the journal).
+  Status FreeInode(InodeId id, bool scrub);
+  Result<Inode> GetInode(InodeId id) const;
+  Status PutInode(InodeId id, const Inode& inode);
+
+  // ---- file content IO ----------------------------------------------------
+  Result<Bytes> ReadAt(InodeId id, std::uint64_t offset,
+                       std::uint64_t length) const;
+  Result<Bytes> ReadAll(InodeId id) const;
+  Status WriteAt(InodeId id, std::uint64_t offset, ByteSpan data);
+  Status Append(InodeId id, ByteSpan data);
+  /// Replace content entirely (truncate + write).
+  Status WriteAll(InodeId id, ByteSpan data);
+  Status Truncate(InodeId id, std::uint64_t new_size, bool scrub);
+
+  // ---- GDPR scrubbing ------------------------------------------------------
+  /// Zero the whole journal region (destroys write history).
+  Status ScrubJournal();
+
+  // ---- introspection -------------------------------------------------------
+  [[nodiscard]] const Superblock& superblock() const { return sb_; }
+  /// Record the NPD filesystem's root directory (persisted by Sync()).
+  void SetRootDir(InodeId root) { sb_.root_dir = root; }
+  [[nodiscard]] blockdev::BlockDevice& device() { return *device_; }
+  [[nodiscard]] std::uint64_t FreeBlockCount() const;
+  [[nodiscard]] std::uint64_t FreeInodeCount() const;
+  [[nodiscard]] const Journal& journal() const { return journal_; }
+
+  /// Test hook: when set, transactions are journaled but NOT written in
+  /// place — simulating a crash between commit and checkpoint. A
+  /// subsequent Mount() must recover the writes from the journal.
+  void SetCrashBeforeCheckpoint(bool crash) {
+    crash_before_checkpoint_ = crash;
+  }
+
+  /// Maximum file size under the direct + single-indirect scheme.
+  [[nodiscard]] std::uint64_t MaxFileSize() const;
+
+ private:
+  InodeStore(blockdev::BlockDevice* device, Superblock sb, const Clock* clock,
+             bool journal_enabled);
+
+  /// A buffered transaction: block images staged in memory, then logged
+  /// to the journal and checkpointed in place atomically.
+  class Txn {
+   public:
+    explicit Txn(InodeStore& store) : store_(store) {}
+    Result<Bytes> ReadBlock(BlockIndex index);
+    Status WriteBlock(BlockIndex index, Bytes data);
+    Status Commit();
+
+   private:
+    InodeStore& store_;
+    std::map<BlockIndex, Bytes> writes_;
+  };
+
+  // Bitmap helpers (in-memory copy; dirty blocks staged into the txn).
+  [[nodiscard]] bool BitmapGet(BlockIndex block) const;
+  void BitmapSet(BlockIndex block, bool used);
+  Status StageBitmapBlock(BlockIndex data_block, Txn& txn);
+  Result<BlockIndex> AllocDataBlock(Txn& txn);
+  Status FreeDataBlock(BlockIndex block, bool scrub, Txn& txn);
+
+  // Inode table addressing.
+  [[nodiscard]] BlockIndex InodeBlock(InodeId id) const;
+  [[nodiscard]] std::uint32_t InodeOffset(InodeId id) const;
+  Result<Inode> LoadInode(InodeId id, Txn* txn) const;
+  Status StoreInode(InodeId id, const Inode& inode, Txn& txn);
+
+  /// Map a file-relative block number to a device block, optionally
+  /// allocating (and wiring the indirect block) on demand.
+  Result<BlockIndex> MapFileBlock(Inode& inode, std::uint64_t file_block,
+                                  bool allocate, Txn& txn);
+  /// Enumerate all data blocks (direct, indirect pointees, and the
+  /// indirect block itself last).
+  Result<std::vector<BlockIndex>> ListDataBlocks(const Inode& inode) const;
+
+  Status LoadBitmap();
+  Status CheckId(InodeId id) const;
+
+  blockdev::BlockDevice* device_;  // borrowed; outlives the store
+  Superblock sb_;
+  const Clock* clock_;             // borrowed
+  Journal journal_;
+  bool journal_enabled_;
+  bool crash_before_checkpoint_ = false;
+  std::vector<std::uint64_t> bitmap_;  // 1 bit per device block
+  BlockIndex alloc_hint_ = 0;
+  InodeId inode_hint_ = 1;  // lowest possibly-free inode slot
+};
+
+}  // namespace rgpdos::inodefs

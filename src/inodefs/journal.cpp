@@ -1,0 +1,167 @@
+#include "inodefs/journal.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/crc32.hpp"
+
+namespace rgpdos::inodefs {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x4C4E524A;  // "JRNL"
+constexpr std::uint8_t kKindData = 1;
+constexpr std::uint8_t kKindCommit = 2;
+
+// magic u32 | seq u64 | kind u8 | target u64 | payload_len u32
+constexpr std::size_t kHeaderSize = 4 + 8 + 1 + 8 + 4;
+constexpr std::size_t kCrcSize = 4;
+
+}  // namespace
+
+std::uint64_t Journal::RecordBlocks(std::size_t payload_size) const {
+  const std::size_t total = kHeaderSize + payload_size + kCrcSize;
+  return (total + sb_.block_size - 1) / sb_.block_size;
+}
+
+Status Journal::WriteRecord(std::uint64_t seq, std::uint8_t kind,
+                            BlockIndex target, ByteSpan payload) {
+  const std::uint64_t blocks_needed = RecordBlocks(payload.size());
+  if (blocks_needed > sb_.journal_blocks) {
+    return ResourceExhausted("journal region smaller than one record");
+  }
+  // Head is a block offset within the region; wrap if the record does
+  // not fit in the tail (old records there are simply overwritten later).
+  if (sb_.journal_head + blocks_needed > sb_.journal_blocks) {
+    sb_.journal_head = 0;
+  }
+
+  ByteWriter w(kHeaderSize + payload.size() + kCrcSize);
+  w.PutU32(kRecordMagic);
+  w.PutU64(seq);
+  w.PutU8(kind);
+  w.PutU64(target);
+  w.PutU32(static_cast<std::uint32_t>(payload.size()));
+  w.PutRaw(payload);
+  const std::uint32_t crc = Crc32(w.buffer());
+  w.PutU32(crc);
+
+  Bytes image = w.Take();
+  image.resize(blocks_needed * sb_.block_size, 0);
+  for (std::uint64_t i = 0; i < blocks_needed; ++i) {
+    const BlockIndex device_block = sb_.journal_start + sb_.journal_head + i;
+    RGPD_RETURN_IF_ERROR(device_.WriteBlock(
+        device_block,
+        ByteSpan(image.data() + i * sb_.block_size, sb_.block_size)));
+  }
+  sb_.journal_head += blocks_needed;
+  bytes_logged_ += image.size();
+  return Status::Ok();
+}
+
+Status Journal::AppendTransaction(
+    const std::vector<std::pair<BlockIndex, Bytes>>& writes) {
+  const std::uint64_t seq = sb_.journal_seq++;
+  for (const auto& [block, data] : writes) {
+    RGPD_RETURN_IF_ERROR(WriteRecord(seq, kKindData, block, data));
+  }
+  RGPD_RETURN_IF_ERROR(WriteRecord(seq, kKindCommit, 0, ByteSpan{}));
+  return device_.Flush();
+}
+
+Result<std::vector<ReplayedWrite>> Journal::Replay() {
+  struct PendingTxn {
+    std::vector<ReplayedWrite> writes;
+    bool committed = false;
+    std::uint64_t end_block = 0;  // region-relative block after the commit
+  };
+  std::map<std::uint64_t, PendingTxn> txns;
+
+  Bytes block;
+  std::uint64_t offset = 0;
+  while (offset < sb_.journal_blocks) {
+    RGPD_RETURN_IF_ERROR(
+        device_.ReadBlock(sb_.journal_start + offset, block));
+    ByteReader header(block);
+    auto magic = header.GetU32();
+    if (!magic.ok() || *magic != kRecordMagic) {
+      ++offset;
+      continue;
+    }
+    auto seq = header.GetU64();
+    auto kind = header.GetU8();
+    auto target = header.GetU64();
+    auto payload_len = header.GetU32();
+    if (!seq.ok() || !kind.ok() || !target.ok() || !payload_len.ok()) {
+      ++offset;
+      continue;
+    }
+    const std::uint64_t blocks = RecordBlocks(*payload_len);
+    if (offset + blocks > sb_.journal_blocks) {
+      ++offset;
+      continue;
+    }
+    // Assemble the full record image to verify its CRC.
+    Bytes image;
+    image.reserve(blocks * sb_.block_size);
+    image.insert(image.end(), block.begin(), block.end());
+    for (std::uint64_t i = 1; i < blocks; ++i) {
+      Bytes next;
+      RGPD_RETURN_IF_ERROR(
+          device_.ReadBlock(sb_.journal_start + offset + i, next));
+      image.insert(image.end(), next.begin(), next.end());
+    }
+    const std::size_t record_size = kHeaderSize + *payload_len + kCrcSize;
+    if (record_size > image.size()) {
+      ++offset;
+      continue;
+    }
+    ByteReader crc_reader(
+        ByteSpan(image.data() + record_size - kCrcSize, kCrcSize));
+    const std::uint32_t stored_crc = *crc_reader.GetU32();
+    const std::uint32_t computed_crc =
+        Crc32(ByteSpan(image.data(), record_size - kCrcSize));
+    if (stored_crc != computed_crc) {
+      ++offset;
+      continue;
+    }
+
+    PendingTxn& txn = txns[*seq];
+    if (*kind == kKindData) {
+      ReplayedWrite write;
+      write.seq = *seq;
+      write.block = *target;
+      write.data.assign(image.begin() + kHeaderSize,
+                        image.begin() + kHeaderSize + *payload_len);
+      txn.writes.push_back(std::move(write));
+    } else if (*kind == kKindCommit) {
+      txn.committed = true;
+      txn.end_block = offset + blocks;
+    }
+    offset += blocks;
+  }
+
+  std::vector<ReplayedWrite> out;
+  std::uint64_t resume_head = 0;
+  std::uint64_t max_seq = sb_.journal_seq;
+  for (auto& [seq, txn] : txns) {
+    max_seq = std::max(max_seq, seq + 1);
+    if (!txn.committed) continue;  // torn transaction: discard
+    resume_head = std::max(resume_head, txn.end_block);
+    for (ReplayedWrite& w : txn.writes) out.push_back(std::move(w));
+  }
+  sb_.journal_head = resume_head;
+  sb_.journal_seq = max_seq;
+  return out;
+}
+
+Status Journal::Scrub() {
+  const Bytes zero(sb_.block_size, 0);
+  for (std::uint64_t i = 0; i < sb_.journal_blocks; ++i) {
+    RGPD_RETURN_IF_ERROR(device_.WriteBlock(sb_.journal_start + i, zero));
+  }
+  sb_.journal_head = 0;
+  return device_.Flush();
+}
+
+}  // namespace rgpdos::inodefs

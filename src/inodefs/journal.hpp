@@ -1,0 +1,70 @@
+// Write-ahead data journal.
+//
+// Every mutation of the filesystem is logged here (full block images,
+// data and metadata alike — "data journaling" in ext4 terms) before being
+// written in place, giving crash atomicity. The journal is a circular
+// region of blocks; old records are NOT erased when a transaction
+// checkpoints, only overwritten when the head wraps around.
+//
+// That retention is deliberate: it reproduces the violation the paper
+// builds its case on (§1): "data deleted by the DB engine can still be
+// present in the filesystem's logs". The Fig-2 bench counts plaintext PD
+// bytes recoverable from this region after a DB-level delete. rgpdOS's
+// DBFS erasure path calls Scrub() to destroy the history; the baseline
+// never does.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "inodefs/format.hpp"
+
+namespace rgpdos::inodefs {
+
+/// One journaled block write, as recovered by Replay().
+struct ReplayedWrite {
+  std::uint64_t seq = 0;
+  BlockIndex block = 0;
+  Bytes data;
+};
+
+class Journal {
+ public:
+  /// `superblock` is borrowed and mutated (journal_head / journal_seq).
+  Journal(blockdev::BlockDevice& device, Superblock& superblock)
+      : device_(device), sb_(superblock) {}
+
+  /// Log a whole transaction (data records + commit record) and flush.
+  /// Fails with ResourceExhausted if the transaction cannot fit in the
+  /// journal region even when empty.
+  Status AppendTransaction(
+      const std::vector<std::pair<BlockIndex, Bytes>>& writes);
+
+  /// Scan the region for committed transactions; returns their block
+  /// writes ordered by (seq, log position). Also repositions the head
+  /// after the highest committed record so appends resume safely.
+  Result<std::vector<ReplayedWrite>> Replay();
+
+  /// Zero the entire journal region (GDPR scrub). Head resets to 0;
+  /// sequence numbers keep increasing so replay ordering stays sound.
+  Status Scrub();
+
+  /// Lifetime bytes appended (bench counter).
+  [[nodiscard]] std::uint64_t bytes_logged() const { return bytes_logged_; }
+
+ private:
+  /// Blocks one record with `payload_size` occupies (header + payload,
+  /// rounded up to whole blocks).
+  [[nodiscard]] std::uint64_t RecordBlocks(std::size_t payload_size) const;
+  Status WriteRecord(std::uint64_t seq, std::uint8_t kind, BlockIndex target,
+                     ByteSpan payload);
+
+  blockdev::BlockDevice& device_;
+  Superblock& sb_;
+  std::uint64_t bytes_logged_ = 0;
+};
+
+}  // namespace rgpdos::inodefs

@@ -1,0 +1,51 @@
+// Bounded message channel — the IPC primitive between sub-kernels.
+//
+// The purpose-kernel model (paper §2) splits the machine kernel into
+// cooperating sub-kernels; they exchange requests and responses over
+// these channels instead of sharing address space. The simulation is
+// single-threaded and cooperative (deterministic), so the channel is a
+// plain bounded queue with explicit overflow signalling.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/status.hpp"
+
+namespace rgpdos::kernel {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Enqueue; kResourceExhausted when full (sender must back off).
+  Status Push(T message) {
+    if (queue_.size() >= capacity_) {
+      return ResourceExhausted("channel full");
+    }
+    queue_.push_back(std::move(message));
+    ++total_pushed_;
+    return Status::Ok();
+  }
+
+  /// Dequeue; empty optional when nothing is pending.
+  std::optional<T> Pop() {
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> queue_;
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace rgpdos::kernel

@@ -1,0 +1,33 @@
+#include "kernel/io_driver_kernel.hpp"
+
+namespace rgpdos::kernel {
+
+std::uint64_t IoDriverKernel::Run(std::uint64_t budget) {
+  std::uint64_t used = 0;
+  while (used + cost_per_request_ <= budget) {
+    std::optional<BlockRequest> request = requests_.Pop();
+    if (!request.has_value()) break;
+    BlockResponse response;
+    response.tag = request->tag;
+    switch (request->kind) {
+      case BlockRequest::Kind::kRead:
+        response.status = device_->ReadBlock(request->block, response.data);
+        break;
+      case BlockRequest::Kind::kWrite:
+        response.status = device_->WriteBlock(request->block, request->data);
+        break;
+      case BlockRequest::Kind::kFlush:
+        response.status = device_->Flush();
+        break;
+    }
+    // A full response channel drops the response after serving the IO;
+    // the client observes it as a timeout. Counted, not fatal.
+    (void)responses_.Push(std::move(response));
+    used += cost_per_request_;
+    ++served_;
+  }
+  AccountUnits(used);
+  return used;
+}
+
+}  // namespace rgpdos::kernel

@@ -1,0 +1,54 @@
+// IO driver kernel: "every IO device is managed by a dedicated kernel
+// which is mainly composed of the device driver" (paper §2). The general
+// purpose kernel owns no IO drivers because devices are traversed by PD;
+// instead, block requests flow over channels to these lightweight
+// kernels, which are part of the to-be-proven TCB alongside rgpdOS.
+#pragma once
+
+#include "blockdev/block_device.hpp"
+#include "kernel/channel.hpp"
+#include "kernel/subkernel.hpp"
+
+namespace rgpdos::kernel {
+
+struct BlockRequest {
+  enum class Kind : std::uint8_t { kRead, kWrite, kFlush } kind;
+  blockdev::BlockIndex block = 0;
+  Bytes data;              ///< payload for writes
+  std::uint64_t tag = 0;   ///< request id, echoed in the response
+};
+
+struct BlockResponse {
+  std::uint64_t tag = 0;
+  Status status;
+  Bytes data;  ///< payload for reads
+};
+
+class IoDriverKernel final : public SubKernel {
+ public:
+  /// `cost_per_request` models driver work units per IO.
+  IoDriverKernel(std::string name, blockdev::BlockDevice* device,
+                 std::uint64_t cost_per_request = 1)
+      : SubKernel(std::move(name), KernelKind::kIoDriver),
+        device_(device),
+        cost_per_request_(cost_per_request) {}
+
+  [[nodiscard]] Channel<BlockRequest>& requests() { return requests_; }
+  [[nodiscard]] Channel<BlockResponse>& responses() { return responses_; }
+
+  std::uint64_t Run(std::uint64_t budget) override;
+  [[nodiscard]] std::uint64_t Backlog() const override {
+    return requests_.size() * cost_per_request_;
+  }
+
+  [[nodiscard]] std::uint64_t served_requests() const { return served_; }
+
+ private:
+  blockdev::BlockDevice* device_;  // borrowed
+  std::uint64_t cost_per_request_;
+  Channel<BlockRequest> requests_;
+  Channel<BlockResponse> responses_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace rgpdos::kernel

@@ -1,0 +1,64 @@
+#include "kernel/machine.hpp"
+
+namespace rgpdos::kernel {
+
+SubKernel* Machine::AddKernel(std::unique_ptr<SubKernel> kernel,
+                              std::uint64_t share) {
+  entries_.push_back(Entry{std::move(kernel), std::max<std::uint64_t>(
+                                                  share, 1)});
+  RecomputeMemoryQuotas();
+  return entries_.back().kernel.get();
+}
+
+Status Machine::Repartition(std::string_view name,
+                            std::uint64_t new_share) {
+  for (Entry& entry : entries_) {
+    if (entry.kernel->name() == name) {
+      entry.share = std::max<std::uint64_t>(new_share, 1);
+      RecomputeMemoryQuotas();
+      return Status::Ok();
+    }
+  }
+  return NotFound("no kernel named " + std::string(name));
+}
+
+void Machine::RecomputeMemoryQuotas() {
+  if (total_memory_ == 0) return;
+  std::uint64_t total_share = 0;
+  for (const Entry& entry : entries_) total_share += entry.share;
+  for (Entry& entry : entries_) {
+    entry.kernel->SetMemoryQuota(total_memory_ * entry.share / total_share);
+  }
+}
+
+void Machine::Tick(std::uint64_t total_units) {
+  ++ticks_;
+  if (entries_.empty() || total_units == 0) return;
+
+  std::uint64_t total_share = 0;
+  for (const Entry& entry : entries_) total_share += entry.share;
+
+  // First pass: proportional budgets. Track slack against the FULL tick
+  // budget so integer-division remainders are redistributed too.
+  std::uint64_t leftover = total_units;
+  for (Entry& entry : entries_) {
+    const std::uint64_t budget = total_units * entry.share / total_share;
+    leftover -= entry.kernel->Run(budget);
+  }
+  // Work-conserving second pass: hand slack to backlogged kernels in
+  // share order.
+  for (Entry& entry : entries_) {
+    if (leftover == 0) break;
+    if (entry.kernel->Backlog() == 0) continue;
+    leftover -= entry.kernel->Run(leftover);
+  }
+}
+
+SubKernel* Machine::Find(std::string_view name) {
+  for (Entry& entry : entries_) {
+    if (entry.kernel->name() == name) return entry.kernel.get();
+  }
+  return nullptr;
+}
+
+}  // namespace rgpdos::kernel

@@ -1,0 +1,54 @@
+// Machine: aggregates sub-kernels and dynamically partitions CPU and
+// memory between them ("The different kernels cooperate to (dynamically)
+// partition CPU and memory resources", paper §2).
+//
+// Scheduling model: each Tick(total_units) splits the CPU budget between
+// kernels proportionally to their shares; unused slack from idle kernels
+// is redistributed (work-conserving), so partitioning bounds interference
+// without wasting capacity. Benches compare this against a SHARED
+// configuration (a single queue for PD+NPD) to quantify the isolation the
+// purpose-kernel model buys.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "kernel/subkernel.hpp"
+
+namespace rgpdos::kernel {
+
+class Machine {
+ public:
+  /// `total_memory` is partitioned across kernels proportionally to their
+  /// shares whenever shares change (0 = no memory accounting).
+  explicit Machine(std::uint64_t total_memory = 0)
+      : total_memory_(total_memory) {}
+
+  /// Register a kernel with a CPU share weight (>= 1).
+  SubKernel* AddKernel(std::unique_ptr<SubKernel> kernel,
+                       std::uint64_t share);
+
+  /// Change a kernel's share at runtime (dynamic repartitioning).
+  Status Repartition(std::string_view name, std::uint64_t new_share);
+
+  /// Run one scheduling round with `total_units` of CPU.
+  void Tick(std::uint64_t total_units);
+
+  [[nodiscard]] SubKernel* Find(std::string_view name);
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] std::size_t kernel_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::unique_ptr<SubKernel> kernel;
+    std::uint64_t share;
+  };
+  void RecomputeMemoryQuotas();
+
+  std::vector<Entry> entries_;
+  std::uint64_t total_memory_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace rgpdos::kernel

@@ -1,0 +1,14 @@
+#include "kernel/placement.hpp"
+
+namespace rgpdos::kernel {
+
+std::string_view PlacementName(DedPlacement placement) {
+  switch (placement) {
+    case DedPlacement::kHost: return "host";
+    case DedPlacement::kPim: return "pim";
+    case DedPlacement::kPis: return "pis";
+  }
+  return "?";
+}
+
+}  // namespace rgpdos::kernel

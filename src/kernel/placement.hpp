@@ -1,0 +1,110 @@
+// DED placement model — paper §3(3): "DED could be executed in multiple
+// locations with the help of Processing in Memory (e.g. UPMEM) and
+// Processing in Storage."
+//
+// An analytical cost model for WHERE a Data Execution Domain instance
+// should run. Each location trades data movement against compute speed:
+//
+//   host   pulls PD across the full storage+memory path into fast cores;
+//   PIM    computes inside the memory device: no DRAM-to-core transfer,
+//          but DPU-class cores (UPMEM-like) are ~10x slower;
+//   PIS    computes inside the storage device: nothing crosses the
+//          interconnect at all, but storage-side cores are slowest and
+//          only the (small) result travels back.
+//
+// The constants approximate published UPMEM/SmartSSD characterisations;
+// like the rest of the simulation, the model is about crossover SHAPES,
+// not absolute nanoseconds.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rgpdos::kernel {
+
+enum class DedPlacement : std::uint8_t {
+  kHost = 0,  ///< conventional: data moves to the CPU
+  kPim,       ///< processing-in-memory (UPMEM-like DPUs)
+  kPis,       ///< processing-in-storage (computational SSD)
+};
+
+std::string_view PlacementName(DedPlacement placement);
+
+/// One DED invocation's resource demand, as the placement planner sees it.
+struct DedWorkload {
+  std::uint64_t bytes_in = 0;     ///< PD loaded (rows + membranes)
+  std::uint64_t bytes_out = 0;    ///< derived PD + NPD returned
+  std::uint64_t compute_ops = 0;  ///< abstract work units of ded_execute
+};
+
+/// Per-location cost coefficients. `ingest` is whatever path the input
+/// bytes must cross to reach the compute: storage->DRAM for host/PIM,
+/// the internal flash channel for PIS.
+struct PlacementProfile {
+  double ingest_ns_per_byte = 0;         ///< bytes_in -> compute site
+  double memory_to_core_ns_per_byte = 0; ///< extra DRAM->core hop (host)
+  double ns_per_op = 0;                  ///< compute speed
+  double result_return_ns_per_byte = 0;  ///< result path back
+
+  static PlacementProfile Host() {
+    // NVMe ~2 GB/s effective, random DRAM->core ~4 GB/s effective,
+    // 3 GHz-class cores.
+    return {0.5, 0.25, 0.33, 0.05};
+  }
+  static PlacementProfile Pim() {
+    // Data still crosses storage->memory, then stays where the DPUs
+    // are (no DRAM->core hop); DPU ~10x slower than a host core.
+    return {0.5, 0.0, 3.3, 0.05};
+  }
+  static PlacementProfile Pis() {
+    // Only the internal flash channel is crossed (~5 GB/s); embedded
+    // cores ~30x slower.
+    return {0.2, 0.0, 10.0, 0.05};
+  }
+
+  [[nodiscard]] double EstimateNs(const DedWorkload& workload) const {
+    return double(workload.bytes_in) *
+               (ingest_ns_per_byte + memory_to_core_ns_per_byte) +
+           double(workload.compute_ops) * ns_per_op +
+           double(workload.bytes_out) * result_return_ns_per_byte;
+  }
+};
+
+/// Planner: pick the cheapest placement for a workload.
+class PlacementPlanner {
+ public:
+  PlacementPlanner(PlacementProfile host = PlacementProfile::Host(),
+                   PlacementProfile pim = PlacementProfile::Pim(),
+                   PlacementProfile pis = PlacementProfile::Pis())
+      : host_(host), pim_(pim), pis_(pis) {}
+
+  [[nodiscard]] double EstimateNs(DedPlacement placement,
+                                  const DedWorkload& workload) const {
+    switch (placement) {
+      case DedPlacement::kHost: return host_.EstimateNs(workload);
+      case DedPlacement::kPim: return pim_.EstimateNs(workload);
+      case DedPlacement::kPis: return pis_.EstimateNs(workload);
+    }
+    return 0;
+  }
+
+  [[nodiscard]] DedPlacement Choose(const DedWorkload& workload) const {
+    DedPlacement best = DedPlacement::kHost;
+    double best_ns = EstimateNs(best, workload);
+    for (DedPlacement candidate : {DedPlacement::kPim, DedPlacement::kPis}) {
+      const double ns = EstimateNs(candidate, workload);
+      if (ns < best_ns) {
+        best = candidate;
+        best_ns = ns;
+      }
+    }
+    return best;
+  }
+
+ private:
+  PlacementProfile host_;
+  PlacementProfile pim_;
+  PlacementProfile pis_;
+};
+
+}  // namespace rgpdos::kernel

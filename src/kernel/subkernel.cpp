@@ -1,0 +1,57 @@
+#include "kernel/subkernel.hpp"
+
+namespace rgpdos::kernel {
+
+std::string_view KernelKindName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kIoDriver: return "io_driver";
+    case KernelKind::kGeneralPurpose: return "general_purpose";
+    case KernelKind::kRgpd: return "rgpd";
+  }
+  return "?";
+}
+
+Status SubKernel::ChargeMemory(std::uint64_t bytes) {
+  if (memory_quota_ != 0 && memory_used_ + bytes > memory_quota_) {
+    return ResourceExhausted(name_ + ": memory quota exceeded");
+  }
+  memory_used_ += bytes;
+  return Status::Ok();
+}
+
+void SubKernel::ReleaseMemory(std::uint64_t bytes) {
+  memory_used_ = bytes >= memory_used_ ? 0 : memory_used_ - bytes;
+}
+
+Status JobQueueKernel::Submit(Job job) {
+  if (job.cost == 0) job.cost = 1;
+  queue_.push_back(std::move(job));
+  return Status::Ok();
+}
+
+std::uint64_t JobQueueKernel::Run(std::uint64_t budget) {
+  std::uint64_t used = 0;
+  while (used < budget && !queue_.empty()) {
+    Job& job = queue_.front();
+    const std::uint64_t remaining = job.cost - current_progress_;
+    const std::uint64_t step = std::min(remaining, budget - used);
+    current_progress_ += step;
+    used += step;
+    if (current_progress_ == job.cost) {
+      if (job.on_complete) job.on_complete();
+      queue_.pop_front();
+      current_progress_ = 0;
+      ++completed_;
+    }
+  }
+  AccountUnits(used);
+  return used;
+}
+
+std::uint64_t JobQueueKernel::Backlog() const {
+  std::uint64_t total = 0;
+  for (const Job& job : queue_) total += job.cost;
+  return total - current_progress_;
+}
+
+}  // namespace rgpdos::kernel

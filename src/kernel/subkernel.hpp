@@ -1,0 +1,95 @@
+// Sub-kernels of the purpose-kernel model.
+//
+// "The kernel is the aggregation of several sub-kernels where each
+// sub-kernel achieves a specific purpose": IO driver kernels (one per
+// device), a general-purpose kernel hosting NPD, and rgpdOS hosting PD
+// (paper §2). Here each sub-kernel is a cooperative work consumer: the
+// Machine hands it a CPU budget in abstract work units each tick, and it
+// accounts memory against a quota set by the ResourcePartitioner.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace rgpdos::kernel {
+
+enum class KernelKind : std::uint8_t {
+  kIoDriver = 0,
+  kGeneralPurpose,  ///< hosts and processes NPD; no IO drivers
+  kRgpd,            ///< GDPR-aware kernel hosting PD
+};
+
+std::string_view KernelKindName(KernelKind kind);
+
+class SubKernel {
+ public:
+  SubKernel(std::string name, KernelKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+  virtual ~SubKernel() = default;
+  SubKernel(const SubKernel&) = delete;
+  SubKernel& operator=(const SubKernel&) = delete;
+
+  /// Consume up to `budget` work units; return units actually used.
+  virtual std::uint64_t Run(std::uint64_t budget) = 0;
+  /// Pending work units (0 = idle). Lets the Machine redistribute slack.
+  [[nodiscard]] virtual std::uint64_t Backlog() const = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] KernelKind kind() const { return kind_; }
+
+  // ---- memory quota (partitioned by the Machine) ---------------------------
+  [[nodiscard]] std::uint64_t memory_quota() const { return memory_quota_; }
+  [[nodiscard]] std::uint64_t memory_used() const { return memory_used_; }
+  void SetMemoryQuota(std::uint64_t bytes) { memory_quota_ = bytes; }
+  Status ChargeMemory(std::uint64_t bytes);
+  void ReleaseMemory(std::uint64_t bytes);
+
+  // ---- lifetime counters ----------------------------------------------------
+  [[nodiscard]] std::uint64_t units_consumed() const {
+    return units_consumed_;
+  }
+
+ protected:
+  void AccountUnits(std::uint64_t units) { units_consumed_ += units; }
+
+ private:
+  std::string name_;
+  KernelKind kind_;
+  std::uint64_t memory_quota_ = 0;  // 0 = unlimited
+  std::uint64_t memory_used_ = 0;
+  std::uint64_t units_consumed_ = 0;
+};
+
+/// A generic job-queue kernel: jobs carry a cost in work units and an
+/// optional completion callback. Used for both the general-purpose (NPD)
+/// and rgpd (PD) kernels in the partitioning benches; the real rgpdOS
+/// wiring (PS/DED/DBFS) lives in src/core and runs *inside* jobs
+/// submitted to the rgpd kernel.
+class JobQueueKernel final : public SubKernel {
+ public:
+  struct Job {
+    std::uint64_t cost = 1;
+    std::function<void()> on_complete;  // may be empty
+  };
+
+  JobQueueKernel(std::string name, KernelKind kind)
+      : SubKernel(std::move(name), kind) {}
+
+  Status Submit(Job job);
+
+  std::uint64_t Run(std::uint64_t budget) override;
+  [[nodiscard]] std::uint64_t Backlog() const override;
+
+  [[nodiscard]] std::uint64_t completed_jobs() const { return completed_; }
+  [[nodiscard]] std::size_t queued_jobs() const { return queue_.size(); }
+
+ private:
+  std::deque<Job> queue_;
+  std::uint64_t current_progress_ = 0;  // units already spent on front job
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace rgpdos::kernel

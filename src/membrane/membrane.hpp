@@ -1,0 +1,118 @@
+// The PD membrane — "the first demonstration of the notion of active
+// data" (paper §2). Every PD record stored in DBFS carries one; it holds
+// the metadata the paper enumerates (origin, per-purpose consents, time
+// to live, sensitivity, collection interface) and is consulted by the DED
+// on every access (ded_filter step).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace rgpdos::membrane {
+
+/// Where a piece of PD entered the system (traceability requirement of
+/// the collection built-in).
+enum class Origin : std::uint8_t {
+  kSubject = 0,     ///< collected directly from the data subject
+  kSysadmin,        ///< entered by the data operator
+  kThirdParty,      ///< obtained from another data operator
+  kDerived,         ///< produced by a processing inside the DED
+};
+
+std::string_view OriginName(Origin origin);
+
+/// GDPR sensitivity level; "sensitive data … be stored separately from
+/// less sensitive data" (paper §2) — DBFS uses this to segregate records.
+enum class Sensitivity : std::uint8_t { kLow = 0, kMedium, kHigh };
+
+std::string_view SensitivityName(Sensitivity s);
+
+/// What a consent entry authorises a purpose to see.
+enum class ConsentKind : std::uint8_t {
+  kNone = 0,  ///< purpose may not touch this PD
+  kView,      ///< purpose sees only the named view's fields
+  kAll,       ///< purpose sees every field
+};
+
+struct Consent {
+  ConsentKind kind = ConsentKind::kNone;
+  std::string view;  ///< set iff kind == kView
+
+  static Consent None() { return {ConsentKind::kNone, {}}; }
+  static Consent All() { return {ConsentKind::kAll, {}}; }
+  static Consent ForView(std::string view_name) {
+    return {ConsentKind::kView, std::move(view_name)};
+  }
+
+  friend bool operator==(const Consent& a, const Consent& b) {
+    return a.kind == b.kind && a.view == b.view;
+  }
+};
+
+/// How PD of a type can be (re-)collected when absent from DBFS.
+struct CollectionInterface {
+  std::string method;  ///< e.g. "web_form", "third_party"
+  std::string target;  ///< e.g. "user_form.html", "fetch_data.py"
+};
+
+/// The membrane proper.
+struct Membrane {
+  std::uint64_t subject_id = 0;
+  std::string type_name;
+  Origin origin = Origin::kSubject;
+  Sensitivity sensitivity = Sensitivity::kLow;
+  TimeMicros created_at = 0;
+  /// Time to live; 0 means "no expiry". `created_at + ttl` is the moment
+  /// the PD stops being accessible (right to be forgotten by time).
+  TimeMicros ttl = 0;
+  /// Per-purpose consents. Purposes absent from the map are denied.
+  std::map<std::string, Consent> consents;
+  std::vector<CollectionInterface> collection;
+  /// All copies of the same PD share a copy group; consent changes are
+  /// propagated group-wide so membranes stay consistent (copy built-in).
+  std::uint64_t copy_group = 0;
+  /// GDPR Art. 18 restriction of processing: while set, the PD is kept
+  /// in storage but no purpose may process it (the subject contests
+  /// accuracy, or objects, or wants the data preserved for a claim).
+  bool restricted = false;
+  std::string restriction_reason;
+  /// Monotonic version, bumped on every membrane mutation.
+  std::uint64_t version = 0;
+
+  // ---- evaluation ----------------------------------------------------------
+
+  [[nodiscard]] bool ExpiredAt(TimeMicros now) const {
+    return ttl != 0 && now >= created_at + ttl;
+  }
+
+  /// The decision the DED's filter step needs: may `purpose` process this
+  /// PD now, and through which scope? Status codes kExpired /
+  /// kConsentDenied communicate GDPR outcomes.
+  [[nodiscard]] Result<Consent> Evaluate(std::string_view purpose,
+                                         TimeMicros now) const;
+
+  // ---- mutation (version-bumping) ------------------------------------------
+
+  void GrantConsent(const std::string& purpose, Consent consent);
+  /// Withdraw consent for one purpose (GDPR Art. 7(3)).
+  void RevokeConsent(const std::string& purpose);
+  void SetTtl(TimeMicros new_ttl);
+  /// Art. 18: mark / unmark the PD as restricted.
+  void Restrict(std::string reason);
+  void LiftRestriction();
+
+  // ---- codec ---------------------------------------------------------------
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<Membrane> Deserialize(ByteSpan bytes);
+
+  friend bool operator==(const Membrane& a, const Membrane& b);
+};
+
+}  // namespace rgpdos::membrane

@@ -1,0 +1,108 @@
+#include "penalties/penalties.hpp"
+
+#include <algorithm>
+
+namespace rgpdos::penalties {
+
+const std::vector<Fine>& Dataset() {
+  // Notable public GDPR fines, 2018-2022 (amounts as reported at
+  // decision time; the paper's Fig 1 peaks at ~1.2 B EUR for 2021).
+  static const std::vector<Fine> kDataset = {
+      // 2018 — the regulation's first (partial) year.
+      {2018, "PT", "health", "Barreiro-Montijo Hospital", 400'000},
+      {2018, "DE", "internet", "Knuddels", 20'000},
+      {2018, "AT", "retail", "Austrian betting shop (CCTV)", 5'280},
+      // 2019.
+      {2019, "FR", "internet", "Google", 50'000'000},
+      {2019, "AT", "postal", "Austrian Post", 18'000'000},
+      {2019, "DE", "telecom", "1&1 Telecom", 9'550'000},
+      {2019, "BG", "finance", "National Revenue Agency", 2'600'000},
+      {2019, "DE", "real_estate", "Deutsche Wohnen", 14'500'000},
+      {2019, "ES", "media", "La Liga", 250'000},
+      {2019, "DK", "transport", "Taxa 4x35", 160'000},
+      {2019, "PL", "internet", "Bisnode", 220'000},
+      // 2020.
+      {2020, "DE", "retail", "H&M", 35'258'708},
+      {2020, "IT", "telecom", "TIM", 27'800'000},
+      {2020, "GB", "transport", "British Airways", 22'046'000},
+      {2020, "GB", "hospitality", "Marriott", 20'450'000},
+      {2020, "IT", "telecom", "Wind Tre", 16'700'000},
+      {2020, "IT", "telecom", "Vodafone Italia", 12'250'000},
+      {2020, "FR", "retail", "Carrefour", 2'250'000},
+      {2020, "SE", "internet", "Google (delisting)", 7'000'000},
+      {2020, "FR", "health", "Two doctors (exposed imaging server)", 9'000},
+      {2020, "ES", "finance", "BBVA", 5'000'000},
+      {2020, "NO", "public", "Municipality of Oslo", 120'000},
+      // 2021 — the 1.2 B peak.
+      {2021, "LU", "internet", "Amazon Europe", 746'000'000},
+      {2021, "IE", "internet", "WhatsApp", 225'000'000},
+      {2021, "FR", "internet", "Facebook (cookies)", 60'000'000},
+      {2021, "DE", "retail", "notebooksbilliger.de", 10'400'000},
+      {2021, "ES", "telecom", "Vodafone Espana", 8'150'000},
+      {2021, "ES", "finance", "Caixabank", 6'000'000},
+      {2021, "NO", "internet", "Grindr", 6'300'000},
+      {2021, "IT", "utilities", "Enel Energia (telemarketing)", 3'000'000},
+      {2021, "NL", "transport", "TikTok (minors)", 750'000},
+      {2021, "HU", "finance", "Budapest Bank", 2'000'000},
+      {2021, "PL", "insurance", "Warta", 85'000},
+      {2021, "ES", "utilities", "EDP Energia", 1'500'000},
+      // 2022 (up to the paper's horizon).
+      {2022, "IE", "internet", "Meta (Facebook)", 17'000'000},
+      {2022, "IT", "internet", "Clearview AI", 20'000'000},
+      {2022, "IT", "utilities", "Enel Energia", 26'500'000},
+      {2022, "GR", "internet", "Clearview AI (Greece)", 20'000'000},
+      {2022, "ES", "finance", "Google (data transfer)", 10'000'000},
+      {2022, "FR", "retail", "Free Mobile", 300'000},
+      {2022, "DK", "public", "Danske Bank", 1'340'000},
+  };
+  return kDataset;
+}
+
+std::map<int, double> TotalsByYear() {
+  std::map<int, double> totals;
+  for (const Fine& fine : Dataset()) {
+    totals[fine.year] += fine.amount_eur;
+  }
+  return totals;
+}
+
+namespace {
+std::map<std::string, std::pair<double, std::size_t>> BySector() {
+  std::map<std::string, std::pair<double, std::size_t>> sectors;
+  for (const Fine& fine : Dataset()) {
+    auto& [amount, count] = sectors[fine.sector];
+    amount += fine.amount_eur;
+    ++count;
+  }
+  return sectors;
+}
+}  // namespace
+
+std::vector<std::pair<std::string, double>> TopSectorsByAmount(
+    std::size_t n) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [sector, stats] : BySector()) {
+    out.emplace_back(sector, stats.first);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::size_t>> TopSectorsByCount(
+    std::size_t n) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (const auto& [sector, stats] : BySector()) {
+    out.emplace_back(sector, stats.second);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace rgpdos::penalties

@@ -1,0 +1,38 @@
+// GDPR penalty statistics (paper Fig. 1, built from datalegaldrive.com's
+// public sanction map). The bundled dataset approximates the public
+// record of notable GDPR fines 2018-2022; amounts are in euros as widely
+// reported at decision time. It is a reproduction dataset, not legal
+// reference material.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rgpdos::penalties {
+
+struct Fine {
+  int year = 0;
+  std::string country;
+  std::string sector;
+  std::string entity;
+  double amount_eur = 0;
+};
+
+/// The bundled dataset (sorted by year, then amount descending).
+const std::vector<Fine>& Dataset();
+
+/// Fig 1 left: total penalty amount per year.
+std::map<int, double> TotalsByYear();
+
+/// Fig 1 right: the `n` most sanctioned business sectors by cumulative
+/// amount, descending.
+std::vector<std::pair<std::string, double>> TopSectorsByAmount(
+    std::size_t n);
+
+/// Same, ranked by number of sanctions.
+std::vector<std::pair<std::string, std::size_t>> TopSectorsByCount(
+    std::size_t n);
+
+}  // namespace rgpdos::penalties

@@ -1,0 +1,29 @@
+#include "sentinel/audit.hpp"
+
+namespace rgpdos::sentinel {
+
+void AuditSink::Record(AuditEntry entry) {
+  if (entry.allowed) {
+    ++allowed_;
+  } else {
+    ++denied_;
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<AuditEntry> AuditSink::Query(
+    const std::function<bool(const AuditEntry&)>& predicate) const {
+  std::vector<AuditEntry> out;
+  for (const AuditEntry& e : entries_) {
+    if (predicate(e)) out.push_back(e);
+  }
+  return out;
+}
+
+void AuditSink::Clear() {
+  entries_.clear();
+  allowed_ = 0;
+  denied_ = 0;
+}
+
+}  // namespace rgpdos::sentinel

@@ -1,0 +1,46 @@
+// Audit sink: an append-only record of every enforcement decision,
+// queryable by outcome and by domain. Feeds the regulator-audit example
+// and the enforcement-invariant tests (a denied access must leave an
+// audit record, E4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "sentinel/domain.hpp"
+
+namespace rgpdos::sentinel {
+
+struct AuditEntry {
+  TimeMicros at = 0;
+  AccessRequest request;
+  bool allowed = false;
+  std::string rule;  ///< which rule decided ("default-deny", "allow ...")
+};
+
+class AuditSink {
+ public:
+  void Record(AuditEntry entry);
+
+  [[nodiscard]] const std::vector<AuditEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::uint64_t allowed_count() const { return allowed_; }
+  [[nodiscard]] std::uint64_t denied_count() const { return denied_; }
+
+  /// Entries matching a predicate (e.g. all denials against DBFS).
+  [[nodiscard]] std::vector<AuditEntry> Query(
+      const std::function<bool(const AuditEntry&)>& predicate) const;
+
+  void Clear();
+
+ private:
+  std::vector<AuditEntry> entries_;
+  std::uint64_t allowed_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace rgpdos::sentinel

@@ -1,0 +1,67 @@
+#include "sentinel/breach.hpp"
+
+#include <map>
+
+namespace rgpdos::sentinel {
+
+namespace {
+std::string DraftNotification(const BreachFinding& finding) {
+  std::string out = "Art.33 draft: ";
+  out += DomainName(finding.actor);
+  out += " made ";
+  out += std::to_string(finding.denied_attempts);
+  out += " denied attempts against ";
+  out += DomainName(finding.target);
+  out += " within ";
+  out +=
+      std::to_string((finding.window_end - finding.window_start) /
+                     kMicrosPerSecond);
+  out += "s. All attempts were blocked by the sentinel; no PD left the "
+         "system. Recommended measures: rotate credentials of the "
+         "originating domain, review the audit trail, notify within 72h "
+         "if any allowed access preceded the burst.";
+  return out;
+}
+}  // namespace
+
+std::vector<BreachFinding> DetectBreaches(const AuditSink& audit,
+                                          const BreachPolicy& policy) {
+  // Group denials by (actor, target), then slide a window over each
+  // group's (time-ordered) entries.
+  std::map<std::pair<Domain, Domain>, std::vector<TimeMicros>> denials;
+  for (const AuditEntry& entry : audit.entries()) {
+    if (entry.allowed) continue;
+    denials[{entry.request.subject, entry.request.object}].push_back(
+        entry.at);
+  }
+
+  std::vector<BreachFinding> findings;
+  for (const auto& [key, times] : denials) {
+    std::size_t window_start_index = 0;
+    std::size_t best_count = 0;
+    std::size_t best_start = 0;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      while (times[i] - times[window_start_index] > policy.window) {
+        ++window_start_index;
+      }
+      const std::size_t count = i - window_start_index + 1;
+      if (count > best_count) {
+        best_count = count;
+        best_start = window_start_index;
+      }
+    }
+    if (best_count >= policy.threshold) {
+      BreachFinding finding;
+      finding.actor = key.first;
+      finding.target = key.second;
+      finding.window_start = times[best_start];
+      finding.window_end = times[best_start + best_count - 1];
+      finding.denied_attempts = best_count;
+      finding.notification = DraftNotification(finding);
+      findings.push_back(std::move(finding));
+    }
+  }
+  return findings;
+}
+
+}  // namespace rgpdos::sentinel

@@ -1,0 +1,43 @@
+// Breach detection over the audit trail (GDPR Art. 33: the controller
+// must notify the supervisory authority of a personal data breach within
+// 72 hours of becoming aware of it).
+//
+// The sentinel's audit sink records every denied access; this detector
+// turns denial bursts into breach findings a controller can act on: who
+// probed, what they probed, over which window, and whether PD was
+// actually reachable (denials mean the attempt FAILED — under rgpdOS a
+// "freely accessible server" scenario surfaces here as a pile of denials
+// instead of a silent exfiltration).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "sentinel/audit.hpp"
+
+namespace rgpdos::sentinel {
+
+struct BreachFinding {
+  Domain actor = Domain::kOutside;   ///< who attempted
+  Domain target = Domain::kDbfs;     ///< what they went after
+  TimeMicros window_start = 0;
+  TimeMicros window_end = 0;
+  std::size_t denied_attempts = 0;
+  /// Art. 33 notification draft ("likely consequences", "measures").
+  std::string notification;
+};
+
+struct BreachPolicy {
+  /// Denials from one actor against one target within `window` that
+  /// trigger a finding.
+  std::size_t threshold = 5;
+  TimeMicros window = 60 * kMicrosPerSecond;
+};
+
+/// Scan the audit trail for denial bursts. Pure function over the sink:
+/// idempotent, suitable for periodic sweeps or post-incident forensics.
+std::vector<BreachFinding> DetectBreaches(const AuditSink& audit,
+                                          const BreachPolicy& policy);
+
+}  // namespace rgpdos::sentinel

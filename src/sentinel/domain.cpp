@@ -1,0 +1,36 @@
+#include "sentinel/domain.hpp"
+
+namespace rgpdos::sentinel {
+
+std::string_view DomainName(Domain domain) {
+  switch (domain) {
+    case Domain::kOutside: return "outside";
+    case Domain::kApplication: return "application";
+    case Domain::kGeneralKernel: return "general_kernel";
+    case Domain::kIoKernel: return "io_kernel";
+    case Domain::kProcessingStore: return "processing_store";
+    case Domain::kDed: return "ded";
+    case Domain::kDbfs: return "dbfs";
+    case Domain::kSysadmin: return "sysadmin";
+    case Domain::kAuthority: return "authority";
+  }
+  return "?";
+}
+
+std::string_view OperationName(Operation op) {
+  switch (op) {
+    case Operation::kRead: return "read";
+    case Operation::kReadSchema: return "read_schema";
+    case Operation::kWrite: return "write";
+    case Operation::kCreate: return "create";
+    case Operation::kDelete: return "delete";
+    case Operation::kInvoke: return "invoke";
+    case Operation::kRegister: return "register";
+    case Operation::kApprove: return "approve";
+    case Operation::kExport: return "export";
+    case Operation::kErase: return "erase";
+  }
+  return "?";
+}
+
+}  // namespace rgpdos::sentinel

@@ -1,0 +1,54 @@
+// Security domains and operations — the label vocabulary of the LSM
+// analogue. The paper relies on the Linux Security Module framework
+// (SELinux/Smack) to guarantee that "DBFS is not visible from the outside
+// and every direct access attempt from the outside is blocked" (§2); here
+// every component carries a Domain label and every sensitive operation is
+// checked against a deny-by-default policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rgpdos::sentinel {
+
+enum class Domain : std::uint8_t {
+  kOutside = 0,        ///< anything not part of the rgpdOS TCB (other hosts,
+                       ///< processes on the general-purpose kernel)
+  kApplication,        ///< the main application (F_npd code)
+  kGeneralKernel,      ///< general-purpose kernel (NPD only)
+  kIoKernel,           ///< an IO driver kernel
+  kProcessingStore,    ///< PS — the only rgpdOS entry point
+  kDed,                ///< a Data Execution Domain instance
+  kDbfs,               ///< the database-oriented filesystem
+  kSysadmin,           ///< the data operator's administrative role
+  kAuthority,          ///< the supervisory authority (key escrow holder)
+};
+
+std::string_view DomainName(Domain domain);
+
+enum class Operation : std::uint8_t {
+  kRead = 0,
+  kReadSchema,  ///< read type declarations (schema tree), not PD records
+  kWrite,
+  kCreate,
+  kDelete,
+  kInvoke,    ///< invoke a stored processing / instantiate a DED
+  kRegister,  ///< register a processing in PS
+  kApprove,   ///< sysadmin approval of a purpose-mismatch alert
+  kExport,    ///< structured export (right of access / portability)
+  kErase,     ///< right-to-be-forgotten erasure
+};
+
+std::string_view OperationName(Operation op);
+
+/// One access attempt, as seen by a security hook.
+struct AccessRequest {
+  Domain subject = Domain::kOutside;
+  Domain object = Domain::kDbfs;
+  Operation op = Operation::kRead;
+  /// Free-text context for the audit trail ("table=user subject=42").
+  std::string detail;
+};
+
+}  // namespace rgpdos::sentinel

@@ -1,0 +1,61 @@
+#include "sentinel/enclave.hpp"
+
+namespace rgpdos::sentinel {
+
+Status EnclaveRegion::Check(const EnclaveToken& token, std::size_t page,
+                            Operation op) const {
+  if (page >= pages_.size()) {
+    return OutOfRange("enclave page out of range");
+  }
+  const bool allowed = token.domain == owner_ && token.epoch == epoch_;
+  AuditEntry entry;
+  AccessRequest request;
+  request.subject = token.domain;
+  request.object = owner_;
+  request.op = op;
+  request.detail = "enclave page " + std::to_string(page) +
+                   (token.epoch != epoch_ ? " (stale epoch)" : "");
+  // Record through the sentinel's audit sink directly: enclave access is
+  // not a policy-matrix decision but an ownership+epoch one.
+  entry.request = std::move(request);
+  entry.allowed = allowed;
+  entry.rule = allowed ? "enclave-owner" : "enclave-deny";
+  sentinel_->audit().Record(std::move(entry));
+  if (!allowed) {
+    return AccessBlocked(
+        std::string(DomainName(token.domain)) +
+        (token.epoch != epoch_ ? " presented a stale enclave token"
+                               : " is not the enclave owner"));
+  }
+  return Status::Ok();
+}
+
+Status EnclaveRegion::Write(const EnclaveToken& token, std::size_t page,
+                            ByteSpan data) {
+  RGPD_RETURN_IF_ERROR(Check(token, page, Operation::kWrite));
+  if (data.size() > page_size_) {
+    return InvalidArgument("write exceeds enclave page size");
+  }
+  std::copy(data.begin(), data.end(), pages_[page].begin());
+  return Status::Ok();
+}
+
+Result<Bytes> EnclaveRegion::Read(const EnclaveToken& token,
+                                  std::size_t page) const {
+  RGPD_RETURN_IF_ERROR(Check(token, page, Operation::kRead));
+  return pages_[page];
+}
+
+void EnclaveRegion::Teardown() {
+  for (auto& page : pages_) page.assign(page_size_, 0);
+  ++epoch_;
+}
+
+bool EnclaveRegion::ContainsPlaintext(ByteSpan needle) const {
+  for (const Bytes& page : pages_) {
+    if (ContainsSubsequence(page, needle)) return true;
+  }
+  return false;
+}
+
+}  // namespace rgpdos::sentinel

@@ -1,0 +1,74 @@
+// Enclave memory — the SGX analogue of paper §3(3): "Different
+// techniques can be used to ensure DED protection including TEEs like
+// Intel SGX."
+//
+// A DED instance's working memory is allocated from an EnclaveRegion:
+// every page is tagged with the owning domain and an epoch, and every
+// access presents a capability token. Out-of-domain reads (the
+// use-after-free scenario of Fig 2, or a curious co-resident process)
+// are denied and audited; tearing the enclave down zeroes its pages and
+// bumps the epoch so stale tokens are dead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "sentinel/policy.hpp"
+
+namespace rgpdos::sentinel {
+
+/// Capability needed to touch enclave pages: domain + epoch. Tokens are
+/// minted by the region and become useless after Teardown().
+struct EnclaveToken {
+  Domain domain = Domain::kOutside;
+  std::uint64_t epoch = 0;
+};
+
+class EnclaveRegion {
+ public:
+  /// `owner` is the only domain whose tokens may access the pages;
+  /// `sentinel` audits every denial.
+  EnclaveRegion(Domain owner, std::size_t page_size, std::size_t page_count,
+                Sentinel* sentinel)
+      : owner_(owner),
+        page_size_(page_size),
+        pages_(page_count),
+        sentinel_(sentinel) {
+    for (auto& page : pages_) page.assign(page_size, 0);
+  }
+
+  /// Mint a token for the owning domain at the current epoch. Tokens for
+  /// other domains can be minted too — they will simply be denied, which
+  /// is what the tests (and the audit trail) want to see.
+  [[nodiscard]] EnclaveToken Mint(Domain domain) const {
+    return EnclaveToken{domain, epoch_};
+  }
+
+  Status Write(const EnclaveToken& token, std::size_t page,
+               ByteSpan data);
+  Result<Bytes> Read(const EnclaveToken& token, std::size_t page) const;
+
+  /// Destroy the enclave's contents: pages are zeroed, the epoch bumps,
+  /// all outstanding tokens die. (SGX EREMOVE analogue.)
+  void Teardown();
+
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
+
+  /// Leak surface check: does any page contain `needle`?
+  [[nodiscard]] bool ContainsPlaintext(ByteSpan needle) const;
+
+ private:
+  Status Check(const EnclaveToken& token, std::size_t page,
+               Operation op) const;
+
+  Domain owner_;
+  std::size_t page_size_;
+  std::vector<Bytes> pages_;
+  Sentinel* sentinel_;  // borrowed
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace rgpdos::sentinel

@@ -1,0 +1,74 @@
+#include "sentinel/policy.hpp"
+
+namespace rgpdos::sentinel {
+
+SecurityPolicy& SecurityPolicy::Allow(Domain subject, Domain object,
+                                      Operation op) {
+  allowed_.insert(Key{subject, object, op});
+  return *this;
+}
+
+bool SecurityPolicy::Check(Domain subject, Domain object,
+                           Operation op) const {
+  return allowed_.count(Key{subject, object, op}) != 0;
+}
+
+SecurityPolicy SecurityPolicy::RgpdDefault() {
+  SecurityPolicy p;
+  // Rule (2): applications may only talk to PS, and only to register or
+  // invoke processings.
+  p.Allow(Domain::kApplication, Domain::kProcessingStore,
+          Operation::kRegister);
+  p.Allow(Domain::kApplication, Domain::kProcessingStore,
+          Operation::kInvoke);
+  // Rule (1): PS alone reads the stored-processing registry (modelled as
+  // PS self-access) and instantiates DEDs.
+  p.Allow(Domain::kProcessingStore, Domain::kProcessingStore,
+          Operation::kRead);
+  p.Allow(Domain::kProcessingStore, Domain::kDed, Operation::kInvoke);
+  // Rule (4): only the DED touches DBFS, for the full CRUD set plus
+  // erasure and export on behalf of the rights built-ins.
+  p.Allow(Domain::kDed, Domain::kDbfs, Operation::kRead);
+  p.Allow(Domain::kDed, Domain::kDbfs, Operation::kWrite);
+  p.Allow(Domain::kDed, Domain::kDbfs, Operation::kCreate);
+  p.Allow(Domain::kDed, Domain::kDbfs, Operation::kDelete);
+  p.Allow(Domain::kDed, Domain::kDbfs, Operation::kErase);
+  p.Allow(Domain::kDed, Domain::kDbfs, Operation::kExport);
+  // Schema-tree reads: the DED needs them to build requests, PS to match
+  // purposes against declared types/views, the sysadmin to administer.
+  p.Allow(Domain::kDed, Domain::kDbfs, Operation::kReadSchema);
+  p.Allow(Domain::kProcessingStore, Domain::kDbfs, Operation::kReadSchema);
+  p.Allow(Domain::kSysadmin, Domain::kDbfs, Operation::kReadSchema);
+  // Sysadmin: type administration in DBFS (schema tree) and alert
+  // approval in PS — but no PD record access.
+  p.Allow(Domain::kSysadmin, Domain::kDbfs, Operation::kCreate);
+  p.Allow(Domain::kSysadmin, Domain::kProcessingStore, Operation::kApprove);
+  p.Allow(Domain::kSysadmin, Domain::kProcessingStore, Operation::kRegister);
+  // The supervisory authority may decrypt escrowed erasures; it never
+  // touches live DBFS state.
+  p.Allow(Domain::kAuthority, Domain::kAuthority, Operation::kRead);
+  return p;
+}
+
+Status Sentinel::Enforce(const AccessRequest& request) {
+  const bool allowed =
+      policy_.Check(request.subject, request.object, request.op);
+  AuditEntry entry;
+  entry.at = clock_->Now();
+  entry.request = request;
+  entry.allowed = allowed;
+  entry.rule = allowed ? "allow" : "default-deny";
+  audit_->Record(std::move(entry));
+  if (!allowed) {
+    return AccessBlocked(std::string(DomainName(request.subject)) +
+                         " may not " +
+                         std::string(OperationName(request.op)) + " " +
+                         std::string(DomainName(request.object)) +
+                         (request.detail.empty() ? ""
+                                                 : " (" + request.detail +
+                                                       ")"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace rgpdos::sentinel

@@ -1,0 +1,60 @@
+// Deny-by-default access policy + the Sentinel hook dispatcher.
+//
+// Encodes the paper's four enforcement restrictions (§2, "Enforcement"):
+//   (1) PS is the only component able to access stored processings;
+//   (2) PS is the only entry point to invoke a processing;
+//   (3) every PD stored in DBFS must have a membrane attached;
+//   (4) DED is the only component able to access DBFS directly.
+// (3) is structural and enforced inside DBFS's write path; (1), (2) and
+// (4) are label checks implemented here.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "sentinel/audit.hpp"
+#include "sentinel/domain.hpp"
+
+namespace rgpdos::sentinel {
+
+class SecurityPolicy {
+ public:
+  /// Everything is denied until allowed.
+  SecurityPolicy() = default;
+
+  SecurityPolicy& Allow(Domain subject, Domain object, Operation op);
+  [[nodiscard]] bool Check(Domain subject, Domain object,
+                           Operation op) const;
+
+  /// The rgpdOS default policy implementing enforcement rules (1), (2),
+  /// (4) and the authority's escrow access.
+  static SecurityPolicy RgpdDefault();
+
+ private:
+  using Key = std::tuple<Domain, Domain, Operation>;
+  std::set<Key> allowed_;
+};
+
+/// Hook dispatcher: every guarded component calls Enforce() before acting.
+/// Decisions are appended to the audit sink either way.
+class Sentinel {
+ public:
+  Sentinel(SecurityPolicy policy, const Clock* clock, AuditSink* audit)
+      : policy_(std::move(policy)), clock_(clock), audit_(audit) {}
+
+  /// Ok, or kAccessBlocked with the denial recorded in the audit trail.
+  Status Enforce(const AccessRequest& request);
+
+  [[nodiscard]] AuditSink& audit() { return *audit_; }
+  [[nodiscard]] const SecurityPolicy& policy() const { return policy_; }
+
+ private:
+  SecurityPolicy policy_;
+  const Clock* clock_;  // borrowed
+  AuditSink* audit_;    // borrowed
+};
+
+}  // namespace rgpdos::sentinel

@@ -1,0 +1,97 @@
+#include "sentinel/syscall_filter.hpp"
+
+namespace rgpdos::sentinel {
+
+std::string_view SyscallName(Syscall syscall) {
+  switch (syscall) {
+    case Syscall::kOpen: return "open";
+    case Syscall::kRead: return "read";
+    case Syscall::kWrite: return "write";
+    case Syscall::kClose: return "close";
+    case Syscall::kSocket: return "socket";
+    case Syscall::kConnect: return "connect";
+    case Syscall::kSend: return "send";
+    case Syscall::kRecv: return "recv";
+    case Syscall::kExec: return "exec";
+    case Syscall::kFork: return "fork";
+    case Syscall::kGetTime: return "gettime";
+    case Syscall::kAlloc: return "alloc";
+    case Syscall::kExit: return "exit";
+  }
+  return "?";
+}
+
+FilterAction SyscallFilter::Evaluate(Syscall syscall) const {
+  for (const FilterRule& rule : rules_) {
+    if (!rule.match.has_value() || *rule.match == syscall) {
+      return rule.action;
+    }
+  }
+  return default_action_;
+}
+
+SyscallFilter SyscallFilter::PdProcessingProfile() {
+  std::vector<FilterRule> rules;
+  rules.push_back({Syscall::kGetTime, FilterAction::kAllow});
+  rules.push_back({Syscall::kAlloc, FilterAction::kAllow});
+  rules.push_back({Syscall::kExit, FilterAction::kAllow});
+  rules.push_back({Syscall::kFork, FilterAction::kKill});
+  rules.push_back({Syscall::kExec, FilterAction::kKill});
+  // Everything else — open/read/write/socket/connect/send/recv — denied.
+  return SyscallFilter(std::move(rules), FilterAction::kDeny);
+}
+
+SyscallFilter SyscallFilter::AllowAll() {
+  return SyscallFilter({}, FilterAction::kAllow);
+}
+
+Status SyscallContext::Gate(Syscall syscall) {
+  if (killed_) {
+    return SyscallDenied("processing was killed by the syscall filter");
+  }
+  switch (filter_.Evaluate(syscall)) {
+    case FilterAction::kAllow:
+      ++allowed_;
+      return Status::Ok();
+    case FilterAction::kDeny:
+      ++denied_;
+      return SyscallDenied(std::string(SyscallName(syscall)) +
+                           " is forbidden inside a PD processing");
+    case FilterAction::kKill:
+      killed_ = true;
+      ++denied_;
+      return SyscallDenied(std::string(SyscallName(syscall)) +
+                           " killed the processing");
+  }
+  return Internal("unreachable");
+}
+
+Status SyscallContext::Write(ByteSpan data) {
+  RGPD_RETURN_IF_ERROR(Gate(Syscall::kWrite));
+  leaked_.insert(leaked_.end(), data.begin(), data.end());
+  return Status::Ok();
+}
+
+Status SyscallContext::Send(ByteSpan data) {
+  RGPD_RETURN_IF_ERROR(Gate(Syscall::kSend));
+  leaked_.insert(leaked_.end(), data.begin(), data.end());
+  return Status::Ok();
+}
+
+Status SyscallContext::Exec(const std::string& command) {
+  RGPD_RETURN_IF_ERROR(Gate(Syscall::kExec));
+  leaked_.insert(leaked_.end(), command.begin(), command.end());
+  return Status::Ok();
+}
+
+Result<std::int64_t> SyscallContext::GetTime() {
+  RGPD_RETURN_IF_ERROR(Gate(Syscall::kGetTime));
+  return now_micros_;
+}
+
+Status SyscallContext::Alloc(std::size_t bytes) {
+  (void)bytes;
+  return Gate(Syscall::kAlloc);
+}
+
+}  // namespace rgpdos::sentinel

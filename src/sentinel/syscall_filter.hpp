@@ -1,0 +1,112 @@
+// Seccomp-BPF analogue: the emulated syscall surface offered to
+// operator-written F_pd^r functions, and the filter programs that
+// constrain it.
+//
+// Paper §2: "F_pd^r functions are forbidden to make syscalls that could
+// leak PD (e.g., write)" — and §3(2): "We leverage Linux Seccomp BPF to
+// avoid functions which operate on PD to perform syscalls that can leak
+// data." In this user-space emulation, processing functions receive a
+// SyscallContext instead of raw OS access; every call traverses a
+// BPF-style rule program evaluated first-match-wins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace rgpdos::sentinel {
+
+/// The emulated syscall table.
+enum class Syscall : std::uint8_t {
+  kOpen = 0,
+  kRead,
+  kWrite,
+  kClose,
+  kSocket,
+  kConnect,
+  kSend,
+  kRecv,
+  kExec,
+  kFork,
+  kGetTime,   ///< harmless: reading the clock
+  kAlloc,     ///< memory allocation (brk/mmap analogue)
+  kExit,
+};
+
+std::string_view SyscallName(Syscall syscall);
+inline constexpr std::size_t kSyscallCount =
+    static_cast<std::size_t>(Syscall::kExit) + 1;
+
+enum class FilterAction : std::uint8_t {
+  kAllow = 0,
+  kDeny,   ///< call fails with kSyscallDenied; processing may continue
+  kKill,   ///< processing is aborted (seccomp SECCOMP_RET_KILL analogue)
+};
+
+/// One BPF-style rule. `match == nullopt` matches every syscall.
+struct FilterRule {
+  std::optional<Syscall> match;
+  FilterAction action = FilterAction::kDeny;
+};
+
+/// First-match-wins rule program with a default action.
+class SyscallFilter {
+ public:
+  SyscallFilter() = default;
+  explicit SyscallFilter(std::vector<FilterRule> rules,
+                         FilterAction default_action = FilterAction::kDeny)
+      : rules_(std::move(rules)), default_action_(default_action) {}
+
+  [[nodiscard]] FilterAction Evaluate(Syscall syscall) const;
+
+  /// The profile applied to F_pd^r code: clock reads, allocation and
+  /// clean exit are allowed; write/send/exec and friends are denied;
+  /// fork is killed outright.
+  static SyscallFilter PdProcessingProfile();
+  /// Wide-open profile (used by F_npd code and ablation benches).
+  static SyscallFilter AllowAll();
+
+ private:
+  std::vector<FilterRule> rules_;
+  FilterAction default_action_ = FilterAction::kDeny;
+};
+
+/// The syscall surface handed to processing functions. Effects are
+/// recorded, not performed: a *leak buffer* captures what WOULD have
+/// escaped had the call been allowed, so tests can assert both that
+/// denials happen and that nothing escapes when they do.
+class SyscallContext {
+ public:
+  explicit SyscallContext(SyscallFilter filter, std::int64_t now_micros = 0)
+      : filter_(std::move(filter)), now_micros_(now_micros) {}
+
+  /// Attempted writes land in the leak buffer only when allowed.
+  Status Write(ByteSpan data);
+  Status Send(ByteSpan data);
+  Status Exec(const std::string& command);
+  Result<std::int64_t> GetTime();
+  Status Alloc(std::size_t bytes);
+
+  /// True once a kKill rule fired; the DED aborts the processing.
+  [[nodiscard]] bool killed() const { return killed_; }
+  /// Everything that escaped through allowed write/send calls.
+  [[nodiscard]] const Bytes& leaked() const { return leaked_; }
+  [[nodiscard]] std::uint64_t denied_calls() const { return denied_; }
+  [[nodiscard]] std::uint64_t allowed_calls() const { return allowed_; }
+
+ private:
+  Status Gate(Syscall syscall);
+
+  SyscallFilter filter_;
+  std::int64_t now_micros_;
+  Bytes leaked_;
+  bool killed_ = false;
+  std::uint64_t denied_ = 0;
+  std::uint64_t allowed_ = 0;
+};
+
+}  // namespace rgpdos::sentinel

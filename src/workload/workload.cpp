@@ -1,0 +1,133 @@
+#include "workload/workload.hpp"
+
+namespace rgpdos::workload {
+
+namespace {
+
+db::Value RandomValueFor(const db::FieldDef& field, std::uint64_t subject,
+                         Rng& rng, const std::string& marker) {
+  switch (field.type) {
+    case db::ValueType::kInt:
+      // Year-of-birth-ish by default; callers treat ints generically.
+      return db::Value(rng.NextInRange(1940, 2010));
+    case db::ValueType::kDouble:
+      return db::Value(rng.NextDouble() * 1000.0);
+    case db::ValueType::kBool:
+      return db::Value(rng.NextBool());
+    case db::ValueType::kString: {
+      std::string s = field.name + "_" + std::to_string(subject) + "_" +
+                      rng.NextName(8);
+      if (!marker.empty()) s += "_" + marker;
+      return db::Value(std::move(s));
+    }
+    case db::ValueType::kBytes: {
+      Bytes b;
+      b.reserve(16 + marker.size());
+      for (int i = 0; i < 16; ++i) {
+        b.push_back(static_cast<std::uint8_t>(rng.NextU64()));
+      }
+      b.insert(b.end(), marker.begin(), marker.end());
+      return db::Value(std::move(b));
+    }
+    case db::ValueType::kNull:
+      return db::Value();
+  }
+  return db::Value();
+}
+
+std::vector<GeneratedRecord> Generate(const dsl::TypeDecl& decl,
+                                      std::size_t count, Rng& rng,
+                                      bool marked) {
+  std::vector<GeneratedRecord> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    GeneratedRecord record;
+    record.subject_id = i + 1;  // subject ids are 1-based
+    const std::string marker =
+        marked ? SubjectMarker(record.subject_id) : std::string{};
+    record.row.reserve(decl.fields.size());
+    for (const db::FieldDef& field : decl.fields) {
+      record.row.push_back(
+          RandomValueFor(field, record.subject_id, rng, marker));
+    }
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SubjectMarker(std::uint64_t subject_id) {
+  return "PDMARK" + std::to_string(subject_id) + "XZQJ";
+}
+
+std::vector<GeneratedRecord> GeneratePopulation(const dsl::TypeDecl& decl,
+                                                std::size_t count,
+                                                Rng& rng) {
+  return Generate(decl, count, rng, /*marked=*/false);
+}
+
+std::vector<GeneratedRecord> GenerateMarkedPopulation(
+    const dsl::TypeDecl& decl, std::size_t count, Rng& rng) {
+  return Generate(decl, count, rng, /*marked=*/true);
+}
+
+std::string_view GdprOpName(GdprOp op) {
+  switch (op) {
+    case GdprOp::kCreateRecord: return "create";
+    case GdprOp::kReadRecord: return "read";
+    case GdprOp::kUpdateRecord: return "update";
+    case GdprOp::kDeleteRecord: return "delete";
+    case GdprOp::kRightOfAccess: return "access";
+    case GdprOp::kRightToErasure: return "erasure";
+    case GdprOp::kRightToPortability: return "portability";
+    case GdprOp::kConsentWithdrawal: return "consent_withdrawal";
+    case GdprOp::kAuditSubject: return "audit_subject";
+    case GdprOp::kAuditPurpose: return "audit_purpose";
+  }
+  return "?";
+}
+
+OpMix::OpMix(std::string name,
+             std::vector<std::pair<GdprOp, double>> weights)
+    : name_(std::move(name)) {
+  // Store the cumulative distribution.
+  double cumulative = 0;
+  weights_.reserve(weights.size());
+  for (auto& [op, w] : weights) {
+    cumulative += w;
+    weights_.emplace_back(op, cumulative);
+  }
+  total_ = cumulative;
+}
+
+GdprOp OpMix::Sample(Rng& rng) const {
+  const double x = rng.NextDouble() * total_;
+  for (const auto& [op, cumulative] : weights_) {
+    if (x < cumulative) return op;
+  }
+  return weights_.back().first;
+}
+
+OpMix OpMix::Controller() {
+  return OpMix("controller", {{GdprOp::kCreateRecord, 0.25},
+                              {GdprOp::kReadRecord, 0.45},
+                              {GdprOp::kUpdateRecord, 0.20},
+                              {GdprOp::kDeleteRecord, 0.05},
+                              {GdprOp::kRightOfAccess, 0.03},
+                              {GdprOp::kConsentWithdrawal, 0.02}});
+}
+
+OpMix OpMix::Customer() {
+  return OpMix("customer", {{GdprOp::kRightOfAccess, 0.40},
+                            {GdprOp::kRightToPortability, 0.20},
+                            {GdprOp::kConsentWithdrawal, 0.25},
+                            {GdprOp::kRightToErasure, 0.15}});
+}
+
+OpMix OpMix::Regulator() {
+  return OpMix("regulator", {{GdprOp::kAuditSubject, 0.60},
+                             {GdprOp::kAuditPurpose, 0.40}});
+}
+
+}  // namespace rgpdos::workload

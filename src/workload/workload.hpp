@@ -1,0 +1,80 @@
+// Workload generation: synthetic subject populations and GDPR-rights
+// operation mixes modelled on GDPRbench (paper ref [17]), which organises
+// load by actor role — controller (day-to-day CRUD), customer (subjects
+// exercising their rights), regulator (audits).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "db/schema.hpp"
+#include "dsl/ast.hpp"
+
+namespace rgpdos::workload {
+
+/// One synthetic subject's record for a given type.
+struct GeneratedRecord {
+  std::uint64_t subject_id = 0;
+  db::Row row;
+};
+
+/// Deterministically generate `count` records conforming to `decl`
+/// (field values derived from the field type: names, years, flags...).
+std::vector<GeneratedRecord> GeneratePopulation(const dsl::TypeDecl& decl,
+                                                std::size_t count, Rng& rng);
+
+/// A distinctive plaintext marker embedded in a subject's string fields,
+/// used by leak experiments to scavenge raw devices for that subject's
+/// PD. The marker is long and unique enough not to occur by chance.
+std::string SubjectMarker(std::uint64_t subject_id);
+
+/// Same generation, but every string field carries SubjectMarker(id).
+std::vector<GeneratedRecord> GenerateMarkedPopulation(
+    const dsl::TypeDecl& decl, std::size_t count, Rng& rng);
+
+// ---- operation mixes ----------------------------------------------------------
+
+enum class GdprOp : std::uint8_t {
+  // Controller role.
+  kCreateRecord = 0,
+  kReadRecord,
+  kUpdateRecord,
+  kDeleteRecord,
+  // Customer role (subject rights).
+  kRightOfAccess,
+  kRightToErasure,
+  kRightToPortability,
+  kConsentWithdrawal,
+  // Regulator role.
+  kAuditSubject,
+  kAuditPurpose,
+};
+
+std::string_view GdprOpName(GdprOp op);
+
+/// Weighted operation mix with a sampler.
+class OpMix {
+ public:
+  OpMix(std::string name,
+        std::vector<std::pair<GdprOp, double>> weights);
+
+  [[nodiscard]] GdprOp Sample(Rng& rng) const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::pair<GdprOp, double>>& weights()
+      const {
+    return weights_;
+  }
+
+  /// GDPRbench-inspired role mixes.
+  static OpMix Controller();  ///< 95% CRUD, 5% rights
+  static OpMix Customer();    ///< rights-dominated
+  static OpMix Regulator();   ///< audit-dominated
+
+ private:
+  std::string name_;
+  std::vector<std::pair<GdprOp, double>> weights_;  // cumulative
+  double total_ = 0;
+};
+
+}  // namespace rgpdos::workload

@@ -1,0 +1,199 @@
+// Baseline (Fig-2 comparator) tests: consent-string semantics, rights as
+// full scans, and — most importantly — the leak behaviours the paper
+// attributes to the DB-level approach.
+#include <gtest/gtest.h>
+
+#include "baseline/baseline_engine.hpp"
+#include "blockdev/block_device.hpp"
+#include "dsl/parser.hpp"
+
+namespace rgpdos::baseline {
+namespace {
+
+constexpr std::string_view kUserType = R"(
+type user {
+  fields { name: string, pwd: string, year_of_birthdate: int };
+  view v_ano { year_of_birthdate };
+  consent { purpose1: all, purpose2: none, purpose3: v_ano };
+  origin: subject;
+  age: 1Y;
+  sensitivity: high;
+}
+)";
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<blockdev::MemBlockDevice>(512, 8192);
+    inodefs::InodeStore::Options options;
+    options.inode_count = 256;
+    options.journal_blocks = 128;
+    auto store = inodefs::InodeStore::Format(device_.get(), options, &clock_);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+    auto fs = inodefs::FileSystem::Create(store_.get());
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::make_unique<inodefs::FileSystem>(std::move(fs).value());
+    auto engine = BaselineEngine::Create(fs_.get(), "/db", &clock_);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::make_unique<BaselineEngine>(std::move(engine).value());
+    auto decl = dsl::ParseType(kUserType);
+    ASSERT_TRUE(decl.ok());
+    ASSERT_TRUE(engine_->CreateType(*decl).ok());
+  }
+
+  db::Row UserRow(const std::string& name, std::int64_t year) {
+    return db::Row{db::Value(name), db::Value(std::string("pw")),
+                   db::Value(year)};
+  }
+
+  SimClock clock_{1000};
+  std::unique_ptr<blockdev::MemBlockDevice> device_;
+  std::unique_ptr<inodefs::InodeStore> store_;
+  std::unique_ptr<inodefs::FileSystem> fs_;
+  std::unique_ptr<BaselineEngine> engine_;
+};
+
+TEST_F(BaselineTest, InsertAndGet) {
+  auto id = engine_->Insert("user", 1, UserRow("alice", 1990));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto record = engine_->Get("user", *id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->subject, 1u);
+  EXPECT_EQ(*record->fields[0].AsString(), "alice");
+  EXPECT_EQ(record->fields.size(), 3u);  // bookkeeping stripped
+}
+
+TEST_F(BaselineTest, SelectConsentedHonoursDefaults) {
+  ASSERT_TRUE(engine_->Insert("user", 1, UserRow("a", 1990)).ok());
+  ASSERT_TRUE(engine_->Insert("user", 2, UserRow("b", 1991)).ok());
+  EXPECT_EQ(engine_->SelectConsented("user", "purpose1")->size(), 2u);
+  EXPECT_EQ(engine_->SelectConsented("user", "purpose2")->size(), 0u);
+  EXPECT_EQ(engine_->SelectConsented("user", "purpose3")->size(), 2u);
+  EXPECT_EQ(engine_->SelectConsented("user", "unlisted")->size(), 0u);
+}
+
+TEST_F(BaselineTest, TtlExpiryFiltersInUserspace) {
+  ASSERT_TRUE(engine_->Insert("user", 1, UserRow("a", 1990)).ok());
+  clock_.Advance(kMicrosPerYear + 1);
+  EXPECT_EQ(engine_->SelectConsented("user", "purpose1")->size(), 0u);
+}
+
+TEST_F(BaselineTest, ConsentWithdrawalRewritesRows) {
+  ASSERT_TRUE(engine_->Insert("user", 1, UserRow("a", 1990)).ok());
+  ASSERT_TRUE(engine_->Insert("user", 1, UserRow("a2", 1991)).ok());
+  ASSERT_TRUE(engine_->Insert("user", 2, UserRow("b", 1992)).ok());
+  auto updated = engine_->UpdateConsent(1, "purpose1", "none");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 2u);
+  auto consented = engine_->SelectConsented("user", "purpose1");
+  ASSERT_TRUE(consented.ok());
+  ASSERT_EQ(consented->size(), 1u);
+  EXPECT_EQ((*consented)[0].subject, 2u);
+  // Adding a brand-new purpose entry works too.
+  ASSERT_TRUE(engine_->UpdateConsent(2, "new_purpose", "all").ok());
+  EXPECT_EQ(engine_->SelectConsented("user", "new_purpose")->size(), 1u);
+}
+
+TEST_F(BaselineTest, GetDataBySubjectScansAllTables) {
+  auto decl2 = dsl::ParseType(
+      "type order { fields { item: string }; consent { purpose1: all }; }");
+  ASSERT_TRUE(decl2.ok());
+  ASSERT_TRUE(engine_->CreateType(*decl2).ok());
+  ASSERT_TRUE(engine_->Insert("user", 7, UserRow("g", 1990)).ok());
+  ASSERT_TRUE(
+      engine_->Insert("order", 7, db::Row{db::Value(std::string("book"))})
+          .ok());
+  ASSERT_TRUE(engine_->Insert("user", 8, UserRow("h", 1991)).ok());
+  auto records = engine_->GetDataBySubject(7);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+}
+
+TEST_F(BaselineTest, DeleteSubjectTombstonesEverything) {
+  ASSERT_TRUE(engine_->Insert("user", 1, UserRow("x", 1990)).ok());
+  ASSERT_TRUE(engine_->Insert("user", 1, UserRow("y", 1991)).ok());
+  ASSERT_TRUE(engine_->Insert("user", 2, UserRow("z", 1992)).ok());
+  auto deleted = engine_->DeleteSubject(1, /*compact=*/false);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 2u);
+  EXPECT_TRUE(engine_->GetDataBySubject(1)->empty());
+  EXPECT_EQ(engine_->GetDataBySubject(2)->size(), 1u);
+}
+
+TEST_F(BaselineTest, DeletedPdSurvivesBelowTheEngine) {
+  // THE paper claim: the engine says "deleted", the device says no.
+  const std::string secret = "BASELINE_DELETED_SECRET";
+  ASSERT_TRUE(engine_->Insert("user", 1, UserRow(secret, 1990)).ok());
+  ASSERT_TRUE(engine_->DeleteSubject(1, /*compact=*/true).ok());
+  EXPECT_TRUE(engine_->GetDataBySubject(1)->empty());
+  // Plaintext still recoverable from the raw device (journal and/or
+  // freed blocks), even after compaction.
+  EXPECT_GT(blockdev::CountBlocksContaining(*device_, ToBytes(secret)), 0u);
+}
+
+TEST_F(BaselineTest, AuditPurposeCountsPerTable) {
+  ASSERT_TRUE(engine_->Insert("user", 1, UserRow("a", 1990)).ok());
+  ASSERT_TRUE(engine_->Insert("user", 2, UserRow("b", 1991)).ok());
+  ASSERT_TRUE(engine_->UpdateConsent(2, "purpose1", "none").ok());
+  auto audit = engine_->AuditPurpose("purpose1");
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->at("user"), 1u);
+}
+
+TEST_F(BaselineTest, UpdatePreservesBookkeeping) {
+  auto id = engine_->Insert("user", 1, UserRow("before", 1990));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine_->Update("user", *id, UserRow("after", 1991)).ok());
+  auto record = engine_->Get("user", *id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(*record->fields[0].AsString(), "after");
+  EXPECT_EQ(record->subject, 1u);
+  // Consent survives the update.
+  EXPECT_EQ(engine_->SelectConsented("user", "purpose1")->size(), 1u);
+}
+
+
+TEST_F(BaselineTest, SubjectIndexAblationMatchesScanResults) {
+  // The indexed variant must return exactly what the scan variant does —
+  // faster rights, identical answers, identical (non-)compliance.
+  auto indexed = BaselineEngine::Create(fs_.get(), "/db_idx", &clock_,
+                                        /*subject_index=*/true);
+  ASSERT_TRUE(indexed.ok());
+  auto decl = dsl::ParseType(kUserType);
+  ASSERT_TRUE(indexed->CreateType(*decl).ok());
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    ASSERT_TRUE(engine_->Insert("user", s, UserRow("scan_u" +
+                                                   std::to_string(s),
+                                                   1990)).ok());
+    ASSERT_TRUE(indexed->Insert("user", s, UserRow("idx_u" +
+                                                   std::to_string(s),
+                                                   1990)).ok());
+  }
+  auto scan_records = engine_->GetDataBySubject(3);
+  auto index_records = indexed->GetDataBySubject(3);
+  ASSERT_TRUE(scan_records.ok() && index_records.ok());
+  ASSERT_EQ(scan_records->size(), index_records->size());
+  ASSERT_EQ(index_records->size(), 1u);
+  EXPECT_EQ(*(*index_records)[0].fields[0].AsString(), "idx_u3");
+
+  // Indexed deletion removes the same rows...
+  auto deleted = indexed->DeleteSubject(3, /*compact=*/true);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 1u);
+  EXPECT_TRUE(indexed->GetDataBySubject(3)->empty());
+  // ...and still leaks below the engine (compliance unchanged).
+  EXPECT_GT(blockdev::CountBlocksContaining(*device_, ToBytes("idx_u3")),
+            0u);
+}
+
+TEST_F(BaselineTest, UnknownTypeErrors) {
+  EXPECT_FALSE(engine_->Insert("nope", 1, {}).ok());
+  EXPECT_FALSE(engine_->SelectConsented("nope", "p").ok());
+  EXPECT_FALSE(engine_->Get("nope", 1).ok());
+  auto decl = dsl::ParseType(kUserType);
+  EXPECT_EQ(engine_->CreateType(*decl).code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace rgpdos::baseline

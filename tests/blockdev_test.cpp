@@ -1,0 +1,136 @@
+// Block-device substrate tests: bounds, stats, raw-medium scans, the
+// latency cost model, the traffic recorder, and the file-backed device.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "blockdev/block_device.hpp"
+#include "blockdev/file_block_device.hpp"
+#include "blockdev/latency_model.hpp"
+#include "blockdev/traffic_recorder.hpp"
+
+namespace rgpdos::blockdev {
+namespace {
+
+Bytes BlockOf(std::uint32_t size, std::uint8_t fill) {
+  return Bytes(size, fill);
+}
+
+TEST(MemBlockDeviceTest, ReadWriteRoundTrip) {
+  MemBlockDevice device(512, 8);
+  EXPECT_EQ(device.capacity_bytes(), 512u * 8);
+  ASSERT_TRUE(device.WriteBlock(3, BlockOf(512, 0xAB)).ok());
+  Bytes out;
+  ASSERT_TRUE(device.ReadBlock(3, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0xAB));
+  // Fresh blocks read as zeros.
+  ASSERT_TRUE(device.ReadBlock(0, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x00));
+}
+
+TEST(MemBlockDeviceTest, BoundsAndSizeChecks) {
+  MemBlockDevice device(512, 4);
+  Bytes out;
+  EXPECT_EQ(device.ReadBlock(4, out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(device.WriteBlock(4, BlockOf(512, 0)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(device.WriteBlock(0, BlockOf(100, 0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MemBlockDeviceTest, StatsAccumulate) {
+  MemBlockDevice device(512, 4);
+  Bytes out;
+  ASSERT_TRUE(device.WriteBlock(0, BlockOf(512, 1)).ok());
+  ASSERT_TRUE(device.ReadBlock(0, out).ok());
+  ASSERT_TRUE(device.ReadBlock(1, out).ok());
+  ASSERT_TRUE(device.Flush().ok());
+  EXPECT_EQ(device.stats().writes, 1u);
+  EXPECT_EQ(device.stats().reads, 2u);
+  EXPECT_EQ(device.stats().bytes_written, 512u);
+  EXPECT_EQ(device.stats().bytes_read, 1024u);
+  EXPECT_EQ(device.stats().flushes, 1u);
+}
+
+TEST(MemBlockDeviceTest, CountBlocksContainingFindsPattern) {
+  MemBlockDevice device(512, 4);
+  Bytes block = BlockOf(512, 0);
+  const Bytes needle = ToBytes("SECRET");
+  std::copy(needle.begin(), needle.end(), block.begin() + 100);
+  ASSERT_TRUE(device.WriteBlock(1, block).ok());
+  ASSERT_TRUE(device.WriteBlock(3, block).ok());
+  EXPECT_EQ(CountBlocksContaining(device, needle), 2u);
+  EXPECT_EQ(CountBlocksContaining(device, ToBytes("ABSENT")), 0u);
+}
+
+TEST(MemBlockDeviceTest, CountBlocksContainingFindsStraddlingPattern) {
+  MemBlockDevice device(512, 4);
+  const Bytes needle = ToBytes("STRADDLE");
+  // Split the needle across the block 0 / block 1 boundary.
+  Bytes b0 = BlockOf(512, 0);
+  Bytes b1 = BlockOf(512, 0);
+  std::copy(needle.begin(), needle.begin() + 4, b0.end() - 4);
+  std::copy(needle.begin() + 4, needle.end(), b1.begin());
+  ASSERT_TRUE(device.WriteBlock(0, b0).ok());
+  ASSERT_TRUE(device.WriteBlock(1, b1).ok());
+  EXPECT_GE(CountBlocksContaining(device, needle), 1u);
+}
+
+TEST(LatencyModelTest, AccumulatesSimulatedTime) {
+  auto inner = std::make_unique<MemBlockDevice>(512, 8);
+  LatencyModelDevice device(std::move(inner), LatencyProfile::Nvme());
+  Bytes out;
+  ASSERT_TRUE(device.WriteBlock(0, BlockOf(512, 1)).ok());
+  ASSERT_TRUE(device.ReadBlock(0, out).ok());
+  ASSERT_TRUE(device.Flush().ok());
+  EXPECT_EQ(device.simulated_ns(), 20'000u + 10'000u + 50'000u);
+  device.ResetSimulatedTime();
+  EXPECT_EQ(device.simulated_ns(), 0u);
+}
+
+TEST(LatencyModelTest, HddIsSlowerThanNvme) {
+  EXPECT_GT(LatencyProfile::Hdd().read_ns, LatencyProfile::Nvme().read_ns);
+  EXPECT_GT(LatencyProfile::Hdd().write_ns, LatencyProfile::Nvme().write_ns);
+}
+
+TEST(TrafficRecorderTest, RemembersOverwrittenHistory) {
+  auto inner = std::make_unique<MemBlockDevice>(512, 8);
+  TrafficRecorder recorder(std::move(inner));
+  const Bytes secret = ToBytes("TOPSECRET");
+  Bytes block = BlockOf(512, 0);
+  std::copy(secret.begin(), secret.end(), block.begin());
+  ASSERT_TRUE(recorder.WriteBlock(0, block).ok());
+  // Overwrite in place: the current medium no longer holds the secret...
+  ASSERT_TRUE(recorder.WriteBlock(0, BlockOf(512, 0)).ok());
+  EXPECT_EQ(CountBlocksContaining(recorder, secret), 0u);
+  // ...but the write history still does: the Fig-2 observation.
+  EXPECT_EQ(recorder.CountHistoricalWritesContaining(secret), 1u);
+  EXPECT_EQ(recorder.history_bytes(), 1024u);
+  recorder.ClearHistory();
+  EXPECT_EQ(recorder.CountHistoricalWritesContaining(secret), 0u);
+}
+
+TEST(FileBlockDeviceTest, PersistsAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "/rgpd_fbd_test.img";
+  std::remove(path.c_str());
+  {
+    auto device = FileBlockDevice::Open(path, 512, 16);
+    ASSERT_TRUE(device.ok()) << device.status().ToString();
+    ASSERT_TRUE((*device)->WriteBlock(5, BlockOf(512, 0x7E)).ok());
+    ASSERT_TRUE((*device)->Flush().ok());
+  }
+  {
+    auto device = FileBlockDevice::Open(path, 512, 16);
+    ASSERT_TRUE(device.ok());
+    Bytes out;
+    ASSERT_TRUE((*device)->ReadBlock(5, out).ok());
+    EXPECT_EQ(out, BlockOf(512, 0x7E));
+    // Unwritten sparse block reads as zeros.
+    ASSERT_TRUE((*device)->ReadBlock(9, out).ok());
+    EXPECT_EQ(out, BlockOf(512, 0x00));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rgpdos::blockdev

@@ -1,0 +1,216 @@
+// Tests for breach detection (Art. 33 analogue over the audit trail) and
+// the DBFS sensitivity segregation report.
+#include <gtest/gtest.h>
+
+#include "core/rgpdos.hpp"
+#include "sentinel/breach.hpp"
+
+namespace rgpdos {
+namespace {
+
+constexpr sentinel::Domain kDed = sentinel::Domain::kDed;
+
+// ---- Breach detection -----------------------------------------------------------
+
+class BreachTest : public ::testing::Test {
+ protected:
+  SimClock clock_{0};
+  sentinel::AuditSink audit_;
+  sentinel::Sentinel sentinel_{sentinel::SecurityPolicy::RgpdDefault(),
+                               &clock_, &audit_};
+
+  void Probe(sentinel::Domain actor, sentinel::Domain target,
+             TimeMicros at) {
+    clock_.Set(at);
+    (void)sentinel_.Enforce({actor, target, sentinel::Operation::kRead,
+                             "probe"});
+  }
+};
+
+TEST_F(BreachTest, DenialBurstIsDetected) {
+  // Ten outside probes in 30 seconds against DBFS.
+  for (int i = 0; i < 10; ++i) {
+    Probe(sentinel::Domain::kOutside, sentinel::Domain::kDbfs,
+          i * 3 * kMicrosPerSecond);
+  }
+  const auto findings =
+      sentinel::DetectBreaches(audit_, sentinel::BreachPolicy{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].actor, sentinel::Domain::kOutside);
+  EXPECT_EQ(findings[0].target, sentinel::Domain::kDbfs);
+  EXPECT_EQ(findings[0].denied_attempts, 10u);
+  EXPECT_NE(findings[0].notification.find("Art.33"), std::string::npos);
+  EXPECT_NE(findings[0].notification.find("10 denied attempts"),
+            std::string::npos);
+}
+
+TEST_F(BreachTest, SlowProbingStaysBelowThreshold) {
+  // One probe every 5 minutes: never 5 within any 60s window.
+  for (int i = 0; i < 20; ++i) {
+    Probe(sentinel::Domain::kOutside, sentinel::Domain::kDbfs,
+          i * 300 * kMicrosPerSecond);
+  }
+  EXPECT_TRUE(
+      sentinel::DetectBreaches(audit_, sentinel::BreachPolicy{}).empty());
+}
+
+TEST_F(BreachTest, AllowedTrafficIsNotABreach) {
+  for (int i = 0; i < 50; ++i) {
+    Probe(kDed, sentinel::Domain::kDbfs, i * kMicrosPerSecond);
+  }
+  EXPECT_TRUE(
+      sentinel::DetectBreaches(audit_, sentinel::BreachPolicy{}).empty());
+}
+
+TEST_F(BreachTest, DistinctActorsAreSeparateFindings) {
+  for (int i = 0; i < 6; ++i) {
+    Probe(sentinel::Domain::kOutside, sentinel::Domain::kDbfs,
+          i * kMicrosPerSecond);
+    Probe(sentinel::Domain::kApplication, sentinel::Domain::kDbfs,
+          i * kMicrosPerSecond);
+  }
+  const auto findings =
+      sentinel::DetectBreaches(audit_, sentinel::BreachPolicy{});
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST_F(BreachTest, WindowBoundaryIsRespected) {
+  sentinel::BreachPolicy policy;
+  policy.threshold = 3;
+  policy.window = 10 * kMicrosPerSecond;
+  // Three denials spread over 25s: any 10s window holds at most 2.
+  Probe(sentinel::Domain::kOutside, sentinel::Domain::kDbfs, 0);
+  Probe(sentinel::Domain::kOutside, sentinel::Domain::kDbfs,
+        12 * kMicrosPerSecond);
+  Probe(sentinel::Domain::kOutside, sentinel::Domain::kDbfs,
+        25 * kMicrosPerSecond);
+  EXPECT_TRUE(sentinel::DetectBreaches(audit_, policy).empty());
+  // A fourth inside the last one's window tips it only if <=10s apart.
+  Probe(sentinel::Domain::kOutside, sentinel::Domain::kDbfs,
+        26 * kMicrosPerSecond);
+  Probe(sentinel::Domain::kOutside, sentinel::Domain::kDbfs,
+        27 * kMicrosPerSecond);
+  const auto findings = sentinel::DetectBreaches(audit_, policy);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].denied_attempts, 3u);
+}
+
+// ---- Sensitivity report -----------------------------------------------------------
+
+TEST(SensitivityReportTest, CountsPerLevelAndType) {
+  core::BootConfig config;
+  config.use_sim_clock = true;
+  auto os = core::RgpdOs::Boot(config);
+  ASSERT_TRUE(os.ok());
+  ASSERT_TRUE((*os)
+                  ->DeclareTypes(R"(
+type ssn { fields { number: string }; consent { p: all };
+           origin: subject; sensitivity: high; }
+type name { fields { value: string }; consent { p: all };
+            origin: subject; sensitivity: low; }
+type address { fields { street: string }; consent { p: all };
+               origin: subject; sensitivity: medium; }
+)")
+                  .ok());
+  auto put = [&](const char* type, std::uint64_t subject) {
+    auto decl = (*os)->dbfs().GetType(kDed, type);
+    ASSERT_TRUE(decl.ok());
+    membrane::Membrane m =
+        (*decl)->DefaultMembrane(subject, (*os)->clock().Now());
+    ASSERT_TRUE((*os)
+                    ->dbfs()
+                    .Put(kDed, subject, type,
+                         db::Row{db::Value(std::string("v"))}, std::move(m))
+                    .ok());
+  };
+  put("ssn", 1);
+  put("ssn", 2);
+  put("name", 1);
+  put("address", 1);
+
+  auto report =
+      (*os)->dbfs().ReportSensitivity(sentinel::Domain::kSysadmin);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->by_level[0], 1u);  // low
+  EXPECT_EQ(report->by_level[1], 1u);  // medium
+  EXPECT_EQ(report->by_level[2], 2u);  // high
+  EXPECT_EQ(report->high_by_type.at("ssn"), 2u);
+  // Applications cannot pull the report.
+  EXPECT_EQ((*os)
+                ->dbfs()
+                .ReportSensitivity(sentinel::Domain::kApplication)
+                .status()
+                .code(),
+            StatusCode::kAccessBlocked);
+}
+
+
+// ---- Physical sensitivity segregation -------------------------------------------------
+
+TEST(SensitivitySegregationTest, HighSensitivityBytesLiveOnTheSecondDevice) {
+  core::BootConfig config;
+  config.use_sim_clock = true;
+  config.split_sensitive = true;
+  auto os = core::RgpdOs::Boot(config);
+  ASSERT_TRUE(os.ok()) << os.status().ToString();
+  ASSERT_NE((*os)->sensitive_device(), nullptr);
+  ASSERT_TRUE((*os)
+                  ->DeclareTypes(R"(
+type ssn { fields { number: string }; consent { p: all };
+           origin: subject; sensitivity: high; }
+type nickname { fields { value: string }; consent { p: all };
+                origin: subject; sensitivity: low; }
+)")
+                  .ok());
+  auto put = [&](const char* type, const char* value) {
+    auto decl = (*os)->dbfs().GetType(kDed, type);
+    membrane::Membrane m = (*decl)->DefaultMembrane(1, (*os)->clock().Now());
+    auto id = (*os)->dbfs().Put(kDed, 1, type,
+                                db::Row{db::Value(std::string(value))},
+                                std::move(m));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+  };
+  put("ssn", "SSN_SECRET_1234567");
+  put("nickname", "NICK_PUBLIC_ish");
+
+  // The SSN's plaintext is ONLY on the sensitive device; the nickname's
+  // ONLY on the primary.
+  EXPECT_EQ(blockdev::CountBlocksContaining((*os)->dbfs_device(),
+                                            ToBytes("SSN_SECRET_1234567")),
+            0u);
+  EXPECT_GT(blockdev::CountBlocksContaining(*(*os)->sensitive_device(),
+                                            ToBytes("SSN_SECRET_1234567")),
+            0u);
+  EXPECT_GT(blockdev::CountBlocksContaining((*os)->dbfs_device(),
+                                            ToBytes("NICK_PUBLIC_ish")),
+            0u);
+  EXPECT_EQ(blockdev::CountBlocksContaining(*(*os)->sensitive_device(),
+                                            ToBytes("NICK_PUBLIC_ish")),
+            0u);
+
+  // Reads, rights and erasure all work across the split transparently.
+  auto ids = (*os)->dbfs().RecordsOfSubject(kDed, 1);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 2u);
+  auto report = (*os)->RightOfAccess(1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("SSN_SECRET_1234567"), std::string::npos);
+
+  ASSERT_TRUE((*os)->RightToBeForgotten(1).ok());
+  EXPECT_EQ(blockdev::CountBlocksContaining(*(*os)->sensitive_device(),
+                                            ToBytes("SSN_SECRET_1234567")),
+            0u);
+  EXPECT_EQ(blockdev::CountBlocksContaining((*os)->dbfs_device(),
+                                            ToBytes("NICK_PUBLIC_ish")),
+            0u);
+  // The authority can still recover the sealed SSN from the split store.
+  for (dbfs::RecordId id : *ids) {
+    auto envelope = (*os)->dbfs().GetEnvelope(kDed, id);
+    ASSERT_TRUE(envelope.ok());
+    auto recovered = (*os)->authority().Recover(*envelope);
+    ASSERT_TRUE(recovered.ok());
+  }
+}
+
+}  // namespace
+}  // namespace rgpdos

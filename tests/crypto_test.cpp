@@ -1,0 +1,411 @@
+// Crypto substrate tests: SHA-256 / HMAC / ChaCha20 pinned to published
+// test vectors; BigUint arithmetic properties; RSA-OAEP and the erasure
+// envelope end to end.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/bigint.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/envelope.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rgpdos::crypto {
+namespace {
+
+std::string DigestHex(const Sha256Digest& digest) {
+  return HexEncode(ByteSpan(digest.data(), digest.size()));
+}
+
+// ---- SHA-256 (FIPS 180-4 / NIST CAVP vectors) -------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(
+      DigestHex(Sha256Hash(ByteSpan{})),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(
+      DigestHex(Sha256Hash(ToBytes("abc"))),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      DigestHex(Sha256Hash(ToBytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(
+      DigestHex(h.Finish()),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShotAtEverySplit) {
+  const Bytes msg = ToBytes(
+      "a slightly longer message that straddles block boundaries when "
+      "split at various offsets 0123456789 0123456789 0123456789");
+  const Sha256Digest expected = Sha256Hash(msg);
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.Update(ByteSpan(msg.data(), split));
+    h.Update(ByteSpan(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.Finish(), expected) << "split at " << split;
+  }
+}
+
+// ---- HMAC-SHA256 (RFC 4231) -----------------------------------------------------------
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(
+      DigestHex(HmacSha256(key, ToBytes("Hi There"))),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(
+      DigestHex(HmacSha256(ToBytes("Jefe"),
+                           ToBytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      DigestHex(HmacSha256(
+          key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key "
+                       "First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DigestEqualIsConstantTimeCorrect) {
+  Sha256Digest a = Sha256Hash(ToBytes("x"));
+  Sha256Digest b = a;
+  EXPECT_TRUE(DigestEqual(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(DigestEqual(a, b));
+}
+
+// ---- ChaCha20 (RFC 8439) -----------------------------------------------------------------
+
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  // RFC 8439 §2.3.2 test vector.
+  ChaChaKey key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const auto block = ChaCha20Block(key, nonce, 1);
+  EXPECT_EQ(
+      HexEncode(ByteSpan(block.data(), block.size())),
+      "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+      "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  // RFC 8439 §2.4.2.
+  ChaChaKey key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const Bytes plaintext = ToBytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  const Bytes ciphertext = ChaCha20Xor(key, nonce, 1, plaintext);
+  EXPECT_EQ(HexEncode(ByteSpan(ciphertext.data(), 32)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+  // Stream cipher: decryption is the same operation.
+  EXPECT_EQ(ChaCha20Xor(key, nonce, 1, ciphertext), plaintext);
+}
+
+TEST(ChaCha20Test, DifferentNoncesGiveDifferentStreams) {
+  ChaChaKey key{};
+  ChaChaNonce n1{}, n2{};
+  n2[0] = 1;
+  const Bytes zeros(64, 0);
+  EXPECT_NE(ChaCha20Xor(key, n1, 0, zeros), ChaCha20Xor(key, n2, 0, zeros));
+}
+
+// ---- BigUint --------------------------------------------------------------------------------
+
+TEST(BigUintTest, DecimalRoundTrip) {
+  const char* cases[] = {"0", "1", "4294967295", "4294967296",
+                         "340282366920938463463374607431768211456",
+                         "123456789012345678901234567890"};
+  for (const char* text : cases) {
+    auto v = BigUint::FromDecimal(text);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->ToDecimal(), text);
+  }
+  EXPECT_FALSE(BigUint::FromDecimal("").ok());
+  EXPECT_FALSE(BigUint::FromDecimal("12a").ok());
+}
+
+TEST(BigUintTest, BytesRoundTrip) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const BigUint v = BigUint::RandomWithBits(1 + rng.NextBelow(300), rng);
+    EXPECT_EQ(BigUint::FromBytes(v.ToBytes()), v);
+  }
+}
+
+TEST(BigUintTest, AddSubInverse) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    const BigUint a = BigUint::RandomWithBits(1 + rng.NextBelow(200), rng);
+    const BigUint b = BigUint::RandomWithBits(1 + rng.NextBelow(200), rng);
+    EXPECT_EQ(a.Add(b).Sub(b), a);
+    EXPECT_EQ(a.Add(b), b.Add(a));
+  }
+}
+
+TEST(BigUintTest, MulDivInverse) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const BigUint a = BigUint::RandomWithBits(1 + rng.NextBelow(256), rng);
+    const BigUint b = BigUint::RandomWithBits(1 + rng.NextBelow(256), rng);
+    auto dm = a.Mul(b).DivMod(b);
+    ASSERT_TRUE(dm.ok());
+    EXPECT_EQ(dm->quotient, a);
+    EXPECT_TRUE(dm->remainder.IsZero());
+  }
+}
+
+TEST(BigUintTest, DivModIdentity) {
+  // a == q*b + r with r < b, across random operand sizes (exercises the
+  // Knuth-D qhat correction paths).
+  Rng rng(14);
+  for (int i = 0; i < 200; ++i) {
+    const BigUint a = BigUint::RandomWithBits(1 + rng.NextBelow(400), rng);
+    const BigUint b = BigUint::RandomWithBits(1 + rng.NextBelow(200), rng);
+    auto dm = a.DivMod(b);
+    ASSERT_TRUE(dm.ok());
+    EXPECT_LT(dm->remainder.Compare(b), 0);
+    EXPECT_EQ(dm->quotient.Mul(b).Add(dm->remainder), a);
+  }
+}
+
+TEST(BigUintTest, DivisionByZeroFails) {
+  EXPECT_FALSE(BigUint(5).DivMod(BigUint()).ok());
+}
+
+TEST(BigUintTest, ShiftsMatchMultiplication) {
+  Rng rng(15);
+  const BigUint two(2);
+  for (int i = 0; i < 50; ++i) {
+    const BigUint a = BigUint::RandomWithBits(1 + rng.NextBelow(100), rng);
+    const std::size_t shift = rng.NextBelow(70);
+    BigUint pow(1);
+    for (std::size_t k = 0; k < shift; ++k) pow = pow.Mul(two);
+    EXPECT_EQ(a.ShiftLeft(shift), a.Mul(pow));
+    EXPECT_EQ(a.ShiftLeft(shift).ShiftRight(shift), a);
+  }
+}
+
+TEST(BigUintTest, ModPowKnownValues) {
+  // 2^10 mod 1000 = 24; 3^7 mod 50 = 37 (2187 mod 50).
+  EXPECT_EQ(BigUint(2).ModPow(BigUint(10), BigUint(1000)).ToU64(), 24u);
+  EXPECT_EQ(BigUint(3).ModPow(BigUint(7), BigUint(50)).ToU64(), 37u);
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  const BigUint p(1'000'000'007ULL);
+  EXPECT_EQ(BigUint(123456).ModPow(p.Sub(BigUint(1)), p).ToU64(), 1u);
+}
+
+TEST(BigUintTest, GcdAndInverse) {
+  EXPECT_EQ(BigUint::Gcd(BigUint(48), BigUint(36)).ToU64(), 12u);
+  EXPECT_EQ(BigUint::Gcd(BigUint(17), BigUint(31)).ToU64(), 1u);
+  // 3 * 7 = 21 = 1 mod 10.
+  auto inv = BigUint(3).ModInverse(BigUint(10));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->ToU64(), 7u);
+  // No inverse when gcd != 1.
+  EXPECT_FALSE(BigUint(4).ModInverse(BigUint(8)).ok());
+}
+
+TEST(BigUintTest, ModInverseProperty) {
+  Rng rng(16);
+  const BigUint modulus = BigUint::RandomPrime(64, rng);
+  for (int i = 0; i < 25; ++i) {
+    const BigUint a =
+        BigUint::RandomWithBits(1 + rng.NextBelow(60), rng).Mod(modulus);
+    if (a.IsZero()) continue;
+    auto inv = a.ModInverse(modulus);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(a.Mul(*inv).Mod(modulus).ToU64(), 1u);
+  }
+}
+
+TEST(BigUintTest, MillerRabinKnownPrimesAndComposites) {
+  Rng rng(17);
+  const std::uint64_t primes[] = {2, 3, 5, 7, 97, 7919, 1'000'000'007ULL};
+  for (std::uint64_t p : primes) {
+    EXPECT_TRUE(BigUint(p).IsProbablePrime(20, rng)) << p;
+  }
+  const std::uint64_t composites[] = {1, 4, 9, 91, 561 /*Carmichael*/,
+                                      1'000'000'008ULL};
+  for (std::uint64_t c : composites) {
+    EXPECT_FALSE(BigUint(c).IsProbablePrime(20, rng)) << c;
+  }
+}
+
+TEST(BigUintTest, RandomPrimeHasRequestedBits) {
+  Rng rng(18);
+  const BigUint p = BigUint::RandomPrime(96, rng);
+  EXPECT_EQ(p.BitLength(), 96u);
+  EXPECT_TRUE(p.IsOdd());
+  EXPECT_TRUE(p.IsProbablePrime(30, rng));
+}
+
+// ---- RSA-OAEP -----------------------------------------------------------------------------
+
+class RsaTest : public ::testing::Test {
+ protected:
+  // Key generation is the slow part: share one keypair per suite.
+  static void SetUpTestSuite() {
+    SecureRandom rng(99);
+    auto keypair = RsaGenerate(1024, rng);
+    ASSERT_TRUE(keypair.ok());
+    keypair_ = new RsaKeyPair(std::move(keypair).value());
+  }
+  static void TearDownTestSuite() {
+    delete keypair_;
+    keypair_ = nullptr;
+  }
+  static RsaKeyPair* keypair_;
+};
+
+RsaKeyPair* RsaTest::keypair_ = nullptr;
+
+TEST_F(RsaTest, KeyHasRequestedModulus) {
+  EXPECT_EQ(keypair_->public_key.n.BitLength(), 1024u);
+  EXPECT_EQ(keypair_->public_key.e.ToU64(), 65537u);
+}
+
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+  SecureRandom rng(7);
+  const Bytes message = ToBytes("the secret PD payload");
+  auto ciphertext = RsaEncrypt(keypair_->public_key, message, rng);
+  ASSERT_TRUE(ciphertext.ok()) << ciphertext.status().ToString();
+  EXPECT_EQ(ciphertext->size(), keypair_->public_key.ModulusBytes());
+  auto decrypted = RsaDecrypt(keypair_->private_key, *ciphertext);
+  ASSERT_TRUE(decrypted.ok()) << decrypted.status().ToString();
+  EXPECT_EQ(*decrypted, message);
+}
+
+TEST_F(RsaTest, OaepIsRandomised) {
+  SecureRandom rng(7);
+  const Bytes message = ToBytes("same message");
+  auto c1 = RsaEncrypt(keypair_->public_key, message, rng);
+  auto c2 = RsaEncrypt(keypair_->public_key, message, rng);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(*c1, *c2);
+}
+
+TEST_F(RsaTest, EmptyAndMaxLengthMessages) {
+  SecureRandom rng(8);
+  const std::size_t max_len = keypair_->public_key.ModulusBytes() - 66;
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, max_len}) {
+    const Bytes message(len, 0x5A);
+    auto ciphertext = RsaEncrypt(keypair_->public_key, message, rng);
+    ASSERT_TRUE(ciphertext.ok()) << len;
+    auto decrypted = RsaDecrypt(keypair_->private_key, *ciphertext);
+    ASSERT_TRUE(decrypted.ok()) << len;
+    EXPECT_EQ(*decrypted, message);
+  }
+  // One byte over capacity fails.
+  EXPECT_FALSE(
+      RsaEncrypt(keypair_->public_key, Bytes(max_len + 1, 0), rng).ok());
+}
+
+TEST_F(RsaTest, TamperedCiphertextIsRejected) {
+  SecureRandom rng(9);
+  auto ciphertext =
+      RsaEncrypt(keypair_->public_key, ToBytes("payload"), rng);
+  ASSERT_TRUE(ciphertext.ok());
+  (*ciphertext)[10] ^= 0x01;
+  EXPECT_FALSE(RsaDecrypt(keypair_->private_key, *ciphertext).ok());
+}
+
+TEST_F(RsaTest, Mgf1ProducesRequestedLengthDeterministically) {
+  const Bytes seed = ToBytes("seed");
+  const Bytes a = Mgf1Sha256(seed, 100);
+  const Bytes b = Mgf1Sha256(seed, 100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(Mgf1Sha256(ToBytes("other"), 100), a);
+}
+
+TEST(RsaGenerateTest, RejectsBadParameters) {
+  SecureRandom rng(1);
+  EXPECT_FALSE(RsaGenerate(100, rng).ok());  // too small
+  EXPECT_FALSE(RsaGenerate(513, rng).ok());  // odd
+}
+
+// ---- Envelope (crypto-erasure) ------------------------------------------------------------
+
+TEST_F(RsaTest, EnvelopeSealOpenRoundTrip) {
+  SecureRandom rng(10);
+  const Bytes pd = ToBytes("name=alice;year=1990;the whole PD record");
+  auto envelope = Seal(keypair_->public_key, pd, rng);
+  ASSERT_TRUE(envelope.ok()) << envelope.status().ToString();
+  // The ciphertext must not contain the plaintext.
+  EXPECT_FALSE(ContainsSubsequence(envelope->ciphertext, pd));
+  auto recovered = Open(keypair_->private_key, *envelope);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(*recovered, pd);
+}
+
+TEST_F(RsaTest, EnvelopeSerializationRoundTrip) {
+  SecureRandom rng(11);
+  auto envelope = Seal(keypair_->public_key, ToBytes("payload"), rng);
+  ASSERT_TRUE(envelope.ok());
+  const Bytes wire = envelope->Serialize();
+  auto parsed = Envelope::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok());
+  auto recovered = Open(keypair_->private_key, *parsed);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, ToBytes("payload"));
+}
+
+TEST_F(RsaTest, EnvelopeTamperDetection) {
+  SecureRandom rng(12);
+  auto envelope = Seal(keypair_->public_key, ToBytes("payload"), rng);
+  ASSERT_TRUE(envelope.ok());
+  Envelope tampered = *envelope;
+  tampered.ciphertext[0] ^= 0xFF;
+  auto opened = Open(keypair_->private_key, tampered);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(RsaTest, EnvelopeLargePayload) {
+  SecureRandom rng(13);
+  Bytes pd(100'000);
+  for (std::size_t i = 0; i < pd.size(); ++i) {
+    pd[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  auto envelope = Seal(keypair_->public_key, pd, rng);
+  ASSERT_TRUE(envelope.ok());
+  auto recovered = Open(keypair_->private_key, *envelope);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*recovered, pd);
+}
+
+TEST_F(RsaTest, WrongKeyCannotOpen) {
+  SecureRandom rng(14);
+  auto other = RsaGenerate(1024, rng);
+  ASSERT_TRUE(other.ok());
+  auto envelope = Seal(keypair_->public_key, ToBytes("payload"), rng);
+  ASSERT_TRUE(envelope.ok());
+  EXPECT_FALSE(Open(other->private_key, *envelope).ok());
+}
+
+}  // namespace
+}  // namespace rgpdos::crypto

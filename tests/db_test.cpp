@@ -1,0 +1,382 @@
+// DB engine tests: Value semantics, Schema/row codec, the B+tree
+// (including randomized property sweeps against std::map), the table
+// engine and the catalog.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "blockdev/block_device.hpp"
+#include "common/rng.hpp"
+#include "db/btree.hpp"
+#include "db/catalog.hpp"
+#include "db/table.hpp"
+
+namespace rgpdos::db {
+namespace {
+
+// ---- Value ---------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(std::int64_t{7}).type(), ValueType::kInt);
+  EXPECT_EQ(*Value(std::int64_t{7}).AsInt(), 7);
+  EXPECT_EQ(*Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(*Value(true).AsBool(), true);
+  EXPECT_EQ(*Value(std::string("s")).AsString(), "s");
+  EXPECT_EQ(*Value(Bytes{1, 2}).AsBytes(), (Bytes{1, 2}));
+  // Wrong accessor fails.
+  EXPECT_FALSE(Value(std::int64_t{7}).AsString().ok());
+  EXPECT_FALSE(Value().AsInt().ok());
+}
+
+TEST(ValueTest, CodecRoundTrip) {
+  const Value values[] = {Value(),       Value(std::int64_t{-5}),
+                          Value(3.75),   Value(false),
+                          Value(std::string("héllo")), Value(Bytes{9, 8, 7})};
+  for (const Value& v : values) {
+    ByteWriter w;
+    v.Encode(w);
+    ByteReader r(w.buffer());
+    auto decoded = Value::Decode(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, v);
+  }
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value(std::int64_t{1}), Value(std::int64_t{2}));
+  EXPECT_LT(Value(std::string("a")), Value(std::string("b")));
+  // Cross-type ordering is by type tag (null < int < ... < bytes).
+  EXPECT_LT(Value(), Value(std::int64_t{0}));
+  EXPECT_LT(Value(std::int64_t{99}), Value(std::string("")));
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value().ToDisplayString(), "null");
+  EXPECT_EQ(Value(std::int64_t{42}).ToDisplayString(), "42");
+  EXPECT_EQ(Value(std::string("x")).ToDisplayString(), "\"x\"");
+  EXPECT_EQ(Value(Bytes{0xAB}).ToDisplayString(), "0xab");
+}
+
+// ---- Schema --------------------------------------------------------------------
+
+Schema UserSchema() {
+  return Schema("user", {{"name", ValueType::kString, false},
+                         {"age", ValueType::kInt, false},
+                         {"bio", ValueType::kString, true}});
+}
+
+TEST(SchemaTest, ValidateRowChecksArityTypesNullability) {
+  const Schema schema = UserSchema();
+  Row good{Value(std::string("a")), Value(std::int64_t{30}), Value()};
+  EXPECT_TRUE(schema.ValidateRow(good).ok());
+  Row wrong_arity{Value(std::string("a"))};
+  EXPECT_FALSE(schema.ValidateRow(wrong_arity).ok());
+  Row wrong_type{Value(std::int64_t{1}), Value(std::int64_t{30}), Value()};
+  EXPECT_FALSE(schema.ValidateRow(wrong_type).ok());
+  Row null_in_required{Value(), Value(std::int64_t{30}), Value()};
+  EXPECT_FALSE(schema.ValidateRow(null_in_required).ok());
+}
+
+TEST(SchemaTest, RowCodecRoundTrip) {
+  const Schema schema = UserSchema();
+  const Row row{Value(std::string("bob")), Value(std::int64_t{44}),
+                Value(std::string("likes fishing"))};
+  auto decoded = schema.DecodeRow(schema.EncodeRow(row));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(SchemaTest, SchemaCodecRoundTrip) {
+  const Schema schema = UserSchema();
+  ByteWriter w;
+  schema.Encode(w);
+  ByteReader r(w.buffer());
+  auto decoded = Schema::Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, schema);
+}
+
+TEST(SchemaTest, FieldIndexLookup) {
+  const Schema schema = UserSchema();
+  EXPECT_EQ(*schema.FieldIndex("age"), 1u);
+  EXPECT_FALSE(schema.FieldIndex("missing").ok());
+  EXPECT_TRUE(schema.HasField("bio"));
+}
+
+// ---- BPlusTree -----------------------------------------------------------------
+
+TEST(BTreeTest, BasicInsertFindErase) {
+  BPlusTree<std::uint64_t, std::string, 8> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Insert(5, "five"));
+  EXPECT_TRUE(tree.Insert(3, "three"));
+  EXPECT_FALSE(tree.Insert(5, "FIVE"));  // overwrite
+  EXPECT_EQ(*tree.Find(5), "FIVE");
+  EXPECT_EQ(*tree.Find(3), "three");
+  EXPECT_EQ(tree.Find(99), nullptr);
+  EXPECT_TRUE(tree.Erase(3));
+  EXPECT_FALSE(tree.Erase(3));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(BTreeTest, OrderedIteration) {
+  BPlusTree<int, int, 4> tree;
+  for (int k : {9, 1, 7, 3, 5, 2, 8, 4, 6, 0}) tree.Insert(k, k * 10);
+  std::vector<int> keys;
+  tree.ForEach([&](const int& k, const int&) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(BTreeTest, RangeQuery) {
+  BPlusTree<int, int, 4> tree;
+  for (int k = 0; k < 100; ++k) tree.Insert(k, k);
+  std::vector<int> keys;
+  tree.ForEachInRange(10, 20, [&](const int& k, const int&) {
+    keys.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(keys.size(), 11u);
+  EXPECT_EQ(keys.front(), 10);
+  EXPECT_EQ(keys.back(), 20);
+}
+
+TEST(BTreeTest, MinKey) {
+  BPlusTree<int, int, 4> tree;
+  EXPECT_FALSE(tree.MinKey().has_value());
+  tree.Insert(42, 0);
+  tree.Insert(7, 0);
+  EXPECT_EQ(*tree.MinKey(), 7);
+}
+
+TEST(BTreeTest, SequentialInsertDeepTreeStaysValid) {
+  BPlusTree<int, int, 4> tree;
+  for (int k = 0; k < 2000; ++k) {
+    tree.Insert(k, k);
+    if (k % 97 == 0) ASSERT_TRUE(tree.Validate()) << k;
+  }
+  EXPECT_EQ(tree.size(), 2000u);
+  EXPECT_TRUE(tree.Validate());
+  for (int k = 0; k < 2000; ++k) ASSERT_NE(tree.Find(k), nullptr) << k;
+}
+
+TEST(BTreeTest, ReverseInsertThenDrainForward) {
+  BPlusTree<int, int, 6> tree;
+  for (int k = 999; k >= 0; --k) tree.Insert(k, k);
+  EXPECT_TRUE(tree.Validate());
+  for (int k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree.Erase(k)) << k;
+    if (k % 53 == 0) ASSERT_TRUE(tree.Validate()) << k;
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Validate());
+}
+
+// Property sweep: random interleavings of insert/overwrite/erase checked
+// against std::map, parameterized over tree order and seed.
+class BTreePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+template <std::size_t Order>
+void RunRandomOps(std::uint64_t seed) {
+  rgpdos::Rng rng(seed);
+  BPlusTree<std::uint64_t, std::uint64_t, Order> tree;
+  std::map<std::uint64_t, std::uint64_t> reference;
+  const std::uint64_t key_space = 500;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.NextBelow(key_space);
+    const double dice = rng.NextDouble();
+    if (dice < 0.6) {
+      const std::uint64_t value = rng.NextU64();
+      const bool fresh = tree.Insert(key, value);
+      const bool expected_fresh = reference.emplace(key, value).second;
+      if (!expected_fresh) reference[key] = value;
+      ASSERT_EQ(fresh, expected_fresh) << "op " << i;
+    } else {
+      const bool erased = tree.Erase(key);
+      ASSERT_EQ(erased, reference.erase(key) > 0) << "op " << i;
+    }
+    if (i % 250 == 0) {
+      ASSERT_TRUE(tree.Validate()) << "op " << i;
+      ASSERT_EQ(tree.size(), reference.size());
+    }
+  }
+  ASSERT_TRUE(tree.Validate());
+  ASSERT_EQ(tree.size(), reference.size());
+  // Final content equality, in order.
+  auto it = reference.begin();
+  tree.ForEach([&](const std::uint64_t& k, const std::uint64_t& v) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, reference.end());
+}
+
+TEST_P(BTreePropertyTest, MatchesStdMapUnderRandomOps) {
+  const auto [order, seed] = GetParam();
+  switch (order) {
+    case 4: RunRandomOps<4>(seed); break;
+    case 8: RunRandomOps<8>(seed); break;
+    case 64: RunRandomOps<64>(seed); break;
+    default: FAIL();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndSeeds, BTreePropertyTest,
+    ::testing::Combine(::testing::Values(4, 8, 64),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const auto& info) {
+      return "order" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- Table ----------------------------------------------------------------------
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<blockdev::MemBlockDevice>(512, 4096);
+    inodefs::InodeStore::Options options;
+    options.inode_count = 64;
+    options.journal_blocks = 64;
+    auto store = inodefs::InodeStore::Format(device_.get(), options, &clock_);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+    auto file = store_->AllocInode(inodefs::InodeKind::kFile);
+    ASSERT_TRUE(file.ok());
+    file_ = *file;
+    auto table = Table::Create(store_.get(), file_, UserSchema());
+    ASSERT_TRUE(table.ok());
+    table_ = std::make_unique<Table>(std::move(table).value());
+  }
+
+  Row MakeRow(const std::string& name, std::int64_t age) {
+    return Row{Value(name), Value(age), Value()};
+  }
+
+  SimClock clock_{0};
+  std::unique_ptr<blockdev::MemBlockDevice> device_;
+  std::unique_ptr<inodefs::InodeStore> store_;
+  inodefs::InodeId file_ = inodefs::kInvalidInode;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(TableTest, InsertGetUpdateDelete) {
+  auto id = table_->Insert(MakeRow("alice", 30));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*table_->Get(*id), MakeRow("alice", 30));
+  ASSERT_TRUE(table_->Update(*id, MakeRow("alice", 31)).ok());
+  EXPECT_EQ(*table_->Get(*id), MakeRow("alice", 31));
+  ASSERT_TRUE(table_->Delete(*id).ok());
+  EXPECT_FALSE(table_->Get(*id).ok());
+  EXPECT_EQ(table_->live_count(), 0u);
+  EXPECT_EQ(table_->Update(*id, MakeRow("x", 1)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TableTest, InsertValidatesSchema) {
+  EXPECT_FALSE(table_->Insert(Row{Value(std::int64_t{1})}).ok());
+}
+
+TEST_F(TableTest, ScanVisitsLiveRowsInOrder) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table_->Insert(MakeRow("u" + std::to_string(i), i)).ok());
+  }
+  ASSERT_TRUE(table_->Delete(5).ok());
+  std::vector<RowId> seen;
+  ASSERT_TRUE(table_->Scan([&](RowId id, const Row&) {
+    seen.push_back(id);
+    return true;
+  }).ok());
+  EXPECT_EQ(seen.size(), 19u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST_F(TableTest, ReopenReplaysLog) {
+  auto a = table_->Insert(MakeRow("a", 1));
+  auto b = table_->Insert(MakeRow("b", 2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(table_->Update(*a, MakeRow("a2", 11)).ok());
+  ASSERT_TRUE(table_->Delete(*b).ok());
+
+  auto reopened = Table::Open(store_.get(), file_, UserSchema());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->live_count(), 1u);
+  EXPECT_EQ(*reopened->Get(*a), MakeRow("a2", 11));
+  EXPECT_FALSE(reopened->Get(*b).ok());
+  // New inserts continue after the highest historical id.
+  auto c = reopened->Insert(MakeRow("c", 3));
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(*c, *b);
+}
+
+TEST_F(TableTest, CompactShrinksLogAndPreservesData) {
+  auto a = table_->Insert(MakeRow("keep", 1));
+  ASSERT_TRUE(a.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto v = table_->Insert(MakeRow("victim", i));
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE(table_->Delete(*v).ok());
+  }
+  const std::uint64_t before = table_->log_bytes();
+  ASSERT_TRUE(table_->Compact().ok());
+  EXPECT_LT(table_->log_bytes(), before);
+  EXPECT_EQ(*table_->Get(*a), MakeRow("keep", 1));
+  EXPECT_EQ(table_->live_count(), 1u);
+}
+
+TEST_F(TableTest, DeleteDoesNotScrubTheLog) {
+  // The baseline-leak primitive: tombstoned rows linger in the log file.
+  auto id = table_->Insert(MakeRow("LINGERING_ROW_SECRET", 1));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(table_->Delete(*id).ok());
+  EXPECT_GT(blockdev::CountBlocksContaining(*device_,
+                                            ToBytes("LINGERING_ROW_SECRET")),
+            0u);
+}
+
+// ---- Catalog ----------------------------------------------------------------------
+
+TEST(CatalogTest, CreateOpenDrop) {
+  SimClock clock(0);
+  blockdev::MemBlockDevice device(512, 4096);
+  inodefs::InodeStore::Options options;
+  options.inode_count = 64;
+  options.journal_blocks = 64;
+  auto store = inodefs::InodeStore::Format(&device, options, &clock);
+  ASSERT_TRUE(store.ok());
+  auto fs = inodefs::FileSystem::Create(store->get());
+  ASSERT_TRUE(fs.ok());
+
+  {
+    auto catalog = Catalog::Create(&*fs, "/db");
+    ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+    auto table = catalog->CreateTable(UserSchema());
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(
+        (*table)->Insert(Row{Value(std::string("x")), Value(std::int64_t{1}),
+                             Value()}).ok());
+    EXPECT_FALSE(catalog->CreateTable(UserSchema()).ok());  // duplicate
+    EXPECT_EQ(catalog->TableNames(), std::vector<std::string>{"user"});
+  }
+  {
+    auto catalog = Catalog::Open(&*fs, "/db");
+    ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+    auto table = catalog->GetTable("user");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->live_count(), 1u);
+    ASSERT_TRUE(catalog->DropTable("user").ok());
+    EXPECT_FALSE(catalog->GetTable("user").ok());
+    EXPECT_EQ(catalog->DropTable("user").code(), StatusCode::kNotFound);
+  }
+}
+
+}  // namespace
+}  // namespace rgpdos::db

@@ -1,0 +1,278 @@
+// Enforcement-invariant suite: DESIGN.md E1-E10 as executable checks.
+// Some invariants also appear in module tests; this file states each one
+// explicitly, end to end, against the booted system.
+#include <gtest/gtest.h>
+
+#include "core/rgpdos.hpp"
+
+namespace rgpdos {
+namespace {
+
+using core::ImplManifest;
+using core::PdRef;
+using core::ProcessingInput;
+using core::ProcessingOutput;
+
+constexpr sentinel::Domain kApp = sentinel::Domain::kApplication;
+constexpr sentinel::Domain kDed = sentinel::Domain::kDed;
+
+constexpr std::string_view kTypes = R"(
+type user {
+  fields { name: string, pwd: string, year_of_birthdate: int };
+  view v_ano { year_of_birthdate };
+  consent { purpose1: all, purpose3: v_ano };
+  origin: subject;
+  age: 1Y;
+  sensitivity: high;
+}
+type age {
+  fields { value: int };
+  consent { purpose1: all };
+  origin: subject;
+  sensitivity: low;
+}
+)";
+
+class EnforcementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::BootConfig config;
+    config.use_sim_clock = true;
+    auto os = core::RgpdOs::Boot(config);
+    ASSERT_TRUE(os.ok());
+    os_ = std::move(os).value();
+    ASSERT_TRUE(os_->DeclareTypes(kTypes).ok());
+  }
+
+  dbfs::RecordId PutUser(std::uint64_t subject, const std::string& name) {
+    auto type = os_->dbfs().GetType(kDed, "user");
+    membrane::Membrane m =
+        (*type)->DefaultMembrane(subject, os_->clock().Now());
+    auto id = os_->dbfs().Put(
+        kDed, subject, "user",
+        db::Row{db::Value(name), db::Value(std::string("pw")),
+                db::Value(std::int64_t{1990})},
+        std::move(m));
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  core::ProcessingId RegisterPurpose3() {
+    ImplManifest manifest;
+    manifest.claimed_purpose = "purpose3";
+    manifest.fields_read = {"year_of_birthdate"};
+    manifest.output_type = "age";
+    auto id = os_->RegisterProcessingSource(
+        "purpose purpose3 { input: user.v_ano; output: age; }",
+        [](ProcessingInput& input) -> Result<ProcessingOutput> {
+          ProcessingOutput output;
+          if (input.Has("year_of_birthdate")) {
+            output.derived_row =
+                db::Row{db::Value(std::int64_t{2026} -
+                                  *(*input.Field("year_of_birthdate"))
+                                       .AsInt())};
+          }
+          return output;
+        },
+        manifest);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  std::unique_ptr<core::RgpdOs> os_;
+};
+
+// E1/E2: PS is the only reachable entry point; the DED class itself is
+// not constructible outside PS (compile-time PassKey); at runtime, every
+// other domain bounces off the sentinel.
+TEST_F(EnforcementTest, E1E2_PsIsTheOnlyEntryPoint) {
+  for (sentinel::Domain d :
+       {sentinel::Domain::kOutside, sentinel::Domain::kGeneralKernel,
+        sentinel::Domain::kIoKernel}) {
+    auto invoke = os_->ps().Invoke(d, 1, {});
+    EXPECT_EQ(invoke.status().code(), StatusCode::kAccessBlocked)
+        << sentinel::DomainName(d);
+  }
+  // Applications can invoke through PS (and only through PS).
+  const core::ProcessingId id = RegisterPurpose3();
+  PutUser(1, "a");
+  EXPECT_TRUE(os_->ps().Invoke(kApp, id, {}).ok());
+}
+
+// E3: every record in DBFS carries a membrane — verified structurally on
+// the write path, and here by scanning all records post-hoc.
+TEST_F(EnforcementTest, E3_EveryStoredRecordHasAMembrane) {
+  const core::ProcessingId id = RegisterPurpose3();
+  PutUser(1, "a");
+  PutUser(2, "b");
+  ASSERT_TRUE(os_->ps().Invoke(kApp, id, {}).ok());  // derives `age` rows
+  auto users = os_->dbfs().RecordsOfType(kDed, "user");
+  auto ages = os_->dbfs().RecordsOfType(kDed, "age");
+  ASSERT_TRUE(users.ok() && ages.ok());
+  std::vector<dbfs::RecordId> all = *users;
+  all.insert(all.end(), ages->begin(), ages->end());
+  ASSERT_EQ(all.size(), 4u);
+  for (dbfs::RecordId record : all) {
+    auto membrane = os_->dbfs().GetMembrane(kDed, record);
+    ASSERT_TRUE(membrane.ok()) << record;
+    EXPECT_FALSE(membrane->type_name.empty());
+    EXPECT_NE(membrane->subject_id, 0u);
+  }
+}
+
+// E4: only the DED reaches DBFS records; every other domain is denied
+// AND audited.
+TEST_F(EnforcementTest, E4_OnlyDedReachesDbfs) {
+  const dbfs::RecordId record = PutUser(1, "a");
+  const std::uint64_t denied_before = os_->audit().denied_count();
+  int denials = 0;
+  for (sentinel::Domain d :
+       {sentinel::Domain::kOutside, sentinel::Domain::kApplication,
+        sentinel::Domain::kGeneralKernel, sentinel::Domain::kSysadmin,
+        sentinel::Domain::kIoKernel, sentinel::Domain::kAuthority}) {
+    if (!os_->dbfs().Get(d, record).ok()) ++denials;
+  }
+  EXPECT_EQ(denials, 6);
+  EXPECT_EQ(os_->audit().denied_count(), denied_before + 6);
+}
+
+// E5: processings return PdRefs and NPD — never PD bytes.
+TEST_F(EnforcementTest, E5_NoPdByValueInResults) {
+  const core::ProcessingId id = RegisterPurpose3();
+  PutUser(1, "supercalifragilistic_name");
+  auto result = os_->ps().Invoke(kApp, id, {});
+  ASSERT_TRUE(result.ok());
+  const Bytes needle = ToBytes("supercalifragilistic_name");
+  for (const Bytes& npd : result->npd_outputs) {
+    EXPECT_FALSE(ContainsSubsequence(npd, needle));
+  }
+  ASSERT_EQ(result->derived.size(), 1u);
+  // The ref is just an id + type name; dereferencing requires the DED.
+  EXPECT_EQ(result->derived[0].type_name, "age");
+}
+
+// E6: leak-capable syscalls are denied inside F_pd^r code.
+TEST_F(EnforcementTest, E6_SyscallFilterBlocksLeaks) {
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose1";
+  manifest.fields_read = {"name"};  // declared honestly (runtime verifier)
+  auto id = os_->RegisterProcessingSource(
+      "purpose purpose1 { input: user; }",
+      [](ProcessingInput& input) -> Result<ProcessingOutput> {
+        auto name = input.Field("name");
+        EXPECT_TRUE(name.ok());  // purpose1 sees everything...
+        const Bytes pd = ToBytes(*name->AsString());
+        // ...but cannot push it out of the DED.
+        EXPECT_EQ(input.syscalls().Write(pd).code(),
+                  StatusCode::kSyscallDenied);
+        EXPECT_EQ(input.syscalls().Send(pd).code(),
+                  StatusCode::kSyscallDenied);
+        EXPECT_TRUE(input.syscalls().leaked().empty());
+        return ProcessingOutput{};
+      },
+      manifest);
+  ASSERT_TRUE(id.ok());
+  PutUser(1, "leakme");
+  EXPECT_TRUE(os_->ps().Invoke(kApp, *id, {}).ok());
+}
+
+// E7: membranes stay consistent across copies.
+TEST_F(EnforcementTest, E7_CopyGroupConsistencyUnderChains) {
+  const dbfs::RecordId original = PutUser(1, "a");
+  auto c1 = os_->builtins().Copy(PdRef{original, "user"});
+  ASSERT_TRUE(c1.ok());
+  auto c2 = os_->builtins().Copy(*c1);  // copy of the copy
+  ASSERT_TRUE(c2.ok());
+  ASSERT_TRUE(os_->builtins().RevokeConsent(*c2, "purpose3").ok());
+  for (dbfs::RecordId record :
+       {original, c1->record_id, c2->record_id}) {
+    EXPECT_EQ(os_->dbfs()
+                  .GetMembrane(kDed, record)
+                  ->consents.at("purpose3")
+                  .kind,
+              membrane::ConsentKind::kNone)
+        << record;
+  }
+}
+
+// E8: after erasure no plaintext byte survives on the device, the
+// operator cannot reconstruct, the authority can.
+TEST_F(EnforcementTest, E8_ErasureLeavesNoPlaintextButAuthorityRecovers) {
+  const std::string secret = "E8_SECRET_PLAINTEXT_VALUE";
+  const dbfs::RecordId record = PutUser(1, secret);
+  ASSERT_TRUE(os_->RightToBeForgotten(1).ok());
+  EXPECT_EQ(blockdev::CountBlocksContaining(os_->dbfs_device(),
+                                            ToBytes(secret)),
+            0u);
+  auto envelope = os_->dbfs().GetEnvelope(kDed, record);
+  ASSERT_TRUE(envelope.ok());
+  auto recovered = os_->authority().Recover(*envelope);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(ContainsSubsequence(*recovered, ToBytes(secret)));
+}
+
+// E9: TTL expiry makes PD inaccessible to every purpose.
+TEST_F(EnforcementTest, E9_TtlExpiryDeniesEveryPurpose) {
+  const dbfs::RecordId record = PutUser(1, "a");
+  os_->sim_clock()->Advance(kMicrosPerYear + 1);
+  auto membrane = os_->dbfs().GetMembrane(kDed, record);
+  ASSERT_TRUE(membrane.ok());
+  for (const char* purpose : {"purpose1", "purpose3", "anything"}) {
+    EXPECT_EQ(
+        membrane->Evaluate(purpose, os_->clock().Now()).status().code(),
+        StatusCode::kExpired)
+        << purpose;
+  }
+}
+
+// E10: a view exposes exactly the declared fields.
+TEST_F(EnforcementTest, E10_ViewBoundsAreExact) {
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose3";
+  manifest.fields_read = {"year_of_birthdate"};
+  auto id = os_->RegisterProcessingSource(
+      "purpose purpose3 { input: user.v_ano; }",
+      [](ProcessingInput& input) -> Result<ProcessingOutput> {
+        EXPECT_EQ(input.visible_fields(),
+                  std::set<std::string>{"year_of_birthdate"});
+        EXPECT_TRUE(input.Has("year_of_birthdate"));
+        EXPECT_FALSE(input.Has("name"));
+        EXPECT_FALSE(input.Has("pwd"));
+        EXPECT_TRUE(input.Field("year_of_birthdate").ok());
+        EXPECT_EQ(input.Field("name").status().code(),
+                  StatusCode::kConsentDenied);
+        return ProcessingOutput{};
+      },
+      manifest);
+  ASSERT_TRUE(id.ok());
+  PutUser(1, "a");
+  auto result = os_->ps().Invoke(kApp, *id, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records_processed, 1u);
+}
+
+// Bonus: the effective scope is the INTERSECTION of subject consent and
+// purpose declaration (data minimisation both ways).
+TEST_F(EnforcementTest, EffectiveScopeIsIntersection) {
+  // purpose1 has consent `all`, but declares it only needs v_ano: the
+  // implementation must still see only v_ano's fields.
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose1";
+  manifest.fields_read = {"year_of_birthdate"};
+  auto id = os_->RegisterProcessingSource(
+      "purpose purpose1 { input: user.v_ano; }",
+      [](ProcessingInput& input) -> Result<ProcessingOutput> {
+        EXPECT_FALSE(input.Has("name"));  // consented all, requested v_ano
+        EXPECT_TRUE(input.Has("year_of_birthdate"));
+        return ProcessingOutput{};
+      },
+      manifest);
+  ASSERT_TRUE(id.ok());
+  PutUser(1, "a");
+  auto result = os_->ps().Invoke(kApp, *id, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records_processed, 1u);
+}
+
+}  // namespace
+}  // namespace rgpdos

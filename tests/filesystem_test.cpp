@@ -1,0 +1,145 @@
+// Path-layer tests for the NPD filesystem (file granularity on the inode
+// store), including the non-scrubbing unlink the Fig-2 baseline sits on.
+#include <gtest/gtest.h>
+
+#include "blockdev/block_device.hpp"
+#include "inodefs/filesystem.hpp"
+
+namespace rgpdos::inodefs {
+namespace {
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<blockdev::MemBlockDevice>(512, 2048);
+    InodeStore::Options options;
+    options.inode_count = 128;
+    options.journal_blocks = 64;
+    auto store = InodeStore::Format(device_.get(), options, &clock_);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+    auto fs = FileSystem::Create(store_.get());
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::make_unique<FileSystem>(std::move(fs).value());
+  }
+
+  SimClock clock_{0};
+  std::unique_ptr<blockdev::MemBlockDevice> device_;
+  std::unique_ptr<InodeStore> store_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+TEST_F(FileSystemTest, WriteAndReadFile) {
+  ASSERT_TRUE(fs_->WriteFile("/hello.txt", ToBytes("hi there")).ok());
+  EXPECT_EQ(ToString(*fs_->ReadFile("/hello.txt")), "hi there");
+  EXPECT_TRUE(fs_->Exists("/hello.txt"));
+  EXPECT_FALSE(fs_->Exists("/other.txt"));
+}
+
+TEST_F(FileSystemTest, NestedDirectories) {
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b/c").ok());
+  ASSERT_TRUE(fs_->WriteFile("/a/b/c/deep.txt", ToBytes("deep")).ok());
+  EXPECT_EQ(ToString(*fs_->ReadFile("/a/b/c/deep.txt")), "deep");
+  auto entries = fs_->ReadDir("/a/b");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "c");
+  EXPECT_EQ((*entries)[0].kind, InodeKind::kDirectory);
+}
+
+TEST_F(FileSystemTest, PathValidation) {
+  EXPECT_EQ(fs_->WriteFile("relative", ToBytes("x")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Mkdir("/a/../b").code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(fs_->ReadFile("/missing/file").ok());
+}
+
+TEST_F(FileSystemTest, CreateFileFailsIfExists) {
+  ASSERT_TRUE(fs_->CreateFile("/f").ok());
+  EXPECT_EQ(fs_->CreateFile("/f").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(fs_->Mkdir("/f").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(FileSystemTest, AppendGrowsFile) {
+  ASSERT_TRUE(fs_->AppendFile("/log", ToBytes("one ")).ok());
+  ASSERT_TRUE(fs_->AppendFile("/log", ToBytes("two")).ok());
+  EXPECT_EQ(ToString(*fs_->ReadFile("/log")), "one two");
+}
+
+TEST_F(FileSystemTest, UnlinkRemovesEntry) {
+  ASSERT_TRUE(fs_->WriteFile("/f", ToBytes("bye")).ok());
+  ASSERT_TRUE(fs_->Unlink("/f").ok());
+  EXPECT_FALSE(fs_->Exists("/f"));
+  EXPECT_EQ(fs_->Unlink("/f").code(), StatusCode::kNotFound);
+}
+
+TEST_F(FileSystemTest, UnlinkNonEmptyDirectoryFails) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  ASSERT_TRUE(fs_->WriteFile("/d/f", ToBytes("x")).ok());
+  EXPECT_EQ(fs_->Unlink("/d").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(fs_->Unlink("/d/f").ok());
+  EXPECT_TRUE(fs_->Unlink("/d").ok());
+}
+
+TEST_F(FileSystemTest, PlainUnlinkLeaksContentScrubbedUnlinkDoesNotOnData) {
+  const Bytes secret = ToBytes("UNLINKED_SECRET_BYTES");
+  ASSERT_TRUE(fs_->WriteFile("/secret", secret).ok());
+  ASSERT_TRUE(fs_->Unlink("/secret", /*scrub=*/false).ok());
+  // ext4-like unlink: bytes survive in freed blocks (and the journal).
+  EXPECT_GT(blockdev::CountBlocksContaining(*device_, secret), 0u);
+
+  const Bytes secret2 = ToBytes("SCRUB_UNLINKED_BYTES");
+  ASSERT_TRUE(fs_->WriteFile("/secret2", secret2).ok());
+  ASSERT_TRUE(fs_->Unlink("/secret2", /*scrub=*/true).ok());
+  ASSERT_TRUE(store_->ScrubJournal().ok());
+  EXPECT_EQ(blockdev::CountBlocksContaining(*device_, secret2), 0u);
+}
+
+TEST_F(FileSystemTest, StatReportsSizeAndKind) {
+  ASSERT_TRUE(fs_->WriteFile("/f", ToBytes("12345")).ok());
+  auto stat = fs_->Stat("/f");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_EQ(stat->size, 5u);
+  EXPECT_EQ(stat->kind, InodeKind::kFile);
+}
+
+TEST_F(FileSystemTest, ReopenAfterSync) {
+  ASSERT_TRUE(fs_->Mkdir("/persist").ok());
+  ASSERT_TRUE(fs_->WriteFile("/persist/f", ToBytes("durable")).ok());
+  ASSERT_TRUE(store_->Sync().ok());
+  fs_.reset();
+  store_.reset();
+
+  auto store = InodeStore::Mount(device_.get(), &clock_);
+  ASSERT_TRUE(store.ok());
+  store_ = std::move(store).value();
+  auto fs = FileSystem::Open(store_.get());
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  EXPECT_EQ(ToString(*fs->ReadFile("/persist/f")), "durable");
+}
+
+TEST_F(FileSystemTest, ReadingDirectoryAsFileFails) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_EQ(fs_->ReadFile("/d").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_->ReadDir("/missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FileSystemTest, ManyFilesInOneDirectory) {
+  ASSERT_TRUE(fs_->Mkdir("/many").ok());
+  for (int i = 0; i < 40; ++i) {
+    const std::string path = "/many/f" + std::to_string(i);
+    ASSERT_TRUE(fs_->WriteFile(path, ToBytes(std::to_string(i))).ok()) << i;
+  }
+  auto entries = fs_->ReadDir("/many");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 40u);
+  EXPECT_EQ(ToString(*fs_->ReadFile("/many/f17")), "17");
+}
+
+}  // namespace
+}  // namespace rgpdos::inodefs

@@ -1,0 +1,375 @@
+// End-to-end integration tests: the paper's Listings 1-3 as executable
+// scenarios, plus the headline enforcement behaviours across the whole
+// stack (boot -> declare type -> register processing -> invoke -> rights).
+#include <gtest/gtest.h>
+
+#include "core/rgpdos.hpp"
+#include "workload/workload.hpp"
+
+namespace rgpdos {
+namespace {
+
+using core::ImplManifest;
+using core::InvokeOptions;
+using core::InvokeResult;
+using core::PdRef;
+using core::ProcessingFn;
+using core::ProcessingInput;
+using core::ProcessingOutput;
+
+// The paper's Listing 1, almost verbatim (field types and the age/
+// sensitivity clauses follow the listing; "hight" spelling included in a
+// dedicated DSL test).
+constexpr std::string_view kUserType = R"(
+type user {
+  fields {
+    name: string,
+    pwd: string,
+    year_of_birthdate: int
+  };
+  view v_name {
+    name
+  };
+  view v_ano {
+    year_of_birthdate
+  };
+  consent {
+    purpose1: all,
+    purpose2: none,
+    purpose3: v_ano
+  };
+  collection {
+    web_form: user_form.html,
+    third_party: fetch_data.py
+  };
+  origin: subject;
+  age: 1Y;
+  sensitivity: high;
+}
+
+type age {
+  fields {
+    value: int
+  };
+  consent {
+    purpose1: all
+  };
+  origin: subject;
+  sensitivity: low;
+}
+)";
+
+// Listing 2's purpose, declared in the purpose language.
+constexpr std::string_view kPurpose3 = R"(
+purpose purpose3 {
+  input: user.v_ano;
+  output: age;
+  description: "compute the age of the input user";
+}
+)";
+
+// Listing 2's compute_age as a ProcessingFn: note the availability check
+// on the consented field, exactly like `if (user.age)` in the paper.
+Result<ProcessingOutput> ComputeAge(ProcessingInput& input) {
+  ProcessingOutput output;
+  if (!input.Has("year_of_birthdate")) {
+    output.npd = ToBytes("unavailable");
+    return output;
+  }
+  RGPD_ASSIGN_OR_RETURN(db::Value year, input.Field("year_of_birthdate"));
+  const std::int64_t age = 2026 - *year.AsInt();
+  output.derived_row = db::Row{db::Value(age)};
+  output.npd = ToBytes("ok");
+  return output;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::BootConfig config;
+    config.use_sim_clock = true;
+    // 1024-bit authority key: the smallest size whose OAEP block fits
+    // the 44-byte ChaCha20 key+nonce wrap, and still fast to generate.
+    config.authority_key_bits = 1024;
+    auto os = core::RgpdOs::Boot(config);
+    ASSERT_TRUE(os.ok()) << os.status().ToString();
+    os_ = std::move(os).value();
+    auto declared = os_->DeclareTypes(kUserType);
+    ASSERT_TRUE(declared.ok()) << declared.status().ToString();
+    ASSERT_EQ(*declared, 2u);
+  }
+
+  /// Store one user record through the DED surface (as the acquisition
+  /// built-in would).
+  dbfs::RecordId PutUser(std::uint64_t subject, std::string name,
+                         std::int64_t year) {
+    auto type = os_->dbfs().GetType(sentinel::Domain::kDed, "user");
+    EXPECT_TRUE(type.ok());
+    membrane::Membrane m =
+        (*type)->DefaultMembrane(subject, os_->clock().Now());
+    db::Row row{db::Value(std::move(name)), db::Value(std::string("pw")),
+                db::Value(year)};
+    auto id = os_->dbfs().Put(sentinel::Domain::kDed, subject, "user", row,
+                              std::move(m));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return *id;
+  }
+
+  std::unique_ptr<core::RgpdOs> os_;
+};
+
+TEST_F(IntegrationTest, Listing123EndToEnd) {
+  // main(): register the processing (Listing 3: ps_register).
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose3";
+  manifest.fields_read = {"year_of_birthdate"};
+  manifest.output_type = "age";
+  auto processing =
+      os_->RegisterProcessingSource(kPurpose3, ComputeAge, manifest);
+  ASSERT_TRUE(processing.ok()) << processing.status().ToString();
+  ASSERT_TRUE(os_->ps().IsActive(*processing));
+
+  const dbfs::RecordId alice = PutUser(1, "alice", 1990);
+  PutUser(2, "bob", 1985);
+
+  // ps_invoke over every user record.
+  auto result = os_->ps().Invoke(sentinel::Domain::kApplication,
+                                 *processing, InvokeOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->records_considered, 2u);
+  EXPECT_EQ(result->records_processed, 2u);
+  EXPECT_EQ(result->records_filtered_out, 0u);
+  // Derived PD comes back as references only.
+  ASSERT_EQ(result->derived.size(), 2u);
+  EXPECT_EQ(result->derived[0].type_name, "age");
+
+  // The derived age rows actually landed in DBFS with membranes.
+  auto derived = os_->dbfs().Get(sentinel::Domain::kDed,
+                                 result->derived[0].record_id);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(*derived->row[0].AsInt(), 2026 - 1990);
+  EXPECT_EQ(derived->membrane.origin, membrane::Origin::kDerived);
+
+  // Targeted invocation on one record (Listing 3's id_PD argument).
+  InvokeOptions targeted;
+  targeted.target = PdRef{alice, "user"};
+  auto single = os_->ps().Invoke(sentinel::Domain::kApplication,
+                                 *processing, targeted);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->records_considered, 1u);
+}
+
+TEST_F(IntegrationTest, ConsentRestrictsFieldVisibility) {
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose3";
+  manifest.fields_read = {"year_of_birthdate"};
+  manifest.output_type = "age";
+
+  // A nosy implementation that tries to read the password.
+  ProcessingFn nosy = [](ProcessingInput& input) -> Result<ProcessingOutput> {
+    EXPECT_FALSE(input.Has("pwd"));
+    EXPECT_FALSE(input.Has("name"));
+    auto pwd = input.Field("pwd");
+    EXPECT_FALSE(pwd.ok());
+    EXPECT_EQ(pwd.status().code(), StatusCode::kConsentDenied);
+    ProcessingOutput output;
+    output.npd = ToBytes("done");
+    return output;
+  };
+  auto processing = os_->RegisterProcessingSource(kPurpose3, nosy, manifest);
+  ASSERT_TRUE(processing.ok());
+  PutUser(1, "alice", 1990);
+  auto result = os_->ps().Invoke(sentinel::Domain::kApplication,
+                                 *processing, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->records_processed, 1u);
+}
+
+TEST_F(IntegrationTest, Purpose2IsDeniedByDefaultConsent) {
+  constexpr std::string_view kPurpose2 = R"(
+purpose purpose2 {
+  input: user;
+  description: "profiling without a legitimate basis";
+}
+)";
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose2";
+  auto processing = os_->RegisterProcessingSource(
+      kPurpose2,
+      [](ProcessingInput&) -> Result<ProcessingOutput> {
+        ADD_FAILURE() << "purpose2 must never execute";
+        return ProcessingOutput{};
+      },
+      manifest);
+  ASSERT_TRUE(processing.ok());
+  PutUser(1, "alice", 1990);
+  auto result =
+      os_->ps().Invoke(sentinel::Domain::kApplication, *processing, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records_considered, 1u);
+  EXPECT_EQ(result->records_filtered_out, 1u);
+  EXPECT_EQ(result->records_processed, 0u);
+}
+
+TEST_F(IntegrationTest, TtlExpiryFiltersRecords) {
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose3";
+  manifest.fields_read = {"year_of_birthdate"};
+  manifest.output_type = "age";
+  auto processing =
+      os_->RegisterProcessingSource(kPurpose3, ComputeAge, manifest);
+  ASSERT_TRUE(processing.ok());
+  PutUser(1, "alice", 1990);
+
+  // Advance past the type's `age: 1Y`.
+  os_->sim_clock()->Advance(kMicrosPerYear + 1);
+  auto result =
+      os_->ps().Invoke(sentinel::Domain::kApplication, *processing, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records_filtered_out, 1u);
+  EXPECT_EQ(result->records_processed, 0u);
+}
+
+TEST_F(IntegrationTest, ApplicationsCannotTouchDbfsDirectly) {
+  PutUser(1, "alice", 1990);
+  // Direct application access to DBFS is blocked by the sentinel...
+  auto get = os_->dbfs().Get(sentinel::Domain::kApplication, 1);
+  EXPECT_FALSE(get.ok());
+  EXPECT_EQ(get.status().code(), StatusCode::kAccessBlocked);
+  // ...and leaves an audit record of the denial.
+  const auto denials = os_->audit().Query([](const sentinel::AuditEntry& e) {
+    return !e.allowed &&
+           e.request.subject == sentinel::Domain::kApplication &&
+           e.request.object == sentinel::Domain::kDbfs;
+  });
+  EXPECT_FALSE(denials.empty());
+}
+
+TEST_F(IntegrationTest, RightOfAccessProducesStructuredExport) {
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose3";
+  manifest.fields_read = {"year_of_birthdate"};
+  manifest.output_type = "age";
+  auto processing =
+      os_->RegisterProcessingSource(kPurpose3, ComputeAge, manifest);
+  ASSERT_TRUE(processing.ok());
+  PutUser(7, "carol", 2000);
+  ASSERT_TRUE(
+      os_->ps().Invoke(sentinel::Domain::kApplication, *processing, {}).ok());
+
+  auto report = os_->RightOfAccess(7);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Structured AND exploitable: field names are present as keys.
+  EXPECT_NE(report->find("\"year_of_birthdate\":2000"), std::string::npos);
+  EXPECT_NE(report->find("\"name\":\"carol\""), std::string::npos);
+  // The processing history for this subject's PD is included.
+  EXPECT_NE(report->find("\"purpose\":\"purpose3\""), std::string::npos);
+  EXPECT_NE(report->find("\"outcome\":\"processed\""), std::string::npos);
+}
+
+TEST_F(IntegrationTest, RightToBeForgottenIsRecoverableOnlyByAuthority) {
+  const dbfs::RecordId record = PutUser(3, "dave_secret_name", 1970);
+  auto erased = os_->RightToBeForgotten(3);
+  ASSERT_TRUE(erased.ok()) << erased.status().ToString();
+  EXPECT_EQ(*erased, 1u);
+
+  // Operator-side reads see an erased record with no row data.
+  auto get = os_->dbfs().Get(sentinel::Domain::kDed, record);
+  ASSERT_TRUE(get.ok());
+  EXPECT_TRUE(get->erased);
+  EXPECT_TRUE(get->row.empty());
+
+  // No plaintext on the raw device or in the journal history.
+  const Bytes needle = ToBytes("dave_secret_name");
+  EXPECT_EQ(blockdev::CountBlocksContaining(os_->dbfs_device(), needle), 0u);
+
+  // The authority recovers the plaintext from the envelope.
+  auto envelope = os_->dbfs().GetEnvelope(sentinel::Domain::kDed, record);
+  ASSERT_TRUE(envelope.ok());
+  auto recovered = os_->authority().Recover(*envelope);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  auto type = os_->dbfs().GetType(sentinel::Domain::kDed, "user");
+  auto row = (*type)->ToSchema().DecodeRow(*recovered);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*(*row)[0].AsString(), "dave_secret_name");
+}
+
+TEST_F(IntegrationTest, CollectionInitialisesDbfsWithMembranes) {
+  // Simulated web form: two subjects submit the form.
+  os_->ps().RegisterCollectionSource(
+      "web_form",
+      [](const membrane::CollectionInterface& interface)
+          -> Result<std::vector<std::pair<dbfs::SubjectId, db::Row>>> {
+        EXPECT_EQ(interface.target, "user_form.html");
+        std::vector<std::pair<dbfs::SubjectId, db::Row>> out;
+        out.emplace_back(10, db::Row{db::Value(std::string("erin")),
+                                     db::Value(std::string("pw")),
+                                     db::Value(std::int64_t{1995})});
+        out.emplace_back(11, db::Row{db::Value(std::string("frank")),
+                                     db::Value(std::string("pw")),
+                                     db::Value(std::int64_t{1988})});
+        return out;
+      });
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose3";
+  manifest.fields_read = {"year_of_birthdate"};
+  manifest.output_type = "age";
+  auto processing =
+      os_->RegisterProcessingSource(kPurpose3, ComputeAge, manifest);
+  ASSERT_TRUE(processing.ok());
+
+  InvokeOptions options;
+  options.collection_method = "web_form";
+  options.collect_first = true;
+  auto result =
+      os_->ps().Invoke(sentinel::Domain::kApplication, *processing, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->records_considered, 2u);
+  EXPECT_EQ(result->records_processed, 2u);
+  // Collected PD carries the type's default membrane (origin = subject).
+  // Subject 10 now owns two records: the collected `user` row and the
+  // derived `age` row produced by purpose3.
+  auto ids = os_->dbfs().RecordsOfSubject(sentinel::Domain::kDed, 10);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 2u);
+  bool saw_user = false;
+  for (dbfs::RecordId id : *ids) {
+    auto record = os_->dbfs().Get(sentinel::Domain::kDed, id);
+    ASSERT_TRUE(record.ok());
+    if (record->type_name == "user") {
+      saw_user = true;
+      EXPECT_EQ(record->membrane.origin, membrane::Origin::kSubject);
+      EXPECT_EQ(record->membrane.sensitivity, membrane::Sensitivity::kHigh);
+    } else {
+      EXPECT_EQ(record->type_name, "age");
+      EXPECT_EQ(record->membrane.origin, membrane::Origin::kDerived);
+    }
+  }
+  EXPECT_TRUE(saw_user);
+}
+
+TEST_F(IntegrationTest, PdNeverEntersApplicationAddressSpace) {
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose3";
+  manifest.fields_read = {"year_of_birthdate"};
+  manifest.output_type = "age";
+  auto processing =
+      os_->RegisterProcessingSource(kPurpose3, ComputeAge, manifest);
+  ASSERT_TRUE(processing.ok());
+  PutUser(1, "walter_super_secret", 1990);
+  auto result =
+      os_->ps().Invoke(sentinel::Domain::kApplication, *processing, {});
+  ASSERT_TRUE(result.ok());
+  // E5: the InvokeResult contains refs and NPD only; no PD field value
+  // appears in any NPD output.
+  const Bytes needle = ToBytes("walter_super_secret");
+  for (const Bytes& npd : result->npd_outputs) {
+    EXPECT_FALSE(ContainsSubsequence(npd, needle));
+  }
+  for (const PdRef& ref : result->derived) {
+    EXPECT_NE(ref.record_id, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rgpdos

@@ -1,0 +1,211 @@
+// Purpose-kernel model tests: channels, job kernels, IO driver kernels,
+// and the Machine's proportional + work-conserving scheduler with
+// dynamic repartitioning and memory quotas.
+#include <gtest/gtest.h>
+
+#include "blockdev/block_device.hpp"
+#include "kernel/io_driver_kernel.hpp"
+#include "kernel/machine.hpp"
+
+namespace rgpdos::kernel {
+namespace {
+
+TEST(ChannelTest, FifoAndCapacity) {
+  Channel<int> channel(2);
+  EXPECT_TRUE(channel.Push(1).ok());
+  EXPECT_TRUE(channel.Push(2).ok());
+  EXPECT_EQ(channel.Push(3).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(*channel.Pop(), 1);
+  EXPECT_EQ(*channel.Pop(), 2);
+  EXPECT_FALSE(channel.Pop().has_value());
+  EXPECT_EQ(channel.total_pushed(), 2u);
+}
+
+TEST(JobQueueKernelTest, RunsJobsWithinBudget) {
+  JobQueueKernel kernel("npd", KernelKind::kGeneralPurpose);
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        kernel.Submit({10, [&completed] { ++completed; }}).ok());
+  }
+  EXPECT_EQ(kernel.Backlog(), 50u);
+  EXPECT_EQ(kernel.Run(25), 25u);  // finishes 2 jobs, half of the third
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(kernel.Run(100), 25u);  // finishes the rest
+  EXPECT_EQ(completed, 5);
+  EXPECT_EQ(kernel.completed_jobs(), 5u);
+  EXPECT_EQ(kernel.Backlog(), 0u);
+  EXPECT_EQ(kernel.units_consumed(), 50u);
+}
+
+TEST(JobQueueKernelTest, ZeroCostJobsCountAsOne) {
+  JobQueueKernel kernel("k", KernelKind::kRgpd);
+  ASSERT_TRUE(kernel.Submit({0, nullptr}).ok());
+  EXPECT_EQ(kernel.Run(10), 1u);
+  EXPECT_EQ(kernel.completed_jobs(), 1u);
+}
+
+TEST(SubKernelTest, MemoryQuota) {
+  JobQueueKernel kernel("k", KernelKind::kRgpd);
+  kernel.SetMemoryQuota(100);
+  EXPECT_TRUE(kernel.ChargeMemory(60).ok());
+  EXPECT_TRUE(kernel.ChargeMemory(40).ok());
+  EXPECT_EQ(kernel.ChargeMemory(1).code(), StatusCode::kResourceExhausted);
+  kernel.ReleaseMemory(50);
+  EXPECT_TRUE(kernel.ChargeMemory(50).ok());
+  kernel.ReleaseMemory(10'000);  // over-release clamps to zero
+  EXPECT_EQ(kernel.memory_used(), 0u);
+}
+
+TEST(IoDriverKernelTest, ServesBlockRequestsOverChannels) {
+  blockdev::MemBlockDevice device(512, 16);
+  IoDriverKernel kernel("nvme0", &device, /*cost_per_request=*/2);
+
+  BlockRequest write;
+  write.kind = BlockRequest::Kind::kWrite;
+  write.block = 3;
+  write.data = Bytes(512, 0x5A);
+  write.tag = 1;
+  ASSERT_TRUE(kernel.requests().Push(std::move(write)).ok());
+  BlockRequest read;
+  read.kind = BlockRequest::Kind::kRead;
+  read.block = 3;
+  read.tag = 2;
+  ASSERT_TRUE(kernel.requests().Push(std::move(read)).ok());
+
+  // Budget of 2 serves exactly one request.
+  EXPECT_EQ(kernel.Run(2), 2u);
+  EXPECT_EQ(kernel.served_requests(), 1u);
+  EXPECT_EQ(kernel.Run(10), 2u);
+  EXPECT_EQ(kernel.served_requests(), 2u);
+
+  auto r1 = kernel.responses().Pop();
+  auto r2 = kernel.responses().Pop();
+  ASSERT_TRUE(r1.has_value() && r2.has_value());
+  EXPECT_TRUE(r1->status.ok());
+  EXPECT_EQ(r2->tag, 2u);
+  EXPECT_EQ(r2->data, Bytes(512, 0x5A));
+}
+
+TEST(IoDriverKernelTest, ErrorsAreReportedInResponses) {
+  blockdev::MemBlockDevice device(512, 4);
+  IoDriverKernel kernel("nvme0", &device);
+  BlockRequest bad;
+  bad.kind = BlockRequest::Kind::kRead;
+  bad.block = 99;  // out of range
+  bad.tag = 7;
+  ASSERT_TRUE(kernel.requests().Push(std::move(bad)).ok());
+  kernel.Run(10);
+  auto response = kernel.responses().Pop();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status.code(), StatusCode::kOutOfRange);
+}
+
+TEST(MachineTest, ProportionalSharing) {
+  Machine machine;
+  auto* big = static_cast<JobQueueKernel*>(machine.AddKernel(
+      std::make_unique<JobQueueKernel>("big", KernelKind::kRgpd), 3));
+  auto* small = static_cast<JobQueueKernel*>(machine.AddKernel(
+      std::make_unique<JobQueueKernel>("small", KernelKind::kGeneralPurpose),
+      1));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(big->Submit({1, nullptr}).ok());
+    ASSERT_TRUE(small->Submit({1, nullptr}).ok());
+  }
+  machine.Tick(100);
+  // 3:1 split of the 100-unit budget.
+  EXPECT_EQ(big->units_consumed(), 75u);
+  EXPECT_EQ(small->units_consumed(), 25u);
+}
+
+TEST(MachineTest, WorkConservingSlackRedistribution) {
+  Machine machine;
+  auto* idle = static_cast<JobQueueKernel*>(machine.AddKernel(
+      std::make_unique<JobQueueKernel>("idle", KernelKind::kGeneralPurpose),
+      1));
+  auto* busy = static_cast<JobQueueKernel*>(machine.AddKernel(
+      std::make_unique<JobQueueKernel>("busy", KernelKind::kRgpd), 1));
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(busy->Submit({1, nullptr}).ok());
+  machine.Tick(100);
+  // The idle kernel's 50 units flow to the busy one.
+  EXPECT_EQ(busy->units_consumed(), 100u);
+  EXPECT_EQ(idle->units_consumed(), 0u);
+}
+
+TEST(MachineTest, DynamicRepartitioning) {
+  Machine machine;
+  auto* a = static_cast<JobQueueKernel*>(machine.AddKernel(
+      std::make_unique<JobQueueKernel>("a", KernelKind::kRgpd), 1));
+  auto* b = static_cast<JobQueueKernel*>(machine.AddKernel(
+      std::make_unique<JobQueueKernel>("b", KernelKind::kGeneralPurpose),
+      1));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(a->Submit({1, nullptr}).ok());
+    ASSERT_TRUE(b->Submit({1, nullptr}).ok());
+  }
+  machine.Tick(100);
+  EXPECT_EQ(a->units_consumed(), 50u);
+  ASSERT_TRUE(machine.Repartition("a", 4).ok());
+  machine.Tick(100);
+  EXPECT_EQ(a->units_consumed(), 50u + 80u);
+  EXPECT_EQ(b->units_consumed(), 50u + 20u);
+  EXPECT_EQ(machine.Repartition("nope", 1).code(), StatusCode::kNotFound);
+}
+
+TEST(MachineTest, MemoryQuotasFollowShares) {
+  Machine machine(1000);
+  auto* a = machine.AddKernel(
+      std::make_unique<JobQueueKernel>("a", KernelKind::kRgpd), 3);
+  auto* b = machine.AddKernel(
+      std::make_unique<JobQueueKernel>("b", KernelKind::kGeneralPurpose), 1);
+  EXPECT_EQ(a->memory_quota(), 750u);
+  EXPECT_EQ(b->memory_quota(), 250u);
+  ASSERT_TRUE(machine.Repartition("a", 1).ok());
+  EXPECT_EQ(a->memory_quota(), 500u);
+  EXPECT_EQ(b->memory_quota(), 500u);
+}
+
+TEST(MachineTest, FindByName) {
+  Machine machine;
+  machine.AddKernel(
+      std::make_unique<JobQueueKernel>("rgpd", KernelKind::kRgpd), 1);
+  EXPECT_NE(machine.Find("rgpd"), nullptr);
+  EXPECT_EQ(machine.Find("rgpd")->kind(), KernelKind::kRgpd);
+  EXPECT_EQ(machine.Find("nope"), nullptr);
+  EXPECT_EQ(machine.kernel_count(), 1u);
+}
+
+TEST(MachineTest, PurposeKernelTopologyEndToEnd) {
+  // The paper's full topology: IO driver kernels + general purpose +
+  // rgpd, with PD traffic flowing only through the IO kernels.
+  blockdev::MemBlockDevice pd_device(512, 64);
+  Machine machine(1 << 20);
+  auto* io = static_cast<IoDriverKernel*>(machine.AddKernel(
+      std::make_unique<IoDriverKernel>("io.nvme", &pd_device), 1));
+  auto* npd = static_cast<JobQueueKernel*>(machine.AddKernel(
+      std::make_unique<JobQueueKernel>("general", KernelKind::kGeneralPurpose),
+      1));
+  auto* rgpd = static_cast<JobQueueKernel*>(machine.AddKernel(
+      std::make_unique<JobQueueKernel>("rgpd", KernelKind::kRgpd), 2));
+
+  // rgpd submits a PD block write via the IO kernel's channel.
+  BlockRequest write;
+  write.kind = BlockRequest::Kind::kWrite;
+  write.block = 1;
+  write.data = Bytes(512, 0x7D);
+  write.tag = 42;
+  ASSERT_TRUE(io->requests().Push(std::move(write)).ok());
+  ASSERT_TRUE(rgpd->Submit({5, nullptr}).ok());
+  ASSERT_TRUE(npd->Submit({5, nullptr}).ok());
+
+  for (int tick = 0; tick < 10; ++tick) machine.Tick(10);
+  EXPECT_EQ(io->served_requests(), 1u);
+  EXPECT_EQ(rgpd->completed_jobs(), 1u);
+  EXPECT_EQ(npd->completed_jobs(), 1u);
+  auto response = io->responses().Pop();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->tag, 42u);
+}
+
+}  // namespace
+}  // namespace rgpdos::kernel

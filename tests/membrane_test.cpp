@@ -1,0 +1,112 @@
+// Membrane tests: consent evaluation, TTL expiry, serialization, and the
+// version discipline that backs copy-consistency.
+#include <gtest/gtest.h>
+
+#include "membrane/membrane.hpp"
+
+namespace rgpdos::membrane {
+namespace {
+
+Membrane MakeMembrane() {
+  Membrane m;
+  m.subject_id = 42;
+  m.type_name = "user";
+  m.origin = Origin::kSubject;
+  m.sensitivity = Sensitivity::kHigh;
+  m.created_at = 1000;
+  m.ttl = 500;
+  m.consents["purpose1"] = Consent::All();
+  m.consents["purpose2"] = Consent::None();
+  m.consents["purpose3"] = Consent::ForView("v_ano");
+  m.collection.push_back({"web_form", "user_form.html"});
+  m.copy_group = 7;
+  return m;
+}
+
+TEST(MembraneTest, EvaluateGrantsAll) {
+  const Membrane m = MakeMembrane();
+  auto consent = m.Evaluate("purpose1", 1200);
+  ASSERT_TRUE(consent.ok());
+  EXPECT_EQ(consent->kind, ConsentKind::kAll);
+}
+
+TEST(MembraneTest, EvaluateGrantsView) {
+  const Membrane m = MakeMembrane();
+  auto consent = m.Evaluate("purpose3", 1200);
+  ASSERT_TRUE(consent.ok());
+  EXPECT_EQ(consent->kind, ConsentKind::kView);
+  EXPECT_EQ(consent->view, "v_ano");
+}
+
+TEST(MembraneTest, EvaluateDeniesExplicitNone) {
+  const Membrane m = MakeMembrane();
+  auto consent = m.Evaluate("purpose2", 1200);
+  EXPECT_EQ(consent.status().code(), StatusCode::kConsentDenied);
+}
+
+TEST(MembraneTest, UnknownPurposeIsDeniedByDefault) {
+  const Membrane m = MakeMembrane();
+  EXPECT_EQ(m.Evaluate("marketing", 1200).status().code(),
+            StatusCode::kConsentDenied);
+}
+
+TEST(MembraneTest, TtlExpiryBeatsConsent) {
+  const Membrane m = MakeMembrane();  // expires at 1500
+  EXPECT_FALSE(m.ExpiredAt(1499));
+  EXPECT_TRUE(m.ExpiredAt(1500));
+  EXPECT_EQ(m.Evaluate("purpose1", 1500).status().code(),
+            StatusCode::kExpired);
+}
+
+TEST(MembraneTest, ZeroTtlNeverExpires) {
+  Membrane m = MakeMembrane();
+  m.ttl = 0;
+  EXPECT_FALSE(m.ExpiredAt(std::numeric_limits<TimeMicros>::max() / 2));
+}
+
+TEST(MembraneTest, MutationsBumpVersion) {
+  Membrane m = MakeMembrane();
+  const std::uint64_t v0 = m.version;
+  m.GrantConsent("purpose2", Consent::All());
+  EXPECT_EQ(m.version, v0 + 1);
+  m.RevokeConsent("purpose1");
+  EXPECT_EQ(m.version, v0 + 2);
+  m.SetTtl(9999);
+  EXPECT_EQ(m.version, v0 + 3);
+  EXPECT_EQ(m.consents.at("purpose1").kind, ConsentKind::kNone);
+  EXPECT_EQ(m.consents.at("purpose2").kind, ConsentKind::kAll);
+}
+
+TEST(MembraneTest, RevokeUnknownPurposeStillRecordsDenial) {
+  Membrane m = MakeMembrane();
+  m.RevokeConsent("never_granted");
+  EXPECT_EQ(m.consents.at("never_granted").kind, ConsentKind::kNone);
+}
+
+TEST(MembraneTest, SerializationRoundTrip) {
+  const Membrane m = MakeMembrane();
+  auto decoded = Membrane::Deserialize(m.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, m);
+  EXPECT_EQ(decoded->collection.size(), 1u);
+  EXPECT_EQ(decoded->collection[0].method, "web_form");
+  EXPECT_EQ(decoded->collection[0].target, "user_form.html");
+}
+
+TEST(MembraneTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Membrane::Deserialize(ToBytes("x")).ok());
+  // Corrupt the origin byte past the enum range.
+  Bytes wire = MakeMembrane().Serialize();
+  // origin is right after subject_id (8B) + type_name (varint len + 4).
+  wire[8 + 1 + 4] = 99;
+  EXPECT_FALSE(Membrane::Deserialize(wire).ok());
+}
+
+TEST(MembraneTest, EnumNames) {
+  EXPECT_EQ(OriginName(Origin::kSubject), "subject");
+  EXPECT_EQ(OriginName(Origin::kDerived), "derived");
+  EXPECT_EQ(SensitivityName(Sensitivity::kHigh), "high");
+}
+
+}  // namespace
+}  // namespace rgpdos::membrane

@@ -1,0 +1,149 @@
+// Tests for the §3(3) protection/placement extensions: the DED placement
+// cost model (PIM / PIS) and the SGX-analogue enclave memory.
+#include <gtest/gtest.h>
+
+#include "kernel/placement.hpp"
+#include "sentinel/enclave.hpp"
+
+namespace rgpdos {
+namespace {
+
+using kernel::DedPlacement;
+using kernel::DedWorkload;
+using kernel::PlacementPlanner;
+using kernel::PlacementProfile;
+
+// ---- Placement model ---------------------------------------------------------------
+
+TEST(PlacementTest, HostWinsComputeHeavyWork) {
+  PlacementPlanner planner;
+  DedWorkload heavy_compute;
+  heavy_compute.bytes_in = 1024;             // tiny data
+  heavy_compute.compute_ops = 100'000'000;   // lots of math
+  EXPECT_EQ(planner.Choose(heavy_compute), DedPlacement::kHost);
+}
+
+TEST(PlacementTest, PisWinsScanHeavyWork) {
+  PlacementPlanner planner;
+  DedWorkload scan;
+  scan.bytes_in = 256ull << 20;  // 256 MiB of PD scanned
+  scan.bytes_out = 64;           // one aggregate comes back
+  scan.compute_ops = 1'000'000;  // a light filter per record
+  EXPECT_EQ(planner.Choose(scan), DedPlacement::kPis);
+}
+
+TEST(PlacementTest, PimSitsBetween) {
+  PlacementPlanner planner;
+  // Moderate data with moderate compute: PIM's free memory-to-core hop
+  // beats host, while PIS's slow cores lose on the compute term.
+  DedWorkload mixed;
+  mixed.bytes_in = 64ull << 20;
+  mixed.bytes_out = 1 << 10;
+  mixed.compute_ops = 4'000'000;  // ~0.06 ops/byte: PIM's sweet spot
+  const double host = planner.EstimateNs(DedPlacement::kHost, mixed);
+  const double pim = planner.EstimateNs(DedPlacement::kPim, mixed);
+  EXPECT_LT(pim, host);
+  EXPECT_EQ(planner.Choose(mixed), DedPlacement::kPim);
+}
+
+TEST(PlacementTest, CrossoverMovesWithComputeIntensity) {
+  // Sweep ops-per-byte: the chosen placement must walk PIS -> PIM ->
+  // host monotonically (never back towards the data as compute grows).
+  PlacementPlanner planner;
+  int last_rank = -1;
+  const auto rank = [](DedPlacement p) {
+    switch (p) {
+      case DedPlacement::kPis: return 0;
+      case DedPlacement::kPim: return 1;
+      case DedPlacement::kHost: return 2;
+    }
+    return -1;
+  };
+  for (std::uint64_t ops_per_byte : {0ull, 1ull, 4ull, 16ull, 64ull}) {
+    DedWorkload workload;
+    workload.bytes_in = 8ull << 20;
+    workload.compute_ops = workload.bytes_in * ops_per_byte;
+    const int r = rank(planner.Choose(workload));
+    EXPECT_GE(r, last_rank) << "ops/byte " << ops_per_byte;
+    last_rank = std::max(last_rank, r);
+  }
+  EXPECT_EQ(last_rank, 2);  // ends at host
+}
+
+TEST(PlacementTest, EstimatesAreAdditive) {
+  const PlacementProfile host = PlacementProfile::Host();
+  DedWorkload a{1000, 100, 5000};
+  DedWorkload b{2000, 200, 10000};
+  DedWorkload sum{3000, 300, 15000};
+  EXPECT_DOUBLE_EQ(host.EstimateNs(a) + host.EstimateNs(b),
+                   host.EstimateNs(sum));
+}
+
+TEST(PlacementTest, Names) {
+  EXPECT_EQ(kernel::PlacementName(DedPlacement::kHost), "host");
+  EXPECT_EQ(kernel::PlacementName(DedPlacement::kPim), "pim");
+  EXPECT_EQ(kernel::PlacementName(DedPlacement::kPis), "pis");
+}
+
+// ---- Enclave memory -------------------------------------------------------------------
+
+class EnclaveTest : public ::testing::Test {
+ protected:
+  SimClock clock_{0};
+  sentinel::AuditSink audit_;
+  sentinel::Sentinel sentinel_{sentinel::SecurityPolicy::RgpdDefault(),
+                               &clock_, &audit_};
+};
+
+TEST_F(EnclaveTest, OwnerCanReadAndWrite) {
+  sentinel::EnclaveRegion enclave(sentinel::Domain::kDed, 64, 4, &sentinel_);
+  const auto token = enclave.Mint(sentinel::Domain::kDed);
+  ASSERT_TRUE(enclave.Write(token, 0, ToBytes("pd working set")).ok());
+  auto page = enclave.Read(token, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(ContainsSubsequence(*page, ToBytes("pd working set")));
+}
+
+TEST_F(EnclaveTest, ForeignDomainIsDeniedAndAudited) {
+  sentinel::EnclaveRegion enclave(sentinel::Domain::kDed, 64, 4, &sentinel_);
+  const auto owner = enclave.Mint(sentinel::Domain::kDed);
+  ASSERT_TRUE(enclave.Write(owner, 1, ToBytes("secret")).ok());
+
+  const std::uint64_t denied_before = audit_.denied_count();
+  const auto intruder = enclave.Mint(sentinel::Domain::kApplication);
+  auto read = enclave.Read(intruder, 1);
+  EXPECT_EQ(read.status().code(), StatusCode::kAccessBlocked);
+  EXPECT_EQ(enclave.Write(intruder, 1, ToBytes("x")).code(),
+            StatusCode::kAccessBlocked);
+  EXPECT_EQ(audit_.denied_count(), denied_before + 2);
+}
+
+TEST_F(EnclaveTest, TeardownZeroesPagesAndKillsTokens) {
+  sentinel::EnclaveRegion enclave(sentinel::Domain::kDed, 64, 4, &sentinel_);
+  const auto token = enclave.Mint(sentinel::Domain::kDed);
+  ASSERT_TRUE(enclave.Write(token, 2, ToBytes("ENCLAVE_SECRET")).ok());
+  EXPECT_TRUE(enclave.ContainsPlaintext(ToBytes("ENCLAVE_SECRET")));
+
+  enclave.Teardown();
+  // No residue — the use-after-free read of Fig 2 finds zeros.
+  EXPECT_FALSE(enclave.ContainsPlaintext(ToBytes("ENCLAVE_SECRET")));
+  // The old token is dead even for the rightful owner...
+  auto stale = enclave.Read(token, 2);
+  EXPECT_EQ(stale.status().code(), StatusCode::kAccessBlocked);
+  EXPECT_NE(stale.status().message().find("stale"), std::string::npos);
+  // ...and a fresh token works again.
+  const auto fresh = enclave.Mint(sentinel::Domain::kDed);
+  EXPECT_TRUE(enclave.Read(fresh, 2).ok());
+}
+
+TEST_F(EnclaveTest, BoundsAndSizeChecks) {
+  sentinel::EnclaveRegion enclave(sentinel::Domain::kDed, 16, 2, &sentinel_);
+  const auto token = enclave.Mint(sentinel::Domain::kDed);
+  EXPECT_EQ(enclave.Read(token, 5).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(enclave.Write(token, 0, Bytes(64, 0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rgpdos

@@ -1,0 +1,170 @@
+// Sentinel tests: the deny-by-default policy matrix (the paper's four
+// enforcement restrictions), audit recording, and the seccomp-analogue
+// syscall filter.
+#include <gtest/gtest.h>
+
+#include "sentinel/policy.hpp"
+#include "sentinel/syscall_filter.hpp"
+
+namespace rgpdos::sentinel {
+namespace {
+
+TEST(SecurityPolicyTest, DenyByDefault) {
+  SecurityPolicy policy;
+  EXPECT_FALSE(
+      policy.Check(Domain::kApplication, Domain::kDbfs, Operation::kRead));
+  policy.Allow(Domain::kApplication, Domain::kDbfs, Operation::kRead);
+  EXPECT_TRUE(
+      policy.Check(Domain::kApplication, Domain::kDbfs, Operation::kRead));
+  // Allowing one triple does not allow neighbours.
+  EXPECT_FALSE(
+      policy.Check(Domain::kApplication, Domain::kDbfs, Operation::kWrite));
+  EXPECT_FALSE(
+      policy.Check(Domain::kOutside, Domain::kDbfs, Operation::kRead));
+}
+
+TEST(SecurityPolicyTest, RgpdDefaultImplementsPaperRules) {
+  const SecurityPolicy p = SecurityPolicy::RgpdDefault();
+  // Rule (4): only the DED touches DBFS records.
+  EXPECT_TRUE(p.Check(Domain::kDed, Domain::kDbfs, Operation::kRead));
+  EXPECT_TRUE(p.Check(Domain::kDed, Domain::kDbfs, Operation::kWrite));
+  for (Domain d : {Domain::kOutside, Domain::kApplication,
+                   Domain::kGeneralKernel, Domain::kSysadmin,
+                   Domain::kIoKernel, Domain::kAuthority}) {
+    EXPECT_FALSE(p.Check(d, Domain::kDbfs, Operation::kRead))
+        << DomainName(d);
+    EXPECT_FALSE(p.Check(d, Domain::kDbfs, Operation::kWrite))
+        << DomainName(d);
+  }
+  // Rule (2): applications reach PS only, and only register/invoke.
+  EXPECT_TRUE(p.Check(Domain::kApplication, Domain::kProcessingStore,
+                      Operation::kRegister));
+  EXPECT_TRUE(p.Check(Domain::kApplication, Domain::kProcessingStore,
+                      Operation::kInvoke));
+  EXPECT_FALSE(p.Check(Domain::kApplication, Domain::kProcessingStore,
+                       Operation::kRead));
+  EXPECT_FALSE(
+      p.Check(Domain::kApplication, Domain::kDed, Operation::kInvoke));
+  // Rule (1): PS reads its own registry; nobody else can.
+  EXPECT_TRUE(p.Check(Domain::kProcessingStore, Domain::kProcessingStore,
+                      Operation::kRead));
+  EXPECT_FALSE(p.Check(Domain::kApplication, Domain::kProcessingStore,
+                       Operation::kApprove));
+  // Sysadmin administers the schema tree but cannot read PD.
+  EXPECT_TRUE(
+      p.Check(Domain::kSysadmin, Domain::kDbfs, Operation::kCreate));
+  EXPECT_TRUE(
+      p.Check(Domain::kSysadmin, Domain::kDbfs, Operation::kReadSchema));
+  EXPECT_FALSE(p.Check(Domain::kSysadmin, Domain::kDbfs, Operation::kRead));
+}
+
+TEST(SentinelTest, EnforceAllowsAndDeniesWithAudit) {
+  SimClock clock(500);
+  AuditSink audit;
+  Sentinel sentinel(SecurityPolicy::RgpdDefault(), &clock, &audit);
+
+  AccessRequest ok_request{Domain::kDed, Domain::kDbfs, Operation::kRead,
+                           "record=1"};
+  EXPECT_TRUE(sentinel.Enforce(ok_request).ok());
+
+  AccessRequest bad_request{Domain::kOutside, Domain::kDbfs,
+                            Operation::kRead, "raw device probe"};
+  const Status denied = sentinel.Enforce(bad_request);
+  EXPECT_EQ(denied.code(), StatusCode::kAccessBlocked);
+  EXPECT_NE(denied.message().find("outside"), std::string::npos);
+
+  ASSERT_EQ(audit.entries().size(), 2u);
+  EXPECT_EQ(audit.allowed_count(), 1u);
+  EXPECT_EQ(audit.denied_count(), 1u);
+  EXPECT_EQ(audit.entries()[0].at, 500);
+  EXPECT_TRUE(audit.entries()[0].allowed);
+  EXPECT_FALSE(audit.entries()[1].allowed);
+  EXPECT_EQ(audit.entries()[1].request.detail, "raw device probe");
+}
+
+TEST(AuditSinkTest, QueryFilters) {
+  SimClock clock(0);
+  AuditSink audit;
+  Sentinel sentinel(SecurityPolicy::RgpdDefault(), &clock, &audit);
+  (void)sentinel.Enforce({Domain::kDed, Domain::kDbfs, Operation::kRead, ""});
+  (void)sentinel.Enforce(
+      {Domain::kOutside, Domain::kDbfs, Operation::kRead, ""});
+  (void)sentinel.Enforce(
+      {Domain::kOutside, Domain::kDbfs, Operation::kWrite, ""});
+  const auto denials = audit.Query(
+      [](const AuditEntry& e) { return !e.allowed; });
+  EXPECT_EQ(denials.size(), 2u);
+  audit.Clear();
+  EXPECT_TRUE(audit.entries().empty());
+  EXPECT_EQ(audit.denied_count(), 0u);
+}
+
+// ---- Syscall filter -----------------------------------------------------------------
+
+TEST(SyscallFilterTest, FirstMatchWins) {
+  SyscallFilter filter({{Syscall::kWrite, FilterAction::kAllow},
+                        {Syscall::kWrite, FilterAction::kDeny}},
+                       FilterAction::kDeny);
+  EXPECT_EQ(filter.Evaluate(Syscall::kWrite), FilterAction::kAllow);
+  EXPECT_EQ(filter.Evaluate(Syscall::kRead), FilterAction::kDeny);
+}
+
+TEST(SyscallFilterTest, WildcardRule) {
+  SyscallFilter filter({{std::nullopt, FilterAction::kKill}},
+                       FilterAction::kAllow);
+  EXPECT_EQ(filter.Evaluate(Syscall::kGetTime), FilterAction::kKill);
+}
+
+TEST(SyscallFilterTest, PdProfileBlocksLeakingSyscalls) {
+  const SyscallFilter filter = SyscallFilter::PdProcessingProfile();
+  EXPECT_EQ(filter.Evaluate(Syscall::kWrite), FilterAction::kDeny);
+  EXPECT_EQ(filter.Evaluate(Syscall::kSend), FilterAction::kDeny);
+  EXPECT_EQ(filter.Evaluate(Syscall::kSocket), FilterAction::kDeny);
+  EXPECT_EQ(filter.Evaluate(Syscall::kOpen), FilterAction::kDeny);
+  EXPECT_EQ(filter.Evaluate(Syscall::kExec), FilterAction::kKill);
+  EXPECT_EQ(filter.Evaluate(Syscall::kFork), FilterAction::kKill);
+  EXPECT_EQ(filter.Evaluate(Syscall::kGetTime), FilterAction::kAllow);
+  EXPECT_EQ(filter.Evaluate(Syscall::kAlloc), FilterAction::kAllow);
+}
+
+TEST(SyscallContextTest, DeniedWriteLeaksNothing) {
+  SyscallContext ctx(SyscallFilter::PdProcessingProfile(), 123);
+  const Status status = ctx.Write(ToBytes("pd bytes escaping"));
+  EXPECT_EQ(status.code(), StatusCode::kSyscallDenied);
+  EXPECT_TRUE(ctx.leaked().empty());
+  EXPECT_EQ(ctx.denied_calls(), 1u);
+  EXPECT_FALSE(ctx.killed());
+  // Allowed calls still work.
+  auto time = ctx.GetTime();
+  ASSERT_TRUE(time.ok());
+  EXPECT_EQ(*time, 123);
+  EXPECT_EQ(ctx.allowed_calls(), 1u);
+}
+
+TEST(SyscallContextTest, KillIsSticky) {
+  SyscallContext ctx(SyscallFilter::PdProcessingProfile(), 0);
+  EXPECT_EQ(ctx.Exec("/bin/sh").code(), StatusCode::kSyscallDenied);
+  EXPECT_TRUE(ctx.killed());
+  // After a kill, even previously allowed syscalls fail.
+  EXPECT_FALSE(ctx.GetTime().ok());
+  EXPECT_FALSE(ctx.Alloc(10).ok());
+  EXPECT_TRUE(ctx.leaked().empty());
+}
+
+TEST(SyscallContextTest, AllowAllRecordsLeaks) {
+  // The ablation profile shows exactly what WOULD leak without seccomp.
+  SyscallContext ctx(SyscallFilter::AllowAll(), 0);
+  EXPECT_TRUE(ctx.Write(ToBytes("pd!")).ok());
+  EXPECT_TRUE(ctx.Send(ToBytes("more")).ok());
+  EXPECT_EQ(ToString(ctx.leaked()), "pd!more");
+}
+
+TEST(SyscallTest, NamesAreStable) {
+  EXPECT_EQ(SyscallName(Syscall::kWrite), "write");
+  EXPECT_EQ(SyscallName(Syscall::kExec), "exec");
+  EXPECT_EQ(OperationName(Operation::kErase), "erase");
+  EXPECT_EQ(DomainName(Domain::kProcessingStore), "processing_store");
+}
+
+}  // namespace
+}  // namespace rgpdos::sentinel

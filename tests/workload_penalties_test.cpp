@@ -1,0 +1,148 @@
+// Workload-generator and penalty-dataset tests.
+#include <gtest/gtest.h>
+
+#include "dsl/parser.hpp"
+#include "penalties/penalties.hpp"
+#include "workload/workload.hpp"
+
+namespace rgpdos {
+namespace {
+
+dsl::TypeDecl UserDecl() {
+  auto decl = dsl::ParseType(R"(
+type user {
+  fields { name: string, pwd: string, year_of_birthdate: int };
+  consent { purpose1: all };
+  origin: subject;
+  sensitivity: high;
+}
+)");
+  EXPECT_TRUE(decl.ok());
+  return *decl;
+}
+
+TEST(WorkloadTest, PopulationConformsToSchema) {
+  const dsl::TypeDecl decl = UserDecl();
+  Rng rng(5);
+  const auto population = workload::GeneratePopulation(decl, 100, rng);
+  ASSERT_EQ(population.size(), 100u);
+  const db::Schema schema = decl.ToSchema();
+  for (const auto& record : population) {
+    EXPECT_TRUE(schema.ValidateRow(record.row).ok());
+  }
+  // Subject ids are 1-based and sequential.
+  EXPECT_EQ(population.front().subject_id, 1u);
+  EXPECT_EQ(population.back().subject_id, 100u);
+}
+
+TEST(WorkloadTest, GenerationIsDeterministicPerSeed) {
+  const dsl::TypeDecl decl = UserDecl();
+  Rng a(5), b(5), c(6);
+  const auto p1 = workload::GeneratePopulation(decl, 10, a);
+  const auto p2 = workload::GeneratePopulation(decl, 10, b);
+  const auto p3 = workload::GeneratePopulation(decl, 10, c);
+  EXPECT_EQ(p1[3].row, p2[3].row);
+  EXPECT_NE(p1[3].row, p3[3].row);
+}
+
+TEST(WorkloadTest, MarkedPopulationEmbedsSubjectMarkers) {
+  const dsl::TypeDecl decl = UserDecl();
+  Rng rng(5);
+  const auto population = workload::GenerateMarkedPopulation(decl, 5, rng);
+  for (const auto& record : population) {
+    const std::string marker = workload::SubjectMarker(record.subject_id);
+    const std::string name = *record.row[0].AsString();
+    EXPECT_NE(name.find(marker), std::string::npos);
+  }
+  // Markers are unique per subject.
+  EXPECT_NE(workload::SubjectMarker(1), workload::SubjectMarker(2));
+}
+
+TEST(WorkloadTest, OpMixSamplesRoughlyMatchWeights) {
+  const workload::OpMix mix = workload::OpMix::Controller();
+  Rng rng(9);
+  std::map<workload::GdprOp, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[mix.Sample(rng)];
+  // 45% reads +- 1%.
+  EXPECT_NEAR(double(counts[workload::GdprOp::kReadRecord]) / n, 0.45, 0.01);
+  EXPECT_NEAR(double(counts[workload::GdprOp::kCreateRecord]) / n, 0.25,
+              0.01);
+  // Rights ops are rare but present.
+  EXPECT_GT(counts[workload::GdprOp::kRightOfAccess], 0);
+}
+
+TEST(WorkloadTest, RoleMixesHaveDistinctCharacter) {
+  Rng rng(1);
+  const workload::OpMix customer = workload::OpMix::Customer();
+  const workload::OpMix regulator = workload::OpMix::Regulator();
+  for (int i = 0; i < 100; ++i) {
+    const workload::GdprOp op = regulator.Sample(rng);
+    EXPECT_TRUE(op == workload::GdprOp::kAuditSubject ||
+                op == workload::GdprOp::kAuditPurpose);
+  }
+  // Customer mix never emits controller CRUD.
+  for (int i = 0; i < 100; ++i) {
+    const workload::GdprOp op = customer.Sample(rng);
+    EXPECT_NE(op, workload::GdprOp::kCreateRecord);
+    EXPECT_NE(op, workload::GdprOp::kReadRecord);
+  }
+}
+
+TEST(WorkloadTest, OpNamesAreStable) {
+  EXPECT_EQ(workload::GdprOpName(workload::GdprOp::kRightToErasure),
+            "erasure");
+  EXPECT_EQ(workload::GdprOpName(workload::GdprOp::kAuditPurpose),
+            "audit_purpose");
+}
+
+// ---- Penalties (Fig 1) --------------------------------------------------------------
+
+TEST(PenaltiesTest, DatasetIsPlausible) {
+  const auto& fines = penalties::Dataset();
+  EXPECT_GE(fines.size(), 35u);
+  for (const auto& fine : fines) {
+    EXPECT_GE(fine.year, 2018);
+    EXPECT_LE(fine.year, 2022);
+    EXPECT_GT(fine.amount_eur, 0);
+    EXPECT_FALSE(fine.sector.empty());
+    EXPECT_FALSE(fine.entity.empty());
+  }
+}
+
+TEST(PenaltiesTest, TotalsByYearMatchFig1Shape) {
+  const auto totals = penalties::TotalsByYear();
+  // Fig 1 left: totals grow every year up to the 2021 peak of ~1.2B.
+  ASSERT_TRUE(totals.count(2018) && totals.count(2019) &&
+              totals.count(2020) && totals.count(2021));
+  EXPECT_LT(totals.at(2018), totals.at(2019));
+  EXPECT_LT(totals.at(2019), totals.at(2020));
+  EXPECT_LT(totals.at(2020), totals.at(2021));
+  EXPECT_GT(totals.at(2021), 1.0e9);
+  EXPECT_LT(totals.at(2021), 1.5e9);
+}
+
+TEST(PenaltiesTest, TopSectors) {
+  const auto by_amount = penalties::TopSectorsByAmount(5);
+  ASSERT_EQ(by_amount.size(), 5u);
+  // Internet platforms dominate by amount (Amazon, WhatsApp, Google...).
+  EXPECT_EQ(by_amount[0].first, "internet");
+  // Descending order.
+  for (std::size_t i = 1; i < by_amount.size(); ++i) {
+    EXPECT_GE(by_amount[i - 1].second, by_amount[i].second);
+  }
+  const auto by_count = penalties::TopSectorsByCount(3);
+  ASSERT_EQ(by_count.size(), 3u);
+  for (std::size_t i = 1; i < by_count.size(); ++i) {
+    EXPECT_GE(by_count[i - 1].second, by_count[i].second);
+  }
+}
+
+TEST(PenaltiesTest, RequestingMoreSectorsThanExistIsClamped) {
+  const auto all = penalties::TopSectorsByAmount(1000);
+  EXPECT_LT(all.size(), 1000u);
+  EXPECT_GT(all.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rgpdos
