@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anonymize.dir/bench_anonymize.cpp.o"
+  "CMakeFiles/bench_anonymize.dir/bench_anonymize.cpp.o.d"
+  "bench_anonymize"
+  "bench_anonymize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consent_filter.dir/bench_consent_filter.cpp.o"
+  "CMakeFiles/bench_consent_filter.dir/bench_consent_filter.cpp.o.d"
+  "bench_consent_filter"
+  "bench_consent_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consent_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

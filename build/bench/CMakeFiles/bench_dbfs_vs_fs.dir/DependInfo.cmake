@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dbfs_vs_fs.cpp" "bench/CMakeFiles/bench_dbfs_vs_fs.dir/bench_dbfs_vs_fs.cpp.o" "gcc" "bench/CMakeFiles/bench_dbfs_vs_fs.dir/bench_dbfs_vs_fs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rgpd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rgpd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rgpd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/penalties/CMakeFiles/rgpd_penalties.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/rgpd_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rgpd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbfs/CMakeFiles/rgpd_dbfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentinel/CMakeFiles/rgpd_sentinel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/rgpd_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/rgpd_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/inodefs/CMakeFiles/rgpd_inodefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/membrane/CMakeFiles/rgpd_membrane.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/rgpd_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rgpd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dbfs_vs_fs.dir/bench_dbfs_vs_fs.cpp.o"
+  "CMakeFiles/bench_dbfs_vs_fs.dir/bench_dbfs_vs_fs.cpp.o.d"
+  "bench_dbfs_vs_fs"
+  "bench_dbfs_vs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbfs_vs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

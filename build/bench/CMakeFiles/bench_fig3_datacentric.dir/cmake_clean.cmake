@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_datacentric.dir/bench_fig3_datacentric.cpp.o"
+  "CMakeFiles/bench_fig3_datacentric.dir/bench_fig3_datacentric.cpp.o.d"
+  "bench_fig3_datacentric"
+  "bench_fig3_datacentric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_datacentric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gdprbench_mix.dir/bench_gdprbench_mix.cpp.o"
+  "CMakeFiles/bench_gdprbench_mix.dir/bench_gdprbench_mix.cpp.o.d"
+  "bench_gdprbench_mix"
+  "bench_gdprbench_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gdprbench_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

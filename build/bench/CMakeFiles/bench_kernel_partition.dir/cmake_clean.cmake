@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_partition.dir/bench_kernel_partition.cpp.o"
+  "CMakeFiles/bench_kernel_partition.dir/bench_kernel_partition.cpp.o.d"
+  "bench_kernel_partition"
+  "bench_kernel_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

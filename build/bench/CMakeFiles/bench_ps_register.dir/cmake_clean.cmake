@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ps_register.dir/bench_ps_register.cpp.o"
+  "CMakeFiles/bench_ps_register.dir/bench_ps_register.cpp.o.d"
+  "bench_ps_register"
+  "bench_ps_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ps_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

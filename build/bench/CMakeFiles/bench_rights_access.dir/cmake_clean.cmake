@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rights_access.dir/bench_rights_access.cpp.o"
+  "CMakeFiles/bench_rights_access.dir/bench_rights_access.cpp.o.d"
+  "bench_rights_access"
+  "bench_rights_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rights_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rights_erasure.dir/bench_rights_erasure.cpp.o"
+  "CMakeFiles/bench_rights_erasure.dir/bench_rights_erasure.cpp.o.d"
+  "bench_rights_erasure"
+  "bench_rights_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rights_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

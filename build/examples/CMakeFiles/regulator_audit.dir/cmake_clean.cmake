@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regulator_audit.dir/regulator_audit.cpp.o"
+  "CMakeFiles/regulator_audit.dir/regulator_audit.cpp.o.d"
+  "regulator_audit"
+  "regulator_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regulator_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpdctl.dir/rgpdctl.cpp.o"
+  "CMakeFiles/rgpdctl.dir/rgpdctl.cpp.o.d"
+  "rgpdctl"
+  "rgpdctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpdctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

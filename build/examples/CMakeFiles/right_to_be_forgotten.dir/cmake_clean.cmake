@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/right_to_be_forgotten.dir/right_to_be_forgotten.cpp.o"
+  "CMakeFiles/right_to_be_forgotten.dir/right_to_be_forgotten.cpp.o.d"
+  "right_to_be_forgotten"
+  "right_to_be_forgotten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/right_to_be_forgotten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

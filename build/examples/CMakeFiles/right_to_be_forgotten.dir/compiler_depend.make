@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for right_to_be_forgotten.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for right_to_be_forgotten.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("blockdev")
+subdirs("inodefs")
+subdirs("db")
+subdirs("membrane")
+subdirs("dsl")
+subdirs("sentinel")
+subdirs("kernel")
+subdirs("dbfs")
+subdirs("core")
+subdirs("baseline")
+subdirs("workload")
+subdirs("penalties")

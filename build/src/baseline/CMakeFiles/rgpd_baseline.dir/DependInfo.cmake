@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baseline_engine.cpp" "src/baseline/CMakeFiles/rgpd_baseline.dir/baseline_engine.cpp.o" "gcc" "src/baseline/CMakeFiles/rgpd_baseline.dir/baseline_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rgpd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/rgpd_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/rgpd_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/inodefs/CMakeFiles/rgpd_inodefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/rgpd_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/membrane/CMakeFiles/rgpd_membrane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_baseline.dir/baseline_engine.cpp.o"
+  "CMakeFiles/rgpd_baseline.dir/baseline_engine.cpp.o.d"
+  "librgpd_baseline.a"
+  "librgpd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

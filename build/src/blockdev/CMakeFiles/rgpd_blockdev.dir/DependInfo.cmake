@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockdev/block_device.cpp" "src/blockdev/CMakeFiles/rgpd_blockdev.dir/block_device.cpp.o" "gcc" "src/blockdev/CMakeFiles/rgpd_blockdev.dir/block_device.cpp.o.d"
+  "/root/repo/src/blockdev/file_block_device.cpp" "src/blockdev/CMakeFiles/rgpd_blockdev.dir/file_block_device.cpp.o" "gcc" "src/blockdev/CMakeFiles/rgpd_blockdev.dir/file_block_device.cpp.o.d"
+  "/root/repo/src/blockdev/latency_model.cpp" "src/blockdev/CMakeFiles/rgpd_blockdev.dir/latency_model.cpp.o" "gcc" "src/blockdev/CMakeFiles/rgpd_blockdev.dir/latency_model.cpp.o.d"
+  "/root/repo/src/blockdev/traffic_recorder.cpp" "src/blockdev/CMakeFiles/rgpd_blockdev.dir/traffic_recorder.cpp.o" "gcc" "src/blockdev/CMakeFiles/rgpd_blockdev.dir/traffic_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rgpd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_blockdev.dir/block_device.cpp.o"
+  "CMakeFiles/rgpd_blockdev.dir/block_device.cpp.o.d"
+  "CMakeFiles/rgpd_blockdev.dir/file_block_device.cpp.o"
+  "CMakeFiles/rgpd_blockdev.dir/file_block_device.cpp.o.d"
+  "CMakeFiles/rgpd_blockdev.dir/latency_model.cpp.o"
+  "CMakeFiles/rgpd_blockdev.dir/latency_model.cpp.o.d"
+  "CMakeFiles/rgpd_blockdev.dir/traffic_recorder.cpp.o"
+  "CMakeFiles/rgpd_blockdev.dir/traffic_recorder.cpp.o.d"
+  "librgpd_blockdev.a"
+  "librgpd_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_common.dir/bytes.cpp.o"
+  "CMakeFiles/rgpd_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/rgpd_common.dir/clock.cpp.o"
+  "CMakeFiles/rgpd_common.dir/clock.cpp.o.d"
+  "CMakeFiles/rgpd_common.dir/crc32.cpp.o"
+  "CMakeFiles/rgpd_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/rgpd_common.dir/hex.cpp.o"
+  "CMakeFiles/rgpd_common.dir/hex.cpp.o.d"
+  "CMakeFiles/rgpd_common.dir/log.cpp.o"
+  "CMakeFiles/rgpd_common.dir/log.cpp.o.d"
+  "CMakeFiles/rgpd_common.dir/rng.cpp.o"
+  "CMakeFiles/rgpd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rgpd_common.dir/status.cpp.o"
+  "CMakeFiles/rgpd_common.dir/status.cpp.o.d"
+  "librgpd_common.a"
+  "librgpd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

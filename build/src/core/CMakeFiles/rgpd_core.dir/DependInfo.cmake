@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymize.cpp" "src/core/CMakeFiles/rgpd_core.dir/anonymize.cpp.o" "gcc" "src/core/CMakeFiles/rgpd_core.dir/anonymize.cpp.o.d"
+  "/root/repo/src/core/authority.cpp" "src/core/CMakeFiles/rgpd_core.dir/authority.cpp.o" "gcc" "src/core/CMakeFiles/rgpd_core.dir/authority.cpp.o.d"
+  "/root/repo/src/core/builtins.cpp" "src/core/CMakeFiles/rgpd_core.dir/builtins.cpp.o" "gcc" "src/core/CMakeFiles/rgpd_core.dir/builtins.cpp.o.d"
+  "/root/repo/src/core/ded.cpp" "src/core/CMakeFiles/rgpd_core.dir/ded.cpp.o" "gcc" "src/core/CMakeFiles/rgpd_core.dir/ded.cpp.o.d"
+  "/root/repo/src/core/processing_log.cpp" "src/core/CMakeFiles/rgpd_core.dir/processing_log.cpp.o" "gcc" "src/core/CMakeFiles/rgpd_core.dir/processing_log.cpp.o.d"
+  "/root/repo/src/core/processing_store.cpp" "src/core/CMakeFiles/rgpd_core.dir/processing_store.cpp.o" "gcc" "src/core/CMakeFiles/rgpd_core.dir/processing_store.cpp.o.d"
+  "/root/repo/src/core/receipts.cpp" "src/core/CMakeFiles/rgpd_core.dir/receipts.cpp.o" "gcc" "src/core/CMakeFiles/rgpd_core.dir/receipts.cpp.o.d"
+  "/root/repo/src/core/rgpdos.cpp" "src/core/CMakeFiles/rgpd_core.dir/rgpdos.cpp.o" "gcc" "src/core/CMakeFiles/rgpd_core.dir/rgpdos.cpp.o.d"
+  "/root/repo/src/core/rights.cpp" "src/core/CMakeFiles/rgpd_core.dir/rights.cpp.o" "gcc" "src/core/CMakeFiles/rgpd_core.dir/rights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rgpd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rgpd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/rgpd_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/inodefs/CMakeFiles/rgpd_inodefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/rgpd_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/membrane/CMakeFiles/rgpd_membrane.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/rgpd_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentinel/CMakeFiles/rgpd_sentinel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbfs/CMakeFiles/rgpd_dbfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_core.dir/anonymize.cpp.o"
+  "CMakeFiles/rgpd_core.dir/anonymize.cpp.o.d"
+  "CMakeFiles/rgpd_core.dir/authority.cpp.o"
+  "CMakeFiles/rgpd_core.dir/authority.cpp.o.d"
+  "CMakeFiles/rgpd_core.dir/builtins.cpp.o"
+  "CMakeFiles/rgpd_core.dir/builtins.cpp.o.d"
+  "CMakeFiles/rgpd_core.dir/ded.cpp.o"
+  "CMakeFiles/rgpd_core.dir/ded.cpp.o.d"
+  "CMakeFiles/rgpd_core.dir/processing_log.cpp.o"
+  "CMakeFiles/rgpd_core.dir/processing_log.cpp.o.d"
+  "CMakeFiles/rgpd_core.dir/processing_store.cpp.o"
+  "CMakeFiles/rgpd_core.dir/processing_store.cpp.o.d"
+  "CMakeFiles/rgpd_core.dir/receipts.cpp.o"
+  "CMakeFiles/rgpd_core.dir/receipts.cpp.o.d"
+  "CMakeFiles/rgpd_core.dir/rgpdos.cpp.o"
+  "CMakeFiles/rgpd_core.dir/rgpdos.cpp.o.d"
+  "CMakeFiles/rgpd_core.dir/rights.cpp.o"
+  "CMakeFiles/rgpd_core.dir/rights.cpp.o.d"
+  "librgpd_core.a"
+  "librgpd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

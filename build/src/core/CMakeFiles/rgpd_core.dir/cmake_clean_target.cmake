@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librgpd_core.a"
+)

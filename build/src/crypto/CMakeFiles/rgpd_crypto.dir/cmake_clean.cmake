@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/rgpd_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/rgpd_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/rgpd_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/rgpd_crypto.dir/envelope.cpp.o"
+  "CMakeFiles/rgpd_crypto.dir/envelope.cpp.o.d"
+  "CMakeFiles/rgpd_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/rgpd_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/rgpd_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/rgpd_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/rgpd_crypto.dir/secure_random.cpp.o"
+  "CMakeFiles/rgpd_crypto.dir/secure_random.cpp.o.d"
+  "CMakeFiles/rgpd_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/rgpd_crypto.dir/sha256.cpp.o.d"
+  "librgpd_crypto.a"
+  "librgpd_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

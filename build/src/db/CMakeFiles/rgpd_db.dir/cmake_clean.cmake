@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_db.dir/catalog.cpp.o"
+  "CMakeFiles/rgpd_db.dir/catalog.cpp.o.d"
+  "CMakeFiles/rgpd_db.dir/schema.cpp.o"
+  "CMakeFiles/rgpd_db.dir/schema.cpp.o.d"
+  "CMakeFiles/rgpd_db.dir/table.cpp.o"
+  "CMakeFiles/rgpd_db.dir/table.cpp.o.d"
+  "CMakeFiles/rgpd_db.dir/value.cpp.o"
+  "CMakeFiles/rgpd_db.dir/value.cpp.o.d"
+  "librgpd_db.a"
+  "librgpd_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

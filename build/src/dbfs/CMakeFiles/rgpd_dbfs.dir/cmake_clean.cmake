@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_dbfs.dir/dbfs.cpp.o"
+  "CMakeFiles/rgpd_dbfs.dir/dbfs.cpp.o.d"
+  "librgpd_dbfs.a"
+  "librgpd_dbfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_dbfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/ast.cpp" "src/dsl/CMakeFiles/rgpd_dsl.dir/ast.cpp.o" "gcc" "src/dsl/CMakeFiles/rgpd_dsl.dir/ast.cpp.o.d"
+  "/root/repo/src/dsl/codec.cpp" "src/dsl/CMakeFiles/rgpd_dsl.dir/codec.cpp.o" "gcc" "src/dsl/CMakeFiles/rgpd_dsl.dir/codec.cpp.o.d"
+  "/root/repo/src/dsl/lexer.cpp" "src/dsl/CMakeFiles/rgpd_dsl.dir/lexer.cpp.o" "gcc" "src/dsl/CMakeFiles/rgpd_dsl.dir/lexer.cpp.o.d"
+  "/root/repo/src/dsl/lint.cpp" "src/dsl/CMakeFiles/rgpd_dsl.dir/lint.cpp.o" "gcc" "src/dsl/CMakeFiles/rgpd_dsl.dir/lint.cpp.o.d"
+  "/root/repo/src/dsl/parser.cpp" "src/dsl/CMakeFiles/rgpd_dsl.dir/parser.cpp.o" "gcc" "src/dsl/CMakeFiles/rgpd_dsl.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rgpd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/rgpd_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/membrane/CMakeFiles/rgpd_membrane.dir/DependInfo.cmake"
+  "/root/repo/build/src/inodefs/CMakeFiles/rgpd_inodefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/rgpd_blockdev.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

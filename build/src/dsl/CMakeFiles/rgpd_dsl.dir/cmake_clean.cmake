@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_dsl.dir/ast.cpp.o"
+  "CMakeFiles/rgpd_dsl.dir/ast.cpp.o.d"
+  "CMakeFiles/rgpd_dsl.dir/codec.cpp.o"
+  "CMakeFiles/rgpd_dsl.dir/codec.cpp.o.d"
+  "CMakeFiles/rgpd_dsl.dir/lexer.cpp.o"
+  "CMakeFiles/rgpd_dsl.dir/lexer.cpp.o.d"
+  "CMakeFiles/rgpd_dsl.dir/lint.cpp.o"
+  "CMakeFiles/rgpd_dsl.dir/lint.cpp.o.d"
+  "CMakeFiles/rgpd_dsl.dir/parser.cpp.o"
+  "CMakeFiles/rgpd_dsl.dir/parser.cpp.o.d"
+  "librgpd_dsl.a"
+  "librgpd_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inodefs/filesystem.cpp" "src/inodefs/CMakeFiles/rgpd_inodefs.dir/filesystem.cpp.o" "gcc" "src/inodefs/CMakeFiles/rgpd_inodefs.dir/filesystem.cpp.o.d"
+  "/root/repo/src/inodefs/format.cpp" "src/inodefs/CMakeFiles/rgpd_inodefs.dir/format.cpp.o" "gcc" "src/inodefs/CMakeFiles/rgpd_inodefs.dir/format.cpp.o.d"
+  "/root/repo/src/inodefs/inode_store.cpp" "src/inodefs/CMakeFiles/rgpd_inodefs.dir/inode_store.cpp.o" "gcc" "src/inodefs/CMakeFiles/rgpd_inodefs.dir/inode_store.cpp.o.d"
+  "/root/repo/src/inodefs/journal.cpp" "src/inodefs/CMakeFiles/rgpd_inodefs.dir/journal.cpp.o" "gcc" "src/inodefs/CMakeFiles/rgpd_inodefs.dir/journal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rgpd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/rgpd_blockdev.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_inodefs.dir/filesystem.cpp.o"
+  "CMakeFiles/rgpd_inodefs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/rgpd_inodefs.dir/format.cpp.o"
+  "CMakeFiles/rgpd_inodefs.dir/format.cpp.o.d"
+  "CMakeFiles/rgpd_inodefs.dir/inode_store.cpp.o"
+  "CMakeFiles/rgpd_inodefs.dir/inode_store.cpp.o.d"
+  "CMakeFiles/rgpd_inodefs.dir/journal.cpp.o"
+  "CMakeFiles/rgpd_inodefs.dir/journal.cpp.o.d"
+  "librgpd_inodefs.a"
+  "librgpd_inodefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_inodefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rgpd_inodefs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/channel.cpp" "src/kernel/CMakeFiles/rgpd_kernel.dir/channel.cpp.o" "gcc" "src/kernel/CMakeFiles/rgpd_kernel.dir/channel.cpp.o.d"
+  "/root/repo/src/kernel/io_driver_kernel.cpp" "src/kernel/CMakeFiles/rgpd_kernel.dir/io_driver_kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/rgpd_kernel.dir/io_driver_kernel.cpp.o.d"
+  "/root/repo/src/kernel/machine.cpp" "src/kernel/CMakeFiles/rgpd_kernel.dir/machine.cpp.o" "gcc" "src/kernel/CMakeFiles/rgpd_kernel.dir/machine.cpp.o.d"
+  "/root/repo/src/kernel/placement.cpp" "src/kernel/CMakeFiles/rgpd_kernel.dir/placement.cpp.o" "gcc" "src/kernel/CMakeFiles/rgpd_kernel.dir/placement.cpp.o.d"
+  "/root/repo/src/kernel/subkernel.cpp" "src/kernel/CMakeFiles/rgpd_kernel.dir/subkernel.cpp.o" "gcc" "src/kernel/CMakeFiles/rgpd_kernel.dir/subkernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rgpd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/rgpd_blockdev.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_kernel.dir/channel.cpp.o"
+  "CMakeFiles/rgpd_kernel.dir/channel.cpp.o.d"
+  "CMakeFiles/rgpd_kernel.dir/io_driver_kernel.cpp.o"
+  "CMakeFiles/rgpd_kernel.dir/io_driver_kernel.cpp.o.d"
+  "CMakeFiles/rgpd_kernel.dir/machine.cpp.o"
+  "CMakeFiles/rgpd_kernel.dir/machine.cpp.o.d"
+  "CMakeFiles/rgpd_kernel.dir/placement.cpp.o"
+  "CMakeFiles/rgpd_kernel.dir/placement.cpp.o.d"
+  "CMakeFiles/rgpd_kernel.dir/subkernel.cpp.o"
+  "CMakeFiles/rgpd_kernel.dir/subkernel.cpp.o.d"
+  "librgpd_kernel.a"
+  "librgpd_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

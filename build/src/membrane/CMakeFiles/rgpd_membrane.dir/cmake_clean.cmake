@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_membrane.dir/membrane.cpp.o"
+  "CMakeFiles/rgpd_membrane.dir/membrane.cpp.o.d"
+  "librgpd_membrane.a"
+  "librgpd_membrane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_membrane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_penalties.dir/penalties.cpp.o"
+  "CMakeFiles/rgpd_penalties.dir/penalties.cpp.o.d"
+  "librgpd_penalties.a"
+  "librgpd_penalties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_penalties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sentinel/audit.cpp" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/audit.cpp.o" "gcc" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/audit.cpp.o.d"
+  "/root/repo/src/sentinel/breach.cpp" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/breach.cpp.o" "gcc" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/breach.cpp.o.d"
+  "/root/repo/src/sentinel/domain.cpp" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/domain.cpp.o" "gcc" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/domain.cpp.o.d"
+  "/root/repo/src/sentinel/enclave.cpp" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/enclave.cpp.o" "gcc" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/enclave.cpp.o.d"
+  "/root/repo/src/sentinel/policy.cpp" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/policy.cpp.o" "gcc" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/policy.cpp.o.d"
+  "/root/repo/src/sentinel/syscall_filter.cpp" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/syscall_filter.cpp.o" "gcc" "src/sentinel/CMakeFiles/rgpd_sentinel.dir/syscall_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rgpd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_sentinel.dir/audit.cpp.o"
+  "CMakeFiles/rgpd_sentinel.dir/audit.cpp.o.d"
+  "CMakeFiles/rgpd_sentinel.dir/breach.cpp.o"
+  "CMakeFiles/rgpd_sentinel.dir/breach.cpp.o.d"
+  "CMakeFiles/rgpd_sentinel.dir/domain.cpp.o"
+  "CMakeFiles/rgpd_sentinel.dir/domain.cpp.o.d"
+  "CMakeFiles/rgpd_sentinel.dir/enclave.cpp.o"
+  "CMakeFiles/rgpd_sentinel.dir/enclave.cpp.o.d"
+  "CMakeFiles/rgpd_sentinel.dir/policy.cpp.o"
+  "CMakeFiles/rgpd_sentinel.dir/policy.cpp.o.d"
+  "CMakeFiles/rgpd_sentinel.dir/syscall_filter.cpp.o"
+  "CMakeFiles/rgpd_sentinel.dir/syscall_filter.cpp.o.d"
+  "librgpd_sentinel.a"
+  "librgpd_sentinel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_sentinel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

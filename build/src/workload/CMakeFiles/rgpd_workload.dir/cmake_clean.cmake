@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgpd_workload.dir/workload.cpp.o"
+  "CMakeFiles/rgpd_workload.dir/workload.cpp.o.d"
+  "librgpd_workload.a"
+  "librgpd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgpd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/anonymize_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/anonymize_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/anonymize_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/blockdev_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/blockdev_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/blockdev_test.cpp.o.d"
+  "/root/repo/tests/breach_report_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/breach_report_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/breach_report_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/crypto_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/crypto_test.cpp.o.d"
+  "/root/repo/tests/db_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/db_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/db_test.cpp.o.d"
+  "/root/repo/tests/dbfs_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/dbfs_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/dbfs_test.cpp.o.d"
+  "/root/repo/tests/dsl_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/dsl_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/dsl_test.cpp.o.d"
+  "/root/repo/tests/enforcement_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/enforcement_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/enforcement_test.cpp.o.d"
+  "/root/repo/tests/filesystem_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/filesystem_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/filesystem_test.cpp.o.d"
+  "/root/repo/tests/inodefs_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/inodefs_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/inodefs_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/kernel_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/kernel_test.cpp.o.d"
+  "/root/repo/tests/membrane_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/membrane_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/membrane_test.cpp.o.d"
+  "/root/repo/tests/placement_enclave_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/placement_enclave_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/placement_enclave_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/sentinel_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/sentinel_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/sentinel_test.cpp.o.d"
+  "/root/repo/tests/workload_penalties_test.cpp" "tests/CMakeFiles/rgpdos_tests.dir/workload_penalties_test.cpp.o" "gcc" "tests/CMakeFiles/rgpdos_tests.dir/workload_penalties_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rgpd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rgpd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rgpd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/penalties/CMakeFiles/rgpd_penalties.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/rgpd_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rgpd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbfs/CMakeFiles/rgpd_dbfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sentinel/CMakeFiles/rgpd_sentinel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/rgpd_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/rgpd_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/inodefs/CMakeFiles/rgpd_inodefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/membrane/CMakeFiles/rgpd_membrane.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/rgpd_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rgpd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
