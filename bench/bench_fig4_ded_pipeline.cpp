@@ -12,6 +12,7 @@ int main() {
               "records", "type2req", "load_mem", "filter", "load_data",
               "execute", "build_mem", "store", "return", "total(us)");
 
+  std::vector<std::pair<std::string, double>> artifact_stats;
   for (std::size_t n : {10u, 100u, 1000u}) {
     bench::RgpdWorld world = bench::MakeRgpdWorld(n);
     const core::ProcessingId processing =
@@ -29,6 +30,11 @@ int main() {
         n, pct(t.type2req_ns), pct(t.load_membrane_ns), pct(t.filter_ns),
         pct(t.load_data_ns), pct(t.execute_ns), pct(t.build_membrane_ns),
         pct(t.store_ns), pct(t.return_ns), bench::NsToUs(t.total_ns()));
+    const std::string prefix = "records_" + std::to_string(n) + ".";
+    artifact_stats.emplace_back(prefix + "total_us",
+                                bench::NsToUs(t.total_ns()));
+    artifact_stats.emplace_back(prefix + "store_pct", pct(t.store_ns));
+    artifact_stats.emplace_back(prefix + "filter_pct", pct(t.filter_ns));
   }
 
   // Same sweep without derived output: the store stage collapses.
@@ -48,5 +54,6 @@ int main() {
   std::printf(
       "\nexpected shape: membrane+data loads dominate read-only runs; "
       "ded_store dominates once derived PD is written (journaled).\n");
+  bench::DumpBenchArtifact("fig4_ded_pipeline", artifact_stats);
   return 0;
 }

@@ -171,6 +171,7 @@ int main() {
               kSubjects, kOpsPerRole);
   std::printf("%-12s %16s %16s %10s\n", "role", "baseline ops/s",
               "rgpdOS ops/s", "ratio");
+  std::vector<std::pair<std::string, double>> artifact_stats;
   for (const workload::OpMix& mix :
        {workload::OpMix::Controller(), workload::OpMix::Customer(),
         workload::OpMix::Regulator()}) {
@@ -178,11 +179,14 @@ int main() {
     const double rgpd_ops = RunRgpd(mix);
     std::printf("%-12s %16.0f %16.0f %9.2fx\n", mix.name().c_str(),
                 baseline_ops, rgpd_ops, rgpd_ops / baseline_ops);
+    artifact_stats.emplace_back(mix.name() + ".baseline_ops_s", baseline_ops);
+    artifact_stats.emplace_back(mix.name() + ".rgpdos_ops_s", rgpd_ops);
   }
   std::printf(
       "\nexpected shape: controller CRUD favours the thin baseline; "
       "customer and regulator roles favour rgpdOS, whose subject tree "
       "and processing log serve rights and audits without full scans — "
       "GDPRbench's central observation.\n");
+  bench::DumpBenchArtifact("gdprbench_mix", artifact_stats);
   return 0;
 }

@@ -3,13 +3,17 @@
 // bench compares like against like.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/baseline_engine.hpp"
 #include "core/rgpdos.hpp"
 #include "dsl/parser.hpp"
+#include "metrics/metrics.hpp"
 #include "workload/workload.hpp"
 
 namespace rgpdos::bench {
@@ -193,5 +197,32 @@ inline BaselineWorld MakeBaselineWorld(std::size_t subjects,
 
 /// Microseconds-per-op pretty printer.
 inline double NsToUs(std::int64_t ns) { return double(ns) / 1000.0; }
+
+/// Write a CI artifact `BENCH_<name>.json` holding the bench's headline
+/// numbers plus a full metrics-registry snapshot, into
+/// $RGPD_BENCH_ARTIFACT_DIR (default: current directory). Benches stay
+/// usable without CI: failures only warn.
+inline void DumpBenchArtifact(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& stats) {
+  const char* dir = std::getenv("RGPD_BENCH_ARTIFACT_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+  path += "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write bench artifact %s\n",
+                 path.c_str());
+    return;
+  }
+  out << "{\"bench\": \"" << metrics::JsonEscape(name) << "\", \"stats\": {";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << '"' << metrics::JsonEscape(stats[i].first)
+        << "\": " << stats[i].second;
+  }
+  out << "}, \"metrics\": "
+      << metrics::MetricsRegistry::Instance().JsonSnapshot() << "}\n";
+  std::fprintf(stderr, "bench artifact written to %s\n", path.c_str());
+}
 
 }  // namespace rgpdos::bench

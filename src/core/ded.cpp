@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "metrics/metrics.hpp"
+#include "metrics/trace.hpp"
+
 namespace rgpdos::core {
 
 namespace {
@@ -77,6 +80,9 @@ Result<InvokeResult> DataExecutionDomain::Execute(
     const std::vector<FieldPredicate>& predicates) {
   InvokeResult result;
   Stopwatch watch;
+  RGPD_METRIC_COUNT("core.ded_execute.count");
+  RGPD_METRIC_SCOPED_LATENCY("core.ded_execute.latency_ns");
+  RGPD_TRACE_SPAN("core", "ded_execute");
   // One durable audit append per pipeline run (group commit), not per
   // record.
   ProcessingLog::BatchScope log_batch(*log_);
@@ -137,10 +143,12 @@ Result<InvokeResult> DataExecutionDomain::Execute(
     auto consent = m.Evaluate(purpose.name, now);
     if (!consent.ok()) {
       ++result.records_filtered_out;
+      RGPD_METRIC_COUNT("core.consent.filtered");
       log_->Append(processing_name, purpose.name, m.subject_id, id,
                    LogOutcome::kFiltered, consent.status().ToString());
       continue;
     }
+    RGPD_METRIC_COUNT("core.consent.approved");
     RGPD_ASSIGN_OR_RETURN(std::set<std::string> scope,
                           EffectiveScope(*input_type, *consent, purpose));
     approved.push_back(Approved{id, std::move(m), std::move(scope)});
@@ -211,6 +219,7 @@ Result<InvokeResult> DataExecutionDomain::Execute(
       return output.status();
     }
     ++result.records_processed;
+    RGPD_METRIC_COUNT("core.records.processed");
     log_->Append(processing_name, purpose.name, a.membrane.subject_id, a.id,
                  LogOutcome::kProcessed);
     if (!output->npd.empty()) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "metrics/metrics.hpp"
+#include "metrics/trace.hpp"
+
 namespace rgpdos::core {
 
 namespace {
@@ -59,6 +62,8 @@ Result<ProcessingId> ProcessingStore::Register(sentinel::Domain caller,
                                                dsl::PurposeDecl purpose,
                                                ProcessingFn fn,
                                                ImplManifest manifest) {
+  RGPD_METRIC_COUNT("core.ps_register.count");
+  RGPD_METRIC_SCOPED_LATENCY("core.ps_register.latency_ns");
   sentinel::AccessRequest request;
   request.subject = caller;
   request.object = kPs;
@@ -82,6 +87,7 @@ Result<ProcessingId> ProcessingStore::Register(sentinel::Domain caller,
 
   if (!mismatch.empty()) {
     // "PS raises an alert that requires an explicit sysadmin approval."
+    RGPD_METRIC_COUNT("core.ps_alerts.count");
     Alert alert;
     alert.id = next_alert_id_++;
     alert.processing = id;
@@ -179,12 +185,18 @@ Status ProcessingStore::RunCollection(const dsl::PurposeDecl& purpose,
 Result<InvokeResult> ProcessingStore::Invoke(sentinel::Domain caller,
                                              ProcessingId id,
                                              const InvokeOptions& options) {
+  RGPD_METRIC_COUNT("core.ps_invoke.count");
+  RGPD_METRIC_SCOPED_LATENCY("core.ps_invoke.latency_ns");
+  RGPD_TRACE_SPAN("core", "ps_invoke");
   sentinel::AccessRequest request;
   request.subject = caller;
   request.object = kPs;
   request.op = sentinel::Operation::kInvoke;
   request.detail = "processing=" + std::to_string(id);
-  RGPD_RETURN_IF_ERROR(sentinel_->Enforce(request));
+  if (Status enforce = sentinel_->Enforce(request); !enforce.ok()) {
+    RGPD_METRIC_COUNT("core.ps_invoke.denied");
+    return enforce;
+  }
 
   const auto it = processings_.find(id);
   if (it == processings_.end()) {
@@ -235,6 +247,7 @@ Result<InvokeResult> ProcessingStore::Invoke(sentinel::Domain caller,
     }
     if (!overreach.empty()) {
       it->second.active = false;
+      RGPD_METRIC_COUNT("core.ps_alerts.count");
       Alert alert;
       alert.id = next_alert_id_++;
       alert.processing = id;

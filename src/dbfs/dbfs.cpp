@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsl/codec.hpp"
+#include "metrics/metrics.hpp"
 
 namespace rgpdos::dbfs {
 
@@ -18,7 +19,11 @@ Status Dbfs::Gate(sentinel::Domain caller, sentinel::Operation op,
   request.object = sentinel::Domain::kDbfs;
   request.op = op;
   request.detail = std::move(detail);
-  return sentinel_->Enforce(request);
+  Status status = sentinel_->Enforce(request);
+  if (!status.ok()) {
+    RGPD_METRIC_COUNT("dbfs.denied.count");
+  }
+  return status;
 }
 
 Result<std::unique_ptr<Dbfs>> Dbfs::Format(
@@ -269,6 +274,8 @@ Result<Dbfs::RecordLoc> Dbfs::Locate(RecordId id) const {
 Result<RecordId> Dbfs::Put(sentinel::Domain caller, SubjectId subject,
                            std::string_view type_name, const db::Row& row,
                            membrane::Membrane membrane) {
+  RGPD_METRIC_COUNT("dbfs.put.count");
+  RGPD_METRIC_SCOPED_LATENCY("dbfs.put.latency_ns");
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kCreate,
                             "put type=" + std::string(type_name)));
   const auto type_it = types_.find(type_name);
@@ -340,6 +347,8 @@ Result<RecordId> Dbfs::Put(sentinel::Domain caller, SubjectId subject,
 }
 
 Result<PdRecord> Dbfs::Get(sentinel::Domain caller, RecordId id) const {
+  RGPD_METRIC_COUNT("dbfs.get.count");
+  RGPD_METRIC_SCOPED_LATENCY("dbfs.get.latency_ns");
   RGPD_RETURN_IF_ERROR(
       Gate(caller, sentinel::Operation::kRead, "record=" + std::to_string(id)));
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
@@ -378,6 +387,8 @@ Result<membrane::Membrane> Dbfs::GetMembrane(sentinel::Domain caller,
 
 Status Dbfs::UpdateRow(sentinel::Domain caller, RecordId id,
                        const db::Row& row) {
+  RGPD_METRIC_COUNT("dbfs.update.count");
+  RGPD_METRIC_SCOPED_LATENCY("dbfs.update.latency_ns");
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kWrite,
                             "record=" + std::to_string(id)));
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
@@ -424,6 +435,8 @@ Status Dbfs::UpdateMembrane(sentinel::Domain caller, RecordId id,
 }
 
 Status Dbfs::HardDelete(sentinel::Domain caller, RecordId id) {
+  RGPD_METRIC_COUNT("dbfs.erase.count");
+  RGPD_METRIC_SCOPED_LATENCY("dbfs.erase.latency_ns");
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kDelete,
                             "record=" + std::to_string(id)));
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
@@ -451,6 +464,8 @@ Status Dbfs::HardDelete(sentinel::Domain caller, RecordId id) {
 
 Status Dbfs::ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
                                  ByteSpan envelope) {
+  RGPD_METRIC_COUNT("dbfs.erase.count");
+  RGPD_METRIC_SCOPED_LATENCY("dbfs.erase.latency_ns");
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kErase,
                             "record=" + std::to_string(id)));
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "metrics/metrics.hpp"
+
 namespace rgpdos::inodefs {
 
 InodeStore::InodeStore(blockdev::BlockDevice* device, Superblock sb,
@@ -111,6 +113,7 @@ Result<Bytes> InodeStore::Txn::ReadBlock(BlockIndex index) {
   auto it = writes_.find(index);
   if (it != writes_.end()) return it->second;
   Bytes out;
+  RGPD_METRIC_COUNT("inodefs.block.reads");
   RGPD_RETURN_IF_ERROR(store_.device_->ReadBlock(index, out));
   return out;
 }
@@ -125,6 +128,9 @@ Status InodeStore::Txn::WriteBlock(BlockIndex index, Bytes data) {
 
 Status InodeStore::Txn::Commit() {
   if (writes_.empty()) return Status::Ok();
+  RGPD_METRIC_COUNT("inodefs.txn.commits");
+  RGPD_METRIC_COUNT_N("inodefs.block.writes", writes_.size());
+  RGPD_METRIC_SCOPED_LATENCY("inodefs.txn.commit_latency_ns");
   if (store_.journal_enabled_) {
     std::vector<std::pair<BlockIndex, Bytes>> log;
     log.reserve(writes_.size());
@@ -431,6 +437,7 @@ Result<Bytes> InodeStore::ReadAt(InodeId id, std::uint64_t offset,
     auto mapped = const_cast<InodeStore*>(this)->MapFileBlock(
         inode, file_block, /*allocate=*/false, txn);
     if (mapped.ok()) {
+      RGPD_METRIC_COUNT("inodefs.block.reads");
       RGPD_RETURN_IF_ERROR(device_->ReadBlock(*mapped, block));
       out.insert(out.end(), block.begin() + in_block,
                  block.begin() + in_block + take);

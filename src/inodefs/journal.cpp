@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/crc32.hpp"
+#include "metrics/metrics.hpp"
 
 namespace rgpdos::inodefs {
 
@@ -61,11 +62,15 @@ Status Journal::WriteRecord(std::uint64_t seq, std::uint8_t kind,
 
 Status Journal::AppendTransaction(
     const std::vector<std::pair<BlockIndex, Bytes>>& writes) {
+  RGPD_METRIC_SCOPED_LATENCY("inodefs.journal.commit_latency_ns");
+  const std::uint64_t before = bytes_logged_;
   const std::uint64_t seq = sb_.journal_seq++;
   for (const auto& [block, data] : writes) {
     RGPD_RETURN_IF_ERROR(WriteRecord(seq, kKindData, block, data));
   }
   RGPD_RETURN_IF_ERROR(WriteRecord(seq, kKindCommit, 0, ByteSpan{}));
+  RGPD_METRIC_COUNT("inodefs.journal.commits");
+  RGPD_METRIC_COUNT_N("inodefs.journal.bytes", bytes_logged_ - before);
   return device_.Flush();
 }
 
@@ -156,6 +161,8 @@ Result<std::vector<ReplayedWrite>> Journal::Replay() {
 }
 
 Status Journal::Scrub() {
+  RGPD_METRIC_COUNT("inodefs.journal.scrubs");
+  RGPD_METRIC_SCOPED_LATENCY("inodefs.journal.scrub_latency_ns");
   const Bytes zero(sb_.block_size, 0);
   for (std::uint64_t i = 0; i < sb_.journal_blocks; ++i) {
     RGPD_RETURN_IF_ERROR(device_.WriteBlock(sb_.journal_start + i, zero));

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "common/status.hpp"
+#include "metrics/metrics.hpp"
 
 namespace rgpdos::kernel {
 
@@ -22,10 +23,12 @@ class Channel {
   /// Enqueue; kResourceExhausted when full (sender must back off).
   Status Push(T message) {
     if (queue_.size() >= capacity_) {
+      RGPD_METRIC_COUNT("kernel.channel.full");
       return ResourceExhausted("channel full");
     }
     queue_.push_back(std::move(message));
     ++total_pushed_;
+    RGPD_METRIC_COUNT("kernel.channel.pushed");
     return Status::Ok();
   }
 

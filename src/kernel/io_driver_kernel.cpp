@@ -1,8 +1,11 @@
 #include "kernel/io_driver_kernel.hpp"
 
+#include "metrics/metrics.hpp"
+
 namespace rgpdos::kernel {
 
 std::uint64_t IoDriverKernel::Run(std::uint64_t budget) {
+  const std::uint64_t served_before = served_;
   std::uint64_t used = 0;
   while (used + cost_per_request_ <= budget) {
     std::optional<BlockRequest> request = requests_.Pop();
@@ -26,6 +29,7 @@ std::uint64_t IoDriverKernel::Run(std::uint64_t budget) {
     used += cost_per_request_;
     ++served_;
   }
+  RGPD_METRIC_COUNT_N("kernel.io.requests", served_ - served_before);
   AccountUnits(used);
   return used;
 }

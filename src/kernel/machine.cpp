@@ -1,5 +1,7 @@
 #include "kernel/machine.hpp"
 
+#include "metrics/metrics.hpp"
+
 namespace rgpdos::kernel {
 
 SubKernel* Machine::AddKernel(std::unique_ptr<SubKernel> kernel,
@@ -33,6 +35,7 @@ void Machine::RecomputeMemoryQuotas() {
 
 void Machine::Tick(std::uint64_t total_units) {
   ++ticks_;
+  RGPD_METRIC_COUNT("kernel.machine.ticks");
   if (entries_.empty() || total_units == 0) return;
 
   std::uint64_t total_share = 0;

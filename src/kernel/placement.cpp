@@ -1,5 +1,7 @@
 #include "kernel/placement.hpp"
 
+#include "metrics/metrics.hpp"
+
 namespace rgpdos::kernel {
 
 std::string_view PlacementName(DedPlacement placement) {
@@ -9,6 +11,20 @@ std::string_view PlacementName(DedPlacement placement) {
     case DedPlacement::kPis: return "pis";
   }
   return "?";
+}
+
+void RecordPlacementChoice(DedPlacement placement) {
+  switch (placement) {
+    case DedPlacement::kHost:
+      RGPD_METRIC_COUNT("kernel.placement.host");
+      break;
+    case DedPlacement::kPim:
+      RGPD_METRIC_COUNT("kernel.placement.pim");
+      break;
+    case DedPlacement::kPis:
+      RGPD_METRIC_COUNT("kernel.placement.pis");
+      break;
+  }
 }
 
 }  // namespace rgpdos::kernel

@@ -30,6 +30,9 @@ enum class DedPlacement : std::uint8_t {
 
 std::string_view PlacementName(DedPlacement placement);
 
+/// Bump the `kernel.placement.<location>` counter for a planner decision.
+void RecordPlacementChoice(DedPlacement placement);
+
 /// One DED invocation's resource demand, as the placement planner sees it.
 struct DedWorkload {
   std::uint64_t bytes_in = 0;     ///< PD loaded (rows + membranes)
@@ -98,6 +101,7 @@ class PlacementPlanner {
         best_ns = ns;
       }
     }
+    RecordPlacementChoice(best);
     return best;
   }
 

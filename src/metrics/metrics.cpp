@@ -1,0 +1,158 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "metrics/trace.hpp"
+
+namespace rgpdos::metrics {
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- Histogram ----------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t index =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow when end()
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<std::uint64_t>& LatencyBucketBoundsNs() {
+  // 256 ns .. ~1.07 s in powers of two (23 bounds + overflow bucket).
+  static const std::vector<std::uint64_t> kBounds = [] {
+    std::vector<std::uint64_t> bounds;
+    for (std::uint64_t b = 256; b <= (1ull << 30); b <<= 1) {
+      bounds.push_back(b);
+    }
+    return bounds;
+  }();
+  return kBounds;
+}
+
+// ---- MetricsRegistry -----------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry() : tracer_(std::make_unique<Tracer>()) {}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked on purpose: instrumented call sites cache references that may
+  // be touched during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(
+    std::string_view name, const std::vector<std::uint64_t>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::LatencyHistogram(std::string_view name) {
+  return GetHistogram(name, LatencyBucketBoundsNs());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      snapshot.counters.emplace_back(name, counter->Value());
+    }
+    snapshot.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      snapshot.gauges.emplace_back(name, gauge->Value());
+    }
+    snapshot.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      HistogramSnapshot h;
+      h.name = name;
+      h.bounds = histogram->bounds();
+      h.buckets.reserve(histogram->bucket_count());
+      for (std::size_t i = 0; i < histogram->bucket_count(); ++i) {
+        h.buckets.push_back(histogram->BucketCount(i));
+      }
+      h.count = histogram->Count();
+      h.sum = histogram->Sum();
+      snapshot.histograms.push_back(std::move(h));
+    }
+  }
+  snapshot.spans = tracer_->Spans();
+  return snapshot;
+}
+
+std::string MetricsRegistry::TextSnapshot() const {
+  return Snapshot().ToText();
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  return Snapshot().ToJson();
+}
+
+void MetricsRegistry::ResetAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, counter] : counters_) counter->Reset();
+    for (auto& [name, gauge] : gauges_) gauge->Reset();
+    for (auto& [name, histogram] : histograms_) histogram->Reset();
+  }
+  tracer_->Clear();
+}
+
+}  // namespace rgpdos::metrics

@@ -1,0 +1,231 @@
+// Observability primitives for the PD enforcement hot path.
+//
+// Every layer the paper's Fig-4 pipeline crosses (PS invoke -> DED ->
+// DBFS -> inode store -> sub-kernel IO) increments counters and records
+// latency histograms here, so benches and CI can see what the membrane
+// actually costs. Three design rules keep the subsystem honest:
+//
+//   1. Thread-safe by construction: counters, gauges and histogram
+//      buckets are relaxed atomics; registration is mutex-protected and
+//      hands out references that stay stable for the process lifetime.
+//   2. Near-zero cost when disabled: every instrumentation macro guards
+//      on a single relaxed atomic load (`metrics::Enabled()`) before it
+//      touches anything else — no locks, no allocation, no clock reads
+//      (bench_metrics_overhead demonstrates this).
+//   3. Exportable: MetricsRegistry::Snapshot() produces a plain struct
+//      with text and JSON renderings (snapshot.hpp); benches dump it as
+//      a BENCH_*.json artifact that CI uploads.
+//
+// Metric names follow `<subsystem>.<metric>[.<unit>]`, e.g.
+// `dbfs.put.latency_ns` or `sentinel.enforce.denied`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/snapshot.hpp"
+
+namespace rgpdos::metrics {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// Process-wide kill switch. The ONLY thing a disabled call site pays is
+/// this relaxed load.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+/// Monotonic nanoseconds (steady clock) for latency measurement.
+[[nodiscard]] std::int64_t MonotonicNanos();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depths, free blocks, ...).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations `v <= bounds[i]`
+/// (first matching bound, Prometheus `le` semantics); one extra overflow
+/// bucket catches `v > bounds.back()`. Observation is lock-free: one
+/// binary search over immutable bounds plus three relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void Observe(std::uint64_t value);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t BucketCount(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t bucket_count() const { return bounds_.size() + 1; }
+  [[nodiscard]] std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t Sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::vector<std::uint64_t> bounds_;  // sorted, strictly increasing
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// The default latency bucket ladder: powers of two from 256 ns to ~1 s.
+[[nodiscard]] const std::vector<std::uint64_t>& LatencyBucketBoundsNs();
+
+class Tracer;
+
+/// Process-wide registry. Handing out `Counter&` / `Histogram&` is the
+/// slow path (mutex + map lookup); call sites cache the reference in a
+/// function-local static so the hot path is only the atomic operation.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `bounds` is consulted only on first registration of `name`.
+  Histogram& GetHistogram(std::string_view name,
+                          const std::vector<std::uint64_t>& bounds);
+  /// Histogram pre-shaped with LatencyBucketBoundsNs().
+  Histogram& LatencyHistogram(std::string_view name);
+
+  [[nodiscard]] Tracer& tracer() { return *tracer_; }
+
+  /// Consistent-enough snapshot of every registered metric (values are
+  /// read with relaxed loads; cross-metric skew is acceptable).
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+  [[nodiscard]] std::string TextSnapshot() const;
+  [[nodiscard]] std::string JsonSnapshot() const;
+
+  /// Zero every value and drop recorded spans, keeping registrations (and
+  /// the references call sites cached) intact. Test isolation hook.
+  void ResetAll();
+
+ private:
+  MetricsRegistry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::unique_ptr<Tracer> tracer_;
+};
+
+/// RAII latency probe. A null histogram (disabled metrics) skips the
+/// clock reads entirely.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ns_ = MonotonicNanos();
+  }
+  ~ScopedLatencyTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(
+          static_cast<std::uint64_t>(MonotonicNanos() - start_ns_));
+    }
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::int64_t start_ns_ = 0;
+};
+
+#define RGPD_METRICS_CAT_(a, b) a##b
+#define RGPD_METRICS_CAT(a, b) RGPD_METRICS_CAT_(a, b)
+
+/// Bump a named counter by `n`. `name` must be a string literal (the
+/// resolved reference is cached per call site). Disabled cost: one
+/// relaxed atomic load.
+#define RGPD_METRIC_COUNT_N(name, n)                                       \
+  do {                                                                     \
+    if (::rgpdos::metrics::Enabled()) {                                    \
+      static ::rgpdos::metrics::Counter& rgpd_metric_counter =             \
+          ::rgpdos::metrics::MetricsRegistry::Instance().GetCounter(name); \
+      rgpd_metric_counter.Inc(n);                                          \
+    }                                                                      \
+  } while (false)
+
+#define RGPD_METRIC_COUNT(name) RGPD_METRIC_COUNT_N(name, 1)
+
+/// Record one observation into a named histogram with the default
+/// latency bucket ladder.
+#define RGPD_METRIC_OBSERVE(name, value)                              \
+  do {                                                                \
+    if (::rgpdos::metrics::Enabled()) {                               \
+      static ::rgpdos::metrics::Histogram& rgpd_metric_histogram =    \
+          ::rgpdos::metrics::MetricsRegistry::Instance()              \
+              .LatencyHistogram(name);                                \
+      rgpd_metric_histogram.Observe(                                  \
+          static_cast<std::uint64_t>(value));                         \
+    }                                                                 \
+  } while (false)
+
+/// Time the enclosing scope into a latency histogram. Disabled cost: one
+/// relaxed atomic load (the timer object holds a null histogram and never
+/// reads the clock).
+#define RGPD_METRIC_SCOPED_LATENCY(name)                              \
+  ::rgpdos::metrics::ScopedLatencyTimer RGPD_METRICS_CAT(             \
+      rgpd_scoped_latency_, __LINE__)(                                \
+      ::rgpdos::metrics::Enabled()                                    \
+          ? []() -> ::rgpdos::metrics::Histogram* {                   \
+              static ::rgpdos::metrics::Histogram& rgpd_hist =        \
+                  ::rgpdos::metrics::MetricsRegistry::Instance()      \
+                      .LatencyHistogram(name);                        \
+              return &rgpd_hist;                                      \
+            }()                                                       \
+          : nullptr)
+
+/// Set a named gauge.
+#define RGPD_METRIC_GAUGE_SET(name, value)                               \
+  do {                                                                   \
+    if (::rgpdos::metrics::Enabled()) {                                  \
+      static ::rgpdos::metrics::Gauge& rgpd_metric_gauge =               \
+          ::rgpdos::metrics::MetricsRegistry::Instance().GetGauge(name); \
+      rgpd_metric_gauge.Set(value);                                      \
+    }                                                                    \
+  } while (false)
+
+}  // namespace rgpdos::metrics

@@ -1,0 +1,430 @@
+#include "metrics/snapshot.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace rgpdos::metrics {
+
+// ---- lookup --------------------------------------------------------------------
+
+const std::uint64_t* MetricsSnapshot::FindCounter(
+    std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const std::int64_t* MetricsSnapshot::FindGauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+double HistogramSnapshot::ApproxQuantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * double(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (double(cumulative + in_bucket) >= target) {
+      // Interpolate inside [lower, upper); the overflow bucket has no
+      // upper bound, so report its lower edge.
+      const double lower = i == 0 ? 0.0 : double(bounds[i - 1]);
+      if (i >= bounds.size()) return lower;
+      const double upper = double(bounds[i]);
+      const double fraction =
+          in_bucket == 0 ? 0.0
+                         : (target - double(cumulative)) / double(in_bucket);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : double(bounds.back());
+}
+
+// ---- exporters -----------------------------------------------------------------
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << "counter " << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "gauge " << name << " " << value << "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    out << "histogram " << h.name << " count=" << h.count << " sum=" << h.sum
+        << " p50=" << static_cast<std::uint64_t>(h.ApproxQuantile(0.5))
+        << " p99=" << static_cast<std::uint64_t>(h.ApproxQuantile(0.99))
+        << "\n";
+  }
+  for (const SpanSnapshot& s : spans) {
+    out << "span " << s.component << "." << s.name << " start_us="
+        << s.start_us << " duration_ns=" << s.duration_ns << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(h.name)
+        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << h.bounds[i];
+    }
+    out << "], \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << h.buckets[i];
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"spans\": [";
+  first = true;
+  for (const SpanSnapshot& s : spans) {
+    out << (first ? "" : ",") << "\n    {\"component\": \""
+        << JsonEscape(s.component) << "\", \"name\": \"" << JsonEscape(s.name)
+        << "\", \"start_us\": " << s.start_us
+        << ", \"duration_ns\": " << s.duration_ns << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+// ---- parser --------------------------------------------------------------------
+
+namespace {
+
+// Restricted JSON reader, sufficient for the exporter's own output plus
+// unknown-key tolerance: objects, arrays, strings (with the escapes
+// JsonEscape emits), integers, doubles, true/false/null.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Corruption(std::string("JSON: expected '") + c + "' at offset " +
+                        std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (!Peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Result<std::string> ParseString() {
+    RGPD_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Corruption("JSON: truncated \\u escape");
+            }
+            const unsigned long code = std::strtoul(
+                std::string(text_.substr(pos_, 4)).c_str(), nullptr, 16);
+            pos_ += 4;
+            // Exporter only emits control characters this way.
+            out += static_cast<char>(code & 0x7f);
+            break;
+          }
+          default:
+            return Corruption("JSON: unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Corruption("JSON: unterminated string");
+  }
+
+  Result<std::int64_t> ParseInt() {
+    SkipWs();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Corruption("JSON: expected integer");
+    return static_cast<std::int64_t>(
+        std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
+                     nullptr, 10));
+  }
+
+  Result<std::uint64_t> ParseUint() {
+    SkipWs();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Corruption("JSON: expected unsigned integer");
+    return static_cast<std::uint64_t>(
+        std::strtoull(std::string(text_.substr(start, pos_ - start)).c_str(),
+                      nullptr, 10));
+  }
+
+  /// Skip any well-formed value (unknown-key tolerance).
+  Status SkipValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Corruption("JSON: truncated value");
+    const char c = text_[pos_];
+    if (c == '"') return ParseString().status();
+    if (c == '{') {
+      ++pos_;
+      if (Consume('}')) return Status::Ok();
+      while (true) {
+        RGPD_RETURN_IF_ERROR(ParseString().status());
+        RGPD_RETURN_IF_ERROR(Expect(':'));
+        RGPD_RETURN_IF_ERROR(SkipValue());
+        if (Consume('}')) return Status::Ok();
+        RGPD_RETURN_IF_ERROR(Expect(','));
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      if (Consume(']')) return Status::Ok();
+      while (true) {
+        RGPD_RETURN_IF_ERROR(SkipValue());
+        if (Consume(']')) return Status::Ok();
+        RGPD_RETURN_IF_ERROR(Expect(','));
+      }
+    }
+    // Scalar: number / true / false / null.
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return Status::Ok();
+  }
+
+  Status AtEnd() {
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Corruption("JSON: trailing garbage at offset " +
+                        std::to_string(pos_));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<std::vector<std::uint64_t>> ParseUintArray(JsonCursor& cursor) {
+  RGPD_RETURN_IF_ERROR(cursor.Expect('['));
+  std::vector<std::uint64_t> out;
+  if (cursor.Consume(']')) return out;
+  while (true) {
+    RGPD_ASSIGN_OR_RETURN(std::uint64_t v, cursor.ParseUint());
+    out.push_back(v);
+    if (cursor.Consume(']')) return out;
+    RGPD_RETURN_IF_ERROR(cursor.Expect(','));
+  }
+}
+
+Result<HistogramSnapshot> ParseHistogram(JsonCursor& cursor,
+                                         std::string name) {
+  HistogramSnapshot h;
+  h.name = std::move(name);
+  RGPD_RETURN_IF_ERROR(cursor.Expect('{'));
+  if (cursor.Consume('}')) return h;
+  while (true) {
+    RGPD_ASSIGN_OR_RETURN(std::string key, cursor.ParseString());
+    RGPD_RETURN_IF_ERROR(cursor.Expect(':'));
+    if (key == "count") {
+      RGPD_ASSIGN_OR_RETURN(h.count, cursor.ParseUint());
+    } else if (key == "sum") {
+      RGPD_ASSIGN_OR_RETURN(h.sum, cursor.ParseUint());
+    } else if (key == "bounds") {
+      RGPD_ASSIGN_OR_RETURN(h.bounds, ParseUintArray(cursor));
+    } else if (key == "buckets") {
+      RGPD_ASSIGN_OR_RETURN(h.buckets, ParseUintArray(cursor));
+    } else {
+      RGPD_RETURN_IF_ERROR(cursor.SkipValue());
+    }
+    if (cursor.Consume('}')) return h;
+    RGPD_RETURN_IF_ERROR(cursor.Expect(','));
+  }
+}
+
+Result<SpanSnapshot> ParseSpan(JsonCursor& cursor) {
+  SpanSnapshot span;
+  RGPD_RETURN_IF_ERROR(cursor.Expect('{'));
+  if (cursor.Consume('}')) return span;
+  while (true) {
+    RGPD_ASSIGN_OR_RETURN(std::string key, cursor.ParseString());
+    RGPD_RETURN_IF_ERROR(cursor.Expect(':'));
+    if (key == "component") {
+      RGPD_ASSIGN_OR_RETURN(span.component, cursor.ParseString());
+    } else if (key == "name") {
+      RGPD_ASSIGN_OR_RETURN(span.name, cursor.ParseString());
+    } else if (key == "start_us") {
+      RGPD_ASSIGN_OR_RETURN(span.start_us, cursor.ParseInt());
+    } else if (key == "duration_ns") {
+      RGPD_ASSIGN_OR_RETURN(span.duration_ns, cursor.ParseInt());
+    } else {
+      RGPD_RETURN_IF_ERROR(cursor.SkipValue());
+    }
+    if (cursor.Consume('}')) return span;
+    RGPD_RETURN_IF_ERROR(cursor.Expect(','));
+  }
+}
+
+}  // namespace
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJson(std::string_view json) {
+  MetricsSnapshot snapshot;
+  JsonCursor cursor(json);
+  RGPD_RETURN_IF_ERROR(cursor.Expect('{'));
+  if (cursor.Consume('}')) {
+    RGPD_RETURN_IF_ERROR(cursor.AtEnd());
+    return snapshot;
+  }
+  while (true) {
+    RGPD_ASSIGN_OR_RETURN(std::string section, cursor.ParseString());
+    RGPD_RETURN_IF_ERROR(cursor.Expect(':'));
+    if (section == "counters" || section == "gauges") {
+      RGPD_RETURN_IF_ERROR(cursor.Expect('{'));
+      if (!cursor.Consume('}')) {
+        while (true) {
+          RGPD_ASSIGN_OR_RETURN(std::string name, cursor.ParseString());
+          RGPD_RETURN_IF_ERROR(cursor.Expect(':'));
+          if (section == "counters") {
+            RGPD_ASSIGN_OR_RETURN(std::uint64_t v, cursor.ParseUint());
+            snapshot.counters.emplace_back(std::move(name), v);
+          } else {
+            RGPD_ASSIGN_OR_RETURN(std::int64_t v, cursor.ParseInt());
+            snapshot.gauges.emplace_back(std::move(name), v);
+          }
+          if (cursor.Consume('}')) break;
+          RGPD_RETURN_IF_ERROR(cursor.Expect(','));
+        }
+      }
+    } else if (section == "histograms") {
+      RGPD_RETURN_IF_ERROR(cursor.Expect('{'));
+      if (!cursor.Consume('}')) {
+        while (true) {
+          RGPD_ASSIGN_OR_RETURN(std::string name, cursor.ParseString());
+          RGPD_RETURN_IF_ERROR(cursor.Expect(':'));
+          RGPD_ASSIGN_OR_RETURN(HistogramSnapshot h,
+                                ParseHistogram(cursor, std::move(name)));
+          snapshot.histograms.push_back(std::move(h));
+          if (cursor.Consume('}')) break;
+          RGPD_RETURN_IF_ERROR(cursor.Expect(','));
+        }
+      }
+    } else if (section == "spans") {
+      RGPD_RETURN_IF_ERROR(cursor.Expect('['));
+      if (!cursor.Consume(']')) {
+        while (true) {
+          RGPD_ASSIGN_OR_RETURN(SpanSnapshot span, ParseSpan(cursor));
+          snapshot.spans.push_back(std::move(span));
+          if (cursor.Consume(']')) break;
+          RGPD_RETURN_IF_ERROR(cursor.Expect(','));
+        }
+      }
+    } else {
+      RGPD_RETURN_IF_ERROR(cursor.SkipValue());
+    }
+    if (cursor.Consume('}')) break;
+    RGPD_RETURN_IF_ERROR(cursor.Expect(','));
+  }
+  RGPD_RETURN_IF_ERROR(cursor.AtEnd());
+  return snapshot;
+}
+
+}  // namespace rgpdos::metrics

@@ -1,0 +1,79 @@
+// Point-in-time export of the metrics registry: plain data plus text and
+// JSON renderings. The JSON form is the interchange format of the repo's
+// perf trajectory — benches write it as BENCH_*.json artifacts, CI
+// uploads them, and FromJson() reads them back (round-trip tested), so
+// tooling can diff runs without scraping stdout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace rgpdos::metrics {
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<std::uint64_t> bounds;   ///< upper bucket bounds (le)
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  /// Linear-interpolated quantile estimate (q in [0,1]); 0 when empty.
+  [[nodiscard]] double ApproxQuantile(double q) const;
+  /// Mean observation; 0 when empty.
+  [[nodiscard]] double Mean() const {
+    return count == 0 ? 0.0 : double(sum) / double(count);
+  }
+
+  friend bool operator==(const HistogramSnapshot& a,
+                         const HistogramSnapshot& b) {
+    return a.name == b.name && a.bounds == b.bounds &&
+           a.buckets == b.buckets && a.count == b.count && a.sum == b.sum;
+  }
+};
+
+struct SpanSnapshot {
+  std::string component;
+  std::string name;
+  std::int64_t start_us = 0;     ///< wall-clock micros at span open
+  std::int64_t duration_ns = 0;  ///< steady-clock span duration
+
+  friend bool operator==(const SpanSnapshot& a, const SpanSnapshot& b) {
+    return a.component == b.component && a.name == b.name &&
+           a.start_us == b.start_us && a.duration_ns == b.duration_ns;
+  }
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  std::vector<SpanSnapshot> spans;
+
+  /// Lookup helpers (linear; snapshots are small). Null when absent.
+  [[nodiscard]] const std::uint64_t* FindCounter(std::string_view name) const;
+  [[nodiscard]] const std::int64_t* FindGauge(std::string_view name) const;
+  [[nodiscard]] const HistogramSnapshot* FindHistogram(
+      std::string_view name) const;
+
+  /// One line per metric, stable order — human-oriented.
+  [[nodiscard]] std::string ToText() const;
+  /// Machine-oriented JSON object (see FromJson for the schema).
+  [[nodiscard]] std::string ToJson() const;
+  /// Parse the exporter's own output. Tolerates unknown keys so older
+  /// tooling can read artifacts from newer builds.
+  static Result<MetricsSnapshot> FromJson(std::string_view json);
+
+  friend bool operator==(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+    return a.counters == b.counters && a.gauges == b.gauges &&
+           a.histograms == b.histograms && a.spans == b.spans;
+  }
+};
+
+/// Minimal JSON string escaping for metric/component names.
+[[nodiscard]] std::string JsonEscape(std::string_view s);
+
+}  // namespace rgpdos::metrics

@@ -1,0 +1,75 @@
+#include "metrics/trace.hpp"
+
+#include <chrono>
+
+namespace rgpdos::metrics {
+
+Tracer::Component& Tracer::GetComponent(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    it = components_
+             .emplace(std::string(name),
+                      std::make_unique<Component>(this, std::string(name),
+                                                  default_sample_every_))
+             .first;
+  }
+  return *it->second;
+}
+
+void Tracer::SetSampleEvery(std::string_view component, std::uint32_t every) {
+  GetComponent(component)
+      .sample_every.store(every, std::memory_order_relaxed);
+}
+
+void Tracer::Record(SpanSnapshot span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    next_ = ring_.size() % capacity_;
+  } else {
+    ring_[next_] = std::move(span);
+    next_ = (next_ + 1) % capacity_;
+    wrapped_ = true;
+  }
+}
+
+std::vector<SpanSnapshot> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!wrapped_) return ring_;
+  std::vector<SpanSnapshot> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  for (auto& [name, component] : components_) {
+    component->seq.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t ScopedSpan::WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!sampled_) return;
+  SpanSnapshot span;
+  span.component = component_->component_name;
+  span.name = name_;
+  span.start_us = start_us_;
+  span.duration_ns = MonotonicNanos() - start_ns_;
+  component_->tracer->Record(std::move(span));
+}
+
+}  // namespace rgpdos::metrics

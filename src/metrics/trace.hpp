@@ -1,0 +1,120 @@
+// Scoped-span tracer with per-component sampling.
+//
+// A span is one timed region of the enforcement path (e.g. component
+// "core", name "ded_execute"). Spans are SAMPLED — each component keeps
+// a relaxed atomic sequence counter and records every Nth span — so the
+// tracer can stay on in production-shaped benches without distorting
+// them. Recorded spans land in a bounded ring buffer that the snapshot
+// exporter drains into the JSON artifact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "metrics/snapshot.hpp"
+
+namespace rgpdos::metrics {
+
+class Tracer {
+ public:
+  /// Per-component sampling state. Stable address for the process
+  /// lifetime; call sites cache a pointer in a function-local static.
+  struct Component {
+    Component(Tracer* owner, std::string name, std::uint32_t every)
+        : tracer(owner), component_name(std::move(name)), sample_every(every) {}
+
+    /// True when this occurrence should be recorded (1-in-`sample_every`;
+    /// 0 disables the component). One relaxed fetch_add per sampled-or-not
+    /// span.
+    bool Sample() {
+      const std::uint32_t every =
+          sample_every.load(std::memory_order_relaxed);
+      if (every == 0) return false;
+      return seq.fetch_add(1, std::memory_order_relaxed) % every == 0;
+    }
+
+    Tracer* tracer;
+    const std::string component_name;
+    std::atomic<std::uint32_t> sample_every;
+    std::atomic<std::uint64_t> seq{0};
+  };
+
+  explicit Tracer(std::size_t capacity = 2048,
+                  std::uint32_t default_sample_every = 1)
+      : capacity_(capacity), default_sample_every_(default_sample_every) {}
+
+  /// Registry of per-component state (slow path, mutex-protected).
+  Component& GetComponent(std::string_view name);
+
+  /// Change the sampling period of one component (0 = off).
+  void SetSampleEvery(std::string_view component, std::uint32_t every);
+
+  void Record(SpanSnapshot span);
+
+  /// Recorded spans, oldest first (ring order).
+  [[nodiscard]] std::vector<SpanSnapshot> Spans() const;
+  void Clear();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::uint32_t default_sample_every_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Component>, std::less<>> components_;
+  std::vector<SpanSnapshot> ring_;
+  std::size_t next_ = 0;    // ring write head
+  bool wrapped_ = false;
+};
+
+/// RAII span. Construct through RGPD_TRACE_SPAN; a null component
+/// (metrics disabled) or a negative sampling decision skips the clocks.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer::Component* component, const char* name)
+      : component_(component), name_(name) {
+    if (component_ != nullptr && component_->Sample()) {
+      sampled_ = true;
+      start_ns_ = MonotonicNanos();
+      start_us_ = WallMicros();
+    }
+  }
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Wall-clock microseconds since the Unix epoch.
+  [[nodiscard]] static std::int64_t WallMicros();
+
+ private:
+  Tracer::Component* component_;
+  const char* name_;
+  bool sampled_ = false;
+  std::int64_t start_ns_ = 0;
+  std::int64_t start_us_ = 0;
+};
+
+/// Open a sampled span over the enclosing scope. Both arguments must be
+/// string literals. Disabled cost: one relaxed atomic load.
+#define RGPD_TRACE_SPAN(component, name)                                 \
+  ::rgpdos::metrics::ScopedSpan RGPD_METRICS_CAT(rgpd_trace_span_,       \
+                                                 __LINE__)(              \
+      ::rgpdos::metrics::Enabled()                                       \
+          ? []() -> ::rgpdos::metrics::Tracer::Component* {              \
+              static ::rgpdos::metrics::Tracer::Component& rgpd_comp =   \
+                  ::rgpdos::metrics::MetricsRegistry::Instance()         \
+                      .tracer()                                          \
+                      .GetComponent(component);                          \
+              return &rgpd_comp;                                         \
+            }()                                                          \
+          : nullptr,                                                     \
+      name)
+
+}  // namespace rgpdos::metrics

@@ -1,5 +1,7 @@
 #include "sentinel/audit.hpp"
 
+#include "metrics/metrics.hpp"
+
 namespace rgpdos::sentinel {
 
 void AuditSink::Record(AuditEntry entry) {
@@ -8,6 +10,7 @@ void AuditSink::Record(AuditEntry entry) {
   } else {
     ++denied_;
   }
+  RGPD_METRIC_COUNT("sentinel.audit.entries");
   entries_.push_back(std::move(entry));
 }
 

@@ -1,5 +1,7 @@
 #include "sentinel/policy.hpp"
 
+#include "metrics/metrics.hpp"
+
 namespace rgpdos::sentinel {
 
 SecurityPolicy& SecurityPolicy::Allow(Domain subject, Domain object,
@@ -59,6 +61,11 @@ Status Sentinel::Enforce(const AccessRequest& request) {
   entry.allowed = allowed;
   entry.rule = allowed ? "allow" : "default-deny";
   audit_->Record(std::move(entry));
+  if (allowed) {
+    RGPD_METRIC_COUNT("sentinel.enforce.allowed");
+  } else {
+    RGPD_METRIC_COUNT("sentinel.enforce.denied");
+  }
   if (!allowed) {
     return AccessBlocked(std::string(DomainName(request.subject)) +
                          " may not " +

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/rgpdos.hpp"
+#include "metrics/metrics.hpp"
 #include "workload/workload.hpp"
 
 namespace rgpdos {
@@ -157,6 +158,103 @@ TEST_F(IntegrationTest, Listing123EndToEnd) {
                                  *processing, targeted);
   ASSERT_TRUE(single.ok());
   EXPECT_EQ(single->records_considered, 1u);
+}
+
+TEST_F(IntegrationTest, PsInvokeRecordsMetricsAcrossLayers) {
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose3";
+  manifest.fields_read = {"year_of_birthdate"};
+  manifest.output_type = "age";
+  auto processing =
+      os_->RegisterProcessingSource(kPurpose3, ComputeAge, manifest);
+  ASSERT_TRUE(processing.ok()) << processing.status().ToString();
+  PutUser(1, "alice", 1990);
+  PutUser(2, "bob", 1985);
+
+  // Reset after setup so the snapshot reflects exactly one enforcement
+  // pass: ps_invoke -> sentinel -> DED -> DBFS -> inode store.
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Instance();
+  registry.ResetAll();
+  auto result = os_->ps().Invoke(sentinel::Domain::kApplication,
+                                 *processing, InvokeOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Verify through the JSON exporter, not the live registry: the
+  // acceptance path is snapshot -> JSON -> parse -> assert.
+  auto snapshot = metrics::MetricsSnapshot::FromJson(registry.JsonSnapshot());
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  const auto counter = [&](std::string_view name) -> std::uint64_t {
+    const std::uint64_t* value = snapshot->FindCounter(name);
+    EXPECT_NE(value, nullptr) << "missing counter " << name;
+    return value == nullptr ? 0 : *value;
+  };
+  const auto histogram_count =
+      [&](std::string_view name) -> std::uint64_t {
+    const metrics::HistogramSnapshot* h = snapshot->FindHistogram(name);
+    EXPECT_NE(h, nullptr) << "missing histogram " << name;
+    return h == nullptr ? 0 : h->count;
+  };
+
+  // Layer 1: core (PS + DED + consent filter).
+  EXPECT_EQ(counter("core.ps_invoke.count"), 1u);
+  EXPECT_EQ(counter("core.ded_execute.count"), 1u);
+  EXPECT_EQ(counter("core.consent.approved"), 2u);
+  EXPECT_EQ(counter("core.records.processed"), 2u);
+  EXPECT_EQ(histogram_count("core.ps_invoke.latency_ns"), 1u);
+  EXPECT_EQ(histogram_count("core.ded_execute.latency_ns"), 1u);
+
+  // Layer 2: dbfs (reads of the two user records, stores of derived age).
+  EXPECT_GE(counter("dbfs.get.count"), 2u);
+  EXPECT_GE(counter("dbfs.put.count"), 2u);
+  EXPECT_GE(histogram_count("dbfs.get.latency_ns"), 2u);
+  EXPECT_GE(histogram_count("dbfs.put.latency_ns"), 2u);
+
+  // Layer 3: inodefs (journalled commits + block IO behind DBFS).
+  EXPECT_GE(counter("inodefs.journal.commits"), 1u);
+  EXPECT_GE(counter("inodefs.txn.commits"), 1u);
+  EXPECT_GE(counter("inodefs.block.writes"), 1u);
+  EXPECT_GE(histogram_count("inodefs.journal.commit_latency_ns"), 1u);
+
+  // Layer 4: sentinel (every domain crossing was checked and audited).
+  EXPECT_GE(counter("sentinel.enforce.allowed"), 2u);
+  EXPECT_GE(counter("sentinel.audit.entries"), 2u);
+
+  // The span tracer saw the invocation too.
+  bool saw_invoke_span = false;
+  for (const metrics::SpanSnapshot& span : snapshot->spans) {
+    if (span.component == "core" && span.name == "ps_invoke") {
+      saw_invoke_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_invoke_span);
+}
+
+TEST_F(IntegrationTest, DeniedInvokeBumpsDenialCounters) {
+  ImplManifest manifest;
+  manifest.claimed_purpose = "purpose3";
+  manifest.fields_read = {"year_of_birthdate"};
+  manifest.output_type = "age";
+  auto processing =
+      os_->RegisterProcessingSource(kPurpose3, ComputeAge, manifest);
+  ASSERT_TRUE(processing.ok());
+
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Instance();
+  registry.ResetAll();
+  // The DED domain may not call ps_invoke (only applications and the
+  // kernel can): the sentinel denies the crossing.
+  auto denied = os_->ps().Invoke(sentinel::Domain::kDed, *processing, {});
+  ASSERT_FALSE(denied.ok());
+
+  const metrics::MetricsSnapshot snapshot = registry.Snapshot();
+  const std::uint64_t* ps_denied =
+      snapshot.FindCounter("core.ps_invoke.denied");
+  ASSERT_NE(ps_denied, nullptr);
+  EXPECT_EQ(*ps_denied, 1u);
+  const std::uint64_t* sentinel_denied =
+      snapshot.FindCounter("sentinel.enforce.denied");
+  ASSERT_NE(sentinel_denied, nullptr);
+  EXPECT_GE(*sentinel_denied, 1u);
 }
 
 TEST_F(IntegrationTest, ConsentRestrictsFieldVisibility) {

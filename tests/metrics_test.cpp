@@ -1,0 +1,244 @@
+// Unit tests for the metrics subsystem: concurrency of the primitives,
+// histogram bucket boundary semantics, tracer sampling, the disabled
+// fast path, and the snapshot round-trip through the JSON exporter.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "metrics/trace.hpp"
+
+namespace rgpdos::metrics {
+namespace {
+
+TEST(MetricsTest, ConcurrentCounterIncrementsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), std::uint64_t(kThreads) * kIncrements);
+}
+
+TEST(MetricsTest, ConcurrentHistogramObservationsAreExact) {
+  Histogram histogram({100, 200, 300});
+  constexpr int kThreads = 4;
+  constexpr int kObservations = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kObservations; ++i) {
+        histogram.Observe(static_cast<std::uint64_t>(i % 400));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(histogram.Count(), std::uint64_t(kThreads) * kObservations);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < histogram.bucket_count(); ++i) {
+    total += histogram.BucketCount(i);
+  }
+  EXPECT_EQ(total, histogram.Count());
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket i counts v <= bounds[i] (le semantics), overflow bucket last.
+  Histogram histogram({10, 20, 30});
+  for (const std::uint64_t v : {0u, 5u, 10u}) histogram.Observe(v);   // b0
+  for (const std::uint64_t v : {11u, 20u}) histogram.Observe(v);      // b1
+  for (const std::uint64_t v : {21u, 30u}) histogram.Observe(v);      // b2
+  for (const std::uint64_t v : {31u, 1000u}) histogram.Observe(v);    // b3
+  EXPECT_EQ(histogram.BucketCount(0), 3u);
+  EXPECT_EQ(histogram.BucketCount(1), 2u);
+  EXPECT_EQ(histogram.BucketCount(2), 2u);
+  EXPECT_EQ(histogram.BucketCount(3), 2u);
+  EXPECT_EQ(histogram.Count(), 9u);
+  EXPECT_EQ(histogram.Sum(), 0u + 5 + 10 + 11 + 20 + 21 + 30 + 31 + 1000);
+}
+
+TEST(MetricsTest, LatencyBucketLadderShape) {
+  const std::vector<std::uint64_t>& bounds = LatencyBucketBoundsNs();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.front(), 256u);
+  EXPECT_GE(bounds.back(), 1u << 30);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_EQ(bounds[i], bounds[i - 1] * 2);
+  }
+}
+
+TEST(MetricsTest, ApproxQuantileInterpolates) {
+  HistogramSnapshot h;
+  h.name = "q";
+  h.bounds = {100, 200};
+  h.buckets = {10, 10, 0};  // uniform-ish: 10 in (0,100], 10 in (100,200]
+  h.count = 20;
+  h.sum = 3000;
+  EXPECT_NEAR(h.ApproxQuantile(0.5), 100.0, 1e-9);
+  EXPECT_NEAR(h.ApproxQuantile(0.25), 50.0, 1e-9);
+  EXPECT_NEAR(h.ApproxQuantile(1.0), 200.0, 1e-9);
+  EXPECT_NEAR(h.Mean(), 150.0, 1e-9);
+}
+
+TEST(MetricsTest, RegistryHandsOutStableReferences) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  Counter& a = registry.GetCounter("metrics_test.stable");
+  Counter& b = registry.GetCounter("metrics_test.stable");
+  EXPECT_EQ(&a, &b);
+  a.Inc(3);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const std::uint64_t* value = snapshot.FindCounter("metrics_test.stable");
+  ASSERT_NE(value, nullptr);
+  EXPECT_GE(*value, 3u);
+}
+
+TEST(MetricsTest, DisabledMacrosDoNotRecord) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetAll();
+  SetEnabled(false);
+  RGPD_METRIC_COUNT("metrics_test.disabled");
+  RGPD_METRIC_OBSERVE("metrics_test.disabled_hist", 42);
+  { RGPD_METRIC_SCOPED_LATENCY("metrics_test.disabled_lat"); }
+  { RGPD_TRACE_SPAN("metrics_test", "disabled_span"); }
+  SetEnabled(true);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  // Disabled call sites never even register their metrics.
+  EXPECT_EQ(snapshot.FindCounter("metrics_test.disabled"), nullptr);
+  EXPECT_EQ(snapshot.FindHistogram("metrics_test.disabled_hist"), nullptr);
+  EXPECT_EQ(snapshot.FindHistogram("metrics_test.disabled_lat"), nullptr);
+  for (const SpanSnapshot& s : snapshot.spans) {
+    EXPECT_NE(s.name, "disabled_span");
+  }
+
+  // Re-enabled: the same sites record again.
+  RGPD_METRIC_COUNT("metrics_test.disabled");
+  const MetricsSnapshot after = MetricsRegistry::Instance().Snapshot();
+  const std::uint64_t* value = after.FindCounter("metrics_test.disabled");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 1u);
+}
+
+TEST(MetricsTest, TracerSamplesOneInN) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetAll();
+  registry.tracer().SetSampleEvery("metrics_test_sampled", 2);
+  for (int i = 0; i < 10; ++i) {
+    RGPD_TRACE_SPAN("metrics_test_sampled", "op");
+  }
+  std::size_t recorded = 0;
+  for (const SpanSnapshot& s : registry.tracer().Spans()) {
+    if (s.component == "metrics_test_sampled") ++recorded;
+  }
+  EXPECT_EQ(recorded, 5u);  // seq 0, 2, 4, 6, 8
+
+  // Sampling period 0 disables the component entirely.
+  registry.ResetAll();
+  registry.tracer().SetSampleEvery("metrics_test_sampled", 0);
+  for (int i = 0; i < 10; ++i) {
+    RGPD_TRACE_SPAN("metrics_test_sampled", "op");
+  }
+  for (const SpanSnapshot& s : registry.tracer().Spans()) {
+    EXPECT_NE(s.component, "metrics_test_sampled");
+  }
+  registry.tracer().SetSampleEvery("metrics_test_sampled", 1);
+}
+
+TEST(MetricsTest, TracerRingKeepsNewestSpans) {
+  Tracer tracer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    SpanSnapshot span;
+    span.component = "c";
+    span.name = "s";
+    span.start_us = i;
+    tracer.Record(std::move(span));
+  }
+  const std::vector<SpanSnapshot> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().start_us, 6);
+  EXPECT_EQ(spans.back().start_us, 9);
+}
+
+TEST(MetricsTest, SnapshotJsonRoundTrip) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"a.count", 1}, {"b \"quoted\"\n", 12345678901234ull}};
+  snapshot.gauges = {{"g.level", -42}};
+  HistogramSnapshot h;
+  h.name = "h.latency_ns";
+  h.bounds = {256, 512, 1024};
+  h.buckets = {1, 0, 2, 7};
+  h.count = 10;
+  h.sum = 123456;
+  snapshot.histograms.push_back(h);
+  SpanSnapshot span;
+  span.component = "core";
+  span.name = "ded_execute";
+  span.start_us = 1723300000000000;
+  span.duration_ns = 98765;
+  snapshot.spans.push_back(span);
+
+  auto parsed = MetricsSnapshot::FromJson(snapshot.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, snapshot);
+}
+
+TEST(MetricsTest, EmptySnapshotJsonRoundTrip) {
+  const MetricsSnapshot empty;
+  auto parsed = MetricsSnapshot::FromJson(empty.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, empty);
+}
+
+TEST(MetricsTest, FromJsonToleratesUnknownKeysAndRejectsGarbage) {
+  auto parsed = MetricsSnapshot::FromJson(
+      R"({"future_section": {"x": [1, 2, {"y": "z"}]},
+          "counters": {"kept": 7},
+          "histograms": {"h": {"count": 1, "sum": 2, "bounds": [1],
+                               "buckets": [1, 0], "p999_hint": 1.5}}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::uint64_t* kept = parsed->FindCounter("kept");
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(*kept, 7u);
+  ASSERT_NE(parsed->FindHistogram("h"), nullptr);
+  EXPECT_EQ(parsed->FindHistogram("h")->count, 1u);
+
+  EXPECT_FALSE(MetricsSnapshot::FromJson("").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson(R"({"counters": {"a": }})").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson(R"({} trailing)").ok());
+}
+
+TEST(MetricsTest, ResetAllZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  Counter& counter = registry.GetCounter("metrics_test.reset");
+  Histogram& histogram = registry.LatencyHistogram("metrics_test.reset_h");
+  counter.Inc(5);
+  histogram.Observe(1000);
+  registry.ResetAll();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(histogram.Count(), 0u);
+  // Same reference after reset: cached call sites stay valid.
+  EXPECT_EQ(&registry.GetCounter("metrics_test.reset"), &counter);
+}
+
+TEST(MetricsTest, TextSnapshotMentionsEveryMetric) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetAll();
+  registry.GetCounter("metrics_test.text_counter").Inc(2);
+  registry.GetGauge("metrics_test.text_gauge").Set(-3);
+  registry.LatencyHistogram("metrics_test.text_hist").Observe(300);
+  const std::string text = registry.TextSnapshot();
+  EXPECT_NE(text.find("counter metrics_test.text_counter 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("gauge metrics_test.text_gauge -3"), std::string::npos);
+  EXPECT_NE(text.find("histogram metrics_test.text_hist count=1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rgpdos::metrics
