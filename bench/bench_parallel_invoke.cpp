@@ -1,0 +1,126 @@
+// Parallel ps_invoke scaling: the same consented population processed by
+// one DED pipeline at 1 / 2 / 4 / 8 lanes (BootConfig::worker_threads).
+// The implementation is deliberately compute-heavy per record so the
+// bench measures how the DedExecutor fans ded_load_membrane / ded_filter
+// / ded_load_data / ded_execute over shards, not journal throughput.
+//
+// Acceptance gate for the threading PR: on a multi-core CI runner the
+// 4-lane run must clear >= 2x the single-lane records/sec. The artifact
+// records each lane count explicitly so the gate can read it back.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+
+namespace rgpdos::bench {
+namespace {
+
+constexpr std::size_t kSubjects = 48;
+constexpr std::size_t kPerSubject = 4;
+constexpr int kIterations = 6;
+constexpr int kSpinRounds = 40000;  ///< per-record compute in ded_execute
+
+/// Register an analytics-purpose processing whose per-record cost is
+/// dominated by compute (a SplitMix-style spin), the shape that scales
+/// with lanes.
+core::ProcessingId RegisterSpinProcessing(core::RgpdOs& os) {
+  core::ImplManifest manifest;
+  manifest.claimed_purpose = "analytics";
+  manifest.fields_read = {"year_of_birthdate"};
+  auto id = os.RegisterProcessingSource(
+      "purpose analytics { input: user.v_ano; }",
+      [](core::ProcessingInput& input) -> Result<core::ProcessingOutput> {
+        core::ProcessingOutput output;
+        if (!input.Has("year_of_birthdate")) return output;
+        RGPD_ASSIGN_OR_RETURN(db::Value year, input.Field("year_of_birthdate"));
+        std::uint64_t acc = static_cast<std::uint64_t>(*year.AsInt());
+        for (int i = 0; i < kSpinRounds; ++i) {
+          acc += 0x9E3779B97F4A7C15ULL;
+          std::uint64_t z = acc;
+          z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+          z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+          acc ^= z >> 31;
+        }
+        output.npd.push_back(static_cast<std::uint8_t>(acc));
+        return output;
+      },
+      manifest);
+  if (!id.ok()) std::abort();
+  return *id;
+}
+
+struct LaneResult {
+  unsigned lanes = 0;
+  double invokes_per_sec = 0;
+  double records_per_sec = 0;
+  double us_per_invoke = 0;
+};
+
+LaneResult RunAtLanes(unsigned lanes) {
+  RgpdWorld world = MakeRgpdWorld(kSubjects, kPerSubject,
+                                  /*consent_fraction=*/1.0, lanes);
+  const core::ProcessingId processing = RegisterSpinProcessing(*world.os);
+
+  // Warm past the runtime purpose verifier (its first runs trace field
+  // reads) so the timed loop measures the steady state.
+  for (int i = 0; i < 3; ++i) {
+    auto r = world.os->ps().Invoke(sentinel::Domain::kApplication, processing,
+                                   {});
+    if (!r.ok()) std::abort();
+  }
+
+  std::uint64_t records = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    auto r = world.os->ps().Invoke(sentinel::Domain::kApplication, processing,
+                                   {});
+    if (!r.ok()) std::abort();
+    records += r->records_processed;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  LaneResult result;
+  result.lanes = lanes;
+  result.invokes_per_sec = kIterations / seconds;
+  result.records_per_sec = double(records) / seconds;
+  result.us_per_invoke = seconds * 1e6 / kIterations;
+  return result;
+}
+
+int Main() {
+  std::vector<std::pair<std::string, double>> stats;
+  stats.emplace_back("subjects", double(kSubjects));
+  stats.emplace_back("records", double(kSubjects * kPerSubject));
+  stats.emplace_back("iterations", double(kIterations));
+
+  std::printf("%-8s %14s %14s %12s\n", "lanes", "invokes/s", "records/s",
+              "us/invoke");
+  double baseline_rps = 0;
+  double four_lane_rps = 0;
+  for (unsigned lanes : {1u, 2u, 4u, 8u}) {
+    const LaneResult r = RunAtLanes(lanes);
+    std::printf("%-8u %14.2f %14.0f %12.1f\n", r.lanes, r.invokes_per_sec,
+                r.records_per_sec, r.us_per_invoke);
+    const std::string prefix = "threads_" + std::to_string(lanes);
+    stats.emplace_back(prefix + ".threads", double(lanes));
+    stats.emplace_back(prefix + ".invokes_per_sec", r.invokes_per_sec);
+    stats.emplace_back(prefix + ".records_per_sec", r.records_per_sec);
+    stats.emplace_back(prefix + ".us_per_invoke", r.us_per_invoke);
+    if (lanes == 1) baseline_rps = r.records_per_sec;
+    if (lanes == 4) four_lane_rps = r.records_per_sec;
+  }
+  const double speedup = baseline_rps > 0 ? four_lane_rps / baseline_rps : 0;
+  std::printf("4-lane speedup over 1-lane: %.2fx\n", speedup);
+  stats.emplace_back("speedup_4_threads", speedup);
+
+  DumpBenchArtifact("parallel_invoke", stats);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rgpdos::bench
+
+int main() { return rgpdos::bench::Main(); }

@@ -53,15 +53,18 @@ struct RgpdWorld {
 
 /// Boot an rgpdOS world holding `subjects * per_subject` marked user
 /// records. `consent_fraction` of subjects keep the default `analytics`
-/// consent; the rest have it revoked.
+/// consent; the rest have it revoked. `worker_threads` sizes the DED
+/// executor pool (1 = historical inline execution; see BootConfig).
 inline RgpdWorld MakeRgpdWorld(std::size_t subjects,
                                std::size_t per_subject = 1,
-                               double consent_fraction = 1.0) {
+                               double consent_fraction = 1.0,
+                               unsigned worker_threads = 1) {
   RgpdWorld world;
   world.subjects = subjects;
   world.per_subject = per_subject;
 
   core::BootConfig config;
+  config.worker_threads = worker_threads;
   // Sized with headroom for one derived record per source record (the
   // analytics purpose stores an `age` row per user).
   const std::uint64_t needed_blocks =

@@ -15,6 +15,7 @@ Status MemBlockDevice::ReadBlock(BlockIndex index, Bytes& out) {
   if (index >= block_count_) {
     return OutOfRange("read past end of device");
   }
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   out.resize(block_size_);
   std::memcpy(out.data(), storage_.data() + index * block_size_, block_size_);
   ++stats_.reads;
@@ -29,6 +30,7 @@ Status MemBlockDevice::WriteBlock(BlockIndex index, ByteSpan data) {
   if (data.size() != block_size_) {
     return InvalidArgument("block write must be exactly block_size bytes");
   }
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   std::memcpy(storage_.data() + index * block_size_, data.data(),
               block_size_);
   ++stats_.writes;
@@ -37,6 +39,7 @@ Status MemBlockDevice::WriteBlock(BlockIndex index, ByteSpan data) {
 }
 
 Status MemBlockDevice::Flush() {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   ++stats_.flushes;
   return Status::Ok();
 }

@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "metrics/lock.hpp"
 
 namespace rgpdos::blockdev {
 
@@ -51,6 +53,11 @@ class BlockDevice {
 };
 
 /// RAM-backed device; the default substrate for tests and benches.
+///
+/// ReadBlock/WriteBlock/Flush are serialised by a rank-kBlockdev mutex
+/// (the innermost lock of the enforcement stack). stats() and RawMedium()
+/// return unsynchronised views: call them only while no other thread is
+/// doing IO (the leak scans and bench reports are offline by design).
 class MemBlockDevice final : public BlockDevice {
  public:
   MemBlockDevice(std::uint32_t block_size, std::uint64_t block_count);
@@ -76,6 +83,7 @@ class MemBlockDevice final : public BlockDevice {
  private:
   std::uint32_t block_size_;
   std::uint64_t block_count_;
+  metrics::OrderedMutex mu_{metrics::LockRank::kBlockdev, "blockdev.mem"};
   Bytes storage_;
   DeviceStats stats_;
 };

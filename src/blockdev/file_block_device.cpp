@@ -33,6 +33,7 @@ FileBlockDevice::~FileBlockDevice() {
 
 Status FileBlockDevice::ReadBlock(BlockIndex index, Bytes& out) {
   if (index >= block_count_) return OutOfRange("read past end of device");
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   out.resize(block_size_);
   if (std::fseek(file_, static_cast<long>(index * block_size_), SEEK_SET) !=
       0) {
@@ -54,6 +55,7 @@ Status FileBlockDevice::WriteBlock(BlockIndex index, ByteSpan data) {
   if (data.size() != block_size_) {
     return InvalidArgument("block write must be exactly block_size bytes");
   }
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   if (std::fseek(file_, static_cast<long>(index * block_size_), SEEK_SET) !=
       0) {
     return IoError("seek failed");
@@ -67,6 +69,7 @@ Status FileBlockDevice::WriteBlock(BlockIndex index, ByteSpan data) {
 }
 
 Status FileBlockDevice::Flush() {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   if (std::fflush(file_) != 0) return IoError("fflush failed");
   ++stats_.flushes;
   return Status::Ok();

@@ -41,6 +41,9 @@ class FileBlockDevice final : public BlockDevice {
   std::FILE* file_;
   std::uint32_t block_size_;
   std::uint64_t block_count_;
+  // Serialises the shared seek+read/write FILE cursor (same contract as
+  // MemBlockDevice: stats() needs quiescence).
+  metrics::OrderedMutex mu_{metrics::LockRank::kBlockdev, "blockdev.file"};
   DeviceStats stats_;
 };
 

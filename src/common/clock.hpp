@@ -1,8 +1,19 @@
 // Time sources. All TTL / expiry logic in rgpdOS takes a Clock so tests and
 // benches can advance time deterministically (a membrane's `age: 1Y` must be
 // testable without waiting a year).
+//
+// Thread-safety & monotonicity:
+//   - Clock::Now() may be called from any thread on every implementation.
+//   - SimClock reads/writes are relaxed atomics; Advance/Set are safe to
+//     call while other threads read Now(). Now() is monotone as long as
+//     only Advance (with non-negative delta) is used; Set can move time
+//     backwards by design (tests).
+//   - SystemClock is wall-clock time and therefore NOT monotone (NTP
+//     steps can move it backwards). Use Stopwatch (steady_clock) for
+//     durations; wall time is only for membrane timestamps.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -33,12 +44,16 @@ class SystemClock final : public Clock {
 class SimClock final : public Clock {
  public:
   explicit SimClock(TimeMicros start = 0) : now_(start) {}
-  [[nodiscard]] TimeMicros Now() const override { return now_; }
-  void Advance(TimeMicros delta) { now_ += delta; }
-  void Set(TimeMicros t) { now_ = t; }
+  [[nodiscard]] TimeMicros Now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void Advance(TimeMicros delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(TimeMicros t) { now_.store(t, std::memory_order_relaxed); }
 
  private:
-  TimeMicros now_;
+  std::atomic<TimeMicros> now_;
 };
 
 /// Monotonic nanosecond stopwatch for latency measurements inside the DED

@@ -1,5 +1,6 @@
 #include "common/rng.hpp"
 
+#include <atomic>
 #include <cmath>
 
 namespace rgpdos {
@@ -20,6 +21,13 @@ std::uint64_t Rng::SplitMix64(std::uint64_t& state) {
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::StreamSeed(std::uint64_t seed, std::uint64_t stream) {
+  // Space streams by the golden ratio and scramble once so stream 0 with
+  // seed s and stream 1 with seed s-phi do not collide.
+  std::uint64_t sm = seed + (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  return SplitMix64(sm);
 }
 
 std::uint64_t Rng::NextU64() {
@@ -78,6 +86,24 @@ Zipf::Zipf(std::uint64_t n, double theta, std::uint64_t seed)
   alpha_ = 1.0 / (1.0 - theta);
   eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
 }
+
+namespace {
+struct ThreadRngSlot {
+  Rng rng{Rng::StreamSeed(0x9E3779B97F4A7C15ULL, NextThreadOrdinal())};
+
+  static std::uint64_t NextThreadOrdinal() {
+    static std::atomic<std::uint64_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+thread_local ThreadRngSlot t_rng;
+}  // namespace
+
+void SeedThreadRng(std::uint64_t seed, std::uint64_t stream) {
+  t_rng.rng = Rng(Rng::StreamSeed(seed, stream));
+}
+
+Rng& ThreadRng() { return t_rng.rng; }
 
 std::uint64_t Zipf::Next() {
   // Gray & al. "Quickly generating billion-record synthetic databases".

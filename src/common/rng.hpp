@@ -1,6 +1,13 @@
 // Deterministic PRNG (xoshiro256**) for workload generation and
 // property-test sweeps. Not cryptographic: key material comes from
 // crypto::SecureRandom, which mixes this generator with entropy.
+//
+// Thread-safety: an Rng instance is NOT safe for concurrent use (NextU64
+// mutates the 256-bit state non-atomically). Concurrent code takes one
+// stream per thread instead: either a local `Rng(Rng::StreamSeed(seed,
+// i))` per worker (what DedExecutor does, so seeded runs stay
+// deterministic per worker regardless of scheduling), or the
+// thread-local ThreadRng() below.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +19,13 @@ namespace rgpdos {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Seed for the `stream`-th independent stream derived from a boot
+  /// seed: the same (seed, stream) pair always yields the same sequence,
+  /// and distinct streams are decorrelated by an extra SplitMix64 round
+  /// over the golden-ratio-spaced stream index.
+  [[nodiscard]] static std::uint64_t StreamSeed(std::uint64_t seed,
+                                               std::uint64_t stream);
 
   std::uint64_t NextU64();
   /// Uniform in [0, bound). bound must be > 0.
@@ -49,5 +63,15 @@ class Zipf {
   double eta_;
   Rng rng_;
 };
+
+/// Reseed the calling thread's ThreadRng() stream to (seed, stream).
+/// Worker pools call this once at thread start so every worker draws from
+/// a deterministic stream derived from the boot seed.
+void SeedThreadRng(std::uint64_t seed, std::uint64_t stream);
+
+/// The calling thread's private generator. Lazily seeded from the default
+/// seed and a process-wide thread ordinal if SeedThreadRng was never
+/// called on this thread. Never shared, so no synchronisation is needed.
+[[nodiscard]] Rng& ThreadRng();
 
 }  // namespace rgpdos

@@ -9,6 +9,9 @@ namespace rgpdos::core {
 
 namespace {
 constexpr sentinel::Domain kDed = sentinel::Domain::kDed;
+/// Below this many candidates per lane, shard handoff costs more than it
+/// buys; the pipeline stays single-lane.
+constexpr std::size_t kMinRecordsPerShard = 4;
 }
 
 Result<db::Value> ProcessingInput::Field(std::string_view field) const {
@@ -73,6 +76,110 @@ Result<membrane::Membrane> DataExecutionDomain::BuildDerivedMembrane(
   return m;
 }
 
+DataExecutionDomain::RecordOutcome DataExecutionDomain::RunRecord(
+    dbfs::RecordId id, const dsl::TypeDecl& input_type,
+    const db::Schema& input_schema, const dsl::PurposeDecl& purpose,
+    const std::string& processing_name, const ProcessingFn& fn,
+    const std::vector<FieldPredicate>& predicates, TimeMicros now,
+    bool want_trace) const {
+  RecordOutcome out;
+  Stopwatch watch;
+
+  // ---- ded_load_membrane: membrane only, no PD bytes -----------------------
+  Result<membrane::Membrane> m = dbfs_->GetMembrane(kDed, id);
+  out.timings.load_membrane_ns = watch.ElapsedNanos();
+  if (!m.ok()) {
+    out.error = m.status();
+    return out;
+  }
+
+  // ---- ded_filter: does the membrane approve the purpose now? --------------
+  watch.Restart();
+  const auto consent = m->Evaluate(purpose.name, now);
+  if (!consent.ok()) {
+    ++out.filtered;
+    RGPD_METRIC_COUNT("core.consent.filtered");
+    out.logs.push_back({m->subject_id, id, LogOutcome::kFiltered,
+                        consent.status().ToString()});
+    out.timings.filter_ns = watch.ElapsedNanos();
+    return out;
+  }
+  RGPD_METRIC_COUNT("core.consent.approved");
+  Result<std::set<std::string>> scope =
+      EffectiveScope(input_type, *consent, purpose);
+  out.timings.filter_ns = watch.ElapsedNanos();
+  if (!scope.ok()) {
+    out.error = scope.status();
+    return out;
+  }
+
+  // ---- ded_load_data: fetch the row for this survivor ----------------------
+  watch.Restart();
+  Result<dbfs::PdRecord> record = dbfs_->Get(kDed, id);
+  out.timings.load_data_ns = watch.ElapsedNanos();
+  if (!record.ok()) {
+    out.error = record.status();
+    return out;
+  }
+  if (record->erased) {
+    // Raced with an erasure: treat as filtered.
+    ++out.filtered;
+    return out;
+  }
+  db::Row row = std::move(record->row);
+
+  // ---- ded_execute: run the implementation under the syscall filter --------
+  watch.Restart();
+  // Application-supplied predicates: consented rows that fail never
+  // reach the implementation (and the subject's log says so).
+  bool predicate_pass = true;
+  for (const FieldPredicate& predicate : predicates) {
+    const auto index = input_schema.FieldIndex(predicate.field);
+    if (!index.ok() || !predicate.Matches(row[*index])) {
+      predicate_pass = false;
+      break;
+    }
+  }
+  if (!predicate_pass) {
+    ++out.filtered;
+    out.logs.push_back(
+        {m->subject_id, id, LogOutcome::kFiltered, "row predicate"});
+    out.timings.execute_ns = watch.ElapsedNanos();
+    return out;
+  }
+  sentinel::SyscallContext syscalls(
+      sentinel::SyscallFilter::PdProcessingProfile(), now);
+  ProcessingInput input(&input_type, &row, std::move(scope).value(),
+                        m->subject_id, id, &syscalls,
+                        want_trace ? &out.fields : nullptr);
+  auto output = fn(input);
+  out.syscalls_denied = syscalls.denied_calls();
+  if (syscalls.killed()) {
+    out.logs.push_back({m->subject_id, id, LogOutcome::kAborted,
+                        "killed by syscall filter"});
+    out.error = SyscallDenied("processing '" + processing_name +
+                              "' was killed by the syscall filter");
+    out.timings.execute_ns = watch.ElapsedNanos();
+    return out;
+  }
+  if (!output.ok()) {
+    out.logs.push_back({m->subject_id, id, LogOutcome::kAborted,
+                        output.status().ToString()});
+    out.error = output.status();
+    out.timings.execute_ns = watch.ElapsedNanos();
+    return out;
+  }
+  out.processed = true;
+  out.logs.push_back({m->subject_id, id, LogOutcome::kProcessed, {}});
+  out.npd = std::move(output->npd);
+  if (output->derived_row.has_value()) {
+    out.derived_row = std::move(*output->derived_row);
+    out.source_membrane = std::move(m).value();
+  }
+  out.timings.execute_ns = watch.ElapsedNanos();
+  return out;
+}
+
 Result<InvokeResult> DataExecutionDomain::Execute(
     const dsl::PurposeDecl& purpose, const std::string& processing_name,
     const ProcessingFn& fn, const std::optional<PdRef>& target,
@@ -120,122 +227,81 @@ Result<InvokeResult> DataExecutionDomain::Execute(
   result.records_considered = candidates.size();
   result.timings.type2req_ns = watch.ElapsedNanos();
 
-  // ---- ded_load_membrane: membranes only, no PD bytes ----------------------
-  watch.Restart();
-  std::vector<std::pair<dbfs::RecordId, membrane::Membrane>> membranes;
-  membranes.reserve(candidates.size());
-  for (dbfs::RecordId id : candidates) {
-    RGPD_ASSIGN_OR_RETURN(membrane::Membrane m, dbfs_->GetMembrane(kDed, id));
-    membranes.emplace_back(id, std::move(m));
-  }
-  result.timings.load_membrane_ns = watch.ElapsedNanos();
-
-  // ---- ded_filter: keep records whose membrane approves the purpose --------
-  watch.Restart();
-  struct Approved {
-    dbfs::RecordId id;
-    membrane::Membrane membrane;
-    std::set<std::string> scope;
-  };
-  std::vector<Approved> approved;
+  // ---- per-record stages: load_membrane / filter / load_data / execute -----
+  // Fanned over contiguous candidate shards when an executor is attached
+  // and there is enough work per lane; outcomes merge in candidate order
+  // below, so the log and the returned error are shard-count-invariant.
   const TimeMicros now = clock_->Now();
-  for (auto& [id, m] : membranes) {
-    auto consent = m.Evaluate(purpose.name, now);
-    if (!consent.ok()) {
-      ++result.records_filtered_out;
-      RGPD_METRIC_COUNT("core.consent.filtered");
-      log_->Append(processing_name, purpose.name, m.subject_id, id,
-                   LogOutcome::kFiltered, consent.status().ToString());
-      continue;
+  std::vector<RecordOutcome> outcomes(candidates.size());
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      outcomes[i] =
+          RunRecord(candidates[i], *input_type, input_schema, purpose,
+                    processing_name, fn, predicates, now,
+                    field_trace != nullptr);
     }
-    RGPD_METRIC_COUNT("core.consent.approved");
-    RGPD_ASSIGN_OR_RETURN(std::set<std::string> scope,
-                          EffectiveScope(*input_type, *consent, purpose));
-    approved.push_back(Approved{id, std::move(m), std::move(scope)});
+  };
+  std::size_t lanes = 1;
+  if (executor_ != nullptr && !candidates.empty()) {
+    const std::size_t by_work =
+        (candidates.size() + kMinRecordsPerShard - 1) / kMinRecordsPerShard;
+    lanes = std::min<std::size_t>(executor_->worker_count() + 1, by_work);
   }
-  result.timings.filter_ns = watch.ElapsedNanos();
-
-  // ---- ded_load_data: fetch rows for survivors only ------------------------
-  watch.Restart();
-  std::vector<db::Row> rows;
-  rows.reserve(approved.size());
-  for (const Approved& a : approved) {
-    RGPD_ASSIGN_OR_RETURN(dbfs::PdRecord record, dbfs_->Get(kDed, a.id));
-    if (record.erased) {
-      // Raced with an erasure: treat as filtered.
-      rows.emplace_back();
-      continue;
-    }
-    rows.push_back(std::move(record.row));
+  if (lanes <= 1) {
+    run_range(0, candidates.size());
+  } else {
+    const std::size_t per_shard = (candidates.size() + lanes - 1) / lanes;
+    RGPD_METRIC_COUNT("core.ded_execute.parallel");
+    executor_->ParallelFor(lanes, [&](std::size_t shard) {
+      const std::size_t begin = shard * per_shard;
+      const std::size_t end =
+          std::min(candidates.size(), begin + per_shard);
+      if (begin < end) run_range(begin, end);
+    });
   }
-  result.timings.load_data_ns = watch.ElapsedNanos();
 
-  // ---- ded_execute: run the implementation under the syscall filter --------
-  watch.Restart();
+  // ---- merge in candidate order --------------------------------------------
   struct Derived {
     db::Row row;
     membrane::Membrane source_membrane;
   };
   std::vector<Derived> derived;
-  for (std::size_t i = 0; i < approved.size(); ++i) {
-    const Approved& a = approved[i];
-    if (rows[i].empty()) {
-      ++result.records_filtered_out;
-      continue;
+  for (RecordOutcome& out : outcomes) {
+    for (RecordOutcome::StagedLog& staged : out.logs) {
+      log_->Append(processing_name, purpose.name, staged.subject,
+                   staged.record, staged.outcome, std::move(staged.detail));
     }
-    // Application-supplied predicates: consented rows that fail never
-    // reach the implementation (and the subject's log says so).
-    bool predicate_pass = true;
-    for (const FieldPredicate& predicate : predicates) {
-      auto index = input_schema.FieldIndex(predicate.field);
-      if (!index.ok() || !predicate.Matches(rows[i][*index])) {
-        predicate_pass = false;
-        break;
-      }
+    result.records_filtered_out += out.filtered;
+    result.syscalls_denied += out.syscalls_denied;
+    result.timings.load_membrane_ns += out.timings.load_membrane_ns;
+    result.timings.filter_ns += out.timings.filter_ns;
+    result.timings.load_data_ns += out.timings.load_data_ns;
+    result.timings.execute_ns += out.timings.execute_ns;
+    if (field_trace != nullptr) {
+      field_trace->insert(out.fields.begin(), out.fields.end());
     }
-    if (!predicate_pass) {
-      ++result.records_filtered_out;
-      log_->Append(processing_name, purpose.name, a.membrane.subject_id,
-                   a.id, LogOutcome::kFiltered, "row predicate");
-      continue;
+    if (!out.error.ok()) {
+      // Same contract as a serial run: the first failing record (in
+      // candidate order) aborts the invoke; nothing derived is stored.
+      return out.error;
     }
-    sentinel::SyscallContext syscalls(
-        sentinel::SyscallFilter::PdProcessingProfile(), now);
-    ProcessingInput input(input_type, &rows[i], a.scope,
-                          a.membrane.subject_id, a.id, &syscalls,
-                          field_trace);
-    auto output = fn(input);
-    result.syscalls_denied += syscalls.denied_calls();
-    if (syscalls.killed()) {
-      log_->Append(processing_name, purpose.name, a.membrane.subject_id,
-                   a.id, LogOutcome::kAborted,
-                   "killed by syscall filter");
-      return SyscallDenied("processing '" + processing_name +
-                           "' was killed by the syscall filter");
+    if (out.processed) {
+      ++result.records_processed;
+      RGPD_METRIC_COUNT("core.records.processed");
     }
-    if (!output.ok()) {
-      log_->Append(processing_name, purpose.name, a.membrane.subject_id,
-                   a.id, LogOutcome::kAborted, output.status().ToString());
-      return output.status();
+    if (!out.npd.empty()) {
+      result.npd_outputs.push_back(std::move(out.npd));
     }
-    ++result.records_processed;
-    RGPD_METRIC_COUNT("core.records.processed");
-    log_->Append(processing_name, purpose.name, a.membrane.subject_id, a.id,
-                 LogOutcome::kProcessed);
-    if (!output->npd.empty()) {
-      result.npd_outputs.push_back(std::move(output->npd));
-    }
-    if (output->derived_row.has_value()) {
+    if (out.derived_row.has_value()) {
       if (purpose.output_type.empty()) {
         return PurposeMismatch("processing '" + processing_name +
                                "' produced PD but purpose '" + purpose.name +
                                "' declares no output type");
       }
-      derived.push_back(
-          Derived{std::move(*output->derived_row), a.membrane});
+      derived.push_back(Derived{std::move(*out.derived_row),
+                                std::move(out.source_membrane)});
     }
   }
-  result.timings.execute_ns = watch.ElapsedNanos();
 
   // ---- ded_build_membrane ---------------------------------------------------
   watch.Restart();

@@ -16,8 +16,20 @@
 //
 // A DED is only constructible by the ProcessingStore (rule 2): the
 // constructor requires a PassKey that only PS can mint.
+//
+// Parallel execution: when the PS hands the DED a DedExecutor, the
+// per-record stages (load_membrane, filter, load_data, execute) fan out
+// over contiguous candidate shards; ded_store stays serial so derived
+// record ids are assigned in a deterministic order. Each record's work
+// is self-contained — its log entries are staged per record and merged
+// in candidate order, so the processing log carries the same per-record
+// happens-before ordering as a serial run, and the first failing record
+// (by candidate index) decides the returned error exactly as it would
+// serially. Stage timings are summed across lanes (CPU time, not wall
+// time, once parallel).
 #pragma once
 
+#include "core/executor.hpp"
 #include "core/processing.hpp"
 #include "core/processing_log.hpp"
 #include "dbfs/dbfs.hpp"
@@ -39,9 +51,15 @@ class DataExecutionDomain {
     friend class ProcessingStore;
   };
 
+  /// `executor` may be null: the pipeline then runs single-lane.
   DataExecutionDomain(PassKey, dbfs::Dbfs* dbfs, sentinel::Sentinel* sentinel,
-                      ProcessingLog* log, const Clock* clock)
-      : dbfs_(dbfs), sentinel_(sentinel), log_(log), clock_(clock) {}
+                      ProcessingLog* log, const Clock* clock,
+                      DedExecutor* executor = nullptr)
+      : dbfs_(dbfs),
+        sentinel_(sentinel),
+        log_(log),
+        clock_(clock),
+        executor_(executor) {}
 
   /// Run the full pipeline for `processing` (its purpose declaration and
   /// implementation) over either one record or all records of the
@@ -67,10 +85,45 @@ class DataExecutionDomain {
       const dsl::PurposeDecl& purpose, const membrane::Membrane& source)
       const;
 
+  /// Everything one candidate record produced, staged so shards can run
+  /// the per-record stages concurrently and Execute can merge the
+  /// results in candidate order.
+  struct RecordOutcome {
+    struct StagedLog {
+      dbfs::SubjectId subject = 0;
+      dbfs::RecordId record = 0;
+      LogOutcome outcome = LogOutcome::kProcessed;
+      std::string detail;
+    };
+    std::vector<StagedLog> logs;
+    Status error = Status::Ok();  ///< non-OK halts the merge at this record
+    bool processed = false;
+    std::uint64_t filtered = 0;
+    Bytes npd;
+    std::optional<db::Row> derived_row;
+    membrane::Membrane source_membrane;  ///< set when derived_row is
+    std::set<std::string> fields;        ///< this record's field trace
+    std::uint64_t syscalls_denied = 0;
+    StageTimings timings;
+  };
+
+  /// The per-record pipeline slice: load_membrane -> filter -> load_data
+  /// -> predicates -> execute. Pure with respect to DED state (all
+  /// shared mutation is deferred into the returned outcome), so any lane
+  /// may run it.
+  RecordOutcome RunRecord(dbfs::RecordId id, const dsl::TypeDecl& input_type,
+                          const db::Schema& input_schema,
+                          const dsl::PurposeDecl& purpose,
+                          const std::string& processing_name,
+                          const ProcessingFn& fn,
+                          const std::vector<FieldPredicate>& predicates,
+                          TimeMicros now, bool want_trace) const;
+
   dbfs::Dbfs* dbfs_;             // borrowed
   sentinel::Sentinel* sentinel_; // borrowed
   ProcessingLog* log_;           // borrowed
   const Clock* clock_;           // borrowed
+  DedExecutor* executor_;        // borrowed; null = single-lane
 };
 
 }  // namespace rgpdos::core

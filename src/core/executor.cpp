@@ -1,0 +1,94 @@
+#include "core/executor.hpp"
+
+#include "common/rng.hpp"
+#include "metrics/metrics.hpp"
+
+namespace rgpdos::core {
+
+DedExecutor::DedExecutor(unsigned workers, std::uint64_t boot_seed)
+    : boot_seed_(boot_seed) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+DedExecutor::~DedExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::size_t DedExecutor::Drain(Job& job) {
+  std::size_t ran = 0;
+  for (;;) {
+    const std::size_t shard =
+        job.next.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= job.shards) break;
+    (*job.fn)(shard);
+    ++ran;
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.shards) {
+      std::lock_guard<std::mutex> lock(job.done_mu);
+      job.done_cv.notify_all();
+    }
+  }
+  return ran;
+}
+
+void DedExecutor::WorkerLoop(unsigned index) {
+  // Stream 0 belongs to the boot thread; workers take 1..N.
+  SeedThreadRng(boot_seed_, index + 1);
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = queue_.front();
+      // Leave exhausted jobs behind; the peek below keeps other workers
+      // off them.
+      if (job->next.load(std::memory_order_relaxed) >= job->shards) {
+        queue_.pop_front();
+        continue;
+      }
+    }
+    const std::size_t ran = Drain(*job);
+    if (ran > 0) {
+      RGPD_METRIC_COUNT_N("executor.shards_run", ran);
+    }
+  }
+}
+
+void DedExecutor::ParallelFor(std::size_t shards,
+                              const std::function<void(std::size_t)>& fn) {
+  if (shards == 0) return;
+  if (shards == 1 || threads_.empty()) {
+    // No handoff worth paying for: run inline.
+    for (std::size_t i = 0; i < shards; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->shards = shards;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(job);
+  }
+  cv_.notify_all();
+  // Caller lane: claim shards alongside the pool, then wait for
+  // stragglers still executing their last shard.
+  Drain(*job);
+  std::unique_lock<std::mutex> lock(job->done_mu);
+  job->done_cv.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) >= job->shards;
+  });
+}
+
+}  // namespace rgpdos::core

@@ -1,0 +1,84 @@
+// DedExecutor — the DED's worker pool for parallel pipeline execution.
+//
+// The paper's DED is "the only component able to access DBFS directly";
+// making it parallel means one ps_invoke fans its per-record work
+// (membrane filter, load, execute) over shards while N application
+// threads invoke concurrently. The pool is sized from the kernel's CPU
+// partition (kernel::CpuPartition::Plan) so DED workers and NPD threads
+// share the machine deliberately rather than by oversubscription.
+//
+// Scheduling model: ParallelFor(shards, fn) publishes one job; the
+// calling thread immediately starts claiming shards itself (shard 0
+// first — a 1-shard job never pays a handoff) and helps drain the job
+// until every shard is done, so a pool of W workers gives W+1 lanes and
+// the executor is usable even with zero workers (pure inline
+// execution). Shards are claimed by atomic increment; `fn` runs with NO
+// executor lock held, so it may take any rank in the stack-wide lock
+// order (metrics/lock.hpp).
+//
+// Worker identity: each pool thread seeds its thread-local RNG stream
+// from the boot seed and its worker index (common/rng.hpp), so a
+// parallel run draws from disjoint deterministic streams instead of
+// racing on one generator.
+//
+// `fn` must not throw — like the rest of the stack it reports failures
+// through Status values captured by the caller (see Ded::RunShard).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rgpdos::core {
+
+class DedExecutor {
+ public:
+  /// `workers` pool threads (0 = inline-only executor); `boot_seed`
+  /// derives each worker's deterministic RNG stream.
+  DedExecutor(unsigned workers, std::uint64_t boot_seed);
+  ~DedExecutor();
+  DedExecutor(const DedExecutor&) = delete;
+  DedExecutor& operator=(const DedExecutor&) = delete;
+
+  /// Pool threads only; the caller lane makes it worker_count() + 1.
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Run fn(shard) for every shard in [0, shards). Blocks until all
+  /// shards completed. Safe to call from any number of threads
+  /// concurrently; jobs are drained FIFO. Never called re-entrantly
+  /// from inside `fn` (the DED does not nest pipelines).
+  void ParallelFor(std::size_t shards,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::size_t shards = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop(unsigned index);
+  /// Claim-and-run shards of `job` until none are left; returns the
+  /// number of shards this thread ran.
+  static std::size_t Drain(Job& job);
+
+  const std::uint64_t boot_seed_;
+  std::mutex mu_;                 // guards queue_ + stop_ (scheduling only)
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rgpdos::core

@@ -5,6 +5,20 @@
 
 namespace rgpdos::core {
 
+namespace {
+// Per-thread batch staging. Entries appended inside a BatchScope are
+// parked here — seq 0, chain unset — and only meet the shared chain at
+// EndBatch. Keyed by owning log so a batch on one ProcessingLog never
+// swallows appends to another (depth handles re-entrant scopes on the
+// same log).
+struct ThreadBatch {
+  const void* log = nullptr;
+  int depth = 0;
+  std::vector<LogEntry> staged;
+};
+thread_local ThreadBatch t_batch;
+}  // namespace
+
 std::string_view LogOutcomeName(LogOutcome outcome) {
   switch (outcome) {
     case LogOutcome::kProcessed: return "processed";
@@ -90,11 +104,31 @@ Status ProcessingLog::LoadFromStore(inodefs::InodeStore* store,
   return Status::Ok();
 }
 
+void ProcessingLog::CommitEntryLocked(LogEntry entry, Bytes& encoded) {
+  entry.seq = entries_.size();
+  const crypto::Sha256Digest prev =
+      entries_.empty() ? crypto::Sha256Digest{} : entries_.back().chain;
+  entry.chain = HashEntry(entry, prev);
+  const Bytes bytes = EncodeEntry(entry);
+  encoded.insert(encoded.end(), bytes.begin(), bytes.end());
+  entries_.push_back(std::move(entry));
+}
+
+void ProcessingLog::DurableAppendLocked(const Bytes& encoded) {
+  if (store_ == nullptr || encoded.empty()) return;
+  // An IO failure here is deliberately loud: silently losing audit
+  // history would defeat the log.
+  const Status appended = store_->Append(inode_, encoded);
+  if (!appended.ok()) {
+    RGPD_LOG(kError, "processing_log")
+        << "append failed: " << appended.ToString();
+  }
+}
+
 void ProcessingLog::Append(std::string processing, std::string purpose,
                            dbfs::SubjectId subject, dbfs::RecordId record,
                            LogOutcome outcome, std::string detail) {
   LogEntry entry;
-  entry.seq = entries_.size();
   entry.at = clock_->Now();
   entry.processing = std::move(processing);
   entry.purpose = std::move(purpose);
@@ -102,28 +136,25 @@ void ProcessingLog::Append(std::string processing, std::string purpose,
   entry.record_id = record;
   entry.outcome = outcome;
   entry.detail = std::move(detail);
-  const crypto::Sha256Digest prev =
-      entries_.empty() ? crypto::Sha256Digest{} : entries_.back().chain;
-  entry.chain = HashEntry(entry, prev);
-  if (store_ != nullptr) {
-    const Bytes encoded = EncodeEntry(entry);
-    if (batching_) {
-      pending_.insert(pending_.end(), encoded.begin(), encoded.end());
-    } else {
-      // Durable first, visible second. An IO failure here is
-      // deliberately loud: silently losing audit history would defeat
-      // the log.
-      const Status appended = store_->Append(inode_, encoded);
-      if (!appended.ok()) {
-        RGPD_LOG(kError, "processing_log")
-            << "append failed: " << appended.ToString();
-      }
-    }
+  if (t_batch.depth > 0 && t_batch.log == this) {
+    // Inside this thread's batch: park the entry; seq and chain are
+    // assigned contiguously at EndBatch.
+    t_batch.staged.push_back(std::move(entry));
+    return;
   }
-  entries_.push_back(std::move(entry));
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  Bytes encoded;
+  CommitEntryLocked(std::move(entry), encoded);
+  DurableAppendLocked(encoded);
+}
+
+std::size_t ProcessingLog::entry_count() const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  return entries_.size();
 }
 
 std::vector<LogEntry> ProcessingLog::ForRecord(dbfs::RecordId record) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   std::vector<LogEntry> out;
   for (const LogEntry& e : entries_) {
     if (e.record_id == record) out.push_back(e);
@@ -133,6 +164,7 @@ std::vector<LogEntry> ProcessingLog::ForRecord(dbfs::RecordId record) const {
 
 std::vector<LogEntry> ProcessingLog::ForSubject(
     dbfs::SubjectId subject) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   std::vector<LogEntry> out;
   for (const LogEntry& e : entries_) {
     if (e.subject_id == subject) out.push_back(e);
@@ -140,21 +172,35 @@ std::vector<LogEntry> ProcessingLog::ForSubject(
   return out;
 }
 
-void ProcessingLog::EndBatch() {
-  batching_ = false;
-  if (store_ == nullptr || pending_.empty()) {
-    pending_.clear();
+void ProcessingLog::BeginBatch() {
+  if (t_batch.depth > 0 && t_batch.log != this) {
+    // A batch for another log is active on this thread; appends to THIS
+    // log stay unbatched (Append checks the owner). Don't disturb it.
     return;
   }
-  const Status appended = store_->Append(inode_, pending_);
-  if (!appended.ok()) {
-    RGPD_LOG(kError, "processing_log")
-        << "batch append failed: " << appended.ToString();
+  t_batch.log = this;
+  ++t_batch.depth;
+}
+
+void ProcessingLog::EndBatch() {
+  if (t_batch.log != this || t_batch.depth == 0) return;
+  if (--t_batch.depth > 0) return;
+  std::vector<LogEntry> staged = std::move(t_batch.staged);
+  t_batch.staged.clear();
+  t_batch.log = nullptr;
+  if (staged.empty()) return;
+  // One lock hold finalises the whole batch: contiguous sequence
+  // numbers, one chain continuation, one durable append.
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  Bytes encoded;
+  for (LogEntry& entry : staged) {
+    CommitEntryLocked(std::move(entry), encoded);
   }
-  pending_.clear();
+  DurableAppendLocked(encoded);
 }
 
 bool ProcessingLog::VerifyChain() const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   crypto::Sha256Digest prev{};
   for (const LogEntry& e : entries_) {
     if (!crypto::DigestEqual(HashEntry(e, prev), e.chain)) return false;

@@ -5,14 +5,26 @@
 // Entries form a SHA-256 hash chain so an auditor can detect tampering
 // or truncation: each entry's digest covers its content and the previous
 // digest.
+//
+// Thread-safety: the entry list, hash chain and durable append serialise
+// on one lock at rank kCoreLog (just below the ProcessingStore lock, so
+// the store may log while holding its own lock). Batching is per-thread:
+// a BatchScope stages entries in thread-local storage WITHOUT touching
+// the shared chain, and EndBatch assigns their sequence numbers and
+// chain digests contiguously under the lock, then makes them durable in
+// one store append. Entries for one record therefore carry sequence
+// numbers in happens-before order: within a batch by staging order, and
+// across batches/threads by flush order under the lock.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "crypto/sha256.hpp"
 #include "dbfs/dbfs.hpp"
+#include "metrics/lock.hpp"
 
 namespace rgpdos::core {
 
@@ -62,11 +74,14 @@ class ProcessingLog {
               dbfs::SubjectId subject, dbfs::RecordId record,
               LogOutcome outcome, std::string detail = {});
 
-  /// Group commit: between BeginBatch and EndBatch, appends are staged
-  /// and written to the store in ONE durable append (the DED batches one
-  /// pipeline run's entries; per-record durability would multiply the
-  /// journal traffic by the record count). RAII wrapper below.
-  void BeginBatch() { batching_ = true; }
+  /// Group commit: between BeginBatch and EndBatch, this thread's
+  /// appends are staged thread-locally (no shared state touched) and
+  /// committed to the chain + written to the store in ONE durable append
+  /// (the DED batches one pipeline run's entries; per-record durability
+  /// would multiply the journal traffic by the record count). Batches on
+  /// different threads stage independently and serialise at EndBatch.
+  /// RAII wrapper below.
+  void BeginBatch();
   void EndBatch();
 
   class BatchScope {
@@ -82,10 +97,13 @@ class ProcessingLog {
     ProcessingLog& log_;
   };
 
+  /// Quiescent-time view of the raw log. Not safe while other threads
+  /// Append; concurrent readers use the copying queries below.
   [[nodiscard]] const std::vector<LogEntry>& entries() const {
     return entries_;
   }
-  /// Every processing that touched one PD record.
+  [[nodiscard]] std::size_t entry_count() const;
+  /// Every processing that touched one PD record (copied under the lock).
   [[nodiscard]] std::vector<LogEntry> ForRecord(dbfs::RecordId record) const;
   /// Every processing that touched one subject's PD.
   [[nodiscard]] std::vector<LogEntry> ForSubject(
@@ -100,12 +118,17 @@ class ProcessingLog {
   static Bytes EncodeEntry(const LogEntry& entry);
   static Result<LogEntry> DecodeEntry(ByteReader& reader);
 
+  /// Finalise one entry (seq + chain continuation), append its encoding
+  /// to `encoded` and move it into entries_. Caller holds mu_.
+  void CommitEntryLocked(LogEntry entry, Bytes& encoded);
+  void DurableAppendLocked(const Bytes& encoded);
+
   const Clock* clock_;  // borrowed
+  mutable metrics::OrderedMutex mu_{metrics::LockRank::kCoreLog,
+                                    "core.processing_log"};
   std::vector<LogEntry> entries_;
   inodefs::InodeStore* store_ = nullptr;  // borrowed; null = memory-only
   inodefs::InodeId inode_ = inodefs::kInvalidInode;
-  bool batching_ = false;
-  Bytes pending_;
 };
 
 }  // namespace rgpdos::core

@@ -77,6 +77,7 @@ Result<ProcessingId> ProcessingStore::Register(sentinel::Domain caller,
   RGPD_ASSIGN_OR_RETURN(std::string mismatch,
                         CheckPurposeMatch(purpose, manifest));
 
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   const ProcessingId id = next_id_++;
   StoredProcessing stored;
   stored.purpose = std::move(purpose);
@@ -98,6 +99,7 @@ Result<ProcessingId> ProcessingStore::Register(sentinel::Domain caller,
 }
 
 std::vector<Alert> ProcessingStore::PendingAlerts() const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   std::vector<Alert> out;
   for (const Alert& a : alerts_) {
     if (!a.resolved) out.push_back(a);
@@ -113,6 +115,7 @@ Status ProcessingStore::ApproveAlert(sentinel::Domain caller,
   request.op = sentinel::Operation::kApprove;
   request.detail = "alert=" + std::to_string(alert_id);
   RGPD_RETURN_IF_ERROR(sentinel_->Enforce(request));
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   for (Alert& a : alerts_) {
     if (a.id == alert_id && !a.resolved) {
       a.resolved = true;
@@ -132,6 +135,7 @@ Status ProcessingStore::RejectAlert(sentinel::Domain caller,
   request.op = sentinel::Operation::kApprove;
   request.detail = "alert=" + std::to_string(alert_id);
   RGPD_RETURN_IF_ERROR(sentinel_->Enforce(request));
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   for (Alert& a : alerts_) {
     if (a.id == alert_id && !a.resolved) {
       a.resolved = true;
@@ -145,6 +149,7 @@ Status ProcessingStore::RejectAlert(sentinel::Domain caller,
 
 void ProcessingStore::RegisterCollectionSource(std::string method,
                                                CollectionSource source) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   collection_sources_[std::move(method)] = std::move(source);
 }
 
@@ -166,11 +171,17 @@ Status ProcessingStore::RunCollection(const dsl::PurposeDecl& purpose,
     return NotFound("type '" + type->name +
                     "' declares no collection method '" + method + "'");
   }
-  const auto source_it = collection_sources_.find(method);
-  if (source_it == collection_sources_.end()) {
-    return NotFound("no collection source registered for '" + method + "'");
+  CollectionSource source;
+  {
+    std::lock_guard<metrics::OrderedMutex> lock(mu_);
+    const auto source_it = collection_sources_.find(method);
+    if (source_it == collection_sources_.end()) {
+      return NotFound("no collection source registered for '" + method +
+                      "'");
+    }
+    source = source_it->second;  // copy: the source runs unlocked
   }
-  RGPD_ASSIGN_OR_RETURN(auto collected, source_it->second(*interface));
+  RGPD_ASSIGN_OR_RETURN(auto collected, source(*interface));
   for (auto& [subject, row] : collected) {
     membrane::Membrane m = type->DefaultMembrane(subject, clock_->Now());
     RGPD_ASSIGN_OR_RETURN(
@@ -198,23 +209,36 @@ Result<InvokeResult> ProcessingStore::Invoke(sentinel::Domain caller,
     return enforce;
   }
 
-  const auto it = processings_.find(id);
-  if (it == processings_.end()) {
-    return NotFound("no processing " + std::to_string(id));
-  }
-  const StoredProcessing& stored = it->second;
-  if (!stored.active) {
-    return FailedPrecondition(
-        "processing " + std::to_string(id) +
-        " is held by a pending purpose-mismatch alert");
+  // Copy the stored processing out under the lock; the pipeline itself
+  // runs unlocked so concurrent invokes only contend inside the lower
+  // layers (shard locks, store mutex), not here.
+  dsl::PurposeDecl purpose;
+  ProcessingFn fn;
+  std::set<std::string> manifest_fields;
+  bool tracing = false;
+  {
+    std::lock_guard<metrics::OrderedMutex> lock(mu_);
+    const auto it = processings_.find(id);
+    if (it == processings_.end()) {
+      return NotFound("no processing " + std::to_string(id));
+    }
+    const StoredProcessing& stored = it->second;
+    if (!stored.active) {
+      return FailedPrecondition(
+          "processing " + std::to_string(id) +
+          " is held by a pending purpose-mismatch alert");
+    }
+    purpose = stored.purpose;
+    fn = stored.fn;  // std::function copy shares the callable
+    manifest_fields = stored.manifest.fields_read;
+    tracing = stored.verified_runs < kVerificationRuns;
   }
 
   if (options.collect_first) {
     if (options.collection_method.empty()) {
       return InvalidArgument("collect_first set but no collection method");
     }
-    RGPD_RETURN_IF_ERROR(
-        RunCollection(stored.purpose, options.collection_method));
+    RGPD_RETURN_IF_ERROR(RunCollection(purpose, options.collection_method));
   }
 
   // PS instantiates the DED (rule 2); the sentinel records the crossing.
@@ -222,15 +246,14 @@ Result<InvokeResult> ProcessingStore::Invoke(sentinel::Domain caller,
   ded_request.subject = kPs;
   ded_request.object = sentinel::Domain::kDed;
   ded_request.op = sentinel::Operation::kInvoke;
-  ded_request.detail = "purpose=" + stored.purpose.name;
+  ded_request.detail = "purpose=" + purpose.name;
   RGPD_RETURN_IF_ERROR(sentinel_->Enforce(ded_request));
 
   DataExecutionDomain ded(DataExecutionDomain::PassKey{}, dbfs_, sentinel_,
-                          log_, clock_);
-  const bool tracing = stored.verified_runs < kVerificationRuns;
+                          log_, clock_, executor_);
   std::set<std::string> field_trace;
-  auto result = ded.Execute(stored.purpose, "processing#" + std::to_string(id),
-                            stored.fn, options.target,
+  auto result = ded.Execute(purpose, "processing#" + std::to_string(id),
+                            fn, options.target,
                             tracing ? &field_trace : nullptr,
                             options.predicates);
   if (tracing && result.ok()) {
@@ -240,13 +263,18 @@ Result<InvokeResult> ProcessingStore::Invoke(sentinel::Domain caller,
     // purpose/implementation mismatch the paper's §3(4) worries about.
     std::string overreach;
     for (const std::string& field : field_trace) {
-      if (it->second.manifest.fields_read.count(field) == 0) {
+      if (manifest_fields.count(field) == 0) {
         overreach = field;
         break;
       }
     }
+    std::lock_guard<metrics::OrderedMutex> lock(mu_);
+    // Re-find: the processing may have been rejected (erased) while the
+    // pipeline ran. Its PD-path effects already happened and are logged;
+    // there is just no table entry left to verify.
+    const auto it = processings_.find(id);
     if (!overreach.empty()) {
-      it->second.active = false;
+      if (it != processings_.end()) it->second.active = false;
       RGPD_METRIC_COUNT("core.ps_alerts.count");
       Alert alert;
       alert.id = next_alert_id_++;
@@ -260,7 +288,7 @@ Result<InvokeResult> ProcessingStore::Invoke(sentinel::Domain caller,
           " deactivated: it read field '" + overreach +
           "' beyond its declared manifest (runtime alert raised)");
     }
-    if (result->records_processed > 0) {
+    if (it != processings_.end() && result->records_processed > 0) {
       ++it->second.verified_runs;
     }
   }
@@ -269,6 +297,7 @@ Result<InvokeResult> ProcessingStore::Invoke(sentinel::Domain caller,
 
 Result<const dsl::PurposeDecl*> ProcessingStore::GetPurpose(
     ProcessingId id) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   const auto it = processings_.find(id);
   if (it == processings_.end()) {
     return NotFound("no processing " + std::to_string(id));
@@ -277,6 +306,7 @@ Result<const dsl::PurposeDecl*> ProcessingStore::GetPurpose(
 }
 
 bool ProcessingStore::IsActive(ProcessingId id) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   const auto it = processings_.find(id);
   return it != processings_.end() && it->second.active;
 }

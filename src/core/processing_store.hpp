@@ -7,13 +7,24 @@
 // raises an ALERT that requires explicit sysadmin approval before the
 // processing becomes invocable. ps_invoke instantiates a DED and runs
 // the pipeline; applications never reach DBFS any other way.
+//
+// Thread-safety: the registration table, alert table and collection
+// sources serialise on one lock at the TOP of the stack-wide order
+// (rank kCore — see metrics/lock.hpp). Invoke holds it only to COPY the
+// stored processing out (purpose, fn handle, manifest fields), so N
+// application threads run their DED pipelines concurrently without
+// serialising on the PS; the runtime purpose verifier re-finds the
+// processing under the lock afterwards and tolerates it having been
+// rejected meanwhile.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "core/ded.hpp"
 #include "core/processing.hpp"
+#include "metrics/lock.hpp"
 
 namespace rgpdos::core {
 
@@ -39,9 +50,16 @@ struct Alert {
 
 class ProcessingStore {
  public:
+  /// `executor` may be null: invokes then run their pipeline
+  /// single-lane (the pre-parallel behaviour).
   ProcessingStore(dbfs::Dbfs* dbfs, sentinel::Sentinel* sentinel,
-                  ProcessingLog* log, const Clock* clock)
-      : dbfs_(dbfs), sentinel_(sentinel), log_(log), clock_(clock) {}
+                  ProcessingLog* log, const Clock* clock,
+                  DedExecutor* executor = nullptr)
+      : dbfs_(dbfs),
+        sentinel_(sentinel),
+        log_(log),
+        clock_(clock),
+        executor_(executor) {}
 
   // ---- ps_register -----------------------------------------------------------
 
@@ -70,8 +88,11 @@ class ProcessingStore {
   // ---- introspection -----------------------------------------------------------
 
   [[nodiscard]] std::size_t processing_count() const {
+    std::lock_guard<metrics::OrderedMutex> lock(mu_);
     return processings_.size();
   }
+  /// The pointer stays valid until the processing is erased by
+  /// RejectAlert — treat as a quiescent-time interface.
   Result<const dsl::PurposeDecl*> GetPurpose(ProcessingId id) const;
   [[nodiscard]] bool IsActive(ProcessingId id) const;
 
@@ -101,7 +122,11 @@ class ProcessingStore {
   sentinel::Sentinel* sentinel_; // borrowed
   ProcessingLog* log_;           // borrowed
   const Clock* clock_;           // borrowed
+  DedExecutor* executor_;        // borrowed; null = single-lane invokes
 
+  /// Guards everything below. Rank kCore: outermost, so a holder may
+  /// still call any lower layer (sentinel, log, dbfs, ...).
+  mutable metrics::OrderedMutex mu_{metrics::LockRank::kCore, "core.ps"};
   std::map<ProcessingId, StoredProcessing> processings_;
   std::vector<Alert> alerts_;
   std::map<std::string, CollectionSource> collection_sources_;

@@ -1,6 +1,8 @@
 #include "core/rgpdos.hpp"
 
+#include "common/rng.hpp"
 #include "dsl/parser.hpp"
+#include "kernel/placement.hpp"
 
 namespace rgpdos::core {
 
@@ -14,8 +16,11 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& config) {
   } else {
     os->clock_ = std::make_unique<SystemClock>();
   }
-  os->rng_ = config.seed != 0 ? crypto::SecureRandom(config.seed)
-                              : crypto::SecureRandom();
+  if (config.seed != 0) {
+    os->rng_.Reseed(config.seed);
+  } else {
+    os->rng_.ReseedFromEntropy();
+  }
 
   os->sentinel_ = std::make_unique<sentinel::Sentinel>(
       sentinel::SecurityPolicy::RgpdDefault(), os->clock_.get(),
@@ -35,13 +40,17 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& config) {
                                   os->clock_.get()));
   if (config.split_sensitive) {
     // Dedicated device for high-sensitivity PD (paper §2's storage
-    // separation): its own blocks, inodes and journal.
+    // separation): its own blocks, inodes and journal. Its mutex ranks
+    // just below the primary store's so DBFS can nest sensitive-store
+    // writes inside a primary-store group-commit scope.
     os->sensitive_device_ = std::make_unique<blockdev::MemBlockDevice>(
         config.block_size, config.sensitive_blocks);
+    inodefs::InodeStore::Options sensitive_options = dbfs_options;
+    sensitive_options.lock_rank = metrics::LockRank::kInodefsSensitive;
     RGPD_ASSIGN_OR_RETURN(
         os->sensitive_store_,
         inodefs::InodeStore::Format(os->sensitive_device_.get(),
-                                    dbfs_options, os->clock_.get()));
+                                    sensitive_options, os->clock_.get()));
   }
   RGPD_ASSIGN_OR_RETURN(
       os->dbfs_,
@@ -64,9 +73,24 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& config) {
   os->log_ = std::make_unique<ProcessingLog>(os->clock_.get());
   os->log_->AttachStore(os->dbfs_store_.get(),
                         os->dbfs_->processing_log_inode());
+
+  // DED worker pool. worker_threads == 1 keeps the historical inline
+  // execution (no pool, no executor); 0 lets the kernel's CPU partition
+  // decide how many cores the PD path gets.
+  unsigned lanes = config.worker_threads;
+  if (lanes == 0) {
+    lanes = kernel::CpuPartition::Plan().ded_workers;
+  }
+  if (lanes > 1) {
+    os->executor_ = std::make_unique<DedExecutor>(lanes - 1, config.seed);
+  }
+  // The boot thread is stream 0 of the boot seed; executor workers took
+  // streams 1..N-1.
+  SeedThreadRng(config.seed, 0);
+
   os->ps_ = std::make_unique<ProcessingStore>(
       os->dbfs_.get(), os->sentinel_.get(), os->log_.get(),
-      os->clock_.get());
+      os->clock_.get(), os->executor_.get());
   os->builtins_ = std::make_unique<Builtins>(os->dbfs_.get(), os->log_.get(),
                                              os->clock_.get(), &os->rng_);
   os->rights_ = std::make_unique<Rights>(os->dbfs_.get(), os->log_.get(),

@@ -42,6 +42,11 @@ struct BootConfig {
   /// device/store (paper §2's storage-separation prescription).
   bool split_sensitive = false;
   std::uint64_t sensitive_blocks = 4096;
+  /// DED worker pool size. 1 (default) runs every pipeline inline on
+  /// the invoking thread — the historical behaviour; 0 sizes the pool
+  /// from the kernel's CPU partition (kernel::CpuPartition::Plan); N > 1
+  /// spawns N-1 pool threads so an invoke uses N lanes total.
+  unsigned worker_threads = 1;
 };
 
 class RgpdOs {
@@ -72,6 +77,8 @@ class RgpdOs {
   /// Non-null iff booted with use_sim_clock.
   [[nodiscard]] SimClock* sim_clock() { return sim_clock_; }
   [[nodiscard]] crypto::SecureRandom& rng() { return rng_; }
+  /// Non-null iff booted with worker_threads != 1.
+  [[nodiscard]] DedExecutor* executor() { return executor_.get(); }
 
   // ---- sysadmin conveniences ---------------------------------------------------
   /// Parse a Listing-1 source and create every declared type; returns
@@ -118,6 +125,7 @@ class RgpdOs {
   std::unique_ptr<dbfs::Dbfs> dbfs_;
 
   std::unique_ptr<ProcessingLog> log_;
+  std::unique_ptr<DedExecutor> executor_;
   std::unique_ptr<ProcessingStore> ps_;
   std::unique_ptr<Builtins> builtins_;
   std::unique_ptr<Rights> rights_;

@@ -13,7 +13,10 @@ std::uint64_t EntropySeed() {
 
 SecureRandom::SecureRandom() : rng_(EntropySeed()) {}
 
+void SecureRandom::ReseedFromEntropy() { rng_ = Rng(EntropySeed()); }
+
 void SecureRandom::Fill(std::uint8_t* out, std::size_t n) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = static_cast<std::uint8_t>(rng_.NextU64());
   }

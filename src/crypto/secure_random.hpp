@@ -1,12 +1,21 @@
 // Random bytes for key material. Mixes OS entropy (std::random_device)
 // into a xoshiro stream; deterministic mode is available for tests so
 // envelopes and keypairs are reproducible.
+//
+// Thread-safety: Fill/NextBytes serialise on an internal leaf-rank lock
+// (kCryptoRng), so one SecureRandom may feed concurrent erasure /
+// envelope paths. rng() hands out the raw stream WITHOUT that lock —
+// callers doing long multi-draw work (BigUint prime generation) must own
+// the generator for the duration, which boot-time keypair generation
+// does by construction.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "metrics/lock.hpp"
 
 namespace rgpdos::crypto {
 
@@ -17,12 +26,19 @@ class SecureRandom {
   /// Deterministic generator (tests / reproducible benches).
   explicit SecureRandom(std::uint64_t seed) : rng_(seed) {}
 
+  /// Re-seed in place (the mutex makes SecureRandom immovable).
+  /// Boot-time interface: not safe against concurrent Fill.
+  void Reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+  void ReseedFromEntropy();
+
   void Fill(std::uint8_t* out, std::size_t n);
   Bytes NextBytes(std::size_t n);
   /// Access the underlying Rng (used by BigUint prime generation).
+  /// Unsynchronised: single-owner use only.
   Rng& rng() { return rng_; }
 
  private:
+  metrics::OrderedMutex mu_{metrics::LockRank::kCryptoRng, "crypto.rng"};
   Rng rng_;
 };
 

@@ -10,6 +10,15 @@ namespace rgpdos::dbfs {
 namespace {
 constexpr std::uint32_t kFormatHintMagic = 0x44424653;  // "DBFS"
 constexpr std::uint32_t kFormatHintVersion = 1;
+
+// Boot-time helper: raise an atomic high-water mark (Mount is
+// single-threaded by contract, so a plain load/store race is fine).
+template <typename T>
+void Raise(std::atomic<T>& mark, T candidate) {
+  if (mark.load(std::memory_order_relaxed) < candidate) {
+    mark.store(candidate, std::memory_order_relaxed);
+  }
+}
 }  // namespace
 
 Status Dbfs::Gate(sentinel::Domain caller, sentinel::Operation op,
@@ -103,7 +112,7 @@ Result<std::unique_ptr<Dbfs>> Dbfs::Mount(
       RGPD_ASSIGN_OR_RETURN(RecordId id, index_reader.GetU64());
       RGPD_ASSIGN_OR_RETURN(SubjectId subject, index_reader.GetU64());
       (void)subject;
-      fs->next_record_id_ = std::max(fs->next_record_id_, id + 1);
+      Raise(fs->next_record_id_, id + 1);
     }
     fs->types_.emplace(std::move(name), std::move(entry));
   }
@@ -130,9 +139,8 @@ Result<std::unique_ptr<Dbfs>> Dbfs::Mount(
       loc.erased = e.erased;
       loc.store_id = e.store_id;
       fs->records_.Insert(e.record_id, std::move(loc));
-      fs->next_record_id_ = std::max(fs->next_record_id_, e.record_id + 1);
-      fs->next_copy_group_ =
-          std::max(fs->next_copy_group_, e.copy_group + 1);
+      Raise(fs->next_record_id_, e.record_id + 1);
+      Raise(fs->next_copy_group_, e.copy_group + 1);
     }
   }
   return fs;
@@ -206,12 +214,21 @@ Status Dbfs::StoreSubjectRoot(inodefs::InodeId root,
 }
 
 Result<inodefs::InodeId> Dbfs::GetOrCreateSubjectRoot(SubjectId subject) {
-  const auto it = subjects_.find(subject);
-  if (it != subjects_.end()) return it->second;
+  // Caller holds the subject's shard mutex, so no other thread can be
+  // creating THIS subject concurrently; index_mu_ only protects the map
+  // itself against other subjects' inserts.
+  {
+    std::shared_lock<metrics::OrderedSharedMutex> lock(index_mu_);
+    const auto it = subjects_.find(subject);
+    if (it != subjects_.end()) return it->second;
+  }
   RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root,
                         store_->AllocInode(inodefs::InodeKind::kSubjectRoot));
   RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, {}));
-  subjects_[subject] = root;
+  {
+    std::lock_guard<metrics::OrderedSharedMutex> lock(index_mu_);
+    subjects_[subject] = root;
+  }
   // Append-only subjects map: one small write per NEW subject.
   ByteWriter w;
   w.PutU64(subject);
@@ -226,6 +243,7 @@ Status Dbfs::CreateType(sentinel::Domain caller, const dsl::TypeDecl& decl) {
   RGPD_RETURN_IF_ERROR(
       Gate(caller, sentinel::Operation::kCreate, "type=" + decl.name));
   RGPD_RETURN_IF_ERROR(decl.Validate());
+  std::lock_guard<metrics::OrderedSharedMutex> lock(schema_mu_);
   if (types_.count(decl.name) != 0) {
     return AlreadyExists("type exists: " + decl.name);
   }
@@ -247,14 +265,18 @@ Result<const dsl::TypeDecl*> Dbfs::GetType(sentinel::Domain caller,
                                            std::string_view name) const {
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kReadSchema,
                             "type=" + std::string(name)));
+  std::shared_lock<metrics::OrderedSharedMutex> lock(schema_mu_);
   const auto it = types_.find(name);
   if (it == types_.end()) {
     return NotFound("no type: " + std::string(name));
   }
+  // Map nodes are stable and types are never erased, so the pointer
+  // outlives the lock.
   return &it->second.decl;
 }
 
 std::vector<std::string> Dbfs::TypeNames() const {
+  std::shared_lock<metrics::OrderedSharedMutex> lock(schema_mu_);
   std::vector<std::string> names;
   names.reserve(types_.size());
   for (const auto& [name, entry] : types_) names.push_back(name);
@@ -264,11 +286,21 @@ std::vector<std::string> Dbfs::TypeNames() const {
 // ---- record surface ------------------------------------------------------------
 
 Result<Dbfs::RecordLoc> Dbfs::Locate(RecordId id) const {
+  std::shared_lock<metrics::OrderedSharedMutex> lock(index_mu_);
   const RecordLoc* loc = records_.Find(id);
   if (loc == nullptr) {
     return NotFound("no PD record " + std::to_string(id));
   }
   return *loc;
+}
+
+Result<inodefs::InodeId> Dbfs::SubjectRootOf(SubjectId subject) const {
+  std::shared_lock<metrics::OrderedSharedMutex> lock(index_mu_);
+  const auto it = subjects_.find(subject);
+  if (it == subjects_.end()) {
+    return NotFound("no subject " + std::to_string(subject));
+  }
+  return it->second;
 }
 
 Result<RecordId> Dbfs::Put(sentinel::Domain caller, SubjectId subject,
@@ -278,6 +310,7 @@ Result<RecordId> Dbfs::Put(sentinel::Domain caller, SubjectId subject,
   RGPD_METRIC_SCOPED_LATENCY("dbfs.put.latency_ns");
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kCreate,
                             "put type=" + std::string(type_name)));
+  std::shared_lock<metrics::OrderedSharedMutex> schema_lock(schema_mu_);
   const auto type_it = types_.find(type_name);
   if (type_it == types_.end()) {
     return NotFound("no type: " + std::string(type_name));
@@ -293,56 +326,72 @@ Result<RecordId> Dbfs::Put(sentinel::Domain caller, SubjectId subject,
     return FailedPrecondition("membrane subject does not match record");
   }
   if (membrane.copy_group == 0) {
-    membrane.copy_group = next_copy_group_++;
+    membrane.copy_group = next_copy_group_.fetch_add(1,
+                                                     std::memory_order_relaxed);
   }
 
-  // Physical segregation: high-sensitivity records live on the
-  // dedicated sensitive store when one is attached.
+  // Serialise this subject's subtree, then resolve its root BEFORE the
+  // group scope takes the store lock (the root lookup needs index_mu_,
+  // which ranks above the store).
+  std::lock_guard<metrics::OrderedMutex> shard_lock(SubjectShard(subject));
+  RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root,
+                        GetOrCreateSubjectRoot(subject));
+
+  const RecordId id = next_record_id_.fetch_add(1, std::memory_order_relaxed);
   const std::uint8_t store_id =
       StoreIdFor(type_it->second.decl.sensitivity);
   inodefs::InodeStore* data_store = StoreById(store_id);
-  RGPD_ASSIGN_OR_RETURN(
-      inodefs::InodeId pd_inode,
-      data_store->AllocInode(inodefs::InodeKind::kPdRecord));
-  RGPD_ASSIGN_OR_RETURN(
-      inodefs::InodeId membrane_inode,
-      data_store->AllocInode(inodefs::InodeKind::kMembrane));
-  RGPD_RETURN_IF_ERROR(data_store->WriteAll(
-      pd_inode, type_it->second.schema.EncodeRow(row)));
-  RGPD_RETURN_IF_ERROR(
-      data_store->WriteAll(membrane_inode, membrane.Serialize()));
+  inodefs::InodeId pd_inode = inodefs::kInvalidInode;
+  inodefs::InodeId membrane_inode = inodefs::kInvalidInode;
+  {
+    // One journal record for the whole insert (7 per-txn appends
+    // otherwise). Physical segregation: high-sensitivity records live
+    // on the dedicated sensitive store when one is attached; its writes
+    // nest under the primary scope thanks to its lower lock rank.
+    inodefs::InodeStore::GroupCommitScope group(*store_);
+    RGPD_ASSIGN_OR_RETURN(
+        pd_inode, data_store->AllocInode(inodefs::InodeKind::kPdRecord));
+    RGPD_ASSIGN_OR_RETURN(
+        membrane_inode,
+        data_store->AllocInode(inodefs::InodeKind::kMembrane));
+    RGPD_RETURN_IF_ERROR(data_store->WriteAll(
+        pd_inode, type_it->second.schema.EncodeRow(row)));
+    RGPD_RETURN_IF_ERROR(
+        data_store->WriteAll(membrane_inode, membrane.Serialize()));
 
-  RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root,
-                        GetOrCreateSubjectRoot(subject));
-  RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
-                        LoadSubjectRoot(root));
-  const RecordId id = next_record_id_++;
-  SubjectEntry entry;
-  entry.record_id = id;
-  entry.type_name = std::string(type_name);
-  entry.pd_inode = pd_inode;
-  entry.membrane_inode = membrane_inode;
-  entry.copy_group = membrane.copy_group;
-  entry.erased = false;
-  entry.store_id = store_id;
-  entries.push_back(entry);
-  RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
+    RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
+                          LoadSubjectRoot(root));
+    SubjectEntry entry;
+    entry.record_id = id;
+    entry.type_name = std::string(type_name);
+    entry.pd_inode = pd_inode;
+    entry.membrane_inode = membrane_inode;
+    entry.copy_group = membrane.copy_group;
+    entry.erased = false;
+    entry.store_id = store_id;
+    entries.push_back(std::move(entry));
+    RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
 
-  // Schema-tree link: append (record, subject) to the type's index.
-  ByteWriter link;
-  link.PutU64(id);
-  link.PutU64(subject);
-  RGPD_RETURN_IF_ERROR(
-      store_->Append(type_it->second.subject_index_inode, link.buffer()));
+    // Schema-tree link: append (record, subject) to the type's index.
+    ByteWriter link;
+    link.PutU64(id);
+    link.PutU64(subject);
+    RGPD_RETURN_IF_ERROR(
+        store_->Append(type_it->second.subject_index_inode, link.buffer()));
+    RGPD_RETURN_IF_ERROR(group.Finish());
+  }
 
   RecordLoc loc;
   loc.subject_id = subject;
-  loc.type_name = entry.type_name;
+  loc.type_name = std::string(type_name);
   loc.pd_inode = pd_inode;
   loc.membrane_inode = membrane_inode;
   loc.copy_group = membrane.copy_group;
   loc.store_id = store_id;
-  records_.Insert(id, std::move(loc));
+  {
+    std::lock_guard<metrics::OrderedSharedMutex> index_lock(index_mu_);
+    records_.Insert(id, std::move(loc));
+  }
   return id;
 }
 
@@ -351,7 +400,14 @@ Result<PdRecord> Dbfs::Get(sentinel::Domain caller, RecordId id) const {
   RGPD_METRIC_SCOPED_LATENCY("dbfs.get.latency_ns");
   RGPD_RETURN_IF_ERROR(
       Gate(caller, sentinel::Operation::kRead, "record=" + std::to_string(id)));
+  std::shared_lock<metrics::OrderedSharedMutex> schema_lock(schema_mu_);
+  // Locate, then pin the subject shard and re-validate: the shard
+  // excludes a concurrent HardDelete from freeing (and the allocator
+  // from recycling) the record's inodes while we read them.
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  std::lock_guard<metrics::OrderedMutex> shard_lock(
+      SubjectShard(loc.subject_id));
+  RGPD_ASSIGN_OR_RETURN(loc, Locate(id));
   PdRecord record;
   record.record_id = id;
   record.subject_id = loc.subject_id;
@@ -380,6 +436,9 @@ Result<membrane::Membrane> Dbfs::GetMembrane(sentinel::Domain caller,
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
                             "membrane record=" + std::to_string(id)));
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  std::lock_guard<metrics::OrderedMutex> shard_lock(
+      SubjectShard(loc.subject_id));
+  RGPD_ASSIGN_OR_RETURN(loc, Locate(id));
   RGPD_ASSIGN_OR_RETURN(Bytes membrane_bytes,
                         StoreById(loc.store_id)->ReadAll(loc.membrane_inode));
   return membrane::Membrane::Deserialize(membrane_bytes);
@@ -391,7 +450,11 @@ Status Dbfs::UpdateRow(sentinel::Domain caller, RecordId id,
   RGPD_METRIC_SCOPED_LATENCY("dbfs.update.latency_ns");
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kWrite,
                             "record=" + std::to_string(id)));
+  std::shared_lock<metrics::OrderedSharedMutex> schema_lock(schema_mu_);
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  std::lock_guard<metrics::OrderedMutex> shard_lock(
+      SubjectShard(loc.subject_id));
+  RGPD_ASSIGN_OR_RETURN(loc, Locate(id));
   if (loc.erased) {
     return Erased("record " + std::to_string(id) + " was erased");
   }
@@ -412,6 +475,9 @@ Status Dbfs::UpdateMembrane(sentinel::Domain caller, RecordId id,
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kWrite,
                             "membrane record=" + std::to_string(id)));
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  std::lock_guard<metrics::OrderedMutex> shard_lock(
+      SubjectShard(loc.subject_id));
+  RGPD_ASSIGN_OR_RETURN(loc, Locate(id));
   if (membrane.subject_id != loc.subject_id ||
       membrane.type_name != loc.type_name) {
     return FailedPrecondition(
@@ -421,15 +487,19 @@ Status Dbfs::UpdateMembrane(sentinel::Domain caller, RecordId id,
                            ->WriteAll(loc.membrane_inode,
                                       membrane.Serialize()));
   if (membrane.copy_group != loc.copy_group) {
-    RecordLoc* live = records_.Find(id);
-    live->copy_group = membrane.copy_group;
+    {
+      std::lock_guard<metrics::OrderedSharedMutex> index_lock(index_mu_);
+      RecordLoc* live = records_.Find(id);
+      if (live != nullptr) live->copy_group = membrane.copy_group;
+    }
+    RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root,
+                          SubjectRootOf(loc.subject_id));
     RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
-                          LoadSubjectRoot(subjects_.at(loc.subject_id)));
+                          LoadSubjectRoot(root));
     for (SubjectEntry& e : entries) {
       if (e.record_id == id) e.copy_group = membrane.copy_group;
     }
-    RGPD_RETURN_IF_ERROR(
-        StoreSubjectRoot(subjects_.at(loc.subject_id), entries));
+    RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
   }
   return Status::Ok();
 }
@@ -440,7 +510,10 @@ Status Dbfs::HardDelete(sentinel::Domain caller, RecordId id) {
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kDelete,
                             "record=" + std::to_string(id)));
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
-  const inodefs::InodeId root = subjects_.at(loc.subject_id);
+  std::lock_guard<metrics::OrderedMutex> shard_lock(
+      SubjectShard(loc.subject_id));
+  RGPD_ASSIGN_OR_RETURN(loc, Locate(id));
+  RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root, SubjectRootOf(loc.subject_id));
   RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
                         LoadSubjectRoot(root));
   entries.erase(std::remove_if(entries.begin(), entries.end(),
@@ -458,7 +531,10 @@ Status Dbfs::HardDelete(sentinel::Domain caller, RecordId id) {
       data_store->FreeInode(loc.membrane_inode, /*scrub=*/true));
   RGPD_RETURN_IF_ERROR(data_store->ScrubJournal());
   RGPD_RETURN_IF_ERROR(store_->ScrubJournal());
-  records_.Erase(id);
+  {
+    std::lock_guard<metrics::OrderedSharedMutex> index_lock(index_mu_);
+    records_.Erase(id);
+  }
   return Status::Ok();
 }
 
@@ -469,6 +545,9 @@ Status Dbfs::ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kErase,
                             "record=" + std::to_string(id)));
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  std::lock_guard<metrics::OrderedMutex> shard_lock(
+      SubjectShard(loc.subject_id));
+  RGPD_ASSIGN_OR_RETURN(loc, Locate(id));
   if (loc.erased) {
     return Erased("record " + std::to_string(id) + " already erased");
   }
@@ -488,14 +567,18 @@ Status Dbfs::ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
   RGPD_RETURN_IF_ERROR(
       data_store->WriteAll(loc.membrane_inode, m.Serialize()));
 
-  const inodefs::InodeId root = subjects_.at(loc.subject_id);
+  RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root, SubjectRootOf(loc.subject_id));
   RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
                         LoadSubjectRoot(root));
   for (SubjectEntry& e : entries) {
     if (e.record_id == id) e.erased = true;
   }
   RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
-  records_.Find(id)->erased = true;
+  {
+    std::lock_guard<metrics::OrderedSharedMutex> index_lock(index_mu_);
+    RecordLoc* live = records_.Find(id);
+    if (live != nullptr) live->erased = true;
+  }
   // Finally destroy the journal history that still holds plaintext, on
   // both stores (the primary journaled the subject-root rewrite too).
   RGPD_RETURN_IF_ERROR(data_store->ScrubJournal());
@@ -506,11 +589,24 @@ Result<Bytes> Dbfs::GetEnvelope(sentinel::Domain caller, RecordId id) const {
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
                             "envelope record=" + std::to_string(id)));
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
+  std::lock_guard<metrics::OrderedMutex> shard_lock(
+      SubjectShard(loc.subject_id));
+  RGPD_ASSIGN_OR_RETURN(loc, Locate(id));
   if (!loc.erased) {
     return FailedPrecondition("record " + std::to_string(id) +
                               " is not erased; no envelope");
   }
   return StoreById(loc.store_id)->ReadAll(loc.pd_inode);
+}
+
+std::size_t Dbfs::record_count() const {
+  std::shared_lock<metrics::OrderedSharedMutex> lock(index_mu_);
+  return records_.size();
+}
+
+std::size_t Dbfs::subject_count() const {
+  std::shared_lock<metrics::OrderedSharedMutex> lock(index_mu_);
+  return subjects_.size();
 }
 
 // ---- queries ---------------------------------------------------------------------
@@ -519,6 +615,7 @@ Result<std::vector<RecordId>> Dbfs::RecordsOfType(
     sentinel::Domain caller, std::string_view type) const {
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
                             "scan type=" + std::string(type)));
+  std::shared_lock<metrics::OrderedSharedMutex> schema_lock(schema_mu_);
   const auto type_it = types_.find(type);
   if (type_it == types_.end()) {
     return NotFound("no type: " + std::string(type));
@@ -529,6 +626,7 @@ Result<std::vector<RecordId>> Dbfs::RecordsOfType(
                         store_->ReadAll(type_it->second.subject_index_inode));
   ByteReader r(log);
   std::vector<RecordId> out;
+  std::shared_lock<metrics::OrderedSharedMutex> index_lock(index_mu_);
   while (!r.exhausted()) {
     RGPD_ASSIGN_OR_RETURN(RecordId id, r.GetU64());
     RGPD_ASSIGN_OR_RETURN(SubjectId subject, r.GetU64());
@@ -542,10 +640,17 @@ Result<std::vector<RecordId>> Dbfs::RecordsOfSubject(
     sentinel::Domain caller, SubjectId subject) const {
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
                             "scan subject=" + std::to_string(subject)));
-  const auto it = subjects_.find(subject);
-  if (it == subjects_.end()) return std::vector<RecordId>{};
+  // Shard lock keeps the subject's root log stable while we read it.
+  std::lock_guard<metrics::OrderedMutex> shard_lock(SubjectShard(subject));
+  const Result<inodefs::InodeId> root = SubjectRootOf(subject);
+  if (!root.ok()) {
+    if (root.status().code() == StatusCode::kNotFound) {
+      return std::vector<RecordId>{};
+    }
+    return root.status();
+  }
   RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
-                        LoadSubjectRoot(it->second));
+                        LoadSubjectRoot(root.value()));
   std::vector<RecordId> out;
   out.reserve(entries.size());
   for (const SubjectEntry& e : entries) out.push_back(e.record_id);
@@ -557,6 +662,7 @@ Result<std::vector<RecordId>> Dbfs::CopyGroupMembers(
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
                             "copy_group=" + std::to_string(group)));
   std::vector<RecordId> out;
+  std::shared_lock<metrics::OrderedSharedMutex> index_lock(index_mu_);
   records_.ForEach([&](const RecordId& id, const RecordLoc& loc) {
     if (loc.copy_group == group) out.push_back(id);
     return true;
@@ -571,6 +677,8 @@ Result<Dbfs::SensitivityReport> Dbfs::ReportSensitivity(
       Gate(caller, sentinel::Operation::kReadSchema, "sensitivity report"));
   SensitivityReport report;
   Status failure = Status::Ok();
+  std::shared_lock<metrics::OrderedSharedMutex> schema_lock(schema_mu_);
+  std::shared_lock<metrics::OrderedSharedMutex> index_lock(index_mu_);
   records_.ForEach([&](const RecordId&, const RecordLoc& loc) {
     const auto type_it = types_.find(loc.type_name);
     if (type_it == types_.end()) {
@@ -598,8 +706,14 @@ Result<SubjectExport> Dbfs::ExportSubject(sentinel::Domain caller,
   out.subject_id = subject;
   out.records.reserve(ids.size());
   for (RecordId id : ids) {
-    RGPD_ASSIGN_OR_RETURN(PdRecord record, Get(caller, id));
-    out.records.push_back(std::move(record));
+    Result<PdRecord> record = Get(caller, id);
+    if (!record.ok()) {
+      // A record may be hard-deleted between the listing above and this
+      // read; the export simply omits it.
+      if (record.status().code() == StatusCode::kNotFound) continue;
+      return record.status();
+    }
+    out.records.push_back(std::move(record).value());
   }
   return out;
 }

@@ -23,12 +23,30 @@
 // domain and is gated by the sentinel (enforcement rule 4: only the DED
 // accesses DBFS directly; the sysadmin may only administer types), and
 // every stored record provably carries a membrane (enforcement rule 3).
+//
+// Thread-safety (see metrics/lock.hpp for the stack-wide order): three
+// lock families guard the mutable state, always acquired in this order —
+//   schema_mu_ (rank 52, reader-writer): the type catalog. CreateType
+//     writes; every query takes it shared. TypeDecl pointers handed out
+//     by GetType stay valid for the filesystem's lifetime (map nodes are
+//     stable and types are never dropped).
+//   subject shards (rank 51, one of kSubjectShards mutexes keyed by
+//     subject id): serialise all structural work on one subject's
+//     subtree — Put, erasure, export. A thread holds at most one shard.
+//   index_mu_ (rank 50, reader-writer): the record-id B+tree and the
+//     subjects map. Held only across in-memory operations, never across
+//     store IO.
+// Record ids and copy groups come from atomics. Format/Mount are
+// boot-time (single-threaded by contract).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +55,7 @@
 #include "dsl/ast.hpp"
 #include "inodefs/inode_store.hpp"
 #include "membrane/membrane.hpp"
+#include "metrics/lock.hpp"
 #include "sentinel/policy.hpp"
 
 namespace rgpdos::dbfs {
@@ -126,8 +145,10 @@ class Dbfs {
   Result<SubjectExport> ExportSubject(sentinel::Domain caller,
                                       SubjectId subject) const;
 
-  /// Fresh copy-group id for a newly collected record.
-  std::uint64_t NewCopyGroup() { return next_copy_group_++; }
+  /// Fresh copy-group id for a newly collected record. Lock-free.
+  std::uint64_t NewCopyGroup() {
+    return next_copy_group_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Inode reserved for the (hash-chained) processing log. Lives on the
   /// DBFS store: the log names subjects and purposes, so it must not be
@@ -147,10 +168,8 @@ class Dbfs {
   };
   Result<SensitivityReport> ReportSensitivity(sentinel::Domain caller) const;
 
-  [[nodiscard]] std::size_t record_count() const { return records_.size(); }
-  [[nodiscard]] std::size_t subject_count() const {
-    return subjects_.size();
-  }
+  [[nodiscard]] std::size_t record_count() const;
+  [[nodiscard]] std::size_t subject_count() const;
   [[nodiscard]] inodefs::InodeStore& store() { return *store_; }
 
  private:
@@ -215,7 +234,17 @@ class Dbfs {
   Status PersistTypesMap();
   Status PersistSubjectsMap();
   Status PersistFormatHint();
+  /// Thread-safe lookup (takes index_mu_ shared); returns a copy. A loc
+  /// read here can go stale the moment the lock drops — mutators re-run
+  /// Locate after taking the record's subject shard.
   Result<RecordLoc> Locate(RecordId id) const;
+  /// subjects_ lookup under index_mu_ shared.
+  Result<inodefs::InodeId> SubjectRootOf(SubjectId subject) const;
+
+  static constexpr std::size_t kSubjectShards = 16;
+  [[nodiscard]] metrics::OrderedMutex& SubjectShard(SubjectId subject) const {
+    return shards_[subject % kSubjectShards].mu;
+  }
 
   inodefs::InodeStore* store_;            // borrowed (primary)
   inodefs::InodeStore* sensitive_store_;  // borrowed; may be null
@@ -228,11 +257,21 @@ class Dbfs {
   inodefs::InodeId subjects_map_inode_ = inodefs::kInvalidInode;
   inodefs::InodeId format_hint_inode_ = inodefs::kInvalidInode;
 
-  std::map<std::string, TypeEntry, std::less<>> types_;
-  std::map<SubjectId, inodefs::InodeId> subjects_;
-  db::BPlusTree<RecordId, RecordLoc> records_;
-  RecordId next_record_id_ = 1;
-  std::uint64_t next_copy_group_ = 1;
+  mutable metrics::OrderedSharedMutex schema_mu_{
+      metrics::LockRank::kDbfsSchema, "dbfs.schema"};
+  struct Shard {
+    metrics::OrderedMutex mu{metrics::LockRank::kDbfsSubjectShard,
+                             "dbfs.subject_shard"};
+  };
+  mutable std::array<Shard, kSubjectShards> shards_;
+  mutable metrics::OrderedSharedMutex index_mu_{
+      metrics::LockRank::kDbfsRecordIndex, "dbfs.record_index"};
+
+  std::map<std::string, TypeEntry, std::less<>> types_;   // schema_mu_
+  std::map<SubjectId, inodefs::InodeId> subjects_;        // index_mu_
+  db::BPlusTree<RecordId, RecordLoc> records_;            // index_mu_
+  std::atomic<RecordId> next_record_id_{1};
+  std::atomic<std::uint64_t> next_copy_group_{1};
 };
 
 }  // namespace rgpdos::dbfs

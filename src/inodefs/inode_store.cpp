@@ -8,12 +8,16 @@
 namespace rgpdos::inodefs {
 
 InodeStore::InodeStore(blockdev::BlockDevice* device, Superblock sb,
-                       const Clock* clock, bool journal_enabled)
+                       const Clock* clock, bool journal_enabled,
+                       metrics::LockRank lock_rank)
     : device_(device),
       sb_(sb),
       clock_(clock),
       journal_(*device, sb_),
-      journal_enabled_(journal_enabled) {}
+      journal_enabled_(journal_enabled),
+      mu_(lock_rank, lock_rank == metrics::LockRank::kInodefsSensitive
+                         ? "inodefs.store.sensitive"
+                         : "inodefs.store") {}
 
 Result<std::unique_ptr<InodeStore>> InodeStore::Format(
     blockdev::BlockDevice* device, const Options& options,
@@ -23,8 +27,8 @@ Result<std::unique_ptr<InodeStore>> InodeStore::Format(
       Superblock::Plan(device->block_size(), device->block_count(),
                        options.inode_count, options.journal_blocks));
 
-  std::unique_ptr<InodeStore> store(
-      new InodeStore(device, sb, clock, options.journal_enabled));
+  std::unique_ptr<InodeStore> store(new InodeStore(
+      device, sb, clock, options.journal_enabled, options.lock_rank));
 
   // Zero metadata regions (bitmap + inode table + journal).
   const Bytes zero(sb.block_size, 0);
@@ -41,7 +45,8 @@ Result<std::unique_ptr<InodeStore>> InodeStore::Format(
 }
 
 Result<std::unique_ptr<InodeStore>> InodeStore::Mount(
-    blockdev::BlockDevice* device, const Clock* clock) {
+    blockdev::BlockDevice* device, const Clock* clock,
+    metrics::LockRank lock_rank) {
   Bytes sb_block;
   RGPD_RETURN_IF_ERROR(device->ReadBlock(0, sb_block));
   RGPD_ASSIGN_OR_RETURN(Superblock sb, Superblock::Decode(sb_block));
@@ -51,7 +56,7 @@ Result<std::unique_ptr<InodeStore>> InodeStore::Mount(
   }
 
   std::unique_ptr<InodeStore> store(
-      new InodeStore(device, sb, clock, /*journal_enabled=*/true));
+      new InodeStore(device, sb, clock, /*journal_enabled=*/true, lock_rank));
 
   // Recover committed-but-unchecked transactions.
   RGPD_ASSIGN_OR_RETURN(std::vector<ReplayedWrite> writes,
@@ -87,6 +92,7 @@ Status InodeStore::LoadBitmap() {
 }
 
 Status InodeStore::Sync() {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   // Superblock.
   Bytes sb_image = sb_.Encode();
   sb_image.resize(sb_.block_size, 0);
@@ -132,10 +138,18 @@ Status InodeStore::Txn::Commit() {
   RGPD_METRIC_COUNT_N("inodefs.block.writes", writes_.size());
   RGPD_METRIC_SCOPED_LATENCY("inodefs.txn.commit_latency_ns");
   if (store_.journal_enabled_) {
-    std::vector<std::pair<BlockIndex, Bytes>> log;
-    log.reserve(writes_.size());
-    for (const auto& [block, data] : writes_) log.emplace_back(block, data);
-    RGPD_RETURN_IF_ERROR(store_.journal_.AppendTransaction(log));
+    if (store_.group_depth_ > 0) {
+      // Inside a GroupCommitScope: defer the journal record into the
+      // group buffer (flushed as one combined transaction at scope end).
+      for (const auto& [block, data] : writes_) {
+        store_.StageGroupWrite(block, data);
+      }
+    } else {
+      std::vector<std::pair<BlockIndex, Bytes>> log;
+      log.reserve(writes_.size());
+      for (const auto& [block, data] : writes_) log.emplace_back(block, data);
+      RGPD_RETURN_IF_ERROR(store_.journal_.AppendTransaction(log));
+    }
   }
   if (store_.crash_before_checkpoint_) {
     // Simulated power loss after the journal commit: the in-place writes
@@ -148,6 +162,49 @@ Status InodeStore::Txn::Commit() {
   }
   writes_.clear();
   return store_.device_->Flush();
+}
+
+// ---- group commit ----------------------------------------------------------
+
+void InodeStore::StageGroupWrite(BlockIndex block, const Bytes& data) {
+  auto it = group_write_index_.find(block);
+  if (it != group_write_index_.end()) {
+    // Later write to the same block supersedes: replay applies the final
+    // image either way, and the journal record stays minimal.
+    group_writes_[it->second].second = data;
+    return;
+  }
+  group_write_index_.emplace(block, group_writes_.size());
+  group_writes_.emplace_back(block, data);
+}
+
+InodeStore::GroupCommitScope::GroupCommitScope(InodeStore& store)
+    : store_(store) {
+  store_.mu_.lock();
+  ++store_.group_depth_;
+}
+
+Status InodeStore::GroupCommitScope::Finish() {
+  if (finished_) return Status::Ok();
+  finished_ = true;
+  Status status = Status::Ok();
+  if (--store_.group_depth_ == 0) {
+    if (store_.journal_enabled_ && !store_.group_writes_.empty()) {
+      RGPD_METRIC_COUNT("inodefs.group_commit.flushes");
+      RGPD_METRIC_COUNT_N("inodefs.group_commit.blocks",
+                          store_.group_writes_.size());
+      status = store_.journal_.AppendTransaction(store_.group_writes_);
+    }
+    store_.group_writes_.clear();
+    store_.group_write_index_.clear();
+  }
+  store_.mu_.unlock();
+  return status;
+}
+
+InodeStore::GroupCommitScope::~GroupCommitScope() {
+  const Status status = Finish();
+  (void)status;  // early-exit path: the caller's error already propagates
 }
 
 // ---- bitmap ----------------------------------------------------------------
@@ -246,6 +303,7 @@ Status InodeStore::StoreInode(InodeId id, const Inode& inode, Txn& txn) {
 }
 
 Result<InodeId> InodeStore::AllocInode(InodeKind kind) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   Txn txn(*this);
   // First-fit from the hint (inode 0 is reserved as the invalid id);
   // FreeInode moves the hint back, so the scan is amortised O(1).
@@ -268,6 +326,7 @@ Result<InodeId> InodeStore::AllocInode(InodeKind kind) {
 }
 
 Status InodeStore::FreeInode(InodeId id, bool scrub) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   RGPD_RETURN_IF_ERROR(Truncate(id, 0, scrub));
   Txn txn(*this);
   RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, &txn));
@@ -282,10 +341,12 @@ Status InodeStore::FreeInode(InodeId id, bool scrub) {
 }
 
 Result<Inode> InodeStore::GetInode(InodeId id) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   return LoadInode(id, nullptr);
 }
 
 Status InodeStore::PutInode(InodeId id, const Inode& inode) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   Txn txn(*this);
   RGPD_RETURN_IF_ERROR(StoreInode(id, inode, txn));
   return txn.Commit();
@@ -417,6 +478,7 @@ Result<std::vector<BlockIndex>> InodeStore::ListDataBlocks(
 
 Result<Bytes> InodeStore::ReadAt(InodeId id, std::uint64_t offset,
                                  std::uint64_t length) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
   if (inode.kind == InodeKind::kFree) {
     return NotFound("inode is free");
@@ -451,6 +513,7 @@ Result<Bytes> InodeStore::ReadAt(InodeId id, std::uint64_t offset,
 }
 
 Result<Bytes> InodeStore::ReadAll(InodeId id) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
   return ReadAt(id, 0, inode.size);
 }
@@ -460,6 +523,7 @@ Status InodeStore::WriteAt(InodeId id, std::uint64_t offset, ByteSpan data) {
   if (offset + data.size() > MaxFileSize()) {
     return OutOfRange("write exceeds maximum file size");
   }
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   Txn txn(*this);
   RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, &txn));
   if (inode.kind == InodeKind::kFree) return NotFound("inode is free");
@@ -486,11 +550,13 @@ Status InodeStore::WriteAt(InodeId id, std::uint64_t offset, ByteSpan data) {
 }
 
 Status InodeStore::Append(InodeId id, ByteSpan data) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
   return WriteAt(id, inode.size, data);
 }
 
 Status InodeStore::WriteAll(InodeId id, ByteSpan data) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
   if (inode.size > data.size()) {
     RGPD_RETURN_IF_ERROR(Truncate(id, data.size(), /*scrub=*/false));
@@ -500,6 +566,7 @@ Status InodeStore::WriteAll(InodeId id, ByteSpan data) {
 }
 
 Status InodeStore::Truncate(InodeId id, std::uint64_t new_size, bool scrub) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   Txn txn(*this);
   RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, &txn));
   if (inode.kind == InodeKind::kFree) return NotFound("inode is free");
@@ -604,9 +671,13 @@ Status InodeStore::Truncate(InodeId id, std::uint64_t new_size, bool scrub) {
   return txn.Commit();
 }
 
-Status InodeStore::ScrubJournal() { return journal_.Scrub(); }
+Status InodeStore::ScrubJournal() {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  return journal_.Scrub();
+}
 
 std::uint64_t InodeStore::FreeBlockCount() const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   std::uint64_t used = 0;
   for (std::uint64_t word : bitmap_) {
     used += static_cast<std::uint64_t>(__builtin_popcountll(word));
@@ -615,6 +686,7 @@ std::uint64_t InodeStore::FreeBlockCount() const {
 }
 
 std::uint64_t InodeStore::FreeInodeCount() const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   std::uint64_t free_count = 0;
   for (InodeId id = 1; id < sb_.inode_count; ++id) {
     auto inode = LoadInode(id, nullptr);

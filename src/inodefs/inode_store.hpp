@@ -2,16 +2,24 @@
 // journaled transactions. This is the substrate shared by the NPD
 // filesystem (path layer in filesystem.hpp) and rgpdOS's DBFS, which
 // builds its two inode trees (paper §3) directly on these primitives.
+//
+// Thread-safety: every public method serialises on one per-store mutex
+// (rank kInodefs / kInodefsSensitive in the stack-wide lock order, see
+// metrics/lock.hpp). The mutex is recursive so a GroupCommitScope can
+// hold it across several public calls. Format/Mount/SetRootDir and the
+// introspection accessors are boot/quiescent-time interfaces.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "blockdev/block_device.hpp"
 #include "common/clock.hpp"
 #include "inodefs/format.hpp"
 #include "inodefs/journal.hpp"
+#include "metrics/lock.hpp"
 
 namespace rgpdos::inodefs {
 
@@ -23,6 +31,10 @@ class InodeStore {
     /// Data journaling (ext4 data=journal analogue). When false only
     /// the in-place write happens — used by ablation benches.
     bool journal_enabled = true;
+    /// Position of this store's mutex in the stack-wide lock order. The
+    /// split sensitive-PD store gets kInodefsSensitive so DBFS can nest
+    /// its writes inside a primary-store group-commit scope.
+    metrics::LockRank lock_rank = metrics::LockRank::kInodefs;
   };
 
   /// Format a fresh device and mount it.
@@ -33,7 +45,36 @@ class InodeStore {
   /// Mount an existing device: reads the superblock and replays the
   /// journal (committed transactions are re-applied in place).
   static Result<std::unique_ptr<InodeStore>> Mount(
-      blockdev::BlockDevice* device, const Clock* clock);
+      blockdev::BlockDevice* device, const Clock* clock,
+      metrics::LockRank lock_rank = metrics::LockRank::kInodefs);
+
+  /// RAII journal group commit. While a scope is alive the calling
+  /// thread owns the store (the scope holds the store mutex — recursion
+  /// lets public methods re-enter) and every transaction committed
+  /// inside it stages its journal record into a group buffer instead of
+  /// appending immediately; the scope's destructor (or Finish(), when
+  /// the caller wants the status) writes ONE combined journal
+  /// transaction. In-place writes still happen per-transaction, so reads
+  /// inside the scope observe them. This trades crash atomicity
+  /// granularity (the whole group replays or none of its journal copy
+  /// does) for one journal IO per multi-txn operation — DBFS Put commits
+  /// 7 transactions and is the intended customer.
+  class GroupCommitScope {
+   public:
+    explicit GroupCommitScope(InodeStore& store);
+    ~GroupCommitScope();
+    GroupCommitScope(const GroupCommitScope&) = delete;
+    GroupCommitScope& operator=(const GroupCommitScope&) = delete;
+
+    /// Flush the group journal record and release the store. Idempotent;
+    /// the destructor calls it (dropping the status) if the caller
+    /// didn't.
+    Status Finish();
+
+   private:
+    InodeStore& store_;
+    bool finished_ = false;
+  };
 
   /// Persist superblock + bitmap. The store stays usable.
   Status Sync();
@@ -83,7 +124,7 @@ class InodeStore {
 
  private:
   InodeStore(blockdev::BlockDevice* device, Superblock sb, const Clock* clock,
-             bool journal_enabled);
+             bool journal_enabled, metrics::LockRank lock_rank);
 
   /// A buffered transaction: block images staged in memory, then logged
   /// to the journal and checkpointed in place atomically.
@@ -132,6 +173,18 @@ class InodeStore {
   std::vector<std::uint64_t> bitmap_;  // 1 bit per device block
   BlockIndex alloc_hint_ = 0;
   InodeId inode_hint_ = 1;  // lowest possibly-free inode slot
+
+  /// Per-store lock; recursive so GroupCommitScope can hold it across
+  /// public re-entry (and so WriteAll -> Truncate style internal nesting
+  /// needs no *Locked split).
+  mutable metrics::OrderedMutex mu_;
+  // Group-commit state. Non-zero depth implies the owning thread holds
+  // mu_ for the whole scope, so these need no further synchronisation.
+  int group_depth_ = 0;
+  std::vector<std::pair<BlockIndex, Bytes>> group_writes_;
+  std::map<BlockIndex, std::size_t> group_write_index_;  // dedupe by block
+
+  void StageGroupWrite(BlockIndex block, const Bytes& data);
 };
 
 }  // namespace rgpdos::inodefs

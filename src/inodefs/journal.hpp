@@ -34,6 +34,11 @@ struct ReplayedWrite {
 class Journal {
  public:
   /// `superblock` is borrowed and mutated (journal_head / journal_seq).
+  ///
+  /// Thread-safety: the journal has no lock of its own — every call is
+  /// made by InodeStore under the per-store mutex (rank kInodefs), which
+  /// also serialises the head/seq cursor in the shared superblock.
+  /// bytes_logged() is a bench counter: read it only at quiescence.
   Journal(blockdev::BlockDevice& device, Superblock& superblock)
       : device_(device), sb_(superblock) {}
 

@@ -1,8 +1,29 @@
 #include "kernel/placement.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #include "metrics/metrics.hpp"
 
 namespace rgpdos::kernel {
+
+CpuPartition CpuPartition::Plan(unsigned total_cpus, unsigned pd_share,
+                                unsigned npd_share) {
+  CpuPartition plan;
+  plan.total = total_cpus != 0 ? total_cpus
+                               : std::max(1u, std::thread::hardware_concurrency());
+  const unsigned shares = std::max(1u, pd_share + npd_share);
+  plan.ded_workers =
+      std::max(1u, plan.total * std::max(1u, pd_share) / shares);
+  if (npd_share > 0 && plan.total > 1 && plan.ded_workers == plan.total) {
+    --plan.ded_workers;
+  }
+  plan.npd_reserved = plan.total - plan.ded_workers;
+  RGPD_METRIC_GAUGE_SET("kernel.cpu.total", plan.total);
+  RGPD_METRIC_GAUGE_SET("kernel.cpu.ded_workers", plan.ded_workers);
+  RGPD_METRIC_GAUGE_SET("kernel.cpu.npd_reserved", plan.npd_reserved);
+  return plan;
+}
 
 std::string_view PlacementName(DedPlacement placement) {
   switch (placement) {

@@ -73,6 +73,24 @@ struct PlacementProfile {
   }
 };
 
+/// Host-CPU partition for the concurrent enforcement stack: of the
+/// machine's cores, how many become DED pipeline workers (the
+/// DedExecutor pool) and how many stay reserved for NPD / application
+/// threads. The split follows the share ratio (default 3:1 in favour of
+/// the PD path — enforcement is the product, Fig-4) but always leaves
+/// at least one worker and, when the machine has more than one core, at
+/// least one reserved core so NPD work is never starved.
+struct CpuPartition {
+  unsigned total = 1;         ///< cores considered
+  unsigned ded_workers = 1;   ///< DedExecutor pool size
+  unsigned npd_reserved = 0;  ///< cores left to NPD/app threads
+
+  /// `total_cpus` = 0 probes std::thread::hardware_concurrency().
+  /// Publishes kernel.cpu.* gauges for the snapshot artifact.
+  static CpuPartition Plan(unsigned total_cpus = 0, unsigned pd_share = 3,
+                           unsigned npd_share = 1);
+};
+
 /// Planner: pick the cheapest placement for a workload.
 class PlacementPlanner {
  public:

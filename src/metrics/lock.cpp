@@ -1,0 +1,163 @@
+#include "metrics/lock.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace rgpdos::metrics {
+
+namespace lock_internal {
+namespace {
+// Ranks currently held by this thread, in acquisition order. Depth is a
+// handful at most (one lock per layer), so a small vector beats anything
+// clever.
+thread_local std::vector<int> t_held_ranks;
+}  // namespace
+
+void CheckAcquire(int rank, const char* name) {
+  if (!t_held_ranks.empty() && t_held_ranks.back() <= rank) {
+    std::fprintf(stderr,
+                 "rgpdos lock-order violation: acquiring '%s' (rank %d) while "
+                 "holding rank %d; ranks must strictly decrease "
+                 "(core -> sentinel -> dbfs -> inodefs -> blockdev)\n",
+                 name, rank, t_held_ranks.back());
+    std::abort();
+  }
+}
+
+void PushRank(int rank) { t_held_ranks.push_back(rank); }
+
+void PopRank(int rank) {
+  // Unlocks are almost always LIFO; tolerate out-of-order release by
+  // erasing the most recent matching entry.
+  for (auto it = t_held_ranks.rbegin(); it != t_held_ranks.rend(); ++it) {
+    if (*it == rank) {
+      t_held_ranks.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::size_t HeldRankCount() { return t_held_ranks.size(); }
+
+}  // namespace lock_internal
+
+namespace {
+PerThreadCounter* ContentionCounter(std::string_view name) {
+  return &MetricsRegistry::Instance().GetPerThreadCounter(
+      "lock.contention." + std::string(name));
+}
+PerThreadCounter* ContentionTotal() {
+  return &MetricsRegistry::Instance().GetPerThreadCounter(
+      "lock.contention.total");
+}
+}  // namespace
+
+// ---- OrderedMutex -------------------------------------------------------
+
+OrderedMutex::OrderedMutex(LockRank rank, std::string_view name)
+    : rank_(rank),
+      name_(name),
+      contention_(ContentionCounter(name)),
+      contention_total_(ContentionTotal()) {}
+
+void OrderedMutex::lock() {
+  const bool recursing =
+      owner_.load(std::memory_order_relaxed) == std::this_thread::get_id();
+  if (!recursing) {
+    lock_internal::CheckAcquire(static_cast<int>(rank_), name_.c_str());
+    if (!mu_.try_lock()) {
+      if (Enabled()) {
+        contention_->Inc();
+        contention_total_->Inc();
+      }
+      mu_.lock();
+    }
+  } else {
+    mu_.lock();  // recursive re-entry, cannot block
+  }
+  if (depth_++ == 0) {
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    lock_internal::PushRank(static_cast<int>(rank_));
+  }
+}
+
+bool OrderedMutex::try_lock() {
+  const bool recursing =
+      owner_.load(std::memory_order_relaxed) == std::this_thread::get_id();
+  if (!recursing) {
+    lock_internal::CheckAcquire(static_cast<int>(rank_), name_.c_str());
+  }
+  if (!mu_.try_lock()) return false;
+  if (depth_++ == 0) {
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    lock_internal::PushRank(static_cast<int>(rank_));
+  }
+  return true;
+}
+
+void OrderedMutex::unlock() {
+  if (--depth_ == 0) {
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
+    lock_internal::PopRank(static_cast<int>(rank_));
+  }
+  mu_.unlock();
+}
+
+// ---- OrderedSharedMutex -------------------------------------------------
+
+OrderedSharedMutex::OrderedSharedMutex(LockRank rank, std::string_view name)
+    : rank_(rank),
+      name_(name),
+      contention_(ContentionCounter(name)),
+      contention_total_(ContentionTotal()) {}
+
+void OrderedSharedMutex::lock() {
+  lock_internal::CheckAcquire(static_cast<int>(rank_), name_.c_str());
+  if (!mu_.try_lock()) {
+    if (Enabled()) {
+      contention_->Inc();
+      contention_total_->Inc();
+    }
+    mu_.lock();
+  }
+  lock_internal::PushRank(static_cast<int>(rank_));
+}
+
+bool OrderedSharedMutex::try_lock() {
+  lock_internal::CheckAcquire(static_cast<int>(rank_), name_.c_str());
+  if (!mu_.try_lock()) return false;
+  lock_internal::PushRank(static_cast<int>(rank_));
+  return true;
+}
+
+void OrderedSharedMutex::unlock() {
+  lock_internal::PopRank(static_cast<int>(rank_));
+  mu_.unlock();
+}
+
+void OrderedSharedMutex::lock_shared() {
+  lock_internal::CheckAcquire(static_cast<int>(rank_), name_.c_str());
+  if (!mu_.try_lock_shared()) {
+    if (Enabled()) {
+      contention_->Inc();
+      contention_total_->Inc();
+    }
+    mu_.lock_shared();
+  }
+  lock_internal::PushRank(static_cast<int>(rank_));
+}
+
+bool OrderedSharedMutex::try_lock_shared() {
+  lock_internal::CheckAcquire(static_cast<int>(rank_), name_.c_str());
+  if (!mu_.try_lock_shared()) return false;
+  lock_internal::PushRank(static_cast<int>(rank_));
+  return true;
+}
+
+void OrderedSharedMutex::unlock_shared() {
+  lock_internal::PopRank(static_cast<int>(rank_));
+  mu_.unlock_shared();
+}
+
+}  // namespace rgpdos::metrics

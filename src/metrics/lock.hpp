@@ -1,0 +1,128 @@
+// Lock-ordering discipline for the thread-safe enforcement stack.
+//
+// Every mutable structure on the PD path (PS -> DED -> DBFS -> inodefs ->
+// blockdev) is guarded by a ranked lock. The discipline mirrors the call
+// direction through the stack: a thread may acquire a lock only if its
+// rank is STRICTLY LOWER than every rank it already holds. Because ranks
+// decrease monotonically from core down to the block device, any
+// cross-layer acquisition that follows the call graph is legal and any
+// cycle (the precondition for deadlock) is impossible. The full order,
+// outermost first:
+//
+//   kCore (70)            ProcessingStore registration/alert tables
+//   kCoreLog (69)         ProcessingLog entries + hash chain
+//   kSentinel (60)        AuditSink entries
+//   kDbfsSchema (52)      DBFS type catalog (reader-writer)
+//   kDbfsSubjectShard (51) one of N subject-tree shard locks
+//   kDbfsRecordIndex (50) record-id B+tree + subject-root map
+//   kInodefs (40)         primary/NPD InodeStore (recursive: group commit)
+//   kInodefsSensitive (39) split sensitive-PD InodeStore
+//   kBlockdev (20)        simulated block device storage + stats
+//   kCryptoRng (10)       SecureRandom stream (leaf; any layer may draw)
+//
+// Strict ordering also forbids holding two locks of the same rank, which
+// is why a thread works on at most one DBFS subject shard at a time and
+// why the split sensitive store gets its own rank below the primary
+// store (Dbfs::Put nests sensitive-store writes inside a primary-store
+// group-commit scope).
+//
+// Rank violations are programming errors: they are checked on every
+// acquisition (a thread-local rank stack, a handful of entries) and
+// abort the process with a diagnostic rather than deadlocking later.
+//
+// Contention accounting: acquisitions first spin through try_lock; a
+// failed try_lock bumps `lock.contention.<name>` (a PerThreadCounter, so
+// snapshots show which threads fought) plus `lock.contention.total`
+// before falling back to a blocking lock.
+#pragma once
+
+#include <atomic>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "metrics/metrics.hpp"
+
+namespace rgpdos::metrics {
+
+enum class LockRank : int {
+  kCryptoRng = 10,
+  kBlockdev = 20,
+  kInodefsSensitive = 39,
+  kInodefs = 40,
+  kDbfsRecordIndex = 50,
+  kDbfsSubjectShard = 51,
+  kDbfsSchema = 52,
+  kSentinel = 60,
+  kCoreLog = 69,
+  kCore = 70,
+};
+
+namespace lock_internal {
+/// Aborts (after a stderr diagnostic) if the calling thread already holds
+/// a lock of rank <= `rank`.
+void CheckAcquire(int rank, const char* name);
+void PushRank(int rank);
+void PopRank(int rank);
+/// Test hook: number of ranks the calling thread currently holds.
+[[nodiscard]] std::size_t HeldRankCount();
+}  // namespace lock_internal
+
+/// Rank-checked exclusive mutex. Recursive: re-acquisition by the owning
+/// thread is permitted without a rank check (InodeStore's group-commit
+/// scope holds the store lock while public methods re-enter). Satisfies
+/// Lockable, so it composes with std::lock_guard / std::unique_lock.
+class OrderedMutex {
+ public:
+  OrderedMutex(LockRank rank, std::string_view name);
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  void lock();
+  void unlock();
+  [[nodiscard]] bool try_lock();
+
+  [[nodiscard]] LockRank rank() const { return rank_; }
+
+ private:
+  std::recursive_mutex mu_;
+  const LockRank rank_;
+  const std::string name_;
+  PerThreadCounter* contention_;
+  PerThreadCounter* contention_total_;
+  // Owner/depth let lock() distinguish first acquisition (rank-checked,
+  // rank pushed) from recursion. depth_ is only touched while holding
+  // mu_; owner_ is relaxed-atomic because non-owners read it.
+  std::atomic<std::thread::id> owner_{};
+  int depth_ = 0;
+};
+
+/// Rank-checked reader-writer mutex (non-recursive). Shared and
+/// exclusive acquisitions are both rank-checked, so a reader upgrading
+/// in place (acquire exclusive while holding shared) is caught as the
+/// self-deadlock it is. Satisfies SharedLockable for std::shared_lock.
+class OrderedSharedMutex {
+ public:
+  OrderedSharedMutex(LockRank rank, std::string_view name);
+  OrderedSharedMutex(const OrderedSharedMutex&) = delete;
+  OrderedSharedMutex& operator=(const OrderedSharedMutex&) = delete;
+
+  void lock();
+  void unlock();
+  [[nodiscard]] bool try_lock();
+  void lock_shared();
+  void unlock_shared();
+  [[nodiscard]] bool try_lock_shared();
+
+  [[nodiscard]] LockRank rank() const { return rank_; }
+
+ private:
+  std::shared_mutex mu_;
+  const LockRank rank_;
+  const std::string name_;
+  PerThreadCounter* contention_;
+  PerThreadCounter* contention_total_;
+};
+
+}  // namespace rgpdos::metrics

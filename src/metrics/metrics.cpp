@@ -21,6 +21,13 @@ std::int64_t MonotonicNanos() {
       .count();
 }
 
+std::size_t ThreadIndex() {
+  static std::atomic<std::size_t> next_index{0};
+  thread_local const std::size_t index =
+      next_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
 // ---- Histogram ----------------------------------------------------------------
 
 Histogram::Histogram(std::vector<std::uint64_t> bounds)
@@ -91,6 +98,17 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
   return *it->second;
 }
 
+PerThreadCounter& MetricsRegistry::GetPerThreadCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_thread_counters_.find(name);
+  if (it == per_thread_counters_.end()) {
+    it = per_thread_counters_
+             .emplace(std::string(name), std::make_unique<PerThreadCounter>())
+             .first;
+  }
+  return *it->second;
+}
+
 Histogram& MetricsRegistry::GetHistogram(
     std::string_view name, const std::vector<std::uint64_t>& bounds) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -114,6 +132,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snapshot.counters.reserve(counters_.size());
     for (const auto& [name, counter] : counters_) {
       snapshot.counters.emplace_back(name, counter->Value());
+    }
+    for (const auto& [name, counter] : per_thread_counters_) {
+      snapshot.counters.emplace_back(name, counter->Value());
+      for (std::size_t i = 0; i < PerThreadCounter::kSlots; ++i) {
+        const std::uint64_t v = counter->SlotValue(i);
+        if (v != 0) {
+          snapshot.counters.emplace_back(name + ".t" + std::to_string(i), v);
+        }
+      }
     }
     snapshot.gauges.reserve(gauges_.size());
     for (const auto& [name, gauge] : gauges_) {
@@ -149,6 +176,7 @@ void MetricsRegistry::ResetAll() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, counter] : counters_) counter->Reset();
+    for (auto& [name, counter] : per_thread_counters_) counter->Reset();
     for (auto& [name, gauge] : gauges_) gauge->Reset();
     for (auto& [name, histogram] : histograms_) histogram->Reset();
   }

@@ -20,7 +20,9 @@
 // `dbfs.put.latency_ns` or `sentinel.enforce.denied`.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -110,6 +112,44 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
 };
 
+/// Dense per-thread index, assigned on first use and stable for the
+/// thread's lifetime. Indices are NOT recycled when threads exit; after
+/// `PerThreadCounter::kSlots` distinct threads, later threads fold onto
+/// slot `index % kSlots` (counts stay correct in aggregate, attribution
+/// degrades gracefully).
+[[nodiscard]] std::size_t ThreadIndex();
+
+/// Counter striped across per-thread slots so concurrent increments from
+/// different threads never touch the same cache line's atomic. Used for
+/// lock-contention accounting where the interesting question is "which
+/// threads are fighting", not just "how often".
+class PerThreadCounter {
+ public:
+  static constexpr std::size_t kSlots = 64;
+
+  void Inc(std::uint64_t n = 1) {
+    slots_[ThreadIndex() % kSlots].fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Sum over all slots (relaxed; racing increments may be missed, like
+  /// Counter::Value during concurrent updates).
+  [[nodiscard]] std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const auto& slot : slots_) {
+      total += slot.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  [[nodiscard]] std::uint64_t SlotValue(std::size_t i) const {
+    return slots_[i % kSlots].load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    for (auto& slot : slots_) slot.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kSlots> slots_{};
+};
+
 /// The default latency bucket ladder: powers of two from 256 ns to ~1 s.
 [[nodiscard]] const std::vector<std::uint64_t>& LatencyBucketBoundsNs();
 
@@ -124,6 +164,10 @@ class MetricsRegistry {
 
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
+  /// Per-thread striped counter (see PerThreadCounter). Snapshots export
+  /// the aggregate under `name` plus one `name.t<i>` entry per non-zero
+  /// thread slot.
+  PerThreadCounter& GetPerThreadCounter(std::string_view name);
   /// `bounds` is consulted only on first registration of `name`.
   Histogram& GetHistogram(std::string_view name,
                           const std::vector<std::uint64_t>& bounds);
@@ -149,6 +193,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<PerThreadCounter>, std::less<>>
+      per_thread_counters_;
   std::unique_ptr<Tracer> tracer_;
 };
 

@@ -6,16 +6,23 @@ namespace rgpdos::sentinel {
 
 void AuditSink::Record(AuditEntry entry) {
   if (entry.allowed) {
-    ++allowed_;
+    allowed_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++denied_;
+    denied_.fetch_add(1, std::memory_order_relaxed);
   }
   RGPD_METRIC_COUNT("sentinel.audit.entries");
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   entries_.push_back(std::move(entry));
+}
+
+std::uint64_t AuditSink::entry_count() const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  return entries_.size();
 }
 
 std::vector<AuditEntry> AuditSink::Query(
     const std::function<bool(const AuditEntry&)>& predicate) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   std::vector<AuditEntry> out;
   for (const AuditEntry& e : entries_) {
     if (predicate(e)) out.push_back(e);
@@ -24,9 +31,10 @@ std::vector<AuditEntry> AuditSink::Query(
 }
 
 void AuditSink::Clear() {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
   entries_.clear();
-  allowed_ = 0;
-  denied_ = 0;
+  allowed_.store(0, std::memory_order_relaxed);
+  denied_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rgpdos::sentinel

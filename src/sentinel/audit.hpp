@@ -2,14 +2,25 @@
 // queryable by outcome and by domain. Feeds the regulator-audit example
 // and the enforcement-invariant tests (a denied access must leave an
 // audit record, E4).
+//
+// Thread-safety: Record/Query/Clear serialise on an internal mutex at
+// rank kSentinel — below every core lock, above the filesystem locks —
+// so any layer of the PD path may audit while holding its own locks.
+// The allowed/denied tallies are additionally atomic so the hot-path
+// accessors stay lock-free. entries() returns a reference to the
+// underlying log and is only safe at quiescence; concurrent readers
+// must go through Query(), which copies under the lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "metrics/lock.hpp"
 #include "sentinel/domain.hpp"
 
 namespace rgpdos::sentinel {
@@ -25,22 +36,32 @@ class AuditSink {
  public:
   void Record(AuditEntry entry);
 
+  /// Quiescent-time view of the raw log (tests, post-run inspection).
+  /// Not safe while other threads Record; use Query() instead.
   [[nodiscard]] const std::vector<AuditEntry>& entries() const {
     return entries_;
   }
-  [[nodiscard]] std::uint64_t allowed_count() const { return allowed_; }
-  [[nodiscard]] std::uint64_t denied_count() const { return denied_; }
+  [[nodiscard]] std::uint64_t allowed_count() const {
+    return allowed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t denied_count() const {
+    return denied_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t entry_count() const;
 
-  /// Entries matching a predicate (e.g. all denials against DBFS).
+  /// Entries matching a predicate (e.g. all denials against DBFS),
+  /// copied out under the lock.
   [[nodiscard]] std::vector<AuditEntry> Query(
       const std::function<bool(const AuditEntry&)>& predicate) const;
 
   void Clear();
 
  private:
+  mutable metrics::OrderedMutex mu_{metrics::LockRank::kSentinel,
+                                    "sentinel.audit"};
   std::vector<AuditEntry> entries_;
-  std::uint64_t allowed_ = 0;
-  std::uint64_t denied_ = 0;
+  std::atomic<std::uint64_t> allowed_{0};
+  std::atomic<std::uint64_t> denied_{0};
 };
 
 }  // namespace rgpdos::sentinel

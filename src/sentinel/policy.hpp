@@ -40,6 +40,10 @@ class SecurityPolicy {
 
 /// Hook dispatcher: every guarded component calls Enforce() before acting.
 /// Decisions are appended to the audit sink either way.
+///
+/// Thread-safety: the policy table is immutable after construction and
+/// the audit sink locks internally (rank kSentinel), so Enforce() may be
+/// called concurrently from any layer of the PD path.
 class Sentinel {
  public:
   Sentinel(SecurityPolicy policy, const Clock* clock, AuditSink* audit)
