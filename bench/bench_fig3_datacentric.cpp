@@ -19,7 +19,9 @@ int main() {
   std::printf("%-10s %-18s %14s %16s\n", "records", "path", "us/record",
               "vs direct");
 
+  std::vector<std::pair<std::string, double>> artifact_stats;
   for (std::size_t n : {100u, 500u, 2000u}) {
+    const std::string prefix = "n" + std::to_string(n) + ".";
     double direct_us = 0;
     {
       bench::BaselineWorld world = bench::MakeBaselineWorld(n);
@@ -34,6 +36,7 @@ int main() {
       std::printf("%-10zu %-18s %14.2f %16s (sink=%llu)\n", n,
                   "baseline-direct", direct_us, "1.0x",
                   static_cast<unsigned long long>(sink % 10));
+      artifact_stats.emplace_back(prefix + "baseline_direct_us", direct_us);
     }
     {
       bench::BaselineWorld world = bench::MakeBaselineWorld(n);
@@ -43,8 +46,12 @@ int main() {
       const double us = bench::NsToUs(watch.ElapsedNanos()) / double(n);
       std::printf("%-10zu %-18s %14.2f %15.1fx\n", n, "baseline-gdpr", us,
                   us / direct_us);
+      artifact_stats.emplace_back(prefix + "baseline_gdpr_us", us);
     }
     {
+      // Cold invoke (boot-fresh caches), then a warm invoke over the
+      // same population: the delta is what the caching stack removes
+      // from the per-record enforcement premium.
       bench::RgpdWorld world = bench::MakeRgpdWorld(n);
       const core::ProcessingId processing =
           bench::RegisterAnalytics(*world.os, /*derive_output=*/false);
@@ -52,14 +59,29 @@ int main() {
       auto result = world.os->ps().Invoke(sentinel::Domain::kApplication,
                                           processing, {});
       if (!result.ok() || result->records_processed != n) std::abort();
-      const double us = bench::NsToUs(watch.ElapsedNanos()) / double(n);
-      std::printf("%-10zu %-18s %14.2f %15.1fx\n", n, "rgpdOS-ded", us,
-                  us / direct_us);
+      const double cold_us = bench::NsToUs(watch.ElapsedNanos()) / double(n);
+      std::printf("%-10zu %-18s %14.2f %15.1fx\n", n, "rgpdOS-ded cold",
+                  cold_us, cold_us / direct_us);
+
+      watch.Restart();
+      result = world.os->ps().Invoke(sentinel::Domain::kApplication,
+                                     processing, {});
+      if (!result.ok() || result->records_processed != n) std::abort();
+      const double warm_us = bench::NsToUs(watch.ElapsedNanos()) / double(n);
+      std::printf("%-10zu %-18s %14.2f %15.1fx\n", n, "rgpdOS-ded warm",
+                  warm_us, warm_us / direct_us);
+      artifact_stats.emplace_back(prefix + "rgpdos_ded_cold_us", cold_us);
+      artifact_stats.emplace_back(prefix + "rgpdos_ded_warm_us", warm_us);
+      artifact_stats.emplace_back(
+          prefix + "block_hit_pct",
+          bench::BlockCacheStatsOf(*world.os).HitRatio() * 100.0);
     }
   }
   std::printf(
       "\nexpected shape: the DED pays a per-record enforcement premium "
       "over the unchecked direct path; the premium amortises as N grows "
-      "(fixed pipeline cost spread over more records).\n");
+      "(fixed pipeline cost spread over more records) and shrinks again "
+      "on the warm pass, where the caching stack serves repeat reads.\n");
+  bench::DumpBenchArtifact("fig3_datacentric", artifact_stats);
   return 0;
 }

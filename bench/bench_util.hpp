@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -55,10 +56,13 @@ struct RgpdWorld {
 /// records. `consent_fraction` of subjects keep the default `analytics`
 /// consent; the rest have it revoked. `worker_threads` sizes the DED
 /// executor pool (1 = historical inline execution; see BootConfig).
-inline RgpdWorld MakeRgpdWorld(std::size_t subjects,
-                               std::size_t per_subject = 1,
-                               double consent_fraction = 1.0,
-                               unsigned worker_threads = 1) {
+/// `tweak` runs on the assembled BootConfig last, so a bench can flip
+/// cache knobs or install a device latency profile without this helper
+/// growing a parameter per knob.
+inline RgpdWorld MakeRgpdWorld(
+    std::size_t subjects, std::size_t per_subject = 1,
+    double consent_fraction = 1.0, unsigned worker_threads = 1,
+    const std::function<void(core::BootConfig&)>& tweak = {}) {
   RgpdWorld world;
   world.subjects = subjects;
   world.per_subject = per_subject;
@@ -73,6 +77,7 @@ inline RgpdWorld MakeRgpdWorld(std::size_t subjects,
   config.inode_count =
       static_cast<std::uint32_t>(subjects * per_subject * 6 + subjects + 256);
   config.journal_blocks = 512;
+  if (tweak) tweak(config);
   auto booted = core::RgpdOs::Boot(config);
   if (!booted.ok()) {
     std::fprintf(stderr, "boot failed: %s\n",
@@ -200,6 +205,33 @@ inline BaselineWorld MakeBaselineWorld(std::size_t subjects,
 
 /// Microseconds-per-op pretty printer.
 inline double NsToUs(std::int64_t ns) { return double(ns) / 1000.0; }
+
+/// Total simulated device time accumulated by the PD stores' latency
+/// models (0 when the world booted without a latency profile). Benches
+/// report device-normalized throughput by dividing work by
+/// wall time + the DELTA of this across the measured section.
+inline std::uint64_t SimulatedDeviceNanos(core::RgpdOs& os) {
+  std::uint64_t ns = 0;
+  if (auto* latency = os.dbfs_latency()) ns += latency->simulated_ns();
+  if (auto* latency = os.sensitive_latency()) ns += latency->simulated_ns();
+  return ns;
+}
+
+/// Combined block-cache counters across the PD stores (zeros when the
+/// world booted with cache_blocks = 0).
+inline blockdev::BlockCacheStats BlockCacheStatsOf(core::RgpdOs& os) {
+  blockdev::BlockCacheStats total;
+  for (blockdev::BlockCacheDevice* cache :
+       {os.dbfs_cache(), os.sensitive_cache()}) {
+    if (cache == nullptr) continue;
+    const blockdev::BlockCacheStats s = cache->CacheStats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.invalidations += s.invalidations;
+  }
+  return total;
+}
 
 /// Write a CI artifact `BENCH_<name>.json` holding the bench's headline
 /// numbers plus a full metrics-registry snapshot, into

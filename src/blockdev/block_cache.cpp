@@ -1,0 +1,108 @@
+#include "blockdev/block_cache.hpp"
+
+#include <algorithm>
+
+#include "metrics/metrics.hpp"
+
+namespace rgpdos::blockdev {
+
+BlockCacheDevice::BlockCacheDevice(BlockDevice* inner,
+                                   std::uint64_t capacity_blocks,
+                                   std::size_t shard_count)
+    : inner_(inner),
+      per_shard_capacity_(std::max<std::uint64_t>(
+          1, capacity_blocks / std::max<std::size_t>(1, shard_count))),
+      shards_(std::max<std::size_t>(1, shard_count)) {}
+
+void BlockCacheDevice::InsertLocked(Shard& shard, BlockIndex index,
+                                    Bytes data) {
+  shard.lru.emplace_front(index, std::move(data));
+  shard.map[index] = shard.lru.begin();
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    RGPD_METRIC_COUNT("cache.block.evict");
+  }
+}
+
+Status BlockCacheDevice::ReadBlock(BlockIndex index, Bytes& out) {
+  Shard& shard = ShardFor(index);
+  std::uint64_t epoch_at_miss = 0;
+  {
+    std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+    const auto it = shard.map.find(index);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      out = it->second->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      RGPD_METRIC_COUNT("cache.block.hit");
+      return Status::Ok();
+    }
+    epoch_at_miss = shard.epoch;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  RGPD_METRIC_COUNT("cache.block.miss");
+  RGPD_RETURN_IF_ERROR(inner_->ReadBlock(index, out));
+  std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+  // A write or invalidation landed in this shard while the lock was
+  // dropped: `out` may predate it, so the fill is skipped (the data
+  // returned to the caller is whatever the inner device served, which
+  // is exactly what an uncached read would have returned).
+  if (shard.epoch == epoch_at_miss && shard.map.count(index) == 0) {
+    InsertLocked(shard, index, out);
+  }
+  return Status::Ok();
+}
+
+Status BlockCacheDevice::WriteBlock(BlockIndex index, ByteSpan data) {
+  // Write-through: the device sees the bytes before the cache does, so a
+  // crash (or a concurrent reader racing the shard lock) can never
+  // observe a cached block the medium does not hold.
+  RGPD_RETURN_IF_ERROR(inner_->WriteBlock(index, data));
+  Shard& shard = ShardFor(index);
+  std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+  ++shard.epoch;
+  const auto it = shard.map.find(index);
+  if (it != shard.map.end()) {
+    it->second->second.assign(data.begin(), data.end());
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  }
+  return Status::Ok();
+}
+
+void BlockCacheDevice::InvalidateCached(BlockIndex index) {
+  {
+    Shard& shard = ShardFor(index);
+    std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+    ++shard.epoch;
+    const auto it = shard.map.find(index);
+    if (it != shard.map.end()) {
+      shard.lru.erase(it->second);
+      shard.map.erase(it);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      RGPD_METRIC_COUNT("cache.block.invalidate");
+    }
+  }
+  inner_->InvalidateCached(index);
+}
+
+BlockCacheStats BlockCacheDevice::CacheStats() const {
+  BlockCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::uint64_t BlockCacheDevice::CachedBlockCount() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace rgpdos::blockdev

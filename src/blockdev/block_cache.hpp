@@ -1,0 +1,113 @@
+// Sharded LRU block cache — level 1 of the PD read-path caching stack.
+//
+// A write-through BlockDevice decorator: reads are served from N
+// lock-sharded LRU shards; writes always go to the inner device first and
+// then update (never allocate) a cached copy, so the cache can not hold a
+// block the device has not durably seen. There is deliberately no
+// write-allocate: journal appends and subject-root rewrites would
+// otherwise flush the working set on every mutation.
+//
+// Concurrency: each shard is guarded by a rank-kBlockCache OrderedMutex —
+// strictly below the device rank, which is legal because a shard lock is
+// NEVER held across inner-device IO. A miss records the shard's epoch,
+// drops the lock, reads the inner device, re-locks and fills only if the
+// epoch is unchanged; any concurrent write or invalidation in the shard
+// bumps the epoch and the (possibly stale) fill is skipped. Correctness
+// therefore never depends on the LRU state — only freshness does.
+//
+// GDPR: erasure and scrub call InvalidateCached for every block they
+// zero, so no plaintext survives in this cache after a purge (the
+// write-through zeros already overwrite cached copies; invalidation
+// drops them entirely, belt and braces).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+#include "metrics/lock.hpp"
+
+namespace rgpdos::blockdev {
+
+/// Aggregate cache accounting (relaxed atomics: safe to read while IO is
+/// in flight, unlike DeviceStats).
+struct BlockCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  [[nodiscard]] double HitRatio() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : double(hits) / double(total);
+  }
+};
+
+class BlockCacheDevice final : public BlockDevice {
+ public:
+  /// `inner` is borrowed and must outlive the cache. `capacity_blocks`
+  /// is split evenly over `shard_count` shards (each shard keeps at
+  /// least one block).
+  BlockCacheDevice(BlockDevice* inner, std::uint64_t capacity_blocks,
+                   std::size_t shard_count = 8);
+
+  [[nodiscard]] std::uint32_t block_size() const override {
+    return inner_->block_size();
+  }
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return inner_->block_count();
+  }
+
+  Status ReadBlock(BlockIndex index, Bytes& out) override;
+  Status WriteBlock(BlockIndex index, ByteSpan data) override;
+  Status Flush() override { return inner_->Flush(); }
+  void InvalidateCached(BlockIndex index) override;
+
+  /// True device traffic: the decorator adds none of its own, so IO
+  /// reports (bench_dbfs_vs_fs, leak scans) keep meaning "what hit the
+  /// medium", not "what hit the cache".
+  [[nodiscard]] const DeviceStats& stats() const override {
+    return inner_->stats();
+  }
+
+  [[nodiscard]] BlockCacheStats CacheStats() const;
+  /// Blocks currently cached (sums shard sizes; racy but monotonic-safe).
+  [[nodiscard]] std::uint64_t CachedBlockCount() const;
+  [[nodiscard]] std::uint64_t capacity_blocks() const {
+    return per_shard_capacity_ * shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] BlockDevice& inner() { return *inner_; }
+
+ private:
+  using LruList = std::list<std::pair<BlockIndex, Bytes>>;
+  struct Shard {
+    mutable metrics::OrderedMutex mu{metrics::LockRank::kBlockCache,
+                                     "blockdev.cache"};
+    LruList lru;  ///< front = most recently used
+    std::unordered_map<BlockIndex, LruList::iterator> map;
+    /// Bumped by every write/invalidation in the shard; a miss-fill that
+    /// saw a different epoch before its device read is discarded.
+    std::uint64_t epoch = 0;
+  };
+
+  [[nodiscard]] Shard& ShardFor(BlockIndex index) const {
+    return shards_[index % shards_.size()];
+  }
+  /// Insert under the shard lock, evicting LRU entries over capacity.
+  void InsertLocked(Shard& shard, BlockIndex index, Bytes data);
+
+  BlockDevice* inner_;  // borrowed
+  std::uint64_t per_shard_capacity_;
+  mutable std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace rgpdos::blockdev

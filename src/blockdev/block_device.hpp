@@ -45,6 +45,12 @@ class BlockDevice {
   /// Durability barrier (accounted; a no-op for in-memory devices).
   virtual Status Flush() = 0;
 
+  /// Drop any cached copy of `index` held by this device or a decorator
+  /// in front of it. The erasure/scrub paths call this for every block
+  /// they zero, so no plaintext survives in a cache after a GDPR purge.
+  /// No-op for devices that cache nothing.
+  virtual void InvalidateCached(BlockIndex index) { (void)index; }
+
   [[nodiscard]] virtual const DeviceStats& stats() const = 0;
 
   [[nodiscard]] std::uint64_t capacity_bytes() const {

@@ -4,6 +4,7 @@
 // SSD and a SATA HDD.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -20,14 +21,24 @@ struct LatencyProfile {
   static LatencyProfile Nvme() { return {10'000, 20'000, 50'000}; }
   static LatencyProfile Hdd() { return {4'000'000, 4'500'000, 8'000'000}; }
   static LatencyProfile Zero() { return {}; }
+
+  [[nodiscard]] bool IsZero() const {
+    return read_ns == 0 && write_ns == 0 && flush_ns == 0;
+  }
 };
 
 /// Decorator: forwards to an inner device, accumulating simulated time.
+/// Accumulation is a relaxed atomic — the decorator sits under the block
+/// cache on the concurrent PD path, and per-op totals don't need any
+/// ordering beyond "every op counted".
 class LatencyModelDevice final : public BlockDevice {
  public:
   LatencyModelDevice(std::unique_ptr<BlockDevice> inner,
                      LatencyProfile profile)
-      : inner_(std::move(inner)), profile_(profile) {}
+      : owned_(std::move(inner)), inner_(owned_.get()), profile_(profile) {}
+  /// Non-owning: decorate a device whose lifetime the caller manages.
+  LatencyModelDevice(BlockDevice* inner, LatencyProfile profile)
+      : inner_(inner), profile_(profile) {}
 
   [[nodiscard]] std::uint32_t block_size() const override {
     return inner_->block_size();
@@ -37,16 +48,19 @@ class LatencyModelDevice final : public BlockDevice {
   }
 
   Status ReadBlock(BlockIndex index, Bytes& out) override {
-    simulated_ns_ += profile_.read_ns;
+    simulated_ns_.fetch_add(profile_.read_ns, std::memory_order_relaxed);
     return inner_->ReadBlock(index, out);
   }
   Status WriteBlock(BlockIndex index, ByteSpan data) override {
-    simulated_ns_ += profile_.write_ns;
+    simulated_ns_.fetch_add(profile_.write_ns, std::memory_order_relaxed);
     return inner_->WriteBlock(index, data);
   }
   Status Flush() override {
-    simulated_ns_ += profile_.flush_ns;
+    simulated_ns_.fetch_add(profile_.flush_ns, std::memory_order_relaxed);
     return inner_->Flush();
+  }
+  void InvalidateCached(BlockIndex index) override {
+    inner_->InvalidateCached(index);
   }
 
   [[nodiscard]] const DeviceStats& stats() const override {
@@ -54,15 +68,20 @@ class LatencyModelDevice final : public BlockDevice {
   }
 
   /// Total simulated device time since construction / last Reset.
-  [[nodiscard]] std::uint64_t simulated_ns() const { return simulated_ns_; }
-  void ResetSimulatedTime() { simulated_ns_ = 0; }
+  [[nodiscard]] std::uint64_t simulated_ns() const {
+    return simulated_ns_.load(std::memory_order_relaxed);
+  }
+  void ResetSimulatedTime() {
+    simulated_ns_.store(0, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] BlockDevice& inner() { return *inner_; }
 
  private:
-  std::unique_ptr<BlockDevice> inner_;
+  std::unique_ptr<BlockDevice> owned_;  ///< null when non-owning
+  BlockDevice* inner_;                  // borrowed (or aliases owned_)
   LatencyProfile profile_;
-  std::uint64_t simulated_ns_ = 0;
+  std::atomic<std::uint64_t> simulated_ns_{0};
 };
 
 }  // namespace rgpdos::blockdev

@@ -76,12 +76,43 @@ Result<membrane::Membrane> DataExecutionDomain::BuildDerivedMembrane(
   return m;
 }
 
+DataExecutionDomain::Decision DataExecutionDomain::Decide(
+    const membrane::Membrane& m, const dsl::TypeDecl& type,
+    const dsl::PurposeDecl& purpose, dbfs::RecordId id, TimeMicros now,
+    DecisionMemo* memo) const {
+  if (memo != nullptr) {
+    if (auto hit = memo->Lookup(id, m.version)) {
+      RGPD_METRIC_COUNT("cache.decision.hit");
+      return std::move(*hit);
+    }
+    RGPD_METRIC_COUNT("cache.decision.miss");
+  }
+  Decision decision;
+  const auto consent = m.Evaluate(purpose.name, now);
+  if (!consent.ok()) {
+    decision.approved = false;
+    decision.filter_detail = consent.status().ToString();
+  } else {
+    decision.approved = true;
+    decision.consent = *consent;
+    Result<std::set<std::string>> scope =
+        EffectiveScope(type, *consent, purpose);
+    if (!scope.ok()) {
+      decision.error = scope.status();
+    } else {
+      decision.scope = std::move(scope).value();
+    }
+  }
+  if (memo != nullptr) memo->Store(id, m.version, decision);
+  return decision;
+}
+
 DataExecutionDomain::RecordOutcome DataExecutionDomain::RunRecord(
     dbfs::RecordId id, const dsl::TypeDecl& input_type,
     const db::Schema& input_schema, const dsl::PurposeDecl& purpose,
     const std::string& processing_name, const ProcessingFn& fn,
     const std::vector<FieldPredicate>& predicates, TimeMicros now,
-    bool want_trace) const {
+    bool want_trace, DecisionMemo* memo) const {
   RecordOutcome out;
   Stopwatch watch;
 
@@ -95,23 +126,22 @@ DataExecutionDomain::RecordOutcome DataExecutionDomain::RunRecord(
 
   // ---- ded_filter: does the membrane approve the purpose now? --------------
   watch.Restart();
-  const auto consent = m->Evaluate(purpose.name, now);
-  if (!consent.ok()) {
+  Decision decision = Decide(*m, input_type, purpose, id, now, memo);
+  if (!decision.error.ok()) {
+    out.error = decision.error;
+    out.timings.filter_ns = watch.ElapsedNanos();
+    return out;
+  }
+  if (!decision.approved) {
     ++out.filtered;
     RGPD_METRIC_COUNT("core.consent.filtered");
     out.logs.push_back({m->subject_id, id, LogOutcome::kFiltered,
-                        consent.status().ToString()});
+                        decision.filter_detail});
     out.timings.filter_ns = watch.ElapsedNanos();
     return out;
   }
   RGPD_METRIC_COUNT("core.consent.approved");
-  Result<std::set<std::string>> scope =
-      EffectiveScope(input_type, *consent, purpose);
   out.timings.filter_ns = watch.ElapsedNanos();
-  if (!scope.ok()) {
-    out.error = scope.status();
-    return out;
-  }
 
   // ---- ded_load_data: fetch the row for this survivor ----------------------
   watch.Restart();
@@ -126,6 +156,35 @@ DataExecutionDomain::RecordOutcome DataExecutionDomain::RunRecord(
     ++out.filtered;
     return out;
   }
+  // Re-validate the filter decision against the membrane that travelled
+  // WITH the row. Unchanged version + memo on: a lookup hit, no second
+  // evaluation. Version moved (a concurrent withdrawal / erasure /
+  // rectification landed between filter and load): a fresh decision on
+  // the authoritative membrane — a stale approval must not leak PD.
+  // Memo off: only the version-moved case re-decides (the historical
+  // cost profile, plus the correctness fix).
+  const bool version_moved = record->membrane.version != m->version;
+  if (version_moved || memo != nullptr) {
+    Decision revalidated =
+        Decide(record->membrane, input_type, purpose, id, now, memo);
+    if (!revalidated.error.ok()) {
+      out.error = revalidated.error;
+      return out;
+    }
+    if (!revalidated.approved) {
+      ++out.filtered;
+      RGPD_METRIC_COUNT("core.consent.filtered");
+      if (version_moved) RGPD_METRIC_COUNT("core.consent.stale_revoked");
+      out.logs.push_back({record->membrane.subject_id, id,
+                          LogOutcome::kFiltered,
+                          revalidated.filter_detail});
+      return out;
+    }
+    decision = std::move(revalidated);
+  }
+  // From here on the membrane that travelled WITH the row is the
+  // authoritative one (same version as the decision just validated).
+  *m = std::move(record->membrane);
   db::Row row = std::move(record->row);
 
   // ---- ded_execute: run the implementation under the syscall filter --------
@@ -149,7 +208,7 @@ DataExecutionDomain::RecordOutcome DataExecutionDomain::RunRecord(
   }
   sentinel::SyscallContext syscalls(
       sentinel::SyscallFilter::PdProcessingProfile(), now);
-  ProcessingInput input(&input_type, &row, std::move(scope).value(),
+  ProcessingInput input(&input_type, &row, std::move(decision.scope),
                         m->subject_id, id, &syscalls,
                         want_trace ? &out.fields : nullptr);
   auto output = fn(input);
@@ -232,13 +291,17 @@ Result<InvokeResult> DataExecutionDomain::Execute(
   // and there is enough work per lane; outcomes merge in candidate order
   // below, so the log and the returned error are shard-count-invariant.
   const TimeMicros now = clock_->Now();
+  // One decision memo per invoke (the paper's purpose is fixed for the
+  // whole pipeline, so (purpose, record) keys degenerate to record ids).
+  DecisionMemo memo;
+  DecisionMemo* memo_ptr = memoize_decisions_ ? &memo : nullptr;
   std::vector<RecordOutcome> outcomes(candidates.size());
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       outcomes[i] =
           RunRecord(candidates[i], *input_type, input_schema, purpose,
                     processing_name, fn, predicates, now,
-                    field_trace != nullptr);
+                    field_trace != nullptr, memo_ptr);
     }
   };
   std::size_t lanes = 1;

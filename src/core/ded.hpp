@@ -17,6 +17,16 @@
 // A DED is only constructible by the ProcessingStore (rule 2): the
 // constructor requires a PassKey that only PS can mint.
 //
+// Consent-decision memoization (level 3 of the caching stack): each
+// invoke keeps a per-record memo of the filter stage's decision, keyed
+// by the membrane VERSION it was computed against. The filter stage
+// decides on the membrane loaded by ded_load_membrane; ded_load_data
+// then re-validates against the membrane that arrived with the row and,
+// if the version moved (a concurrent withdrawal/erasure/rectification),
+// re-decides on the fresh membrane — so a withdrawn consent is never
+// honoured, cached or not, while the unchanged-version common case costs
+// one memo lookup instead of a second Evaluate + scope intersection.
+//
 // Parallel execution: when the PS hands the DED a DedExecutor, the
 // per-record stages (load_membrane, filter, load_data, execute) fan out
 // over contiguous candidate shards; ded_store stays serial so derived
@@ -28,6 +38,11 @@
 // serially. Stage timings are summed across lanes (CPU time, not wall
 // time, once parallel).
 #pragma once
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
 
 #include "core/executor.hpp"
 #include "core/processing.hpp"
@@ -52,14 +67,19 @@ class DataExecutionDomain {
   };
 
   /// `executor` may be null: the pipeline then runs single-lane.
+  /// `memoize_decisions` == false recomputes every consent decision
+  /// (cache_decisions=0: the pre-cache behaviour; the load_data version
+  /// re-validation stays on either way — it is a correctness property).
   DataExecutionDomain(PassKey, dbfs::Dbfs* dbfs, sentinel::Sentinel* sentinel,
                       ProcessingLog* log, const Clock* clock,
-                      DedExecutor* executor = nullptr)
+                      DedExecutor* executor = nullptr,
+                      bool memoize_decisions = true)
       : dbfs_(dbfs),
         sentinel_(sentinel),
         log_(log),
         clock_(clock),
-        executor_(executor) {}
+        executor_(executor),
+        memoize_decisions_(memoize_decisions) {}
 
   /// Run the full pipeline for `processing` (its purpose declaration and
   /// implementation) over either one record or all records of the
@@ -107,6 +127,46 @@ class DataExecutionDomain {
     StageTimings timings;
   };
 
+  /// Outcome of the filter stage for one (record, membrane version).
+  struct Decision {
+    Status error = Status::Ok();  ///< non-OK: scope computation failed
+    bool approved = false;
+    std::string filter_detail;  ///< set when !approved (log text)
+    membrane::Consent consent;
+    std::set<std::string> scope;
+  };
+
+  /// Per-invoke memo of consent decisions, keyed by record id and
+  /// guarded by the membrane version the decision was computed against.
+  /// Leaf lock (plain mutex): nothing else is ever acquired while held,
+  /// and the memo dies with its invoke.
+  class DecisionMemo {
+   public:
+    [[nodiscard]] std::optional<Decision> Lookup(dbfs::RecordId id,
+                                                 std::uint64_t version) const {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = map_.find(id);
+      if (it == map_.end() || it->second.first != version) {
+        return std::nullopt;
+      }
+      return it->second.second;
+    }
+    void Store(dbfs::RecordId id, std::uint64_t version, Decision decision) {
+      std::lock_guard<std::mutex> lock(mu_);
+      map_[id] = {version, std::move(decision)};
+    }
+
+   private:
+    mutable std::mutex mu_;
+    std::unordered_map<dbfs::RecordId, std::pair<std::uint64_t, Decision>>
+        map_;
+  };
+
+  /// Memo-through filter decision for `m` (memo may be null).
+  Decision Decide(const membrane::Membrane& m, const dsl::TypeDecl& type,
+                  const dsl::PurposeDecl& purpose, dbfs::RecordId id,
+                  TimeMicros now, DecisionMemo* memo) const;
+
   /// The per-record pipeline slice: load_membrane -> filter -> load_data
   /// -> predicates -> execute. Pure with respect to DED state (all
   /// shared mutation is deferred into the returned outcome), so any lane
@@ -117,13 +177,15 @@ class DataExecutionDomain {
                           const std::string& processing_name,
                           const ProcessingFn& fn,
                           const std::vector<FieldPredicate>& predicates,
-                          TimeMicros now, bool want_trace) const;
+                          TimeMicros now, bool want_trace,
+                          DecisionMemo* memo) const;
 
   dbfs::Dbfs* dbfs_;             // borrowed
   sentinel::Sentinel* sentinel_; // borrowed
   ProcessingLog* log_;           // borrowed
   const Clock* clock_;           // borrowed
   DedExecutor* executor_;        // borrowed; null = single-lane
+  bool memoize_decisions_;
 };
 
 }  // namespace rgpdos::core

@@ -250,7 +250,7 @@ Result<InvokeResult> ProcessingStore::Invoke(sentinel::Domain caller,
   RGPD_RETURN_IF_ERROR(sentinel_->Enforce(ded_request));
 
   DataExecutionDomain ded(DataExecutionDomain::PassKey{}, dbfs_, sentinel_,
-                          log_, clock_, executor_);
+                          log_, clock_, executor_, memoize_decisions_);
   std::set<std::string> field_trace;
   auto result = ded.Execute(purpose, "processing#" + std::to_string(id),
                             fn, options.target,

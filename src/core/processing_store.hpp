@@ -51,15 +51,18 @@ struct Alert {
 class ProcessingStore {
  public:
   /// `executor` may be null: invokes then run their pipeline
-  /// single-lane (the pre-parallel behaviour).
+  /// single-lane (the pre-parallel behaviour). `memoize_decisions` is
+  /// handed to every DED this store instantiates (see ded.hpp).
   ProcessingStore(dbfs::Dbfs* dbfs, sentinel::Sentinel* sentinel,
                   ProcessingLog* log, const Clock* clock,
-                  DedExecutor* executor = nullptr)
+                  DedExecutor* executor = nullptr,
+                  bool memoize_decisions = true)
       : dbfs_(dbfs),
         sentinel_(sentinel),
         log_(log),
         clock_(clock),
-        executor_(executor) {}
+        executor_(executor),
+        memoize_decisions_(memoize_decisions) {}
 
   // ---- ps_register -----------------------------------------------------------
 
@@ -123,6 +126,7 @@ class ProcessingStore {
   ProcessingLog* log_;           // borrowed
   const Clock* clock_;           // borrowed
   DedExecutor* executor_;        // borrowed; null = single-lane invokes
+  bool memoize_decisions_;       ///< forwarded to each DED instance
 
   /// Guards everything below. Rank kCore: outermost, so a holder may
   /// still call any lower layer (sentinel, log, dbfs, ...).

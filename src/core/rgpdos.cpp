@@ -1,12 +1,24 @@
 #include "core/rgpdos.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "common/rng.hpp"
 #include "dsl/parser.hpp"
 #include "kernel/placement.hpp"
 
 namespace rgpdos::core {
 
-Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& config) {
+Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
+  BootConfig config = boot_config;
+  // RGPDOS_CACHE=0 forces every cache level off without touching code —
+  // the CI matrix runs the whole test suite in both configurations.
+  if (const char* env = std::getenv("RGPDOS_CACHE");
+      env != nullptr && std::string_view(env) == "0") {
+    config.cache_blocks = 0;
+    config.cache_record_entries = 0;
+    config.cache_decisions = false;
+  }
   std::unique_ptr<RgpdOs> os(new RgpdOs());
 
   if (config.use_sim_clock) {
@@ -29,33 +41,65 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& config) {
   // DBFS on its own device (paper: DBFS is reachable only through rgpdOS
   // components; the NPD filesystem is a separate, generally accessible
   // store).
+  // PD device stack, inner to outer: raw memory device -> optional
+  // latency model (simulated IO cost) -> optional block cache (level 1
+  // of the caching stack; on the OUTSIDE so a cache hit pays neither
+  // device nor simulated-latency cost, exactly like a page-cache hit
+  // skips a real disk).
   os->dbfs_device_ = std::make_unique<blockdev::MemBlockDevice>(
       config.block_size, config.dbfs_blocks);
+  blockdev::BlockDevice* dbfs_dev = os->dbfs_device_.get();
+  if (!config.latency.IsZero()) {
+    os->dbfs_latency_ = std::make_unique<blockdev::LatencyModelDevice>(
+        dbfs_dev, config.latency);
+    dbfs_dev = os->dbfs_latency_.get();
+  }
+  if (config.cache_blocks != 0) {
+    os->dbfs_cache_ = std::make_unique<blockdev::BlockCacheDevice>(
+        dbfs_dev, config.cache_blocks, config.cache_shards);
+    dbfs_dev = os->dbfs_cache_.get();
+  }
   inodefs::InodeStore::Options dbfs_options;
   dbfs_options.inode_count = config.inode_count;
   dbfs_options.journal_blocks = config.journal_blocks;
   RGPD_ASSIGN_OR_RETURN(
       os->dbfs_store_,
-      inodefs::InodeStore::Format(os->dbfs_device_.get(), dbfs_options,
-                                  os->clock_.get()));
+      inodefs::InodeStore::Format(dbfs_dev, dbfs_options, os->clock_.get()));
   if (config.split_sensitive) {
     // Dedicated device for high-sensitivity PD (paper §2's storage
-    // separation): its own blocks, inodes and journal. Its mutex ranks
-    // just below the primary store's so DBFS can nest sensitive-store
-    // writes inside a primary-store group-commit scope.
+    // separation): its own blocks, inodes and journal — and its own
+    // cache/latency stack, so sensitive PD never shares cache lines
+    // with ordinary PD. Its mutex ranks just below the primary store's
+    // so DBFS can nest sensitive-store writes inside a primary-store
+    // group-commit scope.
     os->sensitive_device_ = std::make_unique<blockdev::MemBlockDevice>(
         config.block_size, config.sensitive_blocks);
+    blockdev::BlockDevice* sensitive_dev = os->sensitive_device_.get();
+    if (!config.latency.IsZero()) {
+      os->sensitive_latency_ = std::make_unique<blockdev::LatencyModelDevice>(
+          sensitive_dev, config.latency);
+      sensitive_dev = os->sensitive_latency_.get();
+    }
+    if (config.cache_blocks != 0) {
+      os->sensitive_cache_ = std::make_unique<blockdev::BlockCacheDevice>(
+          sensitive_dev, config.cache_blocks, config.cache_shards);
+      sensitive_dev = os->sensitive_cache_.get();
+    }
     inodefs::InodeStore::Options sensitive_options = dbfs_options;
     sensitive_options.lock_rank = metrics::LockRank::kInodefsSensitive;
     RGPD_ASSIGN_OR_RETURN(
         os->sensitive_store_,
-        inodefs::InodeStore::Format(os->sensitive_device_.get(),
-                                    sensitive_options, os->clock_.get()));
+        inodefs::InodeStore::Format(sensitive_dev, sensitive_options,
+                                    os->clock_.get()));
   }
   RGPD_ASSIGN_OR_RETURN(
       os->dbfs_,
       dbfs::Dbfs::Format(os->dbfs_store_.get(), os->sentinel_.get(),
                          os->clock_.get(), os->sensitive_store_.get()));
+  // Level 2: decoded-record cache with generation invalidation.
+  if (config.cache_record_entries != 0) {
+    os->dbfs_->EnableRecordCache(config.cache_record_entries);
+  }
 
   os->npd_device_ = std::make_unique<blockdev::MemBlockDevice>(
       config.block_size, config.npd_blocks);
@@ -90,7 +134,7 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& config) {
 
   os->ps_ = std::make_unique<ProcessingStore>(
       os->dbfs_.get(), os->sentinel_.get(), os->log_.get(),
-      os->clock_.get(), os->executor_.get());
+      os->clock_.get(), os->executor_.get(), config.cache_decisions);
   os->builtins_ = std::make_unique<Builtins>(os->dbfs_.get(), os->log_.get(),
                                              os->clock_.get(), &os->rng_);
   os->rights_ = std::make_unique<Rights>(os->dbfs_.get(), os->log_.get(),

@@ -15,7 +15,9 @@
 
 #include <memory>
 
+#include "blockdev/block_cache.hpp"
 #include "blockdev/block_device.hpp"
+#include "blockdev/latency_model.hpp"
 #include "core/anonymize.hpp"
 #include "core/authority.hpp"
 #include "core/builtins.hpp"
@@ -47,6 +49,21 @@ struct BootConfig {
   /// from the kernel's CPU partition (kernel::CpuPartition::Plan); N > 1
   /// spawns N-1 pool threads so an invoke uses N lanes total.
   unsigned worker_threads = 1;
+  /// PD read-path caching (see DESIGN.md "Caching & invalidation").
+  /// Setting every cache_* knob to 0/false restores the uncached
+  /// behaviour; the env var RGPDOS_CACHE=0 does the same at runtime.
+  /// Block-cache capacity in blocks, per PD store (the primary and the
+  /// split sensitive store each get their own cache). 0 = no block cache.
+  std::uint64_t cache_blocks = 1024;
+  /// Lock shards per block cache.
+  std::size_t cache_shards = 8;
+  /// Decoded-record cache capacity in records. 0 = no record cache.
+  std::size_t cache_record_entries = 4096;
+  /// Memoize per-invoke consent decisions in the DED.
+  bool cache_decisions = true;
+  /// Simulated device cost model applied to the PD devices (benches
+  /// normalise throughput by wall + simulated time). Zero = no model.
+  blockdev::LatencyProfile latency = blockdev::LatencyProfile::Zero();
 };
 
 class RgpdOs {
@@ -72,6 +89,20 @@ class RgpdOs {
   /// Non-null iff booted with split_sensitive.
   [[nodiscard]] blockdev::MemBlockDevice* sensitive_device() {
     return sensitive_device_.get();
+  }
+  /// Non-null iff booted with cache_blocks != 0.
+  [[nodiscard]] blockdev::BlockCacheDevice* dbfs_cache() {
+    return dbfs_cache_.get();
+  }
+  [[nodiscard]] blockdev::BlockCacheDevice* sensitive_cache() {
+    return sensitive_cache_.get();
+  }
+  /// Non-null iff booted with a non-zero latency profile.
+  [[nodiscard]] blockdev::LatencyModelDevice* dbfs_latency() {
+    return dbfs_latency_.get();
+  }
+  [[nodiscard]] blockdev::LatencyModelDevice* sensitive_latency() {
+    return sensitive_latency_.get();
   }
   [[nodiscard]] const Clock& clock() const { return *clock_; }
   /// Non-null iff booted with use_sim_clock.
@@ -115,9 +146,15 @@ class RgpdOs {
   sentinel::AuditSink audit_;
   std::unique_ptr<sentinel::Sentinel> sentinel_;
 
+  // PD device stacks (destruction order: stores first, then decorators,
+  // then the raw devices — members are declared inner-to-outer).
   std::unique_ptr<blockdev::MemBlockDevice> dbfs_device_;
   std::unique_ptr<blockdev::MemBlockDevice> sensitive_device_;
   std::unique_ptr<blockdev::MemBlockDevice> npd_device_;
+  std::unique_ptr<blockdev::LatencyModelDevice> dbfs_latency_;
+  std::unique_ptr<blockdev::LatencyModelDevice> sensitive_latency_;
+  std::unique_ptr<blockdev::BlockCacheDevice> dbfs_cache_;
+  std::unique_ptr<blockdev::BlockCacheDevice> sensitive_cache_;
   std::unique_ptr<inodefs::InodeStore> dbfs_store_;
   std::unique_ptr<inodefs::InodeStore> sensitive_store_;
   std::unique_ptr<inodefs::InodeStore> npd_store_;

@@ -283,6 +283,37 @@ std::vector<std::string> Dbfs::TypeNames() const {
   return names;
 }
 
+// ---- decoded-record cache -----------------------------------------------------
+
+void Dbfs::EnableRecordCache(std::size_t capacity) {
+  if (capacity == 0) {
+    record_cache_.reset();
+    return;
+  }
+  // Generation shards MUST mirror the subject shards: the seqlock
+  // protocol needs "same generation shard => same subject shard mutex".
+  record_cache_ = std::make_unique<RecordCache>(capacity, kSubjectShards);
+}
+
+void Dbfs::FillRecordCache(RecordId id, const RecordLoc& loc,
+                           const membrane::Membrane& membrane,
+                           const db::Row* row) const {
+  if (record_cache_ == nullptr) return;
+  RecordCache::Entry entry;
+  entry.subject_id = loc.subject_id;
+  entry.type_name = loc.type_name;
+  entry.membrane = membrane;
+  if (row != nullptr) {
+    entry.row = *row;
+    entry.has_row = true;
+  }
+  entry.erased = loc.erased;
+  // The caller holds the subject shard mutex, so no mutation of this
+  // subject is in flight and the generation is even (stable).
+  entry.generation = record_cache_->generation(loc.subject_id);
+  record_cache_->Insert(id, std::move(entry));
+}
+
 // ---- record surface ------------------------------------------------------------
 
 Result<Dbfs::RecordLoc> Dbfs::Locate(RecordId id) const {
@@ -400,6 +431,22 @@ Result<PdRecord> Dbfs::Get(sentinel::Domain caller, RecordId id) const {
   RGPD_METRIC_SCOPED_LATENCY("dbfs.get.latency_ns");
   RGPD_RETURN_IF_ERROR(
       Gate(caller, sentinel::Operation::kRead, "record=" + std::to_string(id)));
+  // Fast path: a generation-validated cache hit needs no lock in the
+  // subject tree and no store IO at all.
+  if (record_cache_ != nullptr) {
+    if (auto hit = record_cache_->Lookup(id, /*need_row=*/true)) {
+      RGPD_METRIC_COUNT("cache.record.hit");
+      PdRecord record;
+      record.record_id = id;
+      record.subject_id = hit->subject_id;
+      record.type_name = std::move(hit->type_name);
+      record.erased = hit->erased;
+      record.membrane = std::move(hit->membrane);
+      record.row = std::move(hit->row);
+      return record;
+    }
+    RGPD_METRIC_COUNT("cache.record.miss");
+  }
   std::shared_lock<metrics::OrderedSharedMutex> schema_lock(schema_mu_);
   // Locate, then pin the subject shard and re-validate: the shard
   // excludes a concurrent HardDelete from freeing (and the allocator
@@ -428,6 +475,8 @@ Result<PdRecord> Dbfs::Get(sentinel::Domain caller, RecordId id) const {
     RGPD_ASSIGN_OR_RETURN(record.row,
                           type_it->second.schema.DecodeRow(row_bytes));
   }
+  FillRecordCache(id, loc, record.membrane,
+                  loc.erased ? nullptr : &record.row);
   return record;
 }
 
@@ -435,13 +484,23 @@ Result<membrane::Membrane> Dbfs::GetMembrane(sentinel::Domain caller,
                                              RecordId id) const {
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
                             "membrane record=" + std::to_string(id)));
+  if (record_cache_ != nullptr) {
+    if (auto hit = record_cache_->Lookup(id, /*need_row=*/false)) {
+      RGPD_METRIC_COUNT("cache.record.hit");
+      return std::move(hit->membrane);
+    }
+    RGPD_METRIC_COUNT("cache.record.miss");
+  }
   RGPD_ASSIGN_OR_RETURN(RecordLoc loc, Locate(id));
   std::lock_guard<metrics::OrderedMutex> shard_lock(
       SubjectShard(loc.subject_id));
   RGPD_ASSIGN_OR_RETURN(loc, Locate(id));
   RGPD_ASSIGN_OR_RETURN(Bytes membrane_bytes,
                         StoreById(loc.store_id)->ReadAll(loc.membrane_inode));
-  return membrane::Membrane::Deserialize(membrane_bytes);
+  RGPD_ASSIGN_OR_RETURN(membrane::Membrane m,
+                        membrane::Membrane::Deserialize(membrane_bytes));
+  FillRecordCache(id, loc, m, /*row=*/nullptr);
+  return m;
 }
 
 Status Dbfs::UpdateRow(sentinel::Domain caller, RecordId id,
@@ -458,6 +517,7 @@ Status Dbfs::UpdateRow(sentinel::Domain caller, RecordId id,
   if (loc.erased) {
     return Erased("record " + std::to_string(id) + " was erased");
   }
+  CacheMutationGuard cache_guard(record_cache_.get(), loc.subject_id, id);
   const auto type_it = types_.find(loc.type_name);
   if (type_it == types_.end()) {
     return Corruption("record references unknown type");
@@ -483,6 +543,7 @@ Status Dbfs::UpdateMembrane(sentinel::Domain caller, RecordId id,
     return FailedPrecondition(
         "membrane identity does not match the stored record");
   }
+  CacheMutationGuard cache_guard(record_cache_.get(), loc.subject_id, id);
   RGPD_RETURN_IF_ERROR(StoreById(loc.store_id)
                            ->WriteAll(loc.membrane_inode,
                                       membrane.Serialize()));
@@ -513,6 +574,10 @@ Status Dbfs::HardDelete(sentinel::Domain caller, RecordId id) {
   std::lock_guard<metrics::OrderedMutex> shard_lock(
       SubjectShard(loc.subject_id));
   RGPD_ASSIGN_OR_RETURN(loc, Locate(id));
+  // Cache discipline for erasure (the "no post-erasure read from cache"
+  // guarantee): entry dropped + generation bumped before this returns;
+  // the scrubbed frees below invalidate the block-cache copies.
+  CacheMutationGuard cache_guard(record_cache_.get(), loc.subject_id, id);
   RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root, SubjectRootOf(loc.subject_id));
   RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
                         LoadSubjectRoot(root));
@@ -551,6 +616,7 @@ Status Dbfs::ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
   if (loc.erased) {
     return Erased("record " + std::to_string(id) + " already erased");
   }
+  CacheMutationGuard cache_guard(record_cache_.get(), loc.subject_id, id);
   // Destroy the plaintext, keep only the authority-sealed envelope.
   inodefs::InodeStore* data_store = StoreById(loc.store_id);
   RGPD_RETURN_IF_ERROR(data_store->Truncate(loc.pd_inode, 0, /*scrub=*/true));

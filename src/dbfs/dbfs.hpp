@@ -52,6 +52,7 @@
 
 #include "db/btree.hpp"
 #include "db/schema.hpp"
+#include "dbfs/record_cache.hpp"
 #include "dsl/ast.hpp"
 #include "inodefs/inode_store.hpp"
 #include "membrane/membrane.hpp"
@@ -150,6 +151,20 @@ class Dbfs {
     return next_copy_group_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // ---- decoded-record cache ---------------------------------------------------
+
+  /// Attach the decoded-record cache (see record_cache.hpp for the
+  /// generation protocol). Boot-time only: must not race record traffic.
+  /// `capacity` == 0 leaves caching off (the historical read path).
+  void EnableRecordCache(std::size_t capacity);
+  /// Null when caching is off. Exposed for tests and introspection.
+  [[nodiscard]] RecordCache* record_cache() { return record_cache_.get(); }
+  /// Mutation generation of the subject's shard (0 when uncached). Every
+  /// acknowledged membrane/row mutation advances it by 2.
+  [[nodiscard]] std::uint64_t SubjectGeneration(SubjectId subject) const {
+    return record_cache_ == nullptr ? 0 : record_cache_->generation(subject);
+  }
+
   /// Inode reserved for the (hash-chained) processing log. Lives on the
   /// DBFS store: the log names subjects and purposes, so it must not be
   /// readable through the NPD filesystem.
@@ -246,6 +261,38 @@ class Dbfs {
     return shards_[subject % kSubjectShards].mu;
   }
 
+  /// RAII mutation bracket for the record cache: generation -> odd on
+  /// construction, entry erased + generation -> even on destruction —
+  /// i.e. BEFORE the mutator returns (and before it releases the subject
+  /// shard mutex, which the caller must hold for the whole lifetime).
+  /// No-op when caching is off.
+  class CacheMutationGuard {
+   public:
+    CacheMutationGuard(RecordCache* cache, SubjectId subject, RecordId id)
+        : cache_(cache), subject_(subject), id_(id) {
+      if (cache_ != nullptr) cache_->BeginMutation(subject_);
+    }
+    ~CacheMutationGuard() {
+      if (cache_ != nullptr) {
+        cache_->Erase(id_);
+        cache_->EndMutation(subject_);
+      }
+    }
+    CacheMutationGuard(const CacheMutationGuard&) = delete;
+    CacheMutationGuard& operator=(const CacheMutationGuard&) = delete;
+
+   private:
+    RecordCache* cache_;
+    SubjectId subject_;
+    RecordId id_;
+  };
+
+  /// Fill the cache with a freshly decoded record (caller holds the
+  /// subject shard mutex). Membrane-only when `row` is null.
+  void FillRecordCache(RecordId id, const RecordLoc& loc,
+                       const membrane::Membrane& membrane,
+                       const db::Row* row) const;
+
   inodefs::InodeStore* store_;            // borrowed (primary)
   inodefs::InodeStore* sensitive_store_;  // borrowed; may be null
   sentinel::Sentinel* sentinel_;          // borrowed
@@ -270,6 +317,7 @@ class Dbfs {
   std::map<std::string, TypeEntry, std::less<>> types_;   // schema_mu_
   std::map<SubjectId, inodefs::InodeId> subjects_;        // index_mu_
   db::BPlusTree<RecordId, RecordLoc> records_;            // index_mu_
+  std::unique_ptr<RecordCache> record_cache_;             // null = off
   std::atomic<RecordId> next_record_id_{1};
   std::atomic<std::uint64_t> next_copy_group_{1};
 };

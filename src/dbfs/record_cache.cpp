@@ -1,0 +1,84 @@
+#include "dbfs/record_cache.hpp"
+
+#include <algorithm>
+
+#include "metrics/metrics.hpp"
+
+namespace rgpdos::dbfs {
+
+RecordCache::RecordCache(std::size_t capacity, std::size_t generation_shards)
+    : per_shard_capacity_(
+          std::max<std::size_t>(1, capacity / kEntryShards)),
+      shards_(kEntryShards),
+      generations_(std::max<std::size_t>(1, generation_shards)) {
+  for (auto& g : generations_) g.store(0, std::memory_order_relaxed);
+}
+
+std::optional<RecordCache::Entry> RecordCache::Lookup(RecordId id,
+                                                      bool need_row) const {
+  Entry copy;
+  {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+    const auto it = shard.map.find(id);
+    if (it == shard.map.end()) return std::nullopt;
+    if (need_row && !it->second->second.has_row &&
+        !it->second->second.erased) {
+      return std::nullopt;  // membrane-only fill can't serve a data read
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    copy = it->second->second;
+  }
+  // Validate AFTER copying out: if the generation still equals the fill
+  // stamp, no mutation of this subject's shard began since the fill, so
+  // the copy is current. An odd (in-flight) or advanced generation
+  // misses — the acknowledged mutation already erased the entry, this
+  // only closes the copy-out race.
+  if (generation(copy.subject_id) != copy.generation) return std::nullopt;
+  return copy;
+}
+
+void RecordCache::Insert(RecordId id, Entry entry) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+  const auto it = shard.map.find(id);
+  if (it != shard.map.end()) {
+    Entry& existing = it->second->second;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    if (existing.generation == entry.generation && existing.has_row &&
+        !entry.has_row) {
+      return;  // keep the richer same-generation fill
+    }
+    existing = std::move(entry);
+    return;
+  }
+  shard.lru.emplace_front(id, std::move(entry));
+  shard.map[id] = shard.lru.begin();
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    RGPD_METRIC_COUNT("cache.record.evict");
+  }
+}
+
+void RecordCache::Erase(RecordId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+  const auto it = shard.map.find(id);
+  if (it != shard.map.end()) {
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    RGPD_METRIC_COUNT("cache.record.invalidate");
+  }
+}
+
+std::size_t RecordCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace rgpdos::dbfs

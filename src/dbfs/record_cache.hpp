@@ -1,0 +1,124 @@
+// Decoded-record cache — level 2 of the PD read-path caching stack.
+//
+// Caches the DECODED form of a record (membrane + row) keyed by record
+// id, so the hot Get/GetMembrane paths skip the inode reads and the
+// deserialisation entirely. Staleness is impossible by construction, not
+// by luck: validity is tied to a per-subject-shard GENERATION counter
+// maintained seqlock-style —
+//
+//   * Every Dbfs mutation of a subject's PD (consent grant/withdraw,
+//     rectification, erasure, TTL expiry — they all funnel through
+//     UpdateRow / UpdateMembrane / HardDelete / ReplaceWithEnvelope)
+//     holds the subject's shard mutex and brackets the store writes with
+//     BeginMutation (generation -> odd) ... EndMutation (-> even),
+//     erasing the record's cache entry in between, BEFORE the mutation
+//     is acknowledged to its caller.
+//   * Every fill happens under the same shard mutex and stamps the entry
+//     with the generation it observed (always even: an odd value would
+//     mean a concurrent mutator holds the shard mutex we hold).
+//   * A lookup takes NO subject lock: it copies the entry out, re-reads
+//     the generation and serves the hit only if it equals the entry's
+//     stamp. An in-flight mutation (odd) or any completed one (advanced)
+//     misses, and the reader falls back to the locked slow path.
+//
+// Hence: once a consent withdrawal has returned to its caller, no later
+// lookup anywhere can serve the pre-withdrawal membrane — the acknowledged
+// generation bump invalidates every older stamp. Generations only grow,
+// so there is no ABA.
+//
+// Entry storage is LRU-sharded by record id under rank-kDbfsRecordCache
+// mutexes (below the subject shards, so fills and erasures nest inside
+// them; purely in-memory, no IO ever happens under a cache lock).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "db/schema.hpp"
+#include "membrane/membrane.hpp"
+#include "metrics/lock.hpp"
+
+namespace rgpdos::dbfs {
+
+using RecordId = std::uint64_t;
+using SubjectId = std::uint64_t;
+
+class RecordCache {
+ public:
+  struct Entry {
+    SubjectId subject_id = 0;
+    std::string type_name;
+    membrane::Membrane membrane;
+    db::Row row;
+    bool has_row = false;  ///< false: membrane-only fill (GetMembrane)
+    bool erased = false;
+    std::uint64_t generation = 0;  ///< subject-shard generation at fill
+  };
+
+  /// `generation_shards` MUST equal the owner's subject-shard count: the
+  /// begin/end protocol relies on "same generation shard => same subject
+  /// shard mutex", so a fill can never observe an odd generation.
+  RecordCache(std::size_t capacity, std::size_t generation_shards);
+
+  /// Current generation of a subject's shard (acquire: pairs with the
+  /// release in EndMutation, so a reader that sees the post-mutation
+  /// value also sees the entry erased).
+  [[nodiscard]] std::uint64_t generation(SubjectId subject) const {
+    return generations_[subject % generations_.size()].load(
+        std::memory_order_acquire);
+  }
+
+  /// Mutation bracket — caller holds the subject's shard mutex.
+  void BeginMutation(SubjectId subject) {
+    generations_[subject % generations_.size()].fetch_add(
+        1, std::memory_order_release);
+  }
+  void EndMutation(SubjectId subject) {
+    generations_[subject % generations_.size()].fetch_add(
+        1, std::memory_order_release);
+  }
+
+  /// Lock-free with respect to subject shards: returns a validated copy
+  /// or nothing. `need_row` demands a full fill (membrane-only entries
+  /// miss) unless the record is erased (erased records have no row).
+  [[nodiscard]] std::optional<Entry> Lookup(RecordId id, bool need_row) const;
+
+  /// Fill — caller holds the subject's shard mutex and has stamped
+  /// `entry.generation = generation(entry.subject_id)`. A membrane-only
+  /// fill never downgrades a same-generation full entry.
+  void Insert(RecordId id, Entry entry);
+
+  /// Drop one record's entry (mutators, between Begin/EndMutation).
+  void Erase(RecordId id);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const {
+    return per_shard_capacity_ * shards_.size();
+  }
+
+ private:
+  using LruList = std::list<std::pair<RecordId, Entry>>;
+  struct Shard {
+    mutable metrics::OrderedMutex mu{metrics::LockRank::kDbfsRecordCache,
+                                     "dbfs.record_cache"};
+    LruList lru;  ///< front = most recently used
+    std::unordered_map<RecordId, LruList::iterator> map;
+  };
+  static constexpr std::size_t kEntryShards = 8;
+
+  [[nodiscard]] Shard& ShardFor(RecordId id) const {
+    return shards_[id % shards_.size()];
+  }
+
+  std::size_t per_shard_capacity_;
+  mutable std::vector<Shard> shards_;
+  mutable std::vector<std::atomic<std::uint64_t>> generations_;
+};
+
+}  // namespace rgpdos::dbfs

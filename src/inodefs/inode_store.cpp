@@ -258,6 +258,12 @@ Status InodeStore::FreeDataBlock(BlockIndex block, bool scrub, Txn& txn) {
     // The zero image goes through the journal too, so the in-journal
     // history ends with zeros for this block.
     RGPD_RETURN_IF_ERROR(txn.WriteBlock(block, Bytes(sb_.block_size, 0)));
+    // Purge any cached copy of the plaintext NOW, before the erasure is
+    // acknowledged. The write-through zeros at commit would overwrite it
+    // anyway; dropping the entry is belt and braces (and keeps freed
+    // blocks from occupying cache capacity). We hold the store mutex, so
+    // no reader of this store can re-fill the entry in between.
+    device_->InvalidateCached(block);
   }
   BitmapSet(block, false);
   return StageBitmapBlock(block, txn);

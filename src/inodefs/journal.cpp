@@ -166,6 +166,9 @@ Status Journal::Scrub() {
   const Bytes zero(sb_.block_size, 0);
   for (std::uint64_t i = 0; i < sb_.journal_blocks; ++i) {
     RGPD_RETURN_IF_ERROR(device_.WriteBlock(sb_.journal_start + i, zero));
+    // A cached journal block would keep the pre-scrub history readable;
+    // drop it along with the on-medium bytes.
+    device_.InvalidateCached(sb_.journal_start + i);
   }
   sb_.journal_head = 0;
   return device_.Flush();

@@ -15,9 +15,15 @@
 //   kDbfsSchema (52)      DBFS type catalog (reader-writer)
 //   kDbfsSubjectShard (51) one of N subject-tree shard locks
 //   kDbfsRecordIndex (50) record-id B+tree + subject-root map
+//   kDbfsRecordCache (49) decoded-record cache shards (in-memory only)
 //   kInodefs (40)         primary/NPD InodeStore (recursive: group commit)
 //   kInodefsSensitive (39) split sensitive-PD InodeStore
 //   kBlockdev (20)        simulated block device storage + stats
+//   kBlockCache (15)      block-cache LRU shards. Deliberately BELOW the
+//                         device: a shard lock is never held across inner
+//                         device IO (lookups copy out, miss-fills re-lock),
+//                         so the cache can sit on either side of a
+//                         latency-model decorator without inversions.
 //   kCryptoRng (10)       SecureRandom stream (leaf; any layer may draw)
 //
 // Strict ordering also forbids holding two locks of the same rank, which
@@ -48,9 +54,11 @@ namespace rgpdos::metrics {
 
 enum class LockRank : int {
   kCryptoRng = 10,
+  kBlockCache = 15,
   kBlockdev = 20,
   kInodefsSensitive = 39,
   kInodefs = 40,
+  kDbfsRecordCache = 49,
   kDbfsRecordIndex = 50,
   kDbfsSubjectShard = 51,
   kDbfsSchema = 52,

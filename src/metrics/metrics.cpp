@@ -160,6 +160,37 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       snapshot.histograms.push_back(std::move(h));
     }
   }
+  // Derived gauges: hit ratios for each cache level, in percent. These
+  // exist only in the snapshot (never stored), so they are always
+  // consistent with the counters exported next to them.
+  const auto derive_hit_ratio = [&snapshot](std::string_view hit_name,
+                                            std::string_view miss_name,
+                                            const char* gauge_name) {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    bool seen = false;
+    for (const auto& [name, value] : snapshot.counters) {
+      if (name == hit_name) {
+        hits = value;
+        seen = true;
+      } else if (name == miss_name) {
+        misses = value;
+        seen = true;
+      }
+    }
+    if (seen && hits + misses > 0) {
+      snapshot.gauges.emplace_back(
+          gauge_name,
+          static_cast<std::int64_t>(100.0 * static_cast<double>(hits) /
+                                    static_cast<double>(hits + misses)));
+    }
+  };
+  derive_hit_ratio("cache.block.hit", "cache.block.miss",
+                   "cache.block.hit_ratio");
+  derive_hit_ratio("cache.record.hit", "cache.record.miss",
+                   "cache.record.hit_ratio");
+  derive_hit_ratio("cache.decision.hit", "cache.decision.miss",
+                   "cache.decision.hit_ratio");
   snapshot.spans = tracer_->Spans();
   return snapshot;
 }

@@ -1,0 +1,608 @@
+// Caching-stack suite: the sharded LRU block cache, the generation-
+// validated decoded-record cache, and the end-to-end GDPR property the
+// whole design exists for — a withdrawn consent or an acknowledged
+// erasure is NEVER honoured from any cache level. The race tests here
+// are part of the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blockdev/block_cache.hpp"
+#include "blockdev/block_device.hpp"
+#include "core/rgpdos.hpp"
+#include "dbfs/record_cache.hpp"
+#include "metrics/metrics.hpp"
+
+namespace rgpdos {
+namespace {
+
+using core::ImplManifest;
+using core::PdRef;
+using core::ProcessingInput;
+using core::ProcessingOutput;
+
+constexpr sentinel::Domain kApp = sentinel::Domain::kApplication;
+constexpr sentinel::Domain kDed = sentinel::Domain::kDed;
+
+// ---- block cache ----------------------------------------------------------
+
+Bytes FilledBlock(std::uint32_t block_size, std::uint8_t fill) {
+  return Bytes(block_size, fill);
+}
+
+TEST(BlockCacheTest, RepeatReadsAreServedWithoutDeviceTraffic) {
+  blockdev::MemBlockDevice inner(512, 16);
+  blockdev::BlockCacheDevice cache(&inner, /*capacity_blocks=*/8,
+                                   /*shard_count=*/2);
+  ASSERT_TRUE(inner.WriteBlock(3, FilledBlock(512, 0xAB)).ok());
+
+  Bytes out;
+  ASSERT_TRUE(cache.ReadBlock(3, out).ok());
+  EXPECT_EQ(out, FilledBlock(512, 0xAB));
+  const std::uint64_t device_reads = inner.stats().reads;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cache.ReadBlock(3, out).ok());
+    EXPECT_EQ(out, FilledBlock(512, 0xAB));
+  }
+  EXPECT_EQ(inner.stats().reads, device_reads);  // all hits
+  const blockdev::BlockCacheStats stats = cache.CacheStats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_DOUBLE_EQ(stats.HitRatio(), 5.0 / 6.0);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsedFirst) {
+  blockdev::MemBlockDevice inner(512, 16);
+  // One shard, two entries: eviction order is globally observable.
+  blockdev::BlockCacheDevice cache(&inner, /*capacity_blocks=*/2,
+                                   /*shard_count=*/1);
+  for (blockdev::BlockIndex b : {0u, 1u, 2u}) {
+    ASSERT_TRUE(
+        inner.WriteBlock(b, FilledBlock(512, std::uint8_t(b + 1))).ok());
+  }
+  Bytes out;
+  ASSERT_TRUE(cache.ReadBlock(0, out).ok());
+  ASSERT_TRUE(cache.ReadBlock(1, out).ok());
+  ASSERT_TRUE(cache.ReadBlock(0, out).ok());  // 0 becomes MRU
+  ASSERT_TRUE(cache.ReadBlock(2, out).ok());  // evicts 1 (LRU), not 0
+  EXPECT_EQ(cache.CacheStats().evictions, 1u);
+
+  const std::uint64_t device_reads = inner.stats().reads;
+  ASSERT_TRUE(cache.ReadBlock(0, out).ok());
+  EXPECT_EQ(inner.stats().reads, device_reads);  // still cached
+  ASSERT_TRUE(cache.ReadBlock(1, out).ok());
+  EXPECT_EQ(inner.stats().reads, device_reads + 1);  // was evicted
+}
+
+TEST(BlockCacheTest, ShardsEvictIndependently) {
+  blockdev::MemBlockDevice inner(512, 64);
+  // Two shards of two blocks each; blocks map to shards by index parity.
+  blockdev::BlockCacheDevice cache(&inner, /*capacity_blocks=*/4,
+                                   /*shard_count=*/2);
+  for (blockdev::BlockIndex b = 0; b < 10; ++b) {
+    ASSERT_TRUE(
+        inner.WriteBlock(b, FilledBlock(512, std::uint8_t(b + 1))).ok());
+  }
+  Bytes out;
+  ASSERT_TRUE(cache.ReadBlock(1, out).ok());
+  ASSERT_TRUE(cache.ReadBlock(3, out).ok());
+  // Churn the even shard far past its capacity.
+  for (blockdev::BlockIndex b : {0u, 2u, 4u, 6u, 8u}) {
+    ASSERT_TRUE(cache.ReadBlock(b, out).ok());
+  }
+  // The odd shard kept its working set.
+  const std::uint64_t device_reads = inner.stats().reads;
+  ASSERT_TRUE(cache.ReadBlock(1, out).ok());
+  ASSERT_TRUE(cache.ReadBlock(3, out).ok());
+  EXPECT_EQ(inner.stats().reads, device_reads);
+}
+
+TEST(BlockCacheTest, WriteThroughUpdatesDeviceAndCachedCopy) {
+  blockdev::MemBlockDevice inner(512, 16);
+  blockdev::BlockCacheDevice cache(&inner, 8, 2);
+  ASSERT_TRUE(inner.WriteBlock(5, FilledBlock(512, 0x01)).ok());
+  Bytes out;
+  ASSERT_TRUE(cache.ReadBlock(5, out).ok());  // now cached
+
+  ASSERT_TRUE(cache.WriteBlock(5, FilledBlock(512, 0x02)).ok());
+  // The device saw the write (write-through, not write-back) ...
+  ASSERT_TRUE(inner.ReadBlock(5, out).ok());
+  EXPECT_EQ(out, FilledBlock(512, 0x02));
+  // ... and the cached copy was updated, not left stale.
+  const std::uint64_t device_reads = inner.stats().reads;
+  ASSERT_TRUE(cache.ReadBlock(5, out).ok());
+  EXPECT_EQ(out, FilledBlock(512, 0x02));
+  EXPECT_EQ(inner.stats().reads, device_reads);
+}
+
+TEST(BlockCacheTest, WritesNeverAllocateCacheEntries) {
+  blockdev::MemBlockDevice inner(512, 16);
+  blockdev::BlockCacheDevice cache(&inner, 8, 2);
+  ASSERT_TRUE(cache.WriteBlock(7, FilledBlock(512, 0x07)).ok());
+  EXPECT_EQ(cache.CachedBlockCount(), 0u);  // no write-allocate
+}
+
+TEST(BlockCacheTest, InvalidateDropsTheCachedBlock) {
+  blockdev::MemBlockDevice inner(512, 16);
+  blockdev::BlockCacheDevice cache(&inner, 8, 2);
+  ASSERT_TRUE(inner.WriteBlock(4, FilledBlock(512, 0x04)).ok());
+  Bytes out;
+  ASSERT_TRUE(cache.ReadBlock(4, out).ok());
+  ASSERT_EQ(cache.CachedBlockCount(), 1u);
+
+  cache.InvalidateCached(4);
+  EXPECT_EQ(cache.CachedBlockCount(), 0u);
+  EXPECT_EQ(cache.CacheStats().invalidations, 1u);
+  const std::uint64_t device_reads = inner.stats().reads;
+  ASSERT_TRUE(cache.ReadBlock(4, out).ok());
+  EXPECT_EQ(inner.stats().reads, device_reads + 1);  // re-read from device
+}
+
+TEST(BlockCacheTest, DeviceStatsPassThroughCountsOnlyRealTraffic) {
+  blockdev::MemBlockDevice inner(512, 16);
+  blockdev::BlockCacheDevice cache(&inner, 8, 2);
+  ASSERT_TRUE(inner.WriteBlock(1, FilledBlock(512, 0x11)).ok());
+  Bytes out;
+  ASSERT_TRUE(cache.ReadBlock(1, out).ok());
+  ASSERT_TRUE(cache.ReadBlock(1, out).ok());
+  ASSERT_TRUE(cache.ReadBlock(1, out).ok());
+  // stats() is the inner device's: two hits added nothing.
+  EXPECT_EQ(&cache.stats(), &inner.stats());
+  EXPECT_EQ(cache.stats().reads, 1u);
+}
+
+// TSan-targeted hammer: concurrent readers, writers and invalidators
+// over shared blocks. Afterwards, every block the cache serves must be
+// byte-identical to the device — a stale cached copy is the bug class
+// the epoch-guarded miss-fill exists to prevent.
+TEST(BlockCacheTest, ConcurrentMixedTrafficStaysCoherent) {
+  constexpr std::uint32_t kBlockSize = 256;
+  constexpr std::uint64_t kBlocks = 32;
+  blockdev::MemBlockDevice inner(kBlockSize, kBlocks);
+  blockdev::BlockCacheDevice cache(&inner, /*capacity_blocks=*/16,
+                                   /*shard_count=*/4);
+  for (blockdev::BlockIndex b = 0; b < kBlocks; ++b) {
+    ASSERT_TRUE(inner.WriteBlock(b, FilledBlock(kBlockSize, 0)).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {  // readers
+    threads.emplace_back([&, t] {
+      Bytes out;
+      std::uint64_t i = static_cast<std::uint64_t>(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!cache.ReadBlock((i++ * 7) % kBlocks, out).ok()) ++failures;
+      }
+    });
+  }
+  threads.emplace_back([&] {  // writer
+    for (std::uint32_t round = 1; round <= 200; ++round) {
+      const blockdev::BlockIndex b = (round * 5) % kBlocks;
+      if (!cache.WriteBlock(b, FilledBlock(kBlockSize,
+                                           std::uint8_t(round & 0xFF)))
+               .ok()) {
+        ++failures;
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  threads.emplace_back([&] {  // invalidator
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      cache.InvalidateCached((i++ * 3) % kBlocks);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  for (blockdev::BlockIndex b = 0; b < kBlocks; ++b) {
+    Bytes via_cache;
+    Bytes via_device;
+    ASSERT_TRUE(cache.ReadBlock(b, via_cache).ok());
+    ASSERT_TRUE(inner.ReadBlock(b, via_device).ok());
+    EXPECT_EQ(via_cache, via_device) << "stale cached block " << b;
+  }
+}
+
+// ---- record cache ---------------------------------------------------------
+
+dbfs::RecordCache::Entry MakeEntry(dbfs::SubjectId subject,
+                                   std::uint64_t generation,
+                                   bool has_row = true) {
+  dbfs::RecordCache::Entry entry;
+  entry.subject_id = subject;
+  entry.type_name = "user";
+  entry.membrane.subject_id = subject;
+  entry.membrane.type_name = "user";
+  entry.row = db::Row{db::Value(std::int64_t{1990})};
+  entry.has_row = has_row;
+  entry.generation = generation;
+  return entry;
+}
+
+TEST(RecordCacheTest, LookupValidatesTheSubjectGeneration) {
+  dbfs::RecordCache cache(/*capacity=*/64, /*generation_shards=*/16);
+  cache.Insert(1, MakeEntry(7, cache.generation(7)));
+  EXPECT_TRUE(cache.Lookup(1, /*need_row=*/true).has_value());
+
+  // An in-flight mutation (odd generation) makes every lookup miss ...
+  cache.BeginMutation(7);
+  EXPECT_FALSE(cache.Lookup(1, true).has_value());
+  cache.Erase(1);
+  cache.EndMutation(7);
+  // ... and a completed one keeps old stamps invalid forever.
+  EXPECT_FALSE(cache.Lookup(1, true).has_value());
+
+  // A fresh fill at the new generation serves again.
+  cache.Insert(1, MakeEntry(7, cache.generation(7)));
+  EXPECT_TRUE(cache.Lookup(1, true).has_value());
+}
+
+TEST(RecordCacheTest, MembraneOnlyFillsServeOnlyMembraneLookups) {
+  dbfs::RecordCache cache(64, 16);
+  cache.Insert(2, MakeEntry(3, cache.generation(3), /*has_row=*/false));
+  EXPECT_TRUE(cache.Lookup(2, /*need_row=*/false).has_value());
+  EXPECT_FALSE(cache.Lookup(2, /*need_row=*/true).has_value());
+
+  // A full fill upgrades; a later membrane-only fill must not downgrade.
+  cache.Insert(2, MakeEntry(3, cache.generation(3), /*has_row=*/true));
+  cache.Insert(2, MakeEntry(3, cache.generation(3), /*has_row=*/false));
+  EXPECT_TRUE(cache.Lookup(2, /*need_row=*/true).has_value());
+}
+
+TEST(RecordCacheTest, CapacityBoundsHoldUnderChurn) {
+  dbfs::RecordCache cache(/*capacity=*/16, /*generation_shards=*/16);
+  for (dbfs::RecordId id = 1; id <= 200; ++id) {
+    cache.Insert(id, MakeEntry(id % 5, cache.generation(id % 5)));
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.size(), 0u);
+}
+
+// ---- boot wiring ----------------------------------------------------------
+
+// The cached-path tests must work under the CI nocache matrix run too
+// (RGPDOS_CACHE=0 in the environment), so they clear the override
+// before booting: they test the caches themselves, not the knob. Each
+// gtest case runs in its own process, so this never leaks.
+void ForceCachesAvailable() { unsetenv("RGPDOS_CACHE"); }
+
+TEST(BootCacheConfigTest, DefaultBootEnablesEveryCacheLevel) {
+  ForceCachesAvailable();
+  auto os = core::RgpdOs::Boot({});
+  ASSERT_TRUE(os.ok());
+  EXPECT_NE((*os)->dbfs_cache(), nullptr);
+  EXPECT_NE((*os)->dbfs().record_cache(), nullptr);
+  EXPECT_EQ((*os)->dbfs_latency(), nullptr);  // no cost model by default
+}
+
+TEST(BootCacheConfigTest, ZeroKnobsRestoreTheUncachedPath) {
+  core::BootConfig config;
+  config.cache_blocks = 0;
+  config.cache_record_entries = 0;
+  config.cache_decisions = false;
+  auto os = core::RgpdOs::Boot(config);
+  ASSERT_TRUE(os.ok());
+  EXPECT_EQ((*os)->dbfs_cache(), nullptr);
+  EXPECT_EQ((*os)->sensitive_cache(), nullptr);
+  EXPECT_EQ((*os)->dbfs().record_cache(), nullptr);
+}
+
+TEST(BootCacheConfigTest, EnvVarForcesCachesOffAtRuntime) {
+  ASSERT_EQ(setenv("RGPDOS_CACHE", "0", /*overwrite=*/1), 0);
+  auto os = core::RgpdOs::Boot({});
+  unsetenv("RGPDOS_CACHE");
+  ASSERT_TRUE(os.ok());
+  EXPECT_EQ((*os)->dbfs_cache(), nullptr);
+  EXPECT_EQ((*os)->dbfs().record_cache(), nullptr);
+}
+
+TEST(BootCacheConfigTest, SplitSensitiveGetsItsOwnCache) {
+  ForceCachesAvailable();
+  core::BootConfig config;
+  config.split_sensitive = true;
+  auto os = core::RgpdOs::Boot(config);
+  ASSERT_TRUE(os.ok());
+  EXPECT_NE((*os)->dbfs_cache(), nullptr);
+  EXPECT_NE((*os)->sensitive_cache(), nullptr);
+  EXPECT_NE((*os)->dbfs_cache(), (*os)->sensitive_cache());
+}
+
+TEST(MetricsDerivedGaugeTest, SnapshotExportsBlockHitRatio) {
+  // Drive some traffic through a cache so the global counters are live.
+  blockdev::MemBlockDevice inner(512, 8);
+  blockdev::BlockCacheDevice cache(&inner, 4, 1);
+  ASSERT_TRUE(inner.WriteBlock(0, FilledBlock(512, 1)).ok());
+  Bytes out;
+  ASSERT_TRUE(cache.ReadBlock(0, out).ok());
+  ASSERT_TRUE(cache.ReadBlock(0, out).ok());
+
+  const metrics::MetricsSnapshot snapshot =
+      metrics::MetricsRegistry::Instance().Snapshot();
+  const std::int64_t* ratio = snapshot.FindGauge("cache.block.hit_ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_GE(*ratio, 0);
+  EXPECT_LE(*ratio, 100);
+}
+
+// ---- end-to-end GDPR properties -------------------------------------------
+
+constexpr std::string_view kTypes = R"(
+type user {
+  fields { name: string, pwd: string, year_of_birthdate: int };
+  view v_ano { year_of_birthdate };
+  consent { purpose1: all, purpose3: v_ano };
+  origin: subject;
+  sensitivity: high;
+}
+type age {
+  fields { value: int };
+  consent { purpose1: all };
+  origin: subject;
+  sensitivity: low;
+}
+)";
+
+class CachedWorldTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<core::RgpdOs> BootWorld(
+      unsigned worker_threads = 1, bool caches_on = true) {
+    if (caches_on) unsetenv("RGPDOS_CACHE");
+    core::BootConfig config;
+    config.seed = 7;
+    config.worker_threads = worker_threads;
+    if (!caches_on) {
+      config.cache_blocks = 0;
+      config.cache_record_entries = 0;
+      config.cache_decisions = false;
+    }
+    auto os = core::RgpdOs::Boot(config);
+    EXPECT_TRUE(os.ok());
+    std::unique_ptr<core::RgpdOs> world = std::move(os).value();
+    EXPECT_TRUE(world->DeclareTypes(kTypes).ok());
+    return world;
+  }
+
+  static dbfs::RecordId PutUser(core::RgpdOs& os, std::uint64_t subject,
+                                const std::string& name) {
+    auto type = os.dbfs().GetType(kDed, "user");
+    membrane::Membrane m = (*type)->DefaultMembrane(subject, os.clock().Now());
+    auto id = os.dbfs().Put(
+        kDed, subject, "user",
+        db::Row{db::Value(name), db::Value(std::string("pw")),
+                db::Value(std::int64_t{1990})},
+        std::move(m));
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  static core::ProcessingId RegisterPurpose3(
+      core::RgpdOs& os, core::ProcessingFn fn = nullptr) {
+    ImplManifest manifest;
+    manifest.claimed_purpose = "purpose3";
+    manifest.fields_read = {"year_of_birthdate"};
+    manifest.output_type = "";
+    if (!fn) {
+      fn = [](ProcessingInput&) -> Result<ProcessingOutput> {
+        return ProcessingOutput{};
+      };
+    }
+    auto id = os.RegisterProcessingSource(
+        "purpose purpose3 { input: user.v_ano; }", std::move(fn), manifest);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+};
+
+// Reads are actually served from the caches, and a mutation invalidates:
+// the cached row must never shadow a rectification (GDPR Art. 16).
+TEST_F(CachedWorldTest, UpdateInvalidatesTheCachedRecord) {
+  std::unique_ptr<core::RgpdOs> os = BootWorld();
+  const dbfs::RecordId id = PutUser(*os, 1, "before");
+  ASSERT_TRUE(os->dbfs().Get(kDed, id).ok());  // fill the record cache
+  ASSERT_GT(os->dbfs().record_cache()->size(), 0u);
+
+  const std::uint64_t generation_before = os->dbfs().SubjectGeneration(1);
+  ASSERT_TRUE(os->builtins()
+                  .Update(PdRef{id, "user"},
+                          db::Row{db::Value(std::string("after")),
+                                  db::Value(std::string("pw")),
+                                  db::Value(std::int64_t{1991})})
+                  .ok());
+  // Every acknowledged mutation advances the generation by exactly 2
+  // (odd while in flight, even at ack).
+  EXPECT_EQ(os->dbfs().SubjectGeneration(1), generation_before + 2);
+
+  auto record = os->dbfs().Get(kDed, id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(*record->row[0].AsString(), "after");
+}
+
+// The headline stale-consent regression: consent is withdrawn WHILE an
+// invoke is mid-pipeline, over fully warmed caches. Records decided
+// after the withdrawal acked must be filtered — serving the
+// pre-withdrawal membrane from any cache level would be a GDPR
+// violation, not a perf bug.
+TEST_F(CachedWorldTest, WithdrawMidInvokeIsNeverServedFromAnyCache) {
+  std::unique_ptr<core::RgpdOs> os = BootWorld();
+
+  std::vector<dbfs::RecordId> records;
+  for (int r = 0; r < 4; ++r) records.push_back(PutUser(*os, 1, "u"));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<bool> armed{false};
+  bool reached_execute = false;
+  bool withdrawal_done = false;
+  const core::ProcessingId processing = RegisterPurpose3(
+      *os, [&](ProcessingInput&) -> Result<ProcessingOutput> {
+        if (armed.load(std::memory_order_acquire)) {
+          std::unique_lock<std::mutex> lock(mu);
+          if (!reached_execute) {
+            // First record of the armed invoke: let the test thread
+            // withdraw consent, then wait for its ack before the
+            // pipeline moves on to the remaining records.
+            reached_execute = true;
+            cv.notify_all();
+            cv.wait_for(lock, std::chrono::seconds(10),
+                        [&] { return withdrawal_done; });
+          }
+        }
+        return ProcessingOutput{};
+      });
+
+  // Warm every cache level: all four records processed once.
+  auto warm = os->ps().Invoke(kApp, processing);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->records_processed, 4u);
+  ASSERT_GT(os->dbfs().record_cache()->size(), 0u);
+
+  armed.store(true, std::memory_order_release);
+  std::thread invoker([&] {
+    auto result = os->ps().Invoke(kApp, processing);
+    ASSERT_TRUE(result.ok());
+    // One record was executing when the withdrawal landed; the other
+    // three were decided after its ack and must all be filtered.
+    EXPECT_EQ(result->records_processed, 1u);
+    EXPECT_EQ(result->records_filtered_out, 3u);
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return reached_execute; }));
+  }
+  // Withdraw purpose3 for every record of the subject. When these calls
+  // return, the generation bumps are acknowledged.
+  for (dbfs::RecordId id : records) {
+    ASSERT_TRUE(
+        os->builtins().RevokeConsent(PdRef{id, "user"}, "purpose3").ok());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    withdrawal_done = true;
+  }
+  cv.notify_all();
+  invoker.join();
+
+  // And the withdrawal stays effective: a fresh invoke over the (again
+  // warm) caches processes nothing.
+  auto settled = os->ps().Invoke(kApp, processing);
+  ASSERT_TRUE(settled.ok());
+  EXPECT_EQ(settled->records_processed, 0u);
+  EXPECT_EQ(settled->records_filtered_out, 4u);
+}
+
+// Satellite regression: right-to-be-forgotten under concurrent invokes.
+// The instant the erasure call returns, every cache level must already
+// be purged — a Get must see the envelope, never the cached row.
+TEST_F(CachedWorldTest, ErasureUnderConcurrentInvokesPurgesEveryCache) {
+  std::unique_ptr<core::RgpdOs> os = BootWorld(/*worker_threads=*/2);
+  const core::ProcessingId processing = RegisterPurpose3(*os);
+
+  std::vector<dbfs::RecordId> doomed;
+  for (int r = 0; r < 3; ++r) doomed.push_back(PutUser(*os, 3, "doomed"));
+  for (int r = 0; r < 3; ++r) PutUser(*os, 4, "kept");
+
+  // Warm the caches over the full population.
+  auto warm = os->ps().Invoke(kApp, processing);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->records_processed, 6u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> invokers;
+  for (int t = 0; t < 2; ++t) {
+    invokers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto result = os->ps().Invoke(kApp, processing);
+        if (!result.ok() ||
+            result->records_considered != result->records_processed +
+                                              result->records_filtered_out) {
+          ++failures;
+        }
+      }
+    });
+  }
+
+  auto erased = os->RightToBeForgotten(3);
+  ASSERT_TRUE(erased.ok());
+  EXPECT_GE(*erased, doomed.size());
+  // The ack is the deadline: stale cache hits after this point are the
+  // regression this test exists for.
+  for (dbfs::RecordId id : doomed) {
+    auto record = os->dbfs().Get(kDed, id);
+    ASSERT_TRUE(record.ok()) << id;
+    EXPECT_TRUE(record->erased) << "cached row served after erasure ack";
+    EXPECT_TRUE(os->dbfs().GetEnvelope(kDed, id).ok()) << id;
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : invokers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesced: only subject 4's records are processed.
+  auto settled = os->ps().Invoke(kApp, processing);
+  ASSERT_TRUE(settled.ok());
+  EXPECT_EQ(settled->records_processed, 3u);
+  EXPECT_TRUE(os->processing_log().VerifyChain());
+}
+
+// Caching is a pure optimisation: cached and uncached worlds, serial and
+// parallel, must report identical invoke semantics over identical data.
+TEST_F(CachedWorldTest, CachedInvokeMatchesUncachedSemantics) {
+  std::unique_ptr<core::RgpdOs> cached = BootWorld(/*worker_threads=*/4,
+                                                   /*caches_on=*/true);
+  std::unique_ptr<core::RgpdOs> uncached = BootWorld(/*worker_threads=*/1,
+                                                     /*caches_on=*/false);
+  for (auto* os : {cached.get(), uncached.get()}) {
+    std::vector<dbfs::RecordId> ids;
+    for (std::uint64_t subject = 1; subject <= 4; ++subject) {
+      for (int r = 0; r < 3; ++r) ids.push_back(PutUser(*os, subject, "u"));
+    }
+    // Subject 2 withdraws purpose3 consent before any invoke.
+    for (dbfs::RecordId id : ids) {
+      auto m = os->dbfs().GetMembrane(kDed, id);
+      ASSERT_TRUE(m.ok());
+      if (m->subject_id == 2) {
+        ASSERT_TRUE(
+            os->builtins().RevokeConsent(PdRef{id, "user"}, "purpose3").ok());
+      }
+    }
+  }
+  const core::ProcessingId cached_id = RegisterPurpose3(*cached);
+  const core::ProcessingId uncached_id = RegisterPurpose3(*uncached);
+
+  // Two rounds: the second runs over warm caches in the cached world.
+  for (int round = 0; round < 2; ++round) {
+    auto cached_result = cached->ps().Invoke(kApp, cached_id);
+    auto uncached_result = uncached->ps().Invoke(kApp, uncached_id);
+    ASSERT_TRUE(cached_result.ok());
+    ASSERT_TRUE(uncached_result.ok());
+    EXPECT_EQ(cached_result->records_considered,
+              uncached_result->records_considered)
+        << "round " << round;
+    EXPECT_EQ(cached_result->records_processed,
+              uncached_result->records_processed)
+        << "round " << round;
+    EXPECT_EQ(cached_result->records_filtered_out,
+              uncached_result->records_filtered_out)
+        << "round " << round;
+  }
+  EXPECT_EQ(cached->processing_log().entry_count(),
+            uncached->processing_log().entry_count());
+  EXPECT_TRUE(cached->processing_log().VerifyChain());
+}
+
+}  // namespace
+}  // namespace rgpdos
