@@ -1,0 +1,133 @@
+// Crash-recovery cost: cold remount + journal replay latency as a
+// function of how much committed-but-unchckpointed state the journal
+// holds at the crash (DESIGN.md "Crash consistency & recovery").
+//
+// Each sample builds a store, commits N transactions that reach the
+// journal but never the data region (SetCrashBeforeCheckpoint — the
+// power-loss window group commit leaves open), drops the store, and
+// times InodeStore::Mount on the cold device. A second section remounts
+// the same state through a FaultInjectingBlockDevice issuing periodic
+// transient IO errors, showing what the bounded retry policy costs.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "blockdev/fault_injection.hpp"
+
+using namespace rgpdos;
+
+namespace {
+
+constexpr std::uint32_t kBlockSize = 512;
+constexpr std::uint64_t kBlocks = 16384;
+constexpr std::size_t kPayloadBytes = 1024;
+constexpr int kIterations = 5;
+
+// Format, alloc + sync `txns` file inodes, then journal one write per
+// inode with checkpointing suppressed: the device is left exactly as a
+// crash between group commit and checkpoint would leave it.
+void BuildCrashedState(blockdev::BlockDevice& device, std::size_t txns,
+                       const Clock& clock) {
+  inodefs::InodeStore::Options options;
+  options.inode_count = static_cast<std::uint32_t>(txns + 64);
+  options.journal_blocks = 4096;
+  auto store = inodefs::InodeStore::Format(&device, options, &clock);
+  if (!store.ok()) std::abort();
+  std::vector<inodefs::InodeId> inodes;
+  for (std::size_t i = 0; i < txns; ++i) {
+    auto id = (*store)->AllocInode(inodefs::InodeKind::kFile);
+    if (!id.ok()) std::abort();
+    inodes.push_back(*id);
+  }
+  if (!(*store)->Sync().ok()) std::abort();
+  (*store)->SetCrashBeforeCheckpoint(true);
+  const Bytes payload(kPayloadBytes, 0x5A);
+  for (inodefs::InodeId id : inodes) {
+    if (!(*store)->WriteAll(id, ByteSpan(payload)).ok()) std::abort();
+  }
+  // Store destructor = power loss; nothing was checkpointed.
+}
+
+struct MountSample {
+  double mount_ns = 0;
+  std::uint64_t replayed_writes = 0;
+  std::uint64_t committed_txns = 0;
+  std::uint64_t transient_errors = 0;
+  std::uint64_t io_retries = 0;
+};
+
+MountSample TimeMount(std::size_t txns, std::uint64_t transient_every) {
+  SystemClock clock;
+  MountSample best;
+  for (int it = 0; it < kIterations; ++it) {
+    blockdev::MemBlockDevice medium(kBlockSize, kBlocks);
+    BuildCrashedState(medium, txns, clock);
+    blockdev::FaultPlan plan;
+    plan.transient_error_every = transient_every;
+    blockdev::FaultInjectingBlockDevice device(&medium, plan);
+    metrics::Counter& retry_counter =
+        metrics::MetricsRegistry::Instance().GetCounter("inodefs.io.retries");
+    const std::uint64_t retries_before = retry_counter.Value();
+    const auto start = std::chrono::steady_clock::now();
+    auto store = inodefs::InodeStore::Mount(&device, &clock);
+    const auto end = std::chrono::steady_clock::now();
+    if (!store.ok()) {
+      std::fprintf(stderr, "mount failed: %s\n",
+                   store.status().ToString().c_str());
+      std::abort();
+    }
+    const double ns = double(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+    if (it == 0 || ns < best.mount_ns) {
+      best.mount_ns = ns;
+      best.replayed_writes = (*store)->last_recovery().replay.replayed_writes;
+      best.committed_txns = (*store)->last_recovery().replay.committed_txns;
+      best.transient_errors = device.fault_stats().transient_errors;
+      best.io_retries = retry_counter.Value() - retries_before;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Recovery: cold remount + replay latency vs journal fill ===\n");
+  std::printf("%-12s %-10s %14s %14s %12s %10s\n", "journal txns",
+              "faults", "mount (us)", "replayed wr", "transient",
+              "retries");
+
+  std::vector<std::pair<std::string, double>> stats;
+  for (std::size_t txns : {0u, 16u, 64u, 256u}) {
+    const MountSample clean = TimeMount(txns, /*transient_every=*/0);
+    std::printf("%-12zu %-10s %14.1f %14llu %12llu %10llu\n", txns, "none",
+                bench::NsToUs(std::int64_t(clean.mount_ns)),
+                static_cast<unsigned long long>(clean.replayed_writes),
+                static_cast<unsigned long long>(clean.transient_errors),
+                static_cast<unsigned long long>(clean.io_retries));
+    stats.emplace_back("mount_us_txns_" + std::to_string(txns),
+                       bench::NsToUs(std::int64_t(clean.mount_ns)));
+    stats.emplace_back("replayed_writes_txns_" + std::to_string(txns),
+                       double(clean.replayed_writes));
+  }
+
+  // Same heaviest fill, remounted through a device that fails every 64th
+  // IO with a one-shot transient error: the retry policy must absorb all
+  // of them, and the delta over the clean mount is the retry bill.
+  const MountSample faulty = TimeMount(256, /*transient_every=*/64);
+  std::printf("%-12u %-10s %14.1f %14llu %12llu %10llu\n", 256u,
+              "every=64", bench::NsToUs(std::int64_t(faulty.mount_ns)),
+              static_cast<unsigned long long>(faulty.replayed_writes),
+              static_cast<unsigned long long>(faulty.transient_errors),
+              static_cast<unsigned long long>(faulty.io_retries));
+  stats.emplace_back("mount_us_txns_256_transient64",
+                     bench::NsToUs(std::int64_t(faulty.mount_ns)));
+  stats.emplace_back("transient_errors_absorbed",
+                     double(faulty.transient_errors));
+  stats.emplace_back("io_retries", double(faulty.io_retries));
+
+  bench::DumpBenchArtifact("recovery", stats);
+  return 0;
+}

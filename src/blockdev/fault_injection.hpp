@@ -1,0 +1,147 @@
+// Fault-injecting block device — the crash-consistency test substrate.
+//
+// A BlockDevice decorator that sits directly above the raw medium (below
+// the latency model and the block cache) and injects the storage fault
+// classes a crash-consistent design must survive:
+//
+//   * crash-at-write-N: the Nth write "loses power" mid-flight; it (and
+//     every later IO) fails with kCrashed, and only what already reached
+//     the inner device survives for the next mount;
+//   * torn writes: the crashing write persists only its first K bytes —
+//     the half-written-sector case that journal CRCs must catch;
+//   * dropped flushes: with the volatile write-back buffer enabled,
+//     writes land in a RAM buffer that models a disk cache and reach the
+//     medium only on Flush(); a crash discards everything unflushed, so
+//     an fflush-without-fsync bug becomes an observable data loss;
+//   * transient IO errors: every Nth read/write fails once with kIoError
+//     and succeeds when retried — the inodefs retry-with-backoff path's
+//     workload;
+//   * bit flips: one payload bit of write #M is inverted (silent medium
+//     corruption; detectable in the journal via record CRCs).
+//
+// All faults are deterministic functions of the FaultPlan, so a failing
+// CI run is reproducible from the plan alone (FaultPlan::ToString is
+// uploaded as the artifact). Counters surface as storage.fault.* metrics.
+//
+// Concurrency: one rank-kFaultInject OrderedMutex serialises the fault
+// state (IO counters, crash flag, write-back buffer). It is acquired
+// above the inner device's rank-kBlockdev lock, matching the decorator's
+// position in the stack; block-cache shard locks (rank 15) are never held
+// across decorated IO, so the cache can sit outside as usual.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "blockdev/block_device.hpp"
+#include "metrics/lock.hpp"
+
+namespace rgpdos::blockdev {
+
+/// Deterministic fault schedule. Write/IO indices are 1-based counts of
+/// operations issued to THIS device (what the OS asked for, not what the
+/// medium absorbed) so a plan replays exactly on a deterministic workload.
+struct FaultPlan {
+  /// Crash while servicing the Nth write (0 = never). The write fails
+  /// with kCrashed after persisting `torn_bytes` of the block, and every
+  /// subsequent read/write/flush fails with kCrashed until PowerCycle().
+  std::uint64_t crash_at_write = 0;
+  /// Bytes of the crashing write that still reach the medium (torn
+  /// write). 0 = nothing; >= block size = the whole block made it.
+  std::uint32_t torn_bytes = 0;
+  /// Model a volatile disk write cache: writes buffer in RAM and reach
+  /// the inner device only on Flush(); a crash/power-cycle discards the
+  /// buffer. Turns missing durability barriers into observable loss.
+  bool volatile_write_back = false;
+  /// Every Nth read or write (one shared IO counter) fails once with a
+  /// transient kIoError; the retried operation succeeds (0 = never).
+  std::uint64_t transient_error_every = 0;
+  /// Invert one bit of the payload of write #M before it persists
+  /// (0 = never). The bit position derives from `seed`.
+  std::uint64_t bit_flip_at_write = 0;
+  /// Seed for derived choices (bit position); recorded for artifacts.
+  std::uint64_t seed = 0;
+
+  /// Derive a randomized-but-reproducible plan: crash point in
+  /// [1, max_writes], torn/write-back/transient parameters all seeded.
+  /// Bit flips are excluded — silent corruption of checkpointed data is
+  /// detectable, not survivable, so it gets targeted tests instead.
+  static FaultPlan FromSeed(std::uint64_t seed, std::uint64_t max_writes);
+
+  /// One-line human/CI-artifact rendering of every knob.
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Relaxed-atomic accounting of injected faults (mirrors the
+/// storage.fault.* metrics; safe to read while IO is in flight).
+struct FaultStats {
+  std::uint64_t writes_seen = 0;   ///< writes issued to this device
+  std::uint64_t reads_seen = 0;
+  std::uint64_t flushes_seen = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t dropped_blocks = 0;    ///< write-back blocks lost at crash
+  std::uint64_t transient_errors = 0;
+  std::uint64_t bit_flips = 0;
+  std::uint64_t crashed_rejections = 0;  ///< IO refused while crashed
+};
+
+class FaultInjectingBlockDevice final : public BlockDevice {
+ public:
+  /// `inner` is borrowed and must outlive the decorator. The inner
+  /// device's content is "the medium": everything that survives a crash.
+  FaultInjectingBlockDevice(BlockDevice* inner, FaultPlan plan);
+
+  [[nodiscard]] std::uint32_t block_size() const override {
+    return inner_->block_size();
+  }
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return inner_->block_count();
+  }
+
+  Status ReadBlock(BlockIndex index, Bytes& out) override;
+  Status WriteBlock(BlockIndex index, ByteSpan data) override;
+  Status Flush() override;
+  void InvalidateCached(BlockIndex index) override {
+    inner_->InvalidateCached(index);
+  }
+
+  /// Medium traffic only (decorator adds none of its own) — leak scans
+  /// and IO reports keep meaning "what reached the disk". Buffered
+  /// write-back blocks are NOT counted until a Flush drains them.
+  [[nodiscard]] const DeviceStats& stats() const override {
+    return inner_->stats();
+  }
+
+  /// Trigger the crash manually (power button): discards the write-back
+  /// buffer and fails all subsequent IO with kCrashed.
+  void Crash();
+  /// "Reboot": clear the crashed flag and discard any write-back buffer
+  /// (a real disk cache comes up empty). IO counters keep running so a
+  /// plan's indices stay monotonic across the cycle.
+  void PowerCycle();
+
+  [[nodiscard]] bool crashed() const;
+  [[nodiscard]] FaultStats fault_stats() const;
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] BlockDevice& inner() { return *inner_; }
+
+ private:
+  /// Returns kIoError once per `transient_error_every` IOs. Caller holds mu_.
+  Status MaybeTransientLocked(const char* op);
+  /// Drops the buffer, counts losses, sets crashed_. Caller holds mu_.
+  void CrashLocked();
+
+  BlockDevice* inner_;  // borrowed
+  const FaultPlan plan_;
+  mutable metrics::OrderedMutex mu_{metrics::LockRank::kFaultInject,
+                                    "blockdev.fault"};
+  bool crashed_ = false;
+  std::uint64_t io_seen_ = 0;  ///< reads + writes, for transient faults
+  FaultStats stats_;
+  /// Volatile disk cache (plan.volatile_write_back): block -> pending image.
+  std::unordered_map<BlockIndex, Bytes> write_back_;
+};
+
+}  // namespace rgpdos::blockdev

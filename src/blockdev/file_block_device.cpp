@@ -1,10 +1,40 @@
 #include "blockdev/file_block_device.hpp"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <limits>
+
 namespace rgpdos::blockdev {
+
+namespace {
+
+// stdio seeks take off_t via fseeko; a plain fseek(long) overflows for
+// images >= 2 GiB on LP32/Windows ABIs. Centralise the off_t conversion
+// (with an explicit range check) so every caller is 64-bit clean.
+Status SeekTo(std::FILE* file, std::uint64_t offset) {
+  if (offset >
+      static_cast<std::uint64_t>(std::numeric_limits<off_t>::max())) {
+    return OutOfRange("file offset exceeds off_t range");
+  }
+  if (::fseeko(file, static_cast<off_t>(offset), SEEK_SET) != 0) {
+    return IoError("seek failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
     const std::string& path, std::uint32_t block_size,
     std::uint64_t block_count) {
+  if (block_size == 0 || block_count == 0) {
+    return InvalidArgument("device geometry must be non-zero");
+  }
+  // index * block_size must stay in uint64 for every valid index.
+  if (block_count > std::numeric_limits<std::uint64_t>::max() / block_size) {
+    return OutOfRange("device capacity overflows 64 bits");
+  }
   // Open existing or create; "r+b" first to preserve contents.
   std::FILE* file = std::fopen(path.c_str(), "r+b");
   if (file == nullptr) {
@@ -15,13 +45,19 @@ Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
   }
   // Ensure the file spans the full device by writing the last byte.
   const std::uint64_t total = std::uint64_t(block_size) * block_count;
-  if (std::fseek(file, static_cast<long>(total - 1), SEEK_SET) != 0) {
+  if (Status s = SeekTo(file, total - 1); !s.ok()) {
     std::fclose(file);
     return IoError("cannot size backing file: " + path);
   }
   if (std::fgetc(file) == EOF) {
-    std::fseek(file, static_cast<long>(total - 1), SEEK_SET);
-    std::fputc(0, file);
+    if (Status s = SeekTo(file, total - 1); !s.ok()) {
+      std::fclose(file);
+      return IoError("cannot size backing file: " + path);
+    }
+    if (std::fputc(0, file) == EOF || std::fflush(file) != 0) {
+      std::fclose(file);
+      return IoError("cannot size backing file: " + path);
+    }
   }
   return std::unique_ptr<FileBlockDevice>(
       new FileBlockDevice(file, block_size, block_count));
@@ -35,10 +71,7 @@ Status FileBlockDevice::ReadBlock(BlockIndex index, Bytes& out) {
   if (index >= block_count_) return OutOfRange("read past end of device");
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
   out.resize(block_size_);
-  if (std::fseek(file_, static_cast<long>(index * block_size_), SEEK_SET) !=
-      0) {
-    return IoError("seek failed");
-  }
+  RGPD_RETURN_IF_ERROR(SeekTo(file_, index * std::uint64_t(block_size_)));
   const std::size_t got = std::fread(out.data(), 1, block_size_, file_);
   if (got != block_size_) {
     // Sparse tail of a fresh file reads short: zero-fill is the device's
@@ -56,10 +89,7 @@ Status FileBlockDevice::WriteBlock(BlockIndex index, ByteSpan data) {
     return InvalidArgument("block write must be exactly block_size bytes");
   }
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
-  if (std::fseek(file_, static_cast<long>(index * block_size_), SEEK_SET) !=
-      0) {
-    return IoError("seek failed");
-  }
+  RGPD_RETURN_IF_ERROR(SeekTo(file_, index * std::uint64_t(block_size_)));
   if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
     return IoError("short write to backing file");
   }
@@ -70,7 +100,11 @@ Status FileBlockDevice::WriteBlock(BlockIndex index, ByteSpan data) {
 
 Status FileBlockDevice::Flush() {
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  // fflush alone only reaches the libc buffer — a "committed" journal
+  // transaction would still die with the host. The durability barrier is
+  // only real once fsync pushes the page cache to stable storage.
   if (std::fflush(file_) != 0) return IoError("fflush failed");
+  if (::fsync(::fileno(file_)) != 0) return IoError("fsync failed");
   ++stats_.flushes;
   return Status::Ok();
 }

@@ -13,6 +13,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCrashed: return "CRASHED";
     case StatusCode::kCorruption: return "CORRUPTION";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
@@ -49,6 +50,7 @@ RGPD_STATUS_FACTORY(FailedPrecondition, kFailedPrecondition)
 RGPD_STATUS_FACTORY(OutOfRange, kOutOfRange)
 RGPD_STATUS_FACTORY(ResourceExhausted, kResourceExhausted)
 RGPD_STATUS_FACTORY(IoError, kIoError)
+RGPD_STATUS_FACTORY(Crashed, kCrashed)
 RGPD_STATUS_FACTORY(Corruption, kCorruption)
 RGPD_STATUS_FACTORY(Unimplemented, kUnimplemented)
 RGPD_STATUS_FACTORY(Internal, kInternal)

@@ -28,6 +28,7 @@ enum class StatusCode : std::uint8_t {
   kOutOfRange,
   kResourceExhausted,
   kIoError,
+  kCrashed,         ///< the (simulated) device lost power; all further IO fails
   kCorruption,
   kUnimplemented,
   kInternal,
@@ -79,6 +80,7 @@ Status FailedPrecondition(std::string msg);
 Status OutOfRange(std::string msg);
 Status ResourceExhausted(std::string msg);
 Status IoError(std::string msg);
+Status Crashed(std::string msg);
 Status Corruption(std::string msg);
 Status Unimplemented(std::string msg);
 Status Internal(std::string msg);

@@ -9,6 +9,20 @@
 
 namespace rgpdos::core {
 
+namespace {
+
+/// Env knob as u64; returns `fallback` when unset or unparsable.
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return v;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
   BootConfig config = boot_config;
   // RGPDOS_CACHE=0 forces every cache level off without touching code —
@@ -18,6 +32,36 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
     config.cache_blocks = 0;
     config.cache_record_entries = 0;
     config.cache_decisions = false;
+  }
+  // RGPDOS_FAULT_* knobs force fault injection onto the PD devices, the
+  // same way RGPDOS_CACHE reconfigures caching: the recovery CI job runs
+  // the suite under several seeds without a code change. RGPDOS_FAULT_SEED
+  // derives a whole plan; the specific knobs override individual fields.
+  config.fault_seed = EnvU64("RGPDOS_FAULT_SEED", config.fault_seed);
+  if (config.fault_seed != 0) {
+    config.fault_plan = blockdev::FaultPlan::FromSeed(
+        config.fault_seed, /*max_writes=*/4096);
+    config.fault_inject = true;
+  }
+  config.fault_plan.crash_at_write =
+      EnvU64("RGPDOS_FAULT_CRASH_AT", config.fault_plan.crash_at_write);
+  config.fault_plan.torn_bytes = static_cast<std::uint32_t>(
+      EnvU64("RGPDOS_FAULT_TORN_BYTES", config.fault_plan.torn_bytes));
+  if (EnvU64("RGPDOS_FAULT_WRITEBACK",
+             config.fault_plan.volatile_write_back ? 1 : 0) != 0) {
+    config.fault_plan.volatile_write_back = true;
+  }
+  config.fault_plan.transient_error_every = EnvU64(
+      "RGPDOS_FAULT_TRANSIENT_EVERY", config.fault_plan.transient_error_every);
+  if (config.fault_plan.crash_at_write != 0 ||
+      config.fault_plan.volatile_write_back ||
+      config.fault_plan.transient_error_every != 0) {
+    config.fault_inject = true;
+  }
+  if (config.attach_dbfs_device != nullptr && config.split_sensitive) {
+    return InvalidArgument(
+        "attach_dbfs_device carries one image; split_sensitive needs two "
+        "devices");
   }
   std::unique_ptr<RgpdOs> os(new RgpdOs());
 
@@ -41,14 +85,24 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
   // DBFS on its own device (paper: DBFS is reachable only through rgpdOS
   // components; the NPD filesystem is a separate, generally accessible
   // store).
-  // PD device stack, inner to outer: raw memory device -> optional
-  // latency model (simulated IO cost) -> optional block cache (level 1
-  // of the caching stack; on the OUTSIDE so a cache hit pays neither
-  // device nor simulated-latency cost, exactly like a page-cache hit
-  // skips a real disk).
-  os->dbfs_device_ = std::make_unique<blockdev::MemBlockDevice>(
-      config.block_size, config.dbfs_blocks);
-  blockdev::BlockDevice* dbfs_dev = os->dbfs_device_.get();
+  // PD device stack, inner to outer: raw memory device -> optional fault
+  // injector (it models the medium plus its volatile disk cache, so it
+  // must be the closest decorator to the raw device) -> optional latency
+  // model (simulated IO cost) -> optional block cache (level 1 of the
+  // caching stack; on the OUTSIDE so a cache hit pays neither device nor
+  // simulated-latency cost, exactly like a page-cache hit skips a real
+  // disk).
+  blockdev::BlockDevice* dbfs_dev = config.attach_dbfs_device;
+  if (dbfs_dev == nullptr) {
+    os->dbfs_device_ = std::make_unique<blockdev::MemBlockDevice>(
+        config.block_size, config.dbfs_blocks);
+    dbfs_dev = os->dbfs_device_.get();
+  }
+  if (config.fault_inject) {
+    os->dbfs_fault_ = std::make_unique<blockdev::FaultInjectingBlockDevice>(
+        dbfs_dev, config.fault_plan);
+    dbfs_dev = os->dbfs_fault_.get();
+  }
   if (!config.latency.IsZero()) {
     os->dbfs_latency_ = std::make_unique<blockdev::LatencyModelDevice>(
         dbfs_dev, config.latency);
@@ -62,9 +116,22 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
   inodefs::InodeStore::Options dbfs_options;
   dbfs_options.inode_count = config.inode_count;
   dbfs_options.journal_blocks = config.journal_blocks;
-  RGPD_ASSIGN_OR_RETURN(
-      os->dbfs_store_,
-      inodefs::InodeStore::Format(dbfs_dev, dbfs_options, os->clock_.get()));
+  dbfs_options.io_retry = config.io_retry;
+  if (config.attach_dbfs_device != nullptr) {
+    // Boot-time crash recovery: mount the surviving image. Replay,
+    // checkpoint and the inodefs.recovery.* metrics happen inside Mount;
+    // the freshly built cache above starts cold, so nothing pre-crash
+    // can be served from RAM.
+    RGPD_ASSIGN_OR_RETURN(
+        os->dbfs_store_,
+        inodefs::InodeStore::Mount(dbfs_dev, os->clock_.get(),
+                                   metrics::LockRank::kInodefs,
+                                   config.io_retry));
+  } else {
+    RGPD_ASSIGN_OR_RETURN(
+        os->dbfs_store_,
+        inodefs::InodeStore::Format(dbfs_dev, dbfs_options, os->clock_.get()));
+  }
   if (config.split_sensitive) {
     // Dedicated device for high-sensitivity PD (paper §2's storage
     // separation): its own blocks, inodes and journal — and its own
@@ -75,6 +142,12 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
     os->sensitive_device_ = std::make_unique<blockdev::MemBlockDevice>(
         config.block_size, config.sensitive_blocks);
     blockdev::BlockDevice* sensitive_dev = os->sensitive_device_.get();
+    if (config.fault_inject) {
+      os->sensitive_fault_ =
+          std::make_unique<blockdev::FaultInjectingBlockDevice>(
+              sensitive_dev, config.fault_plan);
+      sensitive_dev = os->sensitive_fault_.get();
+    }
     if (!config.latency.IsZero()) {
       os->sensitive_latency_ = std::make_unique<blockdev::LatencyModelDevice>(
           sensitive_dev, config.latency);
@@ -92,10 +165,17 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
         inodefs::InodeStore::Format(sensitive_dev, sensitive_options,
                                     os->clock_.get()));
   }
-  RGPD_ASSIGN_OR_RETURN(
-      os->dbfs_,
-      dbfs::Dbfs::Format(os->dbfs_store_.get(), os->sentinel_.get(),
-                         os->clock_.get(), os->sensitive_store_.get()));
+  if (config.attach_dbfs_device != nullptr) {
+    RGPD_ASSIGN_OR_RETURN(
+        os->dbfs_,
+        dbfs::Dbfs::Mount(os->dbfs_store_.get(), os->sentinel_.get(),
+                          os->clock_.get()));
+  } else {
+    RGPD_ASSIGN_OR_RETURN(
+        os->dbfs_,
+        dbfs::Dbfs::Format(os->dbfs_store_.get(), os->sentinel_.get(),
+                           os->clock_.get(), os->sensitive_store_.get()));
+  }
   // Level 2: decoded-record cache with generation invalidation.
   if (config.cache_record_entries != 0) {
     os->dbfs_->EnableRecordCache(config.cache_record_entries);
@@ -106,6 +186,7 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
   inodefs::InodeStore::Options npd_options;
   npd_options.inode_count = config.inode_count;
   npd_options.journal_blocks = config.journal_blocks;
+  npd_options.io_retry = config.io_retry;
   RGPD_ASSIGN_OR_RETURN(
       os->npd_store_,
       inodefs::InodeStore::Format(os->npd_device_.get(), npd_options,

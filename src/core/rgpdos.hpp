@@ -17,6 +17,7 @@
 
 #include "blockdev/block_cache.hpp"
 #include "blockdev/block_device.hpp"
+#include "blockdev/fault_injection.hpp"
 #include "blockdev/latency_model.hpp"
 #include "core/anonymize.hpp"
 #include "core/authority.hpp"
@@ -64,6 +65,24 @@ struct BootConfig {
   /// Simulated device cost model applied to the PD devices (benches
   /// normalise throughput by wall + simulated time). Zero = no model.
   blockdev::LatencyProfile latency = blockdev::LatencyProfile::Zero();
+  /// Fault injection on the PD devices (crash/torn-write/transient-error
+  /// testing). When enabled, each PD raw device is wrapped in a
+  /// FaultInjectingBlockDevice (innermost decorator) running `fault_plan`.
+  /// The RGPDOS_FAULT_* env vars force this on at runtime — see README.
+  bool fault_inject = false;
+  blockdev::FaultPlan fault_plan;
+  /// Non-zero: derive fault_plan with FaultPlan::FromSeed(fault_seed)
+  /// at boot, overriding `fault_plan`. Mirrors RGPDOS_FAULT_SEED.
+  std::uint64_t fault_seed = 0;
+  /// Transient-IO retry policy handed to every inode store.
+  inodefs::RetryPolicy io_retry;
+  /// Attach an existing DBFS image instead of formatting a fresh
+  /// in-memory one: Boot mounts the device (replaying its journal — the
+  /// boot-time crash-recovery entry point) rather than calling Format.
+  /// The device is borrowed and must outlive the instance; it still gets
+  /// the latency/cache decorators, which come up cold. Incompatible with
+  /// split_sensitive (a split image needs two devices).
+  blockdev::BlockDevice* attach_dbfs_device = nullptr;
 };
 
 class RgpdOs {
@@ -83,6 +102,8 @@ class RgpdOs {
   [[nodiscard]] sentinel::AuditSink& audit() { return audit_; }
   [[nodiscard]] inodefs::FileSystem& npd_fs() { return *npd_fs_; }
   [[nodiscard]] inodefs::InodeStore& dbfs_store() { return *dbfs_store_; }
+  /// The raw in-memory PD device. Only valid when booted without
+  /// attach_dbfs_device (attach mode borrows the caller's device).
   [[nodiscard]] blockdev::MemBlockDevice& dbfs_device() {
     return *dbfs_device_;
   }
@@ -103,6 +124,13 @@ class RgpdOs {
   }
   [[nodiscard]] blockdev::LatencyModelDevice* sensitive_latency() {
     return sensitive_latency_.get();
+  }
+  /// Non-null iff booted with fault injection (config or RGPDOS_FAULT_*).
+  [[nodiscard]] blockdev::FaultInjectingBlockDevice* dbfs_fault() {
+    return dbfs_fault_.get();
+  }
+  [[nodiscard]] blockdev::FaultInjectingBlockDevice* sensitive_fault() {
+    return sensitive_fault_.get();
   }
   [[nodiscard]] const Clock& clock() const { return *clock_; }
   /// Non-null iff booted with use_sim_clock.
@@ -151,6 +179,8 @@ class RgpdOs {
   std::unique_ptr<blockdev::MemBlockDevice> dbfs_device_;
   std::unique_ptr<blockdev::MemBlockDevice> sensitive_device_;
   std::unique_ptr<blockdev::MemBlockDevice> npd_device_;
+  std::unique_ptr<blockdev::FaultInjectingBlockDevice> dbfs_fault_;
+  std::unique_ptr<blockdev::FaultInjectingBlockDevice> sensitive_fault_;
   std::unique_ptr<blockdev::LatencyModelDevice> dbfs_latency_;
   std::unique_ptr<blockdev::LatencyModelDevice> sensitive_latency_;
   std::unique_ptr<blockdev::BlockCacheDevice> dbfs_cache_;

@@ -579,23 +579,33 @@ Status Dbfs::HardDelete(sentinel::Domain caller, RecordId id) {
   // the scrubbed frees below invalidate the block-cache copies.
   CacheMutationGuard cache_guard(record_cache_.get(), loc.subject_id, id);
   RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root, SubjectRootOf(loc.subject_id));
-  RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
-                        LoadSubjectRoot(root));
-  entries.erase(std::remove_if(entries.begin(), entries.end(),
-                               [&](const SubjectEntry& e) {
-                                 return e.record_id == id;
-                               }),
-                entries.end());
-  RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
-  // Scrubbed frees zero the blocks in place AND log zeros to the journal;
-  // the final journal scrubs then destroy the remaining history on every
-  // store the record's bytes touched.
-  inodefs::InodeStore* data_store = StoreById(loc.store_id);
-  RGPD_RETURN_IF_ERROR(data_store->FreeInode(loc.pd_inode, /*scrub=*/true));
-  RGPD_RETURN_IF_ERROR(
-      data_store->FreeInode(loc.membrane_inode, /*scrub=*/true));
-  RGPD_RETURN_IF_ERROR(data_store->ScrubJournal());
-  RGPD_RETURN_IF_ERROR(store_->ScrubJournal());
+  {
+    // One atomic group for the whole erasure: either the record stays
+    // fully intact (crash before the group journal record) or it is
+    // fully unlinked and scrubbed (replay finishes the checkpoint). No
+    // crash point exposes a half-deleted record.
+    inodefs::InodeStore::GroupCommitScope group(*store_);
+    RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
+                          LoadSubjectRoot(root));
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const SubjectEntry& e) {
+                                   return e.record_id == id;
+                                 }),
+                  entries.end());
+    RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
+    // Scrubbed frees stage zeros for the record's blocks (journaled as
+    // part of the group, so the in-journal history ends in zeros); the
+    // journal scrubs then destroy the remaining plaintext history on
+    // every store the record's bytes touched — BEFORE the group record
+    // is appended, so the group itself survives the scrub.
+    inodefs::InodeStore* data_store = StoreById(loc.store_id);
+    RGPD_RETURN_IF_ERROR(data_store->FreeInode(loc.pd_inode, /*scrub=*/true));
+    RGPD_RETURN_IF_ERROR(
+        data_store->FreeInode(loc.membrane_inode, /*scrub=*/true));
+    RGPD_RETURN_IF_ERROR(data_store->ScrubJournal());
+    RGPD_RETURN_IF_ERROR(store_->ScrubJournal());
+    RGPD_RETURN_IF_ERROR(group.Finish());
+  }
   {
     std::lock_guard<metrics::OrderedSharedMutex> index_lock(index_mu_);
     records_.Erase(id);
@@ -617,38 +627,48 @@ Status Dbfs::ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
     return Erased("record " + std::to_string(id) + " already erased");
   }
   CacheMutationGuard cache_guard(record_cache_.get(), loc.subject_id, id);
-  // Destroy the plaintext, keep only the authority-sealed envelope.
-  inodefs::InodeStore* data_store = StoreById(loc.store_id);
-  RGPD_RETURN_IF_ERROR(data_store->Truncate(loc.pd_inode, 0, /*scrub=*/true));
-  RGPD_RETURN_IF_ERROR(data_store->WriteAll(loc.pd_inode, envelope));
-  // Revoke every consent on the membrane: nothing may process this PD.
-  RGPD_ASSIGN_OR_RETURN(Bytes membrane_bytes,
-                        data_store->ReadAll(loc.membrane_inode));
-  RGPD_ASSIGN_OR_RETURN(membrane::Membrane m,
-                        membrane::Membrane::Deserialize(membrane_bytes));
-  for (auto& [purpose, consent] : m.consents) {
-    consent = membrane::Consent::None();
-  }
-  ++m.version;
-  RGPD_RETURN_IF_ERROR(
-      data_store->WriteAll(loc.membrane_inode, m.Serialize()));
-
   RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root, SubjectRootOf(loc.subject_id));
-  RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
-                        LoadSubjectRoot(root));
-  for (SubjectEntry& e : entries) {
-    if (e.record_id == id) e.erased = true;
+  {
+    // Atomic group (same reasoning as HardDelete): the record is either
+    // still fully intact after a crash, or fully erased — never an
+    // intermediate like "plaintext scrubbed but no envelope yet".
+    inodefs::InodeStore::GroupCommitScope group(*store_);
+    // Destroy the plaintext, keep only the authority-sealed envelope.
+    inodefs::InodeStore* data_store = StoreById(loc.store_id);
+    RGPD_RETURN_IF_ERROR(
+        data_store->Truncate(loc.pd_inode, 0, /*scrub=*/true));
+    RGPD_RETURN_IF_ERROR(data_store->WriteAll(loc.pd_inode, envelope));
+    // Revoke every consent on the membrane: nothing may process this PD.
+    RGPD_ASSIGN_OR_RETURN(Bytes membrane_bytes,
+                          data_store->ReadAll(loc.membrane_inode));
+    RGPD_ASSIGN_OR_RETURN(membrane::Membrane m,
+                          membrane::Membrane::Deserialize(membrane_bytes));
+    for (auto& [purpose, consent] : m.consents) {
+      consent = membrane::Consent::None();
+    }
+    ++m.version;
+    RGPD_RETURN_IF_ERROR(
+        data_store->WriteAll(loc.membrane_inode, m.Serialize()));
+
+    RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
+                          LoadSubjectRoot(root));
+    for (SubjectEntry& e : entries) {
+      if (e.record_id == id) e.erased = true;
+    }
+    RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
+    // Destroy the journal history that still holds plaintext, on both
+    // stores (the primary journaled the subject-root rewrite too) —
+    // before the group record appends, so the group survives the scrub.
+    RGPD_RETURN_IF_ERROR(data_store->ScrubJournal());
+    RGPD_RETURN_IF_ERROR(store_->ScrubJournal());
+    RGPD_RETURN_IF_ERROR(group.Finish());
   }
-  RGPD_RETURN_IF_ERROR(StoreSubjectRoot(root, entries));
   {
     std::lock_guard<metrics::OrderedSharedMutex> index_lock(index_mu_);
     RecordLoc* live = records_.Find(id);
     if (live != nullptr) live->erased = true;
   }
-  // Finally destroy the journal history that still holds plaintext, on
-  // both stores (the primary journaled the subject-root rewrite too).
-  RGPD_RETURN_IF_ERROR(data_store->ScrubJournal());
-  return store_->ScrubJournal();
+  return Status::Ok();
 }
 
 Result<Bytes> Dbfs::GetEnvelope(sentinel::Domain caller, RecordId id) const {

@@ -1,5 +1,9 @@
 #include "inodefs/format.hpp"
 
+#include <cstring>
+
+#include "common/crc32.hpp"
+
 namespace rgpdos::inodefs {
 
 Bytes Inode::Encode() const {
@@ -46,27 +50,35 @@ Result<Inode> Inode::Decode(ByteSpan bytes) {
   return inode;
 }
 
-Bytes Superblock::Encode() const {
-  ByteWriter w(128);
-  w.PutU32(magic);
-  w.PutU32(block_size);
-  w.PutU64(block_count);
-  w.PutU32(inode_count);
-  w.PutU64(bitmap_start);
-  w.PutU64(bitmap_blocks);
-  w.PutU64(inode_table_start);
-  w.PutU64(inode_table_blocks);
-  w.PutU64(journal_start);
-  w.PutU64(journal_blocks);
-  w.PutU64(data_start);
-  w.PutU32(root_dir);
-  w.PutU64(journal_head);
-  w.PutU64(journal_seq);
+namespace {
+
+/// One serialised superblock image: all fields followed by a CRC over
+/// them. Must fit in kSuperblockSlotSize.
+Bytes EncodeImage(const Superblock& sb) {
+  ByteWriter w(kSuperblockSlotSize);
+  w.PutU32(sb.magic);
+  w.PutU32(sb.block_size);
+  w.PutU64(sb.block_count);
+  w.PutU32(sb.inode_count);
+  w.PutU64(sb.bitmap_start);
+  w.PutU64(sb.bitmap_blocks);
+  w.PutU64(sb.inode_table_start);
+  w.PutU64(sb.inode_table_blocks);
+  w.PutU64(sb.journal_start);
+  w.PutU64(sb.journal_blocks);
+  w.PutU64(sb.data_start);
+  w.PutU32(sb.root_dir);
+  w.PutU64(sb.journal_head);
+  w.PutU64(sb.journal_seq);
+  w.PutU64(sb.journal_checkpointed_seq);
+  w.PutU64(sb.sb_version);
+  const std::uint32_t crc = Crc32(w.buffer());
+  w.PutU32(crc);
   return w.Take();
 }
 
-Result<Superblock> Superblock::Decode(ByteSpan bytes) {
-  ByteReader r(bytes);
+Result<Superblock> DecodeSlot(ByteSpan slot) {
+  ByteReader r(slot);
   Superblock sb;
   RGPD_ASSIGN_OR_RETURN(sb.magic, r.GetU32());
   if (sb.magic != kSuperblockMagic) {
@@ -85,7 +97,50 @@ Result<Superblock> Superblock::Decode(ByteSpan bytes) {
   RGPD_ASSIGN_OR_RETURN(sb.root_dir, r.GetU32());
   RGPD_ASSIGN_OR_RETURN(sb.journal_head, r.GetU64());
   RGPD_ASSIGN_OR_RETURN(sb.journal_seq, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.journal_checkpointed_seq, r.GetU64());
+  RGPD_ASSIGN_OR_RETURN(sb.sb_version, r.GetU64());
+  const std::size_t image_size = EncodeImage(sb).size();
+  if (slot.size() < image_size) {
+    return Corruption("superblock slot truncated");
+  }
+  ByteReader crc_reader(
+      ByteSpan(slot.data() + image_size - 4, 4));
+  RGPD_ASSIGN_OR_RETURN(const std::uint32_t stored_crc, crc_reader.GetU32());
+  const std::uint32_t computed_crc =
+      Crc32(ByteSpan(slot.data(), image_size - 4));
+  if (stored_crc != computed_crc) {
+    return Corruption("superblock slot CRC mismatch (torn write?)");
+  }
   return sb;
+}
+
+}  // namespace
+
+void Superblock::EncodeInto(Bytes& block) {
+  ++sb_version;
+  const Bytes image = EncodeImage(*this);
+  const std::size_t offset = (sb_version % 2) * kSuperblockSlotSize;
+  if (block.size() < offset + kSuperblockSlotSize) {
+    block.resize(offset + kSuperblockSlotSize, 0);
+  }
+  std::memset(block.data() + offset, 0, kSuperblockSlotSize);
+  std::memcpy(block.data() + offset, image.data(), image.size());
+}
+
+Result<Superblock> Superblock::Decode(ByteSpan bytes) {
+  Result<Superblock> best = Corruption(
+      "bad superblock magic (device not formatted?)");
+  for (std::size_t slot = 0; slot < 2; ++slot) {
+    const std::size_t offset = slot * kSuperblockSlotSize;
+    if (offset + kSuperblockSlotSize > bytes.size()) break;
+    auto decoded =
+        DecodeSlot(ByteSpan(bytes.data() + offset, kSuperblockSlotSize));
+    if (!decoded.ok()) continue;
+    if (!best.ok() || decoded->sb_version > best->sb_version) {
+      best = std::move(decoded);
+    }
+  }
+  return best;
 }
 
 Result<Superblock> Superblock::Plan(std::uint32_t block_size,

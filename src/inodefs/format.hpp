@@ -62,6 +62,14 @@ struct Inode {
   static Result<Inode> Decode(ByteSpan bytes);
 };
 
+/// Byte size of one superblock slot inside block 0. The superblock is
+/// persisted into ALTERNATING slots (picked by sb_version parity), each
+/// carrying its own CRC: a torn write can destroy at most the slot being
+/// written, and Decode falls back to the other, previously valid one. A
+/// single in-place image would brick the mount on the first torn
+/// superblock write.
+inline constexpr std::size_t kSuperblockSlotSize = 256;
+
 /// Filesystem geometry, derived once at format time.
 struct Superblock {
   std::uint32_t magic = kSuperblockMagic;
@@ -76,10 +84,25 @@ struct Superblock {
   std::uint64_t journal_blocks = 0;
   BlockIndex data_start = 0;
   InodeId root_dir = kInvalidInode;  ///< set by FileSystem::Format
-  std::uint64_t journal_head = 0;    ///< byte offset into journal region
+  std::uint64_t journal_head = 0;    ///< block offset into journal region
   std::uint64_t journal_seq = 0;     ///< next transaction sequence number
+  /// Checkpoint watermark (exclusive): every journaled transaction with
+  /// seq < this value is durably written in place. Replay skips such
+  /// transactions — re-applying a stale journal record would REVERT a
+  /// block to old content when the newer record that superseded it was
+  /// wrapped over or scrubbed. Persisted (see Journal) before the head
+  /// ever wraps and before a scrub, so the destroyed history is always
+  /// provably checkpointed.
+  std::uint64_t journal_checkpointed_seq = 0;
+  /// Monotonic persist counter; selects the slot EncodeInto writes and
+  /// lets Decode pick the newest valid slot.
+  std::uint64_t sb_version = 0;
 
-  [[nodiscard]] Bytes Encode() const;
+  /// Serialise into `block` (the current content of device block 0),
+  /// bumping sb_version and overwriting only the slot it selects.
+  void EncodeInto(Bytes& block);
+  /// Parse block 0: returns the highest-version slot whose CRC checks
+  /// out, or Corruption if neither slot is valid.
   static Result<Superblock> Decode(ByteSpan bytes);
 
   /// Compute a layout for a device. `inode_count` and `journal_blocks`

@@ -9,15 +9,44 @@ namespace rgpdos::inodefs {
 
 InodeStore::InodeStore(blockdev::BlockDevice* device, Superblock sb,
                        const Clock* clock, bool journal_enabled,
-                       metrics::LockRank lock_rank)
+                       metrics::LockRank lock_rank,
+                       const RetryPolicy& io_retry)
     : device_(device),
       sb_(sb),
       clock_(clock),
       journal_(*device, sb_),
+      io_retry_(io_retry),
       journal_enabled_(journal_enabled),
       mu_(lock_rank, lock_rank == metrics::LockRank::kInodefsSensitive
                          ? "inodefs.store.sensitive"
-                         : "inodefs.store") {}
+                         : "inodefs.store") {
+  journal_.set_retry_policy(io_retry_);
+}
+
+Status InodeStore::DevRead(BlockIndex index, Bytes& out) const {
+  return RetryIo(io_retry_, [&] { return device_->ReadBlock(index, out); });
+}
+
+Status InodeStore::DevWrite(BlockIndex index, ByteSpan data) {
+  return RetryIo(io_retry_, [&] { return device_->WriteBlock(index, data); });
+}
+
+Status InodeStore::DevFlush() {
+  return RetryIo(io_retry_, [&] { return device_->Flush(); });
+}
+
+Status InodeStore::ReadBlockCoherent(BlockIndex index, Bytes& out) const {
+  // group_depth_ > 0 implies the calling thread holds mu_ for the whole
+  // scope, so the staging buffer is safe to read without further locking.
+  if (group_depth_ > 0) {
+    auto it = group_write_index_.find(index);
+    if (it != group_write_index_.end()) {
+      out = group_writes_[it->second].second;
+      return Status::Ok();
+    }
+  }
+  return DevRead(index, out);
+}
 
 Result<std::unique_ptr<InodeStore>> InodeStore::Format(
     blockdev::BlockDevice* device, const Options& options,
@@ -27,13 +56,14 @@ Result<std::unique_ptr<InodeStore>> InodeStore::Format(
       Superblock::Plan(device->block_size(), device->block_count(),
                        options.inode_count, options.journal_blocks));
 
-  std::unique_ptr<InodeStore> store(new InodeStore(
-      device, sb, clock, options.journal_enabled, options.lock_rank));
+  std::unique_ptr<InodeStore> store(
+      new InodeStore(device, sb, clock, options.journal_enabled,
+                     options.lock_rank, options.io_retry));
 
   // Zero metadata regions (bitmap + inode table + journal).
   const Bytes zero(sb.block_size, 0);
   for (BlockIndex b = sb.bitmap_start; b < sb.data_start; ++b) {
-    RGPD_RETURN_IF_ERROR(device->WriteBlock(b, zero));
+    RGPD_RETURN_IF_ERROR(store->DevWrite(b, zero));
   }
   store->bitmap_.assign((sb.block_count + 63) / 64, 0);
   // Mark all metadata blocks (including block 0) as used.
@@ -46,27 +76,57 @@ Result<std::unique_ptr<InodeStore>> InodeStore::Format(
 
 Result<std::unique_ptr<InodeStore>> InodeStore::Mount(
     blockdev::BlockDevice* device, const Clock* clock,
-    metrics::LockRank lock_rank) {
+    metrics::LockRank lock_rank, const RetryPolicy& io_retry) {
+  RGPD_METRIC_COUNT("inodefs.recovery.mounts");
+  RGPD_METRIC_SCOPED_LATENCY("inodefs.recovery.mount_latency_ns");
   Bytes sb_block;
-  RGPD_RETURN_IF_ERROR(device->ReadBlock(0, sb_block));
+  RGPD_RETURN_IF_ERROR(
+      RetryIo(io_retry, [&] { return device->ReadBlock(0, sb_block); }));
   RGPD_ASSIGN_OR_RETURN(Superblock sb, Superblock::Decode(sb_block));
   if (sb.block_size != device->block_size() ||
       sb.block_count != device->block_count()) {
     return Corruption("superblock geometry does not match device");
   }
 
-  std::unique_ptr<InodeStore> store(
-      new InodeStore(device, sb, clock, /*journal_enabled=*/true, lock_rank));
+  std::unique_ptr<InodeStore> store(new InodeStore(
+      device, sb, clock, /*journal_enabled=*/true, lock_rank, io_retry));
 
-  // Recover committed-but-unchecked transactions.
-  RGPD_ASSIGN_OR_RETURN(std::vector<ReplayedWrite> writes,
-                        store->journal_.Replay());
-  for (const ReplayedWrite& w : writes) {
-    RGPD_RETURN_IF_ERROR(device->WriteBlock(w.block, w.data));
+  // Recover committed-but-uncheckpointed transactions. Torn / incomplete
+  // transactions never leave the journal, so the in-place image only ever
+  // moves between transaction boundaries.
+  std::vector<ReplayedWrite> writes;
+  {
+    RGPD_METRIC_SCOPED_LATENCY("inodefs.recovery.replay_latency_ns");
+    RGPD_ASSIGN_OR_RETURN(writes, store->journal_.Replay());
+    for (const ReplayedWrite& w : writes) {
+      RGPD_RETURN_IF_ERROR(store->DevWrite(w.block, w.data));
+    }
+    if (!writes.empty()) {
+      RGPD_RETURN_IF_ERROR(store->DevFlush());
+    }
+    // Every transaction the scan found is now either applied in place or
+    // discarded for good (torn/incomplete/stale): advance the watermark
+    // and persist it so a crash loop never re-applies or reverts.
+    store->sb_.journal_checkpointed_seq = store->sb_.journal_seq;
+    if (!writes.empty()) {
+      Bytes sb_out;
+      RGPD_RETURN_IF_ERROR(store->DevRead(0, sb_out));
+      store->sb_.EncodeInto(sb_out);
+      RGPD_RETURN_IF_ERROR(store->DevWrite(0, sb_out));
+      RGPD_RETURN_IF_ERROR(store->DevFlush());
+    }
   }
-  if (!writes.empty()) {
-    RGPD_RETURN_IF_ERROR(device->Flush());
-  }
+  store->recovery_.replay = store->journal_.last_replay();
+  store->recovery_.checkpointed_blocks = writes.size();
+  RGPD_METRIC_COUNT_N("inodefs.recovery.replayed_writes", writes.size());
+  RGPD_METRIC_COUNT_N("inodefs.recovery.torn_txns_discarded",
+                      store->recovery_.replay.torn_txns);
+  RGPD_METRIC_COUNT_N("inodefs.recovery.incomplete_txns_discarded",
+                      store->recovery_.replay.incomplete_txns);
+  RGPD_METRIC_COUNT_N("inodefs.recovery.corrupt_records",
+                      store->recovery_.replay.corrupt_records);
+  RGPD_METRIC_COUNT_N("inodefs.recovery.stale_txns_skipped",
+                      store->recovery_.replay.stale_txns);
   RGPD_RETURN_IF_ERROR(store->LoadBitmap());
   store->alloc_hint_ = store->sb_.data_start;
   return store;
@@ -78,7 +138,7 @@ Status InodeStore::LoadBitmap() {
   std::size_t bit = 0;
   for (std::uint64_t i = 0; i < sb_.bitmap_blocks && bit < sb_.block_count;
        ++i) {
-    RGPD_RETURN_IF_ERROR(device_->ReadBlock(sb_.bitmap_start + i, block));
+    RGPD_RETURN_IF_ERROR(DevRead(sb_.bitmap_start + i, block));
     for (std::uint32_t j = 0; j < sb_.block_size && bit < sb_.block_count;
          ++j) {
       for (int k = 0; k < 8 && bit < sb_.block_count; ++k, ++bit) {
@@ -93,10 +153,13 @@ Status InodeStore::LoadBitmap() {
 
 Status InodeStore::Sync() {
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
-  // Superblock.
-  Bytes sb_image = sb_.Encode();
-  sb_image.resize(sb_.block_size, 0);
-  RGPD_RETURN_IF_ERROR(device_->WriteBlock(0, sb_image));
+  // Superblock: read-modify-write so the slot not being written keeps
+  // the previous valid image (torn-write safety).
+  Bytes sb_block;
+  RGPD_RETURN_IF_ERROR(DevRead(0, sb_block));
+  sb_block.resize(sb_.block_size, 0);
+  sb_.EncodeInto(sb_block);
+  RGPD_RETURN_IF_ERROR(DevWrite(0, sb_block));
   // Bitmap, rebuilt from the in-memory copy.
   Bytes block(sb_.block_size, 0);
   std::size_t bit = 0;
@@ -108,9 +171,9 @@ Status InodeStore::Sync() {
         if (BitmapGet(bit)) block[j] |= 1u << k;
       }
     }
-    RGPD_RETURN_IF_ERROR(device_->WriteBlock(sb_.bitmap_start + i, block));
+    RGPD_RETURN_IF_ERROR(DevWrite(sb_.bitmap_start + i, block));
   }
-  return device_->Flush();
+  return DevFlush();
 }
 
 // ---- Txn -------------------------------------------------------------------
@@ -120,7 +183,7 @@ Result<Bytes> InodeStore::Txn::ReadBlock(BlockIndex index) {
   if (it != writes_.end()) return it->second;
   Bytes out;
   RGPD_METRIC_COUNT("inodefs.block.reads");
-  RGPD_RETURN_IF_ERROR(store_.device_->ReadBlock(index, out));
+  RGPD_RETURN_IF_ERROR(store_.ReadBlockCoherent(index, out));
   return out;
 }
 
@@ -139,17 +202,21 @@ Status InodeStore::Txn::Commit() {
   RGPD_METRIC_SCOPED_LATENCY("inodefs.txn.commit_latency_ns");
   if (store_.journal_enabled_) {
     if (store_.group_depth_ > 0) {
-      // Inside a GroupCommitScope: defer the journal record into the
-      // group buffer (flushed as one combined transaction at scope end).
+      // Inside a GroupCommitScope: stage everything — journal copy AND
+      // in-place writes — into the group buffer. Nothing reaches the
+      // device until the scope's combined journal record commits
+      // (write-ahead ordering); reads inside the scope observe the
+      // staged blocks through ReadBlockCoherent.
       for (const auto& [block, data] : writes_) {
         store_.StageGroupWrite(block, data);
       }
-    } else {
-      std::vector<std::pair<BlockIndex, Bytes>> log;
-      log.reserve(writes_.size());
-      for (const auto& [block, data] : writes_) log.emplace_back(block, data);
-      RGPD_RETURN_IF_ERROR(store_.journal_.AppendTransaction(log));
+      writes_.clear();
+      return Status::Ok();
     }
+    std::vector<std::pair<BlockIndex, Bytes>> log;
+    log.reserve(writes_.size());
+    for (const auto& [block, data] : writes_) log.emplace_back(block, data);
+    RGPD_RETURN_IF_ERROR(store_.journal_.AppendTransaction(log));
   }
   if (store_.crash_before_checkpoint_) {
     // Simulated power loss after the journal commit: the in-place writes
@@ -158,10 +225,17 @@ Status InodeStore::Txn::Commit() {
     return Status::Ok();
   }
   for (const auto& [block, data] : writes_) {
-    RGPD_RETURN_IF_ERROR(store_.device_->WriteBlock(block, data));
+    RGPD_RETURN_IF_ERROR(store_.DevWrite(block, data));
   }
   writes_.clear();
-  return store_.device_->Flush();
+  RGPD_RETURN_IF_ERROR(store_.DevFlush());
+  if (store_.journal_enabled_) {
+    // Every journaled transaction so far is now durably in place; move
+    // the replay watermark past them (persisted lazily, before the next
+    // journal wrap or scrub destroys their records).
+    store_.sb_.journal_checkpointed_seq = store_.sb_.journal_seq;
+  }
+  return Status::Ok();
 }
 
 // ---- group commit ----------------------------------------------------------
@@ -194,6 +268,23 @@ Status InodeStore::GroupCommitScope::Finish() {
       RGPD_METRIC_COUNT_N("inodefs.group_commit.blocks",
                           store_.group_writes_.size());
       status = store_.journal_.AppendTransaction(store_.group_writes_);
+      // Checkpoint only after the journal record is durable: a crash up
+      // to this point leaves the medium untouched by the group, a crash
+      // after it is recovered by replay. Never before — checkpointing
+      // first would expose a partially-applied group with no journal
+      // record to finish it.
+      if (status.ok() && !store_.crash_before_checkpoint_) {
+        for (const auto& [block, data] : store_.group_writes_) {
+          status = store_.DevWrite(block, data);
+          if (!status.ok()) break;
+        }
+        if (status.ok()) status = store_.DevFlush();
+        if (status.ok()) {
+          // As in Txn::Commit: the group is durably checkpointed, so its
+          // journal record (and everything older) is replay-stale.
+          store_.sb_.journal_checkpointed_seq = store_.sb_.journal_seq;
+        }
+      }
     }
     store_.group_writes_.clear();
     store_.group_write_index_.clear();
@@ -294,7 +385,7 @@ Result<Inode> InodeStore::LoadInode(InodeId id, Txn* txn) const {
   if (txn != nullptr) {
     RGPD_ASSIGN_OR_RETURN(block, txn->ReadBlock(InodeBlock(id)));
   } else {
-    RGPD_RETURN_IF_ERROR(device_->ReadBlock(InodeBlock(id), block));
+    RGPD_RETURN_IF_ERROR(ReadBlockCoherent(InodeBlock(id), block));
   }
   return Inode::Decode(
       ByteSpan(block.data() + InodeOffset(id), kInodeDiskSize));
@@ -455,7 +546,7 @@ Result<std::vector<BlockIndex>> InodeStore::ListDataBlocks(
   }
   const auto list_single = [&](BlockIndex indirect) -> Status {
     Bytes image;
-    RGPD_RETURN_IF_ERROR(device_->ReadBlock(indirect, image));
+    RGPD_RETURN_IF_ERROR(ReadBlockCoherent(indirect, image));
     for (std::uint64_t i = 0; i < ppb; ++i) {
       const BlockIndex b = ReadPointer(image, i);
       if (b != 0) out.push_back(b);
@@ -468,7 +559,7 @@ Result<std::vector<BlockIndex>> InodeStore::ListDataBlocks(
   }
   if (inode.double_indirect != 0) {
     Bytes outer;
-    RGPD_RETURN_IF_ERROR(device_->ReadBlock(inode.double_indirect, outer));
+    RGPD_RETURN_IF_ERROR(ReadBlockCoherent(inode.double_indirect, outer));
     for (std::uint64_t i = 0; i < ppb; ++i) {
       const BlockIndex inner = ReadPointer(outer, i);
       if (inner != 0) {
@@ -506,7 +597,7 @@ Result<Bytes> InodeStore::ReadAt(InodeId id, std::uint64_t offset,
         inode, file_block, /*allocate=*/false, txn);
     if (mapped.ok()) {
       RGPD_METRIC_COUNT("inodefs.block.reads");
-      RGPD_RETURN_IF_ERROR(device_->ReadBlock(*mapped, block));
+      RGPD_RETURN_IF_ERROR(ReadBlockCoherent(*mapped, block));
       out.insert(out.end(), block.begin() + in_block,
                  block.begin() + in_block + take);
     } else {

@@ -35,6 +35,17 @@ class InodeStore {
     /// split sensitive-PD store gets kInodefsSensitive so DBFS can nest
     /// its writes inside a primary-store group-commit scope.
     metrics::LockRank lock_rank = metrics::LockRank::kInodefs;
+    /// Bounded retry for transient device IO errors (kIoError only;
+    /// kCrashed is permanent). Applies to every device access the store
+    /// or its journal makes. RetryPolicy::None() disables.
+    RetryPolicy io_retry;
+  };
+
+  /// What Mount()'s journal replay recovered (inodefs.recovery.* metrics
+  /// mirror this; the crash harness and bench_recovery read it directly).
+  struct RecoveryReport {
+    ReplayStats replay;
+    std::uint64_t checkpointed_blocks = 0;  ///< replayed writes applied
   };
 
   /// Format a fresh device and mount it.
@@ -42,23 +53,28 @@ class InodeStore {
       blockdev::BlockDevice* device, const Options& options,
       const Clock* clock);
 
-  /// Mount an existing device: reads the superblock and replays the
-  /// journal (committed transactions are re-applied in place).
+  /// Mount an existing device: reads the superblock, replays the journal
+  /// (committed transactions are re-applied in place and flushed), and
+  /// fills last_recovery(). Torn or incomplete journal transactions are
+  /// discarded, never partially applied.
   static Result<std::unique_ptr<InodeStore>> Mount(
       blockdev::BlockDevice* device, const Clock* clock,
-      metrics::LockRank lock_rank = metrics::LockRank::kInodefs);
+      metrics::LockRank lock_rank = metrics::LockRank::kInodefs,
+      const RetryPolicy& io_retry = RetryPolicy{});
 
   /// RAII journal group commit. While a scope is alive the calling
   /// thread owns the store (the scope holds the store mutex — recursion
   /// lets public methods re-enter) and every transaction committed
-  /// inside it stages its journal record into a group buffer instead of
-  /// appending immediately; the scope's destructor (or Finish(), when
-  /// the caller wants the status) writes ONE combined journal
-  /// transaction. In-place writes still happen per-transaction, so reads
-  /// inside the scope observe them. This trades crash atomicity
-  /// granularity (the whole group replays or none of its journal copy
-  /// does) for one journal IO per multi-txn operation — DBFS Put commits
-  /// 7 transactions and is the intended customer.
+  /// inside it stages both its journal record and its in-place writes
+  /// into a group buffer instead of touching the device; the scope's
+  /// destructor (or Finish(), when the caller wants the status) writes
+  /// ONE combined journal transaction and only then checkpoints the
+  /// staged blocks in place — write-ahead ordering, so a crash anywhere
+  /// inside the scope leaves either the whole group (replayable from the
+  /// journal) or none of it. Reads inside the scope see staged writes
+  /// via ReadBlockCoherent. This trades crash atomicity granularity for
+  /// one journal IO per multi-txn operation — DBFS Put commits 7
+  /// transactions and is the intended customer.
   class GroupCommitScope {
    public:
     explicit GroupCommitScope(InodeStore& store);
@@ -111,6 +127,10 @@ class InodeStore {
   [[nodiscard]] std::uint64_t FreeBlockCount() const;
   [[nodiscard]] std::uint64_t FreeInodeCount() const;
   [[nodiscard]] const Journal& journal() const { return journal_; }
+  /// Journal-recovery outcome of Mount(); zeros for a Format()ed store.
+  [[nodiscard]] const RecoveryReport& last_recovery() const {
+    return recovery_;
+  }
 
   /// Test hook: when set, transactions are journaled but NOT written in
   /// place — simulating a crash between commit and checkpoint. A
@@ -124,7 +144,17 @@ class InodeStore {
 
  private:
   InodeStore(blockdev::BlockDevice* device, Superblock sb, const Clock* clock,
-             bool journal_enabled, metrics::LockRank lock_rank);
+             bool journal_enabled, metrics::LockRank lock_rank,
+             const RetryPolicy& io_retry);
+
+  // Device access with bounded transient-error retry (see io_retry.hpp).
+  Status DevRead(BlockIndex index, Bytes& out) const;
+  Status DevWrite(BlockIndex index, ByteSpan data);
+  Status DevFlush();
+  /// DevRead that first consults the group-commit staging buffer, so
+  /// reads inside a GroupCommitScope observe the scope's own writes
+  /// (which stay off the device until the group journal record commits).
+  Status ReadBlockCoherent(BlockIndex index, Bytes& out) const;
 
   /// A buffered transaction: block images staged in memory, then logged
   /// to the journal and checkpointed in place atomically.
@@ -168,6 +198,8 @@ class InodeStore {
   Superblock sb_;
   const Clock* clock_;             // borrowed
   Journal journal_;
+  RetryPolicy io_retry_;
+  RecoveryReport recovery_;
   bool journal_enabled_;
   bool crash_before_checkpoint_ = false;
   std::vector<std::uint64_t> bitmap_;  // 1 bit per device block

@@ -1,0 +1,53 @@
+// Bounded retry-with-backoff for transient device IO errors.
+//
+// Real media fail transiently (bus resets, controller hiccups); the
+// simulated fault-injecting device reproduces that class as one-shot
+// kIoError results. inodefs wraps every device operation in RetryIo so a
+// transient blip never aborts a journal commit or a checkpoint. Only
+// kIoError is retried: kCrashed (power gone) and every other code are
+// permanent and propagate immediately. Retries and their outcomes are
+// counted under inodefs.io.* metrics.
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/status.hpp"
+#include "metrics/metrics.hpp"
+
+namespace rgpdos::inodefs {
+
+struct RetryPolicy {
+  /// Total attempts (first try included). 1 disables retrying.
+  int max_attempts = 4;
+  /// Sleep before the first retry; doubles per subsequent retry. 0 spins.
+  std::uint64_t backoff_ns = 20'000;
+
+  static RetryPolicy None() { return {1, 0}; }
+};
+
+template <typename Fn>
+Status RetryIo(const RetryPolicy& policy, Fn&& fn) {
+  Status status = std::forward<Fn>(fn)();
+  std::uint64_t backoff = policy.backoff_ns;
+  for (int attempt = 1;
+       attempt < policy.max_attempts && status.code() == StatusCode::kIoError;
+       ++attempt) {
+    RGPD_METRIC_COUNT("inodefs.io.retries");
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      backoff *= 2;
+    }
+    status = fn();
+    if (status.ok()) {
+      RGPD_METRIC_COUNT("inodefs.io.retry_recoveries");
+    }
+  }
+  if (status.code() == StatusCode::kIoError) {
+    RGPD_METRIC_COUNT("inodefs.io.retry_exhausted");
+  }
+  return status;
+}
+
+}  // namespace rgpdos::inodefs

@@ -17,6 +17,9 @@ constexpr std::uint8_t kKindCommit = 2;
 // magic u32 | seq u64 | kind u8 | target u64 | payload_len u32
 constexpr std::size_t kHeaderSize = 4 + 8 + 1 + 8 + 4;
 constexpr std::size_t kCrcSize = 4;
+// The commit record's payload: u32 count of the transaction's data
+// records. Replay discards commits whose recovered record count differs.
+constexpr std::size_t kCommitPayloadSize = 4;
 
 }  // namespace
 
@@ -33,7 +36,10 @@ Status Journal::WriteRecord(std::uint64_t seq, std::uint8_t kind,
   }
   // Head is a block offset within the region; wrap if the record does
   // not fit in the tail (old records there are simply overwritten later).
+  // Wrapping starts destroying old records, so the checkpoint watermark
+  // covering them must reach the medium first (see PersistSuperblock).
   if (sb_.journal_head + blocks_needed > sb_.journal_blocks) {
+    RGPD_RETURN_IF_ERROR(PersistSuperblock());
     sb_.journal_head = 0;
   }
 
@@ -51,9 +57,11 @@ Status Journal::WriteRecord(std::uint64_t seq, std::uint8_t kind,
   image.resize(blocks_needed * sb_.block_size, 0);
   for (std::uint64_t i = 0; i < blocks_needed; ++i) {
     const BlockIndex device_block = sb_.journal_start + sb_.journal_head + i;
-    RGPD_RETURN_IF_ERROR(device_.WriteBlock(
-        device_block,
-        ByteSpan(image.data() + i * sb_.block_size, sb_.block_size)));
+    RGPD_RETURN_IF_ERROR(RetryIo(retry_, [&] {
+      return device_.WriteBlock(
+          device_block,
+          ByteSpan(image.data() + i * sb_.block_size, sb_.block_size));
+    }));
   }
   sb_.journal_head += blocks_needed;
   bytes_logged_ += image.size();
@@ -63,30 +71,63 @@ Status Journal::WriteRecord(std::uint64_t seq, std::uint8_t kind,
 Status Journal::AppendTransaction(
     const std::vector<std::pair<BlockIndex, Bytes>>& writes) {
   RGPD_METRIC_SCOPED_LATENCY("inodefs.journal.commit_latency_ns");
+  // Refuse transactions larger than the whole region: the head would wrap
+  // over this transaction's OWN earlier records mid-append, and the commit
+  // would then be discarded at replay as incomplete — silent data loss.
+  std::uint64_t total_blocks = RecordBlocks(kCommitPayloadSize);
+  for (const auto& [block, data] : writes) {
+    (void)block;
+    total_blocks += RecordBlocks(data.size());
+  }
+  if (total_blocks > sb_.journal_blocks) {
+    return ResourceExhausted("transaction larger than the journal region");
+  }
   const std::uint64_t before = bytes_logged_;
   const std::uint64_t seq = sb_.journal_seq++;
   for (const auto& [block, data] : writes) {
     RGPD_RETURN_IF_ERROR(WriteRecord(seq, kKindData, block, data));
   }
-  RGPD_RETURN_IF_ERROR(WriteRecord(seq, kKindCommit, 0, ByteSpan{}));
+  ByteWriter commit(kCommitPayloadSize);
+  commit.PutU32(static_cast<std::uint32_t>(writes.size()));
+  RGPD_RETURN_IF_ERROR(
+      WriteRecord(seq, kKindCommit, 0, ByteSpan(commit.buffer())));
   RGPD_METRIC_COUNT("inodefs.journal.commits");
   RGPD_METRIC_COUNT_N("inodefs.journal.bytes", bytes_logged_ - before);
-  return device_.Flush();
+  return RetryIo(retry_, [&] { return device_.Flush(); });
+}
+
+Status Journal::PersistSuperblock() {
+  Bytes block;
+  RGPD_RETURN_IF_ERROR(
+      RetryIo(retry_, [&] { return device_.ReadBlock(0, block); }));
+  sb_.EncodeInto(block);
+  RGPD_RETURN_IF_ERROR(RetryIo(
+      retry_, [&] { return device_.WriteBlock(0, block); }));
+  // The superblock must be durable BEFORE any old record is destroyed;
+  // a write sitting in a volatile disk cache protects nothing.
+  return RetryIo(retry_, [&] { return device_.Flush(); });
 }
 
 Result<std::vector<ReplayedWrite>> Journal::Replay() {
   struct PendingTxn {
     std::vector<ReplayedWrite> writes;
     bool committed = false;
+    std::uint64_t expected_writes = 0;  // from the commit record
     std::uint64_t end_block = 0;  // region-relative block after the commit
   };
   std::map<std::uint64_t, PendingTxn> txns;
+  replay_stats_ = ReplayStats{};
+  // Transactions below the persisted watermark are durably in place;
+  // re-applying their (older) block images would revert newer in-place
+  // state whose own journal records were wrapped over or scrubbed.
+  const std::uint64_t checkpointed = sb_.journal_checkpointed_seq;
 
   Bytes block;
   std::uint64_t offset = 0;
   while (offset < sb_.journal_blocks) {
-    RGPD_RETURN_IF_ERROR(
-        device_.ReadBlock(sb_.journal_start + offset, block));
+    RGPD_RETURN_IF_ERROR(RetryIo(retry_, [&] {
+      return device_.ReadBlock(sb_.journal_start + offset, block);
+    }));
     ByteReader header(block);
     auto magic = header.GetU32();
     if (!magic.ok() || *magic != kRecordMagic) {
@@ -98,11 +139,13 @@ Result<std::vector<ReplayedWrite>> Journal::Replay() {
     auto target = header.GetU64();
     auto payload_len = header.GetU32();
     if (!seq.ok() || !kind.ok() || !target.ok() || !payload_len.ok()) {
+      ++replay_stats_.corrupt_records;
       ++offset;
       continue;
     }
     const std::uint64_t blocks = RecordBlocks(*payload_len);
     if (offset + blocks > sb_.journal_blocks) {
+      ++replay_stats_.corrupt_records;
       ++offset;
       continue;
     }
@@ -112,12 +155,14 @@ Result<std::vector<ReplayedWrite>> Journal::Replay() {
     image.insert(image.end(), block.begin(), block.end());
     for (std::uint64_t i = 1; i < blocks; ++i) {
       Bytes next;
-      RGPD_RETURN_IF_ERROR(
-          device_.ReadBlock(sb_.journal_start + offset + i, next));
+      RGPD_RETURN_IF_ERROR(RetryIo(retry_, [&] {
+        return device_.ReadBlock(sb_.journal_start + offset + i, next);
+      }));
       image.insert(image.end(), next.begin(), next.end());
     }
     const std::size_t record_size = kHeaderSize + *payload_len + kCrcSize;
     if (record_size > image.size()) {
+      ++replay_stats_.corrupt_records;
       ++offset;
       continue;
     }
@@ -127,6 +172,7 @@ Result<std::vector<ReplayedWrite>> Journal::Replay() {
     const std::uint32_t computed_crc =
         Crc32(ByteSpan(image.data(), record_size - kCrcSize));
     if (stored_crc != computed_crc) {
+      ++replay_stats_.corrupt_records;
       ++offset;
       continue;
     }
@@ -140,7 +186,17 @@ Result<std::vector<ReplayedWrite>> Journal::Replay() {
                         image.begin() + kHeaderSize + *payload_len);
       txn.writes.push_back(std::move(write));
     } else if (*kind == kKindCommit) {
+      if (*payload_len != kCommitPayloadSize) {
+        // Malformed commit (CRC fine but wrong shape): treat as corrupt
+        // rather than guessing a count.
+        ++replay_stats_.corrupt_records;
+        offset += blocks;
+        continue;
+      }
+      ByteReader payload(
+          ByteSpan(image.data() + kHeaderSize, kCommitPayloadSize));
       txn.committed = true;
+      txn.expected_writes = *payload.GetU32();
       txn.end_block = offset + blocks;
     }
     offset += blocks;
@@ -148,13 +204,44 @@ Result<std::vector<ReplayedWrite>> Journal::Replay() {
 
   std::vector<ReplayedWrite> out;
   std::uint64_t resume_head = 0;
+  std::uint64_t best_seq = 0;
+  bool any_committed = false;
   std::uint64_t max_seq = sb_.journal_seq;
   for (auto& [seq, txn] : txns) {
     max_seq = std::max(max_seq, seq + 1);
-    if (!txn.committed) continue;  // torn transaction: discard
-    resume_head = std::max(resume_head, txn.end_block);
+    if (!txn.committed) {
+      // Torn transaction (crash between data records and commit): discard.
+      ++replay_stats_.torn_txns;
+      continue;
+    }
+    // Resume after the NEWEST committed transaction, stale or not. An
+    // older (already checkpointed) transaction can sit at a higher block
+    // offset when the newer one wrapped to the region start; resuming
+    // past the older one would overwrite the newest records while
+    // leaving stale ones in the region.
+    if (!any_committed || seq > best_seq) {
+      best_seq = seq;
+      resume_head = txn.end_block;
+      any_committed = true;
+    }
+    if (seq < checkpointed) {
+      // Already durably checkpointed — deliberately retained history
+      // (the Fig-2 leak experiment), never re-applied.
+      ++replay_stats_.stale_txns;
+      continue;
+    }
+    if (txn.writes.size() != txn.expected_writes) {
+      // Commit present but data records missing — a mid-transaction wrap
+      // overwrote them (or their blocks were torn). Applying the partial
+      // set would surface exactly the partially-applied-transaction state
+      // journaling exists to prevent; discard the whole transaction.
+      ++replay_stats_.incomplete_txns;
+      continue;
+    }
+    ++replay_stats_.committed_txns;
     for (ReplayedWrite& w : txn.writes) out.push_back(std::move(w));
   }
+  replay_stats_.replayed_writes = out.size();
   sb_.journal_head = resume_head;
   sb_.journal_seq = max_seq;
   return out;
@@ -163,15 +250,20 @@ Result<std::vector<ReplayedWrite>> Journal::Replay() {
 Status Journal::Scrub() {
   RGPD_METRIC_COUNT("inodefs.journal.scrubs");
   RGPD_METRIC_SCOPED_LATENCY("inodefs.journal.scrub_latency_ns");
+  // A scrub interrupted by a crash leaves a partially zeroed region: the
+  // surviving tail records must never be replayed (they are the OLDEST
+  // part of the history). Persist the watermark covering them first.
+  RGPD_RETURN_IF_ERROR(PersistSuperblock());
   const Bytes zero(sb_.block_size, 0);
   for (std::uint64_t i = 0; i < sb_.journal_blocks; ++i) {
-    RGPD_RETURN_IF_ERROR(device_.WriteBlock(sb_.journal_start + i, zero));
+    RGPD_RETURN_IF_ERROR(RetryIo(
+        retry_, [&] { return device_.WriteBlock(sb_.journal_start + i, zero); }));
     // A cached journal block would keep the pre-scrub history readable;
     // drop it along with the on-medium bytes.
     device_.InvalidateCached(sb_.journal_start + i);
   }
   sb_.journal_head = 0;
-  return device_.Flush();
+  return RetryIo(retry_, [&] { return device_.Flush(); });
 }
 
 }  // namespace rgpdos::inodefs

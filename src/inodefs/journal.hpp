@@ -12,6 +12,14 @@
 // bytes recoverable from this region after a DB-level delete. rgpdOS's
 // DBFS erasure path calls Scrub() to destroy the history; the baseline
 // never does.
+//
+// Record format (little-endian, CRC over header+payload):
+//   magic u32 | seq u64 | kind u8 | target u64 | payload_len u32 |
+//   payload | crc u32
+// Data records carry the block image as payload; the commit record's
+// payload is the transaction's data-record count, so Replay can tell a
+// complete transaction from one whose earlier records were overwritten
+// by a mid-transaction wrap (such a commit is discarded as torn).
 #pragma once
 
 #include <utility>
@@ -21,6 +29,7 @@
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "inodefs/format.hpp"
+#include "inodefs/io_retry.hpp"
 
 namespace rgpdos::inodefs {
 
@@ -29,6 +38,20 @@ struct ReplayedWrite {
   std::uint64_t seq = 0;
   BlockIndex block = 0;
   Bytes data;
+};
+
+/// What the last Replay() saw while scanning the region — the
+/// inodefs.recovery.* metrics and the crash harness read this.
+struct ReplayStats {
+  std::uint64_t committed_txns = 0;    ///< applied
+  std::uint64_t torn_txns = 0;         ///< data records without a commit
+  std::uint64_t incomplete_txns = 0;   ///< committed but records missing
+                                       ///< (mid-transaction wrap clobber)
+  std::uint64_t stale_txns = 0;        ///< committed but already durably
+                                       ///< checkpointed (seq below the
+                                       ///< superblock watermark) — skipped
+  std::uint64_t corrupt_records = 0;   ///< bad CRC / truncated record
+  std::uint64_t replayed_writes = 0;
 };
 
 class Journal {
@@ -42,16 +65,28 @@ class Journal {
   Journal(blockdev::BlockDevice& device, Superblock& superblock)
       : device_(device), sb_(superblock) {}
 
+  /// Transient-IO retry policy for every device access the journal makes.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
   /// Log a whole transaction (data records + commit record) and flush.
   /// Fails with ResourceExhausted if the transaction cannot fit in the
-  /// journal region even when empty.
+  /// journal region even when empty — committing it anyway would wrap
+  /// over the transaction's own records and guarantee a torn replay.
   Status AppendTransaction(
       const std::vector<std::pair<BlockIndex, Bytes>>& writes);
 
   /// Scan the region for committed transactions; returns their block
   /// writes ordered by (seq, log position). Also repositions the head
-  /// after the highest committed record so appends resume safely.
+  /// after the HIGHEST-SEQ committed transaction (not the highest block
+  /// offset: after a wrap the newest commit sits at a LOWER offset than
+  /// older, already-checkpointed transactions) so appends resume without
+  /// overwriting the freshest records.
   Result<std::vector<ReplayedWrite>> Replay();
+
+  /// What the last Replay() found. Valid after Replay() returns OK.
+  [[nodiscard]] const ReplayStats& last_replay() const {
+    return replay_stats_;
+  }
 
   /// Zero the entire journal region (GDPR scrub). Head resets to 0;
   /// sequence numbers keep increasing so replay ordering stays sound.
@@ -66,10 +101,18 @@ class Journal {
   [[nodiscard]] std::uint64_t RecordBlocks(std::size_t payload_size) const;
   Status WriteRecord(std::uint64_t seq, std::uint8_t kind, BlockIndex target,
                      ByteSpan payload);
+  /// Durably persist the superblock (checkpoint watermark included).
+  /// Called before the head wraps and before a scrub: both destroy old
+  /// records, which is only safe once the medium provably knows they are
+  /// checkpointed — otherwise a later Replay would re-apply surviving
+  /// STALE records and revert blocks whose newest images were destroyed.
+  Status PersistSuperblock();
 
   blockdev::BlockDevice& device_;
   Superblock& sb_;
+  RetryPolicy retry_;
   std::uint64_t bytes_logged_ = 0;
+  ReplayStats replay_stats_;
 };
 
 }  // namespace rgpdos::inodefs

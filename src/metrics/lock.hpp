@@ -18,6 +18,9 @@
 //   kDbfsRecordCache (49) decoded-record cache shards (in-memory only)
 //   kInodefs (40)         primary/NPD InodeStore (recursive: group commit)
 //   kInodefsSensitive (39) split sensitive-PD InodeStore
+//   kFaultInject (25)     fault-injecting device decorator (crash state +
+//                         volatile write-back buffer). Above the raw device
+//                         it forwards to, below every store.
 //   kBlockdev (20)        simulated block device storage + stats
 //   kBlockCache (15)      block-cache LRU shards. Deliberately BELOW the
 //                         device: a shard lock is never held across inner
@@ -56,6 +59,7 @@ enum class LockRank : int {
   kCryptoRng = 10,
   kBlockCache = 15,
   kBlockdev = 20,
+  kFaultInject = 25,
   kInodefsSensitive = 39,
   kInodefs = 40,
   kDbfsRecordCache = 49,

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "blockdev/block_device.hpp"
+#include "blockdev/fault_injection.hpp"
 #include "blockdev/file_block_device.hpp"
 #include "blockdev/latency_model.hpp"
 #include "blockdev/traffic_recorder.hpp"
@@ -130,6 +131,142 @@ TEST(FileBlockDeviceTest, PersistsAcrossReopen) {
     EXPECT_EQ(out, BlockOf(512, 0x00));
   }
   std::remove(path.c_str());
+}
+
+// ---- fault injection --------------------------------------------------------
+
+TEST(FaultInjectionTest, CrashAtWriteNFailsThatAndAllLaterIo) {
+  MemBlockDevice inner(512, 32);
+  FaultPlan plan;
+  plan.crash_at_write = 3;
+  FaultInjectingBlockDevice fault(&inner, plan);
+
+  ASSERT_TRUE(fault.WriteBlock(1, BlockOf(512, 0x11)).ok());
+  ASSERT_TRUE(fault.WriteBlock(2, BlockOf(512, 0x22)).ok());
+  EXPECT_EQ(fault.WriteBlock(3, BlockOf(512, 0x33)).code(),
+            StatusCode::kCrashed);
+  EXPECT_TRUE(fault.crashed());
+
+  // Everything after the crash is rejected until a power cycle.
+  Bytes out;
+  EXPECT_EQ(fault.ReadBlock(1, out).code(), StatusCode::kCrashed);
+  EXPECT_EQ(fault.WriteBlock(4, BlockOf(512, 0x44)).code(),
+            StatusCode::kCrashed);
+  EXPECT_EQ(fault.Flush().code(), StatusCode::kCrashed);
+  EXPECT_GE(fault.fault_stats().crashed_rejections, 3u);
+
+  // The medium keeps what was written before the crash; the crashing
+  // write (torn_bytes = 0) left nothing.
+  ASSERT_TRUE(inner.ReadBlock(1, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x11));
+  ASSERT_TRUE(inner.ReadBlock(3, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x00));
+
+  fault.PowerCycle();
+  EXPECT_FALSE(fault.crashed());
+  ASSERT_TRUE(fault.ReadBlock(1, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x11));
+}
+
+TEST(FaultInjectionTest, TornWritePersistsOnlyPrefix) {
+  MemBlockDevice inner(512, 32);
+  FaultPlan plan;
+  plan.crash_at_write = 1;
+  plan.torn_bytes = 100;
+  FaultInjectingBlockDevice fault(&inner, plan);
+
+  ASSERT_TRUE(inner.WriteBlock(5, BlockOf(512, 0xEE)).ok());
+  EXPECT_EQ(fault.WriteBlock(5, BlockOf(512, 0x77)).code(),
+            StatusCode::kCrashed);
+  EXPECT_EQ(fault.fault_stats().torn_writes, 1u);
+
+  // First 100 bytes are new, the rest keeps the old image.
+  Bytes out;
+  ASSERT_TRUE(inner.ReadBlock(5, out).ok());
+  for (std::size_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(out[i], i < 100 ? 0x77 : 0xEE) << "byte " << i;
+  }
+}
+
+TEST(FaultInjectionTest, WriteBackBufferDropsUnflushedOnCrash) {
+  MemBlockDevice inner(512, 32);
+  FaultPlan plan;
+  plan.volatile_write_back = true;
+  FaultInjectingBlockDevice fault(&inner, plan);
+
+  // Unflushed write: visible through the device (read-your-writes), but
+  // not yet on the medium.
+  ASSERT_TRUE(fault.WriteBlock(1, BlockOf(512, 0x11)).ok());
+  Bytes out;
+  ASSERT_TRUE(fault.ReadBlock(1, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x11));
+  ASSERT_TRUE(inner.ReadBlock(1, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x00));
+
+  // Flush drains the buffer to the medium.
+  ASSERT_TRUE(fault.Flush().ok());
+  ASSERT_TRUE(inner.ReadBlock(1, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x11));
+
+  // A post-flush write sits in the buffer again; the crash discards it.
+  ASSERT_TRUE(fault.WriteBlock(2, BlockOf(512, 0x22)).ok());
+  fault.Crash();
+  EXPECT_EQ(fault.fault_stats().dropped_blocks, 1u);
+  fault.PowerCycle();
+  ASSERT_TRUE(fault.ReadBlock(2, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x00));  // lost: never flushed
+  ASSERT_TRUE(fault.ReadBlock(1, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x11));  // survived: flushed before crash
+}
+
+TEST(FaultInjectionTest, TransientErrorsFailOnceThenSucceed) {
+  MemBlockDevice inner(512, 32);
+  FaultPlan plan;
+  plan.transient_error_every = 3;
+  FaultInjectingBlockDevice fault(&inner, plan);
+
+  // IOs 1,2 fine; IO 3 fails once; the retry (IO counter advances past
+  // the faulty index) succeeds.
+  Bytes out;
+  ASSERT_TRUE(fault.ReadBlock(0, out).ok());
+  ASSERT_TRUE(fault.WriteBlock(1, BlockOf(512, 0x11)).ok());
+  EXPECT_EQ(fault.WriteBlock(2, BlockOf(512, 0x22)).code(),
+            StatusCode::kIoError);
+  ASSERT_TRUE(fault.WriteBlock(2, BlockOf(512, 0x22)).ok());
+  EXPECT_GE(fault.fault_stats().transient_errors, 1u);
+  ASSERT_TRUE(inner.ReadBlock(2, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x22));
+}
+
+TEST(FaultInjectionTest, BitFlipCorruptsExactlyOneBit) {
+  MemBlockDevice inner(512, 32);
+  FaultPlan plan;
+  plan.bit_flip_at_write = 2;
+  plan.seed = 42;
+  FaultInjectingBlockDevice fault(&inner, plan);
+
+  ASSERT_TRUE(fault.WriteBlock(1, BlockOf(512, 0x00)).ok());
+  ASSERT_TRUE(fault.WriteBlock(2, BlockOf(512, 0x00)).ok());  // flipped
+  EXPECT_EQ(fault.fault_stats().bit_flips, 1u);
+
+  Bytes out;
+  ASSERT_TRUE(inner.ReadBlock(2, out).ok());
+  int set_bits = 0;
+  for (std::uint8_t byte : out) set_bits += __builtin_popcount(byte);
+  EXPECT_EQ(set_bits, 1);
+  ASSERT_TRUE(inner.ReadBlock(1, out).ok());
+  EXPECT_EQ(out, BlockOf(512, 0x00));
+}
+
+TEST(FaultInjectionTest, FromSeedIsDeterministicAndBounded) {
+  const FaultPlan a = FaultPlan::FromSeed(7, 100);
+  const FaultPlan b = FaultPlan::FromSeed(7, 100);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_GE(a.crash_at_write, 1u);
+  EXPECT_LE(a.crash_at_write, 100u);
+  EXPECT_EQ(a.bit_flip_at_write, 0u);  // excluded by design
+  const FaultPlan c = FaultPlan::FromSeed(8, 100);
+  EXPECT_NE(a.ToString(), c.ToString());
 }
 
 }  // namespace

@@ -319,5 +319,149 @@ TEST_F(InodeStoreTest, FreeInodeChecksRange) {
             StatusCode::kInvalidArgument);
 }
 
+// ---- journal regression tests ----------------------------------------------
+//
+// Direct Journal-level scenarios with a tiny 8-block region where the
+// geometry is exact: a 512-byte-payload data record is 2 blocks, a
+// commit record 1 block, so a one-write transaction occupies 3 blocks.
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<blockdev::MemBlockDevice>(512, 2048);
+    auto sb = Superblock::Plan(512, 2048, 16, 8);
+    ASSERT_TRUE(sb.ok()) << sb.status().ToString();
+    sb_ = *sb;
+  }
+
+  /// A full-block payload with a distinctive fill byte.
+  Bytes Block(std::uint8_t fill) { return Bytes(512, fill); }
+
+  std::unique_ptr<blockdev::MemBlockDevice> device_;
+  Superblock sb_;
+};
+
+TEST_F(JournalTest, WrapResumeHeadTracksHighestSeqCommit) {
+  Journal journal(*device_, sb_);
+  const BlockIndex x = sb_.data_start;
+  const BlockIndex y = sb_.data_start + 1;
+  // A: blocks 0-2, B: blocks 3-5. C's data record fits exactly in 6-7,
+  // but its commit wraps to block 0, clobbering A's data record.
+  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0xA1)}}).ok());
+  ASSERT_TRUE(journal.AppendTransaction({{y, Block(0xB1)}}).ok());
+  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0xC1)}}).ok());
+  ASSERT_EQ(sb_.journal_head, 1u);
+
+  auto writes = journal.Replay();
+  ASSERT_TRUE(writes.ok()) << writes.status().ToString();
+  // A's commit survived (block 2) but its data record did not: discarded
+  // as incomplete. B and C replay in seq order.
+  ASSERT_EQ(writes->size(), 2u);
+  EXPECT_EQ((*writes)[0].block, y);
+  EXPECT_EQ((*writes)[0].data, Block(0xB1));
+  EXPECT_EQ((*writes)[1].block, x);
+  EXPECT_EQ((*writes)[1].data, Block(0xC1));
+  EXPECT_EQ(journal.last_replay().incomplete_txns, 1u);
+  // Regression (resume-head bug): the head must resume after C — the
+  // HIGHEST-SEQ commit, at region block 1 — not after B, whose commit
+  // sits at the higher block offset 6. Resuming at 6 would let the next
+  // append overwrite C while B's stale record stayed replayable.
+  EXPECT_EQ(sb_.journal_head, 1u);
+  EXPECT_EQ(sb_.journal_seq, 3u);
+}
+
+TEST_F(JournalTest, CommittedTxnWithMissingRecordsIsDiscarded) {
+  Journal journal(*device_, sb_);
+  const BlockIndex x = sb_.data_start;
+  // A: three data records + commit = 7 blocks (0-6).
+  ASSERT_TRUE(journal
+                  .AppendTransaction({{x, Block(0xA1)},
+                                      {x + 1, Block(0xA2)},
+                                      {x + 2, Block(0xA3)}})
+                  .ok());
+  // B: 3 blocks, wraps to 0-2 and clobbers A's first record (and the
+  // head of its second).
+  ASSERT_TRUE(journal.AppendTransaction({{x + 3, Block(0xB1)}}).ok());
+
+  auto writes = journal.Replay();
+  ASSERT_TRUE(writes.ok()) << writes.status().ToString();
+  // Regression (commit-count bug): A's commit record survived with a
+  // valid CRC, but only one of its three data records did. Replaying the
+  // partial set would surface a partially-applied transaction; the whole
+  // of A must be discarded and only B applied.
+  ASSERT_EQ(writes->size(), 1u);
+  EXPECT_EQ((*writes)[0].block, x + 3);
+  EXPECT_EQ((*writes)[0].data, Block(0xB1));
+  EXPECT_EQ(journal.last_replay().incomplete_txns, 1u);
+  EXPECT_EQ(journal.last_replay().committed_txns, 1u);
+}
+
+TEST_F(JournalTest, OversizedTransactionIsRefused) {
+  Journal journal(*device_, sb_);
+  const BlockIndex x = sb_.data_start;
+  // 4 writes = 4*2 + 1 = 9 blocks > the 8-block region: committing this
+  // would wrap over the transaction's own records mid-append.
+  EXPECT_EQ(journal
+                .AppendTransaction({{x, Block(1)},
+                                    {x + 1, Block(2)},
+                                    {x + 2, Block(3)},
+                                    {x + 3, Block(4)}})
+                .code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(journal.bytes_logged(), 0u);
+}
+
+TEST_F(JournalTest, StaleCheckpointedTxnsAreNotReplayed) {
+  Journal journal(*device_, sb_);
+  const BlockIndex x = sb_.data_start;
+  // seq 0 writes "old" to X, seq 1 supersedes it with "new"; both were
+  // checkpointed in place (watermark = 2).
+  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0x0D)}}).ok());
+  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0x9E)}}).ok());
+  ASSERT_TRUE(device_->WriteBlock(x, Block(0x9E)).ok());
+  sb_.journal_checkpointed_seq = 2;
+  // Destroy seq 1's records (an interrupted scrub or a later wrap): only
+  // the STALE seq-0 transaction survives in the region.
+  const Bytes zero(512, 0);
+  for (std::uint64_t b = 3; b < 6; ++b) {
+    ASSERT_TRUE(device_->WriteBlock(sb_.journal_start + b, zero).ok());
+  }
+
+  auto writes = journal.Replay();
+  ASSERT_TRUE(writes.ok()) << writes.status().ToString();
+  // Regression (stale-replay reversion bug): re-applying the surviving
+  // seq-0 record would revert X from "new" back to "old" even though
+  // both transactions were already durably in place.
+  EXPECT_TRUE(writes->empty());
+  EXPECT_EQ(journal.last_replay().stale_txns, 1u);
+  Bytes in_place;
+  ASSERT_TRUE(device_->ReadBlock(x, in_place).ok());
+  EXPECT_EQ(in_place, Block(0x9E));
+}
+
+TEST_F(JournalTest, SuperblockSurvivesTornWrite) {
+  Bytes block(512, 0);
+  sb_.journal_seq = 7;
+  sb_.EncodeInto(block);  // version 1 -> slot 1
+  sb_.journal_seq = 9;
+  sb_.EncodeInto(block);  // version 2 -> slot 0
+  auto newest = Superblock::Decode(block);
+  ASSERT_TRUE(newest.ok()) << newest.status().ToString();
+  EXPECT_EQ(newest->journal_seq, 9u);
+
+  // Tear the slot written last: Decode must fall back to the previous
+  // valid image instead of refusing to mount.
+  Bytes torn = block;
+  torn[10] ^= 0xFF;
+  auto fallback = Superblock::Decode(torn);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_EQ(fallback->journal_seq, 7u);
+
+  // Both slots destroyed -> corruption.
+  torn[kSuperblockSlotSize + 10] ^= 0xFF;
+  EXPECT_EQ(Superblock::Decode(torn).status().code(),
+            StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace rgpdos::inodefs

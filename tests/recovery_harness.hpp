@@ -1,0 +1,465 @@
+// Reusable crash-recovery harness (see DESIGN.md "Crash consistency &
+// recovery").
+//
+// Drives a deterministic mixed PD workload — inserts, a consent
+// withdrawal, a GDPR hard-delete and a crypto-erasure — against a DBFS
+// stack whose raw medium sits under a FaultInjectingBlockDevice, then
+// "reboots": remounts whatever survived on the medium through a FRESH
+// device stack (cold caches) and checks the crash-consistency
+// invariants:
+//
+//   I1  the surviving image mounts (InodeStore replay + Dbfs walk);
+//   I2  every acknowledged Put that was not later erased is fully
+//       readable with the exact row and consent state it was acked with
+//       — and an acknowledged consent withdrawal stays withdrawn;
+//   I3  an acknowledged erasure stays erased AND none of its plaintext
+//       marker bytes appear anywhere on the medium (data region or
+//       journal);
+//   I4  the operation in flight at the crash is all-or-nothing: any
+//       record beyond the acknowledged set must be complete and
+//       readable, never half-present;
+//   I5  the remounted stack accepts new writes (recovery didn't wedge
+//       the store).
+//
+// The harness is parameterised by a FaultPlan, so the same workload
+// sweeps crash-at-write-N over every write index, replays seeded CI
+// plans, and exercises the transient-error retry path. Failures embed
+// FaultPlan::ToString() so a red run is reproducible from the message.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "blockdev/block_cache.hpp"
+#include "blockdev/block_device.hpp"
+#include "blockdev/fault_injection.hpp"
+#include "common/clock.hpp"
+#include "dbfs/dbfs.hpp"
+#include "dsl/parser.hpp"
+#include "sentinel/policy.hpp"
+
+namespace rgpdos::testing {
+
+class CrashRecoveryHarness {
+ public:
+  struct Options {
+    std::uint32_t block_size = 512;
+    std::uint64_t block_count = 4096;
+    std::uint32_t inode_count = 96;
+    std::uint64_t journal_blocks = 64;
+    /// Block cache put in front of the remounted medium, proving
+    /// recovery correctness does not depend on warm caches.
+    std::uint64_t remount_cache_blocks = 64;
+  };
+
+  CrashRecoveryHarness() = default;
+  explicit CrashRecoveryHarness(Options options) : options_(options) {}
+
+  /// Fault-free run of the whole workload; returns the number of writes
+  /// the fault device saw (the sweep range for crash-at-write-N).
+  Result<std::uint64_t> CountWorkloadWrites() {
+    blockdev::MemBlockDevice medium(options_.block_size, options_.block_count);
+    RGPD_RETURN_IF_ERROR(FormatMedium(medium));
+    blockdev::FaultInjectingBlockDevice fault(&medium, blockdev::FaultPlan{});
+    Model model;
+    RGPD_RETURN_IF_ERROR(RunWorkload(fault, model));
+    return fault.fault_stats().writes_seen;
+  }
+
+  /// One full crash/recover cycle under `plan`: fresh image, workload
+  /// until completion or injected crash, remount of the surviving
+  /// medium, invariant checks. Any violation comes back as a non-OK
+  /// status whose message starts with the plan.
+  Status RunWithPlan(const blockdev::FaultPlan& plan) {
+    blockdev::MemBlockDevice medium(options_.block_size, options_.block_count);
+    if (Status s = FormatMedium(medium); !s.ok()) {
+      return Fail(plan, "format: " + s.ToString());
+    }
+
+    Model model;
+    bool crashed = false;
+    {
+      blockdev::FaultInjectingBlockDevice fault(&medium, plan);
+      const Status s = RunWorkload(fault, model);
+      if (!s.ok()) {
+        if (s.code() != StatusCode::kCrashed) {
+          return Fail(plan, "workload failed non-crashed: " + s.ToString());
+        }
+        crashed = true;
+      }
+      if (plan.crash_at_write != 0 && !crashed) {
+        return Fail(plan, "plan demanded a crash but the workload finished");
+      }
+    }  // the crashed stack is torn down: "power off"
+
+    return VerifyMedium(medium, model, plan);
+  }
+
+ private:
+  /// Expected durable state, updated only when an operation ACKS (the
+  /// call returned OK, i.e. its effects were flushed).
+  struct Model {
+    struct LiveRecord {
+      dbfs::SubjectId subject = 0;
+      std::string author;
+      std::string text;
+      std::string marker;
+      bool reading_revoked = false;
+    };
+    std::map<dbfs::RecordId, LiveRecord> live;
+    std::set<dbfs::RecordId> hard_deleted;
+    std::set<dbfs::RecordId> enveloped;
+    /// Plaintext markers that must be absent from the medium (I3).
+    std::vector<std::string> erased_markers;
+    /// Erasure in flight at the crash (0 = none). Its journal record may
+    /// have committed just before the power cut, so EITHER outcome is
+    /// legal — fully applied or fully absent — but nothing in between.
+    dbfs::RecordId pending_delete = 0;
+    dbfs::RecordId pending_envelope = 0;
+  };
+
+  static constexpr std::string_view kTypeSource = R"(
+type note {
+  fields { author: string, text: string };
+  consent { reading: all };
+  origin: subject;
+  sensitivity: medium;
+}
+)";
+
+  static Status Fail(const blockdev::FaultPlan& plan, const std::string& why) {
+    return Internal(plan.ToString() + " :: " + why);
+  }
+
+  /// Format a pristine DBFS image directly on the medium (no faults:
+  /// the sweep models crashes during operation, not during mkfs).
+  Status FormatMedium(blockdev::BlockDevice& medium) {
+    inodefs::InodeStore::Options store_options;
+    store_options.inode_count = options_.inode_count;
+    store_options.journal_blocks = options_.journal_blocks;
+    RGPD_ASSIGN_OR_RETURN(
+        auto store,
+        inodefs::InodeStore::Format(&medium, store_options, &clock_));
+    RGPD_ASSIGN_OR_RETURN(
+        auto fs, dbfs::Dbfs::Format(store.get(), &sentinel_, &clock_));
+    RGPD_ASSIGN_OR_RETURN(dsl::TypeDecl decl, dsl::ParseType(kTypeSource));
+    RGPD_RETURN_IF_ERROR(fs->CreateType(sentinel::Domain::kSysadmin, decl));
+    return store->Sync();
+  }
+
+  /// The deterministic mixed workload. Mounts the image through
+  /// `device`, applies the op sequence, acks each op into `model` as it
+  /// completes. Returns the first failure (kCrashed when the plan fired).
+  Status RunWorkload(blockdev::FaultInjectingBlockDevice& device,
+                     Model& model) {
+    const bool debug = std::getenv("RGPD_HARNESS_DEBUG") != nullptr;
+    const auto trace = [&](const char* op) {
+      if (debug) {
+        std::fprintf(stderr, "[harness] after %-12s writes_seen=%llu\n", op,
+                     static_cast<unsigned long long>(
+                         device.fault_stats().writes_seen));
+      }
+    };
+    RGPD_ASSIGN_OR_RETURN(auto store,
+                          inodefs::InodeStore::Mount(&device, &clock_));
+    RGPD_ASSIGN_OR_RETURN(auto fs,
+                          dbfs::Dbfs::Mount(store.get(), &sentinel_, &clock_));
+    RGPD_ASSIGN_OR_RETURN(dsl::TypeDecl decl, dsl::ParseType(kTypeSource));
+
+    const auto put = [&](dbfs::SubjectId subject, const std::string& author,
+                         const std::string& marker) -> Status {
+      const std::string text = "pd payload " + marker + " of " + author;
+      RGPD_ASSIGN_OR_RETURN(
+          dbfs::RecordId id,
+          fs->Put(sentinel::Domain::kDed, subject, "note",
+                  db::Row{db::Value(author), db::Value(text)},
+                  decl.DefaultMembrane(subject, clock_.Now())));
+      model.live[id] = Model::LiveRecord{subject, author, text, marker, false};
+      return Status::Ok();
+    };
+    const auto record_with_marker =
+        [&](const std::string& marker) -> dbfs::RecordId {
+      for (const auto& [id, rec] : model.live) {
+        if (rec.text.find(marker) != std::string::npos) return id;
+      }
+      return 0;
+    };
+
+    // 1-3: inserts for three subjects.
+    trace("mount");
+    RGPD_RETURN_IF_ERROR(put(1, "alice", "PD_MARKER_A1"));
+    trace("put A1");
+    RGPD_RETURN_IF_ERROR(put(2, "bob", "PD_MARKER_B1"));
+    trace("put B1");
+    RGPD_RETURN_IF_ERROR(put(3, "carol", "PD_MARKER_C1"));
+    trace("put C1");
+
+    // 4: consent withdrawal on bob's record (GDPR Art. 7(3)).
+    {
+      const dbfs::RecordId id = record_with_marker("PD_MARKER_B1");
+      RGPD_ASSIGN_OR_RETURN(
+          membrane::Membrane m,
+          fs->GetMembrane(sentinel::Domain::kDed, id));
+      m.RevokeConsent("reading");
+      RGPD_RETURN_IF_ERROR(
+          fs->UpdateMembrane(sentinel::Domain::kDed, id, m));
+      model.live[id].reading_revoked = true;
+    }
+    trace("revoke B1");
+
+    // 5: another insert.
+    RGPD_RETURN_IF_ERROR(put(1, "alice", "PD_MARKER_A2"));
+    trace("put A2");
+
+    // 6: hard-delete alice's first record (physical destruction).
+    {
+      const dbfs::RecordId id = record_with_marker("PD_MARKER_A1");
+      model.pending_delete = id;
+      RGPD_RETURN_IF_ERROR(fs->HardDelete(sentinel::Domain::kDed, id));
+      model.pending_delete = 0;
+      model.live.erase(id);
+      model.hard_deleted.insert(id);
+      model.erased_markers.emplace_back("PD_MARKER_A1");
+    }
+    trace("harddel A1");
+
+    // 7: insert after an erasure.
+    RGPD_RETURN_IF_ERROR(put(2, "bob", "PD_MARKER_B2"));
+    trace("put B2");
+
+    // 8: crypto-erase carol's record (envelope replacement).
+    {
+      const dbfs::RecordId id = record_with_marker("PD_MARKER_C1");
+      const std::string envelope = "SEALED_ENVELOPE_FOR_CAROL";
+      model.pending_envelope = id;
+      RGPD_RETURN_IF_ERROR(fs->ReplaceWithEnvelope(
+          sentinel::Domain::kDed, id,
+          ByteSpan(reinterpret_cast<const std::uint8_t*>(envelope.data()),
+                   envelope.size())));
+      model.pending_envelope = 0;
+      model.live.erase(id);
+      model.enveloped.insert(id);
+      model.erased_markers.emplace_back("PD_MARKER_C1");
+    }
+    trace("envelope C1");
+
+    // 9: final insert.
+    return put(3, "carol", "PD_MARKER_C2");
+  }
+
+  /// Remount the surviving medium through a fresh (cold) stack and check
+  /// invariants I1-I5 against the acked model.
+  Status VerifyMedium(blockdev::MemBlockDevice& medium, const Model& model,
+                      const blockdev::FaultPlan& plan) {
+    // Fresh decorators: nothing cached from before the "power loss".
+    std::unique_ptr<blockdev::BlockCacheDevice> cache;
+    blockdev::BlockDevice* dev = &medium;
+    if (options_.remount_cache_blocks != 0) {
+      cache = std::make_unique<blockdev::BlockCacheDevice>(
+          &medium, options_.remount_cache_blocks);
+      if (cache->CachedBlockCount() != 0) {
+        return Fail(plan, "remount cache did not come up cold");
+      }
+      dev = cache.get();
+    }
+
+    // I1: the image mounts.
+    auto store = inodefs::InodeStore::Mount(dev, &clock_);
+    if (!store.ok()) {
+      return Fail(plan, "InodeStore::Mount: " + store.status().ToString());
+    }
+    auto fs = dbfs::Dbfs::Mount(store->get(), &sentinel_, &clock_);
+    if (!fs.ok()) {
+      return Fail(plan, "Dbfs::Mount: " + fs.status().ToString());
+    }
+
+    // I2: acked live records are intact, byte for byte. An erasure in
+    // flight at the crash is checked separately below: its commit may
+    // have made it to the journal before the power cut.
+    for (const auto& [id, expect] : model.live) {
+      if (id == model.pending_delete || id == model.pending_envelope) {
+        continue;
+      }
+      auto rec = (*fs)->Get(sentinel::Domain::kDed, id);
+      if (!rec.ok()) {
+        return Fail(plan, "acked record " + std::to_string(id) +
+                              " unreadable: " + rec.status().ToString());
+      }
+      if (rec->erased || rec->row.size() != 2 ||
+          !rec->row[0].AsString().ok() || !rec->row[1].AsString().ok() ||
+          *rec->row[0].AsString() != expect.author ||
+          *rec->row[1].AsString() != expect.text) {
+        return Fail(plan,
+                    "acked record " + std::to_string(id) + " corrupted");
+      }
+      if (expect.reading_revoked) {
+        const auto consent = rec->membrane.consents.find("reading");
+        if (consent != rec->membrane.consents.end() &&
+            consent->second.kind != membrane::ConsentKind::kNone) {
+          return Fail(plan, "acked consent withdrawal on record " +
+                                std::to_string(id) + " resurrected");
+        }
+      }
+    }
+
+    // I3: acked erasures stay erased...
+    for (const dbfs::RecordId id : model.hard_deleted) {
+      if (auto rec = (*fs)->Get(sentinel::Domain::kDed, id); rec.ok()) {
+        return Fail(plan, "hard-deleted record " + std::to_string(id) +
+                              " readable after remount");
+      }
+    }
+    for (const dbfs::RecordId id : model.enveloped) {
+      auto rec = (*fs)->Get(sentinel::Domain::kDed, id);
+      if (rec.ok() && !rec->erased) {
+        return Fail(plan, "enveloped record " + std::to_string(id) +
+                              " resurrected as plaintext");
+      }
+    }
+    // ... and no erased plaintext byte survives anywhere on the medium
+    // (data region or journal). Scanned on the RAW device, below every
+    // cache.
+    for (const std::string& marker : model.erased_markers) {
+      RGPD_ASSIGN_OR_RETURN(bool found, MediumContains(medium, marker));
+      if (found) {
+        return Fail(plan, "erased marker '" + marker +
+                              "' still present on the medium");
+      }
+    }
+
+    // I4a: an erasure in flight at the crash is all-or-nothing. Either
+    // the record survives byte-exact, or the erasure fully applied — in
+    // which case its plaintext must already be unrecoverable (the scrub
+    // is part of the same atomic group as the unlink).
+    const auto check_pending_erasure =
+        [&](dbfs::RecordId id, bool envelope) -> Status {
+      if (id == 0) return Status::Ok();
+      const Model::LiveRecord& expect = model.live.at(id);
+      auto rec = (*fs)->Get(sentinel::Domain::kDed, id);
+      const bool survived = rec.ok() && !rec->erased;
+      if (survived) {
+        if (rec->row.size() != 2 || !rec->row[0].AsString().ok() ||
+            !rec->row[1].AsString().ok() ||
+            *rec->row[0].AsString() != expect.author ||
+            *rec->row[1].AsString() != expect.text) {
+          return Fail(plan, "in-flight erasure target " + std::to_string(id) +
+                                " survived but corrupted");
+        }
+        return Status::Ok();
+      }
+      if (!envelope && rec.status().code() != StatusCode::kNotFound) {
+        return Fail(plan, "in-flight hard-delete target " +
+                              std::to_string(id) + " half-present: " +
+                              rec.status().ToString());
+      }
+      if (envelope && !rec.ok()) {
+        // Envelope replacement keeps the record (erased + sealed bytes);
+        // losing it entirely would be a partial application.
+        return Fail(plan, "in-flight envelope target " + std::to_string(id) +
+                              " vanished: " + rec.status().ToString());
+      }
+      // Fully erased: the plaintext must be gone from the whole medium.
+      RGPD_ASSIGN_OR_RETURN(bool found, MediumContains(medium, expect.marker));
+      if (found) {
+        return Fail(plan, "in-flight erasure of record " + std::to_string(id) +
+                              " applied but marker '" + expect.marker +
+                              "' still on the medium");
+      }
+      if (!envelope) {
+        // And the subject tree must not keep a dangling link to it.
+        auto ids = (*fs)->RecordsOfSubject(sentinel::Domain::kDed,
+                                           expect.subject);
+        if (ids.ok() &&
+            std::find(ids->begin(), ids->end(), id) != ids->end()) {
+          return Fail(plan, "in-flight hard-delete of record " +
+                                std::to_string(id) +
+                                " applied but still linked");
+        }
+      }
+      return Status::Ok();
+    };
+    RGPD_RETURN_IF_ERROR(
+        check_pending_erasure(model.pending_delete, /*envelope=*/false));
+    RGPD_RETURN_IF_ERROR(
+        check_pending_erasure(model.pending_envelope, /*envelope=*/true));
+
+    // I4b: anything beyond the acked set (the op in flight at the crash)
+    // is all-or-nothing: if a record id is visible it must be complete.
+    for (dbfs::SubjectId subject = 1; subject <= 3; ++subject) {
+      auto ids = (*fs)->RecordsOfSubject(sentinel::Domain::kDed, subject);
+      if (!ids.ok()) {
+        // A subject the workload never reached is legitimately absent.
+        if (ids.status().code() == StatusCode::kNotFound) continue;
+        return Fail(plan, "RecordsOfSubject: " + ids.status().ToString());
+      }
+      for (const dbfs::RecordId id : *ids) {
+        if (model.live.count(id) != 0 || model.enveloped.count(id) != 0) {
+          continue;
+        }
+        if (model.hard_deleted.count(id) != 0) {
+          return Fail(plan, "hard-deleted record " + std::to_string(id) +
+                                " still linked in the subject tree");
+        }
+        auto rec = (*fs)->Get(sentinel::Domain::kDed, id);
+        if (!rec.ok()) {
+          return Fail(plan, "in-flight record " + std::to_string(id) +
+                                " partially applied (unreadable): " +
+                                rec.status().ToString());
+        }
+        if (!rec->erased &&
+            (rec->row.size() != 2 || !rec->row[0].AsString().ok() ||
+             !rec->row[1].AsString().ok())) {
+          return Fail(plan, "in-flight record " + std::to_string(id) +
+                                " partially applied (truncated row)");
+        }
+      }
+    }
+
+    // I5: the recovered store accepts new work.
+    RGPD_ASSIGN_OR_RETURN(dsl::TypeDecl decl, dsl::ParseType(kTypeSource));
+    auto post = (*fs)->Put(sentinel::Domain::kDed, 1, "note",
+                           db::Row{db::Value(std::string("post")),
+                                   db::Value(std::string("post-recovery"))},
+                           decl.DefaultMembrane(1, clock_.Now()));
+    if (!post.ok()) {
+      return Fail(plan,
+                  "post-recovery Put failed: " + post.status().ToString());
+    }
+    auto readback = (*fs)->Get(sentinel::Domain::kDed, *post);
+    if (!readback.ok()) {
+      return Fail(plan, "post-recovery readback failed: " +
+                            readback.status().ToString());
+    }
+    return Status::Ok();
+  }
+
+  /// Whole-medium substring scan (handles markers spanning block
+  /// boundaries by searching one contiguous image).
+  static Result<bool> MediumContains(blockdev::BlockDevice& device,
+                                     const std::string& marker) {
+    Bytes image;
+    image.reserve(device.block_count() * device.block_size());
+    Bytes block;
+    for (blockdev::BlockIndex b = 0; b < device.block_count(); ++b) {
+      RGPD_RETURN_IF_ERROR(device.ReadBlock(b, block));
+      image.insert(image.end(), block.begin(), block.end());
+    }
+    const std::string haystack(reinterpret_cast<const char*>(image.data()),
+                               image.size());
+    return haystack.find(marker) != std::string::npos;
+  }
+
+  Options options_;
+  SimClock clock_{1000};
+  sentinel::AuditSink audit_;
+  sentinel::Sentinel sentinel_{sentinel::SecurityPolicy::RgpdDefault(),
+                               &clock_, &audit_};
+};
+
+}  // namespace rgpdos::testing
