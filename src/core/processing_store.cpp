@@ -199,6 +199,14 @@ Result<InvokeResult> ProcessingStore::Invoke(sentinel::Domain caller,
   RGPD_METRIC_COUNT("core.ps_invoke.count");
   RGPD_METRIC_SCOPED_LATENCY("core.ps_invoke.latency_ns");
   RGPD_TRACE_SPAN("core", "ps_invoke");
+  // Foreground-activity marker for the retention sweeper's backpressure.
+  struct InFlight {
+    std::atomic<std::uint64_t>& n;
+    explicit InFlight(std::atomic<std::uint64_t>& counter) : n(counter) {
+      n.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~InFlight() { n.fetch_sub(1, std::memory_order_relaxed); }
+  } in_flight(invokes_in_flight_);
   sentinel::AccessRequest request;
   request.subject = caller;
   request.object = kPs;

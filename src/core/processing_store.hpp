@@ -94,6 +94,12 @@ class ProcessingStore {
     std::lock_guard<metrics::OrderedMutex> lock(mu_);
     return processings_.size();
   }
+  /// Invokes currently running their DED pipeline. Lock-free; the
+  /// retention sweeper reads this as its foreground-backpressure signal
+  /// (it yields between pages while application traffic is in flight).
+  [[nodiscard]] std::uint64_t invokes_in_flight() const {
+    return invokes_in_flight_.load(std::memory_order_relaxed);
+  }
   /// The pointer stays valid until the processing is erased by
   /// RejectAlert — treat as a quiescent-time interface.
   Result<const dsl::PurposeDecl*> GetPurpose(ProcessingId id) const;
@@ -132,6 +138,7 @@ class ProcessingStore {
   /// still call any lower layer (sentinel, log, dbfs, ...).
   mutable metrics::OrderedMutex mu_{metrics::LockRank::kCore, "core.ps"};
   std::map<ProcessingId, StoredProcessing> processings_;
+  std::atomic<std::uint64_t> invokes_in_flight_{0};
   std::vector<Alert> alerts_;
   std::map<std::string, CollectionSource> collection_sources_;
   ProcessingId next_id_ = 1;

@@ -1,0 +1,225 @@
+#include "core/retention.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <vector>
+
+#include "crypto/envelope.hpp"
+#include "metrics/metrics.hpp"
+
+namespace rgpdos::core {
+
+namespace {
+constexpr sentinel::Domain kDed = sentinel::Domain::kDed;
+}
+
+RetentionSweeper::RetentionSweeper(Deps deps, RetentionOptions options)
+    : deps_(std::move(deps)), options_(options) {}
+
+RetentionSweeper::~RetentionSweeper() { Stop(); }
+
+void RetentionSweeper::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { DaemonLoop(); });
+}
+
+void RetentionSweeper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  thread_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  thread_ = std::thread();
+}
+
+bool RetentionSweeper::running() const {
+  std::lock_guard<std::mutex> lock(
+      const_cast<RetentionSweeper*>(this)->thread_mu_);
+  return thread_.joinable();
+}
+
+void RetentionSweeper::DaemonLoop() {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_) {
+    if (thread_cv_.wait_for(
+            lock, std::chrono::microseconds(options_.sweep_interval_micros),
+            [this] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    if (const auto report = SweepOnce(); !report.ok()) {
+      RGPD_METRIC_COUNT("sentinel.retention.errors");
+    }
+    lock.lock();
+  }
+}
+
+Result<SweepReport> RetentionSweeper::SweepOnce() {
+  std::lock_guard<metrics::OrderedMutex> lock(sweep_mu_);
+  RGPD_METRIC_SCOPED_LATENCY("sentinel.retention.sweep_latency_ns");
+  sweep_count_.fetch_add(1, std::memory_order_relaxed);
+  RGPD_METRIC_COUNT("sentinel.retention.sweeps");
+
+  // Refill the token bucket; unused budget carries over up to the burst
+  // cap, so a quiet period buys headroom for a backlog.
+  constexpr std::size_t kUnlimited = std::numeric_limits<std::size_t>::max();
+  if (options_.pages_per_sweep == 0) {
+    tokens_ = kUnlimited;
+  } else {
+    const std::size_t burst = options_.burst_pages != 0
+                                  ? options_.burst_pages
+                                  : 2 * options_.pages_per_sweep;
+    tokens_ = std::min(burst, tokens_ + options_.pages_per_sweep);
+  }
+
+  SweepReport report;
+  const TimeMicros now = deps_.clock->Now();
+  // With a worker pool, one batch = one lane per subject; without, one
+  // subject at a time (identical to the pre-executor behaviour).
+  const std::size_t lanes =
+      deps_.executor != nullptr ? deps_.executor->worker_count() + 1 : 1;
+  while (tokens_ > 0) {
+    if (deps_.foreground_busy && deps_.foreground_busy()) {
+      // Backpressure: application traffic is in flight — give the rest
+      // of this sweep back; the cursor resumes at the next tick.
+      report.yielded = true;
+      RGPD_METRIC_COUNT("sentinel.retention.yields");
+      break;
+    }
+    const std::size_t batch =
+        tokens_ == kUnlimited ? lanes : std::min(tokens_, lanes);
+    RGPD_ASSIGN_OR_RETURN(std::vector<dbfs::SubjectId> page,
+                          deps_.dbfs->SubjectsAfter(kDed, cursor_, batch));
+    if (page.empty()) {
+      cursor_ = 0;
+      report.wrapped = true;
+      break;
+    }
+    if (tokens_ != kUnlimited) tokens_ -= page.size();
+    report.pages += page.size();
+    cursor_ = page.back();
+    if (deps_.executor == nullptr || page.size() == 1) {
+      for (const dbfs::SubjectId subject : page) {
+        RGPD_RETURN_IF_ERROR(SweepSubject(subject, now, report));
+      }
+    } else {
+      std::vector<SweepReport> shard_reports(page.size());
+      std::vector<Status> shard_status(page.size(), Status::Ok());
+      deps_.executor->ParallelFor(page.size(), [&](std::size_t i) {
+        shard_status[i] = SweepSubject(page[i], now, shard_reports[i]);
+      });
+      for (const SweepReport& shard : shard_reports) {
+        report.scanned += shard.scanned;
+        report.expired += shard.expired;
+        report.erased += shard.erased;
+        report.deferred += shard.deferred;
+      }
+      for (const Status& s : shard_status) {
+        RGPD_RETURN_IF_ERROR(s);
+      }
+    }
+  }
+
+  total_scanned_.fetch_add(report.scanned, std::memory_order_relaxed);
+  total_expired_.fetch_add(report.expired, std::memory_order_relaxed);
+  total_erased_.fetch_add(report.erased, std::memory_order_relaxed);
+  total_deferred_.fetch_add(report.deferred, std::memory_order_relaxed);
+  RGPD_METRIC_COUNT_N("sentinel.retention.scanned", report.scanned);
+  RGPD_METRIC_COUNT_N("sentinel.retention.expired", report.expired);
+  RGPD_METRIC_COUNT_N("sentinel.retention.erased", report.erased);
+  RGPD_METRIC_COUNT_N("sentinel.retention.deferred", report.deferred);
+  return report;
+}
+
+Status RetentionSweeper::SweepSubject(dbfs::SubjectId subject, TimeMicros now,
+                                      SweepReport& report) {
+  RGPD_ASSIGN_OR_RETURN(std::vector<dbfs::RecordId> ids,
+                        deps_.dbfs->RecordsOfSubject(kDed, subject));
+  for (const dbfs::RecordId id : ids) {
+    const Result<dbfs::PdRecord> record = deps_.dbfs->Get(kDed, id);
+    if (!record.ok()) {
+      // Deleted between the listing and the read — someone else already
+      // did our job. Anything else is a store problem the sweep surfaces.
+      if (record.status().code() == StatusCode::kNotFound) continue;
+      return record.status();
+    }
+    ++report.scanned;
+    if (record->erased || !record->membrane.ExpiredAt(now)) continue;
+    ++report.expired;
+    if (record->membrane.restricted) {
+      // Art. 18: the subject wants the PD preserved (contested accuracy,
+      // a legal claim). Restriction outranks expiry — hold the bytes and
+      // let a later sweep reap them once the restriction lifts.
+      ++report.deferred;
+      Audit(false, "retention-hold-restricted",
+            "record=" + std::to_string(id) +
+                " subject=" + std::to_string(subject) + " expired but " +
+                record->membrane.restriction_reason);
+      continue;
+    }
+    if (const Status erase = EraseExpired(*record); !erase.ok()) {
+      // A power cut mid-erase ends the sweep (the journal guarantees the
+      // expiry is all-or-nothing); a transient failure defers the record
+      // to the next cycle.
+      if (erase.code() == StatusCode::kCrashed) return erase;
+      ++report.deferred;
+      RGPD_METRIC_COUNT("sentinel.retention.errors");
+      continue;
+    }
+    ++report.erased;
+  }
+  return Status::Ok();
+}
+
+Status RetentionSweeper::EraseExpired(const dbfs::PdRecord& record) {
+  if (options_.crypto_erase) {
+    if (deps_.authority_key == nullptr || deps_.rng == nullptr) {
+      return FailedPrecondition(
+          "retention crypto_erase needs an authority key and an RNG");
+    }
+    RGPD_ASSIGN_OR_RETURN(const dsl::TypeDecl* type,
+                          deps_.dbfs->GetType(kDed, record.type_name));
+    const Bytes plaintext = type->ToSchema().EncodeRow(record.row);
+    RGPD_ASSIGN_OR_RETURN(
+        crypto::Envelope envelope,
+        crypto::Seal(*deps_.authority_key, plaintext, *deps_.rng));
+    RGPD_RETURN_IF_ERROR(deps_.dbfs->ReplaceWithEnvelope(
+        kDed, record.record_id, envelope.Serialize()));
+  } else {
+    RGPD_RETURN_IF_ERROR(deps_.dbfs->HardDelete(kDed, record.record_id));
+  }
+  Audit(true, "retention-ttl",
+        "record=" + std::to_string(record.record_id) +
+            " subject=" + std::to_string(record.subject_id) +
+            " ttl=" + std::to_string(record.membrane.ttl));
+  if (deps_.log != nullptr) {
+    deps_.log->Append("sentinel.retention", "storage_limitation",
+                      record.subject_id, record.record_id,
+                      LogOutcome::kErased,
+                      options_.crypto_erase ? "ttl crypto-erase"
+                                            : "ttl hard-delete");
+  }
+  return Status::Ok();
+}
+
+void RetentionSweeper::Audit(bool allowed, const std::string& rule,
+                             std::string detail) {
+  if (deps_.audit == nullptr) return;
+  sentinel::AuditEntry entry;
+  entry.at = deps_.clock->Now();
+  entry.request.subject = kDed;
+  entry.request.object = sentinel::Domain::kDbfs;
+  entry.request.op = sentinel::Operation::kErase;
+  entry.request.detail = std::move(detail);
+  entry.allowed = allowed;
+  entry.rule = rule;
+  deps_.audit->Record(std::move(entry));
+}
+
+}  // namespace rgpdos::core

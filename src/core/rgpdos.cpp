@@ -58,6 +58,19 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
       config.fault_plan.transient_error_every != 0) {
     config.fault_inject = true;
   }
+  // RGPDOS_RETENTION: 0 disables the sweep daemon, 1 enables it with the
+  // configured knobs, N > 1 enables it with N pages per sweep.
+  if (const std::uint64_t retention =
+          EnvU64("RGPDOS_RETENTION",
+                 config.retention_enabled ? 1 : 0);
+      retention == 0) {
+    config.retention_enabled = false;
+  } else {
+    config.retention_enabled = true;
+    if (retention > 1) {
+      config.retention_pages_per_sweep = static_cast<std::size_t>(retention);
+    }
+  }
   if (config.attach_dbfs_device != nullptr && config.split_sensitive) {
     return InvalidArgument(
         "attach_dbfs_device carries one image; split_sensitive needs two "
@@ -228,6 +241,33 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
                         Authority::Create(os->rng_,
                                           config.authority_key_bits));
   os->authority_ = std::make_unique<Authority>(std::move(authority));
+
+  os->audit_.SetCapacity(config.audit_entries);
+  RetentionOptions retention_options;
+  retention_options.sweep_interval_micros =
+      config.retention_interval_ms * 1000;
+  retention_options.pages_per_sweep = config.retention_pages_per_sweep;
+  retention_options.burst_pages = config.retention_burst_pages;
+  retention_options.crypto_erase = config.retention_crypto_erase;
+  RetentionSweeper::Deps retention_deps;
+  retention_deps.dbfs = os->dbfs_.get();
+  retention_deps.clock = os->clock_.get();
+  retention_deps.audit = &os->audit_;
+  retention_deps.log = os->log_.get();
+  retention_deps.authority_key = &os->authority_->public_key();
+  retention_deps.rng = &os->rng_;
+  retention_deps.executor = os->executor_.get();
+  // Yield to any in-flight ps_invoke: compliance background work must
+  // not contend with application traffic for the store locks.
+  ProcessingStore* ps = os->ps_.get();
+  retention_deps.foreground_busy = [ps] {
+    return ps->invokes_in_flight() > 0;
+  };
+  os->retention_ = std::make_unique<RetentionSweeper>(
+      std::move(retention_deps), retention_options);
+  if (config.retention_enabled) {
+    os->retention_->Start();
+  }
   return os;
 }
 

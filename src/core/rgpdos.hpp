@@ -24,6 +24,7 @@
 #include "core/builtins.hpp"
 #include "core/processing_store.hpp"
 #include "core/receipts.hpp"
+#include "core/retention.hpp"
 #include "core/rights.hpp"
 #include "inodefs/filesystem.hpp"
 
@@ -76,6 +77,26 @@ struct BootConfig {
   std::uint64_t fault_seed = 0;
   /// Transient-IO retry policy handed to every inode store.
   inodefs::RetryPolicy io_retry;
+  /// Retention sweeper (storage limitation, Art. 5(1)(e)): proactively
+  /// erase PD whose membrane TTL has elapsed. When enabled, Boot starts
+  /// the background daemon; disabled, the sweeper is still constructed
+  /// so tests/benches can drive SweepOnce by hand. The env var
+  /// RGPDOS_RETENTION overrides at runtime: 0 = disable the daemon,
+  /// 1 = enable with the configured knobs, N > 1 = enable with
+  /// pages-per-sweep N. See DESIGN.md "Retention & storage limitation".
+  bool retention_enabled = false;
+  /// Daemon period between sweeps, in milliseconds.
+  std::uint64_t retention_interval_ms = 1000;
+  /// Token-bucket refill: subjects scanned per sweep. 0 = unlimited.
+  std::size_t retention_pages_per_sweep = 64;
+  /// Token-bucket cap (burst). 0 = 2 * retention_pages_per_sweep.
+  std::size_t retention_burst_pages = 0;
+  /// Expiry flavour: false = journaled hard delete (physical scrub),
+  /// true = crypto-erasure sealed to the supervisory authority.
+  bool retention_crypto_erase = false;
+  /// Audit-sink ring capacity (entries kept; oldest dropped beyond
+  /// this, with an exact dropped-entries counter). 0 = unbounded.
+  std::size_t audit_entries = sentinel::AuditSink::kDefaultCapacity;
   /// Attach an existing DBFS image instead of formatting a fresh
   /// in-memory one: Boot mounts the device (replaying its journal — the
   /// boot-time crash-recovery entry point) rather than calling Format.
@@ -98,6 +119,9 @@ class RgpdOs {
   [[nodiscard]] Anonymizer& anonymizer() { return *anonymizer_; }
   [[nodiscard]] ReceiptIssuer& receipts() { return *receipts_; }
   [[nodiscard]] Authority& authority() { return *authority_; }
+  /// Always non-null; the daemon inside is running iff retention was
+  /// enabled (config or RGPDOS_RETENTION).
+  [[nodiscard]] RetentionSweeper& retention() { return *retention_; }
   [[nodiscard]] sentinel::Sentinel& sentinel() { return *sentinel_; }
   [[nodiscard]] sentinel::AuditSink& audit() { return audit_; }
   [[nodiscard]] inodefs::FileSystem& npd_fs() { return *npd_fs_; }
@@ -199,6 +223,9 @@ class RgpdOs {
   std::unique_ptr<Anonymizer> anonymizer_;
   std::unique_ptr<ReceiptIssuer> receipts_;
   std::unique_ptr<Authority> authority_;
+  /// Last member: destroyed first, which joins the sweep daemon before
+  /// anything it borrows (dbfs, audit, log, authority) goes away.
+  std::unique_ptr<RetentionSweeper> retention_;
 };
 
 }  // namespace rgpdos::core

@@ -743,6 +743,21 @@ Result<std::vector<RecordId>> Dbfs::RecordsOfSubject(
   return out;
 }
 
+Result<std::vector<SubjectId>> Dbfs::SubjectsAfter(sentinel::Domain caller,
+                                                   SubjectId after,
+                                                   std::size_t limit) const {
+  RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
+                            "subject scan after=" + std::to_string(after)));
+  std::vector<SubjectId> out;
+  if (limit == 0) return out;
+  std::shared_lock<metrics::OrderedSharedMutex> index_lock(index_mu_);
+  for (auto it = subjects_.upper_bound(after);
+       it != subjects_.end() && out.size() < limit; ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
 Result<std::vector<RecordId>> Dbfs::CopyGroupMembers(
     sentinel::Domain caller, std::uint64_t group) const {
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,

@@ -140,6 +140,14 @@ class Dbfs {
                                               std::string_view type) const;
   Result<std::vector<RecordId>> RecordsOfSubject(sentinel::Domain caller,
                                                  SubjectId subject) const;
+  /// Paged subject enumeration: up to `limit` subject ids STRICTLY
+  /// GREATER than `after`, ascending. The retention sweeper's cursor
+  /// primitive — an incremental scan that never holds the index lock
+  /// across more than one page. An empty result means the cursor passed
+  /// the last subject (wrap to `after = 0` to start a new cycle).
+  Result<std::vector<SubjectId>> SubjectsAfter(sentinel::Domain caller,
+                                               SubjectId after,
+                                               std::size_t limit) const;
   /// All records sharing a copy group (membrane-consistency propagation).
   Result<std::vector<RecordId>> CopyGroupMembers(sentinel::Domain caller,
                                                  std::uint64_t group) const;

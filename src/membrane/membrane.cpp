@@ -146,8 +146,7 @@ bool operator==(const Membrane& a, const Membrane& b) {
          a.consents == b.consents && a.copy_group == b.copy_group &&
          a.restricted == b.restricted &&
          a.restriction_reason == b.restriction_reason &&
-         a.version == b.version &&
-         a.collection.size() == b.collection.size();
+         a.version == b.version && a.collection == b.collection;
 }
 
 }  // namespace rgpdos::membrane

@@ -59,6 +59,11 @@ struct Consent {
 struct CollectionInterface {
   std::string method;  ///< e.g. "web_form", "third_party"
   std::string target;  ///< e.g. "user_form.html", "fetch_data.py"
+
+  friend bool operator==(const CollectionInterface& a,
+                         const CollectionInterface& b) {
+    return a.method == b.method && a.target == b.target;
+  }
 };
 
 /// The membrane proper.
@@ -87,8 +92,12 @@ struct Membrane {
 
   // ---- evaluation ----------------------------------------------------------
 
+  /// Overflow-safe: `created_at + ttl` can exceed INT64_MAX for large
+  /// TTLs (signed overflow is UB, and a wrapped-negative sum would make
+  /// fresh PD report expired), so compare the elapsed age instead. The
+  /// exact boundary `now == created_at + ttl` counts as expired.
   [[nodiscard]] bool ExpiredAt(TimeMicros now) const {
-    return ttl != 0 && now >= created_at + ttl;
+    return ttl != 0 && now - created_at >= ttl;
   }
 
   /// The decision the DED's filter step needs: may `purpose` process this

@@ -9,6 +9,9 @@
 // cycle (the precondition for deadlock) is impossible. The full order,
 // outermost first:
 //
+//   kRetention (80)       retention sweeper state (cursor + token bucket;
+//                         held across a whole sweep page, so it must sit
+//                         above every lock the erasure path takes)
 //   kCore (70)            ProcessingStore registration/alert tables
 //   kCoreLog (69)         ProcessingLog entries + hash chain
 //   kSentinel (60)        AuditSink entries
@@ -69,6 +72,7 @@ enum class LockRank : int {
   kSentinel = 60,
   kCoreLog = 69,
   kCore = 70,
+  kRetention = 80,
 };
 
 namespace lock_internal {

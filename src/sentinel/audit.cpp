@@ -13,6 +13,22 @@ void AuditSink::Record(AuditEntry entry) {
   RGPD_METRIC_COUNT("sentinel.audit.entries");
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
   entries_.push_back(std::move(entry));
+  TrimLocked();
+}
+
+void AuditSink::TrimLocked() {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    entries_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    RGPD_METRIC_COUNT("sentinel.audit.dropped");
+  }
+}
+
+void AuditSink::SetCapacity(std::size_t capacity) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  capacity_ = capacity;
+  TrimLocked();
 }
 
 std::uint64_t AuditSink::entry_count() const {
@@ -35,6 +51,7 @@ void AuditSink::Clear() {
   entries_.clear();
   allowed_.store(0, std::memory_order_relaxed);
   denied_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rgpdos::sentinel

@@ -10,10 +10,19 @@
 // accessors stay lock-free. entries() returns a reference to the
 // underlying log and is only safe at quiescence; concurrent readers
 // must go through Query(), which copies under the lock.
+//
+// Memory bound: the sink keeps at most `capacity()` entries (a ring —
+// the retention sweeper audits every expiry, so an unbounded vector
+// would grow forever under a long-running daemon). When full, the
+// OLDEST entry is dropped and dropped_count() is bumped; the
+// allowed/denied tallies keep counting every Record, so the totals stay
+// exact even after drops. capacity 0 = unbounded (historical
+// behaviour).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -34,11 +43,19 @@ struct AuditEntry {
 
 class AuditSink {
  public:
+  /// Default ring bound: plenty for a test run or an audit window,
+  /// bounded under a retention daemon that audits every expiry.
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit AuditSink(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
   void Record(AuditEntry entry);
 
-  /// Quiescent-time view of the raw log (tests, post-run inspection).
-  /// Not safe while other threads Record; use Query() instead.
-  [[nodiscard]] const std::vector<AuditEntry>& entries() const {
+  /// Quiescent-time view of the raw log (tests, post-run inspection),
+  /// oldest entry first. Not safe while other threads Record; use
+  /// Query() instead.
+  [[nodiscard]] const std::deque<AuditEntry>& entries() const {
     return entries_;
   }
   [[nodiscard]] std::uint64_t allowed_count() const {
@@ -48,6 +65,14 @@ class AuditSink {
     return denied_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t entry_count() const;
+  /// Entries evicted from the ring to honour the capacity bound.
+  [[nodiscard]] std::uint64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Re-bound the ring (boot-time knob; trims oldest entries if the new
+  /// capacity is smaller). 0 = unbounded.
+  void SetCapacity(std::size_t capacity);
 
   /// Entries matching a predicate (e.g. all denials against DBFS),
   /// copied out under the lock.
@@ -57,11 +82,16 @@ class AuditSink {
   void Clear();
 
  private:
+  /// Drop oldest entries until the ring fits. Caller holds mu_.
+  void TrimLocked();
+
   mutable metrics::OrderedMutex mu_{metrics::LockRank::kSentinel,
                                     "sentinel.audit"};
-  std::vector<AuditEntry> entries_;
+  std::deque<AuditEntry> entries_;
+  std::size_t capacity_;
   std::atomic<std::uint64_t> allowed_{0};
   std::atomic<std::uint64_t> denied_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 }  // namespace rgpdos::sentinel

@@ -62,6 +62,52 @@ TEST(MembraneTest, ZeroTtlNeverExpires) {
   Membrane m = MakeMembrane();
   m.ttl = 0;
   EXPECT_FALSE(m.ExpiredAt(std::numeric_limits<TimeMicros>::max() / 2));
+  EXPECT_FALSE(m.ExpiredAt(std::numeric_limits<TimeMicros>::max()));
+}
+
+TEST(MembraneTest, ExpiryBoundaryIsExact) {
+  Membrane m = MakeMembrane();  // created_at 1000, ttl 500
+  EXPECT_FALSE(m.ExpiredAt(1000));
+  EXPECT_FALSE(m.ExpiredAt(1499));
+  EXPECT_TRUE(m.ExpiredAt(1500));  // now == created_at + ttl is expired
+  EXPECT_TRUE(m.ExpiredAt(1501));
+}
+
+TEST(MembraneTest, HugeTtlDoesNotOverflow) {
+  // created_at + ttl would wrap past INT64_MAX; a membrane with an
+  // effectively-infinite TTL must read as fresh, not expired-at-birth.
+  Membrane m = MakeMembrane();
+  m.created_at = 1000;
+  m.ttl = std::numeric_limits<TimeMicros>::max() - 10;
+  EXPECT_FALSE(m.ExpiredAt(m.created_at));
+  EXPECT_FALSE(m.ExpiredAt(std::numeric_limits<TimeMicros>::max() / 2));
+  ASSERT_TRUE(m.Evaluate("purpose1", 2000).ok());
+}
+
+TEST(MembraneTest, SetTtlShortenAndLengthenMidLife) {
+  Membrane m = MakeMembrane();  // created_at 1000, ttl 500
+  m.SetTtl(100);                // shorten: already past the new deadline
+  EXPECT_TRUE(m.ExpiredAt(1200));
+  EXPECT_EQ(m.Evaluate("purpose1", 1200).status().code(),
+            StatusCode::kExpired);
+  m.SetTtl(1000);  // lengthen: the same instant is in-life again
+  EXPECT_FALSE(m.ExpiredAt(1200));
+  EXPECT_TRUE(m.Evaluate("purpose1", 1200).ok());
+  EXPECT_TRUE(m.ExpiredAt(2000));
+}
+
+TEST(MembraneTest, EqualityComparesCollectionContents) {
+  const Membrane a = MakeMembrane();
+  Membrane b = MakeMembrane();
+  EXPECT_EQ(a, b);
+  // Same number of collection interfaces, different contents — these
+  // membranes are NOT interchangeable (the DED shows the collection
+  // provenance to the subject).
+  b.collection[0].target = "other_form.html";
+  EXPECT_FALSE(a == b);
+  b = MakeMembrane();
+  b.collection[0].method = "third_party";
+  EXPECT_FALSE(a == b);
 }
 
 TEST(MembraneTest, MutationsBumpVersion) {

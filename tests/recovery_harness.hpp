@@ -40,6 +40,7 @@
 #include "blockdev/block_device.hpp"
 #include "blockdev/fault_injection.hpp"
 #include "common/clock.hpp"
+#include "core/retention.hpp"
 #include "dbfs/dbfs.hpp"
 #include "dsl/parser.hpp"
 #include "sentinel/policy.hpp"
@@ -56,6 +57,11 @@ class CrashRecoveryHarness {
     /// Block cache put in front of the remounted medium, proving
     /// recovery correctness does not depend on warm caches.
     std::uint64_t remount_cache_blocks = 64;
+    /// Append a retention phase to the workload: a short-TTL record is
+    /// inserted, the clock jumps past its deadline, and a bare
+    /// RetentionSweeper reaps it — so the crash sweep also lands inside
+    /// the sweeper's journaled hard-delete (RetentionRecovery.*).
+    bool retention_sweep = false;
   };
 
   CrashRecoveryHarness() = default;
@@ -250,7 +256,47 @@ type note {
     trace("envelope C1");
 
     // 9: final insert.
-    return put(3, "carol", "PD_MARKER_C2");
+    RGPD_RETURN_IF_ERROR(put(3, "carol", "PD_MARKER_C2"));
+    trace("put C2");
+
+    if (options_.retention_sweep) {
+      // 10: a record whose TTL elapses before the sweep below. The
+      // sweeper's hard delete is the operation the crash sweep lands in.
+      const std::string text = "pd payload PD_MARKER_TTL of dave";
+      membrane::Membrane m = decl.DefaultMembrane(2, clock_.Now());
+      m.ttl = 500;
+      RGPD_ASSIGN_OR_RETURN(
+          const dbfs::RecordId ttl_id,
+          fs->Put(sentinel::Domain::kDed, 2, "note",
+                  db::Row{db::Value(std::string("dave")), db::Value(text)},
+                  std::move(m)));
+      model.live[ttl_id] =
+          Model::LiveRecord{2, "dave", text, "PD_MARKER_TTL", false};
+      trace("put TTL");
+
+      // 11: time passes, the retention sweeper runs one full cycle. Like
+      // a manual erasure, the expiry in flight is all-or-nothing (I4).
+      clock_.Advance(1000);
+      core::RetentionSweeper::Deps deps;
+      deps.dbfs = fs.get();
+      deps.clock = &clock_;
+      core::RetentionOptions sweep_options;
+      sweep_options.pages_per_sweep = 0;  // whole store in one sweep
+      core::RetentionSweeper sweeper(std::move(deps), sweep_options);
+      model.pending_delete = ttl_id;
+      RGPD_ASSIGN_OR_RETURN(const core::SweepReport report,
+                            sweeper.SweepOnce());
+      if (report.erased != 1) {
+        return Internal("retention sweep erased " +
+                        std::to_string(report.erased) + " records, wanted 1");
+      }
+      model.pending_delete = 0;
+      model.live.erase(ttl_id);
+      model.hard_deleted.insert(ttl_id);
+      model.erased_markers.emplace_back("PD_MARKER_TTL");
+      trace("sweep TTL");
+    }
+    return Status::Ok();
   }
 
   /// Remount the surviving medium through a fresh (cold) stack and check

@@ -39,8 +39,9 @@ std::string WriteFaultArtifact(const std::string& test_name,
 /// Run the crash sweep: every write index from 1 to the workload's total
 /// write count, with `base` supplying the non-crash knobs.
 void SweepEveryWriteIndex(const std::string& test_name,
-                          blockdev::FaultPlan base) {
-  CrashRecoveryHarness harness;
+                          blockdev::FaultPlan base,
+                          CrashRecoveryHarness::Options options = {}) {
+  CrashRecoveryHarness harness(options);
   auto total = harness.CountWorkloadWrites();
   ASSERT_TRUE(total.ok()) << total.status().ToString();
   ASSERT_GT(*total, 0u);
@@ -80,6 +81,36 @@ TEST(CrashRecovery, EveryWriteIndexWriteBackCrash) {
   blockdev::FaultPlan base;
   base.volatile_write_back = true;
   SweepEveryWriteIndex("writeback", base);
+}
+
+// The retention sweeper's proactive expiry is an ordinary journaled
+// hard delete, so a crash at ANY write inside the sweep must leave the
+// expiry all-or-nothing and never resurrect the reaped plaintext. Same
+// sweep as above with the workload's retention phase switched on, which
+// extends the write range into the sweeper's transaction.
+TEST(RetentionRecovery, EveryWriteIndexCleanCrashDuringSweep) {
+  CrashRecoveryHarness::Options options;
+  options.retention_sweep = true;
+  SweepEveryWriteIndex("retention_clean", blockdev::FaultPlan{}, options);
+}
+
+TEST(RetentionRecovery, EveryWriteIndexTornCrashDuringSweep) {
+  CrashRecoveryHarness::Options options;
+  options.retention_sweep = true;
+  blockdev::FaultPlan base;
+  base.torn_bytes = 97;
+  SweepEveryWriteIndex("retention_torn", base, options);
+}
+
+TEST(RetentionRecovery, SweepSurvivesTransientIoErrors) {
+  // The sweeper inherits the inodefs retry policy: every 5th IO failing
+  // once must not turn an expiry into a deferral loop.
+  CrashRecoveryHarness::Options options;
+  options.retention_sweep = true;
+  CrashRecoveryHarness harness(options);
+  blockdev::FaultPlan plan;
+  plan.transient_error_every = 5;
+  EXPECT_TRUE(harness.RunWithPlan(plan).ok());
 }
 
 TEST(CrashRecovery, TransientIoErrorsAreRetriedToCompletion) {

@@ -99,6 +99,47 @@ TEST(AuditSinkTest, QueryFilters) {
   EXPECT_EQ(audit.denied_count(), 0u);
 }
 
+TEST(AuditSinkTest, RingDropsOldestAndKeepsTalliesExact) {
+  AuditSink audit(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    AuditEntry entry;
+    entry.at = i;
+    entry.allowed = (i % 2) == 0;
+    entry.rule = "rule-" + std::to_string(i);
+    audit.Record(std::move(entry));
+  }
+  // The ring keeps only the newest 4, oldest first...
+  ASSERT_EQ(audit.entry_count(), 4u);
+  EXPECT_EQ(audit.entries().front().at, 6);
+  EXPECT_EQ(audit.entries().back().at, 9);
+  EXPECT_EQ(audit.dropped_count(), 6u);
+  // ...while the tallies keep counting every Record ever made.
+  EXPECT_EQ(audit.allowed_count(), 5u);
+  EXPECT_EQ(audit.denied_count(), 5u);
+  // Query sees exactly what the ring retains.
+  const auto denials =
+      audit.Query([](const AuditEntry& e) { return !e.allowed; });
+  ASSERT_EQ(denials.size(), 2u);
+  EXPECT_EQ(denials[0].at, 7);
+  EXPECT_EQ(denials[1].at, 9);
+}
+
+TEST(AuditSinkTest, SetCapacityTrimsAndZeroMeansUnbounded) {
+  AuditSink audit(/*capacity=*/0);  // unbounded
+  for (int i = 0; i < 100; ++i) {
+    audit.Record({/*at=*/i, {}, /*allowed=*/true, "r"});
+  }
+  EXPECT_EQ(audit.entry_count(), 100u);
+  EXPECT_EQ(audit.dropped_count(), 0u);
+  audit.SetCapacity(10);  // re-bounding trims the oldest immediately
+  EXPECT_EQ(audit.entry_count(), 10u);
+  EXPECT_EQ(audit.entries().front().at, 90);
+  EXPECT_EQ(audit.dropped_count(), 90u);
+  audit.Clear();
+  EXPECT_EQ(audit.entry_count(), 0u);
+  EXPECT_EQ(audit.dropped_count(), 0u);
+}
+
 // ---- Syscall filter -----------------------------------------------------------------
 
 TEST(SyscallFilterTest, FirstMatchWins) {
