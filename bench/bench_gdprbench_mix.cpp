@@ -19,18 +19,28 @@ db::Row FreshUserRow(Rng& rng, std::uint64_t subject) {
                  db::Value(rng.NextInRange(1940, 2010))};
 }
 
-double RunRgpd(const workload::OpMix& mix) {
+/// Throughput plus per-op latency percentiles (shared reservoir; the
+/// scale-out bench reports the same shape from its open-loop schedule).
+struct RoleRun {
+  double ops_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+RoleRun RunRgpd(const workload::OpMix& mix) {
   bench::RgpdWorld world = bench::MakeRgpdWorld(kSubjects);
   auto& os = *world.os;
   const dsl::TypeDecl decl = bench::BenchUserDecl();
   Rng rng(1234);
   Zipf zipf(kSubjects, 0.9, 99);
 
+  bench::LatencyReservoir latency;
   Stopwatch watch;
   std::size_t executed = 0;
   for (std::size_t i = 0; i < kOpsPerRole; ++i) {
     const std::uint64_t subject = 1 + zipf.Next();
     const workload::GdprOp op = mix.Sample(rng);
+    Stopwatch op_watch;
     bool ok = true;
     switch (op) {
       case workload::GdprOp::kCreateRecord: {
@@ -103,23 +113,27 @@ double RunRgpd(const workload::OpMix& mix) {
         break;
       }
     }
+    latency.Record(double(op_watch.ElapsedNanos()));
     if (ok) ++executed;
   }
   const double seconds = double(watch.ElapsedNanos()) / 1e9;
-  return double(executed) / seconds;
+  return RoleRun{double(executed) / seconds, latency.P50Us(),
+                 latency.P99Us()};
 }
 
-double RunBaseline(const workload::OpMix& mix) {
+RoleRun RunBaseline(const workload::OpMix& mix) {
   bench::BaselineWorld world = bench::MakeBaselineWorld(kSubjects);
   auto& engine = *world.engine;
   Rng rng(1234);
   Zipf zipf(kSubjects, 0.9, 99);
 
+  bench::LatencyReservoir latency;
   Stopwatch watch;
   std::size_t executed = 0;
   for (std::size_t i = 0; i < kOpsPerRole; ++i) {
     const std::uint64_t subject = 1 + zipf.Next();
     const workload::GdprOp op = mix.Sample(rng);
+    Stopwatch op_watch;
     bool ok = true;
     switch (op) {
       case workload::GdprOp::kCreateRecord:
@@ -157,10 +171,12 @@ double RunBaseline(const workload::OpMix& mix) {
         ok = engine.AuditPurpose("analytics").ok();
         break;
     }
+    latency.Record(double(op_watch.ElapsedNanos()));
     if (ok) ++executed;
   }
   const double seconds = double(watch.ElapsedNanos()) / 1e9;
-  return double(executed) / seconds;
+  return RoleRun{double(executed) / seconds, latency.P50Us(),
+                 latency.P99Us()};
 }
 
 // ---- cached-invoke phase --------------------------------------------------------
@@ -222,18 +238,26 @@ int main() {
   std::printf("=== G8: GDPRbench-style role mixes (%zu subjects, %zu "
               "ops/role) ===\n",
               kSubjects, kOpsPerRole);
-  std::printf("%-12s %16s %16s %10s\n", "role", "baseline ops/s",
-              "rgpdOS ops/s", "ratio");
+  std::printf("%-12s %16s %16s %10s %18s\n", "role", "baseline ops/s",
+              "rgpdOS ops/s", "ratio", "rgpdOS p50/p99 us");
   std::vector<std::pair<std::string, double>> artifact_stats;
   for (const workload::OpMix& mix :
        {workload::OpMix::Controller(), workload::OpMix::Customer(),
         workload::OpMix::Regulator()}) {
-    const double baseline_ops = RunBaseline(mix);
-    const double rgpd_ops = RunRgpd(mix);
-    std::printf("%-12s %16.0f %16.0f %9.2fx\n", mix.name().c_str(),
-                baseline_ops, rgpd_ops, rgpd_ops / baseline_ops);
-    artifact_stats.emplace_back(mix.name() + ".baseline_ops_s", baseline_ops);
-    artifact_stats.emplace_back(mix.name() + ".rgpdos_ops_s", rgpd_ops);
+    const RoleRun baseline = RunBaseline(mix);
+    const RoleRun rgpd = RunRgpd(mix);
+    std::printf("%-12s %16.0f %16.0f %9.2fx %9.1f/%-8.1f\n",
+                mix.name().c_str(), baseline.ops_s, rgpd.ops_s,
+                rgpd.ops_s / baseline.ops_s, rgpd.p50_us, rgpd.p99_us);
+    artifact_stats.emplace_back(mix.name() + ".baseline_ops_s",
+                                baseline.ops_s);
+    artifact_stats.emplace_back(mix.name() + ".rgpdos_ops_s", rgpd.ops_s);
+    artifact_stats.emplace_back(mix.name() + ".rgpdos_p50_us", rgpd.p50_us);
+    artifact_stats.emplace_back(mix.name() + ".rgpdos_p99_us", rgpd.p99_us);
+    artifact_stats.emplace_back(mix.name() + ".baseline_p50_us",
+                                baseline.p50_us);
+    artifact_stats.emplace_back(mix.name() + ".baseline_p99_us",
+                                baseline.p99_us);
   }
   std::printf(
       "\nexpected shape: controller CRUD favours the thin baseline; "

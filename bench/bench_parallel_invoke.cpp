@@ -55,6 +55,8 @@ struct LaneResult {
   double invokes_per_sec = 0;
   double records_per_sec = 0;
   double us_per_invoke = 0;
+  double p50_us = 0;
+  double p99_us = 0;
 };
 
 LaneResult RunAtLanes(unsigned lanes) {
@@ -71,11 +73,14 @@ LaneResult RunAtLanes(unsigned lanes) {
   }
 
   std::uint64_t records = 0;
+  LatencyReservoir latency;
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < kIterations; ++i) {
+    Stopwatch invoke_watch;
     auto r = world.os->ps().Invoke(sentinel::Domain::kApplication, processing,
                                    {});
     if (!r.ok()) std::abort();
+    latency.Record(double(invoke_watch.ElapsedNanos()));
     records += r->records_processed;
   }
   const double seconds =
@@ -87,6 +92,8 @@ LaneResult RunAtLanes(unsigned lanes) {
   result.invokes_per_sec = kIterations / seconds;
   result.records_per_sec = double(records) / seconds;
   result.us_per_invoke = seconds * 1e6 / kIterations;
+  result.p50_us = latency.P50Us();
+  result.p99_us = latency.P99Us();
   return result;
 }
 
@@ -96,19 +103,22 @@ int Main() {
   stats.emplace_back("records", double(kSubjects * kPerSubject));
   stats.emplace_back("iterations", double(kIterations));
 
-  std::printf("%-8s %14s %14s %12s\n", "lanes", "invokes/s", "records/s",
-              "us/invoke");
+  std::printf("%-8s %14s %14s %12s %10s %10s\n", "lanes", "invokes/s",
+              "records/s", "us/invoke", "p50 us", "p99 us");
   double baseline_rps = 0;
   double four_lane_rps = 0;
   for (unsigned lanes : {1u, 2u, 4u, 8u}) {
     const LaneResult r = RunAtLanes(lanes);
-    std::printf("%-8u %14.2f %14.0f %12.1f\n", r.lanes, r.invokes_per_sec,
-                r.records_per_sec, r.us_per_invoke);
+    std::printf("%-8u %14.2f %14.0f %12.1f %10.1f %10.1f\n", r.lanes,
+                r.invokes_per_sec, r.records_per_sec, r.us_per_invoke,
+                r.p50_us, r.p99_us);
     const std::string prefix = "threads_" + std::to_string(lanes);
     stats.emplace_back(prefix + ".threads", double(lanes));
     stats.emplace_back(prefix + ".invokes_per_sec", r.invokes_per_sec);
     stats.emplace_back(prefix + ".records_per_sec", r.records_per_sec);
     stats.emplace_back(prefix + ".us_per_invoke", r.us_per_invoke);
+    stats.emplace_back(prefix + ".p50_us", r.p50_us);
+    stats.emplace_back(prefix + ".p99_us", r.p99_us);
     if (lanes == 1) baseline_rps = r.records_per_sec;
     if (lanes == 4) four_lane_rps = r.records_per_sec;
   }

@@ -3,6 +3,8 @@
 // bench compares like against like.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -207,31 +209,184 @@ inline BaselineWorld MakeBaselineWorld(std::size_t subjects,
 inline double NsToUs(std::int64_t ns) { return double(ns) / 1000.0; }
 
 /// Total simulated device time accumulated by the PD stores' latency
-/// models (0 when the world booted without a latency profile). Benches
-/// report device-normalized throughput by dividing work by
-/// wall time + the DELTA of this across the measured section.
+/// models, across EVERY shard (0 when the world booted without a latency
+/// profile). Benches report device-normalized throughput by dividing
+/// work by wall time + the DELTA of this across the measured section.
 inline std::uint64_t SimulatedDeviceNanos(core::RgpdOs& os) {
   std::uint64_t ns = 0;
-  if (auto* latency = os.dbfs_latency()) ns += latency->simulated_ns();
-  if (auto* latency = os.sensitive_latency()) ns += latency->simulated_ns();
+  for (std::size_t shard = 0; shard < os.shard_count(); ++shard) {
+    if (auto* latency = os.dbfs_latency(shard)) ns += latency->simulated_ns();
+    if (auto* latency = os.sensitive_latency(shard)) {
+      ns += latency->simulated_ns();
+    }
+  }
   return ns;
 }
 
-/// Combined block-cache counters across the PD stores (zeros when the
-/// world booted with cache_blocks = 0).
+/// One shard's simulated device time alone (per-shard server clocks in
+/// the open-loop scale-out driver).
+inline std::uint64_t SimulatedDeviceNanosOfShard(core::RgpdOs& os,
+                                                 std::size_t shard) {
+  std::uint64_t ns = 0;
+  if (auto* latency = os.dbfs_latency(shard)) ns += latency->simulated_ns();
+  if (auto* latency = os.sensitive_latency(shard)) {
+    ns += latency->simulated_ns();
+  }
+  return ns;
+}
+
+/// Combined block-cache counters across the PD stores of every shard
+/// (zeros when the world booted with cache_blocks = 0).
 inline blockdev::BlockCacheStats BlockCacheStatsOf(core::RgpdOs& os) {
   blockdev::BlockCacheStats total;
-  for (blockdev::BlockCacheDevice* cache :
-       {os.dbfs_cache(), os.sensitive_cache()}) {
-    if (cache == nullptr) continue;
-    const blockdev::BlockCacheStats s = cache->CacheStats();
-    total.hits += s.hits;
-    total.misses += s.misses;
-    total.evictions += s.evictions;
-    total.invalidations += s.invalidations;
+  for (std::size_t shard = 0; shard < os.shard_count(); ++shard) {
+    for (blockdev::BlockCacheDevice* cache :
+         {os.dbfs_cache(shard), os.sensitive_cache(shard)}) {
+      if (cache == nullptr) continue;
+      const blockdev::BlockCacheStats s = cache->CacheStats();
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.evictions += s.evictions;
+      total.invalidations += s.invalidations;
+    }
   }
   return total;
 }
+
+// ---- latency accounting (shared by the mix / parallel / scale-out
+// benches) -----------------------------------------------------------------
+
+/// Per-op latency samples with percentile readout. Stores every sample
+/// (bench op counts are bounded), sorts lazily on first percentile read.
+class LatencyReservoir {
+ public:
+  void Record(double ns) {
+    samples_.push_back(ns);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double mean_ns() const {
+    if (samples_.empty()) return 0;
+    double total = 0;
+    for (const double s : samples_) total += s;
+    return total / double(samples_.size());
+  }
+
+  /// Nearest-rank percentile, q in [0, 1]. p50 = Percentile(0.50).
+  [[nodiscard]] double PercentileNs(double q) {
+    if (samples_.empty()) return 0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * double(samples_.size())));
+    return samples_[std::min(rank == 0 ? 0 : rank - 1, samples_.size() - 1)];
+  }
+
+  [[nodiscard]] double P50Us() { return PercentileNs(0.50) / 1000.0; }
+  [[nodiscard]] double P99Us() { return PercentileNs(0.99) / 1000.0; }
+  [[nodiscard]] double P999Us() { return PercentileNs(0.999) / 1000.0; }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Open-loop (target-QPS) arrival schedule with per-server completion
+/// accounting — the load model GDPRbench-style drivers need to surface
+/// queueing delay instead of the closed-loop back-off that hides it.
+///
+/// Arrivals are Poisson: successive gaps are exponential with mean
+/// 1/qps, drawn from a seeded Rng so a run is reproducible. Each op is
+/// dispatched to one server (shard); a server is a FIFO queue, so the op
+/// starts at max(arrival, server-free time) and completes start +
+/// service. The recorded latency is the SOJOURN time (completion -
+/// arrival): service plus time spent queued behind earlier ops on the
+/// same shard. An overloaded shard therefore shows up as an exploding
+/// p99, exactly like a real open-loop harness.
+class OpenLoopRecorder {
+ public:
+  OpenLoopRecorder(double target_qps, std::size_t servers,
+                   std::uint64_t seed = 7)
+      : gap_mean_ns_(1e9 / target_qps),
+        rng_(seed),
+        server_free_ns_(servers, 0.0),
+        server_ops_(servers, 0) {}
+
+  /// Draw the next Poisson arrival time (virtual ns since run start).
+  double NextArrivalNs() {
+    // Inverse-CDF exponential; 1 - U in (0, 1] keeps log() finite.
+    next_arrival_ns_ += -gap_mean_ns_ * std::log(1.0 - rng_.NextDouble());
+    return next_arrival_ns_;
+  }
+
+  /// Account one completed op: dispatched at `arrival_ns` to `server`,
+  /// costing `service_ns` of server time. Returns the sojourn time.
+  double Complete(double arrival_ns, std::size_t server, double service_ns) {
+    double& free_at = server_free_ns_[server];
+    const double start = std::max(arrival_ns, free_at);
+    free_at = start + service_ns;
+    ++server_ops_[server];
+    const double sojourn = free_at - arrival_ns;
+    latency_.Record(sojourn);
+    makespan_ns_ = std::max(makespan_ns_, free_at);
+    return sojourn;
+  }
+
+  /// Account one fan-out op that occupies EVERY server (regulator scans,
+  /// schema ops): each server is busy for its own share, the op
+  /// completes when the slowest server drains. One latency sample; the
+  /// op counts toward every server it ran on.
+  double CompleteFanOut(double arrival_ns,
+                        const std::vector<double>& service_per_server) {
+    double completion = arrival_ns;
+    for (std::size_t s = 0; s < server_free_ns_.size(); ++s) {
+      double& free_at = server_free_ns_[s];
+      const double start = std::max(arrival_ns, free_at);
+      free_at = start + service_per_server[s];
+      ++server_ops_[s];
+      completion = std::max(completion, free_at);
+    }
+    const double sojourn = completion - arrival_ns;
+    latency_.Record(sojourn);
+    makespan_ns_ = std::max(makespan_ns_, completion);
+    return sojourn;
+  }
+
+  [[nodiscard]] LatencyReservoir& latency() { return latency_; }
+  [[nodiscard]] std::size_t server_count() const {
+    return server_free_ns_.size();
+  }
+  [[nodiscard]] std::uint64_t server_ops(std::size_t server) const {
+    return server_ops_[server];
+  }
+  /// Virtual time at which the last op drained (>= the last arrival).
+  [[nodiscard]] double MakespanNs() const { return makespan_ns_; }
+  /// Achieved throughput over the drain horizon, ops/s.
+  [[nodiscard]] double AchievedOpsPerSec() const {
+    return makespan_ns_ > 0
+               ? double(latency_.count()) / (makespan_ns_ / 1e9)
+               : 0;
+  }
+  /// Per-server throughput over the drain horizon, ops/s.
+  [[nodiscard]] double ServerOpsPerSec(std::size_t server) const {
+    return makespan_ns_ > 0
+               ? double(server_ops_[server]) / (makespan_ns_ / 1e9)
+               : 0;
+  }
+
+ private:
+  double gap_mean_ns_;
+  Rng rng_;
+  double next_arrival_ns_ = 0;
+  std::vector<double> server_free_ns_;
+  std::vector<std::uint64_t> server_ops_;
+  double makespan_ns_ = 0;
+  LatencyReservoir latency_;
+};
 
 /// Write a CI artifact `BENCH_<name>.json` holding the bench's headline
 /// numbers plus a full metrics-registry snapshot, into

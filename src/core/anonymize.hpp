@@ -62,7 +62,7 @@ struct AnonymizationResult {
 
 class Anonymizer {
  public:
-  Anonymizer(dbfs::Dbfs* dbfs, ProcessingLog* log, const Clock* clock)
+  Anonymizer(dbfs::DbfsApi* dbfs, ProcessingLog* log, const Clock* clock)
       : dbfs_(dbfs), log_(log), clock_(clock) {}
 
   /// Generalise every live, unexpired record of `type_name` per `spec`
@@ -74,7 +74,7 @@ class Anonymizer {
                                       std::string_view npd_path);
 
  private:
-  dbfs::Dbfs* dbfs_;    // borrowed
+  dbfs::DbfsApi* dbfs_;    // borrowed
   ProcessingLog* log_;  // borrowed
   const Clock* clock_;  // borrowed
 };

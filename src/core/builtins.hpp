@@ -15,7 +15,7 @@ namespace rgpdos::core {
 
 class Builtins {
  public:
-  Builtins(dbfs::Dbfs* dbfs, ProcessingLog* log, const Clock* clock,
+  Builtins(dbfs::DbfsApi* dbfs, ProcessingLog* log, const Clock* clock,
            crypto::SecureRandom* rng)
       : dbfs_(dbfs), log_(log), clock_(clock), rng_(rng) {}
 
@@ -60,7 +60,7 @@ class Builtins {
                           const std::function<void(membrane::Membrane&)>&
                               mutate);
 
-  dbfs::Dbfs* dbfs_;            // borrowed
+  dbfs::DbfsApi* dbfs_;            // borrowed
   ProcessingLog* log_;          // borrowed
   const Clock* clock_;          // borrowed
   crypto::SecureRandom* rng_;   // borrowed

@@ -70,7 +70,7 @@ class DataExecutionDomain {
   /// `memoize_decisions` == false recomputes every consent decision
   /// (cache_decisions=0: the pre-cache behaviour; the load_data version
   /// re-validation stays on either way — it is a correctness property).
-  DataExecutionDomain(PassKey, dbfs::Dbfs* dbfs, sentinel::Sentinel* sentinel,
+  DataExecutionDomain(PassKey, dbfs::DbfsApi* dbfs, sentinel::Sentinel* sentinel,
                       ProcessingLog* log, const Clock* clock,
                       DedExecutor* executor = nullptr,
                       bool memoize_decisions = true)
@@ -180,7 +180,7 @@ class DataExecutionDomain {
                           TimeMicros now, bool want_trace,
                           DecisionMemo* memo) const;
 
-  dbfs::Dbfs* dbfs_;             // borrowed
+  dbfs::DbfsApi* dbfs_;             // borrowed
   sentinel::Sentinel* sentinel_; // borrowed
   ProcessingLog* log_;           // borrowed
   const Clock* clock_;           // borrowed

@@ -84,7 +84,7 @@ class RetentionSweeper {
   /// optional; `authority_key` + `rng` are required only in crypto mode
   /// (the crash harness runs the sweeper bare: dbfs + clock only).
   struct Deps {
-    dbfs::Dbfs* dbfs = nullptr;
+    dbfs::DbfsApi* dbfs = nullptr;
     const Clock* clock = nullptr;
     sentinel::AuditSink* audit = nullptr;
     ProcessingLog* log = nullptr;

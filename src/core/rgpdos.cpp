@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/rng.hpp"
+#include "dbfs/sharded_dbfs.hpp"
 #include "dsl/parser.hpp"
 #include "kernel/placement.hpp"
 
@@ -22,6 +23,64 @@ std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
 }
 
 }  // namespace
+
+Result<RgpdOs::StoreStack> RgpdOs::BuildStack(const BootConfig& config,
+                                              blockdev::BlockDevice* attached,
+                                              std::uint64_t blocks,
+                                              metrics::LockRank lock_rank,
+                                              const Clock* clock,
+                                              bool mount_existing) {
+  // Stack order, inner to outer: raw device -> optional fault injector
+  // (it models the medium plus its volatile disk cache, so it must be
+  // the closest decorator to the raw device) -> optional latency model
+  // (simulated IO cost) -> optional block cache (level 1 of the caching
+  // stack; on the OUTSIDE so a cache hit pays neither device nor
+  // simulated-latency cost, exactly like a page-cache hit skips a real
+  // disk).
+  StoreStack stack;
+  if (attached != nullptr) {
+    stack.raw = attached;
+  } else {
+    stack.owned_device = std::make_unique<blockdev::MemBlockDevice>(
+        config.block_size, blocks);
+    stack.raw = stack.owned_device.get();
+  }
+  blockdev::BlockDevice* dev = stack.raw;
+  if (config.fault_inject) {
+    stack.fault = std::make_unique<blockdev::FaultInjectingBlockDevice>(
+        dev, config.fault_plan);
+    dev = stack.fault.get();
+  }
+  if (!config.latency.IsZero()) {
+    stack.latency =
+        std::make_unique<blockdev::LatencyModelDevice>(dev, config.latency);
+    dev = stack.latency.get();
+  }
+  if (config.cache_blocks != 0) {
+    stack.cache = std::make_unique<blockdev::BlockCacheDevice>(
+        dev, config.cache_blocks, config.cache_shards);
+    dev = stack.cache.get();
+  }
+  stack.top = dev;
+  if (mount_existing) {
+    // Boot-time crash recovery: mount the surviving image. Replay,
+    // checkpoint and the inodefs.recovery.* metrics happen inside Mount;
+    // the freshly built cache above starts cold, so nothing pre-crash
+    // can be served from RAM.
+    RGPD_ASSIGN_OR_RETURN(
+        stack.store,
+        inodefs::InodeStore::Mount(dev, clock, lock_rank, config.io_retry));
+  } else {
+    inodefs::InodeStore::Options options;
+    options.inode_count = config.inode_count;
+    options.journal_blocks = config.journal_blocks;
+    options.io_retry = config.io_retry;
+    options.lock_rank = lock_rank;
+    RGPD_ASSIGN_OR_RETURN(
+        stack.store, inodefs::InodeStore::Format(dev, options, clock));
+  }
+  return stack;
+}
 
 Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
   BootConfig config = boot_config;
@@ -76,6 +135,21 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
         "attach_dbfs_device carries one image; split_sensitive needs two "
         "devices");
   }
+  // RGPDOS_SHARDS: boot the PD spine N-way sharded (DESIGN.md §12). The
+  // env override is ignored for attach-mode boots — a single surviving
+  // image is by definition one shard — so the sharded CI matrix doesn't
+  // break crash-recovery tests. An EXPLICIT shards > 1 with an attached
+  // device is a contradiction and fails loudly instead of misbooting.
+  if (config.attach_dbfs_device == nullptr) {
+    config.shards = static_cast<std::size_t>(
+        EnvU64("RGPDOS_SHARDS", config.shards));
+  } else if (config.shards > 1) {
+    return InvalidArgument(
+        "attach_dbfs_device carries one single-shard image; boot with "
+        "shards == 1 (got " +
+        std::to_string(config.shards) + ")");
+  }
+  if (config.shards == 0) config.shards = 1;
   std::unique_ptr<RgpdOs> os(new RgpdOs());
 
   if (config.use_sim_clock) {
@@ -95,101 +169,70 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
       sentinel::SecurityPolicy::RgpdDefault(), os->clock_.get(),
       &os->audit_);
 
-  // DBFS on its own device (paper: DBFS is reachable only through rgpdOS
-  // components; the NPD filesystem is a separate, generally accessible
-  // store).
-  // PD device stack, inner to outer: raw memory device -> optional fault
-  // injector (it models the medium plus its volatile disk cache, so it
-  // must be the closest decorator to the raw device) -> optional latency
-  // model (simulated IO cost) -> optional block cache (level 1 of the
-  // caching stack; on the OUTSIDE so a cache hit pays neither device nor
-  // simulated-latency cost, exactly like a page-cache hit skips a real
-  // disk).
-  blockdev::BlockDevice* dbfs_dev = config.attach_dbfs_device;
-  if (dbfs_dev == nullptr) {
-    os->dbfs_device_ = std::make_unique<blockdev::MemBlockDevice>(
-        config.block_size, config.dbfs_blocks);
-    dbfs_dev = os->dbfs_device_.get();
-  }
-  if (config.fault_inject) {
-    os->dbfs_fault_ = std::make_unique<blockdev::FaultInjectingBlockDevice>(
-        dbfs_dev, config.fault_plan);
-    dbfs_dev = os->dbfs_fault_.get();
-  }
-  if (!config.latency.IsZero()) {
-    os->dbfs_latency_ = std::make_unique<blockdev::LatencyModelDevice>(
-        dbfs_dev, config.latency);
-    dbfs_dev = os->dbfs_latency_.get();
-  }
-  if (config.cache_blocks != 0) {
-    os->dbfs_cache_ = std::make_unique<blockdev::BlockCacheDevice>(
-        dbfs_dev, config.cache_blocks, config.cache_shards);
-    dbfs_dev = os->dbfs_cache_.get();
-  }
-  inodefs::InodeStore::Options dbfs_options;
-  dbfs_options.inode_count = config.inode_count;
-  dbfs_options.journal_blocks = config.journal_blocks;
-  dbfs_options.io_retry = config.io_retry;
-  if (config.attach_dbfs_device != nullptr) {
-    // Boot-time crash recovery: mount the surviving image. Replay,
-    // checkpoint and the inodefs.recovery.* metrics happen inside Mount;
-    // the freshly built cache above starts cold, so nothing pre-crash
-    // can be served from RAM.
+  // DBFS on its own device(s) (paper: DBFS is reachable only through
+  // rgpdOS components; the NPD filesystem is a separate, generally
+  // accessible store). Each shard is a full vertical StoreStack — see
+  // BuildStack for the decorator order — replicated `shards` times;
+  // with split_sensitive every shard also gets a sensitive sibling
+  // (paper §2's storage separation: its own blocks, inodes and journal,
+  // its own cache/latency stack, so sensitive PD never shares cache
+  // lines with ordinary PD; its mutex ranks just below the primary
+  // store's so DBFS can nest sensitive-store writes inside a
+  // primary-store group-commit scope).
+  os->pd_shards_.reserve(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    blockdev::BlockDevice* attached =
+        i == 0 ? config.attach_dbfs_device : nullptr;
     RGPD_ASSIGN_OR_RETURN(
-        os->dbfs_store_,
-        inodefs::InodeStore::Mount(dbfs_dev, os->clock_.get(),
-                                   metrics::LockRank::kInodefs,
-                                   config.io_retry));
-  } else {
-    RGPD_ASSIGN_OR_RETURN(
-        os->dbfs_store_,
-        inodefs::InodeStore::Format(dbfs_dev, dbfs_options, os->clock_.get()));
+        StoreStack stack,
+        BuildStack(config, attached, config.dbfs_blocks,
+                   metrics::LockRank::kInodefs, os->clock_.get(),
+                   /*mount_existing=*/attached != nullptr));
+    os->pd_shards_.push_back(std::move(stack));
   }
   if (config.split_sensitive) {
-    // Dedicated device for high-sensitivity PD (paper §2's storage
-    // separation): its own blocks, inodes and journal — and its own
-    // cache/latency stack, so sensitive PD never shares cache lines
-    // with ordinary PD. Its mutex ranks just below the primary store's
-    // so DBFS can nest sensitive-store writes inside a primary-store
-    // group-commit scope.
-    os->sensitive_device_ = std::make_unique<blockdev::MemBlockDevice>(
-        config.block_size, config.sensitive_blocks);
-    blockdev::BlockDevice* sensitive_dev = os->sensitive_device_.get();
-    if (config.fault_inject) {
-      os->sensitive_fault_ =
-          std::make_unique<blockdev::FaultInjectingBlockDevice>(
-              sensitive_dev, config.fault_plan);
-      sensitive_dev = os->sensitive_fault_.get();
+    os->sensitive_shards_.reserve(config.shards);
+    for (std::size_t i = 0; i < config.shards; ++i) {
+      RGPD_ASSIGN_OR_RETURN(
+          StoreStack stack,
+          BuildStack(config, /*attached=*/nullptr, config.sensitive_blocks,
+                     metrics::LockRank::kInodefsSensitive, os->clock_.get(),
+                     /*mount_existing=*/false));
+      os->sensitive_shards_.push_back(std::move(stack));
     }
-    if (!config.latency.IsZero()) {
-      os->sensitive_latency_ = std::make_unique<blockdev::LatencyModelDevice>(
-          sensitive_dev, config.latency);
-      sensitive_dev = os->sensitive_latency_.get();
-    }
-    if (config.cache_blocks != 0) {
-      os->sensitive_cache_ = std::make_unique<blockdev::BlockCacheDevice>(
-          sensitive_dev, config.cache_blocks, config.cache_shards);
-      sensitive_dev = os->sensitive_cache_.get();
-    }
-    inodefs::InodeStore::Options sensitive_options = dbfs_options;
-    sensitive_options.lock_rank = metrics::LockRank::kInodefsSensitive;
-    RGPD_ASSIGN_OR_RETURN(
-        os->sensitive_store_,
-        inodefs::InodeStore::Format(sensitive_dev, sensitive_options,
-                                    os->clock_.get()));
   }
-  if (config.attach_dbfs_device != nullptr) {
-    RGPD_ASSIGN_OR_RETURN(
-        os->dbfs_,
-        dbfs::Dbfs::Mount(os->dbfs_store_.get(), os->sentinel_.get(),
-                          os->clock_.get()));
+  if (config.shards == 1) {
+    if (config.attach_dbfs_device != nullptr) {
+      RGPD_ASSIGN_OR_RETURN(
+          os->dbfs_,
+          dbfs::Dbfs::Mount(os->pd_shards_[0].store.get(),
+                            os->sentinel_.get(), os->clock_.get()));
+    } else {
+      RGPD_ASSIGN_OR_RETURN(
+          os->dbfs_,
+          dbfs::Dbfs::Format(os->pd_shards_[0].store.get(),
+                             os->sentinel_.get(), os->clock_.get(),
+                             config.split_sensitive
+                                 ? os->sensitive_shards_[0].store.get()
+                                 : nullptr));
+    }
   } else {
+    std::vector<inodefs::InodeStore*> stores;
+    std::vector<inodefs::InodeStore*> sensitive_stores;
+    stores.reserve(config.shards);
+    for (const StoreStack& stack : os->pd_shards_) {
+      stores.push_back(stack.store.get());
+    }
+    for (const StoreStack& stack : os->sensitive_shards_) {
+      sensitive_stores.push_back(stack.store.get());
+    }
     RGPD_ASSIGN_OR_RETURN(
         os->dbfs_,
-        dbfs::Dbfs::Format(os->dbfs_store_.get(), os->sentinel_.get(),
-                           os->clock_.get(), os->sensitive_store_.get()));
+        dbfs::ShardedDbfs::Format(stores, os->sentinel_.get(),
+                                  os->clock_.get(), sensitive_stores));
   }
-  // Level 2: decoded-record cache with generation invalidation.
+  // Level 2: decoded-record cache with generation invalidation (the
+  // facade splits the budget across shards).
   if (config.cache_record_entries != 0) {
     os->dbfs_->EnableRecordCache(config.cache_record_entries);
   }
@@ -209,7 +252,8 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
   os->npd_fs_ = std::make_unique<inodefs::FileSystem>(std::move(npd_fs));
 
   os->log_ = std::make_unique<ProcessingLog>(os->clock_.get());
-  os->log_->AttachStore(os->dbfs_store_.get(),
+  // The processing log lives on shard 0's store at any shard count.
+  os->log_->AttachStore(os->pd_shards_[0].store.get(),
                         os->dbfs_->processing_log_inode());
 
   // DED worker pool. worker_threads == 1 keeps the historical inline

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "blockdev/block_cache.hpp"
 #include "blockdev/block_device.hpp"
@@ -102,8 +103,21 @@ struct BootConfig {
   /// boot-time crash-recovery entry point) rather than calling Format.
   /// The device is borrowed and must outlive the instance; it still gets
   /// the latency/cache decorators, which come up cold. Incompatible with
-  /// split_sensitive (a split image needs two devices).
+  /// split_sensitive (a split image needs two devices) and with
+  /// `shards > 1` (one image is one shard — Boot returns
+  /// kInvalidArgument rather than silently misbooting).
   blockdev::BlockDevice* attach_dbfs_device = nullptr;
+  /// Number of independent PD store shards (DESIGN.md §12). 1 (default)
+  /// boots the classic single-store spine. N > 1 replicates the whole
+  /// vertical stack N times — device, fault injector, latency model,
+  /// block cache, journaled inode store (and, with split_sensitive, a
+  /// sensitive sibling per shard) — behind a dbfs::ShardedDbfs facade
+  /// routing subjects by `subject % N`. Each shard gets the full
+  /// dbfs_blocks / inode_count / journal_blocks / cache_blocks budget.
+  /// The env var RGPDOS_SHARDS overrides at runtime (ignored when
+  /// attach_dbfs_device is set, so single-image boots keep working
+  /// under a sharded CI matrix).
+  std::size_t shards = 1;
 };
 
 class RgpdOs {
@@ -111,7 +125,9 @@ class RgpdOs {
   static Result<std::unique_ptr<RgpdOs>> Boot(const BootConfig& config);
 
   // ---- components ------------------------------------------------------------
-  [[nodiscard]] dbfs::Dbfs& dbfs() { return *dbfs_; }
+  /// The PD store: a single Dbfs (shards == 1) or the ShardedDbfs
+  /// routing facade (shards > 1) — same contract either way.
+  [[nodiscard]] dbfs::DbfsApi& dbfs() { return *dbfs_; }
   [[nodiscard]] ProcessingStore& ps() { return *ps_; }
   [[nodiscard]] ProcessingLog& processing_log() { return *log_; }
   [[nodiscard]] Builtins& builtins() { return *builtins_; }
@@ -125,36 +141,51 @@ class RgpdOs {
   [[nodiscard]] sentinel::Sentinel& sentinel() { return *sentinel_; }
   [[nodiscard]] sentinel::AuditSink& audit() { return audit_; }
   [[nodiscard]] inodefs::FileSystem& npd_fs() { return *npd_fs_; }
-  [[nodiscard]] inodefs::InodeStore& dbfs_store() { return *dbfs_store_; }
-  /// The raw in-memory PD device. Only valid when booted without
-  /// attach_dbfs_device (attach mode borrows the caller's device).
-  [[nodiscard]] blockdev::MemBlockDevice& dbfs_device() {
-    return *dbfs_device_;
+  /// Number of PD store shards this instance booted with (>= 1).
+  [[nodiscard]] std::size_t shard_count() const { return pd_shards_.size(); }
+  /// Shard `shard`'s journaled inode store (0 = the first/only shard,
+  /// which also carries the processing log).
+  [[nodiscard]] inodefs::InodeStore& dbfs_store(std::size_t shard = 0) {
+    return *pd_shards_[shard].store;
   }
-  /// Non-null iff booted with split_sensitive.
-  [[nodiscard]] blockdev::MemBlockDevice* sensitive_device() {
-    return sensitive_device_.get();
+  /// Shard `shard`'s raw PD device, as the BlockDevice interface (it may
+  /// be an owned MemBlockDevice or a caller-attached medium).
+  [[nodiscard]] blockdev::BlockDevice& dbfs_device(std::size_t shard = 0) {
+    return *pd_shards_[shard].raw;
+  }
+  /// Non-null iff booted with split_sensitive (per shard).
+  [[nodiscard]] blockdev::BlockDevice* sensitive_device(
+      std::size_t shard = 0) {
+    return sensitive_shards_.empty() ? nullptr : sensitive_shards_[shard].raw;
   }
   /// Non-null iff booted with cache_blocks != 0.
-  [[nodiscard]] blockdev::BlockCacheDevice* dbfs_cache() {
-    return dbfs_cache_.get();
+  [[nodiscard]] blockdev::BlockCacheDevice* dbfs_cache(std::size_t shard = 0) {
+    return pd_shards_[shard].cache.get();
   }
-  [[nodiscard]] blockdev::BlockCacheDevice* sensitive_cache() {
-    return sensitive_cache_.get();
+  [[nodiscard]] blockdev::BlockCacheDevice* sensitive_cache(
+      std::size_t shard = 0) {
+    return sensitive_shards_.empty() ? nullptr
+                                     : sensitive_shards_[shard].cache.get();
   }
   /// Non-null iff booted with a non-zero latency profile.
-  [[nodiscard]] blockdev::LatencyModelDevice* dbfs_latency() {
-    return dbfs_latency_.get();
+  [[nodiscard]] blockdev::LatencyModelDevice* dbfs_latency(
+      std::size_t shard = 0) {
+    return pd_shards_[shard].latency.get();
   }
-  [[nodiscard]] blockdev::LatencyModelDevice* sensitive_latency() {
-    return sensitive_latency_.get();
+  [[nodiscard]] blockdev::LatencyModelDevice* sensitive_latency(
+      std::size_t shard = 0) {
+    return sensitive_shards_.empty() ? nullptr
+                                     : sensitive_shards_[shard].latency.get();
   }
   /// Non-null iff booted with fault injection (config or RGPDOS_FAULT_*).
-  [[nodiscard]] blockdev::FaultInjectingBlockDevice* dbfs_fault() {
-    return dbfs_fault_.get();
+  [[nodiscard]] blockdev::FaultInjectingBlockDevice* dbfs_fault(
+      std::size_t shard = 0) {
+    return pd_shards_[shard].fault.get();
   }
-  [[nodiscard]] blockdev::FaultInjectingBlockDevice* sensitive_fault() {
-    return sensitive_fault_.get();
+  [[nodiscard]] blockdev::FaultInjectingBlockDevice* sensitive_fault(
+      std::size_t shard = 0) {
+    return sensitive_shards_.empty() ? nullptr
+                                     : sensitive_shards_[shard].fault.get();
   }
   [[nodiscard]] const Clock& clock() const { return *clock_; }
   /// Non-null iff booted with use_sim_clock.
@@ -191,6 +222,30 @@ class RgpdOs {
  private:
   RgpdOs() : rng_(0) {}
 
+  /// One shard's vertical storage stack — the composition unit the
+  /// sharded spine replicates. Members are declared raw-device first and
+  /// store last, so the implicit reverse-order destruction tears down
+  /// store -> cache -> latency -> fault -> device (inner before outer,
+  /// exactly the order the old singleton members guaranteed).
+  struct StoreStack {
+    std::unique_ptr<blockdev::MemBlockDevice> owned_device;  // null if attached
+    blockdev::BlockDevice* raw = nullptr;  ///< owned_device or attached medium
+    std::unique_ptr<blockdev::FaultInjectingBlockDevice> fault;
+    std::unique_ptr<blockdev::LatencyModelDevice> latency;
+    std::unique_ptr<blockdev::BlockCacheDevice> cache;
+    blockdev::BlockDevice* top = nullptr;  ///< outermost decorator
+    std::unique_ptr<inodefs::InodeStore> store;
+  };
+  /// Build one shard's stack over `attached` (or a fresh MemBlockDevice
+  /// of `blocks` when null), then Format — or Mount, replaying the
+  /// journal, when `mount_existing` — the inode store on top.
+  static Result<StoreStack> BuildStack(const BootConfig& config,
+                                       blockdev::BlockDevice* attached,
+                                       std::uint64_t blocks,
+                                       metrics::LockRank lock_rank,
+                                       const Clock* clock,
+                                       bool mount_existing);
+
   std::unique_ptr<Clock> clock_;
   SimClock* sim_clock_ = nullptr;  // aliases clock_ when simulated
   crypto::SecureRandom rng_;
@@ -198,22 +253,16 @@ class RgpdOs {
   sentinel::AuditSink audit_;
   std::unique_ptr<sentinel::Sentinel> sentinel_;
 
-  // PD device stacks (destruction order: stores first, then decorators,
-  // then the raw devices — members are declared inner-to-outer).
-  std::unique_ptr<blockdev::MemBlockDevice> dbfs_device_;
-  std::unique_ptr<blockdev::MemBlockDevice> sensitive_device_;
+  // PD shard stacks (declared before dbfs_, which borrows the stores and
+  // must be destroyed first). pd_shards_[i] and sensitive_shards_[i]
+  // together back DBFS shard i; sensitive_shards_ is empty unless booted
+  // with split_sensitive.
+  std::vector<StoreStack> pd_shards_;
+  std::vector<StoreStack> sensitive_shards_;
   std::unique_ptr<blockdev::MemBlockDevice> npd_device_;
-  std::unique_ptr<blockdev::FaultInjectingBlockDevice> dbfs_fault_;
-  std::unique_ptr<blockdev::FaultInjectingBlockDevice> sensitive_fault_;
-  std::unique_ptr<blockdev::LatencyModelDevice> dbfs_latency_;
-  std::unique_ptr<blockdev::LatencyModelDevice> sensitive_latency_;
-  std::unique_ptr<blockdev::BlockCacheDevice> dbfs_cache_;
-  std::unique_ptr<blockdev::BlockCacheDevice> sensitive_cache_;
-  std::unique_ptr<inodefs::InodeStore> dbfs_store_;
-  std::unique_ptr<inodefs::InodeStore> sensitive_store_;
   std::unique_ptr<inodefs::InodeStore> npd_store_;
   std::unique_ptr<inodefs::FileSystem> npd_fs_;
-  std::unique_ptr<dbfs::Dbfs> dbfs_;
+  std::unique_ptr<dbfs::DbfsApi> dbfs_;
 
   std::unique_ptr<ProcessingLog> log_;
   std::unique_ptr<DedExecutor> executor_;

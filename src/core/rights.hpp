@@ -19,7 +19,7 @@ namespace rgpdos::core {
 
 class Rights {
  public:
-  Rights(dbfs::Dbfs* dbfs, ProcessingLog* log, Builtins* builtins)
+  Rights(dbfs::DbfsApi* dbfs, ProcessingLog* log, Builtins* builtins)
       : dbfs_(dbfs), log_(log), builtins_(builtins) {}
 
   /// Right of access: a structured, machine-readable JSON document with
@@ -48,7 +48,7 @@ class Rights {
   Result<std::size_t> ImportSubject(const dbfs::SubjectExport& data);
 
  private:
-  dbfs::Dbfs* dbfs_;      // borrowed
+  dbfs::DbfsApi* dbfs_;      // borrowed
   ProcessingLog* log_;    // borrowed
   Builtins* builtins_;    // borrowed
 };

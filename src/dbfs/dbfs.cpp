@@ -37,9 +37,11 @@ Status Dbfs::Gate(sentinel::Domain caller, sentinel::Operation op,
 
 Result<std::unique_ptr<Dbfs>> Dbfs::Format(
     inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
-    const Clock* clock, inodefs::InodeStore* sensitive_store) {
+    const Clock* clock, inodefs::InodeStore* sensitive_store,
+    IdAllocation ids) {
+  if (ids.stride == 0) return InvalidArgument("id stride must be >= 1");
   std::unique_ptr<Dbfs> fs(new Dbfs(store, sentinel, clock,
-                                    sensitive_store));
+                                    sensitive_store, ids));
   RGPD_ASSIGN_OR_RETURN(fs->master_inode_,
                         store->AllocInode(inodefs::InodeKind::kFile));
   RGPD_ASSIGN_OR_RETURN(fs->types_map_inode_,
@@ -65,9 +67,11 @@ Result<std::unique_ptr<Dbfs>> Dbfs::Format(
 
 Result<std::unique_ptr<Dbfs>> Dbfs::Mount(
     inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
-    const Clock* clock, inodefs::InodeStore* sensitive_store) {
+    const Clock* clock, inodefs::InodeStore* sensitive_store,
+    IdAllocation ids) {
+  if (ids.stride == 0) return InvalidArgument("id stride must be >= 1");
   std::unique_ptr<Dbfs> fs(new Dbfs(store, sentinel, clock,
-                                    sensitive_store));
+                                    sensitive_store, ids));
   fs->master_inode_ = store->superblock().root_dir;
   if (fs->master_inode_ == inodefs::kInvalidInode) {
     return FailedPrecondition("store holds no DBFS (format it first)");
@@ -143,6 +147,15 @@ Result<std::unique_ptr<Dbfs>> Dbfs::Mount(
       Raise(fs->next_copy_group_, e.copy_group + 1);
     }
   }
+  // The high-water marks above come from raw on-disk ids (which, on a
+  // shard, include strides of the OTHER shards' copy groups via
+  // propagated membranes); snap them back onto this shard's progression.
+  fs->next_record_id_.store(
+      fs->AlignNext(fs->next_record_id_.load(std::memory_order_relaxed)),
+      std::memory_order_relaxed);
+  fs->next_copy_group_.store(
+      fs->AlignNext(fs->next_copy_group_.load(std::memory_order_relaxed)),
+      std::memory_order_relaxed);
   return fs;
 }
 
@@ -242,6 +255,10 @@ Result<inodefs::InodeId> Dbfs::GetOrCreateSubjectRoot(SubjectId subject) {
 Status Dbfs::CreateType(sentinel::Domain caller, const dsl::TypeDecl& decl) {
   RGPD_RETURN_IF_ERROR(
       Gate(caller, sentinel::Operation::kCreate, "type=" + decl.name));
+  return CreateTypeUngated(decl);
+}
+
+Status Dbfs::CreateTypeUngated(const dsl::TypeDecl& decl) {
   RGPD_RETURN_IF_ERROR(decl.Validate());
   std::lock_guard<metrics::OrderedSharedMutex> lock(schema_mu_);
   if (types_.count(decl.name) != 0) {
@@ -357,8 +374,8 @@ Result<RecordId> Dbfs::Put(sentinel::Domain caller, SubjectId subject,
     return FailedPrecondition("membrane subject does not match record");
   }
   if (membrane.copy_group == 0) {
-    membrane.copy_group = next_copy_group_.fetch_add(1,
-                                                     std::memory_order_relaxed);
+    membrane.copy_group =
+        next_copy_group_.fetch_add(ids_.stride, std::memory_order_relaxed);
   }
 
   // Serialise this subject's subtree, then resolve its root BEFORE the
@@ -368,7 +385,8 @@ Result<RecordId> Dbfs::Put(sentinel::Domain caller, SubjectId subject,
   RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root,
                         GetOrCreateSubjectRoot(subject));
 
-  const RecordId id = next_record_id_.fetch_add(1, std::memory_order_relaxed);
+  const RecordId id =
+      next_record_id_.fetch_add(ids_.stride, std::memory_order_relaxed);
   const std::uint8_t store_id =
       StoreIdFor(type_it->second.decl.sensitivity);
   inodefs::InodeStore* data_store = StoreById(store_id);
@@ -701,6 +719,11 @@ Result<std::vector<RecordId>> Dbfs::RecordsOfType(
     sentinel::Domain caller, std::string_view type) const {
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
                             "scan type=" + std::string(type)));
+  return RecordsOfTypeUngated(type);
+}
+
+Result<std::vector<RecordId>> Dbfs::RecordsOfTypeUngated(
+    std::string_view type) const {
   std::shared_lock<metrics::OrderedSharedMutex> schema_lock(schema_mu_);
   const auto type_it = types_.find(type);
   if (type_it == types_.end()) {
@@ -748,6 +771,11 @@ Result<std::vector<SubjectId>> Dbfs::SubjectsAfter(sentinel::Domain caller,
                                                    std::size_t limit) const {
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
                             "subject scan after=" + std::to_string(after)));
+  return SubjectsAfterUngated(after, limit);
+}
+
+Result<std::vector<SubjectId>> Dbfs::SubjectsAfterUngated(
+    SubjectId after, std::size_t limit) const {
   std::vector<SubjectId> out;
   if (limit == 0) return out;
   std::shared_lock<metrics::OrderedSharedMutex> index_lock(index_mu_);
@@ -762,6 +790,11 @@ Result<std::vector<RecordId>> Dbfs::CopyGroupMembers(
     sentinel::Domain caller, std::uint64_t group) const {
   RGPD_RETURN_IF_ERROR(Gate(caller, sentinel::Operation::kRead,
                             "copy_group=" + std::to_string(group)));
+  return CopyGroupMembersUngated(group);
+}
+
+Result<std::vector<RecordId>> Dbfs::CopyGroupMembersUngated(
+    std::uint64_t group) const {
   std::vector<RecordId> out;
   std::shared_lock<metrics::OrderedSharedMutex> index_lock(index_mu_);
   records_.ForEach([&](const RecordId& id, const RecordLoc& loc) {
@@ -776,6 +809,10 @@ Result<Dbfs::SensitivityReport> Dbfs::ReportSensitivity(
   // Schema-level metadata, not PD content: the sysadmin may read it.
   RGPD_RETURN_IF_ERROR(
       Gate(caller, sentinel::Operation::kReadSchema, "sensitivity report"));
+  return ReportSensitivityUngated();
+}
+
+Result<Dbfs::SensitivityReport> Dbfs::ReportSensitivityUngated() const {
   SensitivityReport report;
   Status failure = Status::Ok();
   std::shared_lock<metrics::OrderedSharedMutex> schema_lock(schema_mu_);

@@ -80,7 +80,110 @@ struct SubjectExport {
   std::vector<PdRecord> records;
 };
 
-class Dbfs {
+/// Identifier-space carve-up for one Dbfs instance. A standalone
+/// filesystem uses {0, 1} — ids 1, 2, 3, … exactly as before. Shard s of
+/// an N-way ShardedDbfs uses {s, N}: it mints record ids and copy groups
+/// from the arithmetic progression s+1, s+1+N, s+1+2N, …, so ids from
+/// different shards interleave without colliding and the owning shard of
+/// any id is recoverable as (id - 1) % N with no directory lookup.
+struct IdAllocation {
+  std::uint64_t offset = 0;
+  std::uint64_t stride = 1;
+};
+
+/// The DBFS surface as its consumers see it (DED, rights engine,
+/// retention sweeper, processing store, …). Two implementations: the
+/// single-store `Dbfs` below, and the N-way `ShardedDbfs` routing facade
+/// (sharded_dbfs.hpp) that composes N of them behind the same contract.
+class DbfsApi {
+ public:
+  /// Sensitivity segregation report (paper §2: "sensitive data … be
+  /// stored separately from less sensitive data"): live record counts
+  /// per sensitivity level and per type, for the sysadmin/regulator.
+  struct SensitivityReport {
+    std::array<std::size_t, 3> by_level{};  ///< [low, medium, high]
+    std::map<std::string, std::size_t> high_by_type;
+  };
+
+  virtual ~DbfsApi() = default;
+
+  // ---- schema tree (sysadmin surface) --------------------------------------
+  virtual Status CreateType(sentinel::Domain caller,
+                            const dsl::TypeDecl& decl) = 0;
+  virtual Result<const dsl::TypeDecl*> GetType(sentinel::Domain caller,
+                                               std::string_view name) const = 0;
+  [[nodiscard]] virtual std::vector<std::string> TypeNames() const = 0;
+
+  // ---- record surface (DED only) -------------------------------------------
+  virtual Result<RecordId> Put(sentinel::Domain caller, SubjectId subject,
+                               std::string_view type_name, const db::Row& row,
+                               membrane::Membrane membrane) = 0;
+  virtual Result<PdRecord> Get(sentinel::Domain caller, RecordId id) const = 0;
+  virtual Result<membrane::Membrane> GetMembrane(sentinel::Domain caller,
+                                                 RecordId id) const = 0;
+  virtual Status UpdateRow(sentinel::Domain caller, RecordId id,
+                           const db::Row& row) = 0;
+  virtual Status UpdateMembrane(sentinel::Domain caller, RecordId id,
+                                const membrane::Membrane& membrane) = 0;
+  virtual Status HardDelete(sentinel::Domain caller, RecordId id) = 0;
+  virtual Status ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
+                                     ByteSpan envelope) = 0;
+  virtual Result<Bytes> GetEnvelope(sentinel::Domain caller,
+                                    RecordId id) const = 0;
+
+  // ---- queries --------------------------------------------------------------
+  virtual Result<std::vector<RecordId>> RecordsOfType(
+      sentinel::Domain caller, std::string_view type) const = 0;
+  virtual Result<std::vector<RecordId>> RecordsOfSubject(
+      sentinel::Domain caller, SubjectId subject) const = 0;
+  /// Paged subject enumeration: up to `limit` subject ids STRICTLY
+  /// GREATER than `after`, ascending — across every shard when sharded.
+  /// The retention sweeper's cursor primitive. An empty result means the
+  /// cursor passed the last subject (wrap to `after = 0` for a new
+  /// cycle).
+  virtual Result<std::vector<SubjectId>> SubjectsAfter(
+      sentinel::Domain caller, SubjectId after, std::size_t limit) const = 0;
+  virtual Result<std::vector<RecordId>> CopyGroupMembers(
+      sentinel::Domain caller, std::uint64_t group) const = 0;
+  virtual Result<SubjectExport> ExportSubject(sentinel::Domain caller,
+                                              SubjectId subject) const = 0;
+
+  /// Fresh copy-group id for a newly collected record. Lock-free.
+  virtual std::uint64_t NewCopyGroup() = 0;
+
+  // ---- decoded-record cache -------------------------------------------------
+  /// Attach the decoded-record cache (see record_cache.hpp for the
+  /// generation protocol). Boot-time only: must not race record traffic.
+  /// `capacity` == 0 leaves caching off (the historical read path).
+  virtual void EnableRecordCache(std::size_t capacity) = 0;
+  /// Null when caching is off. Sharded: shard 0's cache (each shard owns
+  /// an independent cache + generation domain). Tests/introspection.
+  [[nodiscard]] virtual RecordCache* record_cache() = 0;
+  /// Decoded records held across EVERY shard's cache (0 when caching is
+  /// off) — the shard-count-invariant warmth signal for tests.
+  [[nodiscard]] virtual std::size_t cached_record_count() const = 0;
+  /// Mutation generation of the subject's shard (0 when uncached). Every
+  /// acknowledged membrane/row mutation advances it by 2.
+  [[nodiscard]] virtual std::uint64_t SubjectGeneration(
+      SubjectId subject) const = 0;
+
+  /// Inode reserved for the (hash-chained) processing log. Lives on the
+  /// (first) DBFS store: the log names subjects and purposes, so it must
+  /// not be readable through the NPD filesystem.
+  [[nodiscard]] virtual inodefs::InodeId processing_log_inode() const = 0;
+
+  // ---- stats ----------------------------------------------------------------
+  virtual Result<SensitivityReport> ReportSensitivity(
+      sentinel::Domain caller) const = 0;
+  [[nodiscard]] virtual std::size_t record_count() const = 0;
+  [[nodiscard]] virtual std::size_t subject_count() const = 0;
+  /// The (first) backing store — the one holding the processing log.
+  [[nodiscard]] virtual inodefs::InodeStore& store() = 0;
+};
+
+class ShardedDbfs;  // fwd (sharded_dbfs.hpp); befriended for ungated fan-out
+
+class Dbfs final : public DbfsApi {
  public:
   /// Format the store as an empty DBFS and mount it. When
   /// `sensitive_store` is non-null, records of high-sensitivity types
@@ -88,22 +191,27 @@ class Dbfs {
   /// sensitive data … be stored separately from less sensitive data",
   /// paper §2) — a separate device, separate journal, separate blast
   /// radius. The schema tree and subject tree stay on the primary store.
+  /// `ids` carves the record-id / copy-group space (shard stride).
   static Result<std::unique_ptr<Dbfs>> Format(
       inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
-      const Clock* clock, inodefs::InodeStore* sensitive_store = nullptr);
+      const Clock* clock, inodefs::InodeStore* sensitive_store = nullptr,
+      IdAllocation ids = {});
   /// Mount an existing DBFS: loads the schema tree, walks the subject
   /// tree to rebuild the in-memory record index. Pass the same
-  /// `sensitive_store` topology the filesystem was formatted with.
+  /// `sensitive_store` topology and `ids` carve-up the filesystem was
+  /// formatted with.
   static Result<std::unique_ptr<Dbfs>> Mount(
       inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
-      const Clock* clock, inodefs::InodeStore* sensitive_store = nullptr);
+      const Clock* clock, inodefs::InodeStore* sensitive_store = nullptr,
+      IdAllocation ids = {});
 
   // ---- schema tree (sysadmin surface) ---------------------------------------
 
-  Status CreateType(sentinel::Domain caller, const dsl::TypeDecl& decl);
+  Status CreateType(sentinel::Domain caller,
+                    const dsl::TypeDecl& decl) override;
   Result<const dsl::TypeDecl*> GetType(sentinel::Domain caller,
-                                       std::string_view name) const;
-  [[nodiscard]] std::vector<std::string> TypeNames() const;
+                                       std::string_view name) const override;
+  [[nodiscard]] std::vector<std::string> TypeNames() const override;
 
   // ---- record surface (DED only) --------------------------------------------
 
@@ -112,51 +220,53 @@ class Dbfs {
   /// there is no membrane-less insertion path at all).
   Result<RecordId> Put(sentinel::Domain caller, SubjectId subject,
                        std::string_view type_name, const db::Row& row,
-                       membrane::Membrane membrane);
-  Result<PdRecord> Get(sentinel::Domain caller, RecordId id) const;
+                       membrane::Membrane membrane) override;
+  Result<PdRecord> Get(sentinel::Domain caller, RecordId id) const override;
   /// Membrane-only fetch — the DED's ded_load_membrane step reads this
   /// BEFORE any PD bytes leave the store.
   Result<membrane::Membrane> GetMembrane(sentinel::Domain caller,
-                                         RecordId id) const;
-  Status UpdateRow(sentinel::Domain caller, RecordId id, const db::Row& row);
+                                         RecordId id) const override;
+  Status UpdateRow(sentinel::Domain caller, RecordId id,
+                   const db::Row& row) override;
   Status UpdateMembrane(sentinel::Domain caller, RecordId id,
-                        const membrane::Membrane& membrane);
+                        const membrane::Membrane& membrane) override;
 
   /// Physical destruction: scrub the record's blocks, then scrub the
   /// journal history. After this returns no plaintext byte of the record
   /// survives anywhere on the device (invariant E8's hard-delete arm).
-  Status HardDelete(sentinel::Domain caller, RecordId id);
+  Status HardDelete(sentinel::Domain caller, RecordId id) override;
 
   /// Crypto-erasure: replace the row bytes with `envelope` (sealed to the
   /// authority), revoke all consents, scrub old blocks + journal.
   Status ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
-                             ByteSpan envelope);
+                             ByteSpan envelope) override;
   /// Raw envelope bytes of an erased record (authority recovery path).
-  Result<Bytes> GetEnvelope(sentinel::Domain caller, RecordId id) const;
+  Result<Bytes> GetEnvelope(sentinel::Domain caller,
+                            RecordId id) const override;
 
   // ---- queries ---------------------------------------------------------------
 
-  Result<std::vector<RecordId>> RecordsOfType(sentinel::Domain caller,
-                                              std::string_view type) const;
-  Result<std::vector<RecordId>> RecordsOfSubject(sentinel::Domain caller,
-                                                 SubjectId subject) const;
+  Result<std::vector<RecordId>> RecordsOfType(
+      sentinel::Domain caller, std::string_view type) const override;
+  Result<std::vector<RecordId>> RecordsOfSubject(
+      sentinel::Domain caller, SubjectId subject) const override;
   /// Paged subject enumeration: up to `limit` subject ids STRICTLY
   /// GREATER than `after`, ascending. The retention sweeper's cursor
   /// primitive — an incremental scan that never holds the index lock
   /// across more than one page. An empty result means the cursor passed
   /// the last subject (wrap to `after = 0` to start a new cycle).
-  Result<std::vector<SubjectId>> SubjectsAfter(sentinel::Domain caller,
-                                               SubjectId after,
-                                               std::size_t limit) const;
+  Result<std::vector<SubjectId>> SubjectsAfter(
+      sentinel::Domain caller, SubjectId after,
+      std::size_t limit) const override;
   /// All records sharing a copy group (membrane-consistency propagation).
-  Result<std::vector<RecordId>> CopyGroupMembers(sentinel::Domain caller,
-                                                 std::uint64_t group) const;
+  Result<std::vector<RecordId>> CopyGroupMembers(
+      sentinel::Domain caller, std::uint64_t group) const override;
   Result<SubjectExport> ExportSubject(sentinel::Domain caller,
-                                      SubjectId subject) const;
+                                      SubjectId subject) const override;
 
   /// Fresh copy-group id for a newly collected record. Lock-free.
-  std::uint64_t NewCopyGroup() {
-    return next_copy_group_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t NewCopyGroup() override {
+    return next_copy_group_.fetch_add(ids_.stride, std::memory_order_relaxed);
   }
 
   // ---- decoded-record cache ---------------------------------------------------
@@ -164,38 +274,43 @@ class Dbfs {
   /// Attach the decoded-record cache (see record_cache.hpp for the
   /// generation protocol). Boot-time only: must not race record traffic.
   /// `capacity` == 0 leaves caching off (the historical read path).
-  void EnableRecordCache(std::size_t capacity);
+  void EnableRecordCache(std::size_t capacity) override;
   /// Null when caching is off. Exposed for tests and introspection.
-  [[nodiscard]] RecordCache* record_cache() { return record_cache_.get(); }
+  [[nodiscard]] RecordCache* record_cache() override {
+    return record_cache_.get();
+  }
+  [[nodiscard]] std::size_t cached_record_count() const override {
+    return record_cache_ == nullptr ? 0 : record_cache_->size();
+  }
   /// Mutation generation of the subject's shard (0 when uncached). Every
   /// acknowledged membrane/row mutation advances it by 2.
-  [[nodiscard]] std::uint64_t SubjectGeneration(SubjectId subject) const {
+  [[nodiscard]] std::uint64_t SubjectGeneration(
+      SubjectId subject) const override {
     return record_cache_ == nullptr ? 0 : record_cache_->generation(subject);
   }
 
   /// Inode reserved for the (hash-chained) processing log. Lives on the
   /// DBFS store: the log names subjects and purposes, so it must not be
   /// readable through the NPD filesystem.
-  [[nodiscard]] inodefs::InodeId processing_log_inode() const {
+  [[nodiscard]] inodefs::InodeId processing_log_inode() const override {
     return processing_log_inode_;
   }
 
   // ---- stats -----------------------------------------------------------------
 
-  /// Sensitivity segregation report (paper §2: "sensitive data … be
-  /// stored separately from less sensitive data"): live record counts
-  /// per sensitivity level and per type, for the sysadmin/regulator.
-  struct SensitivityReport {
-    std::array<std::size_t, 3> by_level{};  ///< [low, medium, high]
-    std::map<std::string, std::size_t> high_by_type;
-  };
-  Result<SensitivityReport> ReportSensitivity(sentinel::Domain caller) const;
+  Result<SensitivityReport> ReportSensitivity(
+      sentinel::Domain caller) const override;
 
-  [[nodiscard]] std::size_t record_count() const;
-  [[nodiscard]] std::size_t subject_count() const;
-  [[nodiscard]] inodefs::InodeStore& store() { return *store_; }
+  [[nodiscard]] std::size_t record_count() const override;
+  [[nodiscard]] std::size_t subject_count() const override;
+  [[nodiscard]] inodefs::InodeStore& store() override { return *store_; }
 
  private:
+  /// ShardedDbfs gates fan-out operations ONCE at the facade and then
+  /// calls the *Ungated internals on every shard, so the audit trail is
+  /// identical to a single-store boot (one sentinel decision per call).
+  friend class ShardedDbfs;
+
   struct TypeEntry {
     dsl::TypeDecl decl;
     db::Schema schema;
@@ -215,11 +330,15 @@ class Dbfs {
   };
 
   Dbfs(inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
-       const Clock* clock, inodefs::InodeStore* sensitive_store)
+       const Clock* clock, inodefs::InodeStore* sensitive_store,
+       IdAllocation ids)
       : store_(store),
         sensitive_store_(sensitive_store),
         sentinel_(sentinel),
-        clock_(clock) {}
+        clock_(clock),
+        ids_(ids),
+        next_record_id_(ids.offset + 1),
+        next_copy_group_(ids.offset + 1) {}
 
   /// The store a record's data inodes live on.
   [[nodiscard]] inodefs::InodeStore* StoreById(std::uint8_t store_id) const {
@@ -236,6 +355,28 @@ class Dbfs {
 
   Status Gate(sentinel::Domain caller, sentinel::Operation op,
               std::string detail) const;
+
+  // Sentinel-free internals behind the gated fan-out surface (facade
+  // audit discipline above). Each is exactly its public method minus the
+  // Gate line.
+  Status CreateTypeUngated(const dsl::TypeDecl& decl);
+  Result<std::vector<RecordId>> RecordsOfTypeUngated(
+      std::string_view type) const;
+  Result<std::vector<SubjectId>> SubjectsAfterUngated(SubjectId after,
+                                                      std::size_t limit) const;
+  Result<std::vector<RecordId>> CopyGroupMembersUngated(
+      std::uint64_t group) const;
+  Result<SensitivityReport> ReportSensitivityUngated() const;
+
+  /// Smallest id ≥ max(v, offset+1) inside this shard's progression —
+  /// Mount's high-water marks come from raw on-disk ids and must be
+  /// re-aligned to the stride before the first allocation.
+  [[nodiscard]] std::uint64_t AlignNext(std::uint64_t v) const {
+    const std::uint64_t base = ids_.offset + 1;
+    if (v <= base) return base;
+    const std::uint64_t rem = (v - base) % ids_.stride;
+    return rem == 0 ? v : v + (ids_.stride - rem);
+  }
 
   // Subject-tree persistence: each subject root holds the encoded list
   // of its record entries.
@@ -305,6 +446,7 @@ class Dbfs {
   inodefs::InodeStore* sensitive_store_;  // borrowed; may be null
   sentinel::Sentinel* sentinel_;          // borrowed
   const Clock* clock_;                    // borrowed
+  IdAllocation ids_;
 
   inodefs::InodeId master_inode_ = inodefs::kInvalidInode;
   inodefs::InodeId processing_log_inode_ = inodefs::kInvalidInode;
@@ -326,8 +468,8 @@ class Dbfs {
   std::map<SubjectId, inodefs::InodeId> subjects_;        // index_mu_
   db::BPlusTree<RecordId, RecordLoc> records_;            // index_mu_
   std::unique_ptr<RecordCache> record_cache_;             // null = off
-  std::atomic<RecordId> next_record_id_{1};
-  std::atomic<std::uint64_t> next_copy_group_{1};
+  std::atomic<RecordId> next_record_id_;
+  std::atomic<std::uint64_t> next_copy_group_;
 };
 
 }  // namespace rgpdos::dbfs

@@ -1,0 +1,176 @@
+// ShardedDbfs — N independent single-store DBFS instances behind one
+// DbfsApi routing facade (ROADMAP open item 1: the storage spine for
+// millions of subjects).
+//
+// Partitioning. Subjects are routed by `subject % N`: one shard owns a
+// subject's whole subtree (records, membranes, exports, generations).
+// Record ids and copy groups are minted per shard from disjoint strided
+// progressions (IdAllocation{s, N}: s+1, s+1+N, …), so record-routed
+// calls recover the owner as `(id - 1) % N` with no directory lookup,
+// and ids stay globally unique and monotonic per shard across remounts.
+// The schema tree is REPLICATED: CreateType applies to every shard, so
+// any shard can validate rows and serve type lookups locally.
+//
+// Isolation. Each shard is a full vertical stack — its own block
+// device, fault injector, latency model, block cache, its own
+// journaled InodeStore (private group commit, private replay), its own
+// record cache and generation domain. A journal stall, crash replay, or
+// cache invalidation storm on one shard never touches another.
+//
+// Audit discipline. Single-target calls (Put, Get, HardDelete, …)
+// forward to the owning shard, whose own sentinel gate fires exactly
+// once — identical to a single-store boot. Fan-out calls (CreateType,
+// RecordsOfType, SubjectsAfter, CopyGroupMembers, ReportSensitivity)
+// gate ONCE here at the facade with the same request the single-store
+// path would submit, then use the shards' sentinel-free internals
+// (friend access) — so the audit trail for a workload is byte-identical
+// at any shard count. The shard-count invariance test pins this.
+//
+// Crash semantics. Every shard journals and replays independently at
+// Mount; the facade's Mount additionally reconciles the replicated type
+// catalog (a crash mid-CreateType can leave a suffix of shards without
+// the newest type — the union is re-applied, which is idempotent and
+// safe because CreateType is the only catalog mutation and types are
+// never dropped). No cross-shard transaction exists by construction:
+// every mutating API call touches exactly one shard's stores.
+//
+// Thread-safety: the facade itself is stateless after construction
+// (routing is pure arithmetic on the immutable shard vector); all
+// synchronisation lives inside the per-shard Dbfs instances. Calls on
+// different shards proceed with zero shared locking.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dbfs/dbfs.hpp"
+
+namespace rgpdos::dbfs {
+
+class ShardedDbfs final : public DbfsApi {
+ public:
+  /// Format every store as an empty shard (shard i gets stores[i] and
+  /// id progression {i, N}) and assemble the facade. When
+  /// `sensitive_stores` is non-empty it must be N-long: shard i then
+  /// segregates its high-sensitivity records onto sensitive_stores[i].
+  static Result<std::unique_ptr<ShardedDbfs>> Format(
+      const std::vector<inodefs::InodeStore*>& stores,
+      sentinel::Sentinel* sentinel, const Clock* clock,
+      const std::vector<inodefs::InodeStore*>& sensitive_stores = {});
+  /// Mount every shard (each replays its own journal) with the same
+  /// topology it was formatted with, then reconcile the replicated type
+  /// catalog across shards (crash mid-CreateType tolerance).
+  static Result<std::unique_ptr<ShardedDbfs>> Mount(
+      const std::vector<inodefs::InodeStore*>& stores,
+      sentinel::Sentinel* sentinel, const Clock* clock,
+      const std::vector<inodefs::InodeStore*>& sensitive_stores = {});
+
+  // ---- schema tree (replicated; facade-gated fan-out) -----------------------
+  Status CreateType(sentinel::Domain caller,
+                    const dsl::TypeDecl& decl) override;
+  Result<const dsl::TypeDecl*> GetType(sentinel::Domain caller,
+                                       std::string_view name) const override;
+  [[nodiscard]] std::vector<std::string> TypeNames() const override;
+
+  // ---- record surface (routed to the owning shard) --------------------------
+  Result<RecordId> Put(sentinel::Domain caller, SubjectId subject,
+                       std::string_view type_name, const db::Row& row,
+                       membrane::Membrane membrane) override;
+  Result<PdRecord> Get(sentinel::Domain caller, RecordId id) const override;
+  Result<membrane::Membrane> GetMembrane(sentinel::Domain caller,
+                                         RecordId id) const override;
+  Status UpdateRow(sentinel::Domain caller, RecordId id,
+                   const db::Row& row) override;
+  Status UpdateMembrane(sentinel::Domain caller, RecordId id,
+                        const membrane::Membrane& membrane) override;
+  Status HardDelete(sentinel::Domain caller, RecordId id) override;
+  Status ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
+                             ByteSpan envelope) override;
+  Result<Bytes> GetEnvelope(sentinel::Domain caller,
+                            RecordId id) const override;
+
+  // ---- queries --------------------------------------------------------------
+  Result<std::vector<RecordId>> RecordsOfType(
+      sentinel::Domain caller, std::string_view type) const override;
+  Result<std::vector<RecordId>> RecordsOfSubject(
+      sentinel::Domain caller, SubjectId subject) const override;
+  /// Merged cursor: each shard contributes its own ascending page, the
+  /// facade k-way merges and truncates to `limit` — callers (retention
+  /// sweeper, rights export) observe exactly the single-store contract.
+  Result<std::vector<SubjectId>> SubjectsAfter(
+      sentinel::Domain caller, SubjectId after,
+      std::size_t limit) const override;
+  Result<std::vector<RecordId>> CopyGroupMembers(
+      sentinel::Domain caller, std::uint64_t group) const override;
+  Result<SubjectExport> ExportSubject(sentinel::Domain caller,
+                                      SubjectId subject) const override;
+
+  std::uint64_t NewCopyGroup() override {
+    // Shard 0's progression; any shard's ids are globally unique.
+    return shards_.front()->NewCopyGroup();
+  }
+
+  // ---- decoded-record cache -------------------------------------------------
+  /// `capacity` is the TOTAL entry budget, split evenly across shards
+  /// (each shard keeps its own cache + generation domain).
+  void EnableRecordCache(std::size_t capacity) override;
+  [[nodiscard]] RecordCache* record_cache() override {
+    return shards_.front()->record_cache();
+  }
+  [[nodiscard]] std::size_t cached_record_count() const override {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard->cached_record_count();
+    return total;
+  }
+  [[nodiscard]] std::uint64_t SubjectGeneration(
+      SubjectId subject) const override {
+    return ShardFor(subject).SubjectGeneration(subject);
+  }
+
+  [[nodiscard]] inodefs::InodeId processing_log_inode() const override {
+    // The processing log lives on shard 0's store (one log per machine,
+    // exactly as in a single-store boot).
+    return shards_.front()->processing_log_inode();
+  }
+
+  // ---- stats ----------------------------------------------------------------
+  Result<SensitivityReport> ReportSensitivity(
+      sentinel::Domain caller) const override;
+  [[nodiscard]] std::size_t record_count() const override;
+  [[nodiscard]] std::size_t subject_count() const override;
+  [[nodiscard]] inodefs::InodeStore& store() override {
+    return shards_.front()->store();
+  }
+
+  // ---- sharding introspection -----------------------------------------------
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Dbfs& shard(std::size_t i) { return *shards_[i]; }
+  [[nodiscard]] std::size_t ShardIndexOfSubject(SubjectId subject) const {
+    return subject % shards_.size();
+  }
+  [[nodiscard]] std::size_t ShardIndexOfRecord(RecordId id) const {
+    return id == 0 ? 0 : (id - 1) % shards_.size();
+  }
+
+ private:
+  ShardedDbfs(std::vector<std::unique_ptr<Dbfs>> shards,
+              sentinel::Sentinel* sentinel)
+      : shards_(std::move(shards)), sentinel_(sentinel) {}
+
+  [[nodiscard]] Dbfs& ShardFor(SubjectId subject) const {
+    return *shards_[ShardIndexOfSubject(subject)];
+  }
+  [[nodiscard]] Dbfs& ShardForRecord(RecordId id) const {
+    return *shards_[ShardIndexOfRecord(id)];
+  }
+
+  /// One sentinel decision for a fan-out call — same request a
+  /// single-store Dbfs would submit for the same API call.
+  Status Gate(sentinel::Domain caller, sentinel::Operation op,
+              std::string detail) const;
+
+  std::vector<std::unique_ptr<Dbfs>> shards_;  // immutable after boot
+  sentinel::Sentinel* sentinel_;               // borrowed
+};
+
+}  // namespace rgpdos::dbfs

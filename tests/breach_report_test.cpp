@@ -147,6 +147,24 @@ type address { fields { street: string }; consent { p: all };
 
 // ---- Physical sensitivity segregation -------------------------------------------------
 
+/// Blocks containing `needle` summed over every PD shard's primary
+/// medium — under RGPDOS_SHARDS the subject routes to one of N devices.
+std::size_t CountPdBlocks(core::RgpdOs& os, const Bytes& needle) {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < os.shard_count(); ++s)
+    total += blockdev::CountBlocksContaining(os.dbfs_device(s), needle);
+  return total;
+}
+
+/// Same sum over every shard's sensitive (split) medium.
+std::size_t CountSensitiveBlocks(core::RgpdOs& os, const Bytes& needle) {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < os.shard_count(); ++s)
+    if (os.sensitive_device(s) != nullptr)
+      total += blockdev::CountBlocksContaining(*os.sensitive_device(s), needle);
+  return total;
+}
+
 TEST(SensitivitySegregationTest, HighSensitivityBytesLiveOnTheSecondDevice) {
   core::BootConfig config;
   config.use_sim_clock = true;
@@ -175,18 +193,10 @@ type nickname { fields { value: string }; consent { p: all };
 
   // The SSN's plaintext is ONLY on the sensitive device; the nickname's
   // ONLY on the primary.
-  EXPECT_EQ(blockdev::CountBlocksContaining((*os)->dbfs_device(),
-                                            ToBytes("SSN_SECRET_1234567")),
-            0u);
-  EXPECT_GT(blockdev::CountBlocksContaining(*(*os)->sensitive_device(),
-                                            ToBytes("SSN_SECRET_1234567")),
-            0u);
-  EXPECT_GT(blockdev::CountBlocksContaining((*os)->dbfs_device(),
-                                            ToBytes("NICK_PUBLIC_ish")),
-            0u);
-  EXPECT_EQ(blockdev::CountBlocksContaining(*(*os)->sensitive_device(),
-                                            ToBytes("NICK_PUBLIC_ish")),
-            0u);
+  EXPECT_EQ(CountPdBlocks(**os, ToBytes("SSN_SECRET_1234567")), 0u);
+  EXPECT_GT(CountSensitiveBlocks(**os, ToBytes("SSN_SECRET_1234567")), 0u);
+  EXPECT_GT(CountPdBlocks(**os, ToBytes("NICK_PUBLIC_ish")), 0u);
+  EXPECT_EQ(CountSensitiveBlocks(**os, ToBytes("NICK_PUBLIC_ish")), 0u);
 
   // Reads, rights and erasure all work across the split transparently.
   auto ids = (*os)->dbfs().RecordsOfSubject(kDed, 1);
@@ -197,12 +207,8 @@ type nickname { fields { value: string }; consent { p: all };
   EXPECT_NE(report->find("SSN_SECRET_1234567"), std::string::npos);
 
   ASSERT_TRUE((*os)->RightToBeForgotten(1).ok());
-  EXPECT_EQ(blockdev::CountBlocksContaining(*(*os)->sensitive_device(),
-                                            ToBytes("SSN_SECRET_1234567")),
-            0u);
-  EXPECT_EQ(blockdev::CountBlocksContaining((*os)->dbfs_device(),
-                                            ToBytes("NICK_PUBLIC_ish")),
-            0u);
+  EXPECT_EQ(CountSensitiveBlocks(**os, ToBytes("SSN_SECRET_1234567")), 0u);
+  EXPECT_EQ(CountPdBlocks(**os, ToBytes("NICK_PUBLIC_ish")), 0u);
   // The authority can still recover the sealed SSN from the split store.
   for (dbfs::RecordId id : *ids) {
     auto envelope = (*os)->dbfs().GetEnvelope(kDed, id);

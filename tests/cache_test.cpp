@@ -410,7 +410,7 @@ TEST_F(CachedWorldTest, UpdateInvalidatesTheCachedRecord) {
   std::unique_ptr<core::RgpdOs> os = BootWorld();
   const dbfs::RecordId id = PutUser(*os, 1, "before");
   ASSERT_TRUE(os->dbfs().Get(kDed, id).ok());  // fill the record cache
-  ASSERT_GT(os->dbfs().record_cache()->size(), 0u);
+  ASSERT_GT(os->dbfs().cached_record_count(), 0u);
 
   const std::uint64_t generation_before = os->dbfs().SubjectGeneration(1);
   ASSERT_TRUE(os->builtins()
@@ -465,7 +465,7 @@ TEST_F(CachedWorldTest, WithdrawMidInvokeIsNeverServedFromAnyCache) {
   auto warm = os->ps().Invoke(kApp, processing);
   ASSERT_TRUE(warm.ok());
   ASSERT_EQ(warm->records_processed, 4u);
-  ASSERT_GT(os->dbfs().record_cache()->size(), 0u);
+  ASSERT_GT(os->dbfs().cached_record_count(), 0u);
 
   armed.store(true, std::memory_order_release);
   std::thread invoker([&] {

@@ -395,10 +395,12 @@ TEST_F(CoreTest, ScavengerErasesOnlyExpiredRecords) {
   ASSERT_TRUE(scavenged.ok()) << scavenged.status().ToString();
   EXPECT_EQ(*scavenged, 1u);
   EXPECT_FALSE(os_->dbfs().Get(kDed, fresh)->erased);
-  // Expired plaintext is gone from the device.
-  EXPECT_EQ(blockdev::CountBlocksContaining(os_->dbfs_device(),
-                                            ToBytes("expiring")),
-            0u);
+  // Expired plaintext is gone from every shard's device.
+  for (std::size_t s = 0; s < os_->shard_count(); ++s) {
+    EXPECT_EQ(blockdev::CountBlocksContaining(os_->dbfs_device(s),
+                                              ToBytes("expiring")),
+              0u);
+  }
   // Idempotent.
   EXPECT_EQ(*os_->builtins().ScavengeExpired(os_->authority().public_key()),
             0u);

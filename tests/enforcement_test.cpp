@@ -201,9 +201,11 @@ TEST_F(EnforcementTest, E8_ErasureLeavesNoPlaintextButAuthorityRecovers) {
   const std::string secret = "E8_SECRET_PLAINTEXT_VALUE";
   const dbfs::RecordId record = PutUser(1, secret);
   ASSERT_TRUE(os_->RightToBeForgotten(1).ok());
-  EXPECT_EQ(blockdev::CountBlocksContaining(os_->dbfs_device(),
-                                            ToBytes(secret)),
-            0u);
+  for (std::size_t s = 0; s < os_->shard_count(); ++s) {
+    EXPECT_EQ(blockdev::CountBlocksContaining(os_->dbfs_device(s),
+                                              ToBytes(secret)),
+              0u);
+  }
   auto envelope = os_->dbfs().GetEnvelope(kDed, record);
   ASSERT_TRUE(envelope.ok());
   auto recovered = os_->authority().Recover(*envelope);

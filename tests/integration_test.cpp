@@ -377,9 +377,12 @@ TEST_F(IntegrationTest, RightToBeForgottenIsRecoverableOnlyByAuthority) {
   EXPECT_TRUE(get->erased);
   EXPECT_TRUE(get->row.empty());
 
-  // No plaintext on the raw device or in the journal history.
+  // No plaintext on any shard's raw device or journal history.
   const Bytes needle = ToBytes("dave_secret_name");
-  EXPECT_EQ(blockdev::CountBlocksContaining(os_->dbfs_device(), needle), 0u);
+  for (std::size_t s = 0; s < os_->shard_count(); ++s) {
+    EXPECT_EQ(blockdev::CountBlocksContaining(os_->dbfs_device(s), needle),
+              0u);
+  }
 
   // The authority recovers the plaintext from the envelope.
   auto envelope = os_->dbfs().GetEnvelope(sentinel::Domain::kDed, record);

@@ -25,6 +25,13 @@
 // sweeps crash-at-write-N over every write index, replays seeded CI
 // plans, and exercises the transient-error retry path. Failures embed
 // FaultPlan::ToString() so a red run is reproducible from the message.
+//
+// Sharded mode (Options::shards > 1): the image is N independent media
+// behind a dbfs::ShardedDbfs facade, and the fault plan is installed on
+// ONE shard's medium (Options::faulted_shard) — the crash sweep then
+// proves that a crash on shard A never leaves shard B stale-visible or
+// the facade wedged: every shard's journal replays independently at
+// remount and the invariants hold across the union of media.
 #pragma once
 
 #include <algorithm>
@@ -42,6 +49,7 @@
 #include "common/clock.hpp"
 #include "core/retention.hpp"
 #include "dbfs/dbfs.hpp"
+#include "dbfs/sharded_dbfs.hpp"
 #include "dsl/parser.hpp"
 #include "sentinel/policy.hpp"
 
@@ -62,19 +70,27 @@ class CrashRecoveryHarness {
     /// RetentionSweeper reaps it — so the crash sweep also lands inside
     /// the sweeper's journaled hard-delete (RetentionRecovery.*).
     bool retention_sweep = false;
+    /// Number of independent store shards (1 = the classic single-store
+    /// harness; > 1 boots a ShardedDbfs over N media).
+    std::size_t shards = 1;
+    /// Which shard's medium carries the fault plan in sharded mode.
+    std::size_t faulted_shard = 0;
   };
 
   CrashRecoveryHarness() = default;
   explicit CrashRecoveryHarness(Options options) : options_(options) {}
 
   /// Fault-free run of the whole workload; returns the number of writes
-  /// the fault device saw (the sweep range for crash-at-write-N).
+  /// the fault device (on the faulted shard) saw — the sweep range for
+  /// crash-at-write-N.
   Result<std::uint64_t> CountWorkloadWrites() {
-    blockdev::MemBlockDevice medium(options_.block_size, options_.block_count);
-    RGPD_RETURN_IF_ERROR(FormatMedium(medium));
-    blockdev::FaultInjectingBlockDevice fault(&medium, blockdev::FaultPlan{});
+    std::vector<std::unique_ptr<blockdev::MemBlockDevice>> media =
+        MakeMedia();
+    RGPD_RETURN_IF_ERROR(FormatMedium(RawDevices(media)));
+    blockdev::FaultInjectingBlockDevice fault(
+        media[options_.faulted_shard].get(), blockdev::FaultPlan{});
     Model model;
-    RGPD_RETURN_IF_ERROR(RunWorkload(fault, model));
+    RGPD_RETURN_IF_ERROR(RunWorkload(FaultedDevices(media, fault), model));
     return fault.fault_stats().writes_seen;
   }
 
@@ -83,16 +99,18 @@ class CrashRecoveryHarness {
   /// medium, invariant checks. Any violation comes back as a non-OK
   /// status whose message starts with the plan.
   Status RunWithPlan(const blockdev::FaultPlan& plan) {
-    blockdev::MemBlockDevice medium(options_.block_size, options_.block_count);
-    if (Status s = FormatMedium(medium); !s.ok()) {
+    std::vector<std::unique_ptr<blockdev::MemBlockDevice>> media =
+        MakeMedia();
+    if (Status s = FormatMedium(RawDevices(media)); !s.ok()) {
       return Fail(plan, "format: " + s.ToString());
     }
 
     Model model;
     bool crashed = false;
     {
-      blockdev::FaultInjectingBlockDevice fault(&medium, plan);
-      const Status s = RunWorkload(fault, model);
+      blockdev::FaultInjectingBlockDevice fault(
+          media[options_.faulted_shard].get(), plan);
+      const Status s = RunWorkload(FaultedDevices(media, fault), model);
       if (!s.ok()) {
         if (s.code() != StatusCode::kCrashed) {
           return Fail(plan, "workload failed non-crashed: " + s.ToString());
@@ -104,7 +122,7 @@ class CrashRecoveryHarness {
       }
     }  // the crashed stack is torn down: "power off"
 
-    return VerifyMedium(medium, model, plan);
+    return VerifyMedium(media, model, plan);
   }
 
  private:
@@ -130,6 +148,14 @@ class CrashRecoveryHarness {
     dbfs::RecordId pending_envelope = 0;
   };
 
+  /// A mounted DBFS over borrowed devices: the stores (one per shard)
+  /// plus the API handle — a plain Dbfs at shards == 1, the ShardedDbfs
+  /// facade beyond (each shard's journal replays in its own Mount).
+  struct MountedFs {
+    std::vector<std::unique_ptr<inodefs::InodeStore>> stores;
+    std::unique_ptr<dbfs::DbfsApi> fs;
+  };
+
   static constexpr std::string_view kTypeSource = R"(
 type note {
   fields { author: string, text: string };
@@ -143,39 +169,112 @@ type note {
     return Internal(plan.ToString() + " :: " + why);
   }
 
-  /// Format a pristine DBFS image directly on the medium (no faults:
+  std::vector<std::unique_ptr<blockdev::MemBlockDevice>> MakeMedia() const {
+    std::vector<std::unique_ptr<blockdev::MemBlockDevice>> media;
+    media.reserve(options_.shards);
+    for (std::size_t i = 0; i < options_.shards; ++i) {
+      media.push_back(std::make_unique<blockdev::MemBlockDevice>(
+          options_.block_size, options_.block_count));
+    }
+    return media;
+  }
+
+  static std::vector<blockdev::BlockDevice*> RawDevices(
+      const std::vector<std::unique_ptr<blockdev::MemBlockDevice>>& media) {
+    std::vector<blockdev::BlockDevice*> devices;
+    devices.reserve(media.size());
+    for (const auto& m : media) devices.push_back(m.get());
+    return devices;
+  }
+
+  /// The workload's device view: the faulted shard goes through the
+  /// injector, every other shard talks to its raw medium.
+  std::vector<blockdev::BlockDevice*> FaultedDevices(
+      const std::vector<std::unique_ptr<blockdev::MemBlockDevice>>& media,
+      blockdev::FaultInjectingBlockDevice& fault) const {
+    std::vector<blockdev::BlockDevice*> devices = RawDevices(media);
+    devices[options_.faulted_shard] = &fault;
+    return devices;
+  }
+
+  /// Mount (or format) one inode store per device and assemble the API.
+  Result<MountedFs> OpenFs(const std::vector<blockdev::BlockDevice*>& devices,
+                           bool format) {
+    MountedFs out;
+    out.stores.reserve(devices.size());
+    for (blockdev::BlockDevice* dev : devices) {
+      if (format) {
+        inodefs::InodeStore::Options store_options;
+        store_options.inode_count = options_.inode_count;
+        store_options.journal_blocks = options_.journal_blocks;
+        RGPD_ASSIGN_OR_RETURN(
+            auto store,
+            inodefs::InodeStore::Format(dev, store_options, &clock_));
+        out.stores.push_back(std::move(store));
+      } else {
+        RGPD_ASSIGN_OR_RETURN(auto store,
+                              inodefs::InodeStore::Mount(dev, &clock_));
+        out.stores.push_back(std::move(store));
+      }
+    }
+    if (devices.size() == 1) {
+      if (format) {
+        RGPD_ASSIGN_OR_RETURN(
+            out.fs,
+            dbfs::Dbfs::Format(out.stores[0].get(), &sentinel_, &clock_));
+      } else {
+        RGPD_ASSIGN_OR_RETURN(
+            out.fs,
+            dbfs::Dbfs::Mount(out.stores[0].get(), &sentinel_, &clock_));
+      }
+    } else {
+      std::vector<inodefs::InodeStore*> stores;
+      stores.reserve(out.stores.size());
+      for (const auto& s : out.stores) stores.push_back(s.get());
+      if (format) {
+        RGPD_ASSIGN_OR_RETURN(
+            out.fs, dbfs::ShardedDbfs::Format(stores, &sentinel_, &clock_));
+      } else {
+        RGPD_ASSIGN_OR_RETURN(
+            out.fs, dbfs::ShardedDbfs::Mount(stores, &sentinel_, &clock_));
+      }
+    }
+    return out;
+  }
+
+  /// Format a pristine DBFS image directly on the media (no faults:
   /// the sweep models crashes during operation, not during mkfs).
-  Status FormatMedium(blockdev::BlockDevice& medium) {
-    inodefs::InodeStore::Options store_options;
-    store_options.inode_count = options_.inode_count;
-    store_options.journal_blocks = options_.journal_blocks;
-    RGPD_ASSIGN_OR_RETURN(
-        auto store,
-        inodefs::InodeStore::Format(&medium, store_options, &clock_));
-    RGPD_ASSIGN_OR_RETURN(
-        auto fs, dbfs::Dbfs::Format(store.get(), &sentinel_, &clock_));
+  Status FormatMedium(const std::vector<blockdev::BlockDevice*>& devices) {
+    RGPD_ASSIGN_OR_RETURN(MountedFs mounted, OpenFs(devices, /*format=*/true));
     RGPD_ASSIGN_OR_RETURN(dsl::TypeDecl decl, dsl::ParseType(kTypeSource));
-    RGPD_RETURN_IF_ERROR(fs->CreateType(sentinel::Domain::kSysadmin, decl));
-    return store->Sync();
+    RGPD_RETURN_IF_ERROR(
+        mounted.fs->CreateType(sentinel::Domain::kSysadmin, decl));
+    for (const auto& store : mounted.stores) {
+      RGPD_RETURN_IF_ERROR(store->Sync());
+    }
+    return Status::Ok();
   }
 
   /// The deterministic mixed workload. Mounts the image through
-  /// `device`, applies the op sequence, acks each op into `model` as it
+  /// `devices`, applies the op sequence, acks each op into `model` as it
   /// completes. Returns the first failure (kCrashed when the plan fired).
-  Status RunWorkload(blockdev::FaultInjectingBlockDevice& device,
+  Status RunWorkload(const std::vector<blockdev::BlockDevice*>& devices,
                      Model& model) {
     const bool debug = std::getenv("RGPD_HARNESS_DEBUG") != nullptr;
+    blockdev::BlockDevice* faulted = devices[options_.faulted_shard];
     const auto trace = [&](const char* op) {
       if (debug) {
+        const auto* fault =
+            dynamic_cast<blockdev::FaultInjectingBlockDevice*>(faulted);
         std::fprintf(stderr, "[harness] after %-12s writes_seen=%llu\n", op,
                      static_cast<unsigned long long>(
-                         device.fault_stats().writes_seen));
+                         fault != nullptr ? fault->fault_stats().writes_seen
+                                          : 0));
       }
     };
-    RGPD_ASSIGN_OR_RETURN(auto store,
-                          inodefs::InodeStore::Mount(&device, &clock_));
-    RGPD_ASSIGN_OR_RETURN(auto fs,
-                          dbfs::Dbfs::Mount(store.get(), &sentinel_, &clock_));
+    RGPD_ASSIGN_OR_RETURN(MountedFs mounted,
+                          OpenFs(devices, /*format=*/false));
+    dbfs::DbfsApi* fs = mounted.fs.get();
     RGPD_ASSIGN_OR_RETURN(dsl::TypeDecl decl, dsl::ParseType(kTypeSource));
 
     const auto put = [&](dbfs::SubjectId subject, const std::string& author,
@@ -278,7 +377,7 @@ type note {
       // a manual erasure, the expiry in flight is all-or-nothing (I4).
       clock_.Advance(1000);
       core::RetentionSweeper::Deps deps;
-      deps.dbfs = fs.get();
+      deps.dbfs = fs;
       deps.clock = &clock_;
       core::RetentionOptions sweep_options;
       sweep_options.pages_per_sweep = 0;  // whole store in one sweep
@@ -299,31 +398,32 @@ type note {
     return Status::Ok();
   }
 
-  /// Remount the surviving medium through a fresh (cold) stack and check
+  /// Remount the surviving media through a fresh (cold) stack and check
   /// invariants I1-I5 against the acked model.
-  Status VerifyMedium(blockdev::MemBlockDevice& medium, const Model& model,
-                      const blockdev::FaultPlan& plan) {
+  Status VerifyMedium(
+      const std::vector<std::unique_ptr<blockdev::MemBlockDevice>>& media,
+      const Model& model, const blockdev::FaultPlan& plan) {
     // Fresh decorators: nothing cached from before the "power loss".
-    std::unique_ptr<blockdev::BlockCacheDevice> cache;
-    blockdev::BlockDevice* dev = &medium;
+    std::vector<std::unique_ptr<blockdev::BlockCacheDevice>> caches;
+    std::vector<blockdev::BlockDevice*> devices = RawDevices(media);
     if (options_.remount_cache_blocks != 0) {
-      cache = std::make_unique<blockdev::BlockCacheDevice>(
-          &medium, options_.remount_cache_blocks);
-      if (cache->CachedBlockCount() != 0) {
-        return Fail(plan, "remount cache did not come up cold");
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        caches.push_back(std::make_unique<blockdev::BlockCacheDevice>(
+            devices[i], options_.remount_cache_blocks));
+        if (caches.back()->CachedBlockCount() != 0) {
+          return Fail(plan, "remount cache did not come up cold");
+        }
+        devices[i] = caches.back().get();
       }
-      dev = cache.get();
     }
 
-    // I1: the image mounts.
-    auto store = inodefs::InodeStore::Mount(dev, &clock_);
-    if (!store.ok()) {
-      return Fail(plan, "InodeStore::Mount: " + store.status().ToString());
+    // I1: the image mounts — every shard's journal replays in its own
+    // InodeStore::Mount, then the (Sharded)Dbfs walk rebuilds the index.
+    auto mounted = OpenFs(devices, /*format=*/false);
+    if (!mounted.ok()) {
+      return Fail(plan, "remount: " + mounted.status().ToString());
     }
-    auto fs = dbfs::Dbfs::Mount(store->get(), &sentinel_, &clock_);
-    if (!fs.ok()) {
-      return Fail(plan, "Dbfs::Mount: " + fs.status().ToString());
-    }
+    dbfs::DbfsApi* fs = mounted->fs.get();
 
     // I2: acked live records are intact, byte for byte. An erasure in
     // flight at the crash is checked separately below: its commit may
@@ -332,7 +432,7 @@ type note {
       if (id == model.pending_delete || id == model.pending_envelope) {
         continue;
       }
-      auto rec = (*fs)->Get(sentinel::Domain::kDed, id);
+      auto rec = fs->Get(sentinel::Domain::kDed, id);
       if (!rec.ok()) {
         return Fail(plan, "acked record " + std::to_string(id) +
                               " unreadable: " + rec.status().ToString());
@@ -356,26 +456,28 @@ type note {
 
     // I3: acked erasures stay erased...
     for (const dbfs::RecordId id : model.hard_deleted) {
-      if (auto rec = (*fs)->Get(sentinel::Domain::kDed, id); rec.ok()) {
+      if (auto rec = fs->Get(sentinel::Domain::kDed, id); rec.ok()) {
         return Fail(plan, "hard-deleted record " + std::to_string(id) +
                               " readable after remount");
       }
     }
     for (const dbfs::RecordId id : model.enveloped) {
-      auto rec = (*fs)->Get(sentinel::Domain::kDed, id);
+      auto rec = fs->Get(sentinel::Domain::kDed, id);
       if (rec.ok() && !rec->erased) {
         return Fail(plan, "enveloped record " + std::to_string(id) +
                               " resurrected as plaintext");
       }
     }
-    // ... and no erased plaintext byte survives anywhere on the medium
-    // (data region or journal). Scanned on the RAW device, below every
+    // ... and no erased plaintext byte survives anywhere on ANY medium
+    // (data region or journal). Scanned on the RAW devices, below every
     // cache.
     for (const std::string& marker : model.erased_markers) {
-      RGPD_ASSIGN_OR_RETURN(bool found, MediumContains(medium, marker));
-      if (found) {
-        return Fail(plan, "erased marker '" + marker +
-                              "' still present on the medium");
+      for (const auto& medium : media) {
+        RGPD_ASSIGN_OR_RETURN(bool found, MediumContains(*medium, marker));
+        if (found) {
+          return Fail(plan, "erased marker '" + marker +
+                                "' still present on the medium");
+        }
       }
     }
 
@@ -387,7 +489,7 @@ type note {
         [&](dbfs::RecordId id, bool envelope) -> Status {
       if (id == 0) return Status::Ok();
       const Model::LiveRecord& expect = model.live.at(id);
-      auto rec = (*fs)->Get(sentinel::Domain::kDed, id);
+      auto rec = fs->Get(sentinel::Domain::kDed, id);
       const bool survived = rec.ok() && !rec->erased;
       if (survived) {
         if (rec->row.size() != 2 || !rec->row[0].AsString().ok() ||
@@ -410,17 +512,20 @@ type note {
         return Fail(plan, "in-flight envelope target " + std::to_string(id) +
                               " vanished: " + rec.status().ToString());
       }
-      // Fully erased: the plaintext must be gone from the whole medium.
-      RGPD_ASSIGN_OR_RETURN(bool found, MediumContains(medium, expect.marker));
-      if (found) {
-        return Fail(plan, "in-flight erasure of record " + std::to_string(id) +
-                              " applied but marker '" + expect.marker +
-                              "' still on the medium");
+      // Fully erased: the plaintext must be gone from every medium.
+      for (const auto& medium : media) {
+        RGPD_ASSIGN_OR_RETURN(bool found,
+                              MediumContains(*medium, expect.marker));
+        if (found) {
+          return Fail(plan, "in-flight erasure of record " +
+                                std::to_string(id) + " applied but marker '" +
+                                expect.marker + "' still on the medium");
+        }
       }
       if (!envelope) {
         // And the subject tree must not keep a dangling link to it.
-        auto ids = (*fs)->RecordsOfSubject(sentinel::Domain::kDed,
-                                           expect.subject);
+        auto ids = fs->RecordsOfSubject(sentinel::Domain::kDed,
+                                        expect.subject);
         if (ids.ok() &&
             std::find(ids->begin(), ids->end(), id) != ids->end()) {
           return Fail(plan, "in-flight hard-delete of record " +
@@ -438,7 +543,7 @@ type note {
     // I4b: anything beyond the acked set (the op in flight at the crash)
     // is all-or-nothing: if a record id is visible it must be complete.
     for (dbfs::SubjectId subject = 1; subject <= 3; ++subject) {
-      auto ids = (*fs)->RecordsOfSubject(sentinel::Domain::kDed, subject);
+      auto ids = fs->RecordsOfSubject(sentinel::Domain::kDed, subject);
       if (!ids.ok()) {
         // A subject the workload never reached is legitimately absent.
         if (ids.status().code() == StatusCode::kNotFound) continue;
@@ -452,7 +557,7 @@ type note {
           return Fail(plan, "hard-deleted record " + std::to_string(id) +
                                 " still linked in the subject tree");
         }
-        auto rec = (*fs)->Get(sentinel::Domain::kDed, id);
+        auto rec = fs->Get(sentinel::Domain::kDed, id);
         if (!rec.ok()) {
           return Fail(plan, "in-flight record " + std::to_string(id) +
                                 " partially applied (unreadable): " +
@@ -467,20 +572,24 @@ type note {
       }
     }
 
-    // I5: the recovered store accepts new work.
+    // I5: the recovered store accepts new work — on EVERY shard (a
+    // distinct subject per shard routes one Put to each).
     RGPD_ASSIGN_OR_RETURN(dsl::TypeDecl decl, dsl::ParseType(kTypeSource));
-    auto post = (*fs)->Put(sentinel::Domain::kDed, 1, "note",
-                           db::Row{db::Value(std::string("post")),
-                                   db::Value(std::string("post-recovery"))},
-                           decl.DefaultMembrane(1, clock_.Now()));
-    if (!post.ok()) {
-      return Fail(plan,
-                  "post-recovery Put failed: " + post.status().ToString());
-    }
-    auto readback = (*fs)->Get(sentinel::Domain::kDed, *post);
-    if (!readback.ok()) {
-      return Fail(plan, "post-recovery readback failed: " +
-                            readback.status().ToString());
+    for (std::size_t i = 0; i < media.size(); ++i) {
+      const auto subject = static_cast<dbfs::SubjectId>(media.size() + i);
+      auto post = fs->Put(sentinel::Domain::kDed, subject, "note",
+                          db::Row{db::Value(std::string("post")),
+                                  db::Value(std::string("post-recovery"))},
+                          decl.DefaultMembrane(subject, clock_.Now()));
+      if (!post.ok()) {
+        return Fail(plan,
+                    "post-recovery Put failed: " + post.status().ToString());
+      }
+      auto readback = fs->Get(sentinel::Domain::kDed, *post);
+      if (!readback.ok()) {
+        return Fail(plan, "post-recovery readback failed: " +
+                              readback.status().ToString());
+      }
     }
     return Status::Ok();
   }

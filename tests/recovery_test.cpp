@@ -83,6 +83,51 @@ TEST(CrashRecovery, EveryWriteIndexWriteBackCrash) {
   SweepEveryWriteIndex("writeback", base);
 }
 
+// Sharded spine (DESIGN.md §12): the same every-write-index sweep on a
+// 2-shard boot, with the fault plan installed on ONE shard's medium at a
+// time. Subjects 1/3 land on shard 1 and subject 2 on shard 0, so the
+// shard-1 sweep crashes inside the hard-delete and envelope erasures
+// while the shard-0 sweep crashes inside the consent withdrawal — and in
+// every case the OTHER shard's acknowledged state must come through
+// untouched and the facade must remount (I1-I5 across the union of
+// media).
+TEST(ShardedCrashRecovery, EveryWriteIndexCleanCrashFaultOnShardZero) {
+  CrashRecoveryHarness::Options options;
+  options.shards = 2;
+  options.faulted_shard = 0;
+  SweepEveryWriteIndex("sharded_shard0_clean", blockdev::FaultPlan{},
+                       options);
+}
+
+TEST(ShardedCrashRecovery, EveryWriteIndexCleanCrashFaultOnShardOne) {
+  CrashRecoveryHarness::Options options;
+  options.shards = 2;
+  options.faulted_shard = 1;
+  SweepEveryWriteIndex("sharded_shard1_clean", blockdev::FaultPlan{},
+                       options);
+}
+
+TEST(ShardedCrashRecovery, EveryWriteIndexTornCrashFaultOnShardOne) {
+  CrashRecoveryHarness::Options options;
+  options.shards = 2;
+  options.faulted_shard = 1;
+  blockdev::FaultPlan base;
+  base.torn_bytes = 97;
+  SweepEveryWriteIndex("sharded_shard1_torn", base, options);
+}
+
+TEST(ShardedCrashRecovery, EveryWriteIndexCleanCrashDuringShardedSweep) {
+  // Retention phase: the TTL record belongs to subject 2 = shard 0, so
+  // faulting shard 0 lands crashes inside the sweeper's journaled
+  // expiry while the subject walk fans out across both shards.
+  CrashRecoveryHarness::Options options;
+  options.shards = 2;
+  options.faulted_shard = 0;
+  options.retention_sweep = true;
+  SweepEveryWriteIndex("sharded_retention_clean", blockdev::FaultPlan{},
+                       options);
+}
+
 // The retention sweeper's proactive expiry is an ordinary journaled
 // hard delete, so a crash at ANY write inside the sweep must leave the
 // expiry all-or-nothing and never resurrect the reaped plaintext. Same

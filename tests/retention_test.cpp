@@ -47,6 +47,29 @@ Result<bool> DeviceContains(blockdev::BlockDevice& device,
   return haystack.find(marker) != std::string::npos;
 }
 
+/// OR of DeviceContains over every PD shard's raw medium — under
+/// RGPDOS_SHARDS the spine is split, and erasure must hold on whichever
+/// shard the subject routes to.
+Result<bool> PdMediumContains(core::RgpdOs& os, const std::string& marker) {
+  for (std::size_t s = 0; s < os.shard_count(); ++s) {
+    RGPD_ASSIGN_OR_RETURN(bool hit, DeviceContains(os.dbfs_device(s), marker));
+    if (hit) return true;
+  }
+  return false;
+}
+
+/// Same scan through each shard's block cache: what the caches SERVE
+/// after a sweep, not what the medium holds.
+Result<bool> PdCacheServes(core::RgpdOs& os, const std::string& marker) {
+  for (std::size_t s = 0; s < os.shard_count(); ++s) {
+    if (os.dbfs_cache(s) == nullptr) continue;
+    RGPD_ASSIGN_OR_RETURN(bool hit,
+                          DeviceContains(*os.dbfs_cache(s), marker));
+    if (hit) return true;
+  }
+  return false;
+}
+
 class RetentionTest : public ::testing::Test {
  protected:
   static std::unique_ptr<core::RgpdOs> BootWorld(
@@ -94,8 +117,8 @@ TEST_F(RetentionTest, SweepErasesExpiredFromMediumAndAllCacheLevels) {
   // Warm every cache level with the soon-to-expire record.
   ASSERT_TRUE(os->dbfs().Get(kDed, doomed).ok());
   ASSERT_TRUE(os->dbfs().Get(kDed, keeper).ok());
-  ASSERT_GT(os->dbfs().record_cache()->size(), 0u);
-  ASSERT_TRUE(*DeviceContains(os->dbfs_device(), "PD_TTL_MARKER_DOOMED"));
+  ASSERT_GT(os->dbfs().cached_record_count(), 0u);
+  ASSERT_TRUE(*PdMediumContains(*os, "PD_TTL_MARKER_DOOMED"));
 
   os->sim_clock()->Advance(1000);  // past doomed's TTL, not late's
   auto report = os->retention().SweepOnce();
@@ -108,10 +131,10 @@ TEST_F(RetentionTest, SweepErasesExpiredFromMediumAndAllCacheLevels) {
 
   // Level 0, the medium: no plaintext byte of the expired payload
   // anywhere (data region or journal — HardDelete scrubs both).
-  EXPECT_FALSE(*DeviceContains(os->dbfs_device(), "PD_TTL_MARKER_DOOMED"));
+  EXPECT_FALSE(*PdMediumContains(*os, "PD_TTL_MARKER_DOOMED"));
   // Level 1, the block cache: nothing it serves contains the payload.
   ASSERT_NE(os->dbfs_cache(), nullptr);
-  EXPECT_FALSE(*DeviceContains(*os->dbfs_cache(), "PD_TTL_MARKER_DOOMED"));
+  EXPECT_FALSE(*PdCacheServes(*os, "PD_TTL_MARKER_DOOMED"));
   // Level 2, the record cache: the decoded record is unreachable.
   EXPECT_EQ(os->dbfs().Get(kDed, doomed).status().code(),
             StatusCode::kNotFound);
@@ -122,7 +145,7 @@ TEST_F(RetentionTest, SweepErasesExpiredFromMediumAndAllCacheLevels) {
   EXPECT_NE(kept->row[1].AsString()->find("PD_TTL_MARKER_KEEPER"),
             std::string::npos);
   EXPECT_TRUE(os->dbfs().Get(kDed, late).ok());
-  EXPECT_TRUE(*DeviceContains(os->dbfs_device(), "PD_TTL_MARKER_KEEPER"));
+  EXPECT_TRUE(*PdMediumContains(*os, "PD_TTL_MARKER_KEEPER"));
 
   // Each expiry left an audit record and a processing-log entry.
   const auto audited = os->audit().Query([](const sentinel::AuditEntry& e) {
@@ -162,7 +185,7 @@ TEST_F(RetentionTest, RestrictedExpiredRecordIsDeferredUntilLifted) {
   EXPECT_EQ(report->deferred, 1u);
   EXPECT_EQ(report->erased, 0u);
   EXPECT_TRUE(os->dbfs().Get(kDed, id).ok());  // bytes preserved
-  EXPECT_TRUE(*DeviceContains(os->dbfs_device(), "PD_TTL_MARKER_HELD"));
+  EXPECT_TRUE(*PdMediumContains(*os, "PD_TTL_MARKER_HELD"));
   const auto held = os->audit().Query([](const sentinel::AuditEntry& e) {
     return e.rule == "retention-hold-restricted";
   });
@@ -179,7 +202,7 @@ TEST_F(RetentionTest, RestrictedExpiredRecordIsDeferredUntilLifted) {
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->erased, 1u);
   EXPECT_EQ(os->dbfs().Get(kDed, id).status().code(), StatusCode::kNotFound);
-  EXPECT_FALSE(*DeviceContains(os->dbfs_device(), "PD_TTL_MARKER_HELD"));
+  EXPECT_FALSE(*PdMediumContains(*os, "PD_TTL_MARKER_HELD"));
 }
 
 // Lazy and proactive enforcement agree: the moment the TTL elapses the
@@ -199,7 +222,7 @@ TEST_F(RetentionTest, ExpiredIsRejectedByEvaluateThenReapedBySweeper) {
 
   ASSERT_TRUE(os->retention().SweepOnce().ok());
   EXPECT_EQ(os->dbfs().Get(kDed, id).status().code(), StatusCode::kNotFound);
-  EXPECT_FALSE(*DeviceContains(os->dbfs_device(), "PD_TTL_MARKER_LAZY"));
+  EXPECT_FALSE(*PdMediumContains(*os, "PD_TTL_MARKER_LAZY"));
 }
 
 // Crypto mode: expiry seals the payload to the supervisory authority
@@ -219,7 +242,7 @@ TEST_F(RetentionTest, CryptoEraseModeSealsExpiredPayload) {
   auto record = os->dbfs().Get(kDed, id);
   ASSERT_TRUE(record.ok());
   EXPECT_TRUE(record->erased);
-  EXPECT_FALSE(*DeviceContains(os->dbfs_device(), "PD_TTL_MARKER_SEALME"));
+  EXPECT_FALSE(*PdMediumContains(*os, "PD_TTL_MARKER_SEALME"));
 }
 
 // Token bucket: a sweep visits at most pages_per_sweep subjects and the
@@ -245,8 +268,7 @@ TEST_F(RetentionTest, TokenBucketPagesSweepsAndCursorResumes) {
   // 2 pages a sweep over 7 subjects: at least 4 sweeps to cover a cycle.
   EXPECT_GE(sweeps, 4);
   for (int s = 1; s <= kSubjects; ++s) {
-    EXPECT_FALSE(*DeviceContains(os->dbfs_device(),
-                                 "PD_TTL_MARKER_S" + std::to_string(s)));
+    EXPECT_FALSE(*PdMediumContains(*os, "PD_TTL_MARKER_S" + std::to_string(s)));
   }
 }
 
@@ -295,7 +317,7 @@ TEST_F(RetentionTest, BootedDaemonReapsInBackground) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_GE(os->retention().total_erased(), 1u);
-  EXPECT_FALSE(*DeviceContains(os->dbfs_device(), "PD_TTL_MARKER_DAEMON"));
+  EXPECT_FALSE(*PdMediumContains(*os, "PD_TTL_MARKER_DAEMON"));
   os->retention().Stop();
   EXPECT_FALSE(os->retention().running());
 }
@@ -365,7 +387,7 @@ TEST_F(RetentionTest, SetTtlMidLifeMovesTheSweepDeadline) {
   }
   ASSERT_TRUE(os->retention().SweepOnce().ok());
   EXPECT_EQ(os->dbfs().Get(kDed, id).status().code(), StatusCode::kNotFound);
-  EXPECT_FALSE(*DeviceContains(os->dbfs_device(), "PD_TTL_MARKER_MOVING"));
+  EXPECT_FALSE(*PdMediumContains(*os, "PD_TTL_MARKER_MOVING"));
 }
 
 // With worker threads the sweep fans each page batch over the DED pool
@@ -396,9 +418,8 @@ TEST_F(RetentionTest, ParallelSweepOverExecutorErasesEverySubject) {
     EXPECT_EQ(os->dbfs().Get(kDed, doomed[s - 1]).status().code(),
               StatusCode::kNotFound);
     EXPECT_FALSE(
-        *DeviceContains(os->dbfs_device(), "PD_TTL_PAR_" + std::to_string(s)));
-    EXPECT_TRUE(*DeviceContains(os->dbfs_device(),
-                                "PD_TTL_PAR_KEEP_" + std::to_string(s)));
+        *PdMediumContains(*os, "PD_TTL_PAR_" + std::to_string(s)));
+    EXPECT_TRUE(*PdMediumContains(*os, "PD_TTL_PAR_KEEP_" + std::to_string(s)));
   }
   EXPECT_EQ(os->retention().total_erased(), kSubjects);
 }
