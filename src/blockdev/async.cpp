@@ -1,0 +1,212 @@
+#include "blockdev/async.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "metrics/metrics.hpp"
+
+namespace rgpdos::blockdev {
+
+AsyncBlockDevice::AsyncBlockDevice(BlockDevice* inner, std::size_t ring_depth)
+    : inner_(inner),
+      ring_depth_(std::max<std::size_t>(1, ring_depth)),
+      reaper_([this] { ReaperLoop(); }) {}
+
+AsyncBlockDevice::~AsyncBlockDevice() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  reaper_.join();
+}
+
+AsyncBlockDevice::Ticket AsyncBlockDevice::Submit(std::vector<Op> ops) {
+  auto submission = std::make_shared<Submission>();
+  submission->owned_ops = std::move(ops);
+  submission->borrowed = nullptr;
+  const std::size_t op_count = submission->owned_ops.size();
+  Ticket ticket = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return ring_.size() < ring_depth_ || stop_; });
+    ticket = next_ticket_++;
+    submission->ticket = ticket;
+    ring_.push_back(submission);
+    completed_.push_back(submission);  // reapable via Wait until reaped
+  }
+  ops_submitted_.fetch_add(op_count, std::memory_order_relaxed);
+  submissions_.fetch_add(1, std::memory_order_relaxed);
+  RGPD_METRIC_COUNT_N("blockdev.async.submitted", op_count);
+  cv_.notify_all();
+  return ticket;
+}
+
+Status AsyncBlockDevice::Wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto find = [&]() -> std::shared_ptr<Submission> {
+    for (const auto& s : completed_) {
+      if (s->ticket == ticket) return s;
+    }
+    return nullptr;
+  };
+  std::shared_ptr<Submission> submission = find();
+  if (submission == nullptr) {
+    return InvalidArgument("unknown or already-reaped async ticket");
+  }
+  cv_.wait(lock, [&] { return submission->done; });
+  completed_.erase(
+      std::find(completed_.begin(), completed_.end(), submission));
+  return submission->status;
+}
+
+Status AsyncBlockDevice::SubmitAndWait(const std::vector<BatchWrite>& writes,
+                                       bool flush_after) {
+  auto submission = std::make_shared<Submission>();
+  submission->borrowed = &writes;
+  submission->flush_after = flush_after;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return ring_.size() < ring_depth_ || stop_; });
+    submission->ticket = next_ticket_++;
+    ring_.push_back(submission);
+  }
+  const std::size_t op_count = writes.size() + (flush_after ? 1 : 0);
+  ops_submitted_.fetch_add(op_count, std::memory_order_relaxed);
+  submissions_.fetch_add(1, std::memory_order_relaxed);
+  RGPD_METRIC_COUNT_N("blockdev.async.submitted", op_count);
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return submission->done; });
+  return submission->status;
+}
+
+Status AsyncBlockDevice::ReadBlock(BlockIndex index, Bytes& out) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    DrainLocked(lock);
+  }
+  return inner_->ReadBlock(index, out);
+}
+
+Status AsyncBlockDevice::WriteBlock(BlockIndex index, ByteSpan data) {
+  const std::vector<BatchWrite> one{{index, data}};
+  return SubmitAndWait(one, /*flush_after=*/false);
+}
+
+Status AsyncBlockDevice::Flush() {
+  static const std::vector<BatchWrite> kNone;
+  return SubmitAndWait(kNone, /*flush_after=*/true);
+}
+
+Status AsyncBlockDevice::ReadBatch(const std::vector<BlockIndex>& indexes,
+                                   std::vector<Bytes>& out) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    DrainLocked(lock);
+  }
+  return inner_->ReadBatch(indexes, out);
+}
+
+Status AsyncBlockDevice::WriteBatch(const std::vector<BatchWrite>& writes) {
+  return SubmitAndWait(writes, /*flush_after=*/false);
+}
+
+void AsyncBlockDevice::InvalidateCached(BlockIndex index) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    DrainLocked(lock);
+  }
+  inner_->InvalidateCached(index);
+}
+
+AsyncDeviceStats AsyncBlockDevice::async_stats() const {
+  AsyncDeviceStats stats;
+  stats.ops_submitted = ops_submitted_.load(std::memory_order_relaxed);
+  stats.ops_completed = ops_completed_.load(std::memory_order_relaxed);
+  stats.submissions = submissions_.load(std::memory_order_relaxed);
+  stats.coalesced_flushes =
+      coalesced_flushes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void AsyncBlockDevice::DrainLocked(std::unique_lock<std::mutex>& lock) {
+  cv_.wait(lock, [this] { return ring_.empty() && in_flight_ == nullptr; });
+}
+
+void AsyncBlockDevice::ReaperLoop() {
+  for (;;) {
+    std::shared_ptr<Submission> submission;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !ring_.empty() || stop_; });
+      if (ring_.empty() && stop_) return;
+      submission = ring_.front();
+      ring_.pop_front();
+      in_flight_ = submission;
+    }
+    // Inner IO runs with NO ring lock held; readers stay parked in
+    // DrainLocked because in_flight_ is set.
+    const Status status = Execute(*submission);
+    std::size_t op_count = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      submission->status = status;
+      submission->done = true;
+      op_count = submission->borrowed != nullptr
+                     ? submission->borrowed->size() +
+                           (submission->flush_after ? 1 : 0)
+                     : submission->owned_ops.size();
+      in_flight_ = nullptr;
+    }
+    ops_completed_.fetch_add(op_count, std::memory_order_relaxed);
+    RGPD_METRIC_COUNT_N("blockdev.async.completed", op_count);
+    cv_.notify_all();
+  }
+}
+
+Status AsyncBlockDevice::Execute(Submission& submission) {
+  // Barrier semantics only need a real device sync when something was
+  // written since the last one; an empty barrier is merged away.
+  const auto barrier = [&]() -> Status {
+    if (!dirty_since_flush_) {
+      coalesced_flushes_.fetch_add(1, std::memory_order_relaxed);
+      RGPD_METRIC_COUNT("blockdev.async.coalesced_flushes");
+      return Status::Ok();
+    }
+    RGPD_RETURN_IF_ERROR(inner_->Flush());
+    dirty_since_flush_ = false;
+    return Status::Ok();
+  };
+
+  if (submission.borrowed != nullptr) {
+    if (!submission.borrowed->empty()) {
+      dirty_since_flush_ = true;
+      RGPD_RETURN_IF_ERROR(inner_->WriteBatch(*submission.borrowed));
+    }
+    if (submission.flush_after) RGPD_RETURN_IF_ERROR(barrier());
+    return Status::Ok();
+  }
+
+  // Owned-op path: group consecutive writes into one inner batch, honour
+  // flush barriers in order.
+  std::vector<BatchWrite> pending;
+  const auto drain_writes = [&]() -> Status {
+    if (pending.empty()) return Status::Ok();
+    dirty_since_flush_ = true;
+    const Status s = inner_->WriteBatch(pending);
+    pending.clear();
+    return s;
+  };
+  for (const Op& op : submission.owned_ops) {
+    if (op.kind == Op::Kind::kWrite) {
+      pending.push_back({op.block, ByteSpan(op.data.data(), op.data.size())});
+    } else {
+      RGPD_RETURN_IF_ERROR(drain_writes());
+      RGPD_RETURN_IF_ERROR(barrier());
+    }
+  }
+  return drain_writes();
+}
+
+}  // namespace rgpdos::blockdev

@@ -1,0 +1,151 @@
+// AsyncBlockDevice — an io_uring-style submission/completion ring over
+// any BlockDevice.
+//
+// Callers enqueue submissions (ordered lists of write and flush-barrier
+// ops) into a bounded submission ring; a per-device completion-reaper
+// thread drains the ring FIFO, groups consecutive writes of a submission
+// into ONE inner WriteBatch (so the latency model amortises them across
+// the device queue), executes flush barriers, and publishes completions
+// that Wait() reaps. Submit blocks while the ring is full — that is the
+// backpressure bound, not an error.
+//
+// Flush coalescing: the device tracks whether any write reached the
+// inner device since the last sync. A flush barrier arriving with
+// nothing to persist is elided — adjacent barriers merge into one
+// device sync (blockdev.async.coalesced_flushes counts the saved ones).
+// Eliding an empty barrier is always safe, including under the fault
+// injector's volatile write-back: a sync with no new writes drains
+// nothing.
+//
+// Ordering & the synchronous BlockDevice surface: the decorator also IS
+// a BlockDevice, so un-ported callers keep working. Synchronous writes,
+// flushes and batches are funnelled through the ring as
+// submit-and-wait submissions (one ring handoff per batch, not per
+// block); reads first wait for the ring to drain and then hit the inner
+// device directly from the calling thread — a read can therefore never
+// overtake a queued write. The ring mutex is a leaf: it is never held
+// across inner-device IO (same discipline as the DedExecutor's
+// scheduling lock).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "blockdev/block_device.hpp"
+
+namespace rgpdos::blockdev {
+
+/// Aggregate ring accounting (relaxed atomics, safe to read live).
+struct AsyncDeviceStats {
+  std::uint64_t ops_submitted = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t submissions = 0;
+  std::uint64_t coalesced_flushes = 0;
+};
+
+class AsyncBlockDevice final : public BlockDevice {
+ public:
+  /// One ring operation: a block write (owning its payload, so
+  /// fire-and-forget submissions outlive the caller's buffers) or a
+  /// flush barrier ordered against the writes around it.
+  struct Op {
+    enum class Kind : std::uint8_t { kWrite, kFlush };
+    Kind kind = Kind::kWrite;
+    BlockIndex block = 0;
+    Bytes data;  ///< kWrite payload; must be exactly block_size bytes
+
+    static Op Write(BlockIndex block, Bytes data) {
+      return Op{Kind::kWrite, block, std::move(data)};
+    }
+    static Op FlushBarrier() { return Op{Kind::kFlush, 0, {}}; }
+  };
+
+  using Ticket = std::uint64_t;
+
+  /// `inner` is borrowed and must outlive this device. `ring_depth`
+  /// bounds queued submissions (>= 1); Submit blocks when full.
+  AsyncBlockDevice(BlockDevice* inner, std::size_t ring_depth);
+  ~AsyncBlockDevice() override;
+  AsyncBlockDevice(const AsyncBlockDevice&) = delete;
+  AsyncBlockDevice& operator=(const AsyncBlockDevice&) = delete;
+
+  // ---- Ring API -------------------------------------------------------
+  /// Enqueue one submission; returns immediately once ring space is
+  /// available. Ops execute in order relative to every other submission.
+  Ticket Submit(std::vector<Op> ops);
+  /// Block until `ticket`'s submission completed; returns its status.
+  Status Wait(Ticket ticket);
+  /// Submit + Wait, without copying payloads (spans stay valid because
+  /// the caller blocks until completion).
+  Status SubmitAndWait(const std::vector<BatchWrite>& writes,
+                       bool flush_after);
+
+  // ---- BlockDevice surface -------------------------------------------
+  [[nodiscard]] std::uint32_t block_size() const override {
+    return inner_->block_size();
+  }
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return inner_->block_count();
+  }
+  Status ReadBlock(BlockIndex index, Bytes& out) override;
+  Status WriteBlock(BlockIndex index, ByteSpan data) override;
+  Status Flush() override;
+  Status ReadBatch(const std::vector<BlockIndex>& indexes,
+                   std::vector<Bytes>& out) override;
+  Status WriteBatch(const std::vector<BatchWrite>& writes) override;
+  void InvalidateCached(BlockIndex index) override;
+  [[nodiscard]] const DeviceStats& stats() const override {
+    return inner_->stats();
+  }
+
+  [[nodiscard]] AsyncDeviceStats async_stats() const;
+  [[nodiscard]] std::size_t ring_depth() const { return ring_depth_; }
+  [[nodiscard]] BlockDevice& inner() { return *inner_; }
+
+ private:
+  struct Submission {
+    Ticket ticket = 0;
+    std::vector<Op> owned_ops;                ///< Submit() path
+    const std::vector<BatchWrite>* borrowed;  ///< SubmitAndWait() path
+    bool flush_after = false;
+    Status status;
+    bool done = false;
+  };
+
+  void ReaperLoop();
+  /// Execute one submission against the inner device (no ring lock held).
+  Status Execute(Submission& submission);
+  /// Wait until every queued submission completed (ring empty, reaper
+  /// idle). Called with `lock` held on mu_.
+  void DrainLocked(std::unique_lock<std::mutex>& lock);
+
+  BlockDevice* inner_;  // borrowed
+  const std::size_t ring_depth_;
+
+  std::mutex mu_;  // leaf: guards the ring, never held across inner IO
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Submission>> ring_;
+  /// Completed fire-and-forget submissions whose status was not reaped.
+  std::vector<std::shared_ptr<Submission>> completed_;
+  std::shared_ptr<Submission> in_flight_;
+  Ticket next_ticket_ = 1;
+  bool stop_ = false;
+
+  /// True while at least one write reached the inner device since the
+  /// last inner Flush — a barrier finding this false is elided.
+  bool dirty_since_flush_ = true;
+
+  std::atomic<std::uint64_t> ops_submitted_{0};
+  std::atomic<std::uint64_t> ops_completed_{0};
+  std::atomic<std::uint64_t> submissions_{0};
+  std::atomic<std::uint64_t> coalesced_flushes_{0};
+
+  std::thread reaper_;
+};
+
+}  // namespace rgpdos::blockdev

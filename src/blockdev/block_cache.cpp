@@ -71,6 +71,68 @@ Status BlockCacheDevice::WriteBlock(BlockIndex index, ByteSpan data) {
   return Status::Ok();
 }
 
+Status BlockCacheDevice::ReadBatch(const std::vector<BlockIndex>& indexes,
+                                   std::vector<Bytes>& out) {
+  out.resize(indexes.size());
+  // Pass 1: serve hits, collect misses (position + miss-epoch per entry).
+  struct Miss {
+    std::size_t position;
+    std::uint64_t epoch_at_miss;
+  };
+  std::vector<Miss> misses;
+  std::vector<BlockIndex> miss_blocks;
+  for (std::size_t i = 0; i < indexes.size(); ++i) {
+    Shard& shard = ShardFor(indexes[i]);
+    std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+    const auto it = shard.map.find(indexes[i]);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      out[i] = it->second->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      RGPD_METRIC_COUNT("cache.block.hit");
+    } else {
+      misses.push_back({i, shard.epoch});
+      miss_blocks.push_back(indexes[i]);
+    }
+  }
+  if (miss_blocks.empty()) return Status::Ok();
+  misses_.fetch_add(miss_blocks.size(), std::memory_order_relaxed);
+  RGPD_METRIC_COUNT_N("cache.block.miss", miss_blocks.size());
+
+  // Pass 2: one amortised inner submission for every miss, no shard lock
+  // held (same rank discipline as the single-block path).
+  std::vector<Bytes> miss_data;
+  RGPD_RETURN_IF_ERROR(inner_->ReadBatch(miss_blocks, miss_data));
+
+  // Pass 3: epoch-guarded fills, exactly as a single-block miss would do.
+  for (std::size_t m = 0; m < miss_blocks.size(); ++m) {
+    out[misses[m].position] = miss_data[m];
+    Shard& shard = ShardFor(miss_blocks[m]);
+    std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+    if (shard.epoch == misses[m].epoch_at_miss &&
+        shard.map.count(miss_blocks[m]) == 0) {
+      InsertLocked(shard, miss_blocks[m], miss_data[m]);
+    }
+  }
+  return Status::Ok();
+}
+
+Status BlockCacheDevice::WriteBatch(const std::vector<BatchWrite>& writes) {
+  // Write-through first, as one inner submission.
+  RGPD_RETURN_IF_ERROR(inner_->WriteBatch(writes));
+  for (const BatchWrite& w : writes) {
+    Shard& shard = ShardFor(w.index);
+    std::lock_guard<metrics::OrderedMutex> lock(shard.mu);
+    ++shard.epoch;
+    const auto it = shard.map.find(w.index);
+    if (it != shard.map.end()) {
+      it->second->second.assign(w.data.begin(), w.data.end());
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    }
+  }
+  return Status::Ok();
+}
+
 void BlockCacheDevice::InvalidateCached(BlockIndex index) {
   {
     Shard& shard = ShardFor(index);

@@ -66,6 +66,13 @@ class BlockCacheDevice final : public BlockDevice {
   Status WriteBlock(BlockIndex index, ByteSpan data) override;
   Status Flush() override { return inner_->Flush(); }
   void InvalidateCached(BlockIndex index) override;
+  /// Partitions into hits and misses, forwards the misses as ONE inner
+  /// batch (keeping the amortised device cost), then fills under the
+  /// same epoch protocol as ReadBlock.
+  Status ReadBatch(const std::vector<BlockIndex>& indexes,
+                   std::vector<Bytes>& out) override;
+  /// Write-through as one inner batch, then updates cached copies.
+  Status WriteBatch(const std::vector<BatchWrite>& writes) override;
 
   /// True device traffic: the decorator adds none of its own, so IO
   /// reports (bench_dbfs_vs_fs, leak scans) keep meaning "what hit the

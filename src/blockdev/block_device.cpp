@@ -5,6 +5,22 @@
 
 namespace rgpdos::blockdev {
 
+Status BlockDevice::ReadBatch(const std::vector<BlockIndex>& indexes,
+                              std::vector<Bytes>& out) {
+  out.resize(indexes.size());
+  for (std::size_t i = 0; i < indexes.size(); ++i) {
+    RGPD_RETURN_IF_ERROR(ReadBlock(indexes[i], out[i]));
+  }
+  return Status::Ok();
+}
+
+Status BlockDevice::WriteBatch(const std::vector<BatchWrite>& writes) {
+  for (const BatchWrite& w : writes) {
+    RGPD_RETURN_IF_ERROR(WriteBlock(w.index, w.data));
+  }
+  return Status::Ok();
+}
+
 MemBlockDevice::MemBlockDevice(std::uint32_t block_size,
                                std::uint64_t block_count)
     : block_size_(block_size),
@@ -41,6 +57,41 @@ Status MemBlockDevice::WriteBlock(BlockIndex index, ByteSpan data) {
 Status MemBlockDevice::Flush() {
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
   ++stats_.flushes;
+  return Status::Ok();
+}
+
+Status MemBlockDevice::ReadBatch(const std::vector<BlockIndex>& indexes,
+                                 std::vector<Bytes>& out) {
+  out.resize(indexes.size());
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  for (std::size_t i = 0; i < indexes.size(); ++i) {
+    const BlockIndex index = indexes[i];
+    if (index >= block_count_) {
+      return OutOfRange("read past end of device");
+    }
+    out[i].resize(block_size_);
+    std::memcpy(out[i].data(), storage_.data() + index * block_size_,
+                block_size_);
+    ++stats_.reads;
+    stats_.bytes_read += block_size_;
+  }
+  return Status::Ok();
+}
+
+Status MemBlockDevice::WriteBatch(const std::vector<BatchWrite>& writes) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  for (const BatchWrite& w : writes) {
+    if (w.index >= block_count_) {
+      return OutOfRange("write past end of device");
+    }
+    if (w.data.size() != block_size_) {
+      return InvalidArgument("block write must be exactly block_size bytes");
+    }
+    std::memcpy(storage_.data() + w.index * block_size_, w.data.data(),
+                block_size_);
+    ++stats_.writes;
+    stats_.bytes_written += block_size_;
+  }
   return Status::Ok();
 }
 

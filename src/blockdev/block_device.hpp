@@ -30,6 +30,13 @@ struct DeviceStats {
   std::uint64_t flushes = 0;
 };
 
+/// One write of a batched submission. `data` must stay alive until the
+/// batch call returns; it must be exactly block_size bytes.
+struct BatchWrite {
+  BlockIndex index = 0;
+  ByteSpan data;
+};
+
 /// Abstract fixed-block-size device.
 class BlockDevice {
  public:
@@ -44,6 +51,17 @@ class BlockDevice {
   virtual Status WriteBlock(BlockIndex index, ByteSpan data) = 0;
   /// Durability barrier (accounted; a no-op for in-memory devices).
   virtual Status Flush() = 0;
+
+  /// Read many blocks in one submission. `out` is resized to match
+  /// `indexes`. The default walks ReadBlock; devices that can do better
+  /// (one lock hold, amortised simulated latency) override it. On error
+  /// the prefix of `out` before the failing index is valid.
+  virtual Status ReadBatch(const std::vector<BlockIndex>& indexes,
+                           std::vector<Bytes>& out);
+  /// Write many blocks in one submission, in order. The default walks
+  /// WriteBlock; on error, writes before the failing entry may have been
+  /// applied (same torn-prefix semantics as a crashed serial loop).
+  virtual Status WriteBatch(const std::vector<BatchWrite>& writes);
 
   /// Drop any cached copy of `index` held by this device or a decorator
   /// in front of it. The erasure/scrub paths call this for every block
@@ -78,6 +96,10 @@ class MemBlockDevice final : public BlockDevice {
   Status ReadBlock(BlockIndex index, Bytes& out) override;
   Status WriteBlock(BlockIndex index, ByteSpan data) override;
   Status Flush() override;
+  /// Batched ops hold the device mutex once for the whole submission.
+  Status ReadBatch(const std::vector<BlockIndex>& indexes,
+                   std::vector<Bytes>& out) override;
+  Status WriteBatch(const std::vector<BatchWrite>& writes) override;
 
   [[nodiscard]] const DeviceStats& stats() const override { return stats_; }
 

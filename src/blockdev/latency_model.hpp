@@ -12,18 +12,32 @@
 
 namespace rgpdos::blockdev {
 
-/// Per-operation simulated costs in nanoseconds.
+/// Per-operation simulated costs in nanoseconds. `queue_depth` is the
+/// device's native command-queue depth: a batch of n same-kind ops
+/// submitted together costs op_ns * (1 + (n-1)/queue_depth) — the first
+/// op pays full latency, the rest overlap at the queue's parallelism.
+/// Serial submission (queue_depth 1, or per-op ReadBlock/WriteBlock
+/// calls) pays full cost per op.
 struct LatencyProfile {
   std::uint64_t read_ns = 0;
   std::uint64_t write_ns = 0;
   std::uint64_t flush_ns = 0;
+  std::uint64_t queue_depth = 1;
 
-  static LatencyProfile Nvme() { return {10'000, 20'000, 50'000}; }
-  static LatencyProfile Hdd() { return {4'000'000, 4'500'000, 8'000'000}; }
+  static LatencyProfile Nvme() { return {10'000, 20'000, 50'000, 16}; }
+  static LatencyProfile Hdd() { return {4'000'000, 4'500'000, 8'000'000, 4}; }
   static LatencyProfile Zero() { return {}; }
 
   [[nodiscard]] bool IsZero() const {
     return read_ns == 0 && write_ns == 0 && flush_ns == 0;
+  }
+
+  /// Simulated cost of a batch of `n` ops each costing `op_ns` serially.
+  [[nodiscard]] std::uint64_t BatchCost(std::uint64_t op_ns,
+                                        std::uint64_t n) const {
+    if (n == 0) return 0;
+    const std::uint64_t depth = queue_depth == 0 ? 1 : queue_depth;
+    return op_ns + op_ns * (n - 1) / depth;
   }
 };
 
@@ -58,6 +72,22 @@ class LatencyModelDevice final : public BlockDevice {
   Status Flush() override {
     simulated_ns_.fetch_add(profile_.flush_ns, std::memory_order_relaxed);
     return inner_->Flush();
+  }
+  /// Batched ops amortise latency across the device queue: the whole
+  /// submission costs op_ns * (1 + (n-1)/queue_depth) simulated time
+  /// instead of n * op_ns.
+  Status ReadBatch(const std::vector<BlockIndex>& indexes,
+                   std::vector<Bytes>& out) override {
+    simulated_ns_.fetch_add(
+        profile_.BatchCost(profile_.read_ns, indexes.size()),
+        std::memory_order_relaxed);
+    return inner_->ReadBatch(indexes, out);
+  }
+  Status WriteBatch(const std::vector<BatchWrite>& writes) override {
+    simulated_ns_.fetch_add(
+        profile_.BatchCost(profile_.write_ns, writes.size()),
+        std::memory_order_relaxed);
+    return inner_->WriteBatch(writes);
   }
   void InvalidateCached(BlockIndex index) override {
     inner_->InvalidateCached(index);

@@ -12,6 +12,10 @@ constexpr sentinel::Domain kDed = sentinel::Domain::kDed;
 /// Below this many candidates per lane, shard handoff costs more than it
 /// buys; the pipeline stays single-lane.
 constexpr std::size_t kMinRecordsPerShard = 4;
+/// Candidates per batched-load chunk: one GetMembraneMany + one GetMany
+/// per chunk. Big enough to amortise a device submission across the
+/// chunk, small enough to bound the pipeline's in-flight PD.
+constexpr std::size_t kLoadBatch = 16;
 }
 
 Result<db::Value> ProcessingInput::Field(std::string_view field) const {
@@ -107,54 +111,37 @@ DataExecutionDomain::Decision DataExecutionDomain::Decide(
   return decision;
 }
 
-DataExecutionDomain::RecordOutcome DataExecutionDomain::RunRecord(
-    dbfs::RecordId id, const dsl::TypeDecl& input_type,
+void DataExecutionDomain::ExecuteStaged(
+    StagedRecord s, RecordOutcome& out, const dsl::TypeDecl& input_type,
     const db::Schema& input_schema, const dsl::PurposeDecl& purpose,
     const std::string& processing_name, const ProcessingFn& fn,
     const std::vector<FieldPredicate>& predicates, TimeMicros now,
     bool want_trace, DecisionMemo* memo) const {
-  RecordOutcome out;
-  Stopwatch watch;
-
-  // ---- ded_load_membrane: membrane only, no PD bytes -----------------------
-  Result<membrane::Membrane> m = dbfs_->GetMembrane(kDed, id);
-  out.timings.load_membrane_ns = watch.ElapsedNanos();
-  if (!m.ok()) {
-    out.error = m.status();
-    return out;
+  if (!s.record.ok()) {
+    out.error = s.record.status();
+    return;
   }
-
-  // ---- ded_filter: does the membrane approve the purpose now? --------------
-  watch.Restart();
-  Decision decision = Decide(*m, input_type, purpose, id, now, memo);
-  if (!decision.error.ok()) {
-    out.error = decision.error;
-    out.timings.filter_ns = watch.ElapsedNanos();
-    return out;
-  }
-  if (!decision.approved) {
-    ++out.filtered;
-    RGPD_METRIC_COUNT("core.consent.filtered");
-    out.logs.push_back({m->subject_id, id, LogOutcome::kFiltered,
-                        decision.filter_detail});
-    out.timings.filter_ns = watch.ElapsedNanos();
-    return out;
-  }
-  RGPD_METRIC_COUNT("core.consent.approved");
-  out.timings.filter_ns = watch.ElapsedNanos();
-
-  // ---- ded_load_data: fetch the row for this survivor ----------------------
-  watch.Restart();
-  Result<dbfs::PdRecord> record = dbfs_->Get(kDed, id);
-  out.timings.load_data_ns = watch.ElapsedNanos();
-  if (!record.ok()) {
-    out.error = record.status();
-    return out;
-  }
-  if (record->erased) {
+  dbfs::PdRecord record = std::move(*s.record);
+  if (record.erased) {
     // Raced with an erasure: treat as filtered.
     ++out.filtered;
-    return out;
+    return;
+  }
+  // Execute-time freshness: the rows were batch-loaded, possibly well
+  // before this lane got to them. If the subject's mutation generation
+  // moved since the load (a withdrawal / erasure / rectification acked
+  // in between), re-fetch the authoritative membrane so the
+  // re-validation below sees the post-mutation version — a stale
+  // approval must not leak PD. Unchanged generation proves the loaded
+  // image is still authoritative: one atomic load, no extra IO.
+  if (dbfs_->SubjectGeneration(record.membrane.subject_id) !=
+      s.subject_gen) {
+    Result<membrane::Membrane> fresh = dbfs_->GetMembrane(kDed, s.id);
+    if (!fresh.ok()) {
+      out.error = fresh.status();
+      return;
+    }
+    record.membrane = std::move(*fresh);
   }
   // Re-validate the filter decision against the membrane that travelled
   // WITH the row. Unchanged version + memo on: a lookup hit, no second
@@ -163,32 +150,33 @@ DataExecutionDomain::RecordOutcome DataExecutionDomain::RunRecord(
   // the authoritative membrane — a stale approval must not leak PD.
   // Memo off: only the version-moved case re-decides (the historical
   // cost profile, plus the correctness fix).
-  const bool version_moved = record->membrane.version != m->version;
+  Decision decision = std::move(s.decision);
+  const bool version_moved = record.membrane.version != s.membrane.version;
   if (version_moved || memo != nullptr) {
     Decision revalidated =
-        Decide(record->membrane, input_type, purpose, id, now, memo);
+        Decide(record.membrane, input_type, purpose, s.id, now, memo);
     if (!revalidated.error.ok()) {
       out.error = revalidated.error;
-      return out;
+      return;
     }
     if (!revalidated.approved) {
       ++out.filtered;
       RGPD_METRIC_COUNT("core.consent.filtered");
       if (version_moved) RGPD_METRIC_COUNT("core.consent.stale_revoked");
-      out.logs.push_back({record->membrane.subject_id, id,
+      out.logs.push_back({record.membrane.subject_id, s.id,
                           LogOutcome::kFiltered,
                           revalidated.filter_detail});
-      return out;
+      return;
     }
     decision = std::move(revalidated);
   }
   // From here on the membrane that travelled WITH the row is the
   // authoritative one (same version as the decision just validated).
-  *m = std::move(record->membrane);
-  db::Row row = std::move(record->row);
+  membrane::Membrane m = std::move(record.membrane);
+  db::Row row = std::move(record.row);
 
   // ---- ded_execute: run the implementation under the syscall filter --------
-  watch.Restart();
+  Stopwatch watch;
   // Application-supplied predicates: consented rows that fail never
   // reach the implementation (and the subject's log says so).
   bool predicate_pass = true;
@@ -202,41 +190,40 @@ DataExecutionDomain::RecordOutcome DataExecutionDomain::RunRecord(
   if (!predicate_pass) {
     ++out.filtered;
     out.logs.push_back(
-        {m->subject_id, id, LogOutcome::kFiltered, "row predicate"});
+        {m.subject_id, s.id, LogOutcome::kFiltered, "row predicate"});
     out.timings.execute_ns = watch.ElapsedNanos();
-    return out;
+    return;
   }
   sentinel::SyscallContext syscalls(
       sentinel::SyscallFilter::PdProcessingProfile(), now);
   ProcessingInput input(&input_type, &row, std::move(decision.scope),
-                        m->subject_id, id, &syscalls,
+                        m.subject_id, s.id, &syscalls,
                         want_trace ? &out.fields : nullptr);
   auto output = fn(input);
   out.syscalls_denied = syscalls.denied_calls();
   if (syscalls.killed()) {
-    out.logs.push_back({m->subject_id, id, LogOutcome::kAborted,
+    out.logs.push_back({m.subject_id, s.id, LogOutcome::kAborted,
                         "killed by syscall filter"});
     out.error = SyscallDenied("processing '" + processing_name +
                               "' was killed by the syscall filter");
     out.timings.execute_ns = watch.ElapsedNanos();
-    return out;
+    return;
   }
   if (!output.ok()) {
-    out.logs.push_back({m->subject_id, id, LogOutcome::kAborted,
+    out.logs.push_back({m.subject_id, s.id, LogOutcome::kAborted,
                         output.status().ToString()});
     out.error = output.status();
     out.timings.execute_ns = watch.ElapsedNanos();
-    return out;
+    return;
   }
   out.processed = true;
-  out.logs.push_back({m->subject_id, id, LogOutcome::kProcessed, {}});
+  out.logs.push_back({m.subject_id, s.id, LogOutcome::kProcessed, {}});
   out.npd = std::move(output->npd);
   if (output->derived_row.has_value()) {
     out.derived_row = std::move(*output->derived_row);
-    out.source_membrane = std::move(m).value();
+    out.source_membrane = std::move(m);
   }
   out.timings.execute_ns = watch.ElapsedNanos();
-  return out;
 }
 
 Result<InvokeResult> DataExecutionDomain::Execute(
@@ -287,21 +274,71 @@ Result<InvokeResult> DataExecutionDomain::Execute(
   result.timings.type2req_ns = watch.ElapsedNanos();
 
   // ---- per-record stages: load_membrane / filter / load_data / execute -----
-  // Fanned over contiguous candidate shards when an executor is attached
-  // and there is enough work per lane; outcomes merge in candidate order
-  // below, so the log and the returned error are shard-count-invariant.
+  // The IO stages run chunked: one GetMembraneMany per chunk feeds the
+  // filter, the chunk's survivors fetch their rows in one GetMany — a
+  // handful of amortised batched device submissions per chunk instead of
+  // 3+ serialized reads per record. Outcomes merge in candidate order
+  // below, so the log and the returned error are lane-count-invariant.
   const TimeMicros now = clock_->Now();
   // One decision memo per invoke (the paper's purpose is fixed for the
   // whole pipeline, so (purpose, record) keys degenerate to record ids).
   DecisionMemo memo;
   DecisionMemo* memo_ptr = memoize_decisions_ ? &memo : nullptr;
+  const bool want_trace = field_trace != nullptr;
   std::vector<RecordOutcome> outcomes(candidates.size());
-  const auto run_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      outcomes[i] =
-          RunRecord(candidates[i], *input_type, input_schema, purpose,
-                    processing_name, fn, predicates, now,
-                    field_trace != nullptr, memo_ptr);
+  // Load + filter one chunk; approved survivors (rows attached) land in
+  // `staged`. Batch timings are booked on the chunk's first outcome —
+  // the merge only ever sums them.
+  const auto stage_chunk = [&](std::size_t base, std::size_t lim,
+                               std::vector<StagedRecord>& staged) {
+    Stopwatch batch_watch;
+    const std::vector<dbfs::RecordId> chunk(candidates.begin() + base,
+                                            candidates.begin() + lim);
+    std::vector<Result<membrane::Membrane>> membranes =
+        dbfs_->GetMembraneMany(kDed, chunk);
+    outcomes[base].timings.load_membrane_ns += batch_watch.ElapsedNanos();
+    for (std::size_t i = base; i < lim; ++i) {
+      RecordOutcome& out = outcomes[i];
+      Result<membrane::Membrane>& m = membranes[i - base];
+      if (!m.ok()) {
+        out.error = m.status();
+        continue;
+      }
+      Stopwatch watch;
+      Decision decision =
+          Decide(*m, *input_type, purpose, candidates[i], now, memo_ptr);
+      out.timings.filter_ns += watch.ElapsedNanos();
+      if (!decision.error.ok()) {
+        out.error = decision.error;
+        continue;
+      }
+      if (!decision.approved) {
+        ++out.filtered;
+        RGPD_METRIC_COUNT("core.consent.filtered");
+        out.logs.push_back({m->subject_id, candidates[i],
+                            LogOutcome::kFiltered, decision.filter_detail});
+        continue;
+      }
+      RGPD_METRIC_COUNT("core.consent.approved");
+      StagedRecord s;
+      s.index = i;
+      s.id = candidates[i];
+      s.membrane = std::move(*m);
+      s.decision = std::move(decision);
+      staged.push_back(std::move(s));
+    }
+    if (staged.empty()) return;
+    std::vector<dbfs::RecordId> ids;
+    ids.reserve(staged.size());
+    for (const StagedRecord& s : staged) ids.push_back(s.id);
+    batch_watch.Restart();
+    std::vector<Result<dbfs::PdRecord>> records = dbfs_->GetMany(kDed, ids);
+    outcomes[staged.front().index].timings.load_data_ns +=
+        batch_watch.ElapsedNanos();
+    for (std::size_t k = 0; k < staged.size(); ++k) {
+      staged[k].record = std::move(records[k]);
+      staged[k].subject_gen =
+          dbfs_->SubjectGeneration(staged[k].membrane.subject_id);
     }
   };
   std::size_t lanes = 1;
@@ -311,15 +348,51 @@ Result<InvokeResult> DataExecutionDomain::Execute(
     lanes = std::min<std::size_t>(executor_->worker_count() + 1, by_work);
   }
   if (lanes <= 1) {
-    run_range(0, candidates.size());
+    for (std::size_t base = 0; base < candidates.size();
+         base += kLoadBatch) {
+      const std::size_t lim =
+          std::min(candidates.size(), base + kLoadBatch);
+      std::vector<StagedRecord> staged;
+      stage_chunk(base, lim, staged);
+      for (StagedRecord& s : staged) {
+        const std::size_t index = s.index;
+        ExecuteStaged(std::move(s), outcomes[index], *input_type,
+                      input_schema, purpose, processing_name, fn,
+                      predicates, now, want_trace, memo_ptr);
+      }
+    }
   } else {
-    const std::size_t per_shard = (candidates.size() + lanes - 1) / lanes;
     RGPD_METRIC_COUNT("core.ded_execute.parallel");
+    // Pipelined: the first lane runs the IO stages and feeds survivors
+    // through a bounded queue; the other lanes run the execute stage
+    // concurrently. The queue bound is the backpressure — the loader
+    // stalls when the implementations fall behind. Lane roles go by
+    // claim order (shard 0 is always the first shard claimed), and
+    // lanes > 1 implies at least one pool worker, so the producer never
+    // waits on a consumer that cannot exist.
+    BoundedQueue<StagedRecord> queue(2 * kLoadBatch);
     executor_->ParallelFor(lanes, [&](std::size_t shard) {
-      const std::size_t begin = shard * per_shard;
-      const std::size_t end =
-          std::min(candidates.size(), begin + per_shard);
-      if (begin < end) run_range(begin, end);
+      if (shard == 0) {
+        for (std::size_t base = 0; base < candidates.size();
+             base += kLoadBatch) {
+          const std::size_t lim =
+              std::min(candidates.size(), base + kLoadBatch);
+          std::vector<StagedRecord> staged;
+          stage_chunk(base, lim, staged);
+          for (StagedRecord& s : staged) {
+            if (!queue.Push(std::move(s))) return;
+          }
+        }
+        queue.Close();
+      } else {
+        StagedRecord s;
+        while (queue.Pop(s)) {
+          const std::size_t index = s.index;
+          ExecuteStaged(std::move(s), outcomes[index], *input_type,
+                        input_schema, purpose, processing_name, fn,
+                        predicates, now, want_trace, memo_ptr);
+        }
+      }
     });
   }
 

@@ -27,16 +27,23 @@
 // honoured, cached or not, while the unchanged-version common case costs
 // one memo lookup instead of a second Evaluate + scope intersection.
 //
-// Parallel execution: when the PS hands the DED a DedExecutor, the
-// per-record stages (load_membrane, filter, load_data, execute) fan out
-// over contiguous candidate shards; ded_store stays serial so derived
-// record ids are assigned in a deterministic order. Each record's work
-// is self-contained — its log entries are staged per record and merged
-// in candidate order, so the processing log carries the same per-record
-// happens-before ordering as a serial run, and the first failing record
-// (by candidate index) decides the returned error exactly as it would
-// serially. Stage timings are summed across lanes (CPU time, not wall
-// time, once parallel).
+// Batched loads & stage pipelining: the IO stages run CHUNKED — one
+// DbfsApi::GetMembraneMany per chunk of candidates feeds the filter, and
+// the chunk's survivors fetch their rows in one GetMany — so the block
+// layer sees a handful of amortised batched submissions instead of 3+
+// serialized reads per record. Single-lane, the chunks run inline in
+// candidate order. When the PS hands the DED a DedExecutor and there is
+// enough work, lane 0 runs the IO stages and feeds survivors through a
+// BoundedQueue (executor.hpp) to the other lanes, which run the execute
+// stage concurrently — the queue bound is the backpressure that stalls
+// the loader when the implementations fall behind. ded_store stays
+// serial so derived record ids are assigned in a deterministic order.
+// Each record's work is self-contained — its log entries are staged per
+// record and merged in candidate order, so the processing log carries
+// the same per-record happens-before ordering as a serial run, and the
+// first failing record (by candidate index) decides the returned error
+// exactly as it would serially. Stage timings are summed across lanes
+// (CPU time, not wall time, once parallel).
 #pragma once
 
 #include <mutex>
@@ -167,18 +174,38 @@ class DataExecutionDomain {
                   const dsl::PurposeDecl& purpose, dbfs::RecordId id,
                   TimeMicros now, DecisionMemo* memo) const;
 
-  /// The per-record pipeline slice: load_membrane -> filter -> load_data
-  /// -> predicates -> execute. Pure with respect to DED state (all
-  /// shared mutation is deferred into the returned outcome), so any lane
-  /// may run it.
-  RecordOutcome RunRecord(dbfs::RecordId id, const dsl::TypeDecl& input_type,
-                          const db::Schema& input_schema,
-                          const dsl::PurposeDecl& purpose,
-                          const std::string& processing_name,
-                          const ProcessingFn& fn,
-                          const std::vector<FieldPredicate>& predicates,
-                          TimeMicros now, bool want_trace,
-                          DecisionMemo* memo) const;
+  /// A filter-approved candidate staged for the execute lane: its slot
+  /// in candidate order, the membrane image the filter decision was made
+  /// on, that decision, and the row fetched by the batched ded_load_data
+  /// stage. This is the unit the load stage pushes through the bounded
+  /// queue to the execute lanes.
+  struct StagedRecord {
+    std::size_t index = 0;  ///< candidate-order slot in the outcome array
+    dbfs::RecordId id = 0;
+    membrane::Membrane membrane;
+    Decision decision;
+    Result<dbfs::PdRecord> record = Internal("row not loaded");
+    /// DbfsApi::SubjectGeneration snapshot taken right after the batched
+    /// row load: the execute stage re-fetches the membrane iff it moved,
+    /// so a withdrawal acked between load and execute is never honoured
+    /// while the unmutated common case pays one atomic load.
+    std::uint64_t subject_gen = 0;
+  };
+
+  /// The execute-stage slice for one staged survivor: erased check,
+  /// stale-consent re-validation against the membrane that travelled
+  /// WITH the row, application predicates, then the implementation under
+  /// the syscall filter. Pure with respect to DED state (all shared
+  /// mutation is deferred into `out`), so any lane may run it.
+  void ExecuteStaged(StagedRecord s, RecordOutcome& out,
+                     const dsl::TypeDecl& input_type,
+                     const db::Schema& input_schema,
+                     const dsl::PurposeDecl& purpose,
+                     const std::string& processing_name,
+                     const ProcessingFn& fn,
+                     const std::vector<FieldPredicate>& predicates,
+                     TimeMicros now, bool want_trace,
+                     DecisionMemo* memo) const;
 
   dbfs::DbfsApi* dbfs_;             // borrowed
   sentinel::Sentinel* sentinel_; // borrowed

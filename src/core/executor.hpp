@@ -37,6 +37,60 @@
 
 namespace rgpdos::core {
 
+/// Minimal MPMC bounded queue for stage pipelining (the DED's
+/// load -> execute hand-off): Push blocks while the queue is full — that
+/// is the backpressure bound, the producing stage stalls instead of
+/// buffering unboundedly — Pop blocks while it is empty, and Close wakes
+/// everyone: further Pushes are refused and Pops drain the remaining
+/// items before returning false. The mutex is a leaf: never held across
+/// user code.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// False iff the queue was closed before space freed up (the item is
+  /// dropped; producers should stop).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// False when the queue is closed AND drained.
+  bool Pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_items_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    cv_space_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_items_.notify_all();
+    cv_space_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable cv_items_;
+  std::condition_variable cv_space_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
 class DedExecutor {
  public:
   /// `workers` pool threads (0 = inline-only executor); `boot_seed`

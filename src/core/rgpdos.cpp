@@ -56,6 +56,14 @@ Result<RgpdOs::StoreStack> RgpdOs::BuildStack(const BootConfig& config,
         std::make_unique<blockdev::LatencyModelDevice>(dev, config.latency);
     dev = stack.latency.get();
   }
+  if (config.async_io && config.ring_depth > 0) {
+    // Submission/completion ring between the cost model and the cache:
+    // cache hits skip the ring entirely, misses and write-backs flow
+    // through it as batched submissions.
+    stack.async =
+        std::make_unique<blockdev::AsyncBlockDevice>(dev, config.ring_depth);
+    dev = stack.async.get();
+  }
   if (config.cache_blocks != 0) {
     stack.cache = std::make_unique<blockdev::BlockCacheDevice>(
         dev, config.cache_blocks, config.cache_shards);
@@ -69,13 +77,15 @@ Result<RgpdOs::StoreStack> RgpdOs::BuildStack(const BootConfig& config,
     // can be served from RAM.
     RGPD_ASSIGN_OR_RETURN(
         stack.store,
-        inodefs::InodeStore::Mount(dev, clock, lock_rank, config.io_retry));
+        inodefs::InodeStore::Mount(dev, clock, lock_rank, config.io_retry,
+                                   config.journal_extents));
   } else {
     inodefs::InodeStore::Options options;
     options.inode_count = config.inode_count;
     options.journal_blocks = config.journal_blocks;
     options.io_retry = config.io_retry;
     options.lock_rank = lock_rank;
+    options.journal_extents = config.journal_extents;
     RGPD_ASSIGN_OR_RETURN(
         stack.store, inodefs::InodeStore::Format(dev, options, clock));
   }
@@ -116,6 +126,20 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
       config.fault_plan.volatile_write_back ||
       config.fault_plan.transient_error_every != 0) {
     config.fault_inject = true;
+  }
+  // RGPDOS_ASYNC=0 is the async-block-layer kill switch: no ring, and
+  // the simulated device queue depth drops to 1 so the serialized
+  // baseline is what the cost model actually charges for.
+  if (EnvU64("RGPDOS_ASYNC", config.async_io ? 1 : 0) == 0) {
+    config.async_io = false;
+  }
+  config.ring_depth = static_cast<std::size_t>(
+      EnvU64("RGPDOS_RING_DEPTH", config.ring_depth));
+  if (config.ring_depth == 0) config.async_io = false;
+  if (!config.async_io) config.latency.queue_depth = 1;
+  // RGPDOS_EXTENTS=0 reverts the PD journals to whole-block records.
+  if (EnvU64("RGPDOS_EXTENTS", config.journal_extents ? 1 : 0) == 0) {
+    config.journal_extents = false;
   }
   // RGPDOS_RETENTION: 0 disables the sweep daemon, 1 enables it with the
   // configured knobs, N > 1 enables it with N pages per sweep.

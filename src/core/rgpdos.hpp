@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "blockdev/async.hpp"
 #include "blockdev/block_cache.hpp"
 #include "blockdev/block_device.hpp"
 #include "blockdev/fault_injection.hpp"
@@ -67,6 +68,22 @@ struct BootConfig {
   /// Simulated device cost model applied to the PD devices (benches
   /// normalise throughput by wall + simulated time). Zero = no model.
   blockdev::LatencyProfile latency = blockdev::LatencyProfile::Zero();
+  /// Async block layer (DESIGN.md §13): wrap each PD device in an
+  /// AsyncBlockDevice submission/completion ring so journal commits and
+  /// checkpoints go out as amortised batched submissions with flush
+  /// coalescing. RGPDOS_ASYNC=0 kills it at runtime; turning it off
+  /// (either way) also forces the latency model's queue depth to 1 so
+  /// the A/B compares serialized against batched IO honestly.
+  bool async_io = true;
+  /// Submission-ring depth per PD device. 0 disables the ring like
+  /// async_io = false. RGPDOS_RING_DEPTH overrides at runtime.
+  std::size_t ring_depth = 16;
+  /// Physiological (extent) journaling on the PD stores: journal only
+  /// the dirty byte ranges of each block instead of whole images.
+  /// Replay understands both formats, so flipping this between boots of
+  /// the same image is safe. RGPDOS_EXTENTS=0 reverts to whole-block
+  /// records at runtime.
+  bool journal_extents = true;
   /// Fault injection on the PD devices (crash/torn-write/transient-error
   /// testing). When enabled, each PD raw device is wrapped in a
   /// FaultInjectingBlockDevice (innermost decorator) running `fault_plan`.
@@ -167,6 +184,10 @@ class RgpdOs {
     return sensitive_shards_.empty() ? nullptr
                                      : sensitive_shards_[shard].cache.get();
   }
+  /// Non-null iff booted with async_io (and ring_depth != 0).
+  [[nodiscard]] blockdev::AsyncBlockDevice* dbfs_async(std::size_t shard = 0) {
+    return pd_shards_[shard].async.get();
+  }
   /// Non-null iff booted with a non-zero latency profile.
   [[nodiscard]] blockdev::LatencyModelDevice* dbfs_latency(
       std::size_t shard = 0) {
@@ -232,6 +253,7 @@ class RgpdOs {
     blockdev::BlockDevice* raw = nullptr;  ///< owned_device or attached medium
     std::unique_ptr<blockdev::FaultInjectingBlockDevice> fault;
     std::unique_ptr<blockdev::LatencyModelDevice> latency;
+    std::unique_ptr<blockdev::AsyncBlockDevice> async;
     std::unique_ptr<blockdev::BlockCacheDevice> cache;
     blockdev::BlockDevice* top = nullptr;  ///< outermost decorator
     std::unique_ptr<inodefs::InodeStore> store;

@@ -35,6 +35,22 @@ Status Dbfs::Gate(sentinel::Domain caller, sentinel::Operation op,
   return status;
 }
 
+std::vector<Result<PdRecord>> DbfsApi::GetMany(
+    sentinel::Domain caller, const std::vector<RecordId>& ids) const {
+  std::vector<Result<PdRecord>> out;
+  out.reserve(ids.size());
+  for (const RecordId id : ids) out.push_back(Get(caller, id));
+  return out;
+}
+
+std::vector<Result<membrane::Membrane>> DbfsApi::GetMembraneMany(
+    sentinel::Domain caller, const std::vector<RecordId>& ids) const {
+  std::vector<Result<membrane::Membrane>> out;
+  out.reserve(ids.size());
+  for (const RecordId id : ids) out.push_back(GetMembrane(caller, id));
+  return out;
+}
+
 Result<std::unique_ptr<Dbfs>> Dbfs::Format(
     inodefs::InodeStore* store, sentinel::Sentinel* sentinel,
     const Clock* clock, inodefs::InodeStore* sensitive_store,
@@ -403,10 +419,15 @@ Result<RecordId> Dbfs::Put(sentinel::Domain caller, SubjectId subject,
     RGPD_ASSIGN_OR_RETURN(
         membrane_inode,
         data_store->AllocInode(inodefs::InodeKind::kMembrane));
-    RGPD_RETURN_IF_ERROR(data_store->WriteAll(
-        pd_inode, type_it->second.schema.EncodeRow(row)));
+    const Bytes row_bytes = type_it->second.schema.EncodeRow(row);
+    const Bytes membrane_bytes = membrane.Serialize();
+    // Logical payload size — denominator of the journal.write_amp gauge
+    // (journal bytes actually logged per byte the caller stored).
+    RGPD_METRIC_COUNT_N("dbfs.put.logical_bytes",
+                        row_bytes.size() + membrane_bytes.size());
+    RGPD_RETURN_IF_ERROR(data_store->WriteAll(pd_inode, row_bytes));
     RGPD_RETURN_IF_ERROR(
-        data_store->WriteAll(membrane_inode, membrane.Serialize()));
+        data_store->WriteAll(membrane_inode, membrane_bytes));
 
     RGPD_ASSIGN_OR_RETURN(std::vector<SubjectEntry> entries,
                           LoadSubjectRoot(root));
@@ -521,6 +542,268 @@ Result<membrane::Membrane> Dbfs::GetMembrane(sentinel::Domain caller,
   return m;
 }
 
+std::vector<Result<PdRecord>> Dbfs::GetMany(
+    sentinel::Domain caller, const std::vector<RecordId>& ids) const {
+  Stopwatch latency_watch;
+  std::vector<Result<PdRecord>> out;
+  out.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    out.push_back(Internal("GetMany slot not filled"));
+  }
+
+  // One entry per id that missed the cache. `bucket`/`*_pos` index into
+  // the per-store batched read below.
+  struct Miss {
+    std::size_t slot = 0;
+    RecordId id = 0;
+    RecordLoc loc;
+    std::uint64_t gen = 0;
+    int bucket = 0;
+    std::size_t membrane_pos = 0;
+    std::size_t row_pos = 0;  ///< valid iff has_row
+    bool has_row = false;
+    bool pending = false;   ///< located with an even seqlock snapshot
+    bool fallback = false;  ///< retry through the locked per-id path
+  };
+  std::vector<Miss> misses;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const RecordId id = ids[i];
+    RGPD_METRIC_COUNT("dbfs.get.count");
+    if (Status gate = Gate(caller, sentinel::Operation::kRead,
+                           "record=" + std::to_string(id));
+        !gate.ok()) {
+      out[i] = std::move(gate);
+      continue;
+    }
+    if (record_cache_ != nullptr) {
+      if (auto hit = record_cache_->Lookup(id, /*need_row=*/true)) {
+        RGPD_METRIC_COUNT("cache.record.hit");
+        PdRecord record;
+        record.record_id = id;
+        record.subject_id = hit->subject_id;
+        record.type_name = std::move(hit->type_name);
+        record.erased = hit->erased;
+        record.membrane = std::move(hit->membrane);
+        record.row = std::move(hit->row);
+        out[i] = std::move(record);
+        continue;
+      }
+      RGPD_METRIC_COUNT("cache.record.miss");
+    }
+    Miss miss;
+    miss.slot = i;
+    miss.id = id;
+    misses.push_back(std::move(miss));
+  }
+  if (!misses.empty()) {
+    std::shared_lock<metrics::OrderedSharedMutex> schema_lock(schema_mu_);
+    // Locate every miss and snapshot its subject's mutation seqlock. An
+    // odd snapshot means a mutator holds the shard right now — no point
+    // reading optimistically, go straight to the locked path.
+    std::array<std::vector<inodefs::InodeId>, 2> want;
+    for (Miss& miss : misses) {
+      Result<RecordLoc> loc = Locate(miss.id);
+      if (!loc.ok()) {
+        out[miss.slot] = loc.status();
+        continue;
+      }
+      miss.loc = std::move(*loc);
+      miss.gen =
+          ShardGen(miss.loc.subject_id).load(std::memory_order_acquire);
+      if (miss.gen % 2 != 0) {
+        miss.fallback = true;
+        continue;
+      }
+      miss.bucket =
+          miss.loc.store_id == 1 && sensitive_store_ != nullptr ? 1 : 0;
+      auto& list = want[miss.bucket];
+      miss.membrane_pos = list.size();
+      list.push_back(miss.loc.membrane_inode);
+      if (!miss.loc.erased) {
+        miss.has_row = true;
+        miss.row_pos = list.size();
+        list.push_back(miss.loc.pd_inode);
+      }
+      miss.pending = true;
+    }
+
+    // The whole batch's inodes in (at most) two amortised submissions,
+    // WITHOUT any subject shard held — mutators are not blocked, the
+    // seqlock re-check below catches them instead.
+    std::array<std::vector<Result<Bytes>>, 2> got;
+    if (!want[0].empty()) got[0] = store_->ReadAllBatch(want[0]);
+    if (!want[1].empty()) got[1] = sensitive_store_->ReadAllBatch(want[1]);
+
+    for (Miss& miss : misses) {
+      if (!miss.pending) continue;
+      // Unchanged-and-even proves no mutation of this subject's shard
+      // overlapped the read, so the slots form a consistent image.
+      if (ShardGen(miss.loc.subject_id).load(std::memory_order_acquire) !=
+          miss.gen) {
+        miss.fallback = true;
+        continue;
+      }
+      const auto decode = [&]() -> Result<PdRecord> {
+        PdRecord record;
+        record.record_id = miss.id;
+        record.subject_id = miss.loc.subject_id;
+        record.type_name = miss.loc.type_name;
+        record.erased = miss.loc.erased;
+        const Result<Bytes>& membrane_bytes =
+            got[miss.bucket][miss.membrane_pos];
+        RGPD_RETURN_IF_ERROR(membrane_bytes.status());
+        RGPD_ASSIGN_OR_RETURN(
+            record.membrane,
+            membrane::Membrane::Deserialize(*membrane_bytes));
+        if (miss.has_row) {
+          const auto type_it = types_.find(record.type_name);
+          if (type_it == types_.end()) {
+            return Corruption("record references unknown type");
+          }
+          const Result<Bytes>& row_bytes = got[miss.bucket][miss.row_pos];
+          RGPD_RETURN_IF_ERROR(row_bytes.status());
+          RGPD_ASSIGN_OR_RETURN(record.row,
+                                type_it->second.schema.DecodeRow(*row_bytes));
+        }
+        return record;
+      };
+      Result<PdRecord> record = decode();
+      if (!record.ok()) {
+        // Even under an unchanged seqlock, let the locked path render
+        // the authoritative verdict for a failed slot.
+        miss.fallback = true;
+        continue;
+      }
+      if (record_cache_ != nullptr) {
+        std::lock_guard<metrics::OrderedMutex> shard_lock(
+            SubjectShard(miss.loc.subject_id));
+        // Fill only if still unmutated — FillRecordCache's contract
+        // requires the generation it snapshots to cover the bytes read.
+        if (ShardGen(miss.loc.subject_id)
+                .load(std::memory_order_acquire) == miss.gen) {
+          FillRecordCache(miss.id, miss.loc, record->membrane,
+                          miss.has_row ? &record->row : nullptr);
+        }
+      }
+      out[miss.slot] = std::move(*record);
+    }
+  }  // schema_mu_ released: the fallbacks below re-enter Get.
+
+  // Every non-fallback id experienced the whole call's latency; the
+  // fallback Gets observe their own.
+  const std::int64_t elapsed = latency_watch.ElapsedNanos();
+  std::size_t fallbacks = 0;
+  for (const Miss& miss : misses) {
+    if (miss.fallback) ++fallbacks;
+  }
+  for (std::size_t i = fallbacks; i < ids.size(); ++i) {
+    RGPD_METRIC_OBSERVE("dbfs.get.latency_ns", elapsed);
+  }
+  for (const Miss& miss : misses) {
+    if (miss.fallback) out[miss.slot] = Get(caller, miss.id);
+  }
+  return out;
+}
+
+std::vector<Result<membrane::Membrane>> Dbfs::GetMembraneMany(
+    sentinel::Domain caller, const std::vector<RecordId>& ids) const {
+  std::vector<Result<membrane::Membrane>> out;
+  out.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    out.push_back(Internal("GetMembraneMany slot not filled"));
+  }
+  struct Miss {
+    std::size_t slot = 0;
+    RecordId id = 0;
+    RecordLoc loc;
+    std::uint64_t gen = 0;
+    int bucket = 0;
+    std::size_t pos = 0;
+    bool pending = false;
+    bool fallback = false;
+  };
+  std::vector<Miss> misses;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const RecordId id = ids[i];
+    if (Status gate =
+            Gate(caller, sentinel::Operation::kRead,
+                 "membrane record=" + std::to_string(id));
+        !gate.ok()) {
+      out[i] = std::move(gate);
+      continue;
+    }
+    if (record_cache_ != nullptr) {
+      if (auto hit = record_cache_->Lookup(id, /*need_row=*/false)) {
+        RGPD_METRIC_COUNT("cache.record.hit");
+        out[i] = std::move(hit->membrane);
+        continue;
+      }
+      RGPD_METRIC_COUNT("cache.record.miss");
+    }
+    Miss miss;
+    miss.slot = i;
+    miss.id = id;
+    misses.push_back(std::move(miss));
+  }
+  if (!misses.empty()) {
+    std::array<std::vector<inodefs::InodeId>, 2> want;
+    for (Miss& miss : misses) {
+      Result<RecordLoc> loc = Locate(miss.id);
+      if (!loc.ok()) {
+        out[miss.slot] = loc.status();
+        continue;
+      }
+      miss.loc = std::move(*loc);
+      miss.gen =
+          ShardGen(miss.loc.subject_id).load(std::memory_order_acquire);
+      if (miss.gen % 2 != 0) {
+        miss.fallback = true;
+        continue;
+      }
+      miss.bucket =
+          miss.loc.store_id == 1 && sensitive_store_ != nullptr ? 1 : 0;
+      miss.pos = want[miss.bucket].size();
+      want[miss.bucket].push_back(miss.loc.membrane_inode);
+      miss.pending = true;
+    }
+    std::array<std::vector<Result<Bytes>>, 2> got;
+    if (!want[0].empty()) got[0] = store_->ReadAllBatch(want[0]);
+    if (!want[1].empty()) got[1] = sensitive_store_->ReadAllBatch(want[1]);
+    for (Miss& miss : misses) {
+      if (!miss.pending) continue;
+      if (ShardGen(miss.loc.subject_id).load(std::memory_order_acquire) !=
+          miss.gen) {
+        miss.fallback = true;
+        continue;
+      }
+      const Result<Bytes>& membrane_bytes = got[miss.bucket][miss.pos];
+      if (!membrane_bytes.ok()) {
+        miss.fallback = true;
+        continue;
+      }
+      Result<membrane::Membrane> m =
+          membrane::Membrane::Deserialize(*membrane_bytes);
+      if (!m.ok()) {
+        miss.fallback = true;
+        continue;
+      }
+      if (record_cache_ != nullptr) {
+        std::lock_guard<metrics::OrderedMutex> shard_lock(
+            SubjectShard(miss.loc.subject_id));
+        if (ShardGen(miss.loc.subject_id)
+                .load(std::memory_order_acquire) == miss.gen) {
+          FillRecordCache(miss.id, miss.loc, *m, /*row=*/nullptr);
+        }
+      }
+      out[miss.slot] = std::move(*m);
+    }
+  }
+  for (const Miss& miss : misses) {
+    if (miss.fallback) out[miss.slot] = GetMembrane(caller, miss.id);
+  }
+  return out;
+}
+
 Status Dbfs::UpdateRow(sentinel::Domain caller, RecordId id,
                        const db::Row& row) {
   RGPD_METRIC_COUNT("dbfs.update.count");
@@ -535,7 +818,7 @@ Status Dbfs::UpdateRow(sentinel::Domain caller, RecordId id,
   if (loc.erased) {
     return Erased("record " + std::to_string(id) + " was erased");
   }
-  CacheMutationGuard cache_guard(record_cache_.get(), loc.subject_id, id);
+  CacheMutationGuard cache_guard(*this, loc.subject_id, id);
   const auto type_it = types_.find(loc.type_name);
   if (type_it == types_.end()) {
     return Corruption("record references unknown type");
@@ -561,7 +844,7 @@ Status Dbfs::UpdateMembrane(sentinel::Domain caller, RecordId id,
     return FailedPrecondition(
         "membrane identity does not match the stored record");
   }
-  CacheMutationGuard cache_guard(record_cache_.get(), loc.subject_id, id);
+  CacheMutationGuard cache_guard(*this, loc.subject_id, id);
   RGPD_RETURN_IF_ERROR(StoreById(loc.store_id)
                            ->WriteAll(loc.membrane_inode,
                                       membrane.Serialize()));
@@ -595,7 +878,7 @@ Status Dbfs::HardDelete(sentinel::Domain caller, RecordId id) {
   // Cache discipline for erasure (the "no post-erasure read from cache"
   // guarantee): entry dropped + generation bumped before this returns;
   // the scrubbed frees below invalidate the block-cache copies.
-  CacheMutationGuard cache_guard(record_cache_.get(), loc.subject_id, id);
+  CacheMutationGuard cache_guard(*this, loc.subject_id, id);
   RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root, SubjectRootOf(loc.subject_id));
   {
     // One atomic group for the whole erasure: either the record stays
@@ -644,7 +927,7 @@ Status Dbfs::ReplaceWithEnvelope(sentinel::Domain caller, RecordId id,
   if (loc.erased) {
     return Erased("record " + std::to_string(id) + " already erased");
   }
-  CacheMutationGuard cache_guard(record_cache_.get(), loc.subject_id, id);
+  CacheMutationGuard cache_guard(*this, loc.subject_id, id);
   RGPD_ASSIGN_OR_RETURN(inodefs::InodeId root, SubjectRootOf(loc.subject_id));
   {
     // Atomic group (same reasoning as HardDelete): the record is either

@@ -121,6 +121,15 @@ class DbfsApi {
   virtual Result<PdRecord> Get(sentinel::Domain caller, RecordId id) const = 0;
   virtual Result<membrane::Membrane> GetMembrane(sentinel::Domain caller,
                                                  RecordId id) const = 0;
+  /// Batched fetch: one Result per id, in order. Semantically identical
+  /// to calling Get/GetMembrane per id — same sentinel gating and audit
+  /// trail per record — but implementations may amortise store IO across
+  /// the whole batch (Dbfs reads every record's inodes in a handful of
+  /// batched device submissions). The default is the per-id loop.
+  virtual std::vector<Result<PdRecord>> GetMany(
+      sentinel::Domain caller, const std::vector<RecordId>& ids) const;
+  virtual std::vector<Result<membrane::Membrane>> GetMembraneMany(
+      sentinel::Domain caller, const std::vector<RecordId>& ids) const;
   virtual Status UpdateRow(sentinel::Domain caller, RecordId id,
                            const db::Row& row) = 0;
   virtual Status UpdateMembrane(sentinel::Domain caller, RecordId id,
@@ -162,8 +171,10 @@ class DbfsApi {
   /// Decoded records held across EVERY shard's cache (0 when caching is
   /// off) — the shard-count-invariant warmth signal for tests.
   [[nodiscard]] virtual std::size_t cached_record_count() const = 0;
-  /// Mutation generation of the subject's shard (0 when uncached). Every
-  /// acknowledged membrane/row mutation advances it by 2.
+  /// Mutation generation of the subject's shard. Every acknowledged
+  /// membrane/row mutation advances it by 2; an unchanged value between
+  /// two reads proves no mutation of that subject's shard was
+  /// acknowledged in between (caching on or off).
   [[nodiscard]] virtual std::uint64_t SubjectGeneration(
       SubjectId subject) const = 0;
 
@@ -226,6 +237,19 @@ class Dbfs final : public DbfsApi {
   /// BEFORE any PD bytes leave the store.
   Result<membrane::Membrane> GetMembrane(sentinel::Domain caller,
                                          RecordId id) const override;
+  /// Optimistic batched reads: record-cache hits are served per id, the
+  /// misses' inodes go to InodeStore::ReadAllBatch in one amortised
+  /// submission, and each result is validated against the subject's
+  /// mutation seqlock (ShardGen below). Any id whose subject mutated
+  /// mid-read falls back to the locked per-id path, so the results are
+  /// always ones a plain Get at some point during the call could have
+  /// returned.
+  std::vector<Result<PdRecord>> GetMany(
+      sentinel::Domain caller,
+      const std::vector<RecordId>& ids) const override;
+  std::vector<Result<membrane::Membrane>> GetMembraneMany(
+      sentinel::Domain caller,
+      const std::vector<RecordId>& ids) const override;
   Status UpdateRow(sentinel::Domain caller, RecordId id,
                    const db::Row& row) override;
   Status UpdateMembrane(sentinel::Domain caller, RecordId id,
@@ -282,11 +306,13 @@ class Dbfs final : public DbfsApi {
   [[nodiscard]] std::size_t cached_record_count() const override {
     return record_cache_ == nullptr ? 0 : record_cache_->size();
   }
-  /// Mutation generation of the subject's shard (0 when uncached). Every
-  /// acknowledged membrane/row mutation advances it by 2.
+  /// Mutation generation of the subject's shard. Every acknowledged
+  /// membrane/row mutation advances it by 2 (odd while in flight).
+  /// Backed by the shard seqlock, so it works with caching off too —
+  /// the DED's execute-time freshness check relies on that.
   [[nodiscard]] std::uint64_t SubjectGeneration(
       SubjectId subject) const override {
-    return record_cache_ == nullptr ? 0 : record_cache_->generation(subject);
+    return ShardGen(subject).load(std::memory_order_acquire);
   }
 
   /// Inode reserved for the (hash-chained) processing log. Lives on the
@@ -409,16 +435,28 @@ class Dbfs final : public DbfsApi {
   [[nodiscard]] metrics::OrderedMutex& SubjectShard(SubjectId subject) const {
     return shards_[subject % kSubjectShards].mu;
   }
+  /// Per-subject-shard mutation seqlock, independent of the record cache
+  /// (which has its own generation domain): odd while a mutator holds
+  /// the shard, bumped to even before it releases. GetMany's optimistic
+  /// batched reads validate against it — a snapshot that is even before
+  /// the read and unchanged after proves no mutation overlapped.
+  [[nodiscard]] std::atomic<std::uint64_t>& ShardGen(SubjectId subject) const {
+    return shards_[subject % kSubjectShards].gen;
+  }
 
-  /// RAII mutation bracket for the record cache: generation -> odd on
-  /// construction, entry erased + generation -> even on destruction —
-  /// i.e. BEFORE the mutator returns (and before it releases the subject
+  /// RAII mutation bracket: flips the shard seqlock odd on construction
+  /// and even on destruction, and (when caching is on) mirrors that into
+  /// the record cache's generation protocol, erasing the mutated entry —
+  /// all BEFORE the mutator returns (and before it releases the subject
   /// shard mutex, which the caller must hold for the whole lifetime).
-  /// No-op when caching is off.
   class CacheMutationGuard {
    public:
-    CacheMutationGuard(RecordCache* cache, SubjectId subject, RecordId id)
-        : cache_(cache), subject_(subject), id_(id) {
+    CacheMutationGuard(const Dbfs& db, SubjectId subject, RecordId id)
+        : cache_(db.record_cache_.get()),
+          gen_(db.ShardGen(subject)),
+          subject_(subject),
+          id_(id) {
+      gen_.fetch_add(1, std::memory_order_acq_rel);  // -> odd
       if (cache_ != nullptr) cache_->BeginMutation(subject_);
     }
     ~CacheMutationGuard() {
@@ -426,12 +464,14 @@ class Dbfs final : public DbfsApi {
         cache_->Erase(id_);
         cache_->EndMutation(subject_);
       }
+      gen_.fetch_add(1, std::memory_order_acq_rel);  // -> even
     }
     CacheMutationGuard(const CacheMutationGuard&) = delete;
     CacheMutationGuard& operator=(const CacheMutationGuard&) = delete;
 
    private:
     RecordCache* cache_;
+    std::atomic<std::uint64_t>& gen_;
     SubjectId subject_;
     RecordId id_;
   };
@@ -459,6 +499,8 @@ class Dbfs final : public DbfsApi {
   struct Shard {
     metrics::OrderedMutex mu{metrics::LockRank::kDbfsSubjectShard,
                              "dbfs.subject_shard"};
+    /// Mutation seqlock (see ShardGen). Written only under mu.
+    mutable std::atomic<std::uint64_t> gen{0};
   };
   mutable std::array<Shard, kSubjectShards> shards_;
   mutable metrics::OrderedSharedMutex index_mu_{

@@ -134,6 +134,59 @@ Result<membrane::Membrane> ShardedDbfs::GetMembrane(sentinel::Domain caller,
   return ShardForRecord(id).GetMembrane(caller, id);
 }
 
+namespace {
+/// Group a batch by owning shard, run `call` once per shard with that
+/// shard's ids, and scatter each shard's in-order results back to the
+/// original slots.
+template <typename T, typename Call>
+std::vector<Result<T>> FanOutBatch(std::size_t shard_count,
+                                   const std::vector<RecordId>& ids,
+                                   Call call) {
+  std::vector<Result<T>> out;
+  out.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    out.push_back(Internal("batch slot not filled"));
+  }
+  std::vector<std::vector<RecordId>> shard_ids(shard_count);
+  std::vector<std::vector<std::size_t>> shard_slots(shard_count);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    // Record ids are minted from per-shard arithmetic progressions, so
+    // the owner is recoverable without a directory lookup. Id 0 is
+    // never minted; route it anywhere for its NotFound verdict.
+    const std::size_t owner =
+        ids[i] == 0 ? 0 : static_cast<std::size_t>((ids[i] - 1) % shard_count);
+    shard_ids[owner].push_back(ids[i]);
+    shard_slots[owner].push_back(i);
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (shard_ids[s].empty()) continue;
+    std::vector<Result<T>> part = call(s, shard_ids[s]);
+    for (std::size_t k = 0; k < shard_slots[s].size(); ++k) {
+      out[shard_slots[s][k]] = std::move(part[k]);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<Result<PdRecord>> ShardedDbfs::GetMany(
+    sentinel::Domain caller, const std::vector<RecordId>& ids) const {
+  return FanOutBatch<PdRecord>(
+      shards_.size(), ids,
+      [&](std::size_t s, const std::vector<RecordId>& part) {
+        return shards_[s]->GetMany(caller, part);
+      });
+}
+
+std::vector<Result<membrane::Membrane>> ShardedDbfs::GetMembraneMany(
+    sentinel::Domain caller, const std::vector<RecordId>& ids) const {
+  return FanOutBatch<membrane::Membrane>(
+      shards_.size(), ids,
+      [&](std::size_t s, const std::vector<RecordId>& part) {
+        return shards_[s]->GetMembraneMany(caller, part);
+      });
+}
+
 Status ShardedDbfs::UpdateRow(sentinel::Domain caller, RecordId id,
                               const db::Row& row) {
   return ShardForRecord(id).UpdateRow(caller, id, row);

@@ -79,6 +79,15 @@ class ShardedDbfs final : public DbfsApi {
   Result<PdRecord> Get(sentinel::Domain caller, RecordId id) const override;
   Result<membrane::Membrane> GetMembrane(sentinel::Domain caller,
                                          RecordId id) const override;
+  /// Batched fetch, grouped by owning shard ((id-1) % N) so each shard
+  /// serves its ids through ONE amortised GetMany/GetMembraneMany call;
+  /// results scatter back into request order.
+  std::vector<Result<PdRecord>> GetMany(
+      sentinel::Domain caller,
+      const std::vector<RecordId>& ids) const override;
+  std::vector<Result<membrane::Membrane>> GetMembraneMany(
+      sentinel::Domain caller,
+      const std::vector<RecordId>& ids) const override;
   Status UpdateRow(sentinel::Domain caller, RecordId id,
                    const db::Row& row) override;
   Status UpdateMembrane(sentinel::Domain caller, RecordId id,

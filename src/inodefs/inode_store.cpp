@@ -10,7 +10,7 @@ namespace rgpdos::inodefs {
 InodeStore::InodeStore(blockdev::BlockDevice* device, Superblock sb,
                        const Clock* clock, bool journal_enabled,
                        metrics::LockRank lock_rank,
-                       const RetryPolicy& io_retry)
+                       const RetryPolicy& io_retry, bool journal_extents)
     : device_(device),
       sb_(sb),
       clock_(clock),
@@ -21,6 +21,7 @@ InodeStore::InodeStore(blockdev::BlockDevice* device, Superblock sb,
                          ? "inodefs.store.sensitive"
                          : "inodefs.store") {
   journal_.set_retry_policy(io_retry_);
+  journal_.set_extent_mode(journal_extents);
 }
 
 Status InodeStore::DevRead(BlockIndex index, Bytes& out) const {
@@ -35,6 +36,32 @@ Status InodeStore::DevFlush() {
   return RetryIo(io_retry_, [&] { return device_->Flush(); });
 }
 
+Status InodeStore::DevReadBatch(const std::vector<BlockIndex>& indexes,
+                                std::vector<Bytes>& out) const {
+  // Fast path: one amortised submission. On failure fall back to
+  // per-block bounded retry — a whole-batch retry on transient-heavy
+  // media re-runs EVERY block through the fault, so a batch wider than
+  // the error period would fail all attempts.
+  if (device_->ReadBatch(indexes, out).ok()) return Status::Ok();
+  out.assign(indexes.size(), Bytes());
+  for (std::size_t i = 0; i < indexes.size(); ++i) {
+    RGPD_RETURN_IF_ERROR(DevRead(indexes[i], out[i]));
+  }
+  return Status::Ok();
+}
+
+Status InodeStore::DevWriteBatch(
+    const std::vector<blockdev::BatchWrite>& writes) {
+  // Every entry carries its full final image, so re-writing a torn
+  // prefix is idempotent. Same degradation as DevReadBatch: batch once,
+  // then per-block bounded retry if the submission failed.
+  if (device_->WriteBatch(writes).ok()) return Status::Ok();
+  for (const blockdev::BatchWrite& w : writes) {
+    RGPD_RETURN_IF_ERROR(DevWrite(w.index, w.data));
+  }
+  return Status::Ok();
+}
+
 Status InodeStore::ReadBlockCoherent(BlockIndex index, Bytes& out) const {
   // group_depth_ > 0 implies the calling thread holds mu_ for the whole
   // scope, so the staging buffer is safe to read without further locking.
@@ -42,6 +69,17 @@ Status InodeStore::ReadBlockCoherent(BlockIndex index, Bytes& out) const {
     auto it = group_write_index_.find(index);
     if (it != group_write_index_.end()) {
       out = group_writes_[it->second].second;
+      return Status::Ok();
+    }
+  }
+  // Journal-committed but never checkpointed (crash_before_checkpoint_):
+  // the logical image lives here, not on the medium, until Mount()
+  // replays it. Serving it keeps extent preimages coherent with what
+  // replay will reconstruct.
+  if (!uncheckpointed_.empty()) {
+    auto it = uncheckpointed_.find(index);
+    if (it != uncheckpointed_.end()) {
+      out = it->second;
       return Status::Ok();
     }
   }
@@ -56,9 +94,9 @@ Result<std::unique_ptr<InodeStore>> InodeStore::Format(
       Superblock::Plan(device->block_size(), device->block_count(),
                        options.inode_count, options.journal_blocks));
 
-  std::unique_ptr<InodeStore> store(
-      new InodeStore(device, sb, clock, options.journal_enabled,
-                     options.lock_rank, options.io_retry));
+  std::unique_ptr<InodeStore> store(new InodeStore(
+      device, sb, clock, options.journal_enabled, options.lock_rank,
+      options.io_retry, options.journal_extents));
 
   // Zero metadata regions (bitmap + inode table + journal).
   const Bytes zero(sb.block_size, 0);
@@ -76,7 +114,8 @@ Result<std::unique_ptr<InodeStore>> InodeStore::Format(
 
 Result<std::unique_ptr<InodeStore>> InodeStore::Mount(
     blockdev::BlockDevice* device, const Clock* clock,
-    metrics::LockRank lock_rank, const RetryPolicy& io_retry) {
+    metrics::LockRank lock_rank, const RetryPolicy& io_retry,
+    bool journal_extents) {
   RGPD_METRIC_COUNT("inodefs.recovery.mounts");
   RGPD_METRIC_SCOPED_LATENCY("inodefs.recovery.mount_latency_ns");
   Bytes sb_block;
@@ -88,8 +127,9 @@ Result<std::unique_ptr<InodeStore>> InodeStore::Mount(
     return Corruption("superblock geometry does not match device");
   }
 
-  std::unique_ptr<InodeStore> store(new InodeStore(
-      device, sb, clock, /*journal_enabled=*/true, lock_rank, io_retry));
+  std::unique_ptr<InodeStore> store(
+      new InodeStore(device, sb, clock, /*journal_enabled=*/true, lock_rank,
+                     io_retry, journal_extents));
 
   // Recover committed-but-uncheckpointed transactions. Torn / incomplete
   // transactions never leave the journal, so the in-place image only ever
@@ -98,10 +138,15 @@ Result<std::unique_ptr<InodeStore>> InodeStore::Mount(
   {
     RGPD_METRIC_SCOPED_LATENCY("inodefs.recovery.replay_latency_ns");
     RGPD_ASSIGN_OR_RETURN(writes, store->journal_.Replay());
-    for (const ReplayedWrite& w : writes) {
-      RGPD_RETURN_IF_ERROR(store->DevWrite(w.block, w.data));
-    }
     if (!writes.empty()) {
+      // One batched submission; writes stay in (seq, log position) order
+      // so a later image of the same block lands last.
+      std::vector<blockdev::BatchWrite> batch;
+      batch.reserve(writes.size());
+      for (const ReplayedWrite& w : writes) {
+        batch.push_back({w.block, ByteSpan(w.data.data(), w.data.size())});
+      }
+      RGPD_RETURN_IF_ERROR(store->DevWriteBatch(batch));
       RGPD_RETURN_IF_ERROR(store->DevFlush());
     }
     // Every transaction the scan found is now either applied in place or
@@ -159,24 +204,43 @@ Status InodeStore::Sync() {
   RGPD_RETURN_IF_ERROR(DevRead(0, sb_block));
   sb_block.resize(sb_.block_size, 0);
   sb_.EncodeInto(sb_block);
-  RGPD_RETURN_IF_ERROR(DevWrite(0, sb_block));
-  // Bitmap, rebuilt from the in-memory copy.
-  Bytes block(sb_.block_size, 0);
+  // Superblock + bitmap (rebuilt from the in-memory copy) go out as one
+  // batched submission, then a single barrier.
+  std::vector<Bytes> images;
+  images.reserve(1 + sb_.bitmap_blocks);
+  std::vector<blockdev::BatchWrite> batch;
+  batch.reserve(1 + sb_.bitmap_blocks);
+  images.push_back(std::move(sb_block));
   std::size_t bit = 0;
   for (std::uint64_t i = 0; i < sb_.bitmap_blocks; ++i) {
-    std::fill(block.begin(), block.end(), 0);
+    Bytes block(sb_.block_size, 0);
     for (std::uint32_t j = 0; j < sb_.block_size && bit < sb_.block_count;
          ++j) {
       for (int k = 0; k < 8 && bit < sb_.block_count; ++k, ++bit) {
         if (BitmapGet(bit)) block[j] |= 1u << k;
       }
     }
-    RGPD_RETURN_IF_ERROR(DevWrite(sb_.bitmap_start + i, block));
+    images.push_back(std::move(block));
   }
+  batch.push_back({0, ByteSpan(images[0].data(), images[0].size())});
+  for (std::uint64_t i = 0; i < sb_.bitmap_blocks; ++i) {
+    const Bytes& img = images[1 + i];
+    batch.push_back({sb_.bitmap_start + i, ByteSpan(img.data(), img.size())});
+  }
+  RGPD_RETURN_IF_ERROR(DevWriteBatch(batch));
   return DevFlush();
 }
 
 // ---- Txn -------------------------------------------------------------------
+
+namespace {
+bool IsZero(const Bytes& data) {
+  for (std::uint8_t b : data) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+}  // namespace
 
 Result<Bytes> InodeStore::Txn::ReadBlock(BlockIndex index) {
   auto it = writes_.find(index);
@@ -184,12 +248,32 @@ Result<Bytes> InodeStore::Txn::ReadBlock(BlockIndex index) {
   Bytes out;
   RGPD_METRIC_COUNT("inodefs.block.reads");
   RGPD_RETURN_IF_ERROR(store_.ReadBlockCoherent(index, out));
+  // First touch in extent mode: pin the pre-transaction image so Commit
+  // can journal only the dirty ranges. If the image actually came from
+  // the group staging buffer, the group's first-wins preimage merge
+  // discards this entry in favour of the true on-device one.
+  if (store_.journal_enabled_ && store_.journal_.extent_mode() &&
+      preimages_.find(index) == preimages_.end()) {
+    preimages_.emplace(index, Preimage{JournalWrite::kBaseDevice, out});
+  }
   return out;
 }
 
 Status InodeStore::Txn::WriteBlock(BlockIndex index, Bytes data) {
   if (data.size() != store_.sb_.block_size) {
     return InvalidArgument("txn block write must be block-sized");
+  }
+  if (store_.journal_enabled_ && store_.journal_.extent_mode() &&
+      !Touched(index)) {
+    // Blind first write. An all-zero image is the fresh-allocation
+    // pattern (MapFileBlock zero-fills, FreeDataBlock scrubs): replaying
+    // from a zero base reproduces it exactly and can never resurrect
+    // stale device bytes. Anything else has no usable base and journals
+    // in full.
+    preimages_.emplace(
+        index, Preimage{IsZero(data) ? JournalWrite::kBaseZero
+                                     : JournalWrite::kBaseNone,
+                        Bytes()});
   }
   writes_[index] = std::move(data);
   return Status::Ok();
@@ -208,26 +292,60 @@ Status InodeStore::Txn::Commit() {
       // (write-ahead ordering); reads inside the scope observe the
       // staged blocks through ReadBlockCoherent.
       for (const auto& [block, data] : writes_) {
-        store_.StageGroupWrite(block, data);
+        auto pre = preimages_.find(block);
+        store_.StageGroupWrite(
+            block, data, pre == preimages_.end() ? nullptr : &pre->second);
       }
       writes_.clear();
+      preimages_.clear();
       return Status::Ok();
     }
-    std::vector<std::pair<BlockIndex, Bytes>> log;
+    std::vector<JournalWrite> log;
     log.reserve(writes_.size());
-    for (const auto& [block, data] : writes_) log.emplace_back(block, data);
+    for (const auto& [block, data] : writes_) {
+      JournalWrite w;
+      w.block = block;
+      w.data = data;
+      auto pre = preimages_.find(block);
+      if (pre != preimages_.end()) {
+        w.base = pre->second.base;
+        if (w.base == JournalWrite::kBaseDevice) {
+          w.preimage = pre->second.data;
+        }
+      }
+      log.push_back(std::move(w));
+    }
     RGPD_RETURN_IF_ERROR(store_.journal_.AppendTransaction(log));
   }
   if (store_.crash_before_checkpoint_) {
     // Simulated power loss after the journal commit: the in-place writes
-    // never happen; Mount() must recover them.
+    // never happen; Mount() must recover them. Keep the committed images
+    // in the page-cache overlay so later transactions (and their extent
+    // preimages) see the logical state replay will reconstruct.
+    for (auto& [block, data] : writes_) {
+      store_.uncheckpointed_[block] = std::move(data);
+    }
     writes_.clear();
+    preimages_.clear();
     return Status::Ok();
   }
-  for (const auto& [block, data] : writes_) {
-    RGPD_RETURN_IF_ERROR(store_.DevWrite(block, data));
+  {
+    std::vector<blockdev::BatchWrite> batch;
+    batch.reserve(writes_.size());
+    for (const auto& [block, data] : writes_) {
+      batch.push_back({block, ByteSpan(data.data(), data.size())});
+    }
+    RGPD_RETURN_IF_ERROR(store_.DevWriteBatch(batch));
+  }
+  if (!store_.uncheckpointed_.empty()) {
+    // The medium just caught up for these blocks; drop the stale overlay
+    // images so reads fall through to the device again.
+    for (const auto& [block, data] : writes_) {
+      store_.uncheckpointed_.erase(block);
+    }
   }
   writes_.clear();
+  preimages_.clear();
   RGPD_RETURN_IF_ERROR(store_.DevFlush());
   if (store_.journal_enabled_) {
     // Every journaled transaction so far is now durably in place; move
@@ -240,16 +358,25 @@ Status InodeStore::Txn::Commit() {
 
 // ---- group commit ----------------------------------------------------------
 
-void InodeStore::StageGroupWrite(BlockIndex block, const Bytes& data) {
+void InodeStore::StageGroupWrite(BlockIndex block, const Bytes& data,
+                                 const Preimage* preimage) {
   auto it = group_write_index_.find(block);
   if (it != group_write_index_.end()) {
     // Later write to the same block supersedes: replay applies the final
-    // image either way, and the journal record stays minimal.
+    // image either way, and the journal record stays minimal. The
+    // preimage does NOT update — the group journals the diff against the
+    // state before the whole group, which the first stager captured.
     group_writes_[it->second].second = data;
     return;
   }
   group_write_index_.emplace(block, group_writes_.size());
   group_writes_.emplace_back(block, data);
+  if (journal_.extent_mode()) {
+    group_preimages_.emplace(
+        block, preimage != nullptr
+                   ? *preimage
+                   : Preimage{JournalWrite::kBaseNone, Bytes()});
+  }
 }
 
 InodeStore::GroupCommitScope::GroupCommitScope(InodeStore& store)
@@ -267,27 +394,57 @@ Status InodeStore::GroupCommitScope::Finish() {
       RGPD_METRIC_COUNT("inodefs.group_commit.flushes");
       RGPD_METRIC_COUNT_N("inodefs.group_commit.blocks",
                           store_.group_writes_.size());
-      status = store_.journal_.AppendTransaction(store_.group_writes_);
+      std::vector<JournalWrite> log;
+      log.reserve(store_.group_writes_.size());
+      for (const auto& [block, data] : store_.group_writes_) {
+        JournalWrite w;
+        w.block = block;
+        w.data = data;
+        auto pre = store_.group_preimages_.find(block);
+        if (pre != store_.group_preimages_.end()) {
+          w.base = pre->second.base;
+          if (w.base == JournalWrite::kBaseDevice) {
+            w.preimage = pre->second.data;
+          }
+        }
+        log.push_back(std::move(w));
+      }
+      status = store_.journal_.AppendTransaction(log);
       // Checkpoint only after the journal record is durable: a crash up
       // to this point leaves the medium untouched by the group, a crash
       // after it is recovered by replay. Never before — checkpointing
       // first would expose a partially-applied group with no journal
       // record to finish it.
       if (status.ok() && !store_.crash_before_checkpoint_) {
+        std::vector<blockdev::BatchWrite> batch;
+        batch.reserve(store_.group_writes_.size());
         for (const auto& [block, data] : store_.group_writes_) {
-          status = store_.DevWrite(block, data);
-          if (!status.ok()) break;
+          batch.push_back({block, ByteSpan(data.data(), data.size())});
         }
+        status = store_.DevWriteBatch(batch);
         if (status.ok()) status = store_.DevFlush();
         if (status.ok()) {
           // As in Txn::Commit: the group is durably checkpointed, so its
           // journal record (and everything older) is replay-stale.
           store_.sb_.journal_checkpointed_seq = store_.sb_.journal_seq;
+          if (!store_.uncheckpointed_.empty()) {
+            for (const auto& [block, data] : store_.group_writes_) {
+              store_.uncheckpointed_.erase(block);
+            }
+          }
+        }
+      } else if (status.ok()) {
+        // Simulated power loss: the group's images stay off the medium
+        // but remain visible through the page-cache overlay, as in
+        // Txn::Commit.
+        for (auto& [block, data] : store_.group_writes_) {
+          store_.uncheckpointed_[block] = std::move(data);
         }
       }
     }
     store_.group_writes_.clear();
     store_.group_write_index_.clear();
+    store_.group_preimages_.clear();
   }
   store_.mu_.unlock();
   return status;
@@ -316,6 +473,13 @@ Status InodeStore::StageBitmapBlock(BlockIndex data_block, Txn& txn) {
   // Rebuild the single bitmap block covering `data_block` from memory.
   const std::uint64_t bits_per_block = std::uint64_t(sb_.block_size) * 8;
   const std::uint64_t bitmap_block = data_block / bits_per_block;
+  const BlockIndex target = sb_.bitmap_start + bitmap_block;
+  if (journal_enabled_ && journal_.extent_mode() && !txn.Touched(target)) {
+    // The rebuild below writes blind; without a pinned preimage an
+    // alloc/free would journal the whole bitmap block every transaction.
+    // Read it first so only the flipped bit's byte range gets logged.
+    RGPD_RETURN_IF_ERROR(txn.ReadBlock(target).status());
+  }
   Bytes image(sb_.block_size, 0);
   std::uint64_t bit = bitmap_block * bits_per_block;
   for (std::uint32_t j = 0; j < sb_.block_size && bit < sb_.block_count;
@@ -324,7 +488,7 @@ Status InodeStore::StageBitmapBlock(BlockIndex data_block, Txn& txn) {
       if (BitmapGet(bit)) image[j] |= 1u << k;
     }
   }
-  return txn.WriteBlock(sb_.bitmap_start + bitmap_block, std::move(image));
+  return txn.WriteBlock(target, std::move(image));
 }
 
 Result<BlockIndex> InodeStore::AllocDataBlock(Txn& txn) {
@@ -573,10 +737,8 @@ Result<std::vector<BlockIndex>> InodeStore::ListDataBlocks(
 
 // ---- content IO --------------------------------------------------------------
 
-Result<Bytes> InodeStore::ReadAt(InodeId id, std::uint64_t offset,
-                                 std::uint64_t length) const {
-  std::lock_guard<metrics::OrderedMutex> lock(mu_);
-  RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
+Result<Bytes> InodeStore::ReadRange(Inode inode, std::uint64_t offset,
+                                    std::uint64_t length) const {
   if (inode.kind == InodeKind::kFree) {
     return NotFound("inode is free");
   }
@@ -609,10 +771,186 @@ Result<Bytes> InodeStore::ReadAt(InodeId id, std::uint64_t offset,
   return out;
 }
 
+Result<Bytes> InodeStore::ReadAt(InodeId id, std::uint64_t offset,
+                                 std::uint64_t length) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
+  return ReadRange(std::move(inode), offset, length);
+}
+
 Result<Bytes> InodeStore::ReadAll(InodeId id) const {
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
   RGPD_ASSIGN_OR_RETURN(Inode inode, LoadInode(id, nullptr));
-  return ReadAt(id, 0, inode.size);
+  const std::uint64_t size = inode.size;
+  return ReadRange(std::move(inode), 0, size);
+}
+
+std::vector<Result<Bytes>> InodeStore::ReadAllBatch(
+    const std::vector<InodeId>& ids) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  std::vector<Result<Bytes>> out;
+  out.reserve(ids.size());
+  if (group_depth_ > 0) {
+    // Inside our own group scope staged blocks shadow the device; the
+    // batched fast path below reads the device directly, so fall back to
+    // the coherent per-id path.
+    for (InodeId id : ids) out.push_back(ReadAll(id));
+    return out;
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    out.push_back(Internal("ReadAllBatch slot not filled"));
+  }
+  const auto fail_all = [&](const Status& status) {
+    for (auto& slot : out) slot = status;
+  };
+
+  // Shared image cache across the rounds; batch_read fetches only blocks
+  // not yet present, in one device submission.
+  std::map<BlockIndex, Bytes> blocks;
+  const auto batch_read = [&](const std::vector<BlockIndex>& want) -> Status {
+    std::vector<BlockIndex> need;
+    for (BlockIndex b : want) {
+      if (blocks.emplace(b, Bytes()).second) need.push_back(b);
+    }
+    if (need.empty()) return Status::Ok();
+    std::vector<Bytes> data;
+    RGPD_RETURN_IF_ERROR(DevReadBatch(need, data));
+    RGPD_METRIC_COUNT_N("inodefs.block.reads", need.size());
+    for (std::size_t i = 0; i < need.size(); ++i) {
+      blocks[need[i]] = std::move(data[i]);
+    }
+    return Status::Ok();
+  };
+
+  // Round 1: the (deduped) inode-table blocks of every valid id.
+  std::vector<BlockIndex> round1;
+  round1.reserve(ids.size());
+  for (InodeId id : ids) {
+    if (CheckId(id).ok()) round1.push_back(InodeBlock(id));
+  }
+  if (Status s = batch_read(round1); !s.ok()) {
+    fail_all(s);
+    return out;
+  }
+
+  struct Job {
+    std::size_t slot = 0;
+    Inode inode;
+    std::uint64_t file_blocks = 0;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(ids.size());
+  const std::uint64_t ppb = sb_.block_size / 8;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (Status s = CheckId(ids[i]); !s.ok()) {
+      out[i] = s;
+      continue;
+    }
+    const Bytes& table = blocks[InodeBlock(ids[i])];
+    auto inode = Inode::Decode(
+        ByteSpan(table.data() + InodeOffset(ids[i]), kInodeDiskSize));
+    if (!inode.ok()) {
+      out[i] = inode.status();
+      continue;
+    }
+    if (inode->kind == InodeKind::kFree) {
+      out[i] = NotFound("inode is free");
+      continue;
+    }
+    if (inode->size == 0) {
+      out[i] = Bytes();
+      continue;
+    }
+    Job job;
+    job.slot = i;
+    job.inode = *inode;
+    job.file_blocks = (inode->size + sb_.block_size - 1) / sb_.block_size;
+    jobs.push_back(std::move(job));
+  }
+
+  // Round 2: single-indirect and outer double-indirect blocks.
+  std::vector<BlockIndex> round2;
+  for (const Job& job : jobs) {
+    if (job.inode.indirect != 0 && job.file_blocks > kDirectBlocks) {
+      round2.push_back(job.inode.indirect);
+    }
+    if (job.inode.double_indirect != 0 &&
+        job.file_blocks > kDirectBlocks + ppb) {
+      round2.push_back(job.inode.double_indirect);
+    }
+  }
+  if (Status s = batch_read(round2); !s.ok()) {
+    fail_all(s);
+    return out;
+  }
+
+  // Round 2b: inner double-indirect blocks actually referenced.
+  std::vector<BlockIndex> round2b;
+  for (const Job& job : jobs) {
+    if (job.inode.double_indirect == 0 ||
+        job.file_blocks <= kDirectBlocks + ppb) {
+      continue;
+    }
+    const Bytes& outer = blocks[job.inode.double_indirect];
+    const std::uint64_t double_blocks = job.file_blocks - kDirectBlocks - ppb;
+    const std::uint64_t outer_slots = (double_blocks + ppb - 1) / ppb;
+    for (std::uint64_t slot = 0; slot < std::min(outer_slots, ppb); ++slot) {
+      const BlockIndex inner = ReadPointer(outer, slot);
+      if (inner != 0) round2b.push_back(inner);
+    }
+  }
+  if (Status s = batch_read(round2b); !s.ok()) {
+    fail_all(s);
+    return out;
+  }
+
+  // Resolve every file block to a device block (0 = hole) from the
+  // cached indirect images, then fetch all data blocks in one round.
+  const auto resolve = [&](const Job& job,
+                           std::uint64_t file_block) -> BlockIndex {
+    const Inode& inode = job.inode;
+    if (file_block < kDirectBlocks) return inode.direct[file_block];
+    const std::uint64_t single_slot = file_block - kDirectBlocks;
+    if (single_slot < ppb) {
+      if (inode.indirect == 0) return 0;
+      return ReadPointer(blocks[inode.indirect], single_slot);
+    }
+    const std::uint64_t double_slot = single_slot - ppb;
+    if (inode.double_indirect == 0 || double_slot >= ppb * ppb) return 0;
+    const BlockIndex inner =
+        ReadPointer(blocks[inode.double_indirect], double_slot / ppb);
+    if (inner == 0) return 0;
+    return ReadPointer(blocks[inner], double_slot % ppb);
+  };
+
+  std::vector<BlockIndex> round3;
+  for (const Job& job : jobs) {
+    for (std::uint64_t fb = 0; fb < job.file_blocks; ++fb) {
+      const BlockIndex b = resolve(job, fb);
+      if (b != 0) round3.push_back(b);
+    }
+  }
+  if (Status s = batch_read(round3); !s.ok()) {
+    fail_all(s);
+    return out;
+  }
+
+  for (const Job& job : jobs) {
+    Bytes content;
+    content.reserve(job.inode.size);
+    for (std::uint64_t fb = 0; fb < job.file_blocks; ++fb) {
+      const BlockIndex b = resolve(job, fb);
+      if (b == 0) {
+        content.insert(content.end(), sb_.block_size, 0);  // hole
+      } else {
+        const Bytes& image = blocks[b];
+        content.insert(content.end(), image.begin(), image.end());
+      }
+    }
+    content.resize(job.inode.size);
+    out[job.slot] = std::move(content);
+  }
+  return out;
 }
 
 Status InodeStore::WriteAt(InodeId id, std::uint64_t offset, ByteSpan data) {

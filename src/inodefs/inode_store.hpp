@@ -39,6 +39,11 @@ class InodeStore {
     /// kCrashed is permanent). Applies to every device access the store
     /// or its journal makes. RetryPolicy::None() disables.
     RetryPolicy io_retry;
+    /// Physiological (extent) journaling: transactions log only the
+    /// dirty byte ranges of each block instead of whole images. Replay
+    /// understands both formats, so flipping this on an existing store
+    /// is safe mid-journal.
+    bool journal_extents = true;
   };
 
   /// What Mount()'s journal replay recovered (inodefs.recovery.* metrics
@@ -60,7 +65,8 @@ class InodeStore {
   static Result<std::unique_ptr<InodeStore>> Mount(
       blockdev::BlockDevice* device, const Clock* clock,
       metrics::LockRank lock_rank = metrics::LockRank::kInodefs,
-      const RetryPolicy& io_retry = RetryPolicy{});
+      const RetryPolicy& io_retry = RetryPolicy{},
+      bool journal_extents = true);
 
   /// RAII journal group commit. While a scope is alive the calling
   /// thread owns the store (the scope holds the store mutex — recursion
@@ -109,6 +115,13 @@ class InodeStore {
   Result<Bytes> ReadAt(InodeId id, std::uint64_t offset,
                        std::uint64_t length) const;
   Result<Bytes> ReadAll(InodeId id) const;
+  /// Read the full content of many inodes with batched device
+  /// submissions: one batch for the (deduped) inode-table blocks, one
+  /// for indirect blocks, one for every file's data blocks — at most
+  /// three amortised device round-trips for the whole set instead of
+  /// 3 serialized reads per inode. Per-inode failures (free inode, bad
+  /// id) come back in that slot; device errors fail the whole call.
+  std::vector<Result<Bytes>> ReadAllBatch(const std::vector<InodeId>& ids) const;
   Status WriteAt(InodeId id, std::uint64_t offset, ByteSpan data);
   Status Append(InodeId id, ByteSpan data);
   /// Replace content entirely (truncate + write).
@@ -145,29 +158,50 @@ class InodeStore {
  private:
   InodeStore(blockdev::BlockDevice* device, Superblock sb, const Clock* clock,
              bool journal_enabled, metrics::LockRank lock_rank,
-             const RetryPolicy& io_retry);
+             const RetryPolicy& io_retry, bool journal_extents);
+
+  /// Pre-transaction image of a block, captured at first touch so the
+  /// extent encoder can journal only the dirty byte ranges.
+  struct Preimage {
+    std::uint8_t base = 0;  ///< a JournalWrite::kBase* value
+    Bytes data;             ///< valid iff base == kBaseDevice
+  };
 
   // Device access with bounded transient-error retry (see io_retry.hpp).
   Status DevRead(BlockIndex index, Bytes& out) const;
   Status DevWrite(BlockIndex index, ByteSpan data);
   Status DevFlush();
+  Status DevReadBatch(const std::vector<BlockIndex>& indexes,
+                      std::vector<Bytes>& out) const;
+  Status DevWriteBatch(const std::vector<blockdev::BatchWrite>& writes);
   /// DevRead that first consults the group-commit staging buffer, so
   /// reads inside a GroupCommitScope observe the scope's own writes
   /// (which stay off the device until the group journal record commits).
   Status ReadBlockCoherent(BlockIndex index, Bytes& out) const;
 
   /// A buffered transaction: block images staged in memory, then logged
-  /// to the journal and checkpointed in place atomically.
+  /// to the journal and checkpointed in place atomically. First-touch
+  /// pre-images ride along: a device read captures the on-device image,
+  /// a first write of an all-zero block records a zero base (fresh
+  /// allocations — replaying from zeros can never resurrect stale
+  /// bytes), any other blind write gets no base and journals in full.
   class Txn {
    public:
     explicit Txn(InodeStore& store) : store_(store) {}
     Result<Bytes> ReadBlock(BlockIndex index);
     Status WriteBlock(BlockIndex index, Bytes data);
     Status Commit();
+    /// True if the txn already read or wrote `index` (its preimage, if
+    /// any, is already pinned).
+    [[nodiscard]] bool Touched(BlockIndex index) const {
+      return writes_.count(index) != 0 || preimages_.count(index) != 0;
+    }
 
    private:
+    friend class InodeStore;
     InodeStore& store_;
     std::map<BlockIndex, Bytes> writes_;
+    std::map<BlockIndex, Preimage> preimages_;
   };
 
   // Bitmap helpers (in-memory copy; dirty blocks staged into the txn).
@@ -187,6 +221,10 @@ class InodeStore {
   /// allocating (and wiring the indirect block) on demand.
   Result<BlockIndex> MapFileBlock(Inode& inode, std::uint64_t file_block,
                                   bool allocate, Txn& txn);
+  /// Shared body of ReadAt/ReadAll, working from an already-loaded inode
+  /// (so ReadAll costs one inode-table read, not two). Caller holds mu_.
+  Result<Bytes> ReadRange(Inode inode, std::uint64_t offset,
+                          std::uint64_t length) const;
   /// Enumerate all data blocks (direct, indirect pointees, and the
   /// indirect block itself last).
   Result<std::vector<BlockIndex>> ListDataBlocks(const Inode& inode) const;
@@ -202,6 +240,13 @@ class InodeStore {
   RecoveryReport recovery_;
   bool journal_enabled_;
   bool crash_before_checkpoint_ = false;
+  /// Final images of blocks whose in-place checkpoint was suppressed by
+  /// crash_before_checkpoint_. A real OS would still serve these
+  /// journal-committed writes from its page cache, so ReadBlockCoherent
+  /// consults this map first: later transactions must capture extent
+  /// preimages against the logical state replay will reconstruct, not
+  /// the stale medium. Empty in normal operation.
+  std::map<BlockIndex, Bytes> uncheckpointed_;
   std::vector<std::uint64_t> bitmap_;  // 1 bit per device block
   BlockIndex alloc_hint_ = 0;
   InodeId inode_hint_ = 1;  // lowest possibly-free inode slot
@@ -215,8 +260,13 @@ class InodeStore {
   int group_depth_ = 0;
   std::vector<std::pair<BlockIndex, Bytes>> group_writes_;
   std::map<BlockIndex, std::size_t> group_write_index_;  // dedupe by block
+  /// First-wins pre-images for the staged blocks: the txn that FIRST
+  /// staged a block saw it in its pre-group state, so its preimage is
+  /// the right diff base for the combined group record.
+  std::map<BlockIndex, Preimage> group_preimages_;
 
-  void StageGroupWrite(BlockIndex block, const Bytes& data);
+  void StageGroupWrite(BlockIndex block, const Bytes& data,
+                       const Preimage* preimage);
 };
 
 }  // namespace rgpdos::inodefs

@@ -16,10 +16,26 @@
 // Record format (little-endian, CRC over header+payload):
 //   magic u32 | seq u64 | kind u8 | target u64 | payload_len u32 |
 //   payload | crc u32
-// Data records carry the block image as payload; the commit record's
-// payload is the transaction's data-record count, so Replay can tell a
-// complete transaction from one whose earlier records were overwritten
-// by a mid-transaction wrap (such a commit is discarded as torn).
+// Legacy (pre-upgrade) transactions are whole-block "physical" records:
+// data records carry the full block image as payload; the commit
+// record's payload is the transaction's data-record count, so Replay can
+// tell a complete transaction from one whose earlier records were
+// overwritten by a mid-transaction wrap (such a commit is discarded as
+// torn).
+//
+// Extent transactions (kind 3, the default since journal_extents) are
+// physiological: ONE self-committing record logs only the modified byte
+// ranges of every block the transaction touched (target = block count; a
+// valid CRC IS the commit — a torn record fails the CRC and the whole
+// transaction is discarded). Per-block payload layout:
+//   block u64 | base u8 (0 = read-modify-write the device block,
+//                        1 = reconstruct from a zero block)
+//   | extent_count u16 | { offset u32 | len u32 } * extent_count
+//   | extent data bytes (concatenated, in extent order)
+// Replay reconstructs full images in sequence order, chaining same-block
+// transactions through an image map, and replays BOTH formats from one
+// region — a journal written partly before and partly after the upgrade
+// recovers completely.
 #pragma once
 
 #include <utility>
@@ -38,6 +54,28 @@ struct ReplayedWrite {
   std::uint64_t seq = 0;
   BlockIndex block = 0;
   Bytes data;
+};
+
+/// One block write handed to AppendTransaction. `data` is always the
+/// full final image (the checkpoint source). The base tells the extent
+/// encoder what the block looked like before the transaction:
+///   kBaseDevice — `preimage` holds the on-device image; only the byte
+///                 ranges that differ are journaled.
+///   kBaseZero   — the block was freshly allocated and zero-filled;
+///                 only the non-zero content is journaled.
+///   kBaseNone   — no preimage known; the full image is journaled as a
+///                 single extent.
+/// In legacy mode (extent_mode off) the base is ignored and the full
+/// image is logged as a whole-block data record.
+struct JournalWrite {
+  static constexpr std::uint8_t kBaseDevice = 0;
+  static constexpr std::uint8_t kBaseZero = 1;
+  static constexpr std::uint8_t kBaseNone = 2;
+
+  BlockIndex block = 0;
+  Bytes data;
+  std::uint8_t base = kBaseNone;
+  Bytes preimage;  ///< valid iff base == kBaseDevice
 };
 
 /// What the last Replay() saw while scanning the region — the
@@ -68,12 +106,19 @@ class Journal {
   /// Transient-IO retry policy for every device access the journal makes.
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
 
-  /// Log a whole transaction (data records + commit record) and flush.
-  /// Fails with ResourceExhausted if the transaction cannot fit in the
-  /// journal region even when empty — committing it anyway would wrap
-  /// over the transaction's own records and guarantee a torn replay.
-  Status AppendTransaction(
-      const std::vector<std::pair<BlockIndex, Bytes>>& writes);
+  /// Extent (physiological) logging on/off. Off = the pre-upgrade
+  /// whole-block format; Replay always understands both.
+  void set_extent_mode(bool on) { extent_mode_ = on; }
+  [[nodiscard]] bool extent_mode() const { return extent_mode_; }
+
+  /// Log a whole transaction and flush — one self-committing extent
+  /// record in extent mode, data records + commit record in legacy mode.
+  /// All record blocks go to the device as ONE batched submission (plus
+  /// one per wrap segment), not N serialized writes. Fails with
+  /// ResourceExhausted if the transaction cannot fit in the journal
+  /// region even when empty — committing it anyway would wrap over the
+  /// transaction's own records and guarantee a torn replay.
+  Status AppendTransaction(const std::vector<JournalWrite>& writes);
 
   /// Scan the region for committed transactions; returns their block
   /// writes ordered by (seq, log position). Also repositions the head
@@ -99,8 +144,12 @@ class Journal {
   /// Blocks one record with `payload_size` occupies (header + payload,
   /// rounded up to whole blocks).
   [[nodiscard]] std::uint64_t RecordBlocks(std::size_t payload_size) const;
-  Status WriteRecord(std::uint64_t seq, std::uint8_t kind, BlockIndex target,
-                     ByteSpan payload);
+  /// Build the padded on-medium image of one record.
+  [[nodiscard]] Bytes BuildRecord(std::uint64_t seq, std::uint8_t kind,
+                                  std::uint64_t target, ByteSpan payload) const;
+  /// Write pre-built record images contiguously from the head, batching
+  /// all block writes of each wrap segment into one device submission.
+  Status WriteRecordImages(const std::vector<Bytes>& images);
   /// Durably persist the superblock (checkpoint watermark included).
   /// Called before the head wraps and before a scrub: both destroy old
   /// records, which is only safe once the medium provably knows they are
@@ -111,6 +160,7 @@ class Journal {
   blockdev::BlockDevice& device_;
   Superblock& sb_;
   RetryPolicy retry_;
+  bool extent_mode_ = false;
   std::uint64_t bytes_logged_ = 0;
   ReplayStats replay_stats_;
 };

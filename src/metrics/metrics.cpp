@@ -191,6 +191,24 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
                    "cache.record.hit_ratio");
   derive_hit_ratio("cache.decision.hit", "cache.decision.miss",
                    "cache.decision.hit_ratio");
+  // journal.write_amp: journal bytes appended per logical byte the DBFS
+  // accepted, in percent (100 = parity, 1200 = 12x amplification). The
+  // extent journal exists to drive this toward 100.
+  {
+    std::uint64_t journal_bytes = 0;
+    std::uint64_t logical_bytes = 0;
+    for (const auto& [name, value] : snapshot.counters) {
+      if (name == "inodefs.journal.bytes") journal_bytes = value;
+      else if (name == "dbfs.put.logical_bytes") logical_bytes = value;
+    }
+    if (logical_bytes > 0) {
+      snapshot.gauges.emplace_back(
+          "journal.write_amp",
+          static_cast<std::int64_t>(100.0 *
+                                    static_cast<double>(journal_bytes) /
+                                    static_cast<double>(logical_bytes)));
+    }
+  }
   snapshot.spans = tracer_->Spans();
   return snapshot;
 }

@@ -298,5 +298,102 @@ TEST_F(DbfsTest, EveryDenialIsAudited) {
   EXPECT_EQ(audit_.denied_count(), denied_before + 2);
 }
 
+// ---- batched reads (GetMany / GetMembraneMany) ------------------------------
+
+TEST_F(DbfsTest, GetManyMatchesPerIdGetExactly) {
+  std::vector<RecordId> live;
+  for (int i = 0; i < 8; ++i) {
+    auto id = PutUser(static_cast<SubjectId>(1 + i % 3),
+                      "user" + std::to_string(i), 1980 + i);
+    ASSERT_TRUE(id.ok());
+    live.push_back(*id);
+  }
+  // Mix in the interesting shapes: a missing id, an enveloped (erased)
+  // record, duplicates, and out-of-order slots.
+  const std::string sealed = "SEALED";
+  ASSERT_TRUE(fs_->ReplaceWithEnvelope(
+                     kDed, live[2],
+                     ByteSpan(reinterpret_cast<const std::uint8_t*>(
+                                  sealed.data()),
+                              sealed.size()))
+                  .ok());
+  const std::vector<RecordId> ids = {live[5], 9999, live[2], live[0],
+                                     live[5], 0,    live[7]};
+
+  const auto batched = fs_->GetMany(kDed, ids);
+  ASSERT_EQ(batched.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto one = fs_->Get(kDed, ids[i]);
+    ASSERT_EQ(batched[i].ok(), one.ok()) << "slot " << i;
+    if (!one.ok()) {
+      EXPECT_EQ(batched[i].status().code(), one.status().code());
+      continue;
+    }
+    EXPECT_EQ(batched[i]->erased, one->erased) << "slot " << i;
+    EXPECT_EQ(batched[i]->membrane.subject_id, one->membrane.subject_id);
+    EXPECT_EQ(batched[i]->membrane.version, one->membrane.version);
+    ASSERT_EQ(batched[i]->row.size(), one->row.size());
+    for (std::size_t f = 0; f < one->row.size(); ++f) {
+      EXPECT_TRUE(batched[i]->row[f] == one->row[f]) << "slot " << i;
+    }
+  }
+}
+
+TEST_F(DbfsTest, GetManySeesAcknowledgedMutationsImmediately) {
+  auto id = PutUser(1, "alice", 1990);
+  ASSERT_TRUE(id.ok());
+  auto m = fs_->GetMembrane(kDed, *id);
+  ASSERT_TRUE(m.ok());
+  m->RevokeConsent("purpose1");
+  ASSERT_TRUE(fs_->UpdateMembrane(kDed, *id, *m).ok());
+
+  const auto membranes = fs_->GetMembraneMany(kDed, {*id});
+  ASSERT_EQ(membranes.size(), 1u);
+  ASSERT_TRUE(membranes[0].ok()) << membranes[0].status().ToString();
+  const auto consent = membranes[0]->consents.find("purpose1");
+  ASSERT_NE(consent, membranes[0]->consents.end());
+  EXPECT_EQ(consent->second.kind, membrane::ConsentKind::kNone);
+  const auto fresh = fs_->GetMembrane(kDed, *id);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(membranes[0]->version, fresh->version);
+}
+
+TEST_F(DbfsTest, GetManyIsGatedPerRecord) {
+  auto id = PutUser(1, "alice", 1990);
+  ASSERT_TRUE(id.ok());
+  // Applications are blocked from raw Get — the batch must deny each
+  // slot exactly like the per-id path and audit every denial.
+  const std::uint64_t denied_before = audit_.denied_count();
+  const auto batched = fs_->GetMany(kApp, {*id, *id});
+  ASSERT_EQ(batched.size(), 2u);
+  EXPECT_EQ(batched[0].status().code(), StatusCode::kAccessBlocked);
+  EXPECT_EQ(batched[1].status().code(), StatusCode::kAccessBlocked);
+  EXPECT_EQ(audit_.denied_count(), denied_before + 2);
+}
+
+TEST_F(DbfsTest, GetMembraneManyMatchesPerIdGetMembrane) {
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = PutUser(static_cast<SubjectId>(1 + i), "u" + std::to_string(i),
+                      1990 + i);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ids.push_back(4242);  // missing
+  const auto batched = fs_->GetMembraneMany(kDed, ids);
+  ASSERT_EQ(batched.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto one = fs_->GetMembrane(kDed, ids[i]);
+    ASSERT_EQ(batched[i].ok(), one.ok()) << "slot " << i;
+    if (!one.ok()) {
+      EXPECT_EQ(batched[i].status().code(), one.status().code());
+      continue;
+    }
+    EXPECT_EQ(batched[i]->subject_id, one->subject_id);
+    EXPECT_EQ(batched[i]->version, one->version);
+    EXPECT_EQ(batched[i]->Serialize(), one->Serialize());
+  }
+}
+
 }  // namespace
 }  // namespace rgpdos::dbfs

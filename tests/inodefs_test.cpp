@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "blockdev/block_device.hpp"
+#include "common/crc32.hpp"
 #include "inodefs/inode_store.hpp"
 
 namespace rgpdos::inodefs {
@@ -198,6 +199,30 @@ TEST_F(InodeStoreTest, CrashBeforeCheckpointIsRecoveredFromJournal) {
   EXPECT_EQ(*(*recovered)->ReadAll(*id), data);
 }
 
+TEST_F(InodeStoreTest, CrashedTransactionChainOnSameBlockReplaysCoherently) {
+  // Two journal-only transactions rewrite the same block; the second must
+  // diff against the first's committed image (the page-cache overlay),
+  // not the stale medium. If it diffed against the medium, the second
+  // record would encode zero extents here — the final write restores the
+  // exact bytes the device still holds — and replay, which chains the
+  // second record onto the first's reconstructed image, would leave the
+  // intermediate state in place.
+  auto id = store_->AllocInode(InodeKind::kFile);
+  ASSERT_TRUE(id.ok());
+  const Bytes original = ToBytes("ORIGINAL_CONTENT");
+  ASSERT_TRUE(store_->WriteAt(*id, 0, original).ok());
+  ASSERT_TRUE(store_->Sync().ok());
+
+  store_->SetCrashBeforeCheckpoint(true);
+  ASSERT_TRUE(store_->WriteAt(*id, 0, Bytes(original.size(), 'Z')).ok());
+  ASSERT_TRUE(store_->WriteAt(*id, 0, original).ok());
+  store_.reset();  // power loss
+
+  auto recovered = InodeStore::Mount(device_.get(), &clock_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(*(*recovered)->ReadAll(*id), original);
+}
+
 TEST_F(InodeStoreTest, TornTransactionIsDiscardedOnMount) {
   auto id = store_->AllocInode(InodeKind::kFile);
   ASSERT_TRUE(id.ok());
@@ -347,9 +372,9 @@ TEST_F(JournalTest, WrapResumeHeadTracksHighestSeqCommit) {
   const BlockIndex y = sb_.data_start + 1;
   // A: blocks 0-2, B: blocks 3-5. C's data record fits exactly in 6-7,
   // but its commit wraps to block 0, clobbering A's data record.
-  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0xA1)}}).ok());
-  ASSERT_TRUE(journal.AppendTransaction({{y, Block(0xB1)}}).ok());
-  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0xC1)}}).ok());
+  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0xA1), JournalWrite::kBaseNone, {}}}).ok());
+  ASSERT_TRUE(journal.AppendTransaction({{y, Block(0xB1), JournalWrite::kBaseNone, {}}}).ok());
+  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0xC1), JournalWrite::kBaseNone, {}}}).ok());
   ASSERT_EQ(sb_.journal_head, 1u);
 
   auto writes = journal.Replay();
@@ -375,13 +400,14 @@ TEST_F(JournalTest, CommittedTxnWithMissingRecordsIsDiscarded) {
   const BlockIndex x = sb_.data_start;
   // A: three data records + commit = 7 blocks (0-6).
   ASSERT_TRUE(journal
-                  .AppendTransaction({{x, Block(0xA1)},
-                                      {x + 1, Block(0xA2)},
-                                      {x + 2, Block(0xA3)}})
+                  .AppendTransaction(
+                      {{x, Block(0xA1), JournalWrite::kBaseNone, {}},
+                       {x + 1, Block(0xA2), JournalWrite::kBaseNone, {}},
+                       {x + 2, Block(0xA3), JournalWrite::kBaseNone, {}}})
                   .ok());
   // B: 3 blocks, wraps to 0-2 and clobbers A's first record (and the
   // head of its second).
-  ASSERT_TRUE(journal.AppendTransaction({{x + 3, Block(0xB1)}}).ok());
+  ASSERT_TRUE(journal.AppendTransaction({{x + 3, Block(0xB1), JournalWrite::kBaseNone, {}}}).ok());
 
   auto writes = journal.Replay();
   ASSERT_TRUE(writes.ok()) << writes.status().ToString();
@@ -402,10 +428,11 @@ TEST_F(JournalTest, OversizedTransactionIsRefused) {
   // 4 writes = 4*2 + 1 = 9 blocks > the 8-block region: committing this
   // would wrap over the transaction's own records mid-append.
   EXPECT_EQ(journal
-                .AppendTransaction({{x, Block(1)},
-                                    {x + 1, Block(2)},
-                                    {x + 2, Block(3)},
-                                    {x + 3, Block(4)}})
+                .AppendTransaction(
+                    {{x, Block(1), JournalWrite::kBaseNone, {}},
+                     {x + 1, Block(2), JournalWrite::kBaseNone, {}},
+                     {x + 2, Block(3), JournalWrite::kBaseNone, {}},
+                     {x + 3, Block(4), JournalWrite::kBaseNone, {}}})
                 .code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(journal.bytes_logged(), 0u);
@@ -416,8 +443,8 @@ TEST_F(JournalTest, StaleCheckpointedTxnsAreNotReplayed) {
   const BlockIndex x = sb_.data_start;
   // seq 0 writes "old" to X, seq 1 supersedes it with "new"; both were
   // checkpointed in place (watermark = 2).
-  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0x0D)}}).ok());
-  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0x9E)}}).ok());
+  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0x0D), JournalWrite::kBaseNone, {}}}).ok());
+  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0x9E), JournalWrite::kBaseNone, {}}}).ok());
   ASSERT_TRUE(device_->WriteBlock(x, Block(0x9E)).ok());
   sb_.journal_checkpointed_seq = 2;
   // Destroy seq 1's records (an interrupted scrub or a later wrap): only
@@ -437,6 +464,174 @@ TEST_F(JournalTest, StaleCheckpointedTxnsAreNotReplayed) {
   Bytes in_place;
   ASSERT_TRUE(device_->ReadBlock(x, in_place).ok());
   EXPECT_EQ(in_place, Block(0x9E));
+}
+
+// ---- extent (physiological) journal tests ----------------------------------
+
+/// Byte-identical clone of Journal::BuildRecord for hand-crafting
+/// records the encoder itself would never emit (framing-violation
+/// tests need a VALID CRC over INVALID framing).
+Bytes CraftRecord(const Superblock& sb, std::uint64_t seq, std::uint8_t kind,
+                  std::uint64_t target, const Bytes& payload) {
+  constexpr std::uint32_t kMagic = 0x4C4E524A;
+  constexpr std::size_t kHeaderSize = 4 + 8 + 1 + 8 + 4;
+  ByteWriter w(kHeaderSize + payload.size() + 4);
+  w.PutU32(kMagic);
+  w.PutU64(seq);
+  w.PutU8(kind);
+  w.PutU64(target);
+  w.PutU32(static_cast<std::uint32_t>(payload.size()));
+  w.PutRaw(ByteSpan(payload.data(), payload.size()));
+  w.PutU32(Crc32(w.buffer()));
+  Bytes image = w.Take();
+  const std::size_t blocks =
+      (kHeaderSize + payload.size() + 4 + sb.block_size - 1) / sb.block_size;
+  image.resize(blocks * sb.block_size, 0);
+  return image;
+}
+
+TEST_F(JournalTest, ExtentRecordLogsOnlyDirtyRanges) {
+  Journal journal(*device_, sb_);
+  journal.set_extent_mode(true);
+  const BlockIndex x = sb_.data_start;
+  // The device holds the preimage; the transaction changes 4 bytes.
+  Bytes preimage = Block(0x55);
+  ASSERT_TRUE(device_->WriteBlock(x, preimage).ok());
+  Bytes after = preimage;
+  for (std::size_t i = 100; i < 104; ++i) after[i] = 0xEE;
+  ASSERT_TRUE(journal
+                  .AppendTransaction(
+                      {{x, after, JournalWrite::kBaseDevice, preimage}})
+                  .ok());
+  // A 4-byte dirty run journals one block (header + one tiny extent),
+  // not the 3 blocks (2 data + commit) the whole-block format needs.
+  EXPECT_EQ(journal.bytes_logged(), 512u);
+
+  auto writes = journal.Replay();
+  ASSERT_TRUE(writes.ok()) << writes.status().ToString();
+  // Replay read-modify-writes the device preimage back to a full image.
+  ASSERT_EQ(writes->size(), 1u);
+  EXPECT_EQ((*writes)[0].block, x);
+  EXPECT_EQ((*writes)[0].data, after);
+  EXPECT_EQ(journal.last_replay().committed_txns, 1u);
+}
+
+TEST_F(JournalTest, MixedLegacyAndExtentRegionReplaysBoth) {
+  Journal journal(*device_, sb_);
+  const BlockIndex x = sb_.data_start;
+  const BlockIndex y = sb_.data_start + 1;
+  // Pre-upgrade whole-block transaction...
+  ASSERT_TRUE(journal.AppendTransaction({{x, Block(0xA1), JournalWrite::kBaseNone, {}}}).ok());
+  // ...then the store is remounted with extents on; the region now holds
+  // both formats. The second txn chains on the FIRST's image of x (the
+  // journal, not the device, is the base once a replayed image exists).
+  journal.set_extent_mode(true);
+  Bytes x2 = Block(0xA1);
+  x2[7] = 0x77;
+  ASSERT_TRUE(journal
+                  .AppendTransaction(
+                      {{x, x2, JournalWrite::kBaseDevice, Block(0xA1)},
+                       {y, Block(0xB2), JournalWrite::kBaseZero, {}}})
+                  .ok());
+
+  auto writes = journal.Replay();
+  ASSERT_TRUE(writes.ok()) << writes.status().ToString();
+  ASSERT_EQ(writes->size(), 3u);
+  EXPECT_EQ(journal.last_replay().committed_txns, 2u);
+  EXPECT_EQ((*writes)[0].block, x);
+  EXPECT_EQ((*writes)[0].data, Block(0xA1));
+  // The extent txn's image of x chains on the legacy txn's replayed
+  // image, not the (stale) device block.
+  EXPECT_EQ((*writes)[1].block, x);
+  EXPECT_EQ((*writes)[1].data, x2);
+  EXPECT_EQ((*writes)[2].data, Block(0xB2));
+  EXPECT_EQ(journal.last_replay().corrupt_records, 0u);
+}
+
+TEST_F(JournalTest, TornExtentRecordDiscardsWholeTransaction) {
+  Journal journal(*device_, sb_);
+  journal.set_extent_mode(true);
+  const BlockIndex x = sb_.data_start;
+  Bytes a = Block(0);
+  a[0] = 1;
+  Bytes b = Block(0);
+  b[0] = 2;
+  ASSERT_TRUE(journal
+                  .AppendTransaction(
+                      {{x, a, JournalWrite::kBaseZero, {}},
+                       {x + 1, b, JournalWrite::kBaseZero, {}}})
+                  .ok());
+  // Tear one byte of the (single, self-committing) record: the CRC is
+  // the commit, so BOTH block writes must vanish — replaying either half
+  // would be the partially-applied state journaling exists to prevent.
+  Bytes record;
+  ASSERT_TRUE(device_->ReadBlock(sb_.journal_start, record).ok());
+  record[40] ^= 0xFF;
+  ASSERT_TRUE(device_->WriteBlock(sb_.journal_start, record).ok());
+
+  auto writes = journal.Replay();
+  ASSERT_TRUE(writes.ok()) << writes.status().ToString();
+  EXPECT_TRUE(writes->empty());
+  EXPECT_EQ(journal.last_replay().corrupt_records, 1u);
+  EXPECT_EQ(journal.last_replay().committed_txns, 0u);
+}
+
+TEST_F(JournalTest, OversizedExtentIsRejectedNotApplied) {
+  Journal journal(*device_, sb_);
+  const BlockIndex x = sb_.data_start;
+  Bytes sentinel;
+  ASSERT_TRUE(device_->ReadBlock(x, sentinel).ok());
+  // Hand-craft a record whose CRC is valid but whose one extent claims
+  // offset 300 + len 300 > the 512-byte block: replay must refuse the
+  // whole record (memcpy'ing it would run off the image) and count it
+  // corrupt rather than guess.
+  ByteWriter payload(32);
+  payload.PutU64(x);
+  payload.PutU8(JournalWrite::kBaseZero);
+  payload.PutU16(1);
+  payload.PutU32(300);  // offset
+  payload.PutU32(300);  // len: off + len = 600 > block_size
+  payload.PutRaw(ByteSpan(Bytes(300, 0xEE).data(), 300));
+  const Bytes image =
+      CraftRecord(sb_, /*seq=*/0, /*kind=*/3, /*target=*/1, payload.Take());
+  for (std::size_t i = 0; i * sb_.block_size < image.size(); ++i) {
+    ASSERT_TRUE(device_
+                    ->WriteBlock(sb_.journal_start + i,
+                                 Bytes(image.begin() + i * sb_.block_size,
+                                       image.begin() + (i + 1) * sb_.block_size))
+                    .ok());
+  }
+  sb_.journal_seq = 1;
+
+  auto writes = journal.Replay();
+  ASSERT_TRUE(writes.ok()) << writes.status().ToString();
+  EXPECT_TRUE(writes->empty());
+  EXPECT_EQ(journal.last_replay().corrupt_records, 1u);
+  Bytes now;
+  ASSERT_TRUE(device_->ReadBlock(x, now).ok());
+  EXPECT_EQ(now, sentinel);  // the target block was never touched
+}
+
+TEST_F(JournalTest, ZeroLengthExtentIsRejected) {
+  Journal journal(*device_, sb_);
+  ByteWriter payload(16);
+  payload.PutU64(sb_.data_start);
+  payload.PutU8(JournalWrite::kBaseZero);
+  payload.PutU16(1);
+  payload.PutU32(0);
+  payload.PutU32(0);  // len == 0: framing violation
+  const Bytes image =
+      CraftRecord(sb_, /*seq=*/0, /*kind=*/3, /*target=*/1, payload.Take());
+  ASSERT_TRUE(device_
+                  ->WriteBlock(sb_.journal_start,
+                               Bytes(image.begin(), image.begin() + 512))
+                  .ok());
+  sb_.journal_seq = 1;
+
+  auto writes = journal.Replay();
+  ASSERT_TRUE(writes.ok()) << writes.status().ToString();
+  EXPECT_TRUE(writes->empty());
+  EXPECT_EQ(journal.last_replay().corrupt_records, 1u);
 }
 
 TEST_F(JournalTest, SuperblockSurvivesTornWrite) {

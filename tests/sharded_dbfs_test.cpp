@@ -194,6 +194,45 @@ TEST_F(ShardedDbfsTest, FanOutOpsGateExactlyOnce) {
   EXPECT_EQ(count_with_detail("copy_group=12345"), 1u);
 }
 
+TEST_F(ShardedDbfsTest, GetManyFansOutAndScattersBackInRequestOrder) {
+  // 12 subjects over 4 shards; the batch mixes shards, duplicates, a
+  // missing id and id 0, in deliberately shuffled order.
+  std::map<SubjectId, RecordId> by_subject;
+  for (SubjectId s = 1; s <= 12; ++s) {
+    auto id = PutNote(s, "author" + std::to_string(s),
+                      "text" + std::to_string(s));
+    ASSERT_TRUE(id.ok());
+    by_subject[s] = *id;
+  }
+  const std::vector<RecordId> ids = {
+      by_subject[7], by_subject[2], 99999,        by_subject[7],
+      by_subject[4], 0,             by_subject[1], by_subject[12]};
+  const auto batched = fs_->GetMany(kDed, ids);
+  ASSERT_EQ(batched.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto one = fs_->Get(kDed, ids[i]);
+    ASSERT_EQ(batched[i].ok(), one.ok()) << "slot " << i;
+    if (!one.ok()) {
+      EXPECT_EQ(batched[i].status().code(), one.status().code());
+      continue;
+    }
+    EXPECT_EQ(batched[i]->subject_id, one->subject_id) << "slot " << i;
+    ASSERT_EQ(batched[i]->row.size(), one->row.size());
+    for (std::size_t f = 0; f < one->row.size(); ++f) {
+      EXPECT_TRUE(batched[i]->row[f] == one->row[f]) << "slot " << i;
+    }
+  }
+  const auto membranes = fs_->GetMembraneMany(kDed, ids);
+  ASSERT_EQ(membranes.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto one = fs_->GetMembrane(kDed, ids[i]);
+    ASSERT_EQ(membranes[i].ok(), one.ok()) << "slot " << i;
+    if (one.ok()) {
+      EXPECT_EQ(membranes[i]->Serialize(), one->Serialize()) << "slot " << i;
+    }
+  }
+}
+
 TEST_F(ShardedDbfsTest, MountReconcilesTypeCatalogAfterPartialCreate) {
   // Simulate a crash mid-CreateType: apply a type to shard 0 only (the
   // replication order), tear everything down, remount the same media.
