@@ -1,0 +1,186 @@
+// Durable audit pipeline bench (DESIGN.md §14):
+//
+//   1. Producer throughput — N threads Record through an AuditSink into
+//      the bounded queue + background writer; entries/sec at the
+//      producer side and the drain (Flush) side. The acceptance bar is
+//      ZERO dropped entries: backpressure must absorb the burst.
+//   2. Remount verification — decode + SHA-256 chain-verify the whole
+//      sealed log from the store, as a regulator or reboot would.
+//   3. Storage — sealed segment compression ratio (raw vs stored bytes)
+//      and the byte-stability of the regulator export across a remount.
+//
+// Artifact: BENCH_audit_pipeline.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/regulator_export.hpp"
+#include "sentinel/audit_pipeline.hpp"
+
+namespace rgpdos::bench {
+namespace {
+
+constexpr unsigned kProducers = 4;
+constexpr int kPerProducer = 5000;
+constexpr std::uint64_t kTotal =
+    std::uint64_t(kProducers) * std::uint64_t(kPerProducer);
+
+using Clk = std::chrono::steady_clock;
+
+double Secs(Clk::time_point from, Clk::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+sentinel::AuditEntry MakeEntry(unsigned producer, int i) {
+  sentinel::AuditEntry entry;
+  entry.at = 1'000'000 + std::int64_t(producer) * kPerProducer + i;
+  entry.request.subject = sentinel::Domain::kDed;
+  entry.request.object = sentinel::Domain::kDbfs;
+  entry.request.op =
+      (i % 3 == 0) ? sentinel::Operation::kRead : sentinel::Operation::kWrite;
+  entry.request.detail =
+      "table=user subject=" + std::to_string(1 + (i % 97)) + " producer=" +
+      std::to_string(producer);
+  entry.allowed = (i % 5 != 0);
+  entry.rule = entry.allowed ? "allow ded->dbfs purpose" : "default-deny";
+  return entry;
+}
+
+}  // namespace
+}  // namespace rgpdos::bench
+
+int main() {
+  using namespace rgpdos;
+  using namespace rgpdos::bench;
+
+  // A dedicated store: 4 KiB blocks, 32 MiB medium, generous journal.
+  SimClock clock(1000);
+  blockdev::MemBlockDevice medium(4096, 8192);
+  inodefs::InodeStore::Options store_options;
+  store_options.inode_count = 512;
+  store_options.journal_blocks = 256;
+  auto store = inodefs::InodeStore::Format(&medium, store_options, &clock);
+  if (!store.ok()) std::abort();
+  auto manifest = (*store)->AllocInode(inodefs::InodeKind::kFile);
+  if (!manifest.ok()) std::abort();
+
+  sentinel::AuditPipelineOptions options;  // production defaults
+  auto pipeline = sentinel::DurableAuditPipeline::Create(
+      store->get(), *manifest, options);
+  if (!pipeline.ok()) std::abort();
+  sentinel::AuditSink sink;
+  sink.AttachPipeline(pipeline->get());
+
+  // ---- phase 1: concurrent producers through the sink ----------------------
+  const auto produce_start = Clk::now();
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) sink.Record(MakeEntry(p, i));
+    });
+  }
+  for (auto& t : producers) t.join();
+  const auto produce_end = Clk::now();
+  if (auto flushed = (*pipeline)->Flush(); !flushed.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", flushed.ToString().c_str());
+    return 1;
+  }
+  const auto drain_end = Clk::now();
+
+  const double produce_secs = Secs(produce_start, produce_end);
+  const double drain_secs = Secs(produce_start, drain_end);
+  const std::uint64_t dropped = sink.dropped_count();
+  const std::uint64_t lost = (*pipeline)->lost_entries();
+  std::printf("produce:      %llu entries from %u threads in %.3fs "
+              "(%.0f entries/s)\n",
+              static_cast<unsigned long long>(kTotal), kProducers,
+              produce_secs, double(kTotal) / produce_secs);
+  std::printf("drain:        durable after %.3fs (%.0f entries/s), "
+              "backpressure waits=%llu timeouts=%llu\n",
+              drain_secs, double(kTotal) / drain_secs,
+              static_cast<unsigned long long>(
+                  (*pipeline)->backpressure_waits()),
+              static_cast<unsigned long long>(
+                  (*pipeline)->backpressure_timeouts()));
+  if (dropped != 0 || lost != 0) {
+    std::fprintf(stderr,
+                 "FAIL: evidence lost (dropped=%llu lost=%llu) — the "
+                 "backpressure contract is broken\n",
+                 static_cast<unsigned long long>(dropped),
+                 static_cast<unsigned long long>(lost));
+    return 1;
+  }
+  sink.AttachPipeline(nullptr);
+  (*pipeline)->Stop();
+
+  // ---- phase 2: remount + full chain verification --------------------------
+  const auto verify_start = Clk::now();
+  auto entries =
+      sentinel::DurableAuditPipeline::LoadEntries(store->get(), *manifest);
+  const double verify_secs = Secs(verify_start, Clk::now());
+  if (!entries.ok() || entries->size() != kTotal) {
+    std::fprintf(stderr, "FAIL: remount verification lost entries (%s)\n",
+                 entries.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("verify:       %llu entries chain-verified in %.3fs "
+              "(%.0f entries/s)\n",
+              static_cast<unsigned long long>(entries->size()), verify_secs,
+              double(entries->size()) / verify_secs);
+
+  // ---- phase 3: storage + export stability ---------------------------------
+  auto log = auditlog::SegmentedLog::Mount(store->get(), *manifest,
+                                           options.segments);
+  if (!log.ok()) std::abort();
+  std::uint64_t raw_bytes = (*log)->active_raw_bytes();
+  std::uint64_t stored_bytes = (*log)->active_raw_bytes();
+  for (const auto& segment : (*log)->sealed()) {
+    auto stored = store->get()->ReadAll(segment.inode);
+    if (!stored.ok()) std::abort();
+    raw_bytes += segment.raw_size;
+    stored_bytes += stored->size();
+  }
+  const double ratio =
+      stored_bytes > 0 ? double(raw_bytes) / double(stored_bytes) : 0;
+  std::printf("storage:      %zu sealed segments, %.2f MiB raw -> %.2f MiB "
+              "stored (%.2fx)\n",
+              (*log)->sealed().size(), double(raw_bytes) / (1 << 20),
+              double(stored_bytes) / (1 << 20), ratio);
+
+  auto export_before =
+      core::RegulatorExporter::ExportAuditTrail(store->get(), *manifest);
+  if (!export_before.ok()) std::abort();
+  store->reset();
+  auto remounted = inodefs::InodeStore::Mount(&medium, &clock);
+  if (!remounted.ok()) std::abort();
+  auto export_after =
+      core::RegulatorExporter::ExportAuditTrail(remounted->get(), *manifest);
+  if (!export_after.ok() || *export_after != *export_before) {
+    std::fprintf(stderr, "FAIL: regulator export changed across remount\n");
+    return 1;
+  }
+  std::printf("export:       %.2f MiB JSONL, byte-identical across remount\n",
+              double(export_before->size()) / (1 << 20));
+
+  DumpBenchArtifact(
+      "audit_pipeline",
+      {{"entries", double(kTotal)},
+       {"producers", double(kProducers)},
+       {"produce_entries_per_sec", double(kTotal) / produce_secs},
+       {"drain_entries_per_sec", double(kTotal) / drain_secs},
+       {"verify_entries_per_sec", double(kTotal) / verify_secs},
+       {"dropped", double(dropped)},
+       {"lost", double(lost)},
+       {"backpressure_waits", double((*pipeline)->backpressure_waits())},
+       {"backpressure_timeouts",
+        double((*pipeline)->backpressure_timeouts())},
+       {"sealed_segments", double((*log)->sealed().size())},
+       {"compression_ratio", ratio},
+       {"export_bytes", double(export_before->size())}});
+  return 0;
+}

@@ -1,8 +1,10 @@
 // Regulator audit — the right-of-access machinery from the regulator's
 // side (paper §4): per-PD processing history, tamper-evident logs, the
 // sentinel's denial trail, and GDPR-penalty statistics (Fig 1).
+#include <algorithm>
 #include <cstdio>
 
+#include "core/regulator_export.hpp"
 #include "core/rgpdos.hpp"
 #include "penalties/penalties.hpp"
 #include "sentinel/breach.hpp"
@@ -135,6 +137,27 @@ int main() {
                 std::string(sentinel::DomainName(e.request.object)).c_str(),
                 std::string(sentinel::OperationName(e.request.op)).c_str(),
                 e.request.detail.c_str());
+  }
+
+  // The structured bundle a supervisory authority actually receives:
+  // deterministic JSONL derived from the durable hash-chained logs, so
+  // two exports (or one before and one after a restart) diff clean.
+  std::printf("\n-- structured regulator export (JSONL) --\n");
+  const core::RegulatorExporter exporter(&log);
+  auto subject_export = exporter.ExportSubject(3);
+  if (!subject_export.ok()) return Fail(subject_export.status());
+  std::printf("subject 3 processing history (%zu bytes):\n%s",
+              subject_export->size(), subject_export->c_str());
+  if (os.audit_pipeline() != nullptr) {
+    if (auto f = os.audit_pipeline()->Flush(); !f.ok()) return Fail(f);
+    auto trail = core::RegulatorExporter::ExportAuditTrail(
+        &os.dbfs_store(), os.dbfs().audit_manifest_inode());
+    if (!trail.ok()) return Fail(trail.status());
+    const std::size_t lines =
+        std::count(trail->begin(), trail->end(), '\n');
+    std::printf("durable audit trail: %zu chain-verified decisions "
+                "(%zu JSONL bytes)\n",
+                lines > 0 ? lines - 1 : 0, trail->size());
   }
 
   std::printf("\n-- breach sweep (Art. 33) --\n");

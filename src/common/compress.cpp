@@ -1,0 +1,123 @@
+#include "common/compress.hpp"
+
+#include <algorithm>
+#include <array>
+#include <climits>
+
+namespace rgpdos {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = kMinMatch + 0x7F;  // 131
+constexpr std::size_t kMaxOffset = 0xFFFF;           // 64 KiB window
+constexpr std::size_t kMaxLiteralRun = 0x80;         // 128
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t Hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void FlushLiterals(const std::uint8_t* base, std::size_t begin,
+                   std::size_t end, Bytes& out) {
+  while (begin < end) {
+    const std::size_t run = std::min(end - begin, kMaxLiteralRun);
+    out.push_back(static_cast<std::uint8_t>(run - 1));
+    out.insert(out.end(), base + begin, base + begin + run);
+    begin += run;
+  }
+}
+
+}  // namespace
+
+Bytes LzCompress(ByteSpan raw) {
+  Bytes out;
+  out.reserve(raw.size() / 2 + 16);
+  const std::uint8_t* data = raw.data();
+  const std::size_t n = raw.size();
+  // head[h] = most recent position whose 4-byte prefix hashed to h.
+  std::array<std::size_t, kHashSize> head;
+  head.fill(SIZE_MAX);
+
+  std::size_t literal_start = 0;
+  std::size_t pos = 0;
+  while (pos + kMinMatch <= n) {
+    const std::uint32_t h = Hash4(data + pos);
+    const std::size_t candidate = head[h];
+    head[h] = pos;
+    std::size_t match_len = 0;
+    if (candidate != SIZE_MAX && pos - candidate <= kMaxOffset) {
+      const std::size_t limit = std::min(n - pos, kMaxMatch);
+      while (match_len < limit &&
+             data[candidate + match_len] == data[pos + match_len]) {
+        ++match_len;
+      }
+    }
+    if (match_len >= kMinMatch) {
+      FlushLiterals(data, literal_start, pos, out);
+      out.push_back(
+          static_cast<std::uint8_t>(0x80 | (match_len - kMinMatch)));
+      const std::size_t offset = pos - candidate;
+      out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(offset >> 8));
+      // Index the interior of the match too (cheap, improves repeated
+      // structured records a lot), then continue past it.
+      const std::size_t match_end = pos + match_len;
+      for (++pos; pos + kMinMatch <= n && pos < match_end; ++pos) {
+        head[Hash4(data + pos)] = pos;
+      }
+      pos = match_end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  FlushLiterals(data, literal_start, n, out);
+  return out;
+}
+
+Result<Bytes> LzDecompress(ByteSpan compressed, std::uint64_t raw_size) {
+  Bytes out;
+  out.reserve(raw_size);
+  std::size_t pos = 0;
+  const std::size_t n = compressed.size();
+  while (pos < n) {
+    const std::uint8_t token = compressed[pos++];
+    if ((token & 0x80) == 0) {
+      const std::size_t run = static_cast<std::size_t>(token) + 1;
+      if (pos + run > n) {
+        return Corruption("lz: literal run past end of stream");
+      }
+      out.insert(out.end(), compressed.begin() + pos,
+                 compressed.begin() + pos + run);
+      pos += run;
+    } else {
+      if (pos + 2 > n) return Corruption("lz: truncated match token");
+      const std::size_t len = (token & 0x7F) + kMinMatch;
+      const std::size_t offset =
+          compressed[pos] | (static_cast<std::size_t>(compressed[pos + 1]) << 8);
+      pos += 2;
+      if (offset == 0 || offset > out.size()) {
+        return Corruption("lz: match offset out of range");
+      }
+      // Byte-at-a-time copy: overlapping matches (offset < len) are the
+      // RLE case and must see their own freshly copied bytes.
+      std::size_t src = out.size() - offset;
+      for (std::size_t i = 0; i < len; ++i) {
+        out.push_back(out[src + i]);
+      }
+    }
+    if (out.size() > raw_size) {
+      return Corruption("lz: stream decodes past declared size");
+    }
+  }
+  if (out.size() != raw_size) {
+    return Corruption("lz: stream decodes to wrong size");
+  }
+  return out;
+}
+
+}  // namespace rgpdos

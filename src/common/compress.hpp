@@ -1,0 +1,34 @@
+// Lossless byte compression for sealed log segments.
+//
+// A small, dependency-free LZ77 variant: greedy matching against a
+// 64 KiB sliding window, 4-byte minimum match, hash-table candidate
+// lookup. The token stream is self-delimiting:
+//
+//   0x00..0x7F  literal run: (token + 1) literal bytes follow (1..128)
+//   0x80..0xFF  match: length = (token & 0x7F) + kMinMatch (4..131),
+//               followed by a little-endian u16 back-offset (1..65535)
+//
+// Compression is deterministic (same input, same output — the regulator
+// exporter depends on byte-stable artifacts), and decompression is fully
+// bounds-checked: corrupt or truncated streams fail with kCorruption
+// rather than reading out of range. The expected output size is passed
+// to the decoder so a stream that decodes to the wrong length (a torn
+// segment the CRC somehow missed) is rejected too.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace rgpdos {
+
+/// Compress `raw`. Always succeeds; worst-case expansion is
+/// ~1/128 overhead on incompressible input.
+Bytes LzCompress(ByteSpan raw);
+
+/// Decompress a LzCompress stream; `raw_size` is the exact size the
+/// output must have (from the segment header).
+Result<Bytes> LzDecompress(ByteSpan compressed, std::uint64_t raw_size);
+
+}  // namespace rgpdos

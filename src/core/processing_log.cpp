@@ -1,7 +1,11 @@
 #include "core/processing_log.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "common/log.hpp"
 #include "crypto/hmac.hpp"
+#include "metrics/metrics.hpp"
 
 namespace rgpdos::core {
 
@@ -83,46 +87,150 @@ Result<LogEntry> ProcessingLog::DecodeEntry(ByteReader& reader) {
   return entry;
 }
 
-Status ProcessingLog::LoadFromStore(inodefs::InodeStore* store,
-                                    inodefs::InodeId inode) {
-  RGPD_ASSIGN_OR_RETURN(Bytes raw, store->ReadAll(inode));
+Status ProcessingLog::DecodeVerifiedStream(ByteSpan raw,
+                                           std::uint64_t* next_seq,
+                                           crypto::Sha256Digest* prev,
+                                           std::vector<LogEntry>* out) {
   ByteReader reader(raw);
-  std::vector<LogEntry> loaded;
-  crypto::Sha256Digest prev{};
   while (!reader.exhausted()) {
     RGPD_ASSIGN_OR_RETURN(LogEntry entry, DecodeEntry(reader));
-    if (!crypto::DigestEqual(HashEntry(entry, prev), entry.chain)) {
+    if (entry.seq != *next_seq) {
+      return Corruption("processing log: sequence gap at " +
+                        std::to_string(entry.seq) + " (expected " +
+                        std::to_string(*next_seq) + ")");
+    }
+    if (!crypto::DigestEqual(HashEntry(entry, *prev), entry.chain)) {
       return Corruption("processing log: hash chain broken at seq " +
                         std::to_string(entry.seq));
     }
-    prev = entry.chain;
-    loaded.push_back(std::move(entry));
+    *prev = entry.chain;
+    ++*next_seq;
+    if (out != nullptr) out->push_back(std::move(entry));
   }
-  entries_ = std::move(loaded);
+  return Status::Ok();
+}
+
+Status ProcessingLog::AttachSegmentedStore(
+    inodefs::InodeStore* store, inodefs::InodeId manifest_inode,
+    const auditlog::SegmentedLogOptions& options) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  RGPD_ASSIGN_OR_RETURN(
+      segments_, auditlog::SegmentedLog::Create(store, manifest_inode,
+                                                options));
+  store_ = nullptr;
+  inode_ = inodefs::kInvalidInode;
+  return Status::Ok();
+}
+
+Status ProcessingLog::LoadFromStore(
+    inodefs::InodeStore* store, inodefs::InodeId inode,
+    const auditlog::SegmentedLogOptions& options) {
+  RGPD_ASSIGN_OR_RETURN(Bytes raw, store->ReadAll(inode));
+
+  if (auditlog::SegmentedLog::LooksLikeManifest(raw)) {
+    RGPD_ASSIGN_OR_RETURN(
+        std::unique_ptr<auditlog::SegmentedLog> segments,
+        auditlog::SegmentedLog::Mount(store, inode, options));
+    // Entry-level pass: decode every segment payload and the active
+    // tail, verifying the chain and cross-checking each sealed
+    // segment's recorded tail against what its entries actually hash
+    // to.
+    std::vector<LogEntry> loaded;
+    std::uint64_t next_seq = 0;
+    crypto::Sha256Digest prev{};
+    std::size_t chunk = 0;
+    std::uint64_t entries_before_active = 0;
+    RGPD_RETURN_IF_ERROR(segments->ScanRaw([&](ByteSpan chunk_raw) {
+      RGPD_RETURN_IF_ERROR(
+          DecodeVerifiedStream(chunk_raw, &next_seq, &prev, &loaded));
+      if (chunk < segments->sealed().size()) {
+        const auditlog::SealedSegment& seg = segments->sealed()[chunk];
+        if (!crypto::DigestEqual(prev, seg.chain_tail)) {
+          return Corruption(
+              "processing log: sealed segment tail does not match its "
+              "entries");
+        }
+        entries_before_active = next_seq;
+      }
+      ++chunk;
+      return Status::Ok();
+    }));
+    segments->AdoptActiveState(
+        static_cast<std::uint32_t>(next_seq - entries_before_active), prev);
+
+    std::lock_guard<metrics::OrderedMutex> lock(mu_);
+    segments_ = std::move(segments);
+    store_ = nullptr;
+    inode_ = inodefs::kInvalidInode;
+    entries_.assign(std::make_move_iterator(loaded.begin()),
+                    std::make_move_iterator(loaded.end()));
+    total_ = next_seq;
+    tail_ = prev;
+    window_prev_ = crypto::Sha256Digest{};
+    TrimWindowLocked();
+    return Status::Ok();
+  }
+
+  // Legacy flat stream.
+  std::vector<LogEntry> loaded;
+  std::uint64_t next_seq = 0;
+  crypto::Sha256Digest prev{};
+  RGPD_RETURN_IF_ERROR(DecodeVerifiedStream(raw, &next_seq, &prev, &loaded));
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  segments_.reset();
+  entries_.assign(std::make_move_iterator(loaded.begin()),
+                  std::make_move_iterator(loaded.end()));
+  total_ = next_seq;
+  tail_ = prev;
+  window_prev_ = crypto::Sha256Digest{};
   store_ = store;
   inode_ = inode;
+  TrimWindowLocked();
   return Status::Ok();
 }
 
 void ProcessingLog::CommitEntryLocked(LogEntry entry, Bytes& encoded) {
-  entry.seq = entries_.size();
-  const crypto::Sha256Digest prev =
-      entries_.empty() ? crypto::Sha256Digest{} : entries_.back().chain;
-  entry.chain = HashEntry(entry, prev);
+  entry.seq = total_++;
+  entry.chain = HashEntry(entry, tail_);
+  tail_ = entry.chain;
   const Bytes bytes = EncodeEntry(entry);
   encoded.insert(encoded.end(), bytes.begin(), bytes.end());
   entries_.push_back(std::move(entry));
 }
 
-void ProcessingLog::DurableAppendLocked(const Bytes& encoded) {
-  if (store_ == nullptr || encoded.empty()) return;
+void ProcessingLog::DurableAppendLocked(const Bytes& encoded,
+                                        std::uint32_t entry_count) {
+  if (encoded.empty()) return;
+  Status appended = Status::Ok();
+  if (segments_ != nullptr) {
+    appended = segments_->AppendBatch(encoded, entry_count, tail_);
+  } else if (store_ != nullptr) {
+    appended = store_->Append(inode_, encoded);
+  } else {
+    return;
+  }
   // An IO failure here is deliberately loud: silently losing audit
   // history would defeat the log.
-  const Status appended = store_->Append(inode_, encoded);
   if (!appended.ok()) {
+    RGPD_METRIC_COUNT_N("core.processing_log.write_errors", entry_count);
     RGPD_LOG(kError, "processing_log")
         << "append failed: " << appended.ToString();
   }
+}
+
+void ProcessingLog::TrimWindowLocked() {
+  if (hot_window_ == 0) return;
+  while (entries_.size() > hot_window_) {
+    window_prev_ = entries_.front().chain;
+    entries_.pop_front();
+    RGPD_METRIC_COUNT("core.processing_log.window_evictions");
+  }
+}
+
+void ProcessingLog::SetHotWindow(std::size_t n) {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  hot_window_ = n;
+  TrimWindowLocked();
 }
 
 void ProcessingLog::Append(std::string processing, std::string purpose,
@@ -145,7 +253,8 @@ void ProcessingLog::Append(std::string processing, std::string purpose,
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
   Bytes encoded;
   CommitEntryLocked(std::move(entry), encoded);
-  DurableAppendLocked(encoded);
+  DurableAppendLocked(encoded, 1);
+  TrimWindowLocked();
 }
 
 std::size_t ProcessingLog::entry_count() const {
@@ -153,9 +262,32 @@ std::size_t ProcessingLog::entry_count() const {
   return entries_.size();
 }
 
+std::uint64_t ProcessingLog::total_entries() const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  return total_;
+}
+
 std::vector<LogEntry> ProcessingLog::ForRecord(dbfs::RecordId record) const {
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
   std::vector<LogEntry> out;
+  if (segments_ != nullptr && total_ > entries_.size()) {
+    // The window has trimmed: the full history lives durably.
+    std::uint64_t next_seq = 0;
+    crypto::Sha256Digest prev{};
+    std::vector<LogEntry> all;
+    const Status scanned = segments_->ScanRaw([&](ByteSpan raw) {
+      return DecodeVerifiedStream(raw, &next_seq, &prev, &all);
+    });
+    if (scanned.ok()) {
+      for (LogEntry& e : all) {
+        if (e.record_id == record) out.push_back(std::move(e));
+      }
+      return out;
+    }
+    RGPD_LOG(kError, "processing_log")
+        << "durable scan failed, serving hot window only: "
+        << scanned.ToString();
+  }
   for (const LogEntry& e : entries_) {
     if (e.record_id == record) out.push_back(e);
   }
@@ -166,10 +298,45 @@ std::vector<LogEntry> ProcessingLog::ForSubject(
     dbfs::SubjectId subject) const {
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
   std::vector<LogEntry> out;
+  if (segments_ != nullptr && total_ > entries_.size()) {
+    std::uint64_t next_seq = 0;
+    crypto::Sha256Digest prev{};
+    std::vector<LogEntry> all;
+    const Status scanned = segments_->ScanRaw([&](ByteSpan raw) {
+      return DecodeVerifiedStream(raw, &next_seq, &prev, &all);
+    });
+    if (scanned.ok()) {
+      for (LogEntry& e : all) {
+        if (e.subject_id == subject) out.push_back(std::move(e));
+      }
+      return out;
+    }
+    RGPD_LOG(kError, "processing_log")
+        << "durable scan failed, serving hot window only: "
+        << scanned.ToString();
+  }
   for (const LogEntry& e : entries_) {
     if (e.subject_id == subject) out.push_back(e);
   }
   return out;
+}
+
+Status ProcessingLog::ForEach(
+    const std::function<void(const LogEntry&)>& fn) const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  if (segments_ != nullptr && total_ > entries_.size()) {
+    std::uint64_t next_seq = 0;
+    crypto::Sha256Digest prev{};
+    return segments_->ScanRaw([&](ByteSpan raw) {
+      std::vector<LogEntry> chunk;
+      RGPD_RETURN_IF_ERROR(
+          DecodeVerifiedStream(raw, &next_seq, &prev, &chunk));
+      for (const LogEntry& e : chunk) fn(e);
+      return Status::Ok();
+    });
+  }
+  for (const LogEntry& e : entries_) fn(e);
+  return Status::Ok();
 }
 
 void ProcessingLog::BeginBatch() {
@@ -196,17 +363,34 @@ void ProcessingLog::EndBatch() {
   for (LogEntry& entry : staged) {
     CommitEntryLocked(std::move(entry), encoded);
   }
-  DurableAppendLocked(encoded);
+  DurableAppendLocked(encoded, static_cast<std::uint32_t>(staged.size()));
+  TrimWindowLocked();
 }
 
 bool ProcessingLog::VerifyChain() const {
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
-  crypto::Sha256Digest prev{};
+  crypto::Sha256Digest prev = window_prev_;
   for (const LogEntry& e : entries_) {
     if (!crypto::DigestEqual(HashEntry(e, prev), e.chain)) return false;
     prev = e.chain;
   }
   return true;
+}
+
+Status ProcessingLog::VerifyDurableChain() const {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  if (segments_ == nullptr) return Status::Ok();
+  std::uint64_t next_seq = 0;
+  crypto::Sha256Digest prev{};
+  return segments_->ScanRaw([&](ByteSpan raw) {
+    return DecodeVerifiedStream(raw, &next_seq, &prev, nullptr);
+  });
+}
+
+Status ProcessingLog::SealSegments() {
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  if (segments_ == nullptr) return Status::Ok();
+  return segments_->Seal();
 }
 
 }  // namespace rgpdos::core

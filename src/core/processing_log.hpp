@@ -6,21 +6,40 @@
 // or truncation: each entry's digest covers its content and the previous
 // digest.
 //
-// Thread-safety: the entry list, hash chain and durable append serialise
-// on one lock at rank kCoreLog (just below the ProcessingStore lock, so
-// the store may log while holding its own lock). Batching is per-thread:
-// a BatchScope stages entries in thread-local storage WITHOUT touching
-// the shared chain, and EndBatch assigns their sequence numbers and
-// chain digests contiguously under the lock, then makes them durable in
-// one store append. Entries for one record therefore carry sequence
-// numbers in happens-before order: within a batch by staging order, and
-// across batches/threads by flush order under the lock.
+// Durability comes in two shapes:
+//
+//   * Legacy flat log (AttachStore): every append lands on one inode as
+//     a raw entry stream. Simple, but the whole history must be decoded
+//     on every reload and held in memory forever.
+//   * Segmented log (AttachSegmentedStore): appends go to an
+//     auditlog::SegmentedLog — compressed, CRC'd, chain-bound sealed
+//     segments behind a manifest. In-memory the log keeps only a bounded
+//     HOT WINDOW (SetHotWindow) of recent entries; older history lives
+//     in the sealed segments and is consulted on demand (ForRecord /
+//     ForSubject / ForEach fall back to a durable scan when the window
+//     has trimmed). LoadFromStore auto-detects which format an inode
+//     holds, so remounts of old images keep working.
+//
+// Thread-safety: the entry window, hash chain and durable append
+// serialise on one lock at rank kCoreLog (just below the
+// ProcessingStore lock, so the store may log while holding its own
+// lock). Batching is per-thread: a BatchScope stages entries in
+// thread-local storage WITHOUT touching the shared chain, and EndBatch
+// assigns their sequence numbers and chain digests contiguously under
+// the lock, then makes them durable in one store append. Entries for
+// one record therefore carry sequence numbers in happens-before order:
+// within a batch by staging order, and across batches/threads by flush
+// order under the lock.
 #pragma once
 
+#include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "auditlog/segmented_log.hpp"
 #include "common/clock.hpp"
 #include "crypto/sha256.hpp"
 #include "dbfs/dbfs.hpp"
@@ -58,17 +77,32 @@ class ProcessingLog {
  public:
   explicit ProcessingLog(const Clock* clock) : clock_(clock) {}
 
-  /// Make the log durable: every Append is also written to `inode` on
-  /// `store` (the DBFS store — the log names subjects and purposes, so
-  /// it must NOT live on the generally-readable NPD filesystem).
+  /// Make the log durable in the LEGACY flat format: every Append is
+  /// also written to `inode` on `store` (the DBFS store — the log names
+  /// subjects and purposes, so it must NOT live on the generally-
+  /// readable NPD filesystem).
   void AttachStore(inodefs::InodeStore* store, inodefs::InodeId inode) {
     store_ = store;
     inode_ = inode;
+    segments_.reset();
   }
+
+  /// Make the log durable in the SEGMENTED format: `manifest_inode`
+  /// (caller-allocated, empty) becomes the manifest of a fresh
+  /// auditlog::SegmentedLog. Use LoadFromStore instead when the inode
+  /// already holds data.
+  Status AttachSegmentedStore(inodefs::InodeStore* store,
+                              inodefs::InodeId manifest_inode,
+                              const auditlog::SegmentedLogOptions& options = {});
 
   /// Reload a persisted log, verifying the hash chain entry by entry;
   /// fails with kCorruption on any tampering or truncation-in-the-middle.
-  Status LoadFromStore(inodefs::InodeStore* store, inodefs::InodeId inode);
+  /// Auto-detects the on-store format: a segmented manifest is mounted
+  /// (sealed segments CRC- and chain-verified) and later appends stay
+  /// segmented; a legacy flat stream is decoded in place and later
+  /// appends stay flat.
+  Status LoadFromStore(inodefs::InodeStore* store, inodefs::InodeId inode,
+                       const auditlog::SegmentedLogOptions& options = {});
 
   void Append(std::string processing, std::string purpose,
               dbfs::SubjectId subject, dbfs::RecordId record,
@@ -97,38 +131,84 @@ class ProcessingLog {
     ProcessingLog& log_;
   };
 
-  /// Quiescent-time view of the raw log. Not safe while other threads
-  /// Append; concurrent readers use the copying queries below.
-  [[nodiscard]] const std::vector<LogEntry>& entries() const {
+  /// Bound the in-memory window to the newest `n` entries (0 =
+  /// unbounded). Trimmed entries remain durable and reachable through
+  /// the queries below when a segmented store is attached.
+  void SetHotWindow(std::size_t n);
+  [[nodiscard]] std::size_t hot_window() const { return hot_window_; }
+  /// True when appends go to a segmented store (trimmed window history
+  /// stays queryable durably).
+  [[nodiscard]] bool segmented_durability() const {
+    return segments_ != nullptr;
+  }
+
+  /// Quiescent-time view of the in-memory window (the full log when
+  /// nothing has been trimmed), oldest first. Not safe while other
+  /// threads Append; concurrent readers use the copying queries below.
+  [[nodiscard]] const std::deque<LogEntry>& entries() const {
     return entries_;
   }
+  /// Entries currently in the in-memory window.
   [[nodiscard]] std::size_t entry_count() const;
-  /// Every processing that touched one PD record (copied under the lock).
+  /// Entries ever appended (window + trimmed-but-durable history).
+  [[nodiscard]] std::uint64_t total_entries() const;
+  /// Every processing that touched one PD record. Scans the durable
+  /// history when the window has trimmed; copied under the lock.
   [[nodiscard]] std::vector<LogEntry> ForRecord(dbfs::RecordId record) const;
   /// Every processing that touched one subject's PD.
   [[nodiscard]] std::vector<LogEntry> ForSubject(
       dbfs::SubjectId subject) const;
+  /// Visit every entry in sequence order — durable history first when a
+  /// segmented store is attached (regulator export path). The visitor
+  /// runs under the log lock; it must not re-enter the log.
+  Status ForEach(const std::function<void(const LogEntry&)>& fn) const;
 
-  /// Recompute the hash chain; false if any entry was altered.
+  /// Recompute the hash chain over the in-memory window (anchored at
+  /// the digest of the last trimmed entry); false if altered.
   [[nodiscard]] bool VerifyChain() const;
+  /// Decode + chain-verify the ENTIRE durable log (sealed segments +
+  /// active tail). Ok when no segmented store is attached.
+  [[nodiscard]] Status VerifyDurableChain() const;
 
- private:
+  /// Force-seal the active segment (tests, clean shutdown).
+  Status SealSegments();
+
   static crypto::Sha256Digest HashEntry(const LogEntry& entry,
                                         const crypto::Sha256Digest& prev);
   static Bytes EncodeEntry(const LogEntry& entry);
   static Result<LogEntry> DecodeEntry(ByteReader& reader);
 
+ private:
   /// Finalise one entry (seq + chain continuation), append its encoding
   /// to `encoded` and move it into entries_. Caller holds mu_.
   void CommitEntryLocked(LogEntry entry, Bytes& encoded);
-  void DurableAppendLocked(const Bytes& encoded);
+  void DurableAppendLocked(const Bytes& encoded, std::uint32_t entry_count);
+  /// Evict oldest window entries past the bound. Caller holds mu_.
+  void TrimWindowLocked();
+  /// Decode + verify one raw stream chunk continuing from *prev /
+  /// *next_seq; appends to `out` when non-null.
+  static Status DecodeVerifiedStream(ByteSpan raw, std::uint64_t* next_seq,
+                                     crypto::Sha256Digest* prev,
+                                     std::vector<LogEntry>* out);
 
   const Clock* clock_;  // borrowed
   mutable metrics::OrderedMutex mu_{metrics::LockRank::kCoreLog,
                                     "core.processing_log"};
-  std::vector<LogEntry> entries_;
+  std::deque<LogEntry> entries_;
+  /// Newest-N bound on entries_; 0 = unbounded.
+  std::size_t hot_window_ = 0;
+  /// Entries ever committed; the next sequence number.
+  std::uint64_t total_ = 0;
+  /// Chain digest of the last TRIMMED entry — the anchor the window's
+  /// first entry chains from (zero while nothing has been trimmed).
+  crypto::Sha256Digest window_prev_{};
+  /// Chain digest of the newest committed entry.
+  crypto::Sha256Digest tail_{};
+
   inodefs::InodeStore* store_ = nullptr;  // borrowed; null = memory-only
   inodefs::InodeId inode_ = inodefs::kInvalidInode;
+  /// Non-null = segmented durability (store_/inode_ then unused).
+  std::unique_ptr<auditlog::SegmentedLog> segments_;
 };
 
 }  // namespace rgpdos::core

@@ -1,0 +1,149 @@
+#include "core/regulator_export.hpp"
+
+#include <functional>
+
+#include "common/hex.hpp"
+#include "sentinel/domain.hpp"
+
+namespace rgpdos::core {
+
+namespace {
+
+/// Minimal JSON string escaper: quotes, backslashes and control bytes.
+/// Detail strings are operator-written ASCII; anything else survives as
+/// \u00XX so the output stays deterministic and parseable.
+std::string JsonEscape(std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Footer(std::uint64_t entries, const crypto::Sha256Digest& tail) {
+  std::string out = "{\"entries\":";
+  out += std::to_string(entries);
+  out += ",\"chain_tail\":\"";
+  out += HexEncode(ByteSpan(tail.data(), tail.size()));
+  out += "\"}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string RegulatorExporter::EntryJson(const LogEntry& entry) {
+  std::string out = "{\"seq\":";
+  out += std::to_string(entry.seq);
+  out += ",\"at\":";
+  out += std::to_string(entry.at);
+  out += ",\"processing\":\"";
+  out += JsonEscape(entry.processing);
+  out += "\",\"purpose\":\"";
+  out += JsonEscape(entry.purpose);
+  out += "\",\"subject\":";
+  out += std::to_string(entry.subject_id);
+  out += ",\"record\":";
+  out += std::to_string(entry.record_id);
+  out += ",\"outcome\":\"";
+  out += LogOutcomeName(entry.outcome);
+  out += "\",\"detail\":\"";
+  out += JsonEscape(entry.detail);
+  out += "\",\"chain\":\"";
+  out += HexEncode(ByteSpan(entry.chain.data(), entry.chain.size()));
+  out += "\"}\n";
+  return out;
+}
+
+std::string RegulatorExporter::AuditEntryJson(
+    const sentinel::AuditEntry& entry) {
+  std::string out = "{\"seq\":";
+  out += std::to_string(entry.seq);
+  out += ",\"at\":";
+  out += std::to_string(entry.at);
+  out += ",\"subject_domain\":\"";
+  out += sentinel::DomainName(entry.request.subject);
+  out += "\",\"object_domain\":\"";
+  out += sentinel::DomainName(entry.request.object);
+  out += "\",\"op\":\"";
+  out += sentinel::OperationName(entry.request.op);
+  out += "\",\"detail\":\"";
+  out += JsonEscape(entry.request.detail);
+  out += "\",\"allowed\":";
+  out += entry.allowed ? "true" : "false";
+  out += ",\"rule\":\"";
+  out += JsonEscape(entry.rule);
+  out += "\",\"chain\":\"";
+  out += HexEncode(ByteSpan(entry.chain.data(), entry.chain.size()));
+  out += "\"}\n";
+  return out;
+}
+
+namespace {
+Result<std::string> ExportFiltered(
+    const ProcessingLog& log,
+    const std::function<bool(const LogEntry&)>& want) {
+  std::string out;
+  std::uint64_t count = 0;
+  crypto::Sha256Digest tail{};
+  RGPD_RETURN_IF_ERROR(log.ForEach([&](const LogEntry& e) {
+    tail = e.chain;
+    if (!want(e)) return;
+    out += RegulatorExporter::EntryJson(e);
+    ++count;
+  }));
+  out += Footer(count, tail);
+  return out;
+}
+}  // namespace
+
+Result<std::string> RegulatorExporter::ExportSubject(
+    dbfs::SubjectId subject) const {
+  return ExportFiltered(*log_, [subject](const LogEntry& e) {
+    return e.subject_id == subject;
+  });
+}
+
+Result<std::string> RegulatorExporter::ExportPurpose(
+    const std::string& purpose) const {
+  return ExportFiltered(*log_, [&purpose](const LogEntry& e) {
+    return e.purpose == purpose;
+  });
+}
+
+Result<std::string> RegulatorExporter::ExportAll() const {
+  return ExportFiltered(*log_, [](const LogEntry&) { return true; });
+}
+
+Result<std::string> RegulatorExporter::ExportAuditTrail(
+    inodefs::InodeStore* store, inodefs::InodeId manifest_inode) {
+  RGPD_ASSIGN_OR_RETURN(
+      std::vector<sentinel::AuditEntry> entries,
+      sentinel::DurableAuditPipeline::LoadEntries(store, manifest_inode));
+  std::string out;
+  crypto::Sha256Digest tail{};
+  for (const sentinel::AuditEntry& e : entries) {
+    out += AuditEntryJson(e);
+    tail = e.chain;
+  }
+  out += Footer(entries.size(), tail);
+  return out;
+}
+
+}  // namespace rgpdos::core

@@ -1,0 +1,46 @@
+// Regulator export — the structured evidence bundle a supervisory
+// authority receives (paper §4: the right of access requires "information
+// about executed processings for each piece of PD").
+//
+// Output is deterministic JSONL: one object per log entry in sequence
+// order, then one footer object with the entry count and the hash-chain
+// tail. Determinism is the point — the export is derived from the
+// durable chained log, so exporting before a crash/restart and after a
+// verified remount yields BYTE-IDENTICAL output, and a regulator can
+// diff two exports or re-verify the chain tail offline.
+#pragma once
+
+#include <string>
+
+#include "core/processing_log.hpp"
+#include "sentinel/audit_pipeline.hpp"
+
+namespace rgpdos::core {
+
+class RegulatorExporter {
+ public:
+  explicit RegulatorExporter(const ProcessingLog* log) : log_(log) {}
+
+  /// Every processing that touched `subject`'s PD, as JSONL + footer.
+  Result<std::string> ExportSubject(dbfs::SubjectId subject) const;
+  /// Every processing executed under `purpose`.
+  Result<std::string> ExportPurpose(const std::string& purpose) const;
+  /// The whole processing history.
+  Result<std::string> ExportAll() const;
+
+  /// The durable enforcement-decision trail (sealed audit segments +
+  /// active tail), chain-verified, as JSONL + footer. Static: reads the
+  /// store directly, so it also works on a freshly remounted image.
+  static Result<std::string> ExportAuditTrail(
+      inodefs::InodeStore* store, inodefs::InodeId manifest_inode);
+
+  /// One processing-log entry as a deterministic single-line JSON
+  /// object (exposed for tests).
+  static std::string EntryJson(const LogEntry& entry);
+  static std::string AuditEntryJson(const sentinel::AuditEntry& entry);
+
+ private:
+  const ProcessingLog* log_;  // borrowed
+};
+
+}  // namespace rgpdos::core

@@ -141,6 +141,23 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
   if (EnvU64("RGPDOS_EXTENTS", config.journal_extents ? 1 : 0) == 0) {
     config.journal_extents = false;
   }
+  // RGPDOS_AUDIT_DURABLE=0 is the durable-audit kill switch: in-memory
+  // audit ring only and the legacy flat processing log, exactly the
+  // pre-pipeline behaviour. The remaining RGPDOS_AUDIT_* knobs tune the
+  // pipeline without a rebuild (CI runs tiny queues to force
+  // backpressure under tsan).
+  if (EnvU64("RGPDOS_AUDIT_DURABLE", config.audit_durable ? 1 : 0) == 0) {
+    config.audit_durable = false;
+  }
+  config.audit_queue_entries = static_cast<std::size_t>(
+      EnvU64("RGPDOS_AUDIT_QUEUE", config.audit_queue_entries));
+  config.audit_backpressure_ms =
+      EnvU64("RGPDOS_AUDIT_BACKPRESSURE_MS", config.audit_backpressure_ms);
+  config.audit_segment_bytes =
+      EnvU64("RGPDOS_AUDIT_SEGMENT_BYTES", config.audit_segment_bytes);
+  config.audit_hot_window = static_cast<std::size_t>(
+      EnvU64("RGPDOS_AUDIT_HOT_WINDOW", config.audit_hot_window));
+  if (config.audit_queue_entries == 0) config.audit_queue_entries = 1;
   // RGPDOS_RETENTION: 0 disables the sweep daemon, 1 enables it with the
   // configured knobs, N > 1 enables it with N pages per sweep.
   if (const std::uint64_t retention =
@@ -277,8 +294,51 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
 
   os->log_ = std::make_unique<ProcessingLog>(os->clock_.get());
   // The processing log lives on shard 0's store at any shard count.
-  os->log_->AttachStore(os->pd_shards_[0].store.get(),
-                        os->dbfs_->processing_log_inode());
+  {
+    inodefs::InodeStore* log_store = os->pd_shards_[0].store.get();
+    const inodefs::InodeId log_inode = os->dbfs_->processing_log_inode();
+    auditlog::SegmentedLogOptions log_segments;
+    log_segments.segment_bytes = config.audit_segment_bytes;
+    log_segments.compress = config.audit_compress;
+    RGPD_ASSIGN_OR_RETURN(Bytes log_raw, log_store->ReadAll(log_inode));
+    if (!log_raw.empty()) {
+      // Attach-mode boot over a populated image: RELOAD the persisted
+      // log (chain-verified) so appends continue the chain instead of
+      // restarting at seq 0 on top of the old entries, which would
+      // corrupt the durable chain. Auto-detects segmented vs legacy
+      // flat format.
+      RGPD_RETURN_IF_ERROR(
+          os->log_->LoadFromStore(log_store, log_inode, log_segments));
+    } else if (config.audit_durable) {
+      RGPD_RETURN_IF_ERROR(os->log_->AttachSegmentedStore(
+          log_store, log_inode, log_segments));
+    } else {
+      os->log_->AttachStore(log_store, log_inode);
+    }
+    if (config.audit_durable && os->log_->segmented_durability()) {
+      // Bound the in-memory window only when trimmed history stays
+      // reachable through the sealed segments (a legacy flat log keeps
+      // everything in memory, as before).
+      os->log_->SetHotWindow(config.audit_hot_window);
+    }
+
+    // Durable audit pipeline on the same store. Skipped when the image
+    // predates the audit manifest inode (4-field master record).
+    const inodefs::InodeId audit_inode = os->dbfs_->audit_manifest_inode();
+    if (config.audit_durable && audit_inode != inodefs::kInvalidInode) {
+      sentinel::AuditPipelineOptions audit_options;
+      audit_options.queue_capacity = config.audit_queue_entries;
+      audit_options.batch_entries = config.audit_batch_entries;
+      audit_options.backpressure_deadline_micros =
+          config.audit_backpressure_ms * 1000;
+      audit_options.segments = log_segments;
+      RGPD_ASSIGN_OR_RETURN(
+          os->audit_pipeline_,
+          sentinel::DurableAuditPipeline::Create(log_store, audit_inode,
+                                                 audit_options));
+      os->audit_.AttachPipeline(os->audit_pipeline_.get());
+    }
+  }
 
   // DED worker pool. worker_threads == 1 keeps the historical inline
   // execution (no pool, no executor); 0 lets the kernel's CPU partition
@@ -337,6 +397,17 @@ Result<std::unique_ptr<RgpdOs>> RgpdOs::Boot(const BootConfig& boot_config) {
     os->retention_->Start();
   }
   return os;
+}
+
+RgpdOs::~RgpdOs() {
+  // Stop producers first (the sweep daemon audits every expiry), then
+  // detach and stop the pipeline so its queue drains to the store while
+  // the store is still alive. The remaining members unwind implicitly.
+  retention_.reset();
+  if (audit_pipeline_ != nullptr) {
+    audit_.AttachPipeline(nullptr);
+    audit_pipeline_->Stop();
+  }
 }
 
 Result<ConsentReceipt> RgpdOs::RevokeConsentWithReceipt(

@@ -29,6 +29,7 @@
 #include "core/retention.hpp"
 #include "core/rights.hpp"
 #include "inodefs/filesystem.hpp"
+#include "sentinel/audit_pipeline.hpp"
 
 namespace rgpdos::core {
 
@@ -112,9 +113,38 @@ struct BootConfig {
   /// Expiry flavour: false = journaled hard delete (physical scrub),
   /// true = crypto-erasure sealed to the supervisory authority.
   bool retention_crypto_erase = false;
-  /// Audit-sink ring capacity (entries kept; oldest dropped beyond
-  /// this, with an exact dropped-entries counter). 0 = unbounded.
+  /// Audit-sink ring capacity (the in-memory hot window; entries kept,
+  /// oldest evicted beyond this with exact evicted/dropped counters).
+  /// sentinel::AuditSink::kUnbounded = never evict; 0 = retain nothing.
   std::size_t audit_entries = sentinel::AuditSink::kDefaultCapacity;
+  /// Durable tamper-evident audit pipeline (DESIGN.md §14): every
+  /// enforcement decision is hash-chained and persisted to sealed,
+  /// compressed segments on shard 0's store by a background writer, and
+  /// the processing log moves to the same segmented format with a
+  /// bounded in-memory hot window. RGPDOS_AUDIT_DURABLE=0 kills it at
+  /// runtime (in-memory ring + legacy flat processing log, the
+  /// historical behaviour).
+  bool audit_durable = true;
+  /// Producer-side bounded queue in front of the audit writer thread.
+  /// When full, producers BLOCK (backpressure) up to
+  /// audit_backpressure_ms before the entry is counted dropped.
+  /// RGPDOS_AUDIT_QUEUE overrides.
+  std::size_t audit_queue_entries = 8192;
+  /// Max entries the writer persists per batch (one journaled append).
+  std::size_t audit_batch_entries = 256;
+  /// Backpressure deadline, milliseconds. RGPDOS_AUDIT_BACKPRESSURE_MS
+  /// overrides. 0 = fail immediately when the queue is full.
+  std::uint64_t audit_backpressure_ms = 2000;
+  /// Seal threshold for audit/processing-log segments (raw bytes).
+  /// RGPDOS_AUDIT_SEGMENT_BYTES overrides.
+  std::uint64_t audit_segment_bytes = 256 * 1024;
+  /// LZ-compress sealed segments (raw kept when compression doesn't
+  /// shrink).
+  bool audit_compress = true;
+  /// Bounded in-memory window of the processing log when segmented
+  /// durability is on (0 = unbounded). Trimmed history stays durable
+  /// and queryable. RGPDOS_AUDIT_HOT_WINDOW overrides.
+  std::size_t audit_hot_window = 65536;
   /// Attach an existing DBFS image instead of formatting a fresh
   /// in-memory one: Boot mounts the device (replaying its journal — the
   /// boot-time crash-recovery entry point) rather than calling Format.
@@ -140,6 +170,10 @@ struct BootConfig {
 class RgpdOs {
  public:
   static Result<std::unique_ptr<RgpdOs>> Boot(const BootConfig& config);
+  /// Orderly teardown: stops the retention daemon, detaches + stops the
+  /// audit pipeline (draining its queue to the store), then lets the
+  /// members unwind.
+  ~RgpdOs();
 
   // ---- components ------------------------------------------------------------
   /// The PD store: a single Dbfs (shards == 1) or the ShardedDbfs
@@ -157,6 +191,11 @@ class RgpdOs {
   [[nodiscard]] RetentionSweeper& retention() { return *retention_; }
   [[nodiscard]] sentinel::Sentinel& sentinel() { return *sentinel_; }
   [[nodiscard]] sentinel::AuditSink& audit() { return audit_; }
+  /// Non-null iff booted with audit_durable (and RGPDOS_AUDIT_DURABLE
+  /// didn't kill it) on an image that carries an audit manifest inode.
+  [[nodiscard]] sentinel::DurableAuditPipeline* audit_pipeline() {
+    return audit_pipeline_.get();
+  }
   [[nodiscard]] inodefs::FileSystem& npd_fs() { return *npd_fs_; }
   /// Number of PD store shards this instance booted with (>= 1).
   [[nodiscard]] std::size_t shard_count() const { return pd_shards_.size(); }
@@ -285,6 +324,11 @@ class RgpdOs {
   std::unique_ptr<inodefs::InodeStore> npd_store_;
   std::unique_ptr<inodefs::FileSystem> npd_fs_;
   std::unique_ptr<dbfs::DbfsApi> dbfs_;
+
+  /// Declared after pd_shards_ so it is destroyed (writer stopped and
+  /// drained) before the store it appends to; the explicit destructor
+  /// detaches it from audit_ first.
+  std::unique_ptr<sentinel::DurableAuditPipeline> audit_pipeline_;
 
   std::unique_ptr<ProcessingLog> log_;
   std::unique_ptr<DedExecutor> executor_;

@@ -68,6 +68,8 @@ Result<std::unique_ptr<Dbfs>> Dbfs::Format(
                         store->AllocInode(inodefs::InodeKind::kFormatHint));
   RGPD_ASSIGN_OR_RETURN(fs->processing_log_inode_,
                         store->AllocInode(inodefs::InodeKind::kFile));
+  RGPD_ASSIGN_OR_RETURN(fs->audit_manifest_inode_,
+                        store->AllocInode(inodefs::InodeKind::kFile));
   RGPD_RETURN_IF_ERROR(fs->PersistFormatHint());
 
   ByteWriter master;
@@ -75,6 +77,7 @@ Result<std::unique_ptr<Dbfs>> Dbfs::Format(
   master.PutU32(fs->subjects_map_inode_);
   master.PutU32(fs->format_hint_inode_);
   master.PutU32(fs->processing_log_inode_);
+  master.PutU32(fs->audit_manifest_inode_);
   RGPD_RETURN_IF_ERROR(store->WriteAll(fs->master_inode_, master.buffer()));
   store->SetRootDir(fs->master_inode_);
   RGPD_RETURN_IF_ERROR(store->Sync());
@@ -99,6 +102,11 @@ Result<std::unique_ptr<Dbfs>> Dbfs::Mount(
   RGPD_ASSIGN_OR_RETURN(fs->subjects_map_inode_, master.GetU32());
   RGPD_ASSIGN_OR_RETURN(fs->format_hint_inode_, master.GetU32());
   RGPD_ASSIGN_OR_RETURN(fs->processing_log_inode_, master.GetU32());
+  // Images formatted before the durable audit pipeline carry a 4-field
+  // master record; they mount fine, just with no audit manifest.
+  if (!master.exhausted()) {
+    RGPD_ASSIGN_OR_RETURN(fs->audit_manifest_inode_, master.GetU32());
+  }
 
   // Format hint: read once per live session (paper §3) to learn the
   // subject-subtree encoding before touching any subject inode.

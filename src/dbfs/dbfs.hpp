@@ -183,6 +183,11 @@ class DbfsApi {
   /// not be readable through the NPD filesystem.
   [[nodiscard]] virtual inodefs::InodeId processing_log_inode() const = 0;
 
+  /// Inode reserved for the durable audit pipeline's segment manifest
+  /// (same confidentiality argument as the processing log).
+  /// kInvalidInode on images formatted before the pipeline existed.
+  [[nodiscard]] virtual inodefs::InodeId audit_manifest_inode() const = 0;
+
   // ---- stats ----------------------------------------------------------------
   virtual Result<SensitivityReport> ReportSensitivity(
       sentinel::Domain caller) const = 0;
@@ -320,6 +325,12 @@ class Dbfs final : public DbfsApi {
   /// readable through the NPD filesystem.
   [[nodiscard]] inodefs::InodeId processing_log_inode() const override {
     return processing_log_inode_;
+  }
+
+  /// Inode reserved for the durable audit pipeline's segment manifest;
+  /// kInvalidInode on pre-pipeline images.
+  [[nodiscard]] inodefs::InodeId audit_manifest_inode() const override {
+    return audit_manifest_inode_;
   }
 
   // ---- stats -----------------------------------------------------------------
@@ -490,6 +501,7 @@ class Dbfs final : public DbfsApi {
 
   inodefs::InodeId master_inode_ = inodefs::kInvalidInode;
   inodefs::InodeId processing_log_inode_ = inodefs::kInvalidInode;
+  inodefs::InodeId audit_manifest_inode_ = inodefs::kInvalidInode;
   inodefs::InodeId types_map_inode_ = inodefs::kInvalidInode;
   inodefs::InodeId subjects_map_inode_ = inodefs::kInvalidInode;
   inodefs::InodeId format_hint_inode_ = inodefs::kInvalidInode;

@@ -142,6 +142,11 @@ class ShardedDbfs final : public DbfsApi {
     return shards_.front()->processing_log_inode();
   }
 
+  [[nodiscard]] inodefs::InodeId audit_manifest_inode() const override {
+    // Same placement as the processing log: shard 0's store.
+    return shards_.front()->audit_manifest_inode();
+  }
+
   // ---- stats ----------------------------------------------------------------
   Result<SensitivityReport> ReportSensitivity(
       sentinel::Domain caller) const override;

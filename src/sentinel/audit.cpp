@@ -1,6 +1,7 @@
 #include "sentinel/audit.hpp"
 
 #include "metrics/metrics.hpp"
+#include "sentinel/audit_pipeline.hpp"
 
 namespace rgpdos::sentinel {
 
@@ -11,24 +12,53 @@ void AuditSink::Record(AuditEntry entry) {
     denied_.fetch_add(1, std::memory_order_relaxed);
   }
   RGPD_METRIC_COUNT("sentinel.audit.entries");
-  std::lock_guard<metrics::OrderedMutex> lock(mu_);
-  entries_.push_back(std::move(entry));
-  TrimLocked();
-}
 
-void AuditSink::TrimLocked() {
-  if (capacity_ == 0) return;
-  while (entries_.size() > capacity_) {
-    entries_.pop_front();
+  // Durable handoff FIRST, and without mu_: Enqueue may block under
+  // backpressure, and a producer stalled on the writer must not also
+  // stall every other auditor on the sink lock.
+  DurableAuditPipeline* pipeline = pipeline_.load(std::memory_order_acquire);
+  if (pipeline != nullptr && !pipeline->Enqueue(entry)) {
+    // Backpressure deadline expired or the pipeline is stopped: this
+    // entry will never be durable. Count the loss exactly once, here.
     dropped_.fetch_add(1, std::memory_order_relaxed);
     RGPD_METRIC_COUNT("sentinel.audit.dropped");
+  }
+
+  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  if (capacity_ == 0) {
+    // Retain-nothing ring: the entry never lands. Without a pipeline
+    // that is evidence loss and is counted as such (with one, the
+    // enqueue above already settled the entry's fate either way).
+    if (pipeline == nullptr) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      RGPD_METRIC_COUNT("sentinel.audit.dropped");
+    }
+    return;
+  }
+  entries_.push_back(std::move(entry));
+  TrimLocked(/*durably_held=*/pipeline != nullptr);
+}
+
+void AuditSink::TrimLocked(bool durably_held) {
+  if (capacity_ == kUnbounded) return;
+  while (entries_.size() > capacity_) {
+    entries_.pop_front();
+    if (durably_held) {
+      evicted_.fetch_add(1, std::memory_order_relaxed);
+      RGPD_METRIC_COUNT("sentinel.audit.evicted");
+    } else {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      RGPD_METRIC_COUNT("sentinel.audit.dropped");
+    }
   }
 }
 
 void AuditSink::SetCapacity(std::size_t capacity) {
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
   capacity_ = capacity;
-  TrimLocked();
+  // Entries already handed to an attached pipeline are durably held;
+  // a boot-time re-bound with a pipeline attached is bookkeeping.
+  TrimLocked(pipeline_.load(std::memory_order_relaxed) != nullptr);
 }
 
 std::uint64_t AuditSink::entry_count() const {
@@ -38,20 +68,27 @@ std::uint64_t AuditSink::entry_count() const {
 
 std::vector<AuditEntry> AuditSink::Query(
     const std::function<bool(const AuditEntry&)>& predicate) const {
-  std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  // Snapshot under the lock; run the caller's predicate OUTSIDE it. A
+  // predicate that touches another locked subsystem (or this sink) must
+  // not deadlock or invert lock ranks.
+  std::deque<AuditEntry> snapshot;
+  {
+    std::lock_guard<metrics::OrderedMutex> lock(mu_);
+    snapshot = entries_;
+  }
   std::vector<AuditEntry> out;
-  for (const AuditEntry& e : entries_) {
-    if (predicate(e)) out.push_back(e);
+  for (AuditEntry& e : snapshot) {
+    if (predicate(e)) out.push_back(std::move(e));
   }
   return out;
 }
 
 void AuditSink::Clear() {
   std::lock_guard<metrics::OrderedMutex> lock(mu_);
+  // Only the hot window empties. allowed_/denied_/dropped_/evicted_ are
+  // lifetime evidence tallies; zeroing dropped_ here used to erase the
+  // only trace that entries had ever been lost.
   entries_.clear();
-  allowed_.store(0, std::memory_order_relaxed);
-  denied_.store(0, std::memory_order_relaxed);
-  dropped_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rgpdos::sentinel

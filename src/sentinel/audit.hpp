@@ -3,32 +3,52 @@
 // and the enforcement-invariant tests (a denied access must leave an
 // audit record, E4).
 //
+// Two tiers (DESIGN.md §14):
+//
+//   * The in-memory ring here — a bounded hot window for fast queries
+//     and tests.
+//   * An optional DurableAuditPipeline (audit_pipeline.hpp) attached via
+//     AttachPipeline(): every Record is ALSO handed to the pipeline,
+//     which hash-chains and persists it to sealed segments on the inode
+//     store. With a pipeline attached, ring evictions are bookkeeping
+//     (the entry lives on durably) and are counted in evicted_count(),
+//     NOT dropped_count(); dropped_count() then means real evidence
+//     loss (pipeline backpressure deadline or store write error).
+//
 // Thread-safety: Record/Query/Clear serialise on an internal mutex at
 // rank kSentinel — below every core lock, above the filesystem locks —
 // so any layer of the PD path may audit while holding its own locks.
-// The allowed/denied tallies are additionally atomic so the hot-path
-// accessors stay lock-free. entries() returns a reference to the
-// underlying log and is only safe at quiescence; concurrent readers
-// must go through Query(), which copies under the lock.
+// The pipeline handoff happens BEFORE mu_ is taken (a producer blocked
+// on backpressure must not hold the sink lock). The tallies are atomic
+// so the hot-path accessors stay lock-free. entries() returns a
+// reference to the underlying ring and is only safe at quiescence;
+// concurrent readers must go through Query(), which snapshots under the
+// lock and filters OUTSIDE it (a predicate is caller code and may take
+// caller locks — running it under mu_ invites rank inversions).
 //
-// Memory bound: the sink keeps at most `capacity()` entries (a ring —
-// the retention sweeper audits every expiry, so an unbounded vector
-// would grow forever under a long-running daemon). When full, the
-// OLDEST entry is dropped and dropped_count() is bumped; the
-// allowed/denied tallies keep counting every Record, so the totals stay
-// exact even after drops. capacity 0 = unbounded (historical
-// behaviour).
+// Capacity semantics: the ring keeps at most capacity() entries.
+//   * capacity() == kUnbounded  — never evict (explicit opt-in only).
+//   * capacity() == 0           — retain nothing: every entry is
+//     rejected from the ring (and counted dropped when no pipeline can
+//     persist it). 0 is no longer a silent alias for unbounded; a
+//     zero-capacity evidence buffer must refuse, not hoard.
+//   * otherwise                 — evict oldest when full.
+// The allowed/denied/dropped tallies are LIFETIME counters: they keep
+// counting across Clear(), which empties only the ring. Totals stay
+// exact even after drops and clears.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "crypto/sha256.hpp"
 #include "metrics/lock.hpp"
 #include "sentinel/domain.hpp"
 
@@ -39,20 +59,40 @@ struct AuditEntry {
   AccessRequest request;
   bool allowed = false;
   std::string rule;  ///< which rule decided ("default-deny", "allow ...")
+  // Assigned by the durable pipeline's writer thread; zero until then.
+  // Kept at the end so aggregate initialisers of the first four fields
+  // stay valid.
+  std::uint64_t seq = 0;
+  crypto::Sha256Digest chain{};  ///< SHA-256 over entry + previous chain
 };
+
+class DurableAuditPipeline;
 
 class AuditSink {
  public:
   /// Default ring bound: plenty for a test run or an audit window,
   /// bounded under a retention daemon that audits every expiry.
   static constexpr std::size_t kDefaultCapacity = 65536;
+  /// Explicit "never evict" sentinel. Capacity 0 means the opposite:
+  /// retain nothing.
+  static constexpr std::size_t kUnbounded =
+      std::numeric_limits<std::size_t>::max();
 
   explicit AuditSink(std::size_t capacity = kDefaultCapacity)
       : capacity_(capacity) {}
 
   void Record(AuditEntry entry);
 
-  /// Quiescent-time view of the raw log (tests, post-run inspection),
+  /// Attach (or detach, with nullptr) the durable backend. The pipeline
+  /// must outlive the attachment; detach before destroying it.
+  void AttachPipeline(DurableAuditPipeline* pipeline) {
+    pipeline_.store(pipeline, std::memory_order_release);
+  }
+  [[nodiscard]] DurableAuditPipeline* pipeline() const {
+    return pipeline_.load(std::memory_order_acquire);
+  }
+
+  /// Quiescent-time view of the raw ring (tests, post-run inspection),
   /// oldest entry first. Not safe while other threads Record; use
   /// Query() instead.
   [[nodiscard]] const std::deque<AuditEntry>& entries() const {
@@ -65,33 +105,46 @@ class AuditSink {
     return denied_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t entry_count() const;
-  /// Entries evicted from the ring to honour the capacity bound.
+  /// Entries LOST — evicted with no durable pipeline to catch them,
+  /// rejected by a zero-capacity ring, or refused by the pipeline
+  /// (backpressure deadline). Lifetime counter; survives Clear().
   [[nodiscard]] std::uint64_t dropped_count() const {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Entries evicted from the ring while a pipeline held them durably —
+  /// bookkeeping, not evidence loss. Lifetime counter.
+  [[nodiscard]] std::uint64_t evicted_count() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// Re-bound the ring (boot-time knob; trims oldest entries if the new
-  /// capacity is smaller). 0 = unbounded.
+  /// capacity is smaller). kUnbounded = never evict; 0 = retain nothing.
   void SetCapacity(std::size_t capacity);
 
-  /// Entries matching a predicate (e.g. all denials against DBFS),
-  /// copied out under the lock.
+  /// Entries matching a predicate (e.g. all denials against DBFS).
+  /// Snapshots the ring under the lock, then filters with the lock
+  /// RELEASED — the predicate may safely take its own locks.
   [[nodiscard]] std::vector<AuditEntry> Query(
       const std::function<bool(const AuditEntry&)>& predicate) const;
 
+  /// Empty the ring. The allowed/denied/dropped/evicted tallies are
+  /// lifetime counters and are NOT reset — evidence totals must survive
+  /// an operator clearing the hot window.
   void Clear();
 
  private:
   /// Drop oldest entries until the ring fits. Caller holds mu_.
-  void TrimLocked();
+  void TrimLocked(bool durably_held);
 
   mutable metrics::OrderedMutex mu_{metrics::LockRank::kSentinel,
                                     "sentinel.audit"};
   std::deque<AuditEntry> entries_;
   std::size_t capacity_;
+  std::atomic<DurableAuditPipeline*> pipeline_{nullptr};
   std::atomic<std::uint64_t> allowed_{0};
   std::atomic<std::uint64_t> denied_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> evicted_{0};
 };
 
 }  // namespace rgpdos::sentinel

@@ -1,0 +1,159 @@
+// DurableAuditPipeline — async durable backend of the AuditSink
+// (DESIGN.md §14).
+//
+// Producers (every enforcement hook in the stack) enqueue AuditEntry
+// values into a bounded queue; one background writer thread drains them
+// in batches, assigns sequence numbers, SHA-256 hash-chains each entry
+// (same discipline as ProcessingLog), and appends the encoded batch to a
+// SegmentedLog on the DBFS inode store — compressed, CRC'd, sealed
+// segments that LoadEntries() re-verifies across a restart.
+//
+// Overflow policy is BACKPRESSURE, not drop: when the queue is full,
+// Enqueue blocks (releasing no other lock — see the rank analysis below)
+// until the writer frees a slot or `backpressure_deadline_micros`
+// elapses. Only a deadline expiry loses the entry, and that loss is
+// loud: sentinel.audit.backpressure.timeout and the sink's dropped
+// counter both move. The metrics tell the whole story:
+//
+//   sentinel.audit.backpressure.blocked   producers that had to wait
+//   sentinel.audit.backpressure.wait_us   how long they waited
+//   sentinel.audit.backpressure.timeout   entries lost to the deadline
+//   sentinel.audit.persisted              entries durably appended
+//   sentinel.audit.write_errors           entries lost to store IO errors
+//
+// Lock ranks: the queue mutex ranks kSentinel (60), same as the
+// AuditSink ring — legal from every producer that can already Record.
+// The writer thread acquires the queue lock and the store lock (rank 40)
+// strictly in decreasing rank order and never holds the queue lock
+// across store IO, so producers are never blocked on device latency,
+// only on genuine queue saturation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "auditlog/segmented_log.hpp"
+#include "metrics/lock.hpp"
+#include "sentinel/audit.hpp"
+
+namespace rgpdos::sentinel {
+
+struct AuditPipelineOptions {
+  /// Bounded producer queue (entries). Full = backpressure.
+  std::size_t queue_capacity = 8192;
+  /// Max entries the writer drains per wakeup (one durable append).
+  std::size_t batch_entries = 256;
+  /// How long a producer blocks on a full queue before giving up and
+  /// counting the entry dropped. 0 = fail immediately when full.
+  std::uint64_t backpressure_deadline_micros = 2'000'000;
+  auditlog::SegmentedLogOptions segments;
+};
+
+class DurableAuditPipeline {
+ public:
+  /// Bring up the pipeline over `manifest_inode` (caller-allocated on
+  /// `store`): an empty inode is initialised fresh; an existing manifest
+  /// is mounted with full chain verification, so appends continue the
+  /// pre-restart chain seamlessly.
+  static Result<std::unique_ptr<DurableAuditPipeline>> Create(
+      inodefs::InodeStore* store, inodefs::InodeId manifest_inode,
+      const AuditPipelineOptions& options);
+
+  ~DurableAuditPipeline();
+  DurableAuditPipeline(const DurableAuditPipeline&) = delete;
+  DurableAuditPipeline& operator=(const DurableAuditPipeline&) = delete;
+
+  /// Hand one entry to the writer. Blocks under backpressure (see file
+  /// comment); false = the deadline expired or the pipeline is stopped,
+  /// and the entry was NOT accepted (caller accounts the drop).
+  bool Enqueue(AuditEntry entry);
+
+  /// Drain everything enqueued so far to the store. Returns the writer's
+  /// first error since the last Flush (entries behind an IO error are
+  /// counted in lost_entries(), not silently forgotten).
+  Status Flush();
+
+  /// Flush, stop the writer thread and join it. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+  /// Entries durably appended (including those recovered at mount).
+  [[nodiscard]] std::uint64_t durable_entries() const {
+    return durable_entries_.load(std::memory_order_relaxed);
+  }
+  /// Entries lost to backpressure deadlines or store IO errors.
+  [[nodiscard]] std::uint64_t lost_entries() const {
+    return lost_entries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t backpressure_timeouts() const {
+    return backpressure_timeouts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t backpressure_waits() const {
+    return backpressure_waits_.load(std::memory_order_relaxed);
+  }
+
+  /// Flush, then scan the durable log (sealed segments + active tail)
+  /// for entries matching `predicate`, in chain order.
+  Result<std::vector<AuditEntry>> QueryDurable(
+      const std::function<bool(const AuditEntry&)>& predicate);
+
+  /// Decode + chain-verify the whole durable log from `store` — the
+  /// remount/regulator entry point (also usable on a store this pipeline
+  /// instance doesn't own, e.g. after crash recovery).
+  static Result<std::vector<AuditEntry>> LoadEntries(
+      inodefs::InodeStore* store, inodefs::InodeId manifest_inode);
+
+  /// Test hook: freeze the writer so backpressure can be provoked
+  /// deterministically.
+  void SetWriterPausedForTest(bool paused);
+
+  /// Durable entry codec (exposed for tests and the exporter).
+  static Bytes EncodeEntry(const AuditEntry& entry);
+  static Result<AuditEntry> DecodeEntry(ByteReader& reader);
+  static crypto::Sha256Digest HashEntry(const AuditEntry& entry,
+                                        const crypto::Sha256Digest& prev);
+
+ private:
+  explicit DurableAuditPipeline(const AuditPipelineOptions& options);
+
+  void WriterLoop();
+
+  const AuditPipelineOptions options_;
+  std::unique_ptr<auditlog::SegmentedLog> log_;
+
+  mutable metrics::OrderedMutex mu_{metrics::LockRank::kSentinel,
+                                    "sentinel.audit.queue"};
+  /// Serialises store-facing SegmentedLog use (writer batches vs
+  /// QueryDurable scans). Never taken while holding mu_.
+  mutable metrics::OrderedMutex log_mu_{metrics::LockRank::kSentinel,
+                                        "sentinel.audit.log"};
+  std::condition_variable_any not_full_;
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any drained_;
+  std::deque<AuditEntry> queue_;
+  bool stop_ = false;
+  bool paused_ = false;
+  std::uint64_t enqueued_total_ = 0;  ///< accepted into the queue, ever
+  std::uint64_t written_total_ = 0;   ///< left the writer (ok or lost)
+  Status last_error_;                  ///< first writer error since Flush
+
+  // Writer-thread-only chain state (initialised before the thread
+  // starts, then touched exclusively by WriterLoop).
+  std::uint64_t next_seq_ = 0;
+  crypto::Sha256Digest chain_tail_{};
+
+  std::atomic<std::uint64_t> durable_entries_{0};
+  std::atomic<std::uint64_t> lost_entries_{0};
+  std::atomic<std::uint64_t> backpressure_timeouts_{0};
+  std::atomic<std::uint64_t> backpressure_waits_{0};
+
+  std::thread writer_;
+  bool joined_ = false;
+};
+
+}  // namespace rgpdos::sentinel

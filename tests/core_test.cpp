@@ -4,6 +4,7 @@
 // hash chain.
 #include <gtest/gtest.h>
 
+#include "auditlog/segmented_log.hpp"
 #include "core/rgpdos.hpp"
 #include "dsl/parser.hpp"
 
@@ -773,12 +774,25 @@ TEST_F(CoreTest, TamperedPersistedLogFailsToLoad) {
   PutUser(1, "a", 1990);
   ASSERT_TRUE(os_->RightToBeForgotten(1).ok());
   const inodefs::InodeId inode = os_->dbfs().processing_log_inode();
-  // Flip a byte in the middle of the persisted log.
-  auto raw = os_->dbfs_store().ReadAll(inode);
+  // Find where the raw entries live. Segmented (the default): the
+  // manifest in `inode` points at an active-segment inode. Legacy
+  // (RGPDOS_AUDIT_DURABLE=0): `inode` holds the flat stream itself.
+  // Either way, flip a byte in the middle of the persisted entries.
+  inodefs::InodeId active = inode;
+  auto manifest = os_->dbfs_store().ReadAll(inode);
+  ASSERT_TRUE(manifest.ok());
+  if (auditlog::SegmentedLog::LooksLikeManifest(
+          ByteSpan(manifest->data(), manifest->size()))) {
+    auto segments =
+        auditlog::SegmentedLog::Mount(&os_->dbfs_store(), inode, {});
+    ASSERT_TRUE(segments.ok()) << segments.status().ToString();
+    active = (*segments)->active_inode();
+  }
+  auto raw = os_->dbfs_store().ReadAll(active);
   ASSERT_TRUE(raw.ok());
   ASSERT_GT(raw->size(), 40u);
   (*raw)[raw->size() / 2] ^= 0x01;
-  ASSERT_TRUE(os_->dbfs_store().WriteAll(inode, *raw).ok());
+  ASSERT_TRUE(os_->dbfs_store().WriteAll(active, *raw).ok());
 
   ProcessingLog reloaded(os_->sim_clock());
   const Status loaded = reloaded.LoadFromStore(&os_->dbfs_store(), inode);

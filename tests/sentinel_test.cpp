@@ -96,7 +96,28 @@ TEST(AuditSinkTest, QueryFilters) {
   EXPECT_EQ(denials.size(), 2u);
   audit.Clear();
   EXPECT_TRUE(audit.entries().empty());
-  EXPECT_EQ(audit.denied_count(), 0u);
+  // Clear empties only the hot window; the tallies are lifetime
+  // evidence counters and keep their totals.
+  EXPECT_EQ(audit.denied_count(), 2u);
+  EXPECT_EQ(audit.allowed_count(), 1u);
+}
+
+TEST(AuditSinkTest, QueryPredicateMayTakeLocks) {
+  // Regression: Query used to run the caller's predicate while holding
+  // the sink mutex, so a predicate touching ANY lock-ranked subsystem —
+  // here, the sink itself via its counters-with-lock accessor — could
+  // deadlock or abort the lock-rank checker. The predicate now runs on
+  // a snapshot with the sink lock released.
+  AuditSink audit;
+  for (int i = 0; i < 8; ++i) {
+    audit.Record({/*at=*/i, {}, /*allowed=*/(i % 2) == 0, "r"});
+  }
+  const auto matched = audit.Query([&audit](const AuditEntry& e) {
+    // entry_count() takes the sink's own mutex: safe only because the
+    // predicate runs outside it.
+    return e.allowed && audit.entry_count() > 0;
+  });
+  EXPECT_EQ(matched.size(), 4u);
 }
 
 TEST(AuditSinkTest, RingDropsOldestAndKeepsTalliesExact) {
@@ -124,8 +145,8 @@ TEST(AuditSinkTest, RingDropsOldestAndKeepsTalliesExact) {
   EXPECT_EQ(denials[1].at, 9);
 }
 
-TEST(AuditSinkTest, SetCapacityTrimsAndZeroMeansUnbounded) {
-  AuditSink audit(/*capacity=*/0);  // unbounded
+TEST(AuditSinkTest, SetCapacityTrimsAndUnboundedSentinel) {
+  AuditSink audit(AuditSink::kUnbounded);
   for (int i = 0; i < 100; ++i) {
     audit.Record({/*at=*/i, {}, /*allowed=*/true, "r"});
   }
@@ -137,7 +158,22 @@ TEST(AuditSinkTest, SetCapacityTrimsAndZeroMeansUnbounded) {
   EXPECT_EQ(audit.dropped_count(), 90u);
   audit.Clear();
   EXPECT_EQ(audit.entry_count(), 0u);
-  EXPECT_EQ(audit.dropped_count(), 0u);
+  // dropped_count is a lifetime evidence counter: Clear must not erase
+  // the only trace that entries were ever lost.
+  EXPECT_EQ(audit.dropped_count(), 90u);
+}
+
+TEST(AuditSinkTest, ZeroCapacityRetainsNothingAndCountsDrops) {
+  // 0 used to silently mean "unbounded" — the opposite of what a
+  // zero-sized evidence buffer should do. It now retains nothing, and
+  // without a durable pipeline every entry counts as dropped.
+  AuditSink audit(/*capacity=*/0);
+  for (int i = 0; i < 5; ++i) {
+    audit.Record({/*at=*/i, {}, /*allowed=*/true, "r"});
+  }
+  EXPECT_EQ(audit.entry_count(), 0u);
+  EXPECT_EQ(audit.dropped_count(), 5u);
+  EXPECT_EQ(audit.allowed_count(), 5u);  // tallies still exact
 }
 
 // ---- Syscall filter -----------------------------------------------------------------
