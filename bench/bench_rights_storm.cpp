@@ -1,0 +1,456 @@
+// The full GDPR rights matrix under storm load (ROADMAP item 4): four
+// storms run against hot ps_invoke traffic and each right's latency is
+// measured open-loop (Poisson arrivals at a target QPS; the recorded
+// latency is completion minus SCHEDULED arrival, so coordination delay
+// counts, exactly like the scale-out driver).
+//
+//   1. Consent-withdrawal flash crowd (Art. 7(3)): a mass of subjects
+//      revoke `analytics` while invoke traffic is in flight. After each
+//      revocation acks, a targeted invoke of that subject's record must
+//      filter it — a post-ack serve is a stale-consent serve and the
+//      bench EXITS NON-ZERO. (`core.consent.stale_revoked` counts the
+//      benign pre-ack races the re-validation machinery caught.)
+//   2. Subject-access / portability flood (Art. 15 / 20): bulk JSON
+//      exports racing the same hot traffic.
+//   3. Objection storm (Art. 21 / 22): objections — which, unlike
+//      withdrawal, survive a later re-grant — plus automated-decision
+//      opt-outs against an `automated: true` purpose; both verified by
+//      targeted invokes after each ack, and objection withdrawal must
+//      restore processing.
+//   4. Art. 33 breach drill: a denial burst bigger than the bounded
+//      audit ring must STILL be detected (the durable pipeline is the
+//      evidence, not the ring — the PR-9 regression), and the drill
+//      enumerates every subject whose PD the compromised purpose
+//      touched from the chain-verified processing log.
+//
+// Hard gates (exit 1): any stale-consent serve, any dropped audit
+// entry, a breach burst undetected after ring eviction, or a drill
+// subject set missing a subject the settle invoke provably processed.
+//
+// Knobs: RGPDOS_STORM_SUBJECTS (population), RGPDOS_STORM_QPS (storm
+// arrival rate), RGPDOS_STORM_WORKERS (hot invoke threads),
+// RGPDOS_STORM_ACCESS_OPS (flood size).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/breach_drill.hpp"
+#include "sentinel/breach.hpp"
+
+namespace rgpdos::bench {
+namespace {
+
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+/// Poisson arrival pacer over the real clock: Schedule() draws the next
+/// exponential gap (same inverse-CDF the OpenLoopRecorder uses), sleeps
+/// until the scheduled arrival, and returns it; the caller records
+/// completion - arrival as the op's open-loop sojourn.
+class StormPacer {
+ public:
+  explicit StormPacer(double qps, std::uint64_t seed = 11)
+      : gap_mean_ns_(1e9 / qps), rng_(seed),
+        start_(std::chrono::steady_clock::now()) {}
+
+  std::chrono::steady_clock::time_point Schedule() {
+    next_arrival_ns_ += -gap_mean_ns_ * std::log(1.0 - rng_.NextDouble());
+    const auto arrival =
+        start_ + std::chrono::nanoseconds(std::int64_t(next_arrival_ns_));
+    std::this_thread::sleep_until(arrival);
+    return arrival;
+  }
+
+ private:
+  double gap_mean_ns_;
+  Rng rng_;
+  double next_arrival_ns_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+double SojournNs(std::chrono::steady_clock::time_point arrival) {
+  return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - arrival)
+                    .count());
+}
+
+struct StormWorld {
+  RgpdWorld world;
+  core::ProcessingId analytics = 0;
+  core::ProcessingId automated = 0;  ///< `full` purpose, automated: true
+};
+
+core::ProcessingId RegisterAutomatedFull(core::RgpdOs& os) {
+  core::ImplManifest manifest;
+  manifest.claimed_purpose = "full";
+  manifest.fields_read = {"year_of_birthdate"};
+  auto id = os.RegisterProcessingSource(
+      "purpose full { input: user; automated: true; }",
+      [](core::ProcessingInput& input) -> Result<core::ProcessingOutput> {
+        core::ProcessingOutput output;
+        if (!input.Has("year_of_birthdate")) return output;
+        RGPD_ASSIGN_OR_RETURN(db::Value year,
+                              input.Field("year_of_birthdate"));
+        output.npd.push_back(static_cast<std::uint8_t>(*year.AsInt()));
+        return output;
+      },
+      manifest);
+  if (!id.ok()) {
+    std::fprintf(stderr, "register automated purpose failed: %s\n",
+                 id.status().ToString().c_str());
+    std::abort();
+  }
+  return *id;
+}
+
+/// Targeted invoke of one record; returns records_processed (0 = the
+/// membrane filtered it, 1 = the implementation saw the PD).
+std::uint64_t ProbeRecord(core::RgpdOs& os, core::ProcessingId processing,
+                          dbfs::RecordId record) {
+  core::InvokeOptions options;
+  options.target = core::PdRef{record, "user"};
+  auto r = os.ps().Invoke(sentinel::Domain::kApplication, processing,
+                          options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "targeted invoke failed: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r->records_processed;
+}
+
+}  // namespace
+}  // namespace rgpdos::bench
+
+int main() {
+  using namespace rgpdos;
+  using namespace rgpdos::bench;
+
+  const std::size_t subjects =
+      std::max<std::uint64_t>(EnvU64("RGPDOS_STORM_SUBJECTS", 300), 40);
+  const double qps = double(EnvU64("RGPDOS_STORM_QPS", 2000));
+  const unsigned hot_workers =
+      unsigned(EnvU64("RGPDOS_STORM_WORKERS", 2));
+  const std::size_t access_ops = EnvU64("RGPDOS_STORM_ACCESS_OPS", 200);
+  constexpr std::size_t kAuditRing = 256;  ///< deliberately small: the
+                                           ///< drill must survive eviction
+
+  StormWorld sw;
+  sw.world = MakeRgpdWorld(subjects, /*per_subject=*/1,
+                           /*consent_fraction=*/1.0, /*worker_threads=*/2,
+                           [](core::BootConfig& config) {
+                             config.audit_entries = kAuditRing;
+                           });
+  core::RgpdOs& os = *sw.world.os;
+  sw.analytics = RegisterAnalytics(os, /*derive_output=*/false);
+  sw.automated = RegisterAutomatedFull(os);
+  const auto record_of = [&](dbfs::SubjectId subject) {
+    return sw.world.records[subject - 1];  // subjects are 1-based, 1 rec each
+  };
+
+  int failures = 0;
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "STORM GATE FAILED: %s\n", what);
+    ++failures;
+  };
+
+  // ---- hot GDPRBench-style invoke traffic, running through every storm ----
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> hot_invokes{0};
+  std::vector<std::thread> hot;
+  hot.reserve(hot_workers);
+  for (unsigned w = 0; w < hot_workers; ++w) {
+    hot.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = os.ps().Invoke(sentinel::Domain::kApplication,
+                                sw.analytics, {});
+        if (!r.ok()) {
+          std::fprintf(stderr, "hot invoke failed: %s\n",
+                       r.status().ToString().c_str());
+          std::exit(1);
+        }
+        hot_invokes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  LatencyReservoir withdraw_lat;
+  LatencyReservoir access_lat;
+  LatencyReservoir portability_lat;
+  LatencyReservoir objection_lat;
+  LatencyReservoir optout_lat;
+  LatencyReservoir drill_lat;
+
+  // ---- storm 1: consent-withdrawal flash crowd ----------------------------
+  // Subjects [1, subjects/3] revoke `analytics`; each post-ack targeted
+  // invoke must filter. A serve here is a stale-consent serve: the
+  // revocation acked BEFORE the probe began, so no in-flight race can
+  // excuse it.
+  const dbfs::SubjectId withdraw_end = dbfs::SubjectId(subjects / 3);
+  {
+    StormPacer pacer(qps, /*seed=*/21);
+    for (dbfs::SubjectId s = 1; s <= withdraw_end; ++s) {
+      const auto arrival = pacer.Schedule();
+      auto status = os.builtins().RevokeConsent(
+          core::PdRef{record_of(s), "user"}, "analytics");
+      if (!status.ok()) {
+        std::fprintf(stderr, "revoke failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      withdraw_lat.Record(SojournNs(arrival));
+      if (ProbeRecord(os, sw.analytics, record_of(s)) != 0) {
+        fail("stale-consent serve after acked withdrawal");
+      }
+    }
+  }
+
+  // ---- storm 2: subject-access / portability flood ------------------------
+  {
+    StormPacer pacer(qps, /*seed=*/22);
+    Rng rng(97);
+    for (std::size_t i = 0; i < access_ops; ++i) {
+      const auto subject =
+          dbfs::SubjectId(1 + rng.NextU64() % std::uint64_t(subjects));
+      const auto arrival = pacer.Schedule();
+      if (i % 2 == 0) {
+        auto doc = os.RightOfAccess(subject);
+        if (!doc.ok()) {
+          std::fprintf(stderr, "access failed: %s\n",
+                       doc.status().ToString().c_str());
+          return 1;
+        }
+        access_lat.Record(SojournNs(arrival));
+      } else {
+        auto doc = os.RightToPortability(subject);
+        if (!doc.ok()) {
+          std::fprintf(stderr, "portability failed: %s\n",
+                       doc.status().ToString().c_str());
+          return 1;
+        }
+        portability_lat.Record(SojournNs(arrival));
+      }
+    }
+  }
+
+  // ---- storm 3: objection storm (Art. 21) + automated opt-out (Art. 22) ---
+  // Subjects (subjects/3, 2*subjects/3] object to `analytics` — their
+  // consent stays GRANTED, the objection alone must block. One in each
+  // eight withdraws the objection again and must process once more.
+  const dbfs::SubjectId object_begin = withdraw_end + 1;
+  const dbfs::SubjectId object_end = dbfs::SubjectId(2 * subjects / 3);
+  std::set<dbfs::SubjectId> objected;
+  {
+    StormPacer pacer(qps, /*seed=*/23);
+    for (dbfs::SubjectId s = object_begin; s <= object_end; ++s) {
+      const auto arrival = pacer.Schedule();
+      auto groups = os.RightToObject(s, "analytics");
+      if (!groups.ok()) {
+        std::fprintf(stderr, "objection failed: %s\n",
+                     groups.status().ToString().c_str());
+        return 1;
+      }
+      objection_lat.Record(SojournNs(arrival));
+      objected.insert(s);
+      if (ProbeRecord(os, sw.analytics, record_of(s)) != 0) {
+        fail("stale-objection serve after acked objection");
+      }
+      if (s % 8 == 0) {
+        if (auto w = os.WithdrawObjection(s, "analytics"); !w.ok()) {
+          std::fprintf(stderr, "withdraw objection failed\n");
+          return 1;
+        }
+        objected.erase(s);
+        if (ProbeRecord(os, sw.analytics, record_of(s)) != 1) {
+          fail("objection withdrawal did not restore processing");
+        }
+      }
+    }
+    // Art. 22: a handful of subjects outside the two storm bands opt out
+    // of automated decisions; the `automated: true` purpose must filter
+    // them even though their `full: all` consent stands.
+    StormPacer optout_pacer(qps, /*seed=*/24);
+    const dbfs::SubjectId auto_begin = object_end + 1;
+    const dbfs::SubjectId auto_end =
+        std::min<dbfs::SubjectId>(auto_begin + 7, dbfs::SubjectId(subjects));
+    for (dbfs::SubjectId s = auto_begin; s <= auto_end; ++s) {
+      const auto arrival = optout_pacer.Schedule();
+      if (auto r = os.OptOutAutomatedDecisions(s, true); !r.ok()) {
+        std::fprintf(stderr, "automated opt-out failed\n");
+        return 1;
+      }
+      optout_lat.Record(SojournNs(arrival));
+      if (ProbeRecord(os, sw.automated, record_of(s)) != 0) {
+        fail("automated decision served after acked Art. 22 opt-out");
+      }
+      // The NON-automated purpose is untouched by the opt-out.
+      if (ProbeRecord(os, sw.analytics, record_of(s)) != 1) {
+        fail("Art. 22 opt-out wrongly blocked a non-automated purpose");
+      }
+      if (s % 2 == 0) {
+        if (auto r = os.OptOutAutomatedDecisions(s, false); !r.ok()) return 1;
+        if (ProbeRecord(os, sw.automated, record_of(s)) != 1) {
+          fail("automated opt-in did not restore processing");
+        }
+      }
+    }
+  }
+
+  // ---- storm 4: breach drill (Art. 33) ------------------------------------
+  // Burst 1: kOutside probes DBFS far past the ring bound; burst 2 (a
+  // different actor) floods the ring so burst 1 is fully evicted. The
+  // detector must STILL report burst 1 — the durable pipeline holds it.
+  const std::size_t burst = 2 * kAuditRing;
+  for (std::size_t i = 0; i < burst; ++i) {
+    (void)os.sentinel().Enforce({sentinel::Domain::kOutside,
+                                 sentinel::Domain::kDbfs,
+                                 sentinel::Operation::kRead, "storm probe"});
+  }
+  for (std::size_t i = 0; i < burst; ++i) {
+    (void)os.sentinel().Enforce({sentinel::Domain::kApplication,
+                                 sentinel::Domain::kDbfs,
+                                 sentinel::Operation::kRead, "storm probe"});
+  }
+
+  // Quiesce the hot traffic before the drill and the settle probe.
+  stop.store(true);
+  for (std::thread& t : hot) t.join();
+
+  sentinel::BreachPolicy policy;
+  policy.threshold = 5;
+  policy.window = 3600 * kMicrosPerSecond;
+  const auto findings = sentinel::DetectBreaches(os.audit(), policy);
+  bool outside_burst_found = false;
+  for (const auto& finding : findings) {
+    if (finding.actor == sentinel::Domain::kOutside &&
+        finding.target == sentinel::Domain::kDbfs &&
+        finding.denied_attempts >= burst) {
+      outside_burst_found = true;
+    }
+  }
+  if (!outside_burst_found) {
+    fail("breach burst undetected after ring eviction");
+  }
+  // Ring-only view, for the report: without the durable path the burst
+  // is (partially or fully) gone.
+  const auto ring_denials = os.audit().Query(
+      [](const sentinel::AuditEntry& e) { return !e.allowed; });
+  if (os.audit().dropped_count() != 0) {
+    fail("audit entries dropped during the storms");
+  }
+
+  // Settle probe: with the storms quiesced, one full-scan invoke must
+  // process EXACTLY the subjects that still consent and never objected.
+  auto settle = os.ps().Invoke(sentinel::Domain::kApplication,
+                               sw.analytics, {});
+  if (!settle.ok()) return 1;
+  std::set<dbfs::SubjectId> expected;
+  for (dbfs::SubjectId s = 1; s <= dbfs::SubjectId(subjects); ++s) {
+    if (s <= withdraw_end) continue;            // withdrew consent
+    if (objected.count(s) != 0) continue;       // objection stands
+    expected.insert(s);
+  }
+  if (settle->records_processed != expected.size()) {
+    std::fprintf(stderr, "settle processed %llu, expected %zu\n",
+                 (unsigned long long)settle->records_processed,
+                 expected.size());
+    fail("settle invoke does not match the rights matrix");
+  }
+
+  // The drill: every subject whose PD `analytics` touched, from the
+  // chain-verified log. The settle invoke just processed `expected`, so
+  // the drill set must contain at least those.
+  Stopwatch drill_watch;
+  auto drill = core::DrillCompromisedPurpose(os.processing_log(),
+                                             "analytics");
+  drill_lat.Record(double(drill_watch.ElapsedNanos()));
+  if (!drill.ok()) {
+    std::fprintf(stderr, "breach drill failed: %s\n",
+                 drill.status().ToString().c_str());
+    return 1;
+  }
+  if (!drill->chain_verified) fail("drill ran on an unverified chain");
+  for (const dbfs::SubjectId s : expected) {
+    if (drill->subjects.count(s) == 0) {
+      fail("breach drill missed a subject the settle invoke processed");
+      break;
+    }
+  }
+
+  const metrics::MetricsSnapshot snapshot =
+      metrics::MetricsRegistry::Instance().Snapshot();
+  const std::uint64_t* stale = snapshot.FindCounter(
+      "core.consent.stale_revoked");
+  const std::uint64_t* objected_hits =
+      snapshot.FindCounter("core.consent.objected");
+
+  std::printf("bench_rights_storm: %zu subjects, %llu hot invokes, "
+              "%zu withdrawals, %zu objections, %zu access/portability "
+              "ops\n",
+              subjects, (unsigned long long)hot_invokes.load(),
+              withdraw_lat.count(), objection_lat.count(),
+              access_lat.count() + portability_lat.count());
+  std::printf("  withdraw    p50 %8.1fus p99 %8.1fus\n",
+              withdraw_lat.P50Us(), withdraw_lat.P99Us());
+  std::printf("  access      p50 %8.1fus p99 %8.1fus\n",
+              access_lat.P50Us(), access_lat.P99Us());
+  std::printf("  portability p50 %8.1fus p99 %8.1fus\n",
+              portability_lat.P50Us(), portability_lat.P99Us());
+  std::printf("  objection   p50 %8.1fus p99 %8.1fus\n",
+              objection_lat.P50Us(), objection_lat.P99Us());
+  std::printf("  art22 opt   p50 %8.1fus p99 %8.1fus\n",
+              optout_lat.P50Us(), optout_lat.P99Us());
+  std::printf("  drill       %8.1fus (%llu entries, %zu subjects)\n",
+              drill_lat.P50Us(),
+              (unsigned long long)drill->entries_scanned,
+              drill->subjects.size());
+  std::printf("  breach: %zu findings (ring-only denials retained: %zu "
+              "of %zu), stale-consent races caught: %llu, objected "
+              "filters: %llu\n",
+              findings.size(), ring_denials.size(), 2 * burst,
+              stale != nullptr ? (unsigned long long)*stale : 0ULL,
+              objected_hits != nullptr
+                  ? (unsigned long long)*objected_hits : 0ULL);
+
+  DumpBenchArtifact(
+      "rights_storm",
+      {
+          {"subjects", double(subjects)},
+          {"hot_invokes", double(hot_invokes.load())},
+          {"withdraw_p50_us", withdraw_lat.P50Us()},
+          {"withdraw_p99_us", withdraw_lat.P99Us()},
+          {"access_p50_us", access_lat.P50Us()},
+          {"access_p99_us", access_lat.P99Us()},
+          {"portability_p50_us", portability_lat.P50Us()},
+          {"portability_p99_us", portability_lat.P99Us()},
+          {"objection_p50_us", objection_lat.P50Us()},
+          {"objection_p99_us", objection_lat.P99Us()},
+          {"art22_optout_p50_us", optout_lat.P50Us()},
+          {"art22_optout_p99_us", optout_lat.P99Us()},
+          {"breach_drill_us", drill_lat.P50Us()},
+          {"breach_findings", double(findings.size())},
+          {"drill_subjects", double(drill->subjects.size())},
+          {"drill_entries_scanned", double(drill->entries_scanned)},
+          {"audit_dropped", double(os.audit().dropped_count())},
+          {"audit_evicted", double(os.audit().evicted_count())},
+          {"stale_revoked_caught",
+           stale != nullptr ? double(*stale) : 0.0},
+          {"storm_gate_failures", double(failures)},
+      });
+
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_rights_storm: %d gate failure(s)\n",
+                 failures);
+    return 1;
+  }
+  std::printf("bench_rights_storm: all rights-matrix gates passed\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// The one JSON string escaper. Right-of-access exports, regulator
+// exports, and metrics snapshots all emit JSON; RFC 8259 requires every
+// control character U+0000–U+001F to be escaped, and a single shared
+// implementation keeps the three exporters byte-identical (the metrics
+// round-trip parser and the regulator-export determinism tests both
+// depend on the exact output form).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rgpdos {
+
+/// Escape `text` for embedding inside a JSON string literal: `"` and
+/// `\` are backslash-escaped, \n \r \t use their two-character forms,
+/// and every remaining control character below U+0020 becomes \u00XX
+/// (lowercase hex). Bytes >= 0x20 pass through untouched.
+[[nodiscard]] std::string JsonEscape(std::string_view text);
+
+}  // namespace rgpdos

@@ -24,6 +24,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kPurposeMismatch: return "PURPOSE_MISMATCH";
     case StatusCode::kErased: return "ERASED";
     case StatusCode::kRestricted: return "RESTRICTED";
+    case StatusCode::kObjected: return "OBJECTED";
   }
   return "UNKNOWN";
 }
@@ -61,6 +62,7 @@ RGPD_STATUS_FACTORY(SyscallDenied, kSyscallDenied)
 RGPD_STATUS_FACTORY(PurposeMismatch, kPurposeMismatch)
 RGPD_STATUS_FACTORY(Erased, kErased)
 RGPD_STATUS_FACTORY(Restricted, kRestricted)
+RGPD_STATUS_FACTORY(Objected, kObjected)
 
 #undef RGPD_STATUS_FACTORY
 

@@ -40,6 +40,8 @@ enum class StatusCode : std::uint8_t {
   kPurposeMismatch, ///< ps_register: purpose does not match implementation
   kErased,          ///< the PD was crypto-erased (right to be forgotten)
   kRestricted,      ///< processing restricted (GDPR Art. 18)
+  kObjected,        ///< subject objected (Art. 21) or opted out of
+                    ///< automated decisions (Art. 22)
 };
 
 /// Human-readable name of a status code ("CONSENT_DENIED", ...).
@@ -91,6 +93,7 @@ Status SyscallDenied(std::string msg);
 Status PurposeMismatch(std::string msg);
 Status Erased(std::string msg);
 Status Restricted(std::string msg);
+Status Objected(std::string msg);
 
 /// Thrown only by Result::value() on misuse (programming error, not a
 /// runtime condition): callers are expected to test ok() first.

@@ -1,0 +1,97 @@
+#include "core/breach_drill.hpp"
+
+#include "common/json.hpp"
+
+namespace rgpdos::core {
+
+namespace {
+
+/// Did PD actually flow through this entry? Filtered / aborted /
+/// restricted / objected outcomes are the enforcement WORKING — the
+/// purpose never saw the data; erasures destroy rather than expose.
+bool PdFlowed(LogOutcome outcome) {
+  switch (outcome) {
+    case LogOutcome::kProcessed:
+    case LogOutcome::kCollected:
+    case LogOutcome::kUpdated:
+    case LogOutcome::kCopied:
+    case LogOutcome::kExported:
+      return true;
+    case LogOutcome::kFiltered:
+    case LogOutcome::kErased:
+    case LogOutcome::kAborted:
+    case LogOutcome::kRestricted:
+    case LogOutcome::kObjected:
+      return false;
+  }
+  return false;
+}
+
+std::string DraftNotification(const BreachDrillReport& report) {
+  std::string out = "Art.33 draft: purpose '" + report.purpose +
+                    "' is considered compromised. The processing log "
+                    "attributes PD of ";
+  out += std::to_string(report.subjects.size());
+  out += " data subject(s) to it across ";
+  out += std::to_string(report.pd_touches);
+  out += " processing event(s)";
+  if (report.pd_touches > 0) {
+    out += " between t=" + std::to_string(report.first_touch) +
+           "us and t=" + std::to_string(report.last_touch) + "us";
+  }
+  out += ". Evidence: ";
+  out += report.chain_verified ? "hash chain verified"
+                               : "HASH CHAIN NOT VERIFIED";
+  out += ". Notify the supervisory authority within 72h and each listed "
+         "subject without undue delay (Art. 34).";
+  return out;
+}
+
+}  // namespace
+
+std::string BreachDrillReport::ToJson() const {
+  std::string out = "{\"purpose\":\"" + JsonEscape(purpose) + "\"";
+  out += ",\"subjects\":[";
+  bool first = true;
+  for (const dbfs::SubjectId subject : subjects) {
+    if (!first) out += ',';
+    first = false;
+    out += std::to_string(subject);
+  }
+  out += "],\"entries_scanned\":" + std::to_string(entries_scanned);
+  out += ",\"pd_touches\":" + std::to_string(pd_touches);
+  out += ",\"first_touch\":" + std::to_string(first_touch);
+  out += ",\"last_touch\":" + std::to_string(last_touch);
+  out += ",\"chain_verified\":";
+  out += chain_verified ? "true" : "false";
+  out += ",\"notification\":\"" + JsonEscape(notification) + "\"}";
+  return out;
+}
+
+Result<BreachDrillReport> DrillCompromisedPurpose(
+    const ProcessingLog& log, const std::string& purpose) {
+  BreachDrillReport report;
+  report.purpose = purpose;
+  // Tamper-evidence first: a notification drafted from a log whose
+  // chain does not verify would launder the tampering into an official
+  // document. Hot window and durable segments are separate chains.
+  if (!log.VerifyChain()) {
+    return Corruption("breach drill: processing log hash chain broken");
+  }
+  RGPD_RETURN_IF_ERROR(log.VerifyDurableChain());
+  report.chain_verified = true;
+  RGPD_RETURN_IF_ERROR(log.ForEach([&](const LogEntry& entry) {
+    ++report.entries_scanned;
+    if (entry.purpose != purpose || !PdFlowed(entry.outcome)) return;
+    ++report.pd_touches;
+    report.subjects.insert(entry.subject_id);
+    if (report.pd_touches == 1 || entry.at < report.first_touch) {
+      report.first_touch = entry.at;
+    }
+    if (entry.at > report.last_touch) report.last_touch = entry.at;
+  }));
+  report.notification = DraftNotification(report);
+  return report;
+}
+
+}  // namespace rgpdos::core

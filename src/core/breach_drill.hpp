@@ -1,0 +1,48 @@
+// Art. 33/34 breach drill: given a compromised purpose (a leaked API
+// key, a rogue processing registered under it, a breached downstream),
+// enumerate every data subject whose PD that purpose actually touched —
+// straight from the chain-verified processing log, which is the Art. 30
+// record of processing activities. The 72-hour notification clock needs
+// exactly this list: not "who could have been affected" but "whose PD
+// the purpose processed, exported, or collected, and when".
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "core/processing_log.hpp"
+
+namespace rgpdos::core {
+
+struct BreachDrillReport {
+  std::string purpose;                 ///< the compromised purpose
+  /// Every subject whose PD the purpose touched (processed / exported /
+  /// collected / updated / copied — outcomes where PD actually flowed;
+  /// filtered and aborted attempts never exposed data).
+  std::set<dbfs::SubjectId> subjects;
+  std::uint64_t entries_scanned = 0;   ///< log entries examined
+  std::uint64_t pd_touches = 0;        ///< entries where PD flowed
+  TimeMicros first_touch = 0;
+  TimeMicros last_touch = 0;
+  /// The evidence is only as good as its chain: true iff the hot-window
+  /// hash chain (and the durable chain, when a store is attached)
+  /// verified before the scan.
+  bool chain_verified = false;
+  /// Art. 33 notification draft for the supervisory authority.
+  std::string notification;
+
+  /// Machine-readable form for the regulator workload.
+  [[nodiscard]] std::string ToJson() const;
+};
+
+/// Run the drill: verify the log's hash chain, then scan every entry
+/// (hot window + durable segments past it) attributing PD-flow outcomes
+/// of `purpose` to their subjects. Fails if the chain does not verify —
+/// a breach report built on tampered evidence is worse than none.
+Result<BreachDrillReport> DrillCompromisedPurpose(
+    const ProcessingLog& log, const std::string& purpose);
+
+}  // namespace rgpdos::core

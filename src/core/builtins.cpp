@@ -116,6 +116,39 @@ Status Builtins::LiftRestriction(const PdRef& ref) {
   return Status::Ok();
 }
 
+Status Builtins::Object(const PdRef& ref, const std::string& purpose) {
+  RGPD_RETURN_IF_ERROR(PropagateConsent(
+      ref, [&](membrane::Membrane& m) { m.Object(purpose); }));
+  RGPD_ASSIGN_OR_RETURN(membrane::Membrane m,
+                        dbfs_->GetMembrane(kDed, ref.record_id));
+  log_->Append("builtin.object", purpose, m.subject_id, ref.record_id,
+               LogOutcome::kObjected, "objection");
+  return Status::Ok();
+}
+
+Status Builtins::WithdrawObjection(const PdRef& ref,
+                                   const std::string& purpose) {
+  RGPD_RETURN_IF_ERROR(PropagateConsent(
+      ref, [&](membrane::Membrane& m) { m.WithdrawObjection(purpose); }));
+  RGPD_ASSIGN_OR_RETURN(membrane::Membrane m,
+                        dbfs_->GetMembrane(kDed, ref.record_id));
+  log_->Append("builtin.object", purpose, m.subject_id, ref.record_id,
+               LogOutcome::kObjected, "objection withdrawn");
+  return Status::Ok();
+}
+
+Status Builtins::SetAutomatedDecisionOptOut(const PdRef& ref, bool opt_out) {
+  RGPD_RETURN_IF_ERROR(PropagateConsent(
+      ref,
+      [&](membrane::Membrane& m) { m.SetNoAutomatedDecision(opt_out); }));
+  RGPD_ASSIGN_OR_RETURN(membrane::Membrane m,
+                        dbfs_->GetMembrane(kDed, ref.record_id));
+  log_->Append("builtin.object", "automated_decision", m.subject_id,
+               ref.record_id, LogOutcome::kObjected,
+               opt_out ? "opt-out" : "opt-in");
+  return Status::Ok();
+}
+
 Result<std::size_t> Builtins::ScavengeExpired(
     const crypto::RsaPublicKey& authority_key) {
   const TimeMicros now = clock_->Now();

@@ -47,6 +47,16 @@ class Builtins {
   Status Restrict(const PdRef& ref, const std::string& reason);
   Status LiftRestriction(const PdRef& ref);
 
+  /// Art. 21 objection: block one purpose on this PD (and every copy in
+  /// its group) until the objection is withdrawn. Unlike RevokeConsent,
+  /// a later GrantConsent does not override it.
+  Status Object(const PdRef& ref, const std::string& purpose);
+  Status WithdrawObjection(const PdRef& ref, const std::string& purpose);
+
+  /// Art. 22: set / clear the subject's opt-out from solely-automated
+  /// decisions on this PD's copy group.
+  Status SetAutomatedDecisionOptOut(const PdRef& ref, bool opt_out);
+
   /// TTL scavenger: enforce the membranes' `age:` clauses proactively.
   /// Scans every live record; records past their time-to-live are
   /// crypto-erased under the authority key (storage-limitation principle

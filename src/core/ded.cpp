@@ -92,10 +92,13 @@ DataExecutionDomain::Decision DataExecutionDomain::Decide(
     RGPD_METRIC_COUNT("cache.decision.miss");
   }
   Decision decision;
-  const auto consent = m.Evaluate(purpose.name, now);
+  const auto consent = m.Evaluate(purpose.name, now, purpose.automated);
   if (!consent.ok()) {
     decision.approved = false;
     decision.filter_detail = consent.status().ToString();
+    if (consent.status().code() == StatusCode::kObjected) {
+      RGPD_METRIC_COUNT("core.consent.objected");
+    }
   } else {
     decision.approved = true;
     decision.consent = *consent;

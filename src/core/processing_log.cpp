@@ -34,6 +34,7 @@ std::string_view LogOutcomeName(LogOutcome outcome) {
     case LogOutcome::kExported: return "exported";
     case LogOutcome::kAborted: return "aborted";
     case LogOutcome::kRestricted: return "restricted";
+    case LogOutcome::kObjected: return "objected";
   }
   return "?";
 }
@@ -76,7 +77,7 @@ Result<LogEntry> ProcessingLog::DecodeEntry(ByteReader& reader) {
   RGPD_ASSIGN_OR_RETURN(entry.subject_id, reader.GetU64());
   RGPD_ASSIGN_OR_RETURN(entry.record_id, reader.GetU64());
   RGPD_ASSIGN_OR_RETURN(std::uint8_t outcome, reader.GetU8());
-  if (outcome > static_cast<std::uint8_t>(LogOutcome::kRestricted)) {
+  if (outcome > static_cast<std::uint8_t>(LogOutcome::kObjected)) {
     return Corruption("processing log: unknown outcome");
   }
   entry.outcome = static_cast<LogOutcome>(outcome);

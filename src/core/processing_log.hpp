@@ -57,6 +57,8 @@ enum class LogOutcome : std::uint8_t {
   kExported,        ///< right of access / portability
   kAborted,         ///< processing killed (syscall filter)
   kRestricted,      ///< Art. 18 restriction set or lifted
+  kObjected,        ///< Art. 21 objection / Art. 22 automated-decision
+                    ///< opt-out recorded or withdrawn
 };
 
 std::string_view LogOutcomeName(LogOutcome outcome);

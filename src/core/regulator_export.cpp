@@ -3,39 +3,17 @@
 #include <functional>
 
 #include "common/hex.hpp"
+#include "common/json.hpp"
 #include "sentinel/domain.hpp"
 
 namespace rgpdos::core {
 
 namespace {
 
-/// Minimal JSON string escaper: quotes, backslashes and control bytes.
 /// Detail strings are operator-written ASCII; anything else survives as
-/// \u00XX so the output stays deterministic and parseable.
-std::string JsonEscape(std::string_view s) {
-  static constexpr char kHex[] = "0123456789abcdef";
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    const auto u = static_cast<unsigned char>(c);
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (u < 0x20) {
-          out += "\\u00";
-          out += kHex[u >> 4];
-          out += kHex[u & 0xF];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+/// \u00XX (via the shared escaper) so the output stays deterministic
+/// and parseable.
+using rgpdos::JsonEscape;
 
 std::string Footer(std::uint64_t entries, const crypto::Sha256Digest& tail) {
   std::string out = "{\"entries\":";

@@ -274,6 +274,21 @@ class RgpdOs {
   Result<std::string> RightToPortability(dbfs::SubjectId subject) {
     return rights_->Portability(subject);
   }
+  /// Art. 21: object to / withdraw the objection against one purpose,
+  /// across every record (and copy) of the subject.
+  Result<std::size_t> RightToObject(dbfs::SubjectId subject,
+                                    const std::string& purpose) {
+    return rights_->Object(subject, purpose);
+  }
+  Result<std::size_t> WithdrawObjection(dbfs::SubjectId subject,
+                                        const std::string& purpose) {
+    return rights_->WithdrawObjection(subject, purpose);
+  }
+  /// Art. 22: opt the subject out of solely-automated decisions.
+  Result<std::size_t> OptOutAutomatedDecisions(dbfs::SubjectId subject,
+                                               bool opt_out = true) {
+    return rights_->OptOutAutomatedDecisions(subject, opt_out);
+  }
   /// Consent withdrawal with an Art. 7 receipt: revokes group-wide and
   /// hands back a signed receipt the subject can retain.
   Result<ConsentReceipt> RevokeConsentWithReceipt(const PdRef& ref,

@@ -1,6 +1,7 @@
 #include "core/rights.hpp"
 
 #include "common/hex.hpp"
+#include "common/json.hpp"
 
 namespace rgpdos::core {
 
@@ -71,32 +72,24 @@ void AppendRecordJson(std::string& out, const dbfs::PdRecord& record,
     }
     out += '"';
   }
-  out += "}}}";
+  out += "},\"objections\":[";
+  first = true;
+  for (const std::string& purpose : record.membrane.objections) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(purpose);
+    out += '"';
+  }
+  out += "],\"no_automated_decision\":";
+  out += record.membrane.no_automated_decision ? "true" : "false";
+  out += "}}";
 }
 
 }  // namespace
 
 std::string JsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return rgpdos::JsonEscape(text);
 }
 
 Result<std::string> Rights::Access(dbfs::SubjectId subject) const {
@@ -166,13 +159,110 @@ Status Rights::Rectify(const PdRef& ref, const db::Row& row) {
   return builtins_->Update(ref, row);
 }
 
+Result<std::size_t> Rights::ForEachCopyGroup(
+    dbfs::SubjectId subject,
+    const std::function<Status(const PdRef&)>& apply) {
+  RGPD_ASSIGN_OR_RETURN(std::vector<dbfs::RecordId> records,
+                        dbfs_->RecordsOfSubject(kDed, subject));
+  std::set<std::uint64_t> groups;
+  std::size_t touched = 0;
+  for (dbfs::RecordId id : records) {
+    RGPD_ASSIGN_OR_RETURN(membrane::Membrane m,
+                          dbfs_->GetMembrane(kDed, id));
+    // The builtin propagates across the whole copy group; visiting one
+    // member per group is enough (and keeps version bumps minimal).
+    if (!groups.insert(m.copy_group).second) continue;
+    RGPD_RETURN_IF_ERROR(apply(PdRef{id, m.type_name}));
+    ++touched;
+  }
+  return touched;
+}
+
+Result<std::size_t> Rights::Object(dbfs::SubjectId subject,
+                                   const std::string& purpose) {
+  return ForEachCopyGroup(subject, [&](const PdRef& ref) {
+    return builtins_->Object(ref, purpose);
+  });
+}
+
+Result<std::size_t> Rights::WithdrawObjection(dbfs::SubjectId subject,
+                                              const std::string& purpose) {
+  return ForEachCopyGroup(subject, [&](const PdRef& ref) {
+    return builtins_->WithdrawObjection(ref, purpose);
+  });
+}
+
+Result<std::size_t> Rights::OptOutAutomatedDecisions(dbfs::SubjectId subject,
+                                                     bool opt_out) {
+  return ForEachCopyGroup(subject, [&](const PdRef& ref) {
+    return builtins_->SetAutomatedDecisionOptOut(ref, opt_out);
+  });
+}
+
+namespace {
+
+/// Identity of an imported record for dedupe purposes: subject + type +
+/// encoded row + the membrane as it would be stored here (origin forced
+/// to third-party; copy group and version masked — Put assigns a fresh
+/// group, and unrelated mutations bump version without changing what
+/// the record *is*).
+std::string ImportKey(dbfs::SubjectId subject, const std::string& type_name,
+                      const db::Schema& schema, const db::Row& row,
+                      membrane::Membrane m) {
+  m.origin = membrane::Origin::kThirdParty;
+  m.copy_group = 0;
+  m.version = 0;
+  std::string key = std::to_string(subject) + '/' + type_name + '/';
+  const Bytes row_bytes = schema.EncodeRow(row);
+  key.append(reinterpret_cast<const char*>(row_bytes.data()),
+             row_bytes.size());
+  key += '/';
+  const Bytes membrane_bytes = m.Serialize();
+  key.append(reinterpret_cast<const char*>(membrane_bytes.data()),
+             membrane_bytes.size());
+  return key;
+}
+
+}  // namespace
+
 Result<std::size_t> Rights::ImportSubject(const dbfs::SubjectExport& data) {
+  // Idempotence: importing the same export twice must not duplicate PD
+  // (Art. 5(1)(c) data minimisation — silent copies are how operators
+  // end up holding more PD than the subject ever moved). Build the set
+  // of records already present, keyed by content, and skip matches.
+  std::set<std::string> existing;
+  std::set<dbfs::SubjectId> seen_subjects;
+  for (const dbfs::PdRecord& record : data.records) {
+    if (record.erased || !seen_subjects.insert(record.subject_id).second) {
+      continue;
+    }
+    RGPD_ASSIGN_OR_RETURN(std::vector<dbfs::RecordId> here,
+                          dbfs_->RecordsOfSubject(kDed, record.subject_id));
+    for (dbfs::RecordId id : here) {
+      RGPD_ASSIGN_OR_RETURN(dbfs::PdRecord mine, dbfs_->Get(kDed, id));
+      if (mine.erased) continue;
+      RGPD_ASSIGN_OR_RETURN(const dsl::TypeDecl* type,
+                            dbfs_->GetType(kDed, mine.type_name));
+      existing.insert(ImportKey(mine.subject_id, mine.type_name,
+                                type->ToSchema(), mine.row, mine.membrane));
+    }
+  }
   std::size_t imported = 0;
   for (const dbfs::PdRecord& record : data.records) {
     if (record.erased) continue;
     // The receiving operator's schema tree must know the type; a type
     // mismatch is the importer's problem to resolve, not ours to guess.
-    RGPD_RETURN_IF_ERROR(dbfs_->GetType(kDed, record.type_name).status());
+    RGPD_ASSIGN_OR_RETURN(const dsl::TypeDecl* type,
+                          dbfs_->GetType(kDed, record.type_name));
+    const std::string key =
+        ImportKey(record.subject_id, record.type_name, type->ToSchema(),
+                  record.row, record.membrane);
+    if (!existing.insert(key).second) {
+      log_->Append("rights.import", "right_to_portability",
+                   record.subject_id, record.record_id,
+                   LogOutcome::kCollected, "already imported; skipped");
+      continue;
+    }
     membrane::Membrane m = record.membrane;
     m.origin = membrane::Origin::kThirdParty;  // it came from elsewhere
     m.copy_group = 0;                          // fresh group here

@@ -8,6 +8,8 @@
 // not by each other).
 #pragma once
 
+#include <functional>
+#include <set>
 #include <string>
 
 #include "core/builtins.hpp"
@@ -39,6 +41,19 @@ class Rights {
   /// Right to rectification: replace one record's row.
   Status Rectify(const PdRef& ref, const db::Row& row);
 
+  /// Right to object (Art. 21): block `purpose` on every record of the
+  /// subject. The objection sticks until withdrawn — a later consent
+  /// grant does not override it. Returns how many copy groups changed.
+  Result<std::size_t> Object(dbfs::SubjectId subject,
+                             const std::string& purpose);
+  Result<std::size_t> WithdrawObjection(dbfs::SubjectId subject,
+                                        const std::string& purpose);
+
+  /// Art. 22: opt the subject out of (or back into) solely-automated
+  /// decisions across all their PD. Returns how many copy groups changed.
+  Result<std::size_t> OptOutAutomatedDecisions(dbfs::SubjectId subject,
+                                               bool opt_out);
+
   /// Receiving side of data portability (Art. 20: "transmit those data
   /// to another controller"): import a subject export produced by
   /// another rgpdOS instance. Types must already be declared here;
@@ -48,6 +63,13 @@ class Rights {
   Result<std::size_t> ImportSubject(const dbfs::SubjectExport& data);
 
  private:
+  /// Apply `apply` once per copy group of the subject's records (the
+  /// builtins propagate group-wide, so one member each suffices).
+  /// Returns the number of groups visited.
+  Result<std::size_t> ForEachCopyGroup(
+      dbfs::SubjectId subject,
+      const std::function<Status(const PdRef&)>& apply);
+
   dbfs::DbfsApi* dbfs_;      // borrowed
   ProcessingLog* log_;    // borrowed
   Builtins* builtins_;    // borrowed

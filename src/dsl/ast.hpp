@@ -74,6 +74,9 @@ struct PurposeDecl {
   /// Type produced, empty if the purpose yields only non-personal data.
   std::string output_type;
   std::string description;
+  /// Art. 22: the purpose makes decisions based solely on automated
+  /// processing; membranes carrying the opt-out bit deny it.
+  bool automated = false;
 };
 
 /// Result of parsing a source file: any mix of type and purpose decls.

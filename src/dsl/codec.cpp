@@ -121,6 +121,7 @@ Bytes EncodePurposeDecl(const PurposeDecl& decl) {
   w.PutString(decl.input_view);
   w.PutString(decl.output_type);
   w.PutString(decl.description);
+  w.PutBool(decl.automated);
   return w.Take();
 }
 
@@ -132,6 +133,10 @@ Result<PurposeDecl> DecodePurposeDecl(ByteSpan bytes) {
   RGPD_ASSIGN_OR_RETURN(decl.input_view, r.GetString());
   RGPD_ASSIGN_OR_RETURN(decl.output_type, r.GetString());
   RGPD_ASSIGN_OR_RETURN(decl.description, r.GetString());
+  // Purposes registered before the Art. 22 clause end here.
+  if (r.remaining() > 0) {
+    RGPD_ASSIGN_OR_RETURN(decl.automated, r.GetBool());
+  }
   return decl;
 }
 

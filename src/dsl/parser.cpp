@@ -311,6 +311,17 @@ class Parser {
       } else if (clause.text == "description") {
         RGPD_ASSIGN_OR_RETURN(Token value, Expect(TokenKind::kString));
         decl.description = value.text;
+      } else if (clause.text == "automated") {
+        RGPD_ASSIGN_OR_RETURN(Token value, Expect(TokenKind::kIdent));
+        if (value.text == "true") {
+          decl.automated = true;
+        } else if (value.text == "false") {
+          decl.automated = false;
+        } else {
+          return Error("automated clause expects true or false, got '" +
+                           value.text + "'",
+                       value);
+        }
       } else {
         return Error("unknown purpose clause '" + clause.text + "'", clause);
       }

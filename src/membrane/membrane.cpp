@@ -22,7 +22,8 @@ std::string_view SensitivityName(Sensitivity s) {
 }
 
 Result<Consent> Membrane::Evaluate(std::string_view purpose,
-                                   TimeMicros now) const {
+                                   TimeMicros now,
+                                   bool automated_decision) const {
   if (restricted) {
     return Restricted("processing of subject " +
                       std::to_string(subject_id) + "'s PD is restricted" +
@@ -33,6 +34,16 @@ Result<Consent> Membrane::Evaluate(std::string_view purpose,
   if (ExpiredAt(now)) {
     return Expired("PD of subject " + std::to_string(subject_id) +
                    " exceeded its time to live");
+  }
+  if (ObjectedTo(purpose)) {
+    return Objected("subject " + std::to_string(subject_id) +
+                    " objected to purpose '" + std::string(purpose) +
+                    "' (Art. 21)");
+  }
+  if (automated_decision && no_automated_decision) {
+    return Objected("subject " + std::to_string(subject_id) +
+                    " opted out of automated decisions (Art. 22); purpose '" +
+                    std::string(purpose) + "' is declared automated");
   }
   const auto it = consents.find(std::string(purpose));
   if (it == consents.end() || it->second.kind == ConsentKind::kNone) {
@@ -70,6 +81,21 @@ void Membrane::LiftRestriction() {
   ++version;
 }
 
+void Membrane::Object(const std::string& purpose) {
+  objections.insert(purpose);
+  ++version;
+}
+
+void Membrane::WithdrawObjection(const std::string& purpose) {
+  objections.erase(purpose);
+  ++version;
+}
+
+void Membrane::SetNoAutomatedDecision(bool opt_out) {
+  no_automated_decision = opt_out;
+  ++version;
+}
+
 Bytes Membrane::Serialize() const {
   ByteWriter w;
   w.PutU64(subject_id);
@@ -93,6 +119,11 @@ Bytes Membrane::Serialize() const {
   w.PutBool(restricted);
   w.PutString(restriction_reason);
   w.PutU64(version);
+  // Art. 21/22 flags ride at the tail so pre-objection images (which end
+  // at `version`) still decode; see the remaining() guard in Deserialize.
+  w.PutVarint(objections.size());
+  for (const std::string& purpose : objections) w.PutString(purpose);
+  w.PutBool(no_automated_decision);
   return w.Take();
 }
 
@@ -136,6 +167,16 @@ Result<Membrane> Membrane::Deserialize(ByteSpan bytes) {
   RGPD_ASSIGN_OR_RETURN(m.restricted, r.GetBool());
   RGPD_ASSIGN_OR_RETURN(m.restriction_reason, r.GetString());
   RGPD_ASSIGN_OR_RETURN(m.version, r.GetU64());
+  // Membranes serialized before the Art. 21/22 fields end here; decode
+  // them as "no objections, no opt-out" rather than rejecting the image.
+  if (r.remaining() > 0) {
+    RGPD_ASSIGN_OR_RETURN(std::uint64_t objection_count, r.GetVarint());
+    for (std::uint64_t i = 0; i < objection_count; ++i) {
+      RGPD_ASSIGN_OR_RETURN(std::string purpose, r.GetString());
+      m.objections.insert(std::move(purpose));
+    }
+    RGPD_ASSIGN_OR_RETURN(m.no_automated_decision, r.GetBool());
+  }
   return m;
 }
 
@@ -146,6 +187,8 @@ bool operator==(const Membrane& a, const Membrane& b) {
          a.consents == b.consents && a.copy_group == b.copy_group &&
          a.restricted == b.restricted &&
          a.restriction_reason == b.restriction_reason &&
+         a.objections == b.objections &&
+         a.no_automated_decision == b.no_automated_decision &&
          a.version == b.version && a.collection == b.collection;
 }
 

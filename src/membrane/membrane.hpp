@@ -7,6 +7,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,14 @@ struct Membrane {
   /// accuracy, or objects, or wants the data preserved for a claim).
   bool restricted = false;
   std::string restriction_reason;
+  /// GDPR Art. 21 objections: purposes the subject has objected to.
+  /// Unlike consent withdrawal, an objection survives a later re-grant —
+  /// the purpose stays blocked until the objection is withdrawn.
+  std::set<std::string> objections;
+  /// GDPR Art. 22: when set, the subject has opted out of decisions
+  /// based solely on automated processing; purposes declared
+  /// `automated: true` are denied regardless of consent.
+  bool no_automated_decision = false;
   /// Monotonic version, bumped on every membrane mutation.
   std::uint64_t version = 0;
 
@@ -100,11 +109,20 @@ struct Membrane {
     return ttl != 0 && now - created_at >= ttl;
   }
 
+  /// Has the subject objected (Art. 21) to this purpose?
+  [[nodiscard]] bool ObjectedTo(std::string_view purpose) const {
+    return objections.find(std::string(purpose)) != objections.end();
+  }
+
   /// The decision the DED's filter step needs: may `purpose` process this
   /// PD now, and through which scope? Status codes kExpired /
-  /// kConsentDenied communicate GDPR outcomes.
+  /// kConsentDenied / kObjected communicate GDPR outcomes.
+  /// `automated_decision` is the purpose's `automated:` declaration; when
+  /// true and the membrane carries the Art. 22 opt-out, the purpose is
+  /// denied with kObjected even if consented.
   [[nodiscard]] Result<Consent> Evaluate(std::string_view purpose,
-                                         TimeMicros now) const;
+                                         TimeMicros now,
+                                         bool automated_decision = false) const;
 
   // ---- mutation (version-bumping) ------------------------------------------
 
@@ -115,6 +133,11 @@ struct Membrane {
   /// Art. 18: mark / unmark the PD as restricted.
   void Restrict(std::string reason);
   void LiftRestriction();
+  /// Art. 21: object to / withdraw the objection against one purpose.
+  void Object(const std::string& purpose);
+  void WithdrawObjection(const std::string& purpose);
+  /// Art. 22: opt out of (or back into) solely-automated decisions.
+  void SetNoAutomatedDecision(bool opt_out);
 
   // ---- codec ---------------------------------------------------------------
 

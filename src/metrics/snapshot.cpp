@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace rgpdos::metrics {
 
 // ---- lookup --------------------------------------------------------------------
@@ -61,26 +63,7 @@ double HistogramSnapshot::ApproxQuantile(double q) const {
 // ---- exporters -----------------------------------------------------------------
 
 std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return rgpdos::JsonEscape(s);
 }
 
 std::string MetricsSnapshot::ToText() const {

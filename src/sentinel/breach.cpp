@@ -1,6 +1,9 @@
 #include "sentinel/breach.hpp"
 
+#include <algorithm>
 #include <map>
+
+#include "sentinel/audit_pipeline.hpp"
 
 namespace rgpdos::sentinel {
 
@@ -24,19 +27,22 @@ std::string DraftNotification(const BreachFinding& finding) {
 }
 }  // namespace
 
-std::vector<BreachFinding> DetectBreaches(const AuditSink& audit,
-                                          const BreachPolicy& policy) {
+std::vector<BreachFinding> DetectBreaches(
+    const std::vector<AuditEntry>& entries, const BreachPolicy& policy) {
   // Group denials by (actor, target), then slide a window over each
-  // group's (time-ordered) entries.
+  // group's time-ordered entries.
   std::map<std::pair<Domain, Domain>, std::vector<TimeMicros>> denials;
-  for (const AuditEntry& entry : audit.entries()) {
+  for (const AuditEntry& entry : entries) {
     if (entry.allowed) continue;
     denials[{entry.request.subject, entry.request.object}].push_back(
         entry.at);
   }
 
   std::vector<BreachFinding> findings;
-  for (const auto& [key, times] : denials) {
+  for (auto& [key, times] : denials) {
+    // The ring is time-ordered, but durable segments recovered after a
+    // restart (or merged sources) need not be: order before sliding.
+    std::sort(times.begin(), times.end());
     std::size_t window_start_index = 0;
     std::size_t best_count = 0;
     std::size_t best_start = 0;
@@ -62,6 +68,34 @@ std::vector<BreachFinding> DetectBreaches(const AuditSink& audit,
     }
   }
   return findings;
+}
+
+std::vector<BreachFinding> DetectBreaches(const AuditSink& audit,
+                                          const BreachPolicy& policy) {
+  // Durable evidence first: the bounded ring evicts, the pipeline does
+  // not, and an Art. 33 sweep that only sees the hot window would miss
+  // any burst older than `capacity()` entries (the PR-9 regression).
+  if (DurableAuditPipeline* pipeline = audit.pipeline()) {
+    Result<std::vector<AuditEntry>> durable = pipeline->QueryDurable(
+        [](const AuditEntry& entry) { return !entry.allowed; });
+    if (durable.ok()) {
+      return DetectBreaches(*durable, policy);
+    }
+    // A durable read error must not turn into "no breach": degrade to
+    // the hot window rather than silently returning nothing.
+  }
+  std::vector<AuditEntry> entries = audit.Query(
+      [](const AuditEntry& entry) { return !entry.allowed; });
+  return DetectBreaches(entries, policy);
+}
+
+Result<std::vector<BreachFinding>> DetectBreaches(
+    DurableAuditPipeline& pipeline, const BreachPolicy& policy) {
+  RGPD_ASSIGN_OR_RETURN(
+      std::vector<AuditEntry> denials,
+      pipeline.QueryDurable(
+          [](const AuditEntry& entry) { return !entry.allowed; }));
+  return DetectBreaches(denials, policy);
 }
 
 }  // namespace rgpdos::sentinel

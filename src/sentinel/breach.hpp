@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/status.hpp"
 #include "sentinel/audit.hpp"
 
 namespace rgpdos::sentinel {
@@ -35,9 +36,25 @@ struct BreachPolicy {
   TimeMicros window = 60 * kMicrosPerSecond;
 };
 
-/// Scan the audit trail for denial bursts. Pure function over the sink:
-/// idempotent, suitable for periodic sweeps or post-incident forensics.
+/// Scan a set of audit entries for denial bursts. Pure and idempotent;
+/// entries need not be time-ordered. This is the core the sink / durable
+/// overloads share, and the right entry point for entries recovered at
+/// remount via DurableAuditPipeline::LoadEntries.
+std::vector<BreachFinding> DetectBreaches(
+    const std::vector<AuditEntry>& entries, const BreachPolicy& policy);
+
+/// Scan the audit trail for denial bursts. When a DurableAuditPipeline
+/// is attached, the scan runs over the DURABLE log (a superset of the
+/// ring — every Record is handed to the pipeline before the ring can
+/// evict it), so bursts that aged out of the bounded ring are still
+/// found; without one, the in-memory ring is all the evidence there is.
+/// Idempotent, suitable for periodic sweeps or post-incident forensics.
 std::vector<BreachFinding> DetectBreaches(const AuditSink& audit,
                                           const BreachPolicy& policy);
+
+/// Scan a durable audit pipeline directly (e.g. after a restart, before
+/// any sink is re-attached). Flushes, then reads sealed segments + tail.
+Result<std::vector<BreachFinding>> DetectBreaches(
+    DurableAuditPipeline& pipeline, const BreachPolicy& policy);
 
 }  // namespace rgpdos::sentinel

@@ -2,7 +2,10 @@
 // the DBFS sensitivity segregation report.
 #include <gtest/gtest.h>
 
+#include "blockdev/block_device.hpp"
 #include "core/rgpdos.hpp"
+#include "inodefs/inode_store.hpp"
+#include "sentinel/audit_pipeline.hpp"
 #include "sentinel/breach.hpp"
 
 namespace rgpdos {
@@ -93,6 +96,145 @@ TEST_F(BreachTest, WindowBoundaryIsRespected) {
   const auto findings = sentinel::DetectBreaches(audit_, policy);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].denied_attempts, 3u);
+}
+
+// ---- Durable evidence: detection past the ring bound ----------------------
+
+/// Small store + manifest inode for a DurableAuditPipeline, the same
+/// substrate the auditlog suite uses.
+struct PipelineFixture {
+  SimClock clock{1000};
+  blockdev::MemBlockDevice medium{512, 4096};
+  std::unique_ptr<inodefs::InodeStore> store;
+  inodefs::InodeId manifest = inodefs::kInvalidInode;
+
+  PipelineFixture() {
+    inodefs::InodeStore::Options options;
+    options.inode_count = 64;
+    options.journal_blocks = 64;
+    auto formatted =
+        inodefs::InodeStore::Format(&medium, options, &clock);
+    EXPECT_TRUE(formatted.ok()) << formatted.status().ToString();
+    store = std::move(*formatted);
+    auto id = store->AllocInode(inodefs::InodeKind::kFile);
+    EXPECT_TRUE(id.ok());
+    manifest = *id;
+  }
+};
+
+// The PR-10 regression: a denial burst older than the bounded ring's
+// horizon must STILL be detected. Before, DetectBreaches only read the
+// hot ring, so flooding the sink with benign traffic silently amnestied
+// any earlier burst — the attacker's cheapest cover story.
+TEST_F(BreachTest, RingEvictionDoesNotHideTheBurstWhenDurable) {
+  PipelineFixture fx;
+  auto pipeline = sentinel::DurableAuditPipeline::Create(
+      fx.store.get(), fx.manifest, sentinel::AuditPipelineOptions{});
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  sentinel::AuditSink audit(/*capacity=*/16);
+  audit.AttachPipeline(pipeline->get());
+  sentinel::Sentinel guarded{sentinel::SecurityPolicy::RgpdDefault(),
+                            &clock_, &audit};
+
+  // The burst: 10 outside probes, then enough ALLOWED traffic to push
+  // every one of them out of the 16-entry ring.
+  for (int i = 0; i < 10; ++i) {
+    clock_.Set(i * 3 * kMicrosPerSecond);
+    (void)guarded.Enforce({sentinel::Domain::kOutside,
+                           sentinel::Domain::kDbfs,
+                           sentinel::Operation::kRead, "probe"});
+  }
+  for (int i = 0; i < 64; ++i) {
+    clock_.Set((100 + i) * kMicrosPerSecond);
+    (void)guarded.Enforce({kDed, sentinel::Domain::kDbfs,
+                           sentinel::Operation::kRead, "benign"});
+  }
+  EXPECT_EQ(audit.dropped_count(), 0u);
+  EXPECT_GT(audit.evicted_count(), 0u);
+
+  // Ring-only view (the old behaviour): the burst is gone.
+  const auto ring_denials =
+      audit.Query([](const sentinel::AuditEntry& e) { return !e.allowed; });
+  EXPECT_TRUE(
+      sentinel::DetectBreaches(ring_denials, sentinel::BreachPolicy{})
+          .empty());
+
+  // Sink-level detection goes through the durable pipeline and still
+  // sees it.
+  const auto findings =
+      sentinel::DetectBreaches(audit, sentinel::BreachPolicy{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].actor, sentinel::Domain::kOutside);
+  EXPECT_EQ(findings[0].target, sentinel::Domain::kDbfs);
+  EXPECT_EQ(findings[0].denied_attempts, 10u);
+  audit.AttachPipeline(nullptr);
+}
+
+// Same burst, detected on the NEXT boot: the evidence survives a restart
+// via LoadEntries, so the 72h clock does not reset with the process.
+TEST_F(BreachTest, BurstIsStillDetectableAfterRemount) {
+  PipelineFixture fx;
+  {
+    auto pipeline = sentinel::DurableAuditPipeline::Create(
+        fx.store.get(), fx.manifest, sentinel::AuditPipelineOptions{});
+    ASSERT_TRUE(pipeline.ok());
+    sentinel::AuditSink audit(/*capacity=*/16);
+    audit.AttachPipeline(pipeline->get());
+    sentinel::Sentinel guarded{sentinel::SecurityPolicy::RgpdDefault(),
+                              &clock_, &audit};
+    for (int i = 0; i < 8; ++i) {
+      clock_.Set(i * kMicrosPerSecond);
+      (void)guarded.Enforce({sentinel::Domain::kApplication,
+                             sentinel::Domain::kDbfs,
+                             sentinel::Operation::kWrite, "exfil probe"});
+    }
+    ASSERT_TRUE((*pipeline)->Flush().ok());
+    audit.AttachPipeline(nullptr);
+  }
+
+  auto entries = sentinel::DurableAuditPipeline::LoadEntries(fx.store.get(),
+                                                             fx.manifest);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  std::vector<sentinel::AuditEntry> denials;
+  for (const auto& entry : *entries) {
+    if (!entry.allowed) denials.push_back(entry);
+  }
+  const auto findings =
+      sentinel::DetectBreaches(denials, sentinel::BreachPolicy{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].actor, sentinel::Domain::kApplication);
+  EXPECT_EQ(findings[0].denied_attempts, 8u);
+}
+
+// Without a pipeline the sink overload degrades to the hot window — the
+// pre-durability behaviour, still correct for what the ring holds.
+TEST_F(BreachTest, SinkOverloadWithoutPipelineUsesTheRing) {
+  for (int i = 0; i < 6; ++i) {
+    Probe(sentinel::Domain::kOutside, sentinel::Domain::kDbfs,
+          i * kMicrosPerSecond);
+  }
+  const auto findings =
+      sentinel::DetectBreaches(audit_, sentinel::BreachPolicy{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].denied_attempts, 6u);
+}
+
+// The vector core must not assume its input is time-ordered: durable
+// entries merged across segments (or loaded per-shard) can interleave.
+TEST_F(BreachTest, UnorderedEvidenceIsStillOneBurst) {
+  std::vector<sentinel::AuditEntry> entries;
+  for (int i = 9; i >= 0; --i) {
+    sentinel::AuditEntry entry;
+    entry.at = i * 3 * kMicrosPerSecond;
+    entry.request = {sentinel::Domain::kOutside, sentinel::Domain::kDbfs,
+                     sentinel::Operation::kRead, "probe"};
+    entry.allowed = false;
+    entries.push_back(entry);
+  }
+  const auto findings =
+      sentinel::DetectBreaches(entries, sentinel::BreachPolicy{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].denied_attempts, 10u);
 }
 
 // ---- Sensitivity report -----------------------------------------------------------

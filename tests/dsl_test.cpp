@@ -333,6 +333,22 @@ TEST(ParserTest, PurposeRequiresInput) {
   EXPECT_FALSE(ParsePurpose("purpose p { description: \"no input\"; }").ok());
 }
 
+TEST(ParserTest, PurposeAutomatedClause) {
+  auto automated =
+      ParsePurpose("purpose p { input: user; automated: true; }");
+  ASSERT_TRUE(automated.ok()) << automated.status().ToString();
+  EXPECT_TRUE(automated->automated);
+  auto manual = ParsePurpose("purpose p { input: user; automated: false; }");
+  ASSERT_TRUE(manual.ok());
+  EXPECT_FALSE(manual->automated);
+  // Unspecified defaults to manual — Art. 22 only bites on opt-in decls.
+  auto unspecified = ParsePurpose("purpose p { input: user; }");
+  ASSERT_TRUE(unspecified.ok());
+  EXPECT_FALSE(unspecified->automated);
+  EXPECT_FALSE(
+      ParsePurpose("purpose p { input: user; automated: maybe; }").ok());
+}
+
 TEST(ParserTest, MixedProgram) {
   auto program = Parse(
       "type a { fields { x: int } }\n"
@@ -413,6 +429,26 @@ TEST(CodecTest, PurposeDeclRoundTrip) {
   EXPECT_EQ(decoded->name, "p");
   EXPECT_EQ(decoded->input_view, "v");
   EXPECT_EQ(decoded->description, "desc");
+  EXPECT_FALSE(decoded->automated);
+  purpose.automated = true;
+  auto redecoded = DecodePurposeDecl(EncodePurposeDecl(purpose));
+  ASSERT_TRUE(redecoded.ok());
+  EXPECT_TRUE(redecoded->automated);
+}
+
+TEST(CodecTest, PurposeDeclLegacyWireWithoutAutomatedFlag) {
+  // A registry written before the `automated` flag existed ends right
+  // after the description. Decoding those bytes must yield automated ==
+  // false, not a corruption error.
+  PurposeDecl purpose;
+  purpose.name = "p";
+  purpose.input_type = "user";
+  Bytes wire = EncodePurposeDecl(purpose);
+  wire.pop_back();  // the trailing automated bool
+  auto decoded = DecodePurposeDecl(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->name, "p");
+  EXPECT_FALSE(decoded->automated);
 }
 
 TEST(CodecTest, DecodeRejectsGarbage) {

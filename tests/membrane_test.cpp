@@ -129,6 +129,98 @@ TEST(MembraneTest, RevokeUnknownPurposeStillRecordsDenial) {
   EXPECT_EQ(m.consents.at("never_granted").kind, ConsentKind::kNone);
 }
 
+// ---- Art. 21 objection / Art. 22 automated-decision opt-out ---------------
+
+TEST(MembraneTest, ObjectionBeatsStandingConsent) {
+  Membrane m = MakeMembrane();
+  ASSERT_TRUE(m.Evaluate("purpose1", 1200).ok());
+  m.Object("purpose1");
+  EXPECT_TRUE(m.ObjectedTo("purpose1"));
+  EXPECT_EQ(m.Evaluate("purpose1", 1200).status().code(),
+            StatusCode::kObjected);
+  // The objection is its own axis: consent is still recorded as granted,
+  // and other purposes are untouched.
+  EXPECT_EQ(m.consents.at("purpose1").kind, ConsentKind::kAll);
+  EXPECT_TRUE(m.Evaluate("purpose3", 1200).ok());
+}
+
+TEST(MembraneTest, ObjectionSurvivesConsentRegrant) {
+  // Art. 21 is sticky: a later (perhaps dark-pattern) consent re-grant
+  // must NOT clear the objection — only an explicit withdrawal does.
+  Membrane m = MakeMembrane();
+  m.Object("purpose1");
+  m.GrantConsent("purpose1", Consent::All());
+  EXPECT_EQ(m.Evaluate("purpose1", 1200).status().code(),
+            StatusCode::kObjected);
+  m.WithdrawObjection("purpose1");
+  EXPECT_TRUE(m.Evaluate("purpose1", 1200).ok());
+}
+
+TEST(MembraneTest, AutomatedDecisionOptOut) {
+  Membrane m = MakeMembrane();
+  m.SetNoAutomatedDecision(true);
+  // Only automated evaluations are blocked; the same purpose evaluated
+  // for a human-in-the-loop processing still passes.
+  EXPECT_EQ(m.Evaluate("purpose1", 1200, /*automated_decision=*/true)
+                .status()
+                .code(),
+            StatusCode::kObjected);
+  EXPECT_TRUE(m.Evaluate("purpose1", 1200, false).ok());
+  m.SetNoAutomatedDecision(false);
+  EXPECT_TRUE(m.Evaluate("purpose1", 1200, true).ok());
+}
+
+TEST(MembraneTest, ObjectionMutationsBumpVersionLikeConsent) {
+  // The version counter is what invalidates the record/decision caches;
+  // an objection that does not bump it would be served stale forever.
+  Membrane m = MakeMembrane();
+  const std::uint64_t v0 = m.version;
+  m.Object("purpose1");
+  EXPECT_EQ(m.version, v0 + 1);
+  m.WithdrawObjection("purpose1");
+  EXPECT_EQ(m.version, v0 + 2);
+  m.SetNoAutomatedDecision(true);
+  EXPECT_EQ(m.version, v0 + 3);
+}
+
+TEST(MembraneTest, EqualityComparesObjectionState) {
+  const Membrane a = MakeMembrane();
+  Membrane b = MakeMembrane();
+  b.Object("purpose1");
+  EXPECT_FALSE(a == b);
+  b = MakeMembrane();
+  b.SetNoAutomatedDecision(true);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MembraneTest, SerializationRoundTripWithObjections) {
+  Membrane m = MakeMembrane();
+  m.Object("purpose1");
+  m.Object("marketing");
+  m.SetNoAutomatedDecision(true);
+  auto decoded = Membrane::Deserialize(m.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, m);
+  EXPECT_TRUE(decoded->ObjectedTo("purpose1"));
+  EXPECT_TRUE(decoded->ObjectedTo("marketing"));
+  EXPECT_TRUE(decoded->no_automated_decision);
+}
+
+TEST(MembraneTest, LegacyWireWithoutObjectionFieldsDecodes) {
+  // Membranes persisted before the objection fields end right after the
+  // version: decoding them must succeed with no objections and the
+  // automated-decision bit clear (trailing-field back-compat).
+  const Membrane m = MakeMembrane();
+  Bytes wire = m.Serialize();
+  // Current tail = varint(0) objection count + 1 bool byte.
+  wire.resize(wire.size() - 2);
+  auto decoded = Membrane::Deserialize(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, m);
+  EXPECT_TRUE(decoded->objections.empty());
+  EXPECT_FALSE(decoded->no_automated_decision);
+}
+
 TEST(MembraneTest, SerializationRoundTrip) {
   const Membrane m = MakeMembrane();
   auto decoded = Membrane::Deserialize(m.Serialize());
